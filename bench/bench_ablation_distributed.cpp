@@ -1,0 +1,58 @@
+// Ablation: centralized fast BASRPT vs the distributed request/grant
+// approximation (sched/distributed_basrpt.hpp).
+//
+// The paper asserts fast BASRPT "can be simply implemented using
+// distributed paradigms" because its key is a global priority. This
+// bench quantifies what a bounded request/grant budget costs: with
+// enough rounds the distributed matching is maximal and the metrics
+// converge to the centralized scheduler's; with 1 round some ports idle.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace basrpt;
+
+  CliParser cli("bench_ablation_distributed",
+                "centralized vs request/grant fast BASRPT");
+  cli.real("load", 0.9, "per-host offered load")
+      .real("v", 2500.0, "paper-equivalent BASRPT weight");
+  if (!bench::parse_common(cli, argc, argv)) {
+    return 0;
+  }
+  const auto scale = bench::scale_from_cli(cli);
+  bench::print_header("Ablation: distributed fast BASRPT", scale);
+  const double v_eff = bench::effective_v(cli.get_real("v"), scale);
+
+  stats::Table table({"scheduler", "qry avg ms", "qry p99 ms", "bg avg ms",
+                      "thpt Gbps", "stable"});
+  const auto run = [&](const sched::SchedulerSpec& spec) {
+    core::ExperimentConfig config = bench::base_config(scale, cli);
+    config.load = cli.get_real("load");
+    config.horizon = scale.fct_horizon;
+    config.scheduler = spec;
+    const auto r = core::run_experiment(config);
+    table.add_row({r.scheduler_name, stats::cell(r.query_avg_ms),
+                   stats::cell(r.query_p99_ms),
+                   stats::cell(r.background_avg_ms),
+                   stats::cell(r.throughput_gbps, 2),
+                   r.total_backlog_trend.growing ? "NO" : "yes"});
+    std::fprintf(stderr, "%s done\n", r.scheduler_name.c_str());
+  };
+
+  run(sched::SchedulerSpec::fast_basrpt(v_eff));
+  for (const int rounds : {1, 2, 4}) {
+    run(sched::SchedulerSpec::dist_basrpt(v_eff, rounds));
+  }
+
+  bench::emit(table, cli);
+  std::printf(
+      "\nexpected: 1-2 rounds leave many port pairs unmatched (each round "
+      "matches at most\none egress per requesting ingress), so at high "
+      "load they shed throughput and the\nqueues grow; ~4 rounds recover "
+      "the centralized scheduler's metrics. The paper's\n\"simply "
+      "implemented using distributed paradigms\" claim holds, but the "
+      "iteration\nbudget is the price.\n");
+  return 0;
+}

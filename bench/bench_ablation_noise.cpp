@@ -1,0 +1,61 @@
+// Ablation: robustness to flow-size mis-estimation.
+//
+// SRPT-family schedulers assume a-priori flow sizes (Sec. II-A). Here
+// each flow's size estimate is off by a per-flow log-uniform factor up
+// to x2/x4/x16 and we measure what survives. The backlog half of the
+// BASRPT key is measured, not estimated, so fast BASRPT should degrade
+// more gracefully than pure SRPT on large errors.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace basrpt;
+
+  CliParser cli("bench_ablation_noise",
+                "size-estimation error vs scheduling quality");
+  cli.real("load", 0.9, "per-host offered load")
+      .real("v", 2500.0, "paper-equivalent BASRPT weight");
+  if (!bench::parse_common(cli, argc, argv)) {
+    return 0;
+  }
+  const auto scale = bench::scale_from_cli(cli);
+  bench::print_header("Ablation: size-estimation noise", scale);
+  const double v_eff = bench::effective_v(cli.get_real("v"), scale);
+
+  stats::Table table({"scheduler", "size err", "qry avg ms", "qry p99 ms",
+                      "bg avg ms", "thpt Gbps"});
+  const auto run = [&](const sched::SchedulerSpec& base_spec, double error) {
+    core::ExperimentConfig config = bench::base_config(scale, cli);
+    config.load = cli.get_real("load");
+    config.horizon = scale.fct_horizon;
+    config.scheduler = base_spec.with_size_error(error);
+    const auto r = core::run_experiment(config);
+    table.add_row({sched::to_string(base_spec.policy),
+                   "x" + stats::cell(error, 0), stats::cell(r.query_avg_ms),
+                   stats::cell(r.query_p99_ms),
+                   stats::cell(r.background_avg_ms),
+                   stats::cell(r.throughput_gbps, 2)});
+    std::fprintf(stderr, "%s err x%g done\n", r.scheduler_name.c_str(),
+                 error);
+  };
+
+  for (const double error : {1.0, 2.0, 4.0, 16.0}) {
+    run(sched::SchedulerSpec::srpt(), error);
+  }
+  for (const double error : {1.0, 2.0, 4.0, 16.0}) {
+    run(sched::SchedulerSpec::fast_basrpt(v_eff), error);
+  }
+
+  bench::emit(table, cli);
+  std::printf(
+      "\nexpected: both schemes tolerate x2. Larger errors inflate "
+      "background FCT\nsimilarly for both (size ordering is what breaks). "
+      "BASRPT's query FCT degrades\nproportionally more than SRPT's — its "
+      "key multiplies the (noisy) size by V/N, so\nmis-ranked queries "
+      "additionally lose to promoted backlogs — but absolute query\n"
+      "FCTs stay in the low-millisecond range even at x16, and throughput "
+      "and\nstability are untouched.\n");
+  return 0;
+}

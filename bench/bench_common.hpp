@@ -1,0 +1,96 @@
+// Shared scaffolding for the per-figure bench harnesses.
+//
+// Every bench supports two scales:
+//  * quick (default): 24-host fabric (4 racks x 6 hosts), horizons of a
+//    few simulated seconds — runs on a laptop in minutes and shows the
+//    same qualitative shapes;
+//  * --full: the paper's setup — 144 hosts (12 x 12), 3 cores, and long
+//    horizons. Expect hours of wall-clock.
+//
+// The paper's V values were tuned for N = 144; fast BASRPT's key is
+// (V/N)·size − backlog, so quick-scale runs use core::scale_v to keep
+// V/N — and hence the FCT/stability tradeoff — unchanged. Tables report
+// the paper-equivalent V.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace basrpt::bench {
+
+struct Scale {
+  topo::FabricConfig fabric;
+  SimTime stability_horizon;  // queue-evolution experiments (Figs 2, 5, 7)
+  SimTime fct_horizon;        // FCT experiments (Table I, Figs 6, 8)
+  bool full = false;
+};
+
+inline Scale make_scale(bool full) {
+  Scale scale;
+  scale.full = full;
+  if (full) {
+    scale.fabric = topo::paper_fabric();
+    scale.stability_horizon = seconds(500.0);
+    scale.fct_horizon = seconds(60.0);
+  } else {
+    scale.fabric = topo::small_fabric(4, 6, 3);
+    scale.stability_horizon = seconds(8.0);
+    // FCT statistics are also collected at 8 s: fast BASRPT's queue
+    // plateau at quick scale takes ~5-6 s to reach, and FCTs sampled
+    // before it are transient.
+    scale.fct_horizon = seconds(8.0);
+  }
+  return scale;
+}
+
+/// Registers the flags every harness shares; returns after cli.parse so
+/// callers can add their own flags *before* calling this.
+inline bool parse_common(CliParser& cli, int argc, const char* const* argv) {
+  cli.flag("full", false, "paper scale: 144 hosts, long horizons")
+      .flag("csv", false, "emit CSV instead of the pretty table")
+      .integer("seed", 1, "workload RNG seed")
+      .real("horizon", 0.0, "override simulated seconds (0 = preset)");
+  return cli.parse(argc, argv);
+}
+
+inline Scale scale_from_cli(const CliParser& cli) {
+  Scale scale = make_scale(cli.get_flag("full"));
+  const double horizon = cli.get_real("horizon");
+  if (horizon > 0.0) {
+    scale.stability_horizon = seconds(horizon);
+    scale.fct_horizon = seconds(horizon);
+  }
+  return scale;
+}
+
+inline core::ExperimentConfig base_config(const Scale& scale,
+                                          const CliParser& cli) {
+  core::ExperimentConfig config;
+  config.fabric = scale.fabric;
+  config.seed = static_cast<std::uint64_t>(cli.get_integer("seed"));
+  return config;
+}
+
+inline void emit(const stats::Table& table, const CliParser& cli) {
+  std::printf("%s",
+              cli.get_flag("csv") ? table.render_csv().c_str()
+                                  : table.render().c_str());
+}
+
+/// Paper-equivalent V → effective V for this fabric.
+inline double effective_v(double paper_v, const Scale& scale) {
+  return core::scale_v(paper_v, scale.fabric.hosts());
+}
+
+inline void print_header(const std::string& what, const Scale& scale) {
+  std::printf("=== %s ===\n", what.c_str());
+  std::printf("fabric: %d hosts (%d racks x %d), %s mode\n",
+              scale.fabric.hosts(), scale.fabric.racks,
+              scale.fabric.hosts_per_rack, scale.full ? "FULL" : "quick");
+}
+
+}  // namespace basrpt::bench

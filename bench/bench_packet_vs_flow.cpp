@@ -1,0 +1,106 @@
+// Ablation: packet-granularity (decentralized, pFabric-style) vs
+// flow-level (centralized matching) realizations of the same policies,
+// on the *identical* recorded arrival trace.
+//
+// Two gaps are being measured at once:
+//  * fluid-model fidelity — whether the flow-level simulator the paper
+//    (and this reproduction) uses hides packet-scale artifacts;
+//  * the decentralization gap — per-packet local priorities vs the
+//    idealized centralized matching scheduler.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "flowsim/flow_sim.hpp"
+#include "pktsim/packet_sim.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace basrpt;
+
+  CliParser cli("bench_packet_vs_flow",
+                "packet-level vs flow-level simulation of one trace");
+  cli.real("load", 0.5, "per-host offered load")
+      .real("v", 2500.0, "paper-equivalent BASRPT weight")
+      .real("pkt-horizon", 0.05, "simulated seconds (packet events are "
+                                 "~1000x denser than flow events)");
+  if (!bench::parse_common(cli, argc, argv)) {
+    return 0;
+  }
+  const bool full = cli.get_flag("full");
+  const std::int32_t racks = full ? 4 : 2;
+  const std::int32_t per_rack = 4;
+  const std::int32_t hosts = racks * per_rack;
+  const SimTime horizon =
+      seconds(cli.get_real("pkt-horizon") * (full ? 10.0 : 1.0));
+  const double v_eff = core::scale_v(cli.get_real("v"), hosts);
+
+  std::printf("=== packet-level vs flow-level: %d hosts, load %.2f, %s ===\n",
+              hosts, cli.get_real("load"), to_string(horizon).c_str());
+
+  // One trace, every simulator.
+  Rng rng(static_cast<std::uint64_t>(cli.get_integer("seed")));
+  workload::RecordingTraffic recorder(workload::paper_mix(
+      cli.get_real("load"), 0.25, racks, per_rack, gbps(10.0), horizon,
+      rng));
+  while (recorder.next()) {
+  }
+  std::printf("trace: %zu flows\n\n", recorder.recorded().size());
+
+  stats::Table table({"model", "policy", "qry avg ms", "qry slowdown",
+                      "bg avg ms", "bg slowdown", "thpt Gbps"});
+
+  const auto pkt_row = [&](pktsim::PacketPolicy policy, const char* label) {
+    pktsim::PacketSimConfig config;
+    config.hosts = hosts;
+    config.policy = policy;
+    config.v = v_eff;
+    config.horizon = horizon;
+    workload::VectorTraffic replay(recorder.recorded());
+    const auto r = run_packet_sim(config, replay);
+    const auto q = r.fct.summary(stats::FlowClass::kQuery);
+    const auto b = r.fct.summary(stats::FlowClass::kBackground);
+    table.add_row({"packet", label, stats::cell(q.mean_seconds * 1e3),
+                   stats::cell(q.mean_slowdown, 2),
+                   stats::cell(b.mean_seconds * 1e3),
+                   stats::cell(b.mean_slowdown, 2),
+                   stats::cell(r.throughput().bits_per_sec / 1e9, 2)});
+    std::fprintf(stderr, "packet %s done\n", label);
+  };
+
+  const auto flow_row = [&](const sched::SchedulerSpec& spec) {
+    flowsim::FlowSimConfig config;
+    config.fabric = topo::small_fabric(racks, per_rack, 3);
+    config.horizon = horizon;
+    auto scheduler = sched::make_scheduler(spec);
+    workload::VectorTraffic replay(recorder.recorded());
+    const auto r = run_flow_sim(config, *scheduler, replay);
+    const auto q = r.fct.summary(stats::FlowClass::kQuery);
+    const auto b = r.fct.summary(stats::FlowClass::kBackground);
+    table.add_row({"flow", sched::to_string(spec.policy),
+                   stats::cell(q.mean_seconds * 1e3),
+                   stats::cell(q.mean_slowdown, 2),
+                   stats::cell(b.mean_seconds * 1e3),
+                   stats::cell(b.mean_slowdown, 2),
+                   stats::cell(r.throughput().bits_per_sec / 1e9, 2)});
+    std::fprintf(stderr, "flow %s done\n",
+                 sched::to_string(spec.policy).c_str());
+  };
+
+  flow_row(sched::SchedulerSpec::srpt());
+  pkt_row(pktsim::PacketPolicy::kSrpt, "srpt");
+  flow_row(sched::SchedulerSpec::fast_basrpt(v_eff));
+  pkt_row(pktsim::PacketPolicy::kFastBasrpt, "fast-basrpt");
+  flow_row(sched::SchedulerSpec::fifo());
+  pkt_row(pktsim::PacketPolicy::kFifo, "fifo");
+
+  bench::emit(table, cli);
+  std::printf(
+      "\nexpected: per policy, packet- and flow-level FCTs agree to "
+      "within the\nstore-and-forward constants (the fluid model is "
+      "faithful); the decentralized\npacket realization loses a little "
+      "to the centralized matching at the egress\n(uncoordinated senders "
+      "converge and queue), and the SRPT>FIFO ordering is\npreserved in "
+      "both models.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Microbenchmarks (google-benchmark): scheduler decision cost and the
+// matching substrate.
+//
+// This quantifies Sec. IV-C's complexity argument: exact BASRPT's
+// traversal of maximal schemes explodes with port count (it is capped at
+// tiny fabrics here), while fast BASRPT's greedy pass costs the same
+// O(K log K) as SRPT and MaxWeight pays the Hungarian O(N^3).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "matching/birkhoff.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/hungarian.hpp"
+#include "queueing/voq.hpp"
+#include "sched/factory.hpp"
+#include "switchsim/arrivals.hpp"
+
+namespace {
+
+using namespace basrpt;
+using queueing::Flow;
+using queueing::VoqMatrix;
+using sched::PortId;
+
+VoqMatrix random_state(PortId n_ports, int n_flows, std::uint64_t seed) {
+  Rng rng(seed);
+  VoqMatrix voqs(n_ports);
+  for (queueing::FlowId id = 0; id < n_flows; ++id) {
+    Flow f;
+    f.id = id;
+    f.src = static_cast<PortId>(rng.uniform_int(0, n_ports - 1));
+    f.dst = static_cast<PortId>(rng.uniform_int(0, n_ports - 2));
+    if (f.dst >= f.src) {
+      ++f.dst;
+    }
+    f.size = Bytes{rng.uniform_int(1, 33'000)};
+    f.remaining = f.size;
+    f.arrival = SimTime{rng.uniform01()};
+    voqs.add_flow(f);
+  }
+  return voqs;
+}
+
+void run_decision_bench(benchmark::State& state,
+                        const sched::SchedulerSpec& spec) {
+  const auto ports = static_cast<PortId>(state.range(0));
+  const auto flows = static_cast<int>(state.range(1));
+  auto scheduler = sched::make_scheduler(spec);
+  const VoqMatrix voqs = random_state(ports, flows, 42);
+  const auto candidates = sched::build_candidates(voqs, 1.0);
+  for (auto _ : state) {
+    auto decision = scheduler->decide(ports, candidates);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetLabel(scheduler->name());
+}
+
+void BM_DecideSrpt(benchmark::State& state) {
+  run_decision_bench(state, sched::SchedulerSpec::srpt());
+}
+void BM_DecideFastBasrpt(benchmark::State& state) {
+  run_decision_bench(state, sched::SchedulerSpec::fast_basrpt(2500));
+}
+void BM_DecideThreshold(benchmark::State& state) {
+  run_decision_bench(state, sched::SchedulerSpec::threshold_srpt(1000));
+}
+void BM_DecideMaxWeight(benchmark::State& state) {
+  run_decision_bench(state, sched::SchedulerSpec::maxweight());
+}
+void BM_DecideExactBasrpt(benchmark::State& state) {
+  run_decision_bench(state, sched::SchedulerSpec::exact_basrpt(2500));
+}
+
+// The paper's evaluation scale is 144 ports; the candidate count (second
+// argument) is the number of non-empty VOQs.
+BENCHMARK(BM_DecideSrpt)
+    ->Args({24, 200})
+    ->Args({144, 2000})
+    ->Args({144, 20000});
+BENCHMARK(BM_DecideFastBasrpt)
+    ->Args({24, 200})
+    ->Args({144, 2000})
+    ->Args({144, 20000});
+BENCHMARK(BM_DecideThreshold)->Args({24, 200})->Args({144, 2000});
+BENCHMARK(BM_DecideMaxWeight)->Args({24, 200})->Args({144, 2000});
+// Exact BASRPT: the traversal is exponential — 6 ports is already the
+// practical ceiling, which is the paper's point.
+BENCHMARK(BM_DecideExactBasrpt)->Args({4, 12})->Args({5, 20})->Args({6, 30});
+
+// ----------------------------------------------------- candidate building
+
+void BM_BuildCandidates(benchmark::State& state) {
+  const auto ports = static_cast<PortId>(state.range(0));
+  const auto flows = static_cast<int>(state.range(1));
+  const VoqMatrix voqs = random_state(ports, flows, 7);
+  for (auto _ : state) {
+    auto candidates = sched::build_candidates(voqs, 1500.0);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_BuildCandidates)->Args({24, 2000})->Args({144, 20000});
+
+// -------------------------------------------------------------- matching
+
+void BM_GreedyMaximal(benchmark::State& state) {
+  const auto n = static_cast<PortId>(state.range(0));
+  Rng rng(3);
+  std::vector<matching::ScoredCandidate> candidates;
+  for (int e = 0; e < n * 12; ++e) {
+    candidates.push_back({static_cast<PortId>(rng.uniform_int(0, n - 1)),
+                          static_cast<PortId>(rng.uniform_int(0, n - 1)),
+                          rng.uniform01(), e});
+  }
+  for (auto _ : state) {
+    auto result = matching::greedy_maximal(candidates, n, n);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GreedyMaximal)->Arg(24)->Arg(144);
+
+void BM_Hungarian(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::vector<double>> weights(n, std::vector<double>(n));
+  for (auto& row : weights) {
+    for (auto& w : row) {
+      w = rng.uniform(0.0, 1e6);
+    }
+  }
+  for (auto _ : state) {
+    auto m = matching::max_weight_perfect(weights);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(24)->Arg(144);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto n = static_cast<PortId>(state.range(0));
+  Rng rng(5);
+  matching::BipartiteGraph g(n, n);
+  for (PortId l = 0; l < n; ++l) {
+    for (int k = 0; k < 8; ++k) {
+      g.add_edge(l, static_cast<PortId>(rng.uniform_int(0, n - 1)));
+    }
+  }
+  for (auto _ : state) {
+    auto m = matching::hopcroft_karp(g);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(24)->Arg(144);
+
+void BM_BirkhoffDecompose(benchmark::State& state) {
+  const auto n = static_cast<PortId>(state.range(0));
+  const auto doubly = matching::complete_to_doubly_stochastic(
+      switchsim::uniform_rates(n, 0.95));
+  for (auto _ : state) {
+    auto terms = matching::birkhoff_decompose(doubly);
+    benchmark::DoNotOptimize(terms);
+  }
+}
+BENCHMARK(BM_BirkhoffDecompose)->Arg(8)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Scheduler face-off: run several scheduling policies on the *same*
+// arrival sequence and print a comparison table — the workflow behind
+// every figure in the paper, exposed as a configurable tool.
+//
+//   ./scheduler_faceoff --load=0.95 --racks=4 --hosts-per-rack=6
+//       --horizon=2 --v=2500 --threshold=1000
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace basrpt;
+
+  CliParser cli("scheduler_faceoff",
+                "compare scheduling policies on identical workloads");
+  cli.real("load", 0.95, "per-host offered load")
+      .real("query-share", 0.1, "fraction of load carried by 20KB queries")
+      .integer("racks", 4, "number of racks")
+      .integer("hosts-per-rack", 6, "hosts per rack")
+      .real("horizon", 2.0, "simulated seconds")
+      .real("v", 2500.0, "BASRPT weight V")
+      .real("threshold", 1000.0, "threshold-SRPT promotion level (packets)")
+      .integer("seed", 1, "workload RNG seed")
+      .flag("maxweight", false, "also run the MaxWeight reference")
+      .flag("fifo", false, "also run the FIFO reference")
+      .flag("fair", false, "also run the TCP-like fair-sharing reference");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  core::ExperimentConfig base;
+  base.fabric = topo::small_fabric(
+      static_cast<std::int32_t>(cli.get_integer("racks")),
+      static_cast<std::int32_t>(cli.get_integer("hosts-per-rack")), 3);
+  base.load = cli.get_real("load");
+  base.query_share = cli.get_real("query-share");
+  base.horizon = seconds(cli.get_real("horizon"));
+  base.seed = static_cast<std::uint64_t>(cli.get_integer("seed"));
+
+  std::vector<sched::SchedulerSpec> specs = {
+      sched::SchedulerSpec::srpt(),
+      sched::SchedulerSpec::fast_basrpt(cli.get_real("v")),
+      sched::SchedulerSpec::threshold_srpt(cli.get_real("threshold")),
+  };
+  if (cli.get_flag("maxweight")) {
+    specs.push_back(sched::SchedulerSpec::maxweight());
+  }
+  if (cli.get_flag("fifo")) {
+    specs.push_back(sched::SchedulerSpec::fifo());
+  }
+
+  stats::Table table({"scheduler", "qry avg ms", "qry p99 ms", "bg avg ms",
+                      "bg p99 ms", "thpt Gbps", "left flows", "stable"});
+  const auto add_row = [&table](const core::ExperimentResult& r) {
+    table.add_row({r.scheduler_name, stats::cell(r.query_avg_ms),
+                   stats::cell(r.query_p99_ms),
+                   stats::cell(r.background_avg_ms),
+                   stats::cell(r.background_p99_ms),
+                   stats::cell(r.throughput_gbps, 2),
+                   stats::cell(r.flows_left),
+                   r.total_backlog_trend.growing ? "NO" : "yes"});
+    std::fprintf(stderr, "finished %s\n", r.scheduler_name.c_str());
+  };
+  for (const auto& spec : specs) {
+    core::ExperimentConfig config = base;
+    config.scheduler = spec;
+    const auto r = core::run_experiment(config);
+    add_row(r);
+  }
+  if (cli.get_flag("fair")) {
+    core::ExperimentConfig config = base;
+    config.service_model = flowsim::ServiceModel::kFairSharing;
+    add_row(core::run_experiment(config));
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

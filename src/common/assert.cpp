@@ -1,0 +1,17 @@
+#include "common/assert.hpp"
+
+#include <sstream>
+
+namespace basrpt::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream out;
+  out << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw SimulationError(out.str());
+}
+
+}  // namespace basrpt::detail

@@ -1,0 +1,50 @@
+// Assertion and error-reporting machinery shared by all BASRPT modules.
+//
+// Invariant violations (programming errors) use BASRPT_ASSERT, which is
+// compiled in all build types: a simulator that silently continues past a
+// broken invariant produces plausible-looking but wrong science.
+// Configuration errors (bad user input) throw basrpt::ConfigError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace basrpt {
+
+/// Thrown when user-supplied configuration (topology sizes, loads,
+/// distribution parameters, CLI flags) is invalid.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulation reaches a state that should be impossible
+/// given a valid configuration (e.g. an event in the past).
+class SimulationError : public std::logic_error {
+ public:
+  explicit SimulationError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace basrpt
+
+/// Always-on invariant check. Throws basrpt::SimulationError so tests can
+/// observe violations instead of the process aborting.
+#define BASRPT_ASSERT(expr, message)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::basrpt::detail::assert_fail(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                      \
+  } while (false)
+
+/// Validates user configuration; throws basrpt::ConfigError on failure.
+#define BASRPT_REQUIRE(expr, message)            \
+  do {                                           \
+    if (!(expr)) {                               \
+      throw ::basrpt::ConfigError((message));    \
+    }                                            \
+  } while (false)

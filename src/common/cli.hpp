@@ -1,0 +1,58 @@
+// Tiny command-line option parser used by benches and examples.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag` /
+// `--no-flag`. Unknown options are an error (typos in sweep scripts must
+// not silently fall back to defaults). Positional arguments are rejected.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace basrpt {
+
+class CliParser {
+ public:
+  /// `description` is printed by --help along with registered options.
+  explicit CliParser(std::string program, std::string description);
+
+  /// Registers options with default values. Returns *this for chaining.
+  CliParser& flag(const std::string& name, bool default_value,
+                  const std::string& help);
+  CliParser& integer(const std::string& name, std::int64_t default_value,
+                     const std::string& help);
+  CliParser& real(const std::string& name, double default_value,
+                  const std::string& help);
+  CliParser& text(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv. Throws ConfigError on unknown/malformed options.
+  /// If --help is present, prints usage and returns false (caller exits 0).
+  bool parse(int argc, const char* const* argv);
+
+  bool get_flag(const std::string& name) const;
+  std::int64_t get_integer(const std::string& name) const;
+  double get_real(const std::string& name) const;
+  const std::string& get_text(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInteger, kReal, kText };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // stored textually; typed getters convert
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;  // registration order, for usage()
+};
+
+}  // namespace basrpt

@@ -1,0 +1,50 @@
+// Minimal leveled logger for simulator diagnostics.
+//
+// Benches and examples print their results directly; the logger is for
+// progress/diagnostic chatter that the user may silence. Not thread-safe
+// by design: the simulators are single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace basrpt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+/// Streams one log line at `level`; usage: BASRPT_LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) {
+      detail::log_write(level_, stream_.str());
+    }
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace basrpt
+
+#define BASRPT_LOG(level) ::basrpt::LogLine(::basrpt::LogLevel::level)

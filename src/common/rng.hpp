@@ -1,0 +1,61 @@
+// Deterministic random-number generation.
+//
+// Every stochastic component (workload generator, randomized scheduler,
+// arrival process) owns its own Rng stream derived from a master seed, so
+// simulations are reproducible and components can be re-seeded
+// independently (changing the scheduler's randomness must not perturb the
+// arrival sequence, or A/B comparisons between schedulers are invalid).
+//
+// Generator: xoshiro256** (public domain, Blackman & Vigna), seeded via
+// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace basrpt {
+
+/// SplitMix64 step; used for seeding and cheap hash-like stream splitting.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo-random generator. Satisfies
+/// std::uniform_random_bit_generator, so it plugs into <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive, unbiased via rejection).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Derives an independent child stream; deterministic in (this stream's
+  /// seed, label). Use one label per component.
+  Rng split(std::uint64_t label) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;  // retained so split() is reproducible
+};
+
+}  // namespace basrpt

@@ -1,0 +1,57 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace basrpt {
+
+namespace {
+
+std::string format_scaled(double value, const char* const* suffixes,
+                          int n_suffixes, double step) {
+  int idx = 0;
+  double v = value;
+  while (std::abs(v) >= step && idx + 1 < n_suffixes) {
+    v /= step;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g %s", v, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace
+
+Bytes bytes_in(Rate rate, SimTime duration) {
+  const double bits = rate.bits_per_sec * duration.seconds;
+  return Bytes{static_cast<std::int64_t>(bits / 8.0)};
+}
+
+std::string to_string(Bytes b) {
+  static const char* suffixes[] = {"B", "KB", "MB", "GB", "TB"};
+  return format_scaled(static_cast<double>(b.count), suffixes, 5, 1000.0);
+}
+
+std::string to_string(Rate r) {
+  static const char* suffixes[] = {"bps", "Kbps", "Mbps", "Gbps", "Tbps"};
+  return format_scaled(r.bits_per_sec, suffixes, 5, 1000.0);
+}
+
+std::string to_string(SimTime t) {
+  static const char* suffixes[] = {"s", "ks"};
+  if (std::abs(t.seconds) >= 1.0 || t.seconds == 0.0) {
+    return format_scaled(t.seconds, suffixes, 2, 1000.0);
+  }
+  static const char* small[] = {"ns", "us", "ms"};
+  double v = t.seconds * 1e9;
+  int idx = 0;
+  while (std::abs(v) >= 1000.0 && idx < 2) {
+    v /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g %s", v, small[idx]);
+  return buf;
+}
+
+}  // namespace basrpt

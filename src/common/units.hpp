@@ -1,0 +1,126 @@
+// Strong unit types used throughout the BASRPT codebase.
+//
+// The paper mixes three natural unit systems:
+//   * the analytical model (Sec. III) works in packets and slots,
+//   * the flow-level simulator (Sec. V) works in bytes and seconds,
+//   * link speeds are quoted in Gbps.
+// Mixing these silently is the classic simulator bug, so each gets a
+// distinct vocabulary type with explicit conversions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace basrpt {
+
+/// A byte count (flow sizes, queue backlogs). Plain integer wrapper with
+/// arithmetic; negative intermediate values are allowed so callers can
+/// compute differences, but most APIs assert non-negativity.
+struct Bytes {
+  std::int64_t count = 0;
+
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t n) : count(n) {}
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes operator+(Bytes o) const { return Bytes{count + o.count}; }
+  constexpr Bytes operator-(Bytes o) const { return Bytes{count - o.count}; }
+  constexpr Bytes& operator+=(Bytes o) {
+    count += o.count;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    count -= o.count;
+    return *this;
+  }
+  constexpr Bytes operator*(std::int64_t k) const { return Bytes{count * k}; }
+  constexpr double operator/(Bytes o) const {
+    return static_cast<double>(count) / static_cast<double>(o.count);
+  }
+};
+
+constexpr Bytes operator""_B(unsigned long long n) {
+  return Bytes{static_cast<std::int64_t>(n)};
+}
+constexpr Bytes operator""_KB(unsigned long long n) {
+  return Bytes{static_cast<std::int64_t>(n) * 1000};
+}
+constexpr Bytes operator""_MB(unsigned long long n) {
+  return Bytes{static_cast<std::int64_t>(n) * 1000 * 1000};
+}
+constexpr Bytes operator""_GB(unsigned long long n) {
+  return Bytes{static_cast<std::int64_t>(n) * 1000 * 1000 * 1000};
+}
+
+/// Link rate in bits per second.
+struct Rate {
+  double bits_per_sec = 0.0;
+
+  constexpr Rate() = default;
+  constexpr explicit Rate(double bps) : bits_per_sec(bps) {}
+
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  constexpr Rate operator+(Rate o) const {
+    return Rate{bits_per_sec + o.bits_per_sec};
+  }
+  constexpr Rate operator-(Rate o) const {
+    return Rate{bits_per_sec - o.bits_per_sec};
+  }
+  constexpr Rate operator*(double k) const { return Rate{bits_per_sec * k}; }
+  constexpr double operator/(Rate o) const {
+    return bits_per_sec / o.bits_per_sec;
+  }
+  constexpr bool is_zero() const { return bits_per_sec == 0.0; }
+};
+
+constexpr Rate gbps(double g) { return Rate{g * 1e9}; }
+constexpr Rate mbps(double m) { return Rate{m * 1e6}; }
+
+/// Simulated time in seconds (continuous-time engine).
+struct SimTime {
+  double seconds = 0.0;
+
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double s) : seconds(s) {}
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const {
+    return SimTime{seconds + o.seconds};
+  }
+  constexpr SimTime operator-(SimTime o) const {
+    return SimTime{seconds - o.seconds};
+  }
+  constexpr SimTime& operator+=(SimTime o) {
+    seconds += o.seconds;
+    return *this;
+  }
+};
+
+constexpr SimTime seconds(double s) { return SimTime{s}; }
+constexpr SimTime milliseconds(double ms) { return SimTime{ms * 1e-3}; }
+constexpr SimTime microseconds(double us) { return SimTime{us * 1e-6}; }
+
+/// Packet count for the slotted input-queued-switch model (Sec. III).
+using Packets = std::int64_t;
+
+/// Slot index for the slotted model.
+using Slot = std::int64_t;
+
+/// Time to serialize `size` at `rate`.
+constexpr SimTime transmission_time(Bytes size, Rate rate) {
+  return SimTime{static_cast<double>(size.count) * 8.0 / rate.bits_per_sec};
+}
+
+/// Bytes transferred in `duration` at `rate`, truncated to whole bytes.
+Bytes bytes_in(Rate rate, SimTime duration);
+
+/// Human-readable rendering used in logs and bench output,
+/// e.g. "1.5 MB", "9.2 Gbps", "12.3 ms".
+std::string to_string(Bytes b);
+std::string to_string(Rate r);
+std::string to_string(SimTime t);
+
+}  // namespace basrpt

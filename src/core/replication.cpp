@@ -1,0 +1,74 @@
+#include "core/replication.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "stats/summary.hpp"
+
+namespace basrpt::core {
+
+namespace {
+
+MetricEstimate estimate(const stats::StreamingMoments& moments) {
+  MetricEstimate out;
+  out.n = static_cast<std::int32_t>(moments.count());
+  out.mean = moments.mean();
+  out.stddev = moments.stddev();
+  if (out.n > 1) {
+    out.half_width95 =
+        1.96 * out.stddev / std::sqrt(static_cast<double>(out.n));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricEstimate::to_string(int precision) const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", precision, mean, precision,
+                half_width95);
+  return buf;
+}
+
+ReplicatedResult run_replicated(const ExperimentConfig& config,
+                                std::int32_t replicas) {
+  BASRPT_REQUIRE(replicas >= 1, "need at least one replica");
+
+  stats::StreamingMoments query_avg;
+  stats::StreamingMoments query_p99;
+  stats::StreamingMoments background_avg;
+  stats::StreamingMoments background_p99;
+  stats::StreamingMoments throughput;
+  stats::StreamingMoments flows_left;
+
+  ReplicatedResult out;
+  out.replicas = replicas;
+  for (std::int32_t r = 0; r < replicas; ++r) {
+    ExperimentConfig replica = config;
+    replica.seed = config.seed + static_cast<std::uint64_t>(r);
+    const auto result = run_experiment(replica);
+    if (r == 0) {
+      out.scheduler_name = result.scheduler_name;
+    }
+    query_avg.add(result.query_avg_ms);
+    query_p99.add(result.query_p99_ms);
+    background_avg.add(result.background_avg_ms);
+    background_p99.add(result.background_p99_ms);
+    throughput.add(result.throughput_gbps);
+    flows_left.add(static_cast<double>(result.flows_left));
+    if (result.total_backlog_trend.growing) {
+      ++out.unstable_votes;
+    }
+  }
+
+  out.query_avg_ms = estimate(query_avg);
+  out.query_p99_ms = estimate(query_p99);
+  out.background_avg_ms = estimate(background_avg);
+  out.background_p99_ms = estimate(background_p99);
+  out.throughput_gbps = estimate(throughput);
+  out.flows_left = estimate(flows_left);
+  return out;
+}
+
+}  // namespace basrpt::core

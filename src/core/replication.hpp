@@ -1,0 +1,50 @@
+// Multi-seed replication with confidence intervals.
+//
+// Single-seed simulation numbers carry sampling noise (one unlucky 50 MB
+// flow moves a p99); the honest version of every table is mean ± error
+// over independent seeds. run_replicated() runs an experiment K times
+// with derived seeds and aggregates each headline metric into a
+// MetricEstimate (mean, sample stddev, and a ~95% normal-approximation
+// half-width). Stability verdicts aggregate by vote.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace basrpt::core {
+
+/// Mean ± error summary of one metric over replicas.
+struct MetricEstimate {
+  double mean = 0.0;
+  double stddev = 0.0;      // sample standard deviation across replicas
+  double half_width95 = 0.0;  // 1.96 * stddev / sqrt(n)
+  std::int32_t n = 0;
+
+  std::string to_string(int precision = 3) const;
+};
+
+struct ReplicatedResult {
+  std::string scheduler_name;
+  MetricEstimate query_avg_ms;
+  MetricEstimate query_p99_ms;
+  MetricEstimate background_avg_ms;
+  MetricEstimate background_p99_ms;
+  MetricEstimate throughput_gbps;
+  MetricEstimate flows_left;
+  std::int32_t replicas = 0;
+  std::int32_t unstable_votes = 0;  // replicas whose total backlog grew
+
+  bool majority_unstable() const {
+    return 2 * unstable_votes > replicas;
+  }
+};
+
+/// Runs `config` once per seed in [config.seed, config.seed + replicas)
+/// and aggregates. Replicas only differ in workload randomness.
+ReplicatedResult run_replicated(const ExperimentConfig& config,
+                                std::int32_t replicas);
+
+}  // namespace basrpt::core

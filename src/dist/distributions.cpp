@@ -1,0 +1,187 @@
+#include "dist/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace basrpt::dist {
+
+// ---------------------------------------------------------------- FixedSize
+
+FixedSize::FixedSize(Bytes size) : size_(size) {
+  BASRPT_REQUIRE(size.count >= 1, "flow size must be at least 1 byte");
+}
+
+Bytes FixedSize::sample(Rng&) const { return size_; }
+double FixedSize::mean_bytes() const {
+  return static_cast<double>(size_.count);
+}
+Bytes FixedSize::max_bytes() const { return size_; }
+std::string FixedSize::name() const {
+  return "fixed(" + to_string(size_) + ")";
+}
+
+// ------------------------------------------------------------ BoundedPareto
+
+BoundedPareto::BoundedPareto(double alpha, Bytes lo, Bytes hi)
+    : alpha_(alpha),
+      lo_(static_cast<double>(lo.count)),
+      hi_(static_cast<double>(hi.count)) {
+  BASRPT_REQUIRE(alpha > 0.0, "Pareto tail exponent must be positive");
+  BASRPT_REQUIRE(lo.count >= 1, "Pareto lower bound must be >= 1 byte");
+  BASRPT_REQUIRE(hi > lo, "Pareto upper bound must exceed lower bound");
+}
+
+Bytes BoundedPareto::sample(Rng& rng) const {
+  // Inverse transform of the bounded-Pareto CDF.
+  const double u = rng.uniform01();
+  const double ratio = std::pow(lo_ / hi_, alpha_);
+  const double x = lo_ / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha_);
+  const double clamped = std::clamp(x, lo_, hi_);
+  return Bytes{static_cast<std::int64_t>(std::llround(clamped))};
+}
+
+double BoundedPareto::mean_bytes() const {
+  const double ratio = std::pow(lo_ / hi_, alpha_);
+  if (alpha_ == 1.0) {
+    return std::log(hi_ / lo_) * lo_ / (1.0 - ratio);
+  }
+  // E[X] = (alpha * lo^alpha / (1 - (lo/hi)^alpha)) *
+  //        (lo^(1-alpha) - hi^(1-alpha)) / (alpha - 1)
+  const double num = std::pow(lo_, alpha_) *
+                     (std::pow(lo_, 1.0 - alpha_) - std::pow(hi_, 1.0 - alpha_));
+  return alpha_ / (alpha_ - 1.0) * num / (1.0 - ratio);
+}
+
+Bytes BoundedPareto::max_bytes() const {
+  return Bytes{static_cast<std::int64_t>(hi_)};
+}
+
+std::string BoundedPareto::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "bounded-pareto(a=%.2f)", alpha_);
+  return buf;
+}
+
+// ------------------------------------------------------------- EmpiricalCdf
+
+EmpiricalCdf::EmpiricalCdf(std::string name, std::vector<Point> knots)
+    : name_(std::move(name)), knots_(std::move(knots)) {
+  BASRPT_REQUIRE(!knots_.empty(), "empirical CDF needs at least one knot");
+  BASRPT_REQUIRE(knots_.front().size.count >= 1,
+                 "empirical CDF sizes must be >= 1 byte");
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    BASRPT_REQUIRE(knots_[i].size > knots_[i - 1].size,
+                   "empirical CDF sizes must be strictly increasing");
+    BASRPT_REQUIRE(knots_[i].cdf > knots_[i - 1].cdf,
+                   "empirical CDF probabilities must be strictly increasing");
+  }
+  BASRPT_REQUIRE(knots_.front().cdf > 0.0 && knots_.front().cdf <= 1.0,
+                 "empirical CDF probabilities must lie in (0, 1]");
+  BASRPT_REQUIRE(std::abs(knots_.back().cdf - 1.0) < 1e-12,
+                 "empirical CDF must end at probability 1");
+
+  // Mean: each segment contributes (mass) * (midpoint of its size range).
+  double mean = knots_.front().cdf *
+                (1.0 + static_cast<double>(knots_.front().size.count)) / 2.0;
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    const double mass = knots_[i].cdf - knots_[i - 1].cdf;
+    const double mid = (static_cast<double>(knots_[i - 1].size.count) +
+                        static_cast<double>(knots_[i].size.count)) /
+                       2.0;
+    mean += mass * mid;
+  }
+  mean_bytes_ = mean;
+}
+
+Bytes EmpiricalCdf::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  // Locate the segment containing u.
+  if (u < knots_.front().cdf) {
+    const double frac = u / knots_.front().cdf;
+    const double lo = 1.0;
+    const double hi = static_cast<double>(knots_.front().size.count);
+    return Bytes{static_cast<std::int64_t>(
+        std::llround(lo + frac * (hi - lo)))};
+  }
+  const auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), u,
+      [](const Point& p, double value) { return p.cdf < value; });
+  const size_t idx = static_cast<size_t>(
+      std::min<std::ptrdiff_t>(it - knots_.begin(),
+                               static_cast<std::ptrdiff_t>(knots_.size()) - 1));
+  if (idx == 0) {
+    return knots_.front().size;
+  }
+  const Point& lo = knots_[idx - 1];
+  const Point& hi = knots_[idx];
+  const double frac = (u - lo.cdf) / (hi.cdf - lo.cdf);
+  const double size = static_cast<double>(lo.size.count) +
+                      frac * static_cast<double>(hi.size.count - lo.size.count);
+  return Bytes{std::max<std::int64_t>(1, std::llround(size))};
+}
+
+double EmpiricalCdf::mean_bytes() const { return mean_bytes_; }
+
+Bytes EmpiricalCdf::max_bytes() const { return knots_.back().size; }
+
+std::string EmpiricalCdf::name() const { return name_; }
+
+double EmpiricalCdf::cdf_at(Bytes size) const {
+  const double x = static_cast<double>(size.count);
+  if (size.count < 1) {
+    return 0.0;
+  }
+  if (size <= knots_.front().size) {
+    const double hi = static_cast<double>(knots_.front().size.count);
+    if (hi <= 1.0) {
+      return knots_.front().cdf;
+    }
+    return knots_.front().cdf * (x - 1.0) / (hi - 1.0);
+  }
+  if (size >= knots_.back().size) {
+    return 1.0;
+  }
+  const auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), size,
+      [](const Point& p, Bytes value) { return p.size < value; });
+  const size_t idx = static_cast<size_t>(it - knots_.begin());
+  const Point& lo = knots_[idx - 1];
+  const Point& hi = knots_[idx];
+  const double frac = (x - static_cast<double>(lo.size.count)) /
+                      static_cast<double>(hi.size.count - lo.size.count);
+  return lo.cdf + frac * (hi.cdf - lo.cdf);
+}
+
+double EmpiricalCdf::byte_fraction(Bytes lo_bound, Bytes hi_bound) const {
+  BASRPT_REQUIRE(lo_bound < hi_bound, "byte_fraction range inverted");
+  // Expected bytes contributed by flows with size in (lo_bound, hi_bound],
+  // divided by the overall mean. Within each uniform segment [a, b] with
+  // probability mass m, the byte contribution of sub-range [x1, x2] is
+  // m * (x2 - x1)/(b - a) * (x1 + x2)/2.
+  const auto segment_contribution = [](double a, double b, double m,
+                                       double x1, double x2) {
+    const double lo = std::max(a, x1);
+    const double hi = std::min(b, x2);
+    if (hi <= lo || b <= a) {
+      return 0.0;
+    }
+    return m * (hi - lo) / (b - a) * (lo + hi) / 2.0;
+  };
+
+  const double x1 = static_cast<double>(lo_bound.count);
+  const double x2 = static_cast<double>(hi_bound.count);
+  double contribution = segment_contribution(
+      1.0, static_cast<double>(knots_.front().size.count),
+      knots_.front().cdf, x1, x2);
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    contribution += segment_contribution(
+        static_cast<double>(knots_[i - 1].size.count),
+        static_cast<double>(knots_[i].size.count),
+        knots_[i].cdf - knots_[i - 1].cdf, x1, x2);
+  }
+  return contribution / mean_bytes_;
+}
+
+}  // namespace basrpt::dist

@@ -1,0 +1,113 @@
+// Random-size distributions for flow generation.
+//
+// A SizeDistribution turns uniform randomness into flow sizes in bytes.
+// Implementations must expose their analytical mean so workload
+// generators can calibrate arrival rates to a target offered load
+// (Sec. V-A: "the arrival rates vary to achieve a desired level of
+// load in fabric").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace basrpt::dist {
+
+/// Interface for flow-size distributions.
+class SizeDistribution {
+ public:
+  virtual ~SizeDistribution() = default;
+
+  /// Draws one flow size. Always >= 1 byte.
+  virtual Bytes sample(Rng& rng) const = 0;
+
+  /// Analytical (or numerically integrated) mean of the distribution.
+  virtual double mean_bytes() const = 0;
+
+  /// Largest value the distribution can produce.
+  virtual Bytes max_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Degenerate distribution: every flow has the same size (the paper's
+/// 20 KB queries/responses).
+class FixedSize final : public SizeDistribution {
+ public:
+  explicit FixedSize(Bytes size);
+
+  Bytes sample(Rng& rng) const override;
+  double mean_bytes() const override;
+  Bytes max_bytes() const override;
+  std::string name() const override;
+
+ private:
+  Bytes size_;
+};
+
+/// Bounded Pareto on [lo, hi] with tail exponent alpha.
+/// F(x) = (1 - (lo/x)^alpha) / (1 - (lo/hi)^alpha).
+class BoundedPareto final : public SizeDistribution {
+ public:
+  BoundedPareto(double alpha, Bytes lo, Bytes hi);
+
+  Bytes sample(Rng& rng) const override;
+  double mean_bytes() const override;
+  Bytes max_bytes() const override;
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double lo_;
+  double hi_;
+};
+
+/// Piecewise-linear empirical CDF defined by (size, cumulative
+/// probability) knots; this is how published datacenter workloads
+/// (web-search, data-mining) are specified. Sizes are interpolated
+/// linearly within each segment.
+class EmpiricalCdf final : public SizeDistribution {
+ public:
+  struct Point {
+    Bytes size;
+    double cdf;  // cumulative probability in (0, 1]
+  };
+
+  /// Knots must be strictly increasing in both size and cdf, with the
+  /// last cdf == 1.0. An implicit initial knot (first.size, 0) is NOT
+  /// added: pass the full curve starting from the smallest size with its
+  /// cumulative mass; values below the first knot are drawn uniformly in
+  /// [1 byte, first.size].
+  explicit EmpiricalCdf(std::string name, std::vector<Point> knots);
+
+  Bytes sample(Rng& rng) const override;
+  double mean_bytes() const override;
+  Bytes max_bytes() const override;
+  std::string name() const override;
+
+  /// CDF value at `size` (linear interpolation); used by tests to verify
+  /// that sampling converges to the specification.
+  double cdf_at(Bytes size) const;
+
+  /// Fraction of *bytes* carried by flows of size in (lo, hi]; used to
+  /// check the paper's "over 95% of all bytes are from the 30% of flows
+  /// with the size of 1-20 MB" calibration claim.
+  double byte_fraction(Bytes lo, Bytes hi) const;
+
+  const std::vector<Point>& knots() const { return knots_; }
+
+ private:
+  std::string name_;
+  std::vector<Point> knots_;
+  double mean_bytes_;
+};
+
+/// Owning handle used in configs.
+using SizeDistributionPtr = std::shared_ptr<const SizeDistribution>;
+
+}  // namespace basrpt::dist

@@ -1,0 +1,59 @@
+#include "dist/flow_sizes.hpp"
+
+namespace basrpt::dist {
+
+SizeDistributionPtr query_size() {
+  return std::make_shared<FixedSize>(20_KB);
+}
+
+SizeDistributionPtr web_search() {
+  // DCTCP web-search CDF (sizes quoted in KB in the original figure).
+  return std::make_shared<EmpiricalCdf>(
+      "web-search",
+      std::vector<EmpiricalCdf::Point>{
+          {6_KB, 0.15},
+          {13_KB, 0.30},
+          {19_KB, 0.45},
+          {33_KB, 0.60},
+          {53_KB, 0.70},
+          {133_KB, 0.80},
+          {667_KB, 0.90},
+          {1333_KB, 0.95},
+          {6667_KB, 0.98},
+          {20000_KB, 1.00},
+      });
+}
+
+SizeDistributionPtr background() {
+  // Calibrated so that flows in 1-20 MB (~30% of flows) carry >95% of the
+  // bytes and the maximum size is 50 MB, matching the statistics the
+  // paper cites from [1, 16].
+  return std::make_shared<EmpiricalCdf>(
+      "background",
+      std::vector<EmpiricalCdf::Point>{
+          {2_KB, 0.12},
+          {10_KB, 0.30},
+          {50_KB, 0.50},
+          {200_KB, 0.62},
+          {1_MB, 0.70},
+          {2_MB, 0.77},
+          {5_MB, 0.88},
+          {10_MB, 0.95},
+          {20_MB, 0.995},
+          {50_MB, 1.00},
+      });
+}
+
+SizeDistributionPtr heavy_tail_stress() {
+  return std::make_shared<EmpiricalCdf>(
+      "heavy-tail-stress",
+      std::vector<EmpiricalCdf::Point>{
+          {1_KB, 0.50},
+          {4_KB, 0.80},
+          {20_KB, 0.90},
+          {1_MB, 0.95},
+          {50_MB, 1.00},
+      });
+}
+
+}  // namespace basrpt::dist

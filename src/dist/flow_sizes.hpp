@@ -1,0 +1,33 @@
+// Canned datacenter flow-size distributions (Sec. V-A).
+//
+// The paper generates workloads "following the statistical results given
+// in recent data center traffic measurements" [DCTCP, Kandula et al.].
+// Those traces are proprietary, so we reproduce the published statistics:
+//   * query/response flows are fixed 20 KB;
+//   * background ("large transfer") sizes are heavy-tailed with the
+//     properties cited in the paper — over 95% of all bytes come from the
+//     ~30% of flows sized 1–20 MB, and all flows are below 50 MB;
+//   * the web-search distribution is the DCTCP-measurement CDF as
+//     popularized by the pFabric simulations.
+#pragma once
+
+#include "dist/distributions.hpp"
+
+namespace basrpt::dist {
+
+/// Fixed 20 KB query/response size used in the paper's simulations.
+SizeDistributionPtr query_size();
+
+/// Web-search workload (DCTCP measurements): mix of small queries and
+/// medium background flows; mean ≈ 1.1 MB.
+SizeDistributionPtr web_search();
+
+/// Background/data-mining-style workload matching the paper's calibration
+/// claims (bytes dominated by 1–20 MB flows, 50 MB cap).
+SizeDistributionPtr background();
+
+/// A short-flow-heavy variant used for stress tests: many tiny flows plus
+/// a thin 1–50 MB tail. Exercises the SRPT starvation mechanism harder.
+SizeDistributionPtr heavy_tail_stress();
+
+}  // namespace basrpt::dist

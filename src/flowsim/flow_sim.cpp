@@ -1,0 +1,262 @@
+#include "flowsim/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/engine.hpp"
+#include "topo/maxmin.hpp"
+
+namespace basrpt::flowsim {
+
+namespace {
+
+/// Slack for floating-point drain rounding when a completion event
+/// fires: the sum of llround errors across the advances of one service
+/// period is a few bytes at most.
+constexpr std::int64_t kCompletionSlackBytes = 64;
+
+class Engine {
+ public:
+  Engine(const FlowSimConfig& config, sched::Scheduler& scheduler,
+         workload::TrafficSource& traffic)
+      : config_(config),
+        scheduler_(scheduler),
+        traffic_(traffic),
+        fabric_(config.fabric),
+        voqs_(static_cast<PortId>(config.fabric.hosts())),
+        result_(config.watched_src, config.watched_dst) {
+    BASRPT_REQUIRE(config.horizon.seconds > 0.0, "horizon must be positive");
+    BASRPT_REQUIRE(config.packet_bytes > 0.0,
+                   "packet size must be positive");
+    BASRPT_REQUIRE(config.watched_src >= 0 &&
+                       config.watched_src < fabric_.hosts() &&
+                       config.watched_dst >= 0 &&
+                       config.watched_dst < fabric_.hosts(),
+                   "watched VOQ out of range");
+  }
+
+  FlowSimResult run() {
+    schedule_next_arrival();
+    sim::schedule_periodic(
+        events_, SimTime{0.0}, config_.sample_every, config_.horizon,
+        [this](SimTime now) {
+          advance(now);
+          result_.backlog.sample(now, voqs_);
+          result_.delivered_trace.add(
+              now, static_cast<double>(result_.delivered.count));
+        });
+    events_.run_until(config_.horizon);
+    advance(config_.horizon);
+
+    result_.horizon = config_.horizon;
+    result_.flows_left = static_cast<std::int64_t>(voqs_.active_flows());
+    result_.bytes_left = voqs_.total_backlog();
+    return std::move(result_);
+  }
+
+ private:
+  struct Serving {
+    FlowId id;
+    double rate_bps;
+  };
+
+  void schedule_next_arrival() {
+    auto arrival = traffic_.next();
+    if (!arrival || arrival->time > config_.horizon) {
+      return;
+    }
+    const workload::FlowArrival a = *arrival;
+    events_.schedule_at(a.time, [this, a]() { on_arrival(a); });
+  }
+
+  void on_arrival(const workload::FlowArrival& a) {
+    advance(events_.now());
+
+    BASRPT_ASSERT(a.size.count > 0, "arriving flow must carry bytes");
+    queueing::Flow flow;
+    flow.id = next_flow_id_++;
+    flow.src = a.src;
+    flow.dst = a.dst;
+    flow.size = a.size;
+    flow.remaining = a.size;
+    flow.arrival = a.time;
+    flow.cls = a.cls;
+    voqs_.add_flow(flow);
+    ++result_.flows_arrived;
+    result_.bytes_arrived += a.size;
+
+    schedule_next_arrival();
+
+    // Arrival-driven updates may be batched (config.min_reschedule_gap);
+    // completion-driven ones never are.
+    const double gap = config_.min_reschedule_gap.seconds;
+    if (gap > 0.0 && !serving_.empty() &&
+        events_.now().seconds - last_reschedule_.seconds < gap) {
+      if (!refresh_pending_) {
+        refresh_pending_ = true;
+        events_.schedule_at(last_reschedule_ + config_.min_reschedule_gap,
+                            [this]() {
+                              refresh_pending_ = false;
+                              advance(events_.now());
+                              reschedule();
+                            });
+      }
+      return;
+    }
+    reschedule();
+  }
+
+  void on_completion(std::uint64_t generation, FlowId target) {
+    if (generation != schedule_generation_) {
+      return;  // stale wakeup from a superseded decision
+    }
+    advance(events_.now());
+
+    if (voqs_.contains(target)) {
+      // advance() drained the analytically exact amount up to rounding;
+      // retire the residual dust explicitly.
+      const Bytes residual = voqs_.flow(target).remaining;
+      BASRPT_ASSERT(residual.count <= kCompletionSlackBytes,
+                    "completion event fired with substantial bytes left");
+      const queueing::Flow copy = voqs_.flow(target);
+      voqs_.drain(target, residual);
+      result_.delivered += residual;
+      record_completion(copy, events_.now());
+    }
+    reschedule();
+  }
+
+  void record_completion(const queueing::Flow& flow, SimTime now) {
+    // Ideal FCT: the flow alone on its path, i.e. serialized at the edge
+    // link rate (the fabric core is non-blocking for a single flow).
+    const SimTime ideal =
+        transmission_time(flow.size, config_.fabric.host_link);
+    result_.fct.record_with_ideal(flow.cls, now - flow.arrival, flow.size,
+                                  ideal);
+    ++result_.flows_completed;
+  }
+
+  /// Applies fluid service between the last update and `now` using the
+  /// rates of the current decision.
+  void advance(SimTime now) {
+    const double dt = now.seconds - last_advance_.seconds;
+    BASRPT_ASSERT(dt >= -1e-12, "advance went backwards");
+    if (dt <= 0.0) {
+      return;
+    }
+    last_advance_ = now;
+    for (const Serving& s : serving_) {
+      if (!voqs_.contains(s.id)) {
+        continue;
+      }
+      const auto drained_bytes = static_cast<std::int64_t>(
+          std::llround(s.rate_bps * dt / 8.0));
+      if (drained_bytes <= 0) {
+        continue;
+      }
+      const queueing::Flow copy = voqs_.flow(s.id);
+      const Bytes amount{std::min(drained_bytes, copy.remaining.count)};
+      const bool completed = voqs_.drain(s.id, amount);
+      result_.delivered += amount;
+      if (completed) {
+        record_completion(copy, now);
+      }
+    }
+  }
+
+  /// Recomputes the serving set and rates; called on every arrival and
+  /// completion, per the paper.
+  void reschedule() {
+    ++schedule_generation_;
+    ++result_.scheduler_invocations;
+    last_reschedule_ = events_.now();
+    serving_.clear();
+
+    std::vector<FlowId> to_serve;
+    if (config_.service_model == ServiceModel::kFairSharing) {
+      // Everyone transmits; the allocator below divides the fabric.
+      to_serve.reserve(voqs_.active_flows());
+      voqs_.for_each_flow(
+          [&to_serve](const queueing::Flow& f) { to_serve.push_back(f.id); });
+    } else {
+      const auto candidates =
+          sched::build_candidates(voqs_, config_.packet_bytes);
+      if (candidates.empty()) {
+        return;
+      }
+      auto decision = scheduler_.decide(
+          static_cast<PortId>(fabric_.hosts()), candidates);
+      if (config_.validate_decisions) {
+        BASRPT_ASSERT(sched::decision_is_matching(decision, voqs_),
+                      "scheduler violated the crossbar constraint");
+      }
+      to_serve = std::move(decision.selected);
+    }
+    if (to_serve.empty()) {
+      return;
+    }
+
+    // Max-min fair rates over the fabric for the serving set.
+    std::vector<topo::FlowDemand> demands;
+    demands.reserve(to_serve.size());
+    for (const FlowId id : to_serve) {
+      const queueing::Flow& f = voqs_.flow(id);
+      demands.push_back(
+          {fabric_.route(f.src, f.dst, static_cast<std::uint64_t>(id)),
+           Rate{0.0}});
+    }
+    const auto rates = topo::max_min_rates(demands, fabric_.capacities());
+
+    SimTime earliest{std::numeric_limits<double>::infinity()};
+    FlowId earliest_flow = queueing::kInvalidFlow;
+    serving_.reserve(to_serve.size());
+    for (std::size_t k = 0; k < to_serve.size(); ++k) {
+      const FlowId id = to_serve[k];
+      const double rate = rates[k].bits_per_sec;
+      BASRPT_ASSERT(rate > 0.0, "selected flow allocated zero rate");
+      serving_.push_back({id, rate});
+      const double finish =
+          static_cast<double>(voqs_.flow(id).remaining.count) * 8.0 / rate;
+      if (SimTime{finish} < earliest) {
+        earliest = SimTime{finish};
+        earliest_flow = id;
+      }
+    }
+
+    const SimTime when = events_.now() + earliest;
+    const std::uint64_t generation = schedule_generation_;
+    const FlowId target = earliest_flow;
+    events_.schedule_at(when,
+                        [this, generation, target]() {
+                          on_completion(generation, target);
+                        });
+  }
+
+  FlowSimConfig config_;
+  sched::Scheduler& scheduler_;
+  workload::TrafficSource& traffic_;
+  topo::Fabric fabric_;
+  queueing::VoqMatrix voqs_;
+  FlowSimResult result_;
+  sim::Engine events_;
+  std::vector<Serving> serving_;
+  SimTime last_advance_{};
+  SimTime last_reschedule_{-1.0};
+  bool refresh_pending_ = false;
+  std::uint64_t schedule_generation_ = 0;
+  FlowId next_flow_id_ = 0;
+};
+
+}  // namespace
+
+FlowSimResult run_flow_sim(const FlowSimConfig& config,
+                           sched::Scheduler& scheduler,
+                           workload::TrafficSource& traffic) {
+  Engine engine(config, scheduler, traffic);
+  return engine.run();
+}
+
+}  // namespace basrpt::flowsim

@@ -1,0 +1,48 @@
+#include "matching/bipartite.hpp"
+
+namespace basrpt::matching {
+
+bool is_valid_matching(const Matching& m, PortId n_right) {
+  std::vector<bool> right_used(static_cast<std::size_t>(n_right), false);
+  for (PortId r : m.match_of_left) {
+    if (r == kUnmatched) {
+      continue;
+    }
+    if (r < 0 || r >= n_right) {
+      return false;
+    }
+    if (right_used[static_cast<std::size_t>(r)]) {
+      return false;
+    }
+    right_used[static_cast<std::size_t>(r)] = true;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Matching& m, const std::vector<Edge>& edges,
+                         PortId n_right) {
+  if (!is_valid_matching(m, n_right)) {
+    return false;
+  }
+  std::vector<bool> right_used(static_cast<std::size_t>(n_right), false);
+  for (PortId r : m.match_of_left) {
+    if (r != kUnmatched) {
+      right_used[static_cast<std::size_t>(r)] = true;
+    }
+  }
+  for (const Edge& e : edges) {
+    const bool left_free =
+        e.left >= 0 &&
+        static_cast<std::size_t>(e.left) < m.match_of_left.size() &&
+        m.match_of_left[static_cast<std::size_t>(e.left)] == kUnmatched;
+    const bool right_free =
+        e.right >= 0 && e.right < n_right &&
+        !right_used[static_cast<std::size_t>(e.right)];
+    if (left_free && right_free) {
+      return false;  // this edge could still be added
+    }
+  }
+  return true;
+}
+
+}  // namespace basrpt::matching

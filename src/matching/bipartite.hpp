@@ -1,0 +1,48 @@
+// Shared vocabulary for the bipartite-matching substrate.
+//
+// A scheduling decision in the big-switch model is a matching between
+// ingress ports (left side) and egress ports (right side); see Sec. III-B
+// of the paper. All matching algorithms in this module speak these types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace basrpt::matching {
+
+/// Port index in [0, N).
+using PortId = std::int32_t;
+
+constexpr PortId kUnmatched = -1;
+
+/// A (possibly partial) matching: match_of_left[i] is the egress matched
+/// to ingress i, or kUnmatched.
+struct Matching {
+  std::vector<PortId> match_of_left;
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (PortId p : match_of_left) {
+      if (p != kUnmatched) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+/// An edge of the candidate graph (a non-empty VOQ, or one candidate flow).
+struct Edge {
+  PortId left;
+  PortId right;
+};
+
+/// Returns true if no left or right vertex appears twice.
+bool is_valid_matching(const Matching& m, PortId n_right);
+
+/// Returns true if `m` is maximal over `edges`: no edge has both
+/// endpoints free.
+bool is_maximal_matching(const Matching& m, const std::vector<Edge>& edges,
+                         PortId n_right);
+
+}  // namespace basrpt::matching

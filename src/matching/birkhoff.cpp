@@ -1,0 +1,166 @@
+#include "matching/birkhoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace basrpt::matching {
+
+namespace {
+
+void check_square(const RateMatrix& m) {
+  BASRPT_REQUIRE(!m.empty(), "rate matrix must be non-empty");
+  for (const auto& row : m) {
+    BASRPT_REQUIRE(row.size() == m.size(), "rate matrix must be square");
+    for (double v : row) {
+      BASRPT_REQUIRE(v >= 0.0, "rate matrix entries must be non-negative");
+    }
+  }
+}
+
+std::vector<double> row_sums(const RateMatrix& m) {
+  std::vector<double> sums(m.size(), 0.0);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (double v : m[i]) {
+      sums[i] += v;
+    }
+  }
+  return sums;
+}
+
+std::vector<double> col_sums(const RateMatrix& m) {
+  std::vector<double> sums(m.size(), 0.0);
+  for (const auto& row : m) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      sums[j] += row[j];
+    }
+  }
+  return sums;
+}
+
+}  // namespace
+
+double max_line_sum(const RateMatrix& rates) {
+  check_square(rates);
+  double result = 0.0;
+  for (double s : row_sums(rates)) {
+    result = std::max(result, s);
+  }
+  for (double s : col_sums(rates)) {
+    result = std::max(result, s);
+  }
+  return result;
+}
+
+RateMatrix complete_to_doubly_stochastic(RateMatrix rates, double tolerance) {
+  check_square(rates);
+  const std::size_t n = rates.size();
+  auto rows = row_sums(rates);
+  auto cols = col_sums(rates);
+  for (double s : rows) {
+    BASRPT_REQUIRE(s <= 1.0 + tolerance, "row sum exceeds 1: inadmissible");
+  }
+  for (double s : cols) {
+    BASRPT_REQUIRE(s <= 1.0 + tolerance, "column sum exceeds 1: inadmissible");
+  }
+
+  // Greedy water-filling: total row deficiency equals total column
+  // deficiency, so pairing any deficient row with any deficient column
+  // and raising that entry terminates in at most 2N steps per pass.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < n && j < n) {
+    const double row_deficit = 1.0 - rows[i];
+    const double col_deficit = 1.0 - cols[j];
+    if (row_deficit <= tolerance) {
+      ++i;
+      continue;
+    }
+    if (col_deficit <= tolerance) {
+      ++j;
+      continue;
+    }
+    const double add = std::min(row_deficit, col_deficit);
+    rates[i][j] += add;
+    rows[i] += add;
+    cols[j] += add;
+  }
+
+  rows = row_sums(rates);
+  cols = col_sums(rates);
+  for (std::size_t k = 0; k < n; ++k) {
+    BASRPT_ASSERT(std::abs(rows[k] - 1.0) <= n * tolerance + 1e-7,
+                  "row completion failed");
+    BASRPT_ASSERT(std::abs(cols[k] - 1.0) <= n * tolerance + 1e-7,
+                  "column completion failed");
+  }
+  return rates;
+}
+
+std::vector<BvnTerm> birkhoff_decompose(RateMatrix m, double tolerance) {
+  check_square(m);
+  const PortId n = static_cast<PortId>(m.size());
+
+  std::vector<BvnTerm> terms;
+  double remaining = 1.0;
+  // Birkhoff's theorem guarantees at most (N-1)^2 + 1 terms; the extra
+  // slack below absorbs floating-point dust.
+  const std::size_t max_terms = m.size() * m.size() + 2;
+
+  while (remaining > tolerance * static_cast<double>(n)) {
+    // Support graph of entries that still carry mass.
+    BipartiteGraph support(n, n);
+    for (PortId i = 0; i < n; ++i) {
+      for (PortId j = 0; j < n; ++j) {
+        if (m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] >
+            tolerance) {
+          support.add_edge(i, j);
+        }
+      }
+    }
+    Matching perm = hopcroft_karp(support);
+    if (perm.size() != static_cast<std::size_t>(n)) {
+      // Residual mass is numerical dust that no longer supports a perfect
+      // matching; stop.
+      break;
+    }
+    double weight = remaining;
+    for (PortId i = 0; i < n; ++i) {
+      const PortId j = perm.match_of_left[static_cast<std::size_t>(i)];
+      weight = std::min(
+          weight,
+          m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+    BASRPT_ASSERT(weight > 0.0, "BvN extracted a zero-weight permutation");
+    for (PortId i = 0; i < n; ++i) {
+      const PortId j = perm.match_of_left[static_cast<std::size_t>(i)];
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] -= weight;
+    }
+    remaining -= weight;
+    terms.push_back(BvnTerm{std::move(perm), weight});
+    BASRPT_ASSERT(terms.size() <= max_terms, "BvN did not terminate");
+  }
+  return terms;
+}
+
+RateMatrix reconstruct(const std::vector<BvnTerm>& terms, PortId n) {
+  RateMatrix sum(static_cast<std::size_t>(n),
+                 std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (const BvnTerm& t : terms) {
+    BASRPT_ASSERT(t.permutation.match_of_left.size() ==
+                      static_cast<std::size_t>(n),
+                  "term dimension mismatch");
+    for (PortId i = 0; i < n; ++i) {
+      const PortId j = t.permutation.match_of_left[static_cast<std::size_t>(i)];
+      if (j != kUnmatched) {
+        sum[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+            t.weight;
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace basrpt::matching

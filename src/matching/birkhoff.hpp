@@ -1,0 +1,45 @@
+// Doubly-stochastic completion and Birkhoff–von-Neumann decomposition.
+//
+// Sec. IV-A of the paper: any admissible rate matrix Λ (all line sums
+// <= 1) can be raised to a doubly stochastic matrix M, and by Birkhoff's
+// theorem M = Σ u(σ) · M(σ) is a convex combination of permutation
+// matrices. A scheduler that draws permutation σ with probability u(σ)
+// serves every VOQ at rate >= λ_ij; the paper uses this construction to
+// define the delay-optimal reference α* in the proof of Theorem 1. We
+// implement it both to validate that argument in tests and to provide the
+// randomized BvN reference scheduler.
+#pragma once
+
+#include <vector>
+
+#include "matching/bipartite.hpp"
+
+namespace basrpt::matching {
+
+/// Square non-negative matrix, rates[i][j] in "packets per slot".
+using RateMatrix = std::vector<std::vector<double>>;
+
+/// Maximum line (row or column) sum of a square matrix.
+double max_line_sum(const RateMatrix& rates);
+
+/// Raises entries of `rates` (never lowers) until every row and column
+/// sums to exactly 1. Requires all line sums <= 1 + tolerance.
+/// Throws ConfigError otherwise.
+RateMatrix complete_to_doubly_stochastic(RateMatrix rates,
+                                         double tolerance = 1e-9);
+
+/// One term of a Birkhoff decomposition.
+struct BvnTerm {
+  Matching permutation;  // perfect matching over N ports
+  double weight;         // convex coefficient u(sigma)
+};
+
+/// Decomposes a doubly stochastic matrix into at most N^2 - 2N + 2
+/// permutation terms (Birkhoff). Weights sum to ~1 within `tolerance`.
+std::vector<BvnTerm> birkhoff_decompose(RateMatrix doubly_stochastic,
+                                        double tolerance = 1e-9);
+
+/// Reconstructs Σ weight · M(σ) from decomposition terms (test helper).
+RateMatrix reconstruct(const std::vector<BvnTerm>& terms, PortId n);
+
+}  // namespace basrpt::matching

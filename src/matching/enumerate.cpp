@@ -1,0 +1,82 @@
+#include "matching/enumerate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace basrpt::matching {
+
+namespace {
+
+struct Enumerator {
+  PortId n_left;
+  PortId n_right;
+  std::vector<std::vector<PortId>> neighbors;  // per left vertex, sorted
+  std::vector<Edge> edges;
+  const std::function<void(const Matching&)>& visit;
+
+  Matching current;
+  std::vector<bool> right_used;
+
+  void recurse(PortId l) {
+    if (l == n_left) {
+      if (is_maximal_matching(current, edges, n_right)) {
+        visit(current);
+      }
+      return;
+    }
+    // Option 1: leave l unmatched.
+    recurse(l + 1);
+    // Option 2: match l to each free neighbor.
+    for (PortId r : neighbors[static_cast<std::size_t>(l)]) {
+      if (!right_used[static_cast<std::size_t>(r)]) {
+        right_used[static_cast<std::size_t>(r)] = true;
+        current.match_of_left[static_cast<std::size_t>(l)] = r;
+        recurse(l + 1);
+        current.match_of_left[static_cast<std::size_t>(l)] = kUnmatched;
+        right_used[static_cast<std::size_t>(r)] = false;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void for_each_maximal_matching(
+    const std::vector<Edge>& edges, PortId n_left, PortId n_right,
+    const std::function<void(const Matching&)>& visit, PortId max_ports) {
+  BASRPT_REQUIRE(n_left <= max_ports && n_right <= max_ports,
+                 "maximal-matching enumeration is exponential; refusing "
+                 "fabric larger than max_ports");
+
+  Enumerator e{n_left, n_right, {}, {}, visit, {}, {}};
+  e.neighbors.assign(static_cast<std::size_t>(n_left), {});
+  std::set<std::pair<PortId, PortId>> seen;
+  for (const Edge& edge : edges) {
+    BASRPT_ASSERT(edge.left >= 0 && edge.left < n_left,
+                  "edge left endpoint out of range");
+    BASRPT_ASSERT(edge.right >= 0 && edge.right < n_right,
+                  "edge right endpoint out of range");
+    if (seen.insert({edge.left, edge.right}).second) {
+      e.neighbors[static_cast<std::size_t>(edge.left)].push_back(edge.right);
+      e.edges.push_back(edge);
+    }
+  }
+  for (auto& adj : e.neighbors) {
+    std::sort(adj.begin(), adj.end());
+  }
+  e.current.match_of_left.assign(static_cast<std::size_t>(n_left), kUnmatched);
+  e.right_used.assign(static_cast<std::size_t>(n_right), false);
+  e.recurse(0);
+}
+
+std::size_t count_maximal_matchings(const std::vector<Edge>& edges,
+                                    PortId n_left, PortId n_right) {
+  std::size_t count = 0;
+  for_each_maximal_matching(edges, n_left, n_right,
+                            [&count](const Matching&) { ++count; });
+  return count;
+}
+
+}  // namespace basrpt::matching

@@ -1,0 +1,31 @@
+// Exhaustive enumeration of maximal matchings over a candidate edge set.
+//
+// Exact BASRPT (Sec. IV-A) "iterates through all possible scheduling
+// schemes" — all maximal matchings over the non-empty VOQs — and picks
+// the one minimizing V·ȳ(t) − Σ X_ij R_ij. That traversal is exponential
+// (up to N! schemes), which is precisely the paper's argument for fast
+// BASRPT; we implement it anyway for small fabrics so tests can compare
+// the heuristic against the exact optimizer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "matching/bipartite.hpp"
+
+namespace basrpt::matching {
+
+/// Invokes `visit` once for every maximal matching of `edges` (maximal
+/// w.r.t. the edge set: no edge can be added). Duplicate edges are
+/// ignored. Complexity is exponential; guarded by `max_ports`.
+void for_each_maximal_matching(const std::vector<Edge>& edges, PortId n_left,
+                               PortId n_right,
+                               const std::function<void(const Matching&)>& visit,
+                               PortId max_ports = 12);
+
+/// Counts maximal matchings (test helper).
+std::size_t count_maximal_matchings(const std::vector<Edge>& edges,
+                                    PortId n_left, PortId n_right);
+
+}  // namespace basrpt::matching

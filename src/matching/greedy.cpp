@@ -1,0 +1,39 @@
+#include "matching/greedy.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace basrpt::matching {
+
+GreedyResult greedy_maximal(std::vector<ScoredCandidate> candidates,
+                            PortId n_left, PortId n_right) {
+  BASRPT_ASSERT(n_left > 0 && n_right > 0, "port counts must be positive");
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                     if (a.score != b.score) {
+                       return a.score < b.score;
+                     }
+                     return a.payload < b.payload;
+                   });
+
+  GreedyResult result;
+  result.matching.match_of_left.assign(static_cast<std::size_t>(n_left),
+                                       kUnmatched);
+  std::vector<bool> right_used(static_cast<std::size_t>(n_right), false);
+
+  for (const ScoredCandidate& c : candidates) {
+    BASRPT_ASSERT(c.left >= 0 && c.left < n_left, "ingress out of range");
+    BASRPT_ASSERT(c.right >= 0 && c.right < n_right, "egress out of range");
+    auto& slot = result.matching.match_of_left[static_cast<std::size_t>(c.left)];
+    if (slot == kUnmatched && !right_used[static_cast<std::size_t>(c.right)]) {
+      slot = c.right;
+      right_used[static_cast<std::size_t>(c.right)] = true;
+      result.selected_payloads.push_back(c.payload);
+    }
+  }
+  return result;
+}
+
+}  // namespace basrpt::matching

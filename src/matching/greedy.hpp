@@ -1,0 +1,36 @@
+// Greedy maximal matching over scored candidates.
+//
+// This is the primitive behind SRPT and fast BASRPT (Algorithm 1 of the
+// paper): iterate candidates in non-decreasing score order and accept a
+// candidate iff its ingress and egress ports are both still free. The
+// result is a maximal matching over the candidate support.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/bipartite.hpp"
+
+namespace basrpt::matching {
+
+/// One candidate for selection: typically one active flow.
+struct ScoredCandidate {
+  PortId left;
+  PortId right;
+  double score;       // lower is better (e.g. remaining size for SRPT)
+  std::int64_t payload = 0;  // caller's identifier (flow id)
+};
+
+/// Result of a greedy pass: the matching plus which candidates won.
+struct GreedyResult {
+  Matching matching;
+  std::vector<std::int64_t> selected_payloads;
+};
+
+/// Sorts candidates by (score, payload) — the payload tiebreak makes the
+/// algorithm deterministic — and greedily accepts. O(K log K) for K
+/// candidates. `n_left`/`n_right` are port counts.
+GreedyResult greedy_maximal(std::vector<ScoredCandidate> candidates,
+                            PortId n_left, PortId n_right);
+
+}  // namespace basrpt::matching

@@ -1,0 +1,94 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace basrpt::matching {
+
+namespace {
+
+constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max();
+
+struct HkState {
+  const BipartiteGraph& graph;
+  std::vector<PortId> match_left;   // left -> right or kUnmatched
+  std::vector<PortId> match_right;  // right -> left or kUnmatched
+  std::vector<std::int32_t> dist;   // BFS layers over left vertices
+
+  explicit HkState(const BipartiteGraph& g)
+      : graph(g),
+        match_left(static_cast<std::size_t>(g.n_left), kUnmatched),
+        match_right(static_cast<std::size_t>(g.n_right), kUnmatched),
+        dist(static_cast<std::size_t>(g.n_left), kInf) {}
+
+  bool bfs() {
+    std::queue<PortId> frontier;
+    for (PortId l = 0; l < graph.n_left; ++l) {
+      if (match_left[static_cast<std::size_t>(l)] == kUnmatched) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        frontier.push(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInf;
+      }
+    }
+    bool found_augmenting = false;
+    while (!frontier.empty()) {
+      const PortId l = frontier.front();
+      frontier.pop();
+      for (PortId r : graph.adj[static_cast<std::size_t>(l)]) {
+        const PortId next = match_right[static_cast<std::size_t>(r)];
+        if (next == kUnmatched) {
+          found_augmenting = true;
+        } else if (dist[static_cast<std::size_t>(next)] == kInf) {
+          dist[static_cast<std::size_t>(next)] =
+              dist[static_cast<std::size_t>(l)] + 1;
+          frontier.push(next);
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  bool dfs(PortId l) {
+    for (PortId r : graph.adj[static_cast<std::size_t>(l)]) {
+      const PortId next = match_right[static_cast<std::size_t>(r)];
+      if (next == kUnmatched ||
+          (dist[static_cast<std::size_t>(next)] ==
+               dist[static_cast<std::size_t>(l)] + 1 &&
+           dfs(next))) {
+        match_left[static_cast<std::size_t>(l)] = r;
+        match_right[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const BipartiteGraph& graph) {
+  for (PortId l = 0; l < graph.n_left; ++l) {
+    for (PortId r : graph.adj[static_cast<std::size_t>(l)]) {
+      BASRPT_ASSERT(r >= 0 && r < graph.n_right, "edge endpoint out of range");
+    }
+  }
+  HkState state(graph);
+  while (state.bfs()) {
+    for (PortId l = 0; l < graph.n_left; ++l) {
+      if (state.match_left[static_cast<std::size_t>(l)] == kUnmatched) {
+        (void)state.dfs(l);
+      }
+    }
+  }
+  return Matching{std::move(state.match_left)};
+}
+
+std::size_t maximum_matching_size(const BipartiteGraph& graph) {
+  return hopcroft_karp(graph).size();
+}
+
+}  // namespace basrpt::matching

@@ -1,0 +1,37 @@
+// Hopcroft–Karp maximum-cardinality bipartite matching, O(E * sqrt(V)).
+//
+// Used by the Birkhoff–von-Neumann decomposition (each extracted
+// permutation must be a perfect matching on the positive support) and by
+// tests as a ground-truth cardinality oracle for the greedy matchers.
+#pragma once
+
+#include <vector>
+
+#include "matching/bipartite.hpp"
+
+namespace basrpt::matching {
+
+/// Adjacency-list bipartite graph: adj[l] lists right vertices reachable
+/// from left vertex l.
+struct BipartiteGraph {
+  PortId n_left = 0;
+  PortId n_right = 0;
+  std::vector<std::vector<PortId>> adj;
+
+  BipartiteGraph(PortId left, PortId right)
+      : n_left(left),
+        n_right(right),
+        adj(static_cast<std::size_t>(left)) {}
+
+  void add_edge(PortId l, PortId r) {
+    adj[static_cast<std::size_t>(l)].push_back(r);
+  }
+};
+
+/// Computes a maximum-cardinality matching.
+Matching hopcroft_karp(const BipartiteGraph& graph);
+
+/// Convenience: maximum matching cardinality.
+std::size_t maximum_matching_size(const BipartiteGraph& graph);
+
+}  // namespace basrpt::matching

@@ -1,0 +1,89 @@
+#include "matching/hungarian.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace basrpt::matching {
+
+Matching max_weight_perfect(const std::vector<std::vector<double>>& weights) {
+  const std::size_t n = weights.size();
+  BASRPT_ASSERT(n > 0, "empty weight matrix");
+  for (const auto& row : weights) {
+    BASRPT_ASSERT(row.size() == n, "weight matrix must be square");
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Classic potentials formulation solves the *minimization* assignment
+  // problem with 1-based sentinel row/column 0; negate for maximization.
+  const auto cost = [&](std::size_t i, std::size_t j) {
+    return -weights[i - 1][j - 1];
+  };
+
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) {
+          continue;
+        }
+        const double cur = cost(i0, j) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      BASRPT_ASSERT(delta < kInf, "assignment search stalled");
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Unwind augmenting path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Matching result;
+  result.match_of_left.assign(n, kUnmatched);
+  for (std::size_t j = 1; j <= n; ++j) {
+    result.match_of_left[p[j] - 1] = static_cast<PortId>(j - 1);
+  }
+  return result;
+}
+
+double matching_weight(const Matching& m,
+                       const std::vector<std::vector<double>>& weights) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < m.match_of_left.size(); ++i) {
+    const PortId j = m.match_of_left[i];
+    if (j != kUnmatched) {
+      total += weights[i][static_cast<std::size_t>(j)];
+    }
+  }
+  return total;
+}
+
+}  // namespace basrpt::matching

@@ -1,0 +1,25 @@
+// Hungarian algorithm (Jonker–Volgenant potentials variant), O(N^3).
+//
+// Computes a maximum-weight perfect matching on a complete N x N
+// bipartite graph. This is the engine of the MaxWeight reference
+// scheduler: weights are the VOQ backlogs X_ij, and MaxWeight matchings
+// are the classical throughput-optimal baseline the paper's stability
+// discussion is implicitly measured against.
+#pragma once
+
+#include <vector>
+
+#include "matching/bipartite.hpp"
+
+namespace basrpt::matching {
+
+/// Square weight matrix: weights[i][j] is the gain of matching ingress i
+/// to egress j. Entries may be zero (a "no traffic" pairing) or negative.
+/// Returns a perfect matching maximizing the total weight.
+Matching max_weight_perfect(const std::vector<std::vector<double>>& weights);
+
+/// Total weight of `m` under `weights`; unmatched rows contribute 0.
+double matching_weight(const Matching& m,
+                       const std::vector<std::vector<double>>& weights);
+
+}  // namespace basrpt::matching

@@ -1,0 +1,263 @@
+#include "pktsim/packet_sim.hpp"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace basrpt::pktsim {
+
+namespace {
+
+using FlowId = std::int64_t;
+
+struct FlowState {
+  FlowId id;
+  PortId src;
+  PortId dst;
+  Bytes size;
+  Bytes to_send;     // bytes not yet transmitted by the sender NIC
+  Bytes to_deliver;  // bytes not yet drained at the egress
+  SimTime arrival;
+  stats::FlowClass cls;
+};
+
+/// One packet in flight or parked at an egress queue. The priority key
+/// is stamped at send time — the pFabric "priority in the header" model.
+struct Packet {
+  double key;
+  FlowId flow;
+  std::int64_t seq;
+  Bytes bytes;
+
+  bool operator<(const Packet& other) const {
+    if (key != other.key) {
+      return key < other.key;
+    }
+    if (flow != other.flow) {
+      return flow < other.flow;
+    }
+    return seq < other.seq;
+  }
+};
+
+class Engine {
+ public:
+  Engine(const PacketSimConfig& config, workload::TrafficSource& traffic)
+      : config_(config), traffic_(traffic) {
+    BASRPT_REQUIRE(config.hosts >= 2, "need at least two hosts");
+    BASRPT_REQUIRE(config.packet.count >= 1, "packet must be positive");
+    BASRPT_REQUIRE(config.horizon.seconds > 0.0, "horizon must be positive");
+    BASRPT_REQUIRE(config.host_link.bits_per_sec > 0.0,
+                   "link rate must be positive");
+    const auto n = static_cast<std::size_t>(config.hosts);
+    sender_flows_.resize(n);
+    sender_busy_.assign(n, false);
+    sender_voq_bytes_.resize(n);
+    for (auto& per_dst : sender_voq_bytes_) {
+      per_dst.assign(n, 0);
+    }
+    egress_queue_.resize(n);
+    egress_busy_.assign(n, false);
+  }
+
+  PacketSimResult run() {
+    schedule_next_arrival();
+    sim::schedule_periodic(events_, SimTime{0.0}, config_.sample_every,
+                           config_.horizon, [this](SimTime now) {
+                             result_.egress_backlog.add(
+                                 now, static_cast<double>(parked_bytes_));
+                           });
+    events_.run_until(config_.horizon);
+    result_.horizon = config_.horizon;
+    return std::move(result_);
+  }
+
+ private:
+  // ------------------------------------------------------------- arrivals
+
+  void schedule_next_arrival() {
+    auto arrival = traffic_.next();
+    if (!arrival || arrival->time > config_.horizon) {
+      return;
+    }
+    const workload::FlowArrival a = *arrival;
+    BASRPT_ASSERT(a.src >= 0 && a.src < config_.hosts &&
+                      a.dst >= 0 && a.dst < config_.hosts,
+                  "arrival host out of range");
+    events_.schedule_at(a.time, [this, a]() { on_arrival(a); });
+  }
+
+  void on_arrival(const workload::FlowArrival& a) {
+    FlowState flow;
+    flow.id = next_flow_id_++;
+    flow.src = a.src;
+    flow.dst = a.dst;
+    flow.size = a.size;
+    flow.to_send = a.size;
+    flow.to_deliver = a.size;
+    flow.arrival = a.time;
+    flow.cls = a.cls;
+    flows_.emplace(flow.id, flow);
+    sender_flows_[static_cast<std::size_t>(a.src)].push_back(flow.id);
+    voq_bytes(a.src, a.dst) += a.size.count;
+    ++result_.flows_arrived;
+    result_.bytes_arrived += a.size;
+
+    schedule_next_arrival();
+    maybe_start_sender(a.src);
+  }
+
+  // -------------------------------------------------------------- senders
+
+  std::int64_t& voq_bytes(PortId src, PortId dst) {
+    return sender_voq_bytes_[static_cast<std::size_t>(src)]
+                            [static_cast<std::size_t>(dst)];
+  }
+
+  double sender_key(const FlowState& flow) const {
+    const double pkt = static_cast<double>(config_.packet.count);
+    switch (config_.policy) {
+      case PacketPolicy::kSrpt:
+        return static_cast<double>(flow.to_send.count) / pkt;
+      case PacketPolicy::kFastBasrpt: {
+        const double weight = config_.v / static_cast<double>(config_.hosts);
+        const double backlog =
+            static_cast<double>(
+                sender_voq_bytes_[static_cast<std::size_t>(flow.src)]
+                                 [static_cast<std::size_t>(flow.dst)]) /
+            pkt;
+        return weight * static_cast<double>(flow.to_send.count) / pkt -
+               backlog;
+      }
+      case PacketPolicy::kFifo:
+        return flow.arrival.seconds;
+    }
+    return 0.0;
+  }
+
+  void maybe_start_sender(PortId host) {
+    if (!sender_busy_[static_cast<std::size_t>(host)]) {
+      sender_busy_[static_cast<std::size_t>(host)] = true;
+      transmit_next(host);
+    }
+  }
+
+  /// Picks the locally best flow and puts one packet on the wire.
+  void transmit_next(PortId host) {
+    auto& active = sender_flows_[static_cast<std::size_t>(host)];
+    // Drop flows that finished sending (lazy cleanup). A fully-delivered
+    // flow may already be gone from flows_ entirely.
+    std::size_t kept = 0;
+    for (const FlowId id : active) {
+      const auto it = flows_.find(id);
+      if (it != flows_.end() && it->second.to_send.count > 0) {
+        active[kept++] = id;
+      }
+    }
+    active.resize(kept);
+    if (active.empty()) {
+      sender_busy_[static_cast<std::size_t>(host)] = false;
+      return;
+    }
+
+    FlowId best = active.front();
+    double best_key = sender_key(flows_.at(best));
+    for (std::size_t i = 1; i < active.size(); ++i) {
+      const double key = sender_key(flows_.at(active[i]));
+      if (key < best_key || (key == best_key && active[i] < best)) {
+        best = active[i];
+        best_key = key;
+      }
+    }
+
+    FlowState& flow = flows_.at(best);
+    const Bytes chunk{std::min(config_.packet.count, flow.to_send.count)};
+    flow.to_send -= chunk;
+    voq_bytes(flow.src, flow.dst) -= chunk.count;
+    ++result_.packets_sent;
+
+    Packet packet;
+    packet.key = best_key;
+    packet.flow = best;
+    packet.seq = result_.packets_sent;
+    packet.bytes = chunk;
+
+    const SimTime tx = transmission_time(chunk, config_.host_link);
+    const SimTime arrival = events_.now() + tx + config_.fabric_delay;
+    const PortId dst = flow.dst;
+    events_.schedule_at(arrival, [this, packet, dst]() {
+      on_packet_at_egress(dst, packet);
+    });
+    events_.schedule_at(events_.now() + tx,
+                        [this, host]() { transmit_next(host); });
+  }
+
+  // -------------------------------------------------------------- egress
+
+  void on_packet_at_egress(PortId dst, const Packet& packet) {
+    egress_queue_[static_cast<std::size_t>(dst)].insert(packet);
+    parked_bytes_ += packet.bytes.count;
+    if (!egress_busy_[static_cast<std::size_t>(dst)]) {
+      egress_busy_[static_cast<std::size_t>(dst)] = true;
+      drain_next(dst);
+    }
+  }
+
+  void drain_next(PortId dst) {
+    auto& queue = egress_queue_[static_cast<std::size_t>(dst)];
+    if (queue.empty()) {
+      egress_busy_[static_cast<std::size_t>(dst)] = false;
+      return;
+    }
+    const Packet packet = *queue.begin();
+    queue.erase(queue.begin());
+    parked_bytes_ -= packet.bytes.count;
+
+    const SimTime tx = transmission_time(packet.bytes, config_.host_link);
+    events_.schedule_at(events_.now() + tx, [this, packet, dst]() {
+      deliver(packet);
+      drain_next(dst);
+    });
+  }
+
+  void deliver(const Packet& packet) {
+    result_.delivered += packet.bytes;
+    FlowState& flow = flows_.at(packet.flow);
+    flow.to_deliver -= packet.bytes;
+    BASRPT_ASSERT(flow.to_deliver.count >= 0, "over-delivered flow");
+    if (flow.to_deliver.count == 0) {
+      const SimTime ideal =
+          transmission_time(flow.size, config_.host_link);
+      result_.fct.record_with_ideal(flow.cls, events_.now() - flow.arrival,
+                                    flow.size, ideal);
+      ++result_.flows_completed;
+      flows_.erase(packet.flow);
+    }
+  }
+
+  PacketSimConfig config_;
+  workload::TrafficSource& traffic_;
+  sim::Engine events_;
+  PacketSimResult result_;
+
+  std::unordered_map<FlowId, FlowState> flows_;
+  std::vector<std::vector<FlowId>> sender_flows_;   // per src host
+  std::vector<bool> sender_busy_;
+  std::vector<std::vector<std::int64_t>> sender_voq_bytes_;  // src x dst
+  std::vector<std::multiset<Packet>> egress_queue_;  // per dst host
+  std::vector<bool> egress_busy_;
+  std::int64_t parked_bytes_ = 0;
+  FlowId next_flow_id_ = 0;
+};
+
+}  // namespace
+
+PacketSimResult run_packet_sim(const PacketSimConfig& config,
+                               workload::TrafficSource& traffic) {
+  Engine engine(config, traffic);
+  return engine.run();
+}
+
+}  // namespace basrpt::pktsim

@@ -1,0 +1,82 @@
+// Packet-granularity simulator: a decentralized, pFabric-style
+// realization of the scheduling priorities.
+//
+// The paper's evaluation (and our flowsim) uses a *centralized*
+// scheduler that recomputes a crossbar matching on every event — the
+// idealization pFabric/PDQ approximate with per-packet priorities. This
+// simulator runs the other end of that spectrum:
+//
+//   * every sender NIC transmits back-to-back packets at line rate,
+//     always from its locally highest-priority flow (no coordination
+//     between hosts);
+//   * the fabric core is non-blocking (the big-switch assumption) and
+//     adds a fixed traversal delay;
+//   * each receiver drains at line rate from a priority queue of the
+//     packets parked at its egress port — when several senders converge
+//     on one receiver, the excess queues there, exactly where pFabric's
+//     priority queues sit.
+//
+// Priorities are the same keys the centralized schedulers use: remaining
+// flow size (SRPT / pFabric) or the fast-BASRPT key
+// (V/N)·remaining − sender-local VOQ backlog. Comparing this simulator
+// against flowsim (bench_packet_vs_flow) measures how much of the
+// centralized matching's benefit a fully distributed, per-packet
+// realization retains — and validates that the flow-level fluid model
+// is not hiding packet-scale artifacts.
+//
+// Buffers are unbounded (no drops, no retransmissions): with per-port
+// offered load below capacity the queues are stable, and priority
+// dequeueing — not loss recovery — is what differentiates policies.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "stats/fct.hpp"
+#include "stats/timeseries.hpp"
+#include "workload/traffic.hpp"
+
+namespace basrpt::pktsim {
+
+using PortId = workload::PortId;
+
+/// Local priority policy used independently by every sender and every
+/// egress queue.
+enum class PacketPolicy {
+  kSrpt,        // key = remaining size (pFabric)
+  kFastBasrpt,  // key = (V/N)*remaining - sender VOQ backlog
+  kFifo,        // key = arrival time
+};
+
+struct PacketSimConfig {
+  std::int32_t hosts = 8;
+  Rate host_link = gbps(10.0);
+  Bytes packet = Bytes{1500};
+  SimTime fabric_delay = microseconds(2.0);  // core traversal, fixed
+  PacketPolicy policy = PacketPolicy::kSrpt;
+  double v = 400.0;  // fast-BASRPT weight (packets)
+  SimTime horizon = seconds(0.1);
+  SimTime sample_every = milliseconds(1.0);
+};
+
+struct PacketSimResult {
+  stats::FctAggregator fct;
+  stats::TimeSeries egress_backlog;  // total bytes parked at egresses
+  Bytes delivered{};
+  Bytes bytes_arrived{};
+  std::int64_t flows_arrived = 0;
+  std::int64_t flows_completed = 0;
+  std::int64_t packets_sent = 0;
+  SimTime horizon{};
+
+  Rate throughput() const {
+    return Rate{static_cast<double>(delivered.count) * 8.0 /
+                horizon.seconds};
+  }
+};
+
+/// Runs the packet simulation; `traffic` uses host ids < config.hosts.
+PacketSimResult run_packet_sim(const PacketSimConfig& config,
+                               workload::TrafficSource& traffic);
+
+}  // namespace basrpt::pktsim

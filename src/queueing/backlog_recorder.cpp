@@ -1,0 +1,29 @@
+#include "queueing/backlog_recorder.hpp"
+
+#include <algorithm>
+
+namespace basrpt::queueing {
+
+BacklogRecorder::BacklogRecorder(PortId watched_src, PortId watched_dst,
+                                 std::size_t max_points)
+    : watched_src_(watched_src),
+      watched_dst_(watched_dst),
+      total_(max_points),
+      max_ingress_(max_points),
+      watched_voq_(max_points) {}
+
+void BacklogRecorder::sample(SimTime now, const VoqMatrix& voqs) {
+  total_.add(now, static_cast<double>(voqs.total_backlog().count));
+
+  Bytes max_port{0};
+  for (PortId i = 0; i < voqs.ports(); ++i) {
+    max_port = std::max(max_port, voqs.ingress_backlog(i));
+  }
+  max_ingress_.add(now, static_cast<double>(max_port.count));
+
+  watched_voq_.add(
+      now,
+      static_cast<double>(voqs.backlog(watched_src_, watched_dst_).count));
+}
+
+}  // namespace basrpt::queueing

@@ -1,0 +1,36 @@
+// Periodic backlog sampling into time series (Figs. 2, 5b, 7 of the
+// paper plot queue-length evolution; tests feed these traces to
+// stats::classify_trend for programmatic stability verdicts).
+#pragma once
+
+#include "queueing/voq.hpp"
+#include "stats/timeseries.hpp"
+
+namespace basrpt::queueing {
+
+/// Records three traces from a VoqMatrix: total backlog, the largest
+/// per-ingress-port backlog, and one designated "watched" VOQ (the
+/// paper's "queue length at a port" / "a typical queue").
+class BacklogRecorder {
+ public:
+  BacklogRecorder(PortId watched_src, PortId watched_dst,
+                  std::size_t max_points = 1 << 14);
+
+  void sample(SimTime now, const VoqMatrix& voqs);
+
+  const stats::TimeSeries& total() const { return total_; }
+  const stats::TimeSeries& max_ingress() const { return max_ingress_; }
+  const stats::TimeSeries& watched_voq() const { return watched_voq_; }
+
+  PortId watched_src() const { return watched_src_; }
+  PortId watched_dst() const { return watched_dst_; }
+
+ private:
+  PortId watched_src_;
+  PortId watched_dst_;
+  stats::TimeSeries total_;
+  stats::TimeSeries max_ingress_;
+  stats::TimeSeries watched_voq_;
+};
+
+}  // namespace basrpt::queueing

@@ -1,0 +1,185 @@
+#include "queueing/dtmc.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace basrpt::queueing {
+
+namespace {
+
+struct StateCodec {
+  std::int32_t cap;
+  std::int32_t base;  // cap + 1
+
+  std::size_t encode(std::int32_t x00, std::int32_t x01, std::int32_t x10,
+                     std::int32_t x11) const {
+    return ((static_cast<std::size_t>(x00) * static_cast<std::size_t>(base) +
+             static_cast<std::size_t>(x01)) *
+                static_cast<std::size_t>(base) +
+            static_cast<std::size_t>(x10)) *
+               static_cast<std::size_t>(base) +
+           static_cast<std::size_t>(x11);
+  }
+};
+
+struct Quad {
+  std::int32_t x[4];  // x00, x01, x10, x11
+};
+
+/// Applies one slot of service under the policy (state is
+/// post-arrival). The two perfect matchings of a 2x2 crossbar are
+/// M1 = {(0,0),(1,1)} and M2 = {(0,1),(1,0)}.
+Quad serve(Quad q, SlotPolicy policy) {
+  const std::int32_t w1 = q.x[0] + q.x[3];
+  const std::int32_t w2 = q.x[1] + q.x[2];
+  bool use_m1;
+  switch (policy) {
+    case SlotPolicy::kMaxWeight:
+      use_m1 = w1 >= w2;
+      break;
+    case SlotPolicy::kFixedPriority:
+      use_m1 = w1 > 0;
+      break;
+    default:
+      use_m1 = true;
+  }
+  if (use_m1) {
+    if (q.x[0] > 0) {
+      --q.x[0];
+    }
+    if (q.x[3] > 0) {
+      --q.x[3];
+    }
+  } else {
+    if (q.x[1] > 0) {
+      --q.x[1];
+    }
+    if (q.x[2] > 0) {
+      --q.x[2];
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+DtmcResult solve_2x2_chain(const Dtmc2x2Config& config) {
+  BASRPT_REQUIRE(config.cap >= 1 && config.cap <= 24,
+                 "cap must be in [1, 24] (the state space is (cap+1)^4)");
+  for (const auto& row : config.arrival_prob) {
+    for (const double p : row) {
+      BASRPT_REQUIRE(p >= 0.0 && p < 1.0,
+                     "arrival probabilities must be in [0, 1)");
+    }
+  }
+  BASRPT_REQUIRE(config.max_iterations >= 1, "need at least one iteration");
+
+  const StateCodec codec{config.cap, config.cap + 1};
+  const auto n = static_cast<std::size_t>(codec.base) *
+                 static_cast<std::size_t>(codec.base) *
+                 static_cast<std::size_t>(codec.base) *
+                 static_cast<std::size_t>(codec.base);
+
+  // Precompute the 16 arrival combinations and their probabilities.
+  struct ArrivalCombo {
+    std::int32_t add[4];
+    double prob;
+  };
+  std::vector<ArrivalCombo> combos;
+  combos.reserve(16);
+  const double p00 = config.arrival_prob[0][0];
+  const double p01 = config.arrival_prob[0][1];
+  const double p10 = config.arrival_prob[1][0];
+  const double p11 = config.arrival_prob[1][1];
+  for (int mask = 0; mask < 16; ++mask) {
+    ArrivalCombo combo{};
+    combo.prob = 1.0;
+    const double probs[4] = {p00, p01, p10, p11};
+    for (int k = 0; k < 4; ++k) {
+      const bool hit = (mask >> k) & 1;
+      combo.add[k] = hit ? 1 : 0;
+      combo.prob *= hit ? probs[k] : (1.0 - probs[k]);
+    }
+    if (combo.prob > 0.0) {
+      combos.push_back(combo);
+    }
+  }
+
+  std::vector<double> pi(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  pi[0] = 1.0;  // start empty
+
+  DtmcResult result;
+  for (std::int32_t iter = 0; iter < config.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double mass = pi[s];
+      if (mass <= 0.0) {
+        continue;
+      }
+      // Decode.
+      auto rem = s;
+      Quad q;
+      q.x[3] = static_cast<std::int32_t>(rem % codec.base);
+      rem /= static_cast<std::size_t>(codec.base);
+      q.x[2] = static_cast<std::int32_t>(rem % codec.base);
+      rem /= static_cast<std::size_t>(codec.base);
+      q.x[1] = static_cast<std::int32_t>(rem % codec.base);
+      rem /= static_cast<std::size_t>(codec.base);
+      q.x[0] = static_cast<std::int32_t>(rem);
+
+      const Quad served = serve(q, config.policy);
+      for (const ArrivalCombo& combo : combos) {
+        Quad out = served;
+        for (int k = 0; k < 4; ++k) {
+          out.x[k] = std::min(out.x[k] + combo.add[k], config.cap);
+        }
+        next[codec.encode(out.x[0], out.x[1], out.x[2], out.x[3])] +=
+            mass * combo.prob;
+      }
+    }
+    double l1 = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      l1 += std::abs(next[s] - pi[s]);
+    }
+    pi.swap(next);
+    result.iterations = iter + 1;
+    if (l1 < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Read off stationary means (state is post-arrival/pre-service).
+  for (std::size_t s = 0; s < n; ++s) {
+    const double mass = pi[s];
+    if (mass <= 0.0) {
+      continue;
+    }
+    auto rem = s;
+    std::int32_t x[4];
+    x[3] = static_cast<std::int32_t>(rem % codec.base);
+    rem /= static_cast<std::size_t>(codec.base);
+    x[2] = static_cast<std::int32_t>(rem % codec.base);
+    rem /= static_cast<std::size_t>(codec.base);
+    x[1] = static_cast<std::int32_t>(rem % codec.base);
+    rem /= static_cast<std::size_t>(codec.base);
+    x[0] = static_cast<std::int32_t>(rem);
+
+    const double total = x[0] + x[1] + x[2] + x[3];
+    result.mean_total_queue += mass * total;
+    result.mean_queue[0][0] += mass * x[0];
+    result.mean_queue[0][1] += mass * x[1];
+    result.mean_queue[1][0] += mass * x[2];
+    result.mean_queue[1][1] += mass * x[3];
+    if (x[0] == config.cap || x[1] == config.cap || x[2] == config.cap ||
+        x[3] == config.cap) {
+      result.mass_at_cap += mass;
+    }
+  }
+  return result;
+}
+
+}  // namespace basrpt::queueing

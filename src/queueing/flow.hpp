@@ -1,0 +1,30 @@
+// Flow records shared by the schedulers and both simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "stats/fct.hpp"
+
+namespace basrpt::queueing {
+
+using FlowId = std::int64_t;
+using PortId = std::int32_t;
+
+constexpr FlowId kInvalidFlow = -1;
+
+/// One flow in flight. Sizes are bytes in the flow-level simulator; the
+/// slotted model stores packets in the same fields (1 packet == 1 unit).
+struct Flow {
+  FlowId id = kInvalidFlow;
+  PortId src = 0;
+  PortId dst = 0;
+  Bytes size{};
+  Bytes remaining{};
+  SimTime arrival{};
+  stats::FlowClass cls = stats::FlowClass::kBackground;
+
+  bool done() const { return remaining.count <= 0; }
+};
+
+}  // namespace basrpt::queueing

@@ -1,0 +1,38 @@
+#include "queueing/lyapunov.hpp"
+
+#include "common/assert.hpp"
+
+namespace basrpt::queueing {
+
+double lyapunov_value(const std::vector<double>& backlogs) {
+  double sum = 0.0;
+  for (double x : backlogs) {
+    BASRPT_ASSERT(x >= 0.0, "backlog cannot be negative");
+    sum += x * x;
+  }
+  return 0.5 * sum;
+}
+
+double lyapunov_value(const VoqMatrix& voqs, double unit_bytes) {
+  BASRPT_ASSERT(unit_bytes > 0.0, "unit must be positive");
+  double sum = 0.0;
+  const PortId n = voqs.ports();
+  for (PortId i = 0; i < n; ++i) {
+    for (PortId j = 0; j < n; ++j) {
+      const double x =
+          static_cast<double>(voqs.backlog(i, j).count) / unit_bytes;
+      sum += x * x;
+    }
+  }
+  return 0.5 * sum;
+}
+
+void DriftTracker::observe(double lyapunov) {
+  if (primed_) {
+    drift_.add(lyapunov - last_);
+  }
+  last_ = lyapunov;
+  primed_ = true;
+}
+
+}  // namespace basrpt::queueing

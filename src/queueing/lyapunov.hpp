@@ -1,0 +1,43 @@
+// Lyapunov function and drift instrumentation (Sec. IV-B).
+//
+// The analysis uses the quadratic Lyapunov function
+//   L(X) = 1/2 Σ X_ij^2
+// and the one-slot drift Δ(X(t)) = E[L(X(t+1)) | X(t)] − L(X(t)).
+// These helpers compute L over a VoqMatrix (or raw backlog vector) and
+// accumulate empirical drift statistics over a run, which is how the
+// slotted-model benches verify Theorem 1's bounded-drift behaviour.
+#pragma once
+
+#include <vector>
+
+#include "queueing/voq.hpp"
+#include "stats/summary.hpp"
+
+namespace basrpt::queueing {
+
+/// L(X) = 1/2 Σ X_ij^2 with X in the given unit (bytes or packets).
+double lyapunov_value(const std::vector<double>& backlogs);
+
+/// Lyapunov value of a VOQ matrix with backlogs measured in `unit`-sized
+/// packets (e.g. unit = 1500 bytes → X in packets, matching the model).
+double lyapunov_value(const VoqMatrix& voqs, double unit_bytes);
+
+/// Accumulates empirical drift samples L(X(t+1)) − L(X(t)).
+class DriftTracker {
+ public:
+  /// Records the current Lyapunov value; from the second call on, each
+  /// call contributes one drift sample.
+  void observe(double lyapunov);
+
+  bool has_samples() const { return drift_.count() > 0; }
+  double mean_drift() const { return drift_.mean(); }
+  double max_drift() const { return drift_.max(); }
+  const stats::StreamingMoments& drift() const { return drift_; }
+
+ private:
+  bool primed_ = false;
+  double last_ = 0.0;
+  stats::StreamingMoments drift_;
+};
+
+}  // namespace basrpt::queueing

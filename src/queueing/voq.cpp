@@ -1,0 +1,192 @@
+#include "queueing/voq.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace basrpt::queueing {
+
+namespace {
+constexpr std::size_t kNoPosition = static_cast<std::size_t>(-1);
+}
+
+VoqMatrix::VoqMatrix(PortId n_ports) : n_ports_(n_ports) {
+  BASRPT_REQUIRE(n_ports >= 1, "switch needs at least one port");
+  const auto n = static_cast<std::size_t>(n_ports);
+  voqs_.resize(n * n);
+  ingress_backlog_.assign(n, Bytes{0});
+  egress_backlog_.assign(n, Bytes{0});
+  position_.assign(n * n, kNoPosition);
+}
+
+std::size_t VoqMatrix::index(PortId i, PortId j) const {
+  BASRPT_ASSERT(i >= 0 && i < n_ports_, "ingress port out of range");
+  BASRPT_ASSERT(j >= 0 && j < n_ports_, "egress port out of range");
+  return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_ports_) +
+         static_cast<std::size_t>(j);
+}
+
+void VoqMatrix::mark_non_empty(std::size_t idx) {
+  if (position_[idx] == kNoPosition) {
+    position_[idx] = non_empty_.size();
+    non_empty_.push_back(idx);
+  }
+}
+
+void VoqMatrix::mark_empty(std::size_t idx) {
+  const std::size_t pos = position_[idx];
+  if (pos == kNoPosition) {
+    return;
+  }
+  const std::size_t last = non_empty_.back();
+  non_empty_[pos] = last;
+  position_[last] = pos;
+  non_empty_.pop_back();
+  position_[idx] = kNoPosition;
+}
+
+void VoqMatrix::add_flow(const Flow& flow) {
+  BASRPT_ASSERT(flow.id != kInvalidFlow, "flow id must be valid");
+  BASRPT_ASSERT(flow.remaining.count > 0, "flow must have bytes to send");
+  BASRPT_ASSERT(!flows_.count(flow.id), "duplicate flow id");
+  const std::size_t idx = index(flow.src, flow.dst);
+  flows_.emplace(flow.id, flow);
+
+  VoqBucket& bucket = voqs_[idx];
+  bucket.by_remaining.emplace(flow.remaining.count, flow.id);
+  bucket.by_arrival.emplace(flow.arrival.seconds, flow.id);
+  bucket.backlog += flow.remaining;
+  mark_non_empty(idx);
+
+  ingress_backlog_[static_cast<std::size_t>(flow.src)] += flow.remaining;
+  egress_backlog_[static_cast<std::size_t>(flow.dst)] += flow.remaining;
+  total_backlog_ += flow.remaining;
+}
+
+void VoqMatrix::unlink(const Flow& flow) {
+  const std::size_t idx = index(flow.src, flow.dst);
+  VoqBucket& bucket = voqs_[idx];
+  const auto erased_rem =
+      bucket.by_remaining.erase({flow.remaining.count, flow.id});
+  BASRPT_ASSERT(erased_rem == 1, "flow missing from remaining index");
+  const auto erased_arr =
+      bucket.by_arrival.erase({flow.arrival.seconds, flow.id});
+  BASRPT_ASSERT(erased_arr == 1, "flow missing from arrival index");
+  if (bucket.by_remaining.empty()) {
+    mark_empty(idx);
+  }
+}
+
+bool VoqMatrix::drain(FlowId id, Bytes amount) {
+  BASRPT_ASSERT(amount.count >= 0, "cannot drain negative bytes");
+  const auto it = flows_.find(id);
+  BASRPT_ASSERT(it != flows_.end(), "draining unknown flow");
+  Flow& flow = it->second;
+  const Bytes drained =
+      amount.count >= flow.remaining.count ? flow.remaining : amount;
+  if (drained.count == 0) {
+    return false;
+  }
+
+  const std::size_t idx = index(flow.src, flow.dst);
+  VoqBucket& bucket = voqs_[idx];
+  const auto erased = bucket.by_remaining.erase({flow.remaining.count, id});
+  BASRPT_ASSERT(erased == 1, "flow missing from remaining index");
+
+  flow.remaining -= drained;
+  bucket.backlog -= drained;
+  ingress_backlog_[static_cast<std::size_t>(flow.src)] -= drained;
+  egress_backlog_[static_cast<std::size_t>(flow.dst)] -= drained;
+  total_backlog_ -= drained;
+
+  if (flow.done()) {
+    const auto erased_arr =
+        bucket.by_arrival.erase({flow.arrival.seconds, id});
+    BASRPT_ASSERT(erased_arr == 1, "flow missing from arrival index");
+    if (bucket.by_remaining.empty()) {
+      mark_empty(idx);
+    }
+    flows_.erase(it);
+    return true;
+  }
+  bucket.by_remaining.emplace(flow.remaining.count, id);
+  return false;
+}
+
+void VoqMatrix::remove(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  Flow& flow = it->second;
+  const std::size_t idx = index(flow.src, flow.dst);
+  voqs_[idx].backlog -= flow.remaining;
+  ingress_backlog_[static_cast<std::size_t>(flow.src)] -= flow.remaining;
+  egress_backlog_[static_cast<std::size_t>(flow.dst)] -= flow.remaining;
+  total_backlog_ -= flow.remaining;
+  unlink(flow);
+  flows_.erase(it);
+}
+
+const Flow& VoqMatrix::flow(FlowId id) const {
+  const auto it = flows_.find(id);
+  BASRPT_ASSERT(it != flows_.end(), "looking up unknown flow");
+  return it->second;
+}
+
+Bytes VoqMatrix::backlog(PortId i, PortId j) const {
+  return voqs_[index(i, j)].backlog;
+}
+
+std::size_t VoqMatrix::flow_count(PortId i, PortId j) const {
+  return voqs_[index(i, j)].by_remaining.size();
+}
+
+Bytes VoqMatrix::ingress_backlog(PortId i) const {
+  BASRPT_ASSERT(i >= 0 && i < n_ports_, "ingress port out of range");
+  return ingress_backlog_[static_cast<std::size_t>(i)];
+}
+
+Bytes VoqMatrix::egress_backlog(PortId j) const {
+  BASRPT_ASSERT(j >= 0 && j < n_ports_, "egress port out of range");
+  return egress_backlog_[static_cast<std::size_t>(j)];
+}
+
+void VoqMatrix::for_each_flow(
+    const std::function<void(const Flow&)>& fn) const {
+  for (const auto& [id, flow] : flows_) {
+    fn(flow);
+  }
+}
+
+void VoqMatrix::for_each_non_empty_voq(
+    const std::function<void(PortId, PortId)>& fn) const {
+  for (const std::size_t idx : non_empty_) {
+    fn(static_cast<PortId>(idx / static_cast<std::size_t>(n_ports_)),
+       static_cast<PortId>(idx % static_cast<std::size_t>(n_ports_)));
+  }
+}
+
+FlowId VoqMatrix::shortest_in_voq(PortId i, PortId j) const {
+  const VoqBucket& bucket = voqs_[index(i, j)];
+  return bucket.by_remaining.empty() ? kInvalidFlow
+                                     : bucket.by_remaining.begin()->second;
+}
+
+FlowId VoqMatrix::oldest_in_voq(PortId i, PortId j) const {
+  const VoqBucket& bucket = voqs_[index(i, j)];
+  return bucket.by_arrival.empty() ? kInvalidFlow
+                                   : bucket.by_arrival.begin()->second;
+}
+
+std::vector<FlowId> VoqMatrix::voq_flow_ids(PortId i, PortId j) const {
+  const VoqBucket& bucket = voqs_[index(i, j)];
+  std::vector<FlowId> ids;
+  ids.reserve(bucket.by_remaining.size());
+  for (const auto& [remaining, id] : bucket.by_remaining) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace basrpt::queueing

@@ -1,0 +1,106 @@
+// Virtual-output-queue bookkeeping for the big-switch abstraction.
+//
+// The fabric is modeled as one N-port input-queued switch with N^2 VOQs
+// (Sec. III-A): VOQ (i, j) holds the flows arriving at ingress i and
+// destined for egress j. VoqMatrix owns the flow records and maintains:
+//   * per-VOQ backlogs (X_ij) incrementally, read in O(1);
+//   * per-VOQ orderings by remaining size and by arrival time, so
+//     schedulers get the SRPT / FIFO representative of a VOQ in O(1);
+//   * the set of non-empty VOQs, so building a scheduling decision costs
+//     O(#non-empty VOQs), not O(N^2) or O(#flows).
+// The last two matter because the whole point of the paper is a regime
+// where SRPT parks an unbounded number of flows: the simulator must not
+// slow down quadratically as the backlog it is demonstrating grows.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "queueing/flow.hpp"
+
+namespace basrpt::queueing {
+
+class VoqMatrix {
+ public:
+  explicit VoqMatrix(PortId n_ports);
+
+  PortId ports() const { return n_ports_; }
+
+  /// Admits a new flow; its id must be unique and ports in range.
+  void add_flow(const Flow& flow);
+
+  /// Drains `amount` from the flow's remaining size (never below zero).
+  /// Returns true if the flow completed; completed flows are removed.
+  bool drain(FlowId id, Bytes amount);
+
+  /// Removes a flow regardless of remaining size; no-op if absent.
+  void remove(FlowId id);
+
+  bool contains(FlowId id) const { return flows_.count(id) != 0; }
+  const Flow& flow(FlowId id) const;
+
+  /// Backlog of VOQ (i, j): total remaining bytes of its flows.
+  Bytes backlog(PortId i, PortId j) const;
+
+  /// Number of flows queued in VOQ (i, j).
+  std::size_t flow_count(PortId i, PortId j) const;
+
+  /// Total remaining bytes over all VOQs.
+  Bytes total_backlog() const { return total_backlog_; }
+
+  /// Total backlog of all VOQs at ingress port i / egress port j.
+  Bytes ingress_backlog(PortId i) const;
+  Bytes egress_backlog(PortId j) const;
+
+  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t non_empty_voqs() const { return non_empty_.size(); }
+
+  /// Iterates over every active flow (unspecified order).
+  void for_each_flow(const std::function<void(const Flow&)>& fn) const;
+
+  /// Iterates over non-empty VOQs (unspecified order).
+  void for_each_non_empty_voq(
+      const std::function<void(PortId i, PortId j)>& fn) const;
+
+  /// Flow in VOQ (i, j) with the smallest remaining size (ties by id),
+  /// or kInvalidFlow if empty. O(1).
+  FlowId shortest_in_voq(PortId i, PortId j) const;
+
+  /// Earliest-arrived flow in VOQ (i, j) (ties by id), or kInvalidFlow.
+  FlowId oldest_in_voq(PortId i, PortId j) const;
+
+  /// Flow ids currently queued in VOQ (i, j), in remaining-size order
+  /// (test/diagnostic helper; allocates).
+  std::vector<FlowId> voq_flow_ids(PortId i, PortId j) const;
+
+ private:
+  struct VoqBucket {
+    // (remaining bytes, id): begin() is the SRPT representative.
+    std::set<std::pair<std::int64_t, FlowId>> by_remaining;
+    // (arrival seconds, id): begin() is the FIFO representative.
+    std::set<std::pair<double, FlowId>> by_arrival;
+    Bytes backlog{};
+  };
+
+  std::size_t index(PortId i, PortId j) const;
+  void mark_non_empty(std::size_t idx);
+  void mark_empty(std::size_t idx);
+  void unlink(const Flow& flow);
+
+  PortId n_ports_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::vector<VoqBucket> voqs_;         // N^2 buckets
+  std::vector<Bytes> ingress_backlog_;  // per ingress port
+  std::vector<Bytes> egress_backlog_;   // per egress port
+  Bytes total_backlog_{};
+
+  // Sparse set of non-empty VOQ indices: non_empty_ holds the indices,
+  // position_[idx] locates idx inside non_empty_ for O(1) removal.
+  std::vector<std::size_t> non_empty_;
+  std::vector<std::size_t> position_;
+};
+
+}  // namespace basrpt::queueing

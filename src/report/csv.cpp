@@ -1,0 +1,78 @@
+#include "report/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace basrpt::report {
+
+namespace {
+
+/// Last value at or before time t; 0 before the first sample.
+double sample_and_hold(const stats::TimeSeries& series, double t) {
+  const auto& points = series.points();
+  double value = 0.0;
+  // Series are small (bounded by the recorder's max_points); linear scan
+  // per query would be O(n^2) over the grid, so binary search instead.
+  const auto it = std::upper_bound(
+      points.begin(), points.end(), t,
+      [](double time, const stats::TimeSeries::Point& p) {
+        return time < p.t;
+      });
+  if (it != points.begin()) {
+    value = std::prev(it)->value;
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_series(std::ostream& out, const std::vector<NamedSeries>& series,
+                  std::size_t points) {
+  BASRPT_REQUIRE(!series.empty(), "need at least one series");
+  BASRPT_REQUIRE(points >= 2, "need at least two grid points");
+
+  double t_lo = std::numeric_limits<double>::infinity();
+  double t_hi = -std::numeric_limits<double>::infinity();
+  for (const NamedSeries& s : series) {
+    BASRPT_REQUIRE(s.series != nullptr, "null series: " + s.name);
+    if (s.series->empty()) {
+      continue;
+    }
+    t_lo = std::min(t_lo, s.series->points().front().t);
+    t_hi = std::max(t_hi, s.series->points().back().t);
+  }
+  BASRPT_REQUIRE(t_lo <= t_hi, "all series are empty");
+
+  out << "time";
+  for (const NamedSeries& s : series) {
+    BASRPT_REQUIRE(s.name.find(',') == std::string::npos,
+                   "series name contains a comma");
+    out << "," << s.name;
+  }
+  out << "\n";
+
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t =
+        t_lo + (t_hi - t_lo) * static_cast<double>(i) /
+                   static_cast<double>(points - 1);
+    out << t;
+    for (const NamedSeries& s : series) {
+      out << "," << sample_and_hold(*s.series, t);
+    }
+    out << "\n";
+  }
+}
+
+void write_series_file(const std::string& path,
+                       const std::vector<NamedSeries>& series,
+                       std::size_t points) {
+  std::ofstream out(path);
+  BASRPT_REQUIRE(out.good(), "cannot open CSV file for writing: " + path);
+  write_series(out, series, points);
+  BASRPT_REQUIRE(out.good(), "error writing CSV file: " + path);
+}
+
+}  // namespace basrpt::report

@@ -1,0 +1,34 @@
+// CSV export of simulation traces.
+//
+// The bench harnesses print tables; for the actual figures you want the
+// raw series on disk. write_series() aligns several TimeSeries on a
+// common uniform time grid (sample-and-hold resampling — traces from
+// different runs never share timestamps exactly) and writes one column
+// per series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace basrpt::report {
+
+struct NamedSeries {
+  std::string name;
+  const stats::TimeSeries* series;
+};
+
+/// Writes "time,<name1>,<name2>,..." rows on a uniform grid of
+/// `points` timestamps spanning the union of the series' time ranges.
+/// Values are sample-and-hold (last value at or before the grid time;
+/// empty prefix renders as 0).
+void write_series(std::ostream& out, const std::vector<NamedSeries>& series,
+                  std::size_t points = 256);
+
+void write_series_file(const std::string& path,
+                       const std::vector<NamedSeries>& series,
+                       std::size_t points = 256);
+
+}  // namespace basrpt::report

@@ -1,0 +1,71 @@
+#include "report/gnuplot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace basrpt::report {
+
+GnuplotScript::GnuplotScript(std::string title, std::string xlabel,
+                             std::string ylabel)
+    : title_(std::move(title)),
+      xlabel_(std::move(xlabel)),
+      ylabel_(std::move(ylabel)) {}
+
+GnuplotScript& GnuplotScript::with_data(std::string csv_path) {
+  csv_path_ = std::move(csv_path);
+  return *this;
+}
+
+GnuplotScript& GnuplotScript::add_series(std::string title, int column) {
+  BASRPT_REQUIRE(column >= 2, "column 1 is the time axis");
+  series_.push_back({std::move(title), column});
+  return *this;
+}
+
+GnuplotScript& GnuplotScript::with_output(std::string png_path) {
+  png_path_ = std::move(png_path);
+  return *this;
+}
+
+GnuplotScript& GnuplotScript::with_logscale_y(bool enable) {
+  logscale_y_ = enable;
+  return *this;
+}
+
+std::string GnuplotScript::render() const {
+  BASRPT_REQUIRE(!csv_path_.empty(), "no data file set: call with_data()");
+  BASRPT_REQUIRE(!series_.empty(), "no series added");
+  std::ostringstream out;
+  out << "set terminal pngcairo size 900,540 enhanced\n"
+      << "set output '" << png_path_ << "'\n"
+      << "set datafile separator ','\n"
+      << "set title '" << title_ << "'\n"
+      << "set xlabel '" << xlabel_ << "'\n"
+      << "set ylabel '" << ylabel_ << "'\n"
+      << "set key left top\n"
+      << "set grid\n";
+  if (logscale_y_) {
+    out << "set logscale y\n";
+  }
+  out << "plot ";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i > 0) {
+      out << ", \\\n     ";
+    }
+    out << "'" << csv_path_ << "' using 1:" << series_[i].column
+        << " with lines lw 2 title '" << series_[i].title << "'";
+  }
+  out << "\n";
+  return out.str();
+}
+
+void GnuplotScript::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  BASRPT_REQUIRE(out.good(), "cannot open gnuplot file: " + path);
+  out << render();
+  BASRPT_REQUIRE(out.good(), "error writing gnuplot file: " + path);
+}
+
+}  // namespace basrpt::report

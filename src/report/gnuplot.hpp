@@ -1,0 +1,44 @@
+// Gnuplot script generation for the paper's figures.
+//
+// Each figure bench can emit a CSV (report/csv.hpp) plus a matching .gp
+// script; `gnuplot fig5b.gp` then renders a PNG that can sit next to the
+// paper's figure. Scripts are plain text so they remain hand-editable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace basrpt::report {
+
+/// One plotted line: a column of a CSV data file.
+struct PlotSeries {
+  std::string title;
+  int column = 2;  // 1-based; column 1 is time
+};
+
+class GnuplotScript {
+ public:
+  GnuplotScript(std::string title, std::string xlabel, std::string ylabel);
+
+  GnuplotScript& with_data(std::string csv_path);
+  GnuplotScript& add_series(std::string title, int column);
+  GnuplotScript& with_output(std::string png_path);
+  GnuplotScript& with_logscale_y(bool enable = true);
+
+  /// Renders the gnuplot program text.
+  std::string render() const;
+
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::string xlabel_;
+  std::string ylabel_;
+  std::string csv_path_;
+  std::string png_path_ = "figure.png";
+  bool logscale_y_ = false;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace basrpt::report

@@ -1,0 +1,48 @@
+#include "sched/bvn_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace basrpt::sched {
+
+BvnScheduler::BvnScheduler(matching::RateMatrix rates, Rng rng)
+    : rng_(rng) {
+  const auto completed =
+      matching::complete_to_doubly_stochastic(std::move(rates));
+  terms_ = matching::birkhoff_decompose(completed);
+  BASRPT_REQUIRE(!terms_.empty(), "BvN decomposition produced no terms");
+  cumulative_.reserve(terms_.size());
+  double acc = 0.0;
+  for (const auto& term : terms_) {
+    acc += term.weight;
+    cumulative_.push_back(acc);
+  }
+}
+
+Decision BvnScheduler::decide(PortId n_ports,
+                              const std::vector<VoqCandidate>& candidates) {
+  if (candidates.empty()) {
+    return {};
+  }
+  // Draw a permutation with probability proportional to its BvN weight.
+  const double u = rng_.uniform01() * cumulative_.back();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  const matching::Matching& perm =
+      terms_[std::min(idx, terms_.size() - 1)].permutation;
+  BASRPT_ASSERT(perm.match_of_left.size() == static_cast<std::size_t>(n_ports),
+                "BvN permutation size does not match fabric");
+
+  // Serve the shortest flow of each matched, non-empty VOQ.
+  Decision decision;
+  for (const VoqCandidate& c : candidates) {
+    if (perm.match_of_left[static_cast<std::size_t>(c.ingress)] == c.egress) {
+      decision.selected.push_back(c.shortest_flow);
+    }
+  }
+  return decision;
+}
+
+}  // namespace basrpt::sched

@@ -1,0 +1,36 @@
+// Randomized Birkhoff–von-Neumann scheduler — the α* construction from
+// the proof of Theorem 1.
+//
+// Given the (admissible) arrival-rate matrix Λ, complete it to a doubly
+// stochastic matrix, decompose M = Σ u(σ)·M(σ), and on each decision draw
+// permutation σ with probability u(σ). Every VOQ is then served at rate
+// >= λ_ij regardless of backlogs, which guarantees stability; within a
+// matched VOQ the shortest flow is served. Backlog-oblivious by
+// construction (the proof relies on E[ȳ*|X] = E[ȳ*]).
+#pragma once
+
+#include "common/rng.hpp"
+#include "matching/birkhoff.hpp"
+#include "sched/scheduler.hpp"
+
+namespace basrpt::sched {
+
+class BvnScheduler final : public Scheduler {
+ public:
+  /// `rates[i][j]` in packets/slot (line sums <= 1); completed and
+  /// decomposed at construction.
+  BvnScheduler(matching::RateMatrix rates, Rng rng);
+
+  std::string name() const override { return "bvn-random"; }
+  Decision decide(PortId n_ports,
+                  const std::vector<VoqCandidate>& candidates) override;
+
+  const std::vector<matching::BvnTerm>& terms() const { return terms_; }
+
+ private:
+  std::vector<matching::BvnTerm> terms_;
+  std::vector<double> cumulative_;
+  Rng rng_;
+};
+
+}  // namespace basrpt::sched

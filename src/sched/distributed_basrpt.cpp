@@ -1,0 +1,106 @@
+#include "sched/distributed_basrpt.hpp"
+
+#include <cstdio>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace basrpt::sched {
+
+DistributedBasrptScheduler::DistributedBasrptScheduler(double v, int rounds)
+    : v_(v), rounds_(rounds) {
+  BASRPT_REQUIRE(v >= 0.0, "BASRPT weight V must be non-negative");
+  BASRPT_REQUIRE(rounds >= 1, "need at least one request/grant round");
+}
+
+std::string DistributedBasrptScheduler::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "dist-basrpt(V=%g,r=%d)", v_, rounds_);
+  return buf;
+}
+
+Decision DistributedBasrptScheduler::decide(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+  if (candidates.empty()) {
+    return {};
+  }
+  const double weight = v_ / static_cast<double>(n_ports);
+  const auto n = static_cast<std::size_t>(n_ports);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Local state per ingress port: its candidate VOQs (index into
+  // `candidates`). Each ingress only ever inspects its own VOQs — the
+  // information a real distributed endpoint has.
+  std::vector<std::vector<std::size_t>> per_ingress(n);
+  std::vector<double> key(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    key[c] = weight * candidates[c].shortest_remaining -
+             candidates[c].backlog;
+    per_ingress[static_cast<std::size_t>(candidates[c].ingress)].push_back(c);
+  }
+
+  std::vector<bool> ingress_matched(n, false);
+  std::vector<bool> egress_matched(n, false);
+  Decision decision;
+
+  for (int round = 0; round < rounds_; ++round) {
+    // Request phase: every unmatched ingress picks its best VOQ whose
+    // egress is still free and posts a request.
+    constexpr std::size_t kNoRequest = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> request_of(n, kNoRequest);  // per egress: cand
+    bool any_request = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ingress_matched[i]) {
+        continue;
+      }
+      std::size_t best = kNoRequest;
+      double best_key = kInf;
+      for (const std::size_t c : per_ingress[i]) {
+        const auto egress = static_cast<std::size_t>(candidates[c].egress);
+        if (egress_matched[egress]) {
+          continue;
+        }
+        // Deterministic tiebreak on flow id keeps runs reproducible.
+        if (key[c] < best_key ||
+            (key[c] == best_key && best != kNoRequest &&
+             candidates[c].shortest_flow < candidates[best].shortest_flow)) {
+          best = c;
+          best_key = key[c];
+        }
+      }
+      if (best == kNoRequest) {
+        continue;
+      }
+      any_request = true;
+      // Grant phase folded in: the egress keeps the lowest-key request.
+      const auto egress = static_cast<std::size_t>(candidates[best].egress);
+      const std::size_t incumbent = request_of[egress];
+      if (incumbent == kNoRequest || key[best] < key[incumbent] ||
+          (key[best] == key[incumbent] &&
+           candidates[best].shortest_flow <
+               candidates[incumbent].shortest_flow)) {
+        request_of[egress] = best;
+      }
+    }
+    if (!any_request) {
+      break;
+    }
+    // Commit grants; each ingress requested at most one egress, so
+    // grants never conflict on the ingress side.
+    for (std::size_t e = 0; e < n; ++e) {
+      const std::size_t c = request_of[e];
+      if (c == static_cast<std::size_t>(-1)) {
+        continue;
+      }
+      const auto ingress = static_cast<std::size_t>(candidates[c].ingress);
+      BASRPT_ASSERT(!ingress_matched[ingress] && !egress_matched[e],
+                    "request/grant produced a conflicting match");
+      ingress_matched[ingress] = true;
+      egress_matched[e] = true;
+      decision.selected.push_back(candidates[c].shortest_flow);
+    }
+  }
+  return decision;
+}
+
+}  // namespace basrpt::sched

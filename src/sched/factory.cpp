@@ -1,0 +1,148 @@
+#include "sched/factory.hpp"
+
+#include "common/assert.hpp"
+#include "sched/exact_basrpt.hpp"
+#include "sched/fast_basrpt.hpp"
+#include "sched/distributed_basrpt.hpp"
+#include "sched/fifo.hpp"
+#include "sched/maxweight.hpp"
+#include "sched/noisy.hpp"
+#include "sched/srpt.hpp"
+#include "sched/threshold.hpp"
+
+namespace basrpt::sched {
+
+SchedulerSpec SchedulerSpec::srpt() {
+  SchedulerSpec spec;
+  spec.policy = Policy::kSrpt;
+  return spec;
+}
+
+SchedulerSpec SchedulerSpec::fast_basrpt(double v) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kFastBasrpt;
+  spec.v = v;
+  return spec;
+}
+
+SchedulerSpec SchedulerSpec::threshold_srpt(double threshold_packets) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kThresholdSrpt;
+  spec.threshold_packets = threshold_packets;
+  return spec;
+}
+
+SchedulerSpec SchedulerSpec::exact_basrpt(double v) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kExactBasrpt;
+  spec.v = v;
+  return spec;
+}
+
+SchedulerSpec SchedulerSpec::maxweight() {
+  SchedulerSpec spec;
+  spec.policy = Policy::kMaxWeight;
+  return spec;
+}
+
+SchedulerSpec SchedulerSpec::fifo() {
+  SchedulerSpec spec;
+  spec.policy = Policy::kFifo;
+  return spec;
+}
+
+SchedulerSpec SchedulerSpec::dist_basrpt(double v, int rounds) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kDistBasrpt;
+  spec.v = v;
+  spec.rounds = rounds;
+  return spec;
+}
+
+SchedulerSpec SchedulerSpec::with_size_error(double error) const {
+  SchedulerSpec spec = *this;
+  spec.size_error = error;
+  return spec;
+}
+
+SchedulerPtr make_scheduler(const SchedulerSpec& spec) {
+  SchedulerPtr scheduler;
+  switch (spec.policy) {
+    case Policy::kSrpt:
+      scheduler = std::make_unique<SrptScheduler>();
+      break;
+    case Policy::kFastBasrpt:
+      scheduler = std::make_unique<FastBasrptScheduler>(spec.v);
+      break;
+    case Policy::kThresholdSrpt:
+      scheduler =
+          std::make_unique<ThresholdSrptScheduler>(spec.threshold_packets);
+      break;
+    case Policy::kExactBasrpt:
+      scheduler = std::make_unique<ExactBasrptScheduler>(spec.v);
+      break;
+    case Policy::kMaxWeight:
+      scheduler = std::make_unique<MaxWeightScheduler>();
+      break;
+    case Policy::kFifo:
+      scheduler = std::make_unique<FifoScheduler>();
+      break;
+    case Policy::kDistBasrpt:
+      scheduler =
+          std::make_unique<DistributedBasrptScheduler>(spec.v, spec.rounds);
+      break;
+  }
+  BASRPT_REQUIRE(scheduler != nullptr, "unknown scheduler policy");
+  if (spec.size_error > 1.0) {
+    scheduler = std::make_unique<NoisySizeScheduler>(
+        std::move(scheduler), spec.size_error, spec.noise_seed);
+  }
+  return scheduler;
+}
+
+Policy parse_policy(const std::string& name) {
+  if (name == "srpt") {
+    return Policy::kSrpt;
+  }
+  if (name == "fast-basrpt") {
+    return Policy::kFastBasrpt;
+  }
+  if (name == "threshold-srpt") {
+    return Policy::kThresholdSrpt;
+  }
+  if (name == "exact-basrpt") {
+    return Policy::kExactBasrpt;
+  }
+  if (name == "maxweight") {
+    return Policy::kMaxWeight;
+  }
+  if (name == "fifo") {
+    return Policy::kFifo;
+  }
+  if (name == "dist-basrpt") {
+    return Policy::kDistBasrpt;
+  }
+  throw ConfigError("unknown scheduler policy: " + name);
+}
+
+std::string to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kSrpt:
+      return "srpt";
+    case Policy::kFastBasrpt:
+      return "fast-basrpt";
+    case Policy::kThresholdSrpt:
+      return "threshold-srpt";
+    case Policy::kExactBasrpt:
+      return "exact-basrpt";
+    case Policy::kMaxWeight:
+      return "maxweight";
+    case Policy::kFifo:
+      return "fifo";
+    case Policy::kDistBasrpt:
+      return "dist-basrpt";
+  }
+  return "?";
+}
+
+}  // namespace basrpt::sched

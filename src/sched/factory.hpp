@@ -1,0 +1,54 @@
+// Scheduler construction from declarative specs — the switch point used
+// by the experiment harness, benches, and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sched/scheduler.hpp"
+
+namespace basrpt::sched {
+
+/// Which policy to run; parameters live beside it in SchedulerSpec.
+enum class Policy {
+  kSrpt,
+  kFastBasrpt,
+  kThresholdSrpt,
+  kExactBasrpt,
+  kMaxWeight,
+  kFifo,
+  kDistBasrpt,  // request/grant distributed approximation
+};
+
+struct SchedulerSpec {
+  Policy policy = Policy::kSrpt;
+  double v = 2500.0;                  // fast/exact/distributed BASRPT weight
+  double threshold_packets = 1000.0;  // threshold-SRPT promotion level
+  int rounds = 3;                     // distributed request/grant rounds
+  /// Size-estimation error factor (see sched/noisy.hpp); 1 = exact
+  /// knowledge. > 1 wraps the scheduler in NoisySizeScheduler.
+  double size_error = 1.0;
+  std::uint64_t noise_seed = 0x5eed;
+
+  static SchedulerSpec srpt();
+  static SchedulerSpec fast_basrpt(double v);
+  static SchedulerSpec threshold_srpt(double threshold_packets);
+  static SchedulerSpec exact_basrpt(double v);
+  static SchedulerSpec maxweight();
+  static SchedulerSpec fifo();
+  static SchedulerSpec dist_basrpt(double v, int rounds);
+
+  /// Returns a copy with size-estimation noise applied.
+  SchedulerSpec with_size_error(double error) const;
+};
+
+/// Instantiates the scheduler described by `spec`.
+SchedulerPtr make_scheduler(const SchedulerSpec& spec);
+
+/// Parses "srpt", "fast-basrpt", "threshold-srpt", "exact-basrpt",
+/// "maxweight", "fifo", "dist-basrpt" (parameters taken from the spec
+/// defaults); throws ConfigError on unknown names. Used by CLI frontends.
+Policy parse_policy(const std::string& name);
+std::string to_string(Policy policy);
+
+}  // namespace basrpt::sched

@@ -1,0 +1,35 @@
+#include "sched/fast_basrpt.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "matching/greedy.hpp"
+
+namespace basrpt::sched {
+
+FastBasrptScheduler::FastBasrptScheduler(double v) : v_(v) {
+  BASRPT_REQUIRE(v >= 0.0, "BASRPT weight V must be non-negative");
+}
+
+std::string FastBasrptScheduler::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "fast-basrpt(V=%g)", v_);
+  return buf;
+}
+
+Decision FastBasrptScheduler::decide(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+  const double weight = v_ / static_cast<double>(n_ports);
+  std::vector<matching::ScoredCandidate> scored;
+  scored.reserve(candidates.size());
+  for (const VoqCandidate& c : candidates) {
+    // The per-VOQ SRPT representative also minimizes this key within its
+    // VOQ (the backlog term is common to all the VOQ's flows).
+    const double key = weight * c.shortest_remaining - c.backlog;
+    scored.push_back({c.ingress, c.egress, key, c.shortest_flow});
+  }
+  auto greedy = matching::greedy_maximal(std::move(scored), n_ports, n_ports);
+  return Decision{std::move(greedy.selected_payloads)};
+}
+
+}  // namespace basrpt::sched

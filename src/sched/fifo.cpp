@@ -1,0 +1,18 @@
+#include "sched/fifo.hpp"
+
+#include "matching/greedy.hpp"
+
+namespace basrpt::sched {
+
+Decision FifoScheduler::decide(PortId n_ports,
+                               const std::vector<VoqCandidate>& candidates) {
+  std::vector<matching::ScoredCandidate> scored;
+  scored.reserve(candidates.size());
+  for (const VoqCandidate& c : candidates) {
+    scored.push_back({c.ingress, c.egress, c.oldest_arrival, c.oldest_flow});
+  }
+  auto greedy = matching::greedy_maximal(std::move(scored), n_ports, n_ports);
+  return Decision{std::move(greedy.selected_payloads)};
+}
+
+}  // namespace basrpt::sched

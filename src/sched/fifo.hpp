@@ -1,0 +1,20 @@
+// Oldest-first (FCFS) matching scheduler.
+//
+// Size-oblivious baseline: greedy maximal matching in non-decreasing
+// arrival time. Not in the paper's evaluation, but the natural "no flow
+// information" reference point for the FCT comparisons and a sanity
+// check that SRPT's delay advantage reproduces.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace basrpt::sched {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "fifo"; }
+  Decision decide(PortId n_ports,
+                  const std::vector<VoqCandidate>& candidates) override;
+};
+
+}  // namespace basrpt::sched

@@ -1,0 +1,21 @@
+// MaxWeight matching scheduler (Tassiulas–Ephremides).
+//
+// Selects the matching maximizing Σ X_ij R_ij via the Hungarian
+// algorithm — the classical throughput-optimal policy for input-queued
+// switches. It is BASRPT's V = 0 extreme computed exactly instead of
+// greedily, and serves as the stability gold standard in the ablation
+// benches (stable, but indifferent to flow sizes, hence poor FCT).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace basrpt::sched {
+
+class MaxWeightScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "maxweight"; }
+  Decision decide(PortId n_ports,
+                  const std::vector<VoqCandidate>& candidates) override;
+};
+
+}  // namespace basrpt::sched

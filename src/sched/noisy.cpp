@@ -1,0 +1,46 @@
+#include "sched/noisy.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace basrpt::sched {
+
+NoisySizeScheduler::NoisySizeScheduler(SchedulerPtr inner, double error,
+                                       std::uint64_t seed)
+    : inner_(std::move(inner)), error_(error), seed_(seed) {
+  BASRPT_REQUIRE(inner_ != nullptr, "noisy decorator needs a scheduler");
+  BASRPT_REQUIRE(error >= 1.0, "error factor must be >= 1 (1 = exact)");
+}
+
+std::string NoisySizeScheduler::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "noisy(x%g)+%s", error_,
+                inner_->name().c_str());
+  return buf;
+}
+
+double NoisySizeScheduler::factor_for(FlowId flow) const {
+  // Deterministic per-flow draw: hash (seed, flow) into a uniform in
+  // [0, 1), then map log-uniformly onto [1/error, error].
+  std::uint64_t state = seed_ ^ (0x9E3779B97F4A7C15ull *
+                                 (static_cast<std::uint64_t>(flow) + 1));
+  const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  const double log_error = std::log(error_);
+  return std::exp((2.0 * u - 1.0) * log_error);
+}
+
+Decision NoisySizeScheduler::decide(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+  if (error_ <= 1.0 + 1e-12) {
+    return inner_->decide(n_ports, candidates);
+  }
+  std::vector<VoqCandidate> noisy = candidates;
+  for (VoqCandidate& c : noisy) {
+    c.shortest_remaining *= factor_for(c.shortest_flow);
+  }
+  return inner_->decide(n_ports, noisy);
+}
+
+}  // namespace basrpt::sched

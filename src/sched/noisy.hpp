@@ -1,0 +1,39 @@
+// Size-estimation noise decorator.
+//
+// Every SRPT-family design (and the paper, Sec. II-A) assumes flow sizes
+// are known a priori. In deployments sizes are estimates (application
+// hints, ML predictors), so robustness to mis-estimation is the first
+// question a practitioner asks. This decorator multiplies each flow's
+// remaining-size estimate by a deterministic per-flow error factor,
+// log-uniform in [1/error, error], before handing candidates to the
+// wrapped scheduler. Backlogs (which a switch measures directly) are
+// left exact. bench_ablation_noise quantifies the FCT/stability impact.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sched/scheduler.hpp"
+
+namespace basrpt::sched {
+
+class NoisySizeScheduler final : public Scheduler {
+ public:
+  /// `error` >= 1: maximum multiplicative mis-estimation (1 = exact).
+  /// The per-flow factor is fixed for the flow's lifetime (estimation
+  /// error does not resample itself every decision).
+  NoisySizeScheduler(SchedulerPtr inner, double error, std::uint64_t seed);
+
+  std::string name() const override;
+  Decision decide(PortId n_ports,
+                  const std::vector<VoqCandidate>& candidates) override;
+
+  double error() const { return error_; }
+
+ private:
+  double factor_for(FlowId flow) const;
+
+  SchedulerPtr inner_;
+  double error_;
+  std::uint64_t seed_;
+};
+
+}  // namespace basrpt::sched

@@ -1,0 +1,60 @@
+#include "sched/scheduler.hpp"
+
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace basrpt::sched {
+
+std::vector<VoqCandidate> build_candidates(const queueing::VoqMatrix& voqs,
+                                           double unit_bytes) {
+  BASRPT_ASSERT(unit_bytes > 0.0, "unit must be positive");
+  std::vector<VoqCandidate> candidates;
+  candidates.reserve(voqs.non_empty_voqs());
+  voqs.for_each_non_empty_voq([&](PortId i, PortId j) {
+    VoqCandidate c;
+    c.ingress = i;
+    c.egress = j;
+    c.backlog = static_cast<double>(voqs.backlog(i, j).count) / unit_bytes;
+    c.flow_count = voqs.flow_count(i, j);
+
+    const FlowId shortest = voqs.shortest_in_voq(i, j);
+    BASRPT_ASSERT(shortest != queueing::kInvalidFlow,
+                  "non-empty VOQ without flows");
+    const queueing::Flow& sf = voqs.flow(shortest);
+    c.shortest_flow = shortest;
+    c.shortest_remaining =
+        static_cast<double>(sf.remaining.count) / unit_bytes;
+    c.shortest_arrival = sf.arrival.seconds;
+
+    const FlowId oldest = voqs.oldest_in_voq(i, j);
+    const queueing::Flow& of = voqs.flow(oldest);
+    c.oldest_flow = oldest;
+    c.oldest_arrival = of.arrival.seconds;
+
+    candidates.push_back(c);
+  });
+  return candidates;
+}
+
+bool decision_is_matching(const Decision& decision,
+                          const queueing::VoqMatrix& voqs) {
+  std::unordered_set<PortId> ingress_used;
+  std::unordered_set<PortId> egress_used;
+  std::unordered_set<FlowId> seen;
+  for (const FlowId id : decision.selected) {
+    if (!voqs.contains(id) || !seen.insert(id).second) {
+      return false;
+    }
+    const queueing::Flow& f = voqs.flow(id);
+    if (!ingress_used.insert(f.src).second) {
+      return false;
+    }
+    if (!egress_used.insert(f.dst).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace basrpt::sched

@@ -1,0 +1,75 @@
+// Flow-scheduler interface over the big-switch abstraction.
+//
+// Both simulators (slotted switch and flow-level fabric) present the
+// scheduler with one candidate per non-empty VOQ and receive back a set
+// of flows forming a matching (at most one flow per ingress and per
+// egress port — the crossbar constraint of Sec. III-B).
+//
+// One candidate per VOQ is lossless for every scheduler here: a matching
+// admits at most one flow per VOQ, and all selection keys in this module
+// depend on the flow only through its remaining size or arrival time, so
+// the per-VOQ minimizer dominates its queue-mates. This keeps a decision
+// O(#non-empty VOQs) instead of O(#active flows) — the difference between
+// a tractable and an intractable unstable-SRPT run, where the number of
+// parked flows grows without bound.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "queueing/flow.hpp"
+#include "queueing/voq.hpp"
+
+namespace basrpt::sched {
+
+using queueing::FlowId;
+using queueing::PortId;
+
+/// Per-VOQ summary handed to schedulers. Sizes and backlogs are in
+/// *packets* (the model's unit; the flow-level simulator divides bytes by
+/// its packet size) so the paper's V values carry over unchanged.
+struct VoqCandidate {
+  PortId ingress = 0;
+  PortId egress = 0;
+  double backlog = 0.0;             // total VOQ backlog X_ij, packets
+  std::size_t flow_count = 0;       // flows queued in this VOQ
+  FlowId shortest_flow = queueing::kInvalidFlow;
+  double shortest_remaining = 0.0;  // packets
+  double shortest_arrival = 0.0;    // arrival time of that flow, seconds
+  FlowId oldest_flow = queueing::kInvalidFlow;
+  double oldest_arrival = 0.0;      // seconds
+};
+
+/// A scheduling decision: flows to serve this slot / until the next
+/// arrival-or-completion event. Guaranteed by implementations to respect
+/// the crossbar constraint.
+struct Decision {
+  std::vector<FlowId> selected;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes a decision. Candidates hold at most one entry per (i, j).
+  virtual Decision decide(PortId n_ports,
+                          const std::vector<VoqCandidate>& candidates) = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// Builds the per-VOQ candidate list from a VoqMatrix. `unit_bytes`
+/// converts bytes to packets (use 1.0 when the matrix already stores
+/// packets, as in the slotted model).
+std::vector<VoqCandidate> build_candidates(const queueing::VoqMatrix& voqs,
+                                           double unit_bytes);
+
+/// Checks the crossbar constraint of a decision against the candidate
+/// set; used by tests and (cheaply) asserted by the simulators.
+bool decision_is_matching(const Decision& decision,
+                          const queueing::VoqMatrix& voqs);
+
+}  // namespace basrpt::sched

@@ -1,0 +1,72 @@
+#include "sim/engine.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace basrpt::sim {
+
+EventId Engine::schedule_at(SimTime t, EventFn fn) {
+  BASRPT_ASSERT(t >= now_, "cannot schedule an event in the past");
+  BASRPT_ASSERT(fn != nullptr, "event callback must be set");
+  const EventId id = next_id_++;
+  calendar_.push(Entry{t, id, std::move(fn)});
+  return id;
+}
+
+EventId Engine::schedule_in(SimTime delay, EventFn fn) {
+  BASRPT_ASSERT(delay.seconds >= 0.0, "delay cannot be negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Engine::run_until(SimTime horizon) {
+  std::uint64_t ran = 0;
+  while (!calendar_.empty() && calendar_.top().t <= horizon) {
+    step();
+    ++ran;
+  }
+  // Advance the clock to the horizon even if the calendar drained early,
+  // so metrics normalized by now() see the full window.
+  if (now_ < horizon) {
+    now_ = horizon;
+  }
+  return ran;
+}
+
+bool Engine::step() {
+  if (calendar_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast on the
+  // callback only (the entry is popped immediately after).
+  Entry entry = calendar_.top();
+  calendar_.pop();
+  BASRPT_ASSERT(entry.t >= now_, "event queue produced an event in the past");
+  now_ = entry.t;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+void schedule_periodic(Engine& engine, SimTime start, SimTime interval,
+                       SimTime horizon, std::function<void(SimTime)> callback) {
+  BASRPT_REQUIRE(interval.seconds > 0.0, "sampling interval must be positive");
+  if (start > horizon) {
+    return;
+  }
+  // Self-rescheduling closure; shared_ptr breaks the lifetime knot of a
+  // lambda that must reference itself.
+  auto tick = std::make_shared<std::function<void()>>();
+  auto cb = std::make_shared<std::function<void(SimTime)>>(std::move(callback));
+  *tick = [&engine, interval, horizon, tick, cb]() {
+    (*cb)(engine.now());
+    const SimTime next = engine.now() + interval;
+    if (next <= horizon) {
+      engine.schedule_at(next, *tick);
+    }
+  };
+  engine.schedule_at(start, *tick);
+}
+
+}  // namespace basrpt::sim

@@ -1,0 +1,78 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded calendar of timestamped callbacks. Events scheduled
+// for the same instant fire in scheduling order (stable tie-break via a
+// sequence number) — determinism matters because scheduler comparisons
+// (SRPT vs BASRPT) must see identical arrival sequences.
+//
+// Preemptive simulators (flowsim) reschedule "next completion" events
+// constantly; rather than supporting O(log n) cancellation the engine
+// hands out monotonically increasing EventIds and callers drop stale
+// wakeups by comparing against their own latest id (the standard
+// lazy-invalidation idiom).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace basrpt::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class Engine {
+ public:
+  Engine() = default;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now). Returns the event id.
+  EventId schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` after `delay` from now.
+  EventId schedule_in(SimTime delay, EventFn fn);
+
+  /// Runs events until the calendar empties or `horizon` is passed.
+  /// Events at exactly `horizon` still fire. Returns the number of
+  /// events executed.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Executes the single next event; returns false if calendar is empty.
+  bool step();
+
+  bool empty() const { return calendar_.empty(); }
+  std::size_t pending() const { return calendar_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) {
+        return a.t > b.t;  // min-heap on time
+      }
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  SimTime now_{};
+  EventId next_id_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> calendar_;
+};
+
+/// Invokes a callback every `interval` until `horizon` (inclusive of the
+/// first tick at `start`). Used for queue-length sampling.
+void schedule_periodic(Engine& engine, SimTime start, SimTime interval,
+                       SimTime horizon,
+                       std::function<void(SimTime)> callback);
+
+}  // namespace basrpt::sim

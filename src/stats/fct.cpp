@@ -1,0 +1,76 @@
+#include "stats/fct.hpp"
+
+#include "common/assert.hpp"
+
+namespace basrpt::stats {
+
+std::string to_string(FlowClass c) {
+  switch (c) {
+    case FlowClass::kQuery:
+      return "query";
+    case FlowClass::kBackground:
+      return "background";
+  }
+  return "?";
+}
+
+void FctAggregator::record(FlowClass cls, SimTime fct, Bytes size) {
+  BASRPT_ASSERT(fct.seconds >= 0.0, "negative FCT");
+  BASRPT_ASSERT(size.count > 0, "completed flow must have positive size");
+  PerClass& entry = per_class_[cls];
+  entry.moments.add(fct.seconds);
+  entry.percentiles.add(fct.seconds);
+  bytes_completed_ += size;
+}
+
+void FctAggregator::record_with_ideal(FlowClass cls, SimTime fct,
+                                      Bytes size, SimTime ideal) {
+  BASRPT_ASSERT(ideal.seconds > 0.0, "ideal FCT must be positive");
+  record(cls, fct, size);
+  PerClass& entry = per_class_[cls];
+  const double slowdown = fct.seconds / ideal.seconds;
+  entry.slowdown_moments.add(slowdown);
+  entry.slowdown_percentiles.add(slowdown);
+}
+
+FctSummary FctAggregator::summary(FlowClass cls) const {
+  FctSummary out;
+  const auto it = per_class_.find(cls);
+  if (it == per_class_.end() || it->second.moments.count() == 0) {
+    return out;
+  }
+  out.completed = it->second.moments.count();
+  out.mean_seconds = it->second.moments.mean();
+  out.p99_seconds = it->second.percentiles.p99();
+  out.max_seconds = it->second.moments.max();
+  if (it->second.slowdown_moments.count() > 0) {
+    out.mean_slowdown = it->second.slowdown_moments.mean();
+    out.p99_slowdown = it->second.slowdown_percentiles.p99();
+  }
+  return out;
+}
+
+std::int64_t FctAggregator::completed(FlowClass cls) const {
+  const auto it = per_class_.find(cls);
+  return it == per_class_.end() ? 0 : it->second.moments.count();
+}
+
+std::int64_t FctAggregator::completed_total() const {
+  std::int64_t total = 0;
+  for (const auto& [cls, entry] : per_class_) {
+    total += entry.moments.count();
+  }
+  return total;
+}
+
+void ThroughputMeter::deliver(Bytes amount) {
+  BASRPT_ASSERT(amount.count >= 0, "cannot deliver negative bytes");
+  delivered_ += amount;
+}
+
+Rate ThroughputMeter::average_rate(SimTime horizon) const {
+  BASRPT_ASSERT(horizon.seconds > 0.0, "horizon must be positive");
+  return Rate{static_cast<double>(delivered_.count) * 8.0 / horizon.seconds};
+}
+
+}  // namespace basrpt::stats

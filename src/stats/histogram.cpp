@@ -1,0 +1,85 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace basrpt::stats {
+
+LogHistogram::LogHistogram(double lo, double hi, int buckets_per_decade)
+    : lo_(lo) {
+  BASRPT_REQUIRE(lo > 0.0 && hi > lo, "log histogram needs 0 < lo < hi");
+  BASRPT_REQUIRE(buckets_per_decade >= 1, "need at least 1 bucket per decade");
+  log_lo_ = std::log10(lo);
+  log_ratio_ = 1.0 / buckets_per_decade;
+  const double decades = std::log10(hi) - log_lo_;
+  const auto n = static_cast<std::size_t>(
+      std::ceil(decades * buckets_per_decade));
+  counts_.assign(std::max<std::size_t>(n, 1), 0);
+}
+
+void LogHistogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(
+      (std::log10(value) - log_lo_) / log_ratio_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double LogHistogram::bucket_lower(std::size_t idx) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(idx) * log_ratio_);
+}
+
+double LogHistogram::quantile(double q) const {
+  BASRPT_ASSERT(total_ > 0, "quantile of empty histogram");
+  const auto target = static_cast<std::int64_t>(
+      q * static_cast<double>(total_));
+  std::int64_t seen = underflow_;
+  if (seen > target) {
+    return lo_;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      // Midpoint of bucket i (geometric).
+      return std::pow(10.0, log_lo_ +
+                                (static_cast<double>(i) + 0.5) * log_ratio_);
+    }
+  }
+  return bucket_lower(counts_.size() - 1);
+}
+
+std::string LogHistogram::render(int max_width) const {
+  std::ostringstream out;
+  std::int64_t peak = std::max<std::int64_t>(
+      1, *std::max_element(counts_.begin(), counts_.end()));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const int width = static_cast<int>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        max_width);
+    out << bucket_lower(i) << "\t" << counts_[i] << "\t"
+        << std::string(static_cast<std::size_t>(std::max(width, 1)), '*')
+        << "\n";
+  }
+  if (underflow_ > 0) {
+    out << "(underflow: " << underflow_ << ")\n";
+  }
+  if (overflow_ > 0) {
+    out << "(overflow: " << overflow_ << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace basrpt::stats

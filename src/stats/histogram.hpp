@@ -1,0 +1,45 @@
+// Logarithmically-bucketed histogram for FCTs and queue lengths, whose
+// natural dynamic ranges span 4-6 decades.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace basrpt::stats {
+
+/// Histogram with geometric bucket boundaries lo * ratio^k over [lo, hi].
+/// Values below lo land in an underflow bucket, above hi in overflow.
+class LogHistogram {
+ public:
+  /// `buckets_per_decade` controls resolution (e.g. 10 → ratio 10^0.1).
+  LogHistogram(double lo, double hi, int buckets_per_decade = 10);
+
+  void add(double value);
+
+  std::int64_t total() const { return total_; }
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::int64_t bucket_value(std::size_t idx) const { return counts_[idx]; }
+  /// Lower edge of bucket idx.
+  double bucket_lower(std::size_t idx) const;
+
+  /// Approximate quantile from bucket midpoints.
+  double quantile(double q) const;
+
+  /// ASCII rendering used by examples ("*" bars, one line per non-empty
+  /// bucket).
+  std::string render(int max_width = 60) const;
+
+ private:
+  double lo_;
+  double log_lo_;
+  double log_ratio_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace basrpt::stats

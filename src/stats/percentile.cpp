@@ -1,0 +1,126 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace basrpt::stats {
+
+// --------------------------------------------------------- ExactPercentiles
+
+void ExactPercentiles::add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+double ExactPercentiles::quantile(double q) const {
+  BASRPT_ASSERT(!values_.empty(), "quantile of empty sample set");
+  BASRPT_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double rank = q * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+// --------------------------------------------------------------- P2Quantile
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  BASRPT_REQUIRE(q > 0.0 && q < 1.0, "P2 quantile must be in (0,1)");
+  warmup_.reserve(5);
+}
+
+void P2Quantile::add(double value) {
+  ++count_;
+  if (count_ <= 5) {
+    warmup_.push_back(value);
+    if (count_ == 5) {
+      std::sort(warmup_.begin(), warmup_.end());
+      for (int i = 0; i < 5; ++i) {
+        heights_[i] = warmup_[static_cast<std::size_t>(i)];
+        positions_[i] = i + 1;
+      }
+      desired_[0] = 1;
+      desired_[1] = 1 + 2 * q_;
+      desired_[2] = 1 + 4 * q_;
+      desired_[3] = 3 + 2 * q_;
+      desired_[4] = 5;
+      increments_[0] = 0;
+      increments_[1] = q_ / 2;
+      increments_[2] = q_;
+      increments_[3] = (1 + q_) / 2;
+      increments_[4] = 1;
+    }
+    return;
+  }
+
+  // Locate cell k such that heights_[k] <= value < heights_[k+1].
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) {
+      ++k;
+    }
+  }
+
+  for (int i = k + 1; i < 5; ++i) {
+    positions_[i] += 1;
+  }
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust interior markers via parabolic (or linear) interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double gap_up = positions_[i + 1] - positions_[i];
+    const double gap_down = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && gap_up > 1.0) || (d <= -1.0 && gap_down < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double new_height =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) / gap_up +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) / (-gap_down));
+      if (heights_[i - 1] < new_height && new_height < heights_[i + 1]) {
+        heights_[i] = new_height;
+      } else {
+        // Fall back to linear interpolation toward the neighbor.
+        const int j = sign > 0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  BASRPT_ASSERT(count_ > 0, "P2 estimate with no samples");
+  if (count_ < 5) {
+    std::vector<double> sorted = warmup_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q_ * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+}  // namespace basrpt::stats

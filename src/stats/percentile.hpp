@@ -1,0 +1,54 @@
+// Percentile estimation.
+//
+// ExactPercentiles stores every sample (the paper's FCT tables use p99 on
+// full runs, which our run sizes afford). P2Quantile is the Jain/Chlamtac
+// streaming estimator for long-horizon traces where storing every queue
+// sample would dominate memory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace basrpt::stats {
+
+/// Exact quantiles over stored samples.
+class ExactPercentiles {
+ public:
+  void add(double value);
+  std::size_t count() const { return values_.size(); }
+
+  /// Quantile in [0, 1] using linear interpolation between closest ranks.
+  /// Requires at least one sample.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// P² streaming quantile estimator (Jain & Chlamtac 1985): five markers,
+/// O(1) memory, no storage of samples.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double value);
+  std::size_t count() const { return count_; }
+
+  /// Current estimate; exact while fewer than 5 samples seen.
+  double value() const;
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  double heights_[5] = {};
+  double positions_[5] = {};
+  double desired_[5] = {};
+  double increments_[5] = {};
+  std::vector<double> warmup_;
+};
+
+}  // namespace basrpt::stats

@@ -1,0 +1,34 @@
+// Streaming first/second-moment accumulator (Welford's algorithm).
+#pragma once
+
+#include <cstdint>
+
+namespace basrpt::stats {
+
+/// Numerically stable running count/mean/variance/min/max.
+class StreamingMoments {
+ public:
+  void add(double value);
+
+  std::int64_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel Welford).
+  void merge(const StreamingMoments& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace basrpt::stats

@@ -1,0 +1,78 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace basrpt::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BASRPT_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  BASRPT_ASSERT(cells.size() == headers_.size(),
+                "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c]
+          << std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 2;
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+std::string Table::render_csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      BASRPT_ASSERT(cells[c].find(',') == std::string::npos,
+                    "CSV cell contains a comma");
+      out << cells[c];
+      if (c + 1 < cells.size()) {
+        out << ",";
+      }
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+std::string cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string cell(std::int64_t value) { return std::to_string(value); }
+
+}  // namespace basrpt::stats

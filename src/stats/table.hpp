@@ -1,0 +1,37 @@
+// Fixed-width table rendering for bench output.
+//
+// Every bench binary reproduces one table or figure of the paper; this
+// renderer keeps their output uniform and machine-greppable (also emits
+// CSV for plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace basrpt::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Pretty fixed-width rendering with a header underline.
+  std::string render() const;
+
+  /// Comma-separated rendering (no quoting; cells must not contain ',').
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper for table cells.
+std::string cell(double value, int precision = 3);
+std::string cell(std::int64_t value);
+
+}  // namespace basrpt::stats

@@ -1,0 +1,116 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace basrpt::stats {
+
+TimeSeries::TimeSeries(std::size_t max_points) : max_points_(max_points) {
+  BASRPT_REQUIRE(max_points >= 8, "time series needs at least 8 points");
+  points_.reserve(std::min<std::size_t>(max_points, 4096));
+}
+
+void TimeSeries::add(SimTime t, double value) {
+  if (!points_.empty()) {
+    BASRPT_ASSERT(t.seconds >= points_.back().t,
+                  "time series samples must be non-decreasing in time");
+  }
+  if (++pending_ < stride_) {
+    return;
+  }
+  pending_ = 0;
+  points_.push_back({t.seconds, value});
+  maybe_compact();
+}
+
+void TimeSeries::maybe_compact() {
+  if (points_.size() < max_points_) {
+    return;
+  }
+  std::vector<Point> kept;
+  kept.reserve(points_.size() / 2 + 1);
+  for (std::size_t i = 0; i < points_.size(); i += 2) {
+    kept.push_back(points_[i]);
+  }
+  points_ = std::move(kept);
+  stride_ *= 2;
+}
+
+double TimeSeries::slope() const {
+  if (points_.size() < 2) {
+    return 0.0;
+  }
+  // Ordinary least squares on (t, value).
+  double mean_t = 0.0;
+  double mean_v = 0.0;
+  for (const Point& p : points_) {
+    mean_t += p.t;
+    mean_v += p.value;
+  }
+  mean_t /= static_cast<double>(points_.size());
+  mean_v /= static_cast<double>(points_.size());
+  double cov = 0.0;
+  double var = 0.0;
+  for (const Point& p : points_) {
+    cov += (p.t - mean_t) * (p.value - mean_v);
+    var += (p.t - mean_t) * (p.t - mean_t);
+  }
+  return var == 0.0 ? 0.0 : cov / var;
+}
+
+double TimeSeries::window_mean(SimTime t_lo, SimTime t_hi) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.t >= t_lo.seconds && p.t <= t_hi.seconds) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::tail_mean(double fraction) const {
+  BASRPT_ASSERT(!points_.empty(), "tail_mean of empty series");
+  const double t0 = points_.front().t;
+  const double t1 = points_.back().t;
+  return window_mean(SimTime{t1 - (t1 - t0) * fraction}, SimTime{t1});
+}
+
+double TimeSeries::max_value() const {
+  BASRPT_ASSERT(!points_.empty(), "max_value of empty series");
+  double best = points_.front().value;
+  for (const Point& p : points_) {
+    best = std::max(best, p.value);
+  }
+  return best;
+}
+
+double TimeSeries::last_value() const {
+  BASRPT_ASSERT(!points_.empty(), "last_value of empty series");
+  return points_.back().value;
+}
+
+TrendVerdict classify_trend(const TimeSeries& series, double ratio_threshold) {
+  TrendVerdict verdict;
+  if (series.size() < 8) {
+    return verdict;
+  }
+  verdict.slope = series.slope();
+  const double t0 = series.points().front().t;
+  const double t1 = series.points().back().t;
+  const double span = t1 - t0;
+  // Middle window: [0.25, 0.5] of the span; tail window: last quarter.
+  const double mid = series.window_mean(SimTime{t0 + 0.25 * span},
+                                        SimTime{t0 + 0.50 * span});
+  const double tail = series.tail_mean(0.25);
+  verdict.growth_ratio = mid > 0.0 ? tail / mid
+                         : (tail > 0.0 ? ratio_threshold * 2.0 : 1.0);
+  verdict.growing = verdict.slope > 0.0 &&
+                    verdict.growth_ratio >= ratio_threshold;
+  return verdict;
+}
+
+}  // namespace basrpt::stats

@@ -1,0 +1,70 @@
+// Time series recording and trend analysis.
+//
+// The paper's stability verdicts (Figs. 2, 5b, 7) come from eyeballing
+// queue-length traces over 500 s: "if the queue length keeps growing in
+// macroscale during the total 500s, we think of it as unstable". We make
+// that judgement programmatic: linear-regression slope plus a
+// windowed-growth ratio, so tests can assert stability/instability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace basrpt::stats {
+
+/// A (time, value) sample trace with bounded memory: when `max_points` is
+/// exceeded the series halves itself by dropping every other point and
+/// doubling the sampling stride (so long traces keep uniform coverage).
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t max_points = 1 << 16);
+
+  void add(SimTime t, double value);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  struct Point {
+    double t;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Least-squares slope of value against time (units: value per second).
+  double slope() const;
+
+  /// Mean of the samples whose time lies in [t_lo, t_hi].
+  double window_mean(SimTime t_lo, SimTime t_hi) const;
+
+  /// Mean over the last `fraction` of the trace's time span.
+  double tail_mean(double fraction = 0.25) const;
+
+  double max_value() const;
+  double last_value() const;
+
+ private:
+  void maybe_compact();
+
+  std::size_t max_points_;
+  std::size_t stride_ = 1;   // accept every stride-th sample
+  std::size_t pending_ = 0;  // samples since last accepted
+  std::vector<Point> points_;
+};
+
+/// Stability verdict for a queue-length trace.
+struct TrendVerdict {
+  double slope = 0.0;         // value per second
+  double growth_ratio = 1.0;  // tail mean / middle mean
+  bool growing = false;
+};
+
+/// Classifies a trace as growing (unstable) when the tail mean
+/// substantially exceeds the middle-of-trace mean AND the overall slope
+/// is positive. `ratio_threshold` guards against verdicts driven by
+/// noise around a stable plateau.
+TrendVerdict classify_trend(const TimeSeries& series,
+                            double ratio_threshold = 1.5);
+
+}  // namespace basrpt::stats

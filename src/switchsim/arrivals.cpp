@@ -1,0 +1,157 @@
+#include "switchsim/arrivals.hpp"
+
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace basrpt::switchsim {
+
+namespace {
+
+/// Geometric inter-arrival sampling: next success strictly after `t` for
+/// a Bernoulli(p) process.
+Slot next_arrival_after(Slot t, double p, Rng& rng) {
+  BASRPT_ASSERT(p > 0.0 && p <= 1.0, "Bernoulli probability out of range");
+  if (p >= 1.0) {
+    return t + 1;
+  }
+  const double u = rng.uniform01();
+  const auto gap = static_cast<Slot>(
+      std::floor(std::log(1.0 - u) / std::log(1.0 - p))) + 1;
+  return t + std::max<Slot>(gap, 1);
+}
+
+struct VoqProcess {
+  Slot next_slot;
+  PortId src;
+  PortId dst;
+  double p;
+};
+
+struct Later {
+  bool operator()(const VoqProcess& a, const VoqProcess& b) const {
+    if (a.next_slot != b.next_slot) {
+      return a.next_slot > b.next_slot;
+    }
+    if (a.src != b.src) {
+      return a.src > b.src;
+    }
+    return a.dst > b.dst;
+  }
+};
+
+struct BernoulliState {
+  std::priority_queue<VoqProcess, std::vector<VoqProcess>, Later> heap;
+  SizeMix mix;
+  Slot horizon;
+  Rng rng;
+  Packets query_cutoff;
+};
+
+}  // namespace
+
+ArrivalStream bernoulli_arrivals(std::vector<std::vector<double>> rates,
+                                 SizeMix mix, Slot horizon, Rng rng,
+                                 Packets query_cutoff) {
+  BASRPT_REQUIRE(mix.small >= 1 && mix.large >= mix.small,
+                 "size mix must satisfy 1 <= small <= large");
+  BASRPT_REQUIRE(mix.p_small >= 0.0 && mix.p_small <= 1.0,
+                 "p_small must be a probability");
+  const auto n = static_cast<PortId>(rates.size());
+  BASRPT_REQUIRE(n >= 1, "rate matrix must be non-empty");
+
+  auto state = std::make_shared<BernoulliState>();
+  state->mix = mix;
+  state->horizon = horizon;
+  state->rng = rng;
+  state->query_cutoff = query_cutoff;
+
+  const double mean_size = mix.mean();
+  Rng seeder = rng.split(0xBEEF);
+  for (PortId i = 0; i < n; ++i) {
+    BASRPT_REQUIRE(rates[static_cast<std::size_t>(i)].size() ==
+                       static_cast<std::size_t>(n),
+                   "rate matrix must be square");
+    for (PortId j = 0; j < n; ++j) {
+      const double lambda =
+          rates[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (lambda <= 0.0) {
+        continue;
+      }
+      const double p = lambda / mean_size;
+      BASRPT_REQUIRE(p <= 1.0,
+                     "per-slot flow probability exceeds 1; lower the load "
+                     "or raise the mean flow size");
+      VoqProcess proc{0, i, j, p};
+      proc.next_slot = next_arrival_after(-1, p, seeder);
+      state->heap.push(proc);
+    }
+  }
+
+  return [state]() -> std::optional<SlottedArrival> {
+    while (!state->heap.empty()) {
+      VoqProcess proc = state->heap.top();
+      state->heap.pop();
+      if (proc.next_slot >= state->horizon) {
+        continue;  // this VOQ's process ran past the horizon; drop it
+      }
+      SlottedArrival arrival;
+      arrival.slot = proc.next_slot;
+      arrival.src = proc.src;
+      arrival.dst = proc.dst;
+      const bool small = state->rng.bernoulli(state->mix.p_small);
+      arrival.size = small ? state->mix.small : state->mix.large;
+      arrival.cls = arrival.size <= state->query_cutoff
+                        ? stats::FlowClass::kQuery
+                        : stats::FlowClass::kBackground;
+      proc.next_slot = next_arrival_after(proc.next_slot, proc.p, state->rng);
+      state->heap.push(proc);
+      return arrival;
+    }
+    return std::nullopt;
+  };
+}
+
+std::vector<std::vector<double>> uniform_rates(PortId n_ports, double load) {
+  BASRPT_REQUIRE(n_ports >= 2, "uniform rates need at least 2 ports");
+  BASRPT_REQUIRE(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+  const auto n = static_cast<std::size_t>(n_ports);
+  std::vector<std::vector<double>> rates(n, std::vector<double>(n, 0.0));
+  const double entry = load / static_cast<double>(n_ports - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        rates[i][j] = entry;
+      }
+    }
+  }
+  return rates;
+}
+
+std::vector<std::vector<double>> skewed_rates(PortId n_ports, double load,
+                                              double local_share) {
+  BASRPT_REQUIRE(n_ports >= 4 && n_ports % 2 == 0,
+                 "skewed rates pair up ports; need an even count >= 4");
+  BASRPT_REQUIRE(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+  BASRPT_REQUIRE(local_share > 0.0 && local_share < 1.0,
+                 "local share must be in (0, 1)");
+  const auto n = static_cast<std::size_t>(n_ports);
+  std::vector<std::vector<double>> rates(n, std::vector<double>(n, 0.0));
+  const double uniform_entry =
+      load * (1.0 - local_share) / static_cast<double>(n_ports - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        rates[i][j] = uniform_entry;
+      }
+    }
+    // Partner of port i is i^1 (ports paired 0-1, 2-3, ...): the
+    // "rack-local large transfer" destination.
+    rates[i][i ^ 1] += load * local_share;
+  }
+  return rates;
+}
+
+}  // namespace basrpt::switchsim

@@ -1,0 +1,49 @@
+// Random flow-arrival processes for the slotted model.
+//
+// Per VOQ (i, j) with packet rate λ_ij, flows of mean size m packets
+// arrive as a Bernoulli process with per-slot probability λ_ij / m — at
+// most one flow per VOQ per slot, exactly the model assumption of
+// Sec. III-B. Sizes come from a two-point small/large mix, the minimal
+// distribution that exhibits the paper's "small queries preempt large
+// transfers" mechanism and keeps E[A^2] bounded (the theorem's B).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "switchsim/slotted_sim.hpp"
+
+namespace basrpt::switchsim {
+
+/// Two-point flow-size mix (packets).
+struct SizeMix {
+  Packets small = 1;
+  Packets large = 16;
+  double p_small = 0.9;
+
+  double mean() const {
+    return p_small * static_cast<double>(small) +
+           (1.0 - p_small) * static_cast<double>(large);
+  }
+};
+
+/// Builds an ArrivalStream producing Bernoulli flow arrivals with packet
+/// rates `rates[i][j]` (packets/slot; all line sums should be < 1 for a
+/// stabilizable workload) and sizes from `mix`, up to `horizon`. Flows
+/// of size > `query_cutoff` packets are classed kBackground, others
+/// kQuery.
+ArrivalStream bernoulli_arrivals(std::vector<std::vector<double>> rates,
+                                 SizeMix mix, Slot horizon, Rng rng,
+                                 Packets query_cutoff = 4);
+
+/// Uniform admissible rate matrix: every off-diagonal entry carries
+/// load/(N−1) packets/slot so each line sums to `load`.
+std::vector<std::vector<double>> uniform_rates(PortId n_ports, double load);
+
+/// Skewed matrix modeled on the paper's traffic spatial pattern: a
+/// rack-local heavy entry per port pair plus a uniform query background.
+/// `local_share` of the load goes to the designated partner port.
+std::vector<std::vector<double>> skewed_rates(PortId n_ports, double load,
+                                              double local_share);
+
+}  // namespace basrpt::switchsim

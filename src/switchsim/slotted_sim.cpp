@@ -1,0 +1,115 @@
+#include "switchsim/slotted_sim.hpp"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace basrpt::switchsim {
+
+SlottedResult run_slotted(const SlottedConfig& config,
+                          sched::Scheduler& scheduler,
+                          const ArrivalStream& arrivals) {
+  BASRPT_REQUIRE(config.n_ports >= 1, "need at least one port");
+  BASRPT_REQUIRE(config.horizon >= 1, "horizon must be positive");
+  BASRPT_REQUIRE(config.sample_every >= 1, "sample period must be positive");
+  BASRPT_REQUIRE(config.watched_src >= 0 &&
+                     config.watched_src < config.n_ports &&
+                     config.watched_dst >= 0 &&
+                     config.watched_dst < config.n_ports,
+                 "watched VOQ out of range");
+
+  queueing::VoqMatrix voqs(config.n_ports);
+  SlottedResult result(config.watched_src, config.watched_dst);
+  result.horizon = config.horizon;
+
+  std::unordered_map<queueing::FlowId, Slot> arrival_slot;
+  queueing::FlowId next_id = 0;
+
+  std::optional<SlottedArrival> pending = arrivals();
+  Slot last_slot_seen = pending ? pending->slot : 0;
+
+  for (Slot t = 0; t < config.horizon; ++t) {
+    // Admit arrivals stamped with this slot (visible to this decision).
+    while (pending && pending->slot <= t) {
+      BASRPT_ASSERT(pending->slot >= last_slot_seen,
+                    "arrival stream went backwards in time");
+      last_slot_seen = pending->slot;
+      BASRPT_ASSERT(pending->size > 0, "flow must carry packets");
+      queueing::Flow flow;
+      flow.id = next_id++;
+      flow.src = pending->src;
+      flow.dst = pending->dst;
+      flow.size = Bytes{pending->size};  // 1 byte == 1 packet here
+      flow.remaining = flow.size;
+      flow.arrival = SimTime{static_cast<double>(pending->slot)};
+      flow.cls = pending->cls;
+      voqs.add_flow(flow);
+      arrival_slot.emplace(flow.id, pending->slot);
+      pending = arrivals();
+    }
+
+    result.backlog_packets.add(
+        static_cast<double>(voqs.total_backlog().count));
+
+    // Decide and serve one packet per selected flow.
+    const auto candidates = sched::build_candidates(voqs, 1.0);
+    if (!candidates.empty()) {
+      const auto decision = scheduler.decide(config.n_ports, candidates);
+      BASRPT_ASSERT(sched::decision_is_matching(decision, voqs),
+                    "scheduler violated the crossbar constraint");
+      if (!decision.selected.empty()) {
+        double selected_size = 0.0;
+        for (const queueing::FlowId id : decision.selected) {
+          selected_size +=
+              static_cast<double>(voqs.flow(id).remaining.count);
+        }
+        result.penalty.add(selected_size /
+                           static_cast<double>(decision.selected.size()));
+      }
+      for (const queueing::FlowId id : decision.selected) {
+        const queueing::Flow flow_copy = voqs.flow(id);
+        const bool completed = voqs.drain(id, Bytes{1});
+        ++result.delivered_packets;
+        if (completed) {
+          const auto it = arrival_slot.find(id);
+          BASRPT_ASSERT(it != arrival_slot.end(), "unknown completed flow");
+          const Slot fct_slots = t - it->second + 1;
+          result.fct.record(flow_copy.cls,
+                            SimTime{static_cast<double>(fct_slots)},
+                            flow_copy.size);
+          arrival_slot.erase(it);
+        }
+      }
+    }
+
+    if (t % config.sample_every == 0) {
+      const SimTime now{static_cast<double>(t)};
+      result.backlog.sample(now, voqs);
+      result.drift.observe(queueing::lyapunov_value(voqs, 1.0));
+    }
+  }
+
+  result.left_packets = voqs.total_backlog().count;
+  result.left_flows = static_cast<std::int64_t>(voqs.active_flows());
+  return result;
+}
+
+ArrivalStream stream_from_vector(std::vector<SlottedArrival> arrivals) {
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    BASRPT_REQUIRE(arrivals[i].slot >= arrivals[i - 1].slot,
+                   "slotted arrivals must be sorted by slot");
+  }
+  auto state = std::make_shared<std::pair<std::vector<SlottedArrival>,
+                                          std::size_t>>(std::move(arrivals),
+                                                        0);
+  return [state]() -> std::optional<SlottedArrival> {
+    if (state->second >= state->first.size()) {
+      return std::nullopt;
+    }
+    return state->first[state->second++];
+  };
+}
+
+}  // namespace basrpt::switchsim

@@ -1,0 +1,106 @@
+#include "topo/maxmin.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace basrpt::topo {
+
+std::vector<Rate> max_min_rates(const std::vector<FlowDemand>& demands,
+                                const std::vector<Rate>& capacities) {
+  const std::size_t n_flows = demands.size();
+  const std::size_t n_links = capacities.size();
+  std::vector<Rate> rates(n_flows, Rate{0.0});
+  if (n_flows == 0) {
+    return rates;
+  }
+
+  constexpr double kEps = 1e-6;  // bits/s; capacities are ~1e9-1e10
+
+  std::vector<double> residual(n_links);
+  for (std::size_t l = 0; l < n_links; ++l) {
+    BASRPT_ASSERT(capacities[l].bits_per_sec >= 0.0,
+                  "negative link capacity");
+    residual[l] = capacities[l].bits_per_sec;
+  }
+
+  // Weight of unfrozen traffic per link.
+  std::vector<double> weight(n_links, 0.0);
+  std::vector<bool> frozen(n_flows, false);
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    BASRPT_ASSERT(!demands[f].path.empty(), "flow demand with empty path");
+    for (const LinkUse& use : demands[f].path) {
+      BASRPT_ASSERT(use.link >= 0 &&
+                        static_cast<std::size_t>(use.link) < n_links,
+                    "link id out of range");
+      BASRPT_ASSERT(use.fraction > 0.0 && use.fraction <= 1.0,
+                    "link fraction must be in (0, 1]");
+      weight[static_cast<std::size_t>(use.link)] += use.fraction;
+    }
+  }
+
+  // All unfrozen flows always share one common rate "level"; progressive
+  // filling raises it until a link saturates or a flow hits its cap.
+  double level = 0.0;
+  std::size_t remaining = n_flows;
+
+  while (remaining > 0) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < n_links; ++l) {
+      if (weight[l] > kEps) {
+        delta = std::min(delta, residual[l] / weight[l]);
+      }
+    }
+    for (std::size_t f = 0; f < n_flows; ++f) {
+      if (!frozen[f] && demands[f].cap.bits_per_sec > 0.0) {
+        delta = std::min(delta, demands[f].cap.bits_per_sec - level);
+      }
+    }
+    BASRPT_ASSERT(std::isfinite(delta),
+                  "progressive filling found no binding constraint");
+    delta = std::max(delta, 0.0);
+
+    level += delta;
+    for (std::size_t l = 0; l < n_links; ++l) {
+      if (weight[l] > kEps) {
+        residual[l] -= weight[l] * delta;
+      }
+    }
+
+    // Freeze flows on saturated links or at their caps.
+    std::size_t newly_frozen = 0;
+    for (std::size_t f = 0; f < n_flows; ++f) {
+      if (frozen[f]) {
+        continue;
+      }
+      bool freeze = false;
+      if (demands[f].cap.bits_per_sec > 0.0 &&
+          level >= demands[f].cap.bits_per_sec - kEps) {
+        freeze = true;
+      }
+      if (!freeze) {
+        for (const LinkUse& use : demands[f].path) {
+          if (residual[static_cast<std::size_t>(use.link)] <= kEps) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        frozen[f] = true;
+        rates[f] = Rate{level};
+        for (const LinkUse& use : demands[f].path) {
+          weight[static_cast<std::size_t>(use.link)] -= use.fraction;
+        }
+        ++newly_frozen;
+      }
+    }
+    remaining -= newly_frozen;
+    BASRPT_ASSERT(newly_frozen > 0 || remaining == 0,
+                  "progressive filling made no progress");
+  }
+  return rates;
+}
+
+}  // namespace basrpt::topo

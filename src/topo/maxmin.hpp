@@ -1,0 +1,30 @@
+// Weighted max-min fair rate allocation (progressive filling).
+//
+// Given a set of concurrently served flows, each consuming a fraction of
+// capacity on the links of its path, compute the max-min fair rate
+// vector: grow all unfrozen flows' rates uniformly; when a link
+// saturates, freeze its flows at the current rate; repeat. This is the
+// fluid model every flow-level datacenter simulator (including the
+// paper's) uses between scheduling events.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "topo/topology.hpp"
+
+namespace basrpt::topo {
+
+/// One flow's demand: its path (fractional link uses) and an optional
+/// rate cap (e.g. the sender NIC limit); no cap = uncapped.
+struct FlowDemand {
+  std::vector<LinkUse> path;
+  Rate cap = Rate{0.0};  // 0 means uncapped
+};
+
+/// Max-min fair rates for `demands` subject to `capacities`. Result[i]
+/// is the rate of demands[i]. Flows with empty paths are invalid.
+std::vector<Rate> max_min_rates(const std::vector<FlowDemand>& demands,
+                                const std::vector<Rate>& capacities);
+
+}  // namespace basrpt::topo

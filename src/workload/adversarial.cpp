@@ -1,0 +1,64 @@
+#include "workload/adversarial.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace basrpt::workload {
+
+namespace {
+
+FlowArrival make(SimTime t, PortId src, PortId dst, Bytes size,
+                 stats::FlowClass cls) {
+  FlowArrival a;
+  a.time = t;
+  a.src = src;
+  a.dst = dst;
+  a.size = size;
+  a.cls = cls;
+  return a;
+}
+
+}  // namespace
+
+std::vector<FlowArrival> fig1_example(SimTime slot, Bytes packet) {
+  BASRPT_REQUIRE(slot.seconds > 0.0, "slot must be positive");
+  BASRPT_REQUIRE(packet.count > 0, "packet must be positive");
+  // A=0, B=1, C=2, D=3. f1: 5 packets A→C at t=0; f2: 1 packet A→B at
+  // t=0; f3: 1 packet D→C at t=1 (beginning of slot 2).
+  return {
+      make(SimTime{0.0}, 0, 2, packet * 5, stats::FlowClass::kBackground),
+      make(SimTime{0.0}, 0, 1, packet, stats::FlowClass::kQuery),
+      make(slot, 3, 2, packet, stats::FlowClass::kQuery),
+  };
+}
+
+std::vector<FlowArrival> srpt_starvation_pattern(
+    SimTime slot, Bytes packet, std::int64_t long_packets,
+    std::int64_t long_period_slots, std::int64_t rounds) {
+  BASRPT_REQUIRE(slot.seconds > 0.0, "slot must be positive");
+  BASRPT_REQUIRE(packet.count > 0, "packet must be positive");
+  BASRPT_REQUIRE(long_packets >= 2, "long flows need >= 2 packets");
+  BASRPT_REQUIRE(long_period_slots > 2 * long_packets,
+                 "per-port load would reach 1: need period > 2*long_packets");
+  BASRPT_REQUIRE(rounds >= 1, "need at least one round");
+
+  std::vector<FlowArrival> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(
+      rounds + rounds / long_period_slots + 1));
+  for (std::int64_t s = 0; s < rounds; ++s) {
+    const SimTime t{slot.seconds * static_cast<double>(s)};
+    if (s % long_period_slots == 0) {
+      arrivals.push_back(make(t, 0, 2, packet * long_packets,
+                              stats::FlowClass::kBackground));
+    }
+    if (s % 2 == 0) {
+      arrivals.push_back(make(t, 0, 1, packet, stats::FlowClass::kQuery));
+    } else {
+      arrivals.push_back(make(t, 3, 2, packet, stats::FlowClass::kQuery));
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace basrpt::workload

@@ -1,0 +1,37 @@
+// Deterministic adversarial patterns.
+//
+// Fig. 1 of the paper: flows f1 (5 packets, A→C at t=0), f2 (1 packet,
+// A→B at t=0), f3 (1 packet, D→C at t=1). SRPT leaves one packet of f1
+// after 6 slots; a backlog-aware schedule finishes everything.
+//
+// The generalization (`srpt_starvation_pattern`) keeps alternating
+// 1-packet flows that hit the long flows' source and destination in
+// non-overlapping slots — the exact mechanism Sec. II-B blames for
+// instability: "the two 1-packet flows not overlapping in time domain...
+// preempt 2 slots from f1 one after another". A fresh long flow is
+// injected every `long_period_slots`, so under SRPT the 0→2 backlog
+// grows without bound while every port's offered load stays strictly
+// below 1 packet/slot.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/traffic.hpp"
+
+namespace basrpt::workload {
+
+/// The literal 3-flow example of Fig. 1 on a 4-port fabric
+/// (A=0, B=1, C=2, D=3). `slot` is the duration of one model slot (one
+/// packet transmission time); `packet` the packet size.
+std::vector<FlowArrival> fig1_example(SimTime slot, Bytes packet);
+
+/// Unbounded starvation pattern on 4 ports: a `long_packets`-packet
+/// background flow 0→2 every `long_period_slots` slots (starting at
+/// t=0), plus 1-packet query flows 0→1 at even slots and 3→2 at odd
+/// slots, for `rounds` slots total. Admissible iff
+/// 0.5 + long_packets/long_period_slots < 1.
+std::vector<FlowArrival> srpt_starvation_pattern(
+    SimTime slot, Bytes packet, std::int64_t long_packets,
+    std::int64_t long_period_slots, std::int64_t rounds);
+
+}  // namespace basrpt::workload

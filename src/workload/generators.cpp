@@ -1,0 +1,186 @@
+#include "workload/generators.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "dist/flow_sizes.hpp"
+
+namespace basrpt::workload {
+
+double arrivals_per_host_sec(double load_fraction, Rate host_link,
+                             double mean_size_bytes) {
+  BASRPT_REQUIRE(load_fraction > 0.0, "load fraction must be positive");
+  BASRPT_REQUIRE(mean_size_bytes > 0.0, "mean flow size must be positive");
+  return load_fraction * host_link.bits_per_sec / (8.0 * mean_size_bytes);
+}
+
+double hyperexponential_gap(Rng& rng, double rate, double cv2) {
+  BASRPT_ASSERT(rate > 0.0, "arrival rate must be positive");
+  BASRPT_ASSERT(cv2 >= 1.0, "hyperexponential needs CV^2 >= 1");
+  if (cv2 <= 1.0 + 1e-12) {
+    return rng.exponential(rate);
+  }
+  // Balanced two-phase hyperexponential: phase probabilities
+  // p_{1,2} = (1 ± sqrt((c-1)/(c+1)))/2, phase rates 2*p_i*rate.
+  const double s = std::sqrt((cv2 - 1.0) / (cv2 + 1.0));
+  const double p1 = 0.5 * (1.0 + s);
+  const bool phase1 = rng.bernoulli(p1);
+  const double phase_rate = 2.0 * (phase1 ? p1 : (1.0 - p1)) * rate;
+  return rng.exponential(phase_rate);
+}
+
+namespace {
+
+void check_class(const ClassConfig& config) {
+  BASRPT_REQUIRE(config.sizes != nullptr, "traffic class needs a size dist");
+  BASRPT_REQUIRE(config.load_fraction > 0.0 && config.load_fraction < 1.0,
+                 "per-class load fraction must be in (0, 1)");
+  BASRPT_REQUIRE(config.host_link.bits_per_sec > 0.0,
+                 "host link rate must be positive");
+  BASRPT_REQUIRE(config.burstiness_cv2 >= 1.0,
+                 "burstiness CV^2 must be >= 1 (1 = Poisson)");
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- QueryTraffic
+
+QueryTraffic::QueryTraffic(ClassConfig config, std::int32_t hosts, Rng rng,
+                           std::shared_ptr<LoadGovernor> governor)
+    : governor_(std::move(governor)),
+      config_(std::move(config)),
+      hosts_(hosts),
+      rng_(rng) {
+  check_class(config_);
+  BASRPT_REQUIRE(hosts >= 2, "query traffic needs at least two hosts");
+  aggregate_rate_ =
+      arrivals_per_host_sec(config_.load_fraction, config_.host_link,
+                            config_.sizes->mean_bytes()) *
+      static_cast<double>(hosts);
+}
+
+std::optional<FlowArrival> QueryTraffic::next() {
+  // The outer loop skips arrivals the governor cannot place anywhere;
+  // their timestamps are consumed so the admitted process stays Poisson.
+  for (;;) {
+    clock_ += SimTime{
+        hyperexponential_gap(rng_, aggregate_rate_, config_.burstiness_cv2)};
+    FlowArrival arrival;
+    arrival.time = clock_;
+    arrival.size = config_.sizes->sample(rng_);
+    arrival.cls = config_.cls;
+    // Resample the port pair (never the size or time) until the governor
+    // admits it.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      arrival.src = static_cast<PortId>(rng_.uniform_int(0, hosts_ - 1));
+      PortId dst = static_cast<PortId>(rng_.uniform_int(0, hosts_ - 2));
+      if (dst >= arrival.src) {
+        ++dst;
+      }
+      arrival.dst = dst;
+      if (!governor_ ||
+          governor_->would_admit(arrival.src, arrival.dst, arrival.size,
+                                 arrival.time)) {
+        if (governor_) {
+          governor_->commit(arrival.src, arrival.dst, arrival.size);
+        }
+        return arrival;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- BackgroundTraffic
+
+BackgroundTraffic::BackgroundTraffic(ClassConfig config, std::int32_t racks,
+                                     std::int32_t hosts_per_rack, Rng rng,
+                                     std::shared_ptr<LoadGovernor> governor)
+    : governor_(std::move(governor)),
+      config_(std::move(config)),
+      racks_(racks),
+      hosts_per_rack_(hosts_per_rack),
+      rng_(rng) {
+  check_class(config_);
+  BASRPT_REQUIRE(racks >= 1, "background traffic needs at least one rack");
+  BASRPT_REQUIRE(hosts_per_rack >= 2,
+                 "rack-local traffic needs >= 2 hosts per rack");
+  aggregate_rate_ =
+      arrivals_per_host_sec(config_.load_fraction, config_.host_link,
+                            config_.sizes->mean_bytes()) *
+      static_cast<double>(racks) * static_cast<double>(hosts_per_rack);
+}
+
+std::optional<FlowArrival> BackgroundTraffic::next() {
+  for (;;) {
+    clock_ += SimTime{
+        hyperexponential_gap(rng_, aggregate_rate_, config_.burstiness_cv2)};
+    FlowArrival arrival;
+    arrival.time = clock_;
+    arrival.size = config_.sizes->sample(rng_);
+    arrival.cls = config_.cls;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto rack = static_cast<std::int32_t>(
+          rng_.uniform_int(0, racks_ - 1));
+      const auto src_slot = static_cast<std::int32_t>(
+          rng_.uniform_int(0, hosts_per_rack_ - 1));
+      auto dst_slot = static_cast<std::int32_t>(
+          rng_.uniform_int(0, hosts_per_rack_ - 2));
+      if (dst_slot >= src_slot) {
+        ++dst_slot;
+      }
+      arrival.src = static_cast<PortId>(rack * hosts_per_rack_ + src_slot);
+      arrival.dst = static_cast<PortId>(rack * hosts_per_rack_ + dst_slot);
+      if (!governor_ ||
+          governor_->would_admit(arrival.src, arrival.dst, arrival.size,
+                                 arrival.time)) {
+        if (governor_) {
+          governor_->commit(arrival.src, arrival.dst, arrival.size);
+        }
+        return arrival;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- paper_mix
+
+TrafficSourcePtr paper_mix(double load, double query_share,
+                           std::int32_t racks, std::int32_t hosts_per_rack,
+                           Rate host_link, SimTime horizon, Rng rng,
+                           double burstiness_cv2, double cap_headroom) {
+  BASRPT_REQUIRE(load > 0.0 && load < 1.0,
+                 "total load must be in (0, 1) of link capacity");
+  BASRPT_REQUIRE(query_share > 0.0 && query_share < 1.0,
+                 "query share must be in (0, 1)");
+
+  std::shared_ptr<LoadGovernor> governor;
+  if (cap_headroom >= 0.0) {
+    governor = std::make_shared<LoadGovernor>(
+        racks * hosts_per_rack, host_link,
+        std::min(load + cap_headroom, 0.995));
+  }
+
+  ClassConfig queries;
+  queries.load_fraction = load * query_share;
+  queries.host_link = host_link;
+  queries.sizes = dist::query_size();
+  queries.burstiness_cv2 = burstiness_cv2;
+  queries.cls = stats::FlowClass::kQuery;
+
+  ClassConfig background;
+  background.load_fraction = load * (1.0 - query_share);
+  background.host_link = host_link;
+  background.sizes = dist::background();
+  background.burstiness_cv2 = burstiness_cv2;
+  background.cls = stats::FlowClass::kBackground;
+
+  std::vector<TrafficSourcePtr> sources;
+  sources.push_back(std::make_unique<QueryTraffic>(
+      queries, racks * hosts_per_rack, rng.split(1), governor));
+  sources.push_back(std::make_unique<BackgroundTraffic>(
+      background, racks, hosts_per_rack, rng.split(2), governor));
+  return std::make_unique<TruncatedTraffic>(
+      std::make_unique<CompositeTraffic>(std::move(sources)), horizon);
+}
+
+}  // namespace basrpt::workload

@@ -1,0 +1,105 @@
+// Random traffic generators reproducing the paper's workload (Sec. V-A):
+//
+//  * Query traffic — fixed 20 KB flows, Poisson arrivals, destinations
+//    uniform over the whole fabric ("queries and responses travel across
+//    the whole cluster").
+//  * Background traffic — heavy-tailed sizes, destinations uniform within
+//    the source's rack ("large transfers usually travel within a rack").
+//
+// Arrival rates are calibrated from a per-host load target: a class
+// carrying fraction `load` of a `host_link` with mean flow size S needs
+// arrival rate load * capacity / (8 * S) flows per second per host. By
+// symmetry of the destination choices the same load appears on egress
+// ports, which is what lets the experiments push every port close to
+// (but not beyond) capacity.
+//
+// Both generators support a burstiness knob: inter-arrival times come
+// from a balanced two-phase hyperexponential with a requested squared
+// coefficient of variation (1 = Poisson). The paper's stability
+// discussion points at burstiness as the aggravating factor, so the
+// benches can sweep it.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dist/distributions.hpp"
+#include "workload/governor.hpp"
+#include "workload/traffic.hpp"
+
+namespace basrpt::workload {
+
+/// Shared parameters of one traffic class.
+struct ClassConfig {
+  double load_fraction = 0.1;  // of host link capacity, per host
+  Rate host_link = gbps(10.0);
+  dist::SizeDistributionPtr sizes;
+  double burstiness_cv2 = 1.0;  // squared CV of inter-arrivals; 1 = Poisson
+  stats::FlowClass cls = stats::FlowClass::kQuery;
+};
+
+/// Flows-per-second-per-host needed to carry `load_fraction` of
+/// `host_link` with mean flow size `mean_size_bytes`.
+double arrivals_per_host_sec(double load_fraction, Rate host_link,
+                             double mean_size_bytes);
+
+/// Fabric-wide query traffic: aggregate arrival process over all hosts
+/// (superposition of per-host processes), source uniform, destination
+/// uniform over all other hosts.
+class QueryTraffic final : public TrafficSource {
+ public:
+  /// `governor` (optional) enforces per-port offered-load caps by
+  /// resampling the port pair; see workload/governor.hpp.
+  QueryTraffic(ClassConfig config, std::int32_t hosts, Rng rng,
+               std::shared_ptr<LoadGovernor> governor = nullptr);
+
+  std::optional<FlowArrival> next() override;
+
+ private:
+  std::shared_ptr<LoadGovernor> governor_;
+  ClassConfig config_;
+  std::int32_t hosts_;
+  double aggregate_rate_;  // flows/sec over the whole fabric
+  Rng rng_;
+  SimTime clock_{};
+};
+
+/// Rack-local background traffic: source uniform, destination uniform
+/// among the other hosts of the same rack.
+class BackgroundTraffic final : public TrafficSource {
+ public:
+  BackgroundTraffic(ClassConfig config, std::int32_t racks,
+                    std::int32_t hosts_per_rack, Rng rng,
+                    std::shared_ptr<LoadGovernor> governor = nullptr);
+
+  std::optional<FlowArrival> next() override;
+
+ private:
+  std::shared_ptr<LoadGovernor> governor_;
+  ClassConfig config_;
+  std::int32_t racks_;
+  std::int32_t hosts_per_rack_;
+  double aggregate_rate_;
+  Rng rng_;
+  SimTime clock_{};
+};
+
+/// Draws one inter-arrival time with mean 1/rate and squared CV `cv2`
+/// (>= 1). cv2 == 1 is exponential; larger values use a balanced
+/// hyperexponential, producing bursts.
+double hyperexponential_gap(Rng& rng, double rate, double cv2);
+
+/// Convenience: the paper's standard mix. `query_share` of the total
+/// per-host `load` goes to 20 KB queries, the rest to heavy-tailed
+/// rack-local background flows.
+/// The per-port offered load is governed to stay below
+/// min(load + cap_headroom, 0.995) of the link (the paper "carefully
+/// control[s] the volume ... so that the workload on each port does not
+/// exceed link capacity"); pass cap_headroom < 0 to disable governing.
+TrafficSourcePtr paper_mix(double load, double query_share,
+                           std::int32_t racks, std::int32_t hosts_per_rack,
+                           Rate host_link, SimTime horizon, Rng rng,
+                           double burstiness_cv2 = 1.0,
+                           double cap_headroom = 0.03);
+
+}  // namespace basrpt::workload

@@ -1,0 +1,50 @@
+#include "workload/governor.hpp"
+
+#include "common/assert.hpp"
+
+namespace basrpt::workload {
+
+LoadGovernor::LoadGovernor(std::int32_t ports, Rate host_link,
+                           double cap_fraction, Bytes slack)
+    : ingress_bytes_(static_cast<std::size_t>(ports), 0),
+      egress_bytes_(static_cast<std::size_t>(ports), 0),
+      bytes_per_sec_(host_link.bits_per_sec / 8.0),
+      cap_fraction_(cap_fraction),
+      slack_bytes_(static_cast<double>(slack.count)) {
+  BASRPT_REQUIRE(ports >= 1, "governor needs ports");
+  BASRPT_REQUIRE(cap_fraction > 0.0 && cap_fraction <= 1.0,
+                 "cap fraction must be in (0, 1]");
+  BASRPT_REQUIRE(slack.count >= 0, "slack cannot be negative");
+}
+
+double LoadGovernor::budget_bytes(SimTime t) const {
+  return cap_fraction_ * bytes_per_sec_ * t.seconds + slack_bytes_;
+}
+
+bool LoadGovernor::would_admit(queueing::PortId src, queueing::PortId dst,
+                               Bytes size, SimTime t) const {
+  const double budget = budget_bytes(t);
+  const double in_after =
+      static_cast<double>(ingress_bytes_[static_cast<std::size_t>(src)] +
+                          size.count);
+  const double out_after =
+      static_cast<double>(egress_bytes_[static_cast<std::size_t>(dst)] +
+                          size.count);
+  return in_after <= budget && out_after <= budget;
+}
+
+void LoadGovernor::commit(queueing::PortId src, queueing::PortId dst,
+                          Bytes size) {
+  ingress_bytes_[static_cast<std::size_t>(src)] += size.count;
+  egress_bytes_[static_cast<std::size_t>(dst)] += size.count;
+}
+
+Bytes LoadGovernor::offered_ingress(queueing::PortId p) const {
+  return Bytes{ingress_bytes_[static_cast<std::size_t>(p)]};
+}
+
+Bytes LoadGovernor::offered_egress(queueing::PortId p) const {
+  return Bytes{egress_bytes_[static_cast<std::size_t>(p)]};
+}
+
+}  // namespace basrpt::workload

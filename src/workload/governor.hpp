@@ -1,0 +1,60 @@
+// Per-port offered-load governor.
+//
+// Sec. V-A: "we focus on the traffic nearly saturating network but
+// carefully control the volume between each server pair so that the
+// workload on each port does not exceed link capacity ... we generate
+// around 9.5Gbps of loads on each ingress/egress port" with the largest
+// under the 10 Gbps capacity. With heavy-tailed flow sizes, plain random
+// generation violates this over any finite window (a couple of 50 MB
+// flows landing on one port push its realized load past 1.0, and the
+// resulting backlog growth is overload, not scheduler-induced
+// instability — exactly the confound the paper's methodology avoids).
+//
+// The governor tracks cumulative offered bytes per ingress and egress
+// port and admits an arrival only if both ports stay within
+// cap_fraction * capacity * elapsed_time + slack. Generators resample
+// the port pair (never the size or the arrival time, which would bias
+// the distributions) until an admissible pair is found.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "queueing/flow.hpp"
+
+namespace basrpt::workload {
+
+class LoadGovernor {
+ public:
+  /// `cap_fraction` of `host_link` is the per-port offered-byte budget
+  /// rate; `slack` absorbs startup (the first flows arrive at t ≈ 0 when
+  /// the budget is still empty).
+  LoadGovernor(std::int32_t ports, Rate host_link, double cap_fraction,
+               Bytes slack = Bytes{60'000'000});
+
+  /// True if offering `size` from `src` to `dst` at time `t` keeps both
+  /// ports within budget.
+  bool would_admit(queueing::PortId src, queueing::PortId dst, Bytes size,
+                   SimTime t) const;
+
+  /// Commits the arrival to the budgets. Call only after would_admit.
+  void commit(queueing::PortId src, queueing::PortId dst, Bytes size);
+
+  /// Offered bytes so far on a port (ingress + egress tracked apart).
+  Bytes offered_ingress(queueing::PortId p) const;
+  Bytes offered_egress(queueing::PortId p) const;
+
+  double cap_fraction() const { return cap_fraction_; }
+
+ private:
+  double budget_bytes(SimTime t) const;
+
+  std::vector<std::int64_t> ingress_bytes_;
+  std::vector<std::int64_t> egress_bytes_;
+  double bytes_per_sec_;
+  double cap_fraction_;
+  double slack_bytes_;
+};
+
+}  // namespace basrpt::workload

@@ -1,0 +1,116 @@
+#include "workload/trace_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace basrpt::workload {
+
+namespace {
+
+constexpr const char* kHeader = "basrpt-trace-v1";
+
+char class_tag(stats::FlowClass cls) {
+  return cls == stats::FlowClass::kQuery ? 'q' : 'b';
+}
+
+stats::FlowClass parse_class(const std::string& tag, std::size_t line) {
+  if (tag == "q") {
+    return stats::FlowClass::kQuery;
+  }
+  if (tag == "b") {
+    return stats::FlowClass::kBackground;
+  }
+  throw ConfigError("trace line " + std::to_string(line) +
+                    ": unknown flow class '" + tag + "'");
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out,
+                 const std::vector<FlowArrival>& arrivals) {
+  out << kHeader << "\n# time_s,src,dst,size_bytes,class\n";
+  char buf[128];
+  for (const FlowArrival& a : arrivals) {
+    // %.17g round-trips an IEEE double exactly, so a replayed trace
+    // reproduces a simulation bit-for-bit.
+    std::snprintf(buf, sizeof(buf), "%.17g,%d,%d,%" PRId64 ",%c\n",
+                  a.time.seconds, a.src, a.dst, a.size.count,
+                  class_tag(a.cls));
+    out << buf;
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<FlowArrival>& arrivals) {
+  std::ofstream out(path);
+  BASRPT_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+  write_trace(out, arrivals);
+  BASRPT_REQUIRE(out.good(), "error while writing trace file: " + path);
+}
+
+std::vector<FlowArrival> read_trace(std::istream& in) {
+  std::string line;
+  BASRPT_REQUIRE(std::getline(in, line) && line == kHeader,
+                 "not a basrpt-trace-v1 file");
+  std::vector<FlowArrival> arrivals;
+  std::size_t line_no = 1;
+  double last_time = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string cell;
+    FlowArrival a;
+    try {
+      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing time");
+      a.time = SimTime{std::stod(cell)};
+      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing src");
+      a.src = static_cast<PortId>(std::stol(cell));
+      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing dst");
+      a.dst = static_cast<PortId>(std::stol(cell));
+      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing size");
+      a.size = Bytes{std::stoll(cell)};
+      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing class");
+      a.cls = parse_class(cell, line_no);
+    } catch (const std::logic_error& e) {
+      throw ConfigError("trace line " + std::to_string(line_no) +
+                        ": malformed (" + e.what() + ")");
+    }
+    BASRPT_REQUIRE(a.time.seconds >= last_time,
+                   "trace line " + std::to_string(line_no) +
+                       ": times must be non-decreasing");
+    BASRPT_REQUIRE(a.size.count > 0,
+                   "trace line " + std::to_string(line_no) +
+                       ": size must be positive");
+    last_time = a.time.seconds;
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+std::vector<FlowArrival> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  BASRPT_REQUIRE(in.good(), "cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+RecordingTraffic::RecordingTraffic(TrafficSourcePtr inner)
+    : inner_(std::move(inner)) {
+  BASRPT_REQUIRE(inner_ != nullptr, "recording traffic needs a source");
+}
+
+std::optional<FlowArrival> RecordingTraffic::next() {
+  auto arrival = inner_->next();
+  if (arrival) {
+    recorded_.push_back(*arrival);
+  }
+  return arrival;
+}
+
+}  // namespace basrpt::workload

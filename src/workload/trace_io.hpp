@@ -1,0 +1,48 @@
+// Trace recording and replay.
+//
+// Research workflows need to pin a workload: generate once, save to
+// disk, replay byte-for-byte across scheduler variants, commits, and
+// machines. The format is a versioned CSV-like text file — one arrival
+// per line — so traces are diffable and survive refactors of the binary
+// layout.
+//
+//   basrpt-trace-v1
+//   # time_s,src,dst,size_bytes,class
+//   0.000125,3,17,20000,q
+//   0.000197,5,2,4194304,b
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/traffic.hpp"
+
+namespace basrpt::workload {
+
+/// Serializes arrivals to the v1 text format.
+void write_trace(std::ostream& out, const std::vector<FlowArrival>& arrivals);
+void write_trace_file(const std::string& path,
+                      const std::vector<FlowArrival>& arrivals);
+
+/// Parses a v1 trace; throws ConfigError on malformed input (wrong
+/// header, bad field counts, unsorted times, unknown class tags).
+std::vector<FlowArrival> read_trace(std::istream& in);
+std::vector<FlowArrival> read_trace_file(const std::string& path);
+
+/// Decorator that records everything a source emits; after the run,
+/// `recorded()` holds the trace for write_trace.
+class RecordingTraffic final : public TrafficSource {
+ public:
+  explicit RecordingTraffic(TrafficSourcePtr inner);
+
+  std::optional<FlowArrival> next() override;
+
+  const std::vector<FlowArrival>& recorded() const { return recorded_; }
+
+ private:
+  TrafficSourcePtr inner_;
+  std::vector<FlowArrival> recorded_;
+};
+
+}  // namespace basrpt::workload

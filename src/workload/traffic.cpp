@@ -1,0 +1,73 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace basrpt::workload {
+
+// ------------------------------------------------------------ VectorTraffic
+
+VectorTraffic::VectorTraffic(std::vector<FlowArrival> arrivals)
+    : arrivals_(std::move(arrivals)) {
+  BASRPT_REQUIRE(
+      std::is_sorted(arrivals_.begin(), arrivals_.end(),
+                     [](const FlowArrival& a, const FlowArrival& b) {
+                       return a.time < b.time;
+                     }),
+      "vector traffic must be sorted by arrival time");
+}
+
+std::optional<FlowArrival> VectorTraffic::next() {
+  if (cursor_ >= arrivals_.size()) {
+    return std::nullopt;
+  }
+  return arrivals_[cursor_++];
+}
+
+// --------------------------------------------------------- CompositeTraffic
+
+CompositeTraffic::CompositeTraffic(std::vector<TrafficSourcePtr> sources)
+    : sources_(std::move(sources)) {
+  BASRPT_REQUIRE(!sources_.empty(), "composite traffic needs sources");
+  heads_.reserve(sources_.size());
+  for (auto& source : sources_) {
+    BASRPT_REQUIRE(source != nullptr, "composite traffic source is null");
+    heads_.push_back(source->next());
+  }
+}
+
+std::optional<FlowArrival> CompositeTraffic::next() {
+  // Linear scan over heads: the number of merged sources is tiny (2-3 in
+  // every experiment), so a heap would be overhead, not optimization.
+  std::size_t best = heads_.size();
+  for (std::size_t i = 0; i < heads_.size(); ++i) {
+    if (heads_[i] &&
+        (best == heads_.size() || heads_[i]->time < heads_[best]->time)) {
+      best = i;
+    }
+  }
+  if (best == heads_.size()) {
+    return std::nullopt;
+  }
+  FlowArrival out = *heads_[best];
+  heads_[best] = sources_[best]->next();
+  return out;
+}
+
+// --------------------------------------------------------- TruncatedTraffic
+
+TruncatedTraffic::TruncatedTraffic(TrafficSourcePtr inner, SimTime horizon)
+    : inner_(std::move(inner)), horizon_(horizon) {
+  BASRPT_REQUIRE(inner_ != nullptr, "truncated traffic needs a source");
+}
+
+std::optional<FlowArrival> TruncatedTraffic::next() {
+  auto arrival = inner_->next();
+  if (!arrival || arrival->time > horizon_) {
+    return std::nullopt;
+  }
+  return arrival;
+}
+
+}  // namespace basrpt::workload

@@ -1,0 +1,77 @@
+// Traffic-source abstraction for the flow-level simulator.
+//
+// A TrafficSource yields flow arrivals in non-decreasing time order; the
+// simulator pulls the next arrival lazily so workloads of any horizon
+// use O(1) memory. CompositeTraffic merges independent sources (the
+// paper superimposes fabric-wide query traffic and rack-local background
+// traffic on every server).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "queueing/flow.hpp"
+#include "stats/fct.hpp"
+
+namespace basrpt::workload {
+
+using queueing::PortId;
+
+/// One flow arrival (the paper's A_ij(t): all packets of a flow arrive
+/// at once, so a flow is fully described by its arrival instant).
+struct FlowArrival {
+  SimTime time{};
+  PortId src = 0;
+  PortId dst = 0;
+  Bytes size{};
+  stats::FlowClass cls = stats::FlowClass::kBackground;
+};
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Next arrival, or nullopt when the source is exhausted. Times are
+  /// non-decreasing across calls.
+  virtual std::optional<FlowArrival> next() = 0;
+};
+
+using TrafficSourcePtr = std::unique_ptr<TrafficSource>;
+
+/// Replays a fixed arrival list (tests, the Fig. 1 hand example).
+class VectorTraffic final : public TrafficSource {
+ public:
+  explicit VectorTraffic(std::vector<FlowArrival> arrivals);
+  std::optional<FlowArrival> next() override;
+
+ private:
+  std::vector<FlowArrival> arrivals_;
+  std::size_t cursor_ = 0;
+};
+
+/// Time-ordered merge of several sources.
+class CompositeTraffic final : public TrafficSource {
+ public:
+  explicit CompositeTraffic(std::vector<TrafficSourcePtr> sources);
+  std::optional<FlowArrival> next() override;
+
+ private:
+  std::vector<TrafficSourcePtr> sources_;
+  std::vector<std::optional<FlowArrival>> heads_;
+};
+
+/// Truncates a source at `horizon` (arrivals strictly after it are
+/// dropped); keeps bench runs finite.
+class TruncatedTraffic final : public TrafficSource {
+ public:
+  TruncatedTraffic(TrafficSourcePtr inner, SimTime horizon);
+  std::optional<FlowArrival> next() override;
+
+ private:
+  TrafficSourcePtr inner_;
+  SimTime horizon_;
+};
+
+}  // namespace basrpt::workload

@@ -1,0 +1,114 @@
+// Unit tests for src/core: the public experiment API.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/experiment.hpp"
+
+namespace basrpt::core {
+namespace {
+
+ExperimentConfig quick_config() {
+  ExperimentConfig config;
+  config.fabric = topo::small_fabric(2, 4, 2);
+  config.load = 0.6;
+  config.query_share = 0.2;
+  config.horizon = seconds(0.3);
+  config.sample_every = milliseconds(2.0);
+  config.seed = 7;
+  return config;
+}
+
+TEST(Experiment, ProducesSaneMetrics) {
+  auto config = quick_config();
+  config.scheduler = sched::SchedulerSpec::fast_basrpt(2500.0);
+  const auto result = run_experiment(config);
+  EXPECT_EQ(result.scheduler_name, "fast-basrpt(V=2500)");
+  EXPECT_GT(result.flows_arrived, 100);
+  EXPECT_GT(result.flows_completed, 100);
+  EXPECT_GT(result.query_avg_ms, 0.0);
+  EXPECT_GE(result.query_p99_ms, result.query_avg_ms);
+  EXPECT_GT(result.background_avg_ms, 0.0);
+  EXPECT_GT(result.throughput_gbps, 0.0);
+  // 8 hosts at 10 Gbps bound the global throughput.
+  EXPECT_LT(result.throughput_gbps, 80.0);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  auto config = quick_config();
+  config.scheduler = sched::SchedulerSpec::srpt();
+  const auto a = run_experiment(config);
+  const auto b = run_experiment(config);
+  EXPECT_EQ(a.flows_arrived, b.flows_arrived);
+  EXPECT_EQ(a.flows_completed, b.flows_completed);
+  EXPECT_DOUBLE_EQ(a.query_avg_ms, b.query_avg_ms);
+  EXPECT_DOUBLE_EQ(a.throughput_gbps, b.throughput_gbps);
+}
+
+TEST(Experiment, SeedChangesTraffic) {
+  auto config = quick_config();
+  auto other = config;
+  other.seed = 8;
+  const auto a = run_experiment(config);
+  const auto b = run_experiment(other);
+  EXPECT_NE(a.flows_arrived, b.flows_arrived);
+}
+
+TEST(Experiment, SchedulerChangeKeepsArrivalSequence) {
+  // A/B comparisons require identical arrivals across schedulers.
+  auto config = quick_config();
+  config.scheduler = sched::SchedulerSpec::srpt();
+  const auto a = run_experiment(config);
+  config.scheduler = sched::SchedulerSpec::fast_basrpt(1000.0);
+  const auto b = run_experiment(config);
+  EXPECT_EQ(a.flows_arrived, b.flows_arrived);
+  EXPECT_EQ(a.raw.bytes_arrived, b.raw.bytes_arrived);
+}
+
+TEST(Experiment, RejectsBadLoad) {
+  auto config = quick_config();
+  config.load = 1.5;
+  EXPECT_THROW(run_experiment(config), ConfigError);
+}
+
+TEST(Experiment, LowLoadIsStableUnderSrpt) {
+  auto config = quick_config();
+  config.load = 0.3;
+  // Trend verdicts need a window long enough to wash out individual
+  // large-flow transients at this small scale.
+  config.horizon = seconds(1.5);
+  config.scheduler = sched::SchedulerSpec::srpt();
+  const auto result = run_experiment(config);
+  EXPECT_FALSE(result.total_backlog_trend.growing);
+  EXPECT_GT(result.flows_completed, 0);
+}
+
+TEST(ScaleV, HoldsVOverNFixed) {
+  // V/N is the actual knob: paper V=2500 at N=144 equals effective 417
+  // at 24 hosts.
+  EXPECT_NEAR(scale_v(2500.0, 144), 2500.0, 1e-9);
+  EXPECT_NEAR(scale_v(2500.0, 24), 2500.0 * 24.0 / 144.0, 1e-9);
+  EXPECT_NEAR(scale_v(2500.0, 24) / 24.0, 2500.0 / 144.0, 1e-9);
+  EXPECT_THROW(scale_v(2500.0, 0), ConfigError);
+}
+
+TEST(Experiment, SlowdownMetricsPopulated) {
+  auto config = quick_config();
+  config.scheduler = sched::SchedulerSpec::srpt();
+  const auto result = run_experiment(config);
+  EXPECT_GE(result.query_mean_slowdown, 1.0);
+  EXPECT_GE(result.background_mean_slowdown, 1.0);
+}
+
+TEST(RenderSummary, MentionsTheHeadlineNumbers) {
+  auto config = quick_config();
+  config.scheduler = sched::SchedulerSpec::fast_basrpt(2500.0);
+  const auto result = run_experiment(config);
+  const std::string text = render_summary(result);
+  EXPECT_NE(text.find("fast-basrpt"), std::string::npos);
+  EXPECT_NE(text.find("throughput"), std::string::npos);
+  EXPECT_NE(text.find("query FCT"), std::string::npos);
+  EXPECT_NE(text.find("trend"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace basrpt::core

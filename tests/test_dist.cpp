@@ -1,0 +1,188 @@
+// Unit tests for src/dist: size distributions and the canned datacenter
+// workloads, including the paper's calibration claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "dist/distributions.hpp"
+#include "dist/flow_sizes.hpp"
+
+namespace basrpt::dist {
+namespace {
+
+double empirical_mean(const SizeDistribution& d, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(d.sample(rng).count);
+  }
+  return sum / n;
+}
+
+// ------------------------------------------------------------- FixedSize
+
+TEST(FixedSize, AlwaysReturnsTheSize) {
+  FixedSize d(20_KB);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.sample(rng), 20_KB);
+  }
+  EXPECT_DOUBLE_EQ(d.mean_bytes(), 20'000.0);
+  EXPECT_EQ(d.max_bytes(), 20_KB);
+}
+
+TEST(FixedSize, RejectsNonPositive) {
+  EXPECT_THROW(FixedSize(Bytes{0}), ConfigError);
+}
+
+// --------------------------------------------------------- BoundedPareto
+
+TEST(BoundedPareto, SamplesStayInBounds) {
+  BoundedPareto d(1.1, 1_KB, 10_MB);
+  Rng rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const Bytes s = d.sample(rng);
+    ASSERT_GE(s, 1_KB);
+    ASSERT_LE(s, 10_MB);
+  }
+}
+
+TEST(BoundedPareto, EmpiricalMeanMatchesAnalytic) {
+  BoundedPareto d(1.5, 1_KB, 10_MB);
+  const double analytic = d.mean_bytes();
+  const double empirical = empirical_mean(d, 400'000, 3);
+  EXPECT_NEAR(empirical / analytic, 1.0, 0.05);
+}
+
+TEST(BoundedPareto, Alpha1MeanMatchesAnalytic) {
+  BoundedPareto d(1.0, 1_KB, 1_MB);
+  const double empirical = empirical_mean(d, 400'000, 4);
+  EXPECT_NEAR(empirical / d.mean_bytes(), 1.0, 0.05);
+}
+
+TEST(BoundedPareto, HeavierTailRaisesMean) {
+  BoundedPareto light(2.5, 1_KB, 50_MB);
+  BoundedPareto heavy(1.1, 1_KB, 50_MB);
+  EXPECT_GT(heavy.mean_bytes(), light.mean_bytes());
+}
+
+TEST(BoundedPareto, RejectsBadParameters) {
+  EXPECT_THROW(BoundedPareto(0.0, 1_KB, 1_MB), ConfigError);
+  EXPECT_THROW(BoundedPareto(1.5, 1_MB, 1_KB), ConfigError);
+  EXPECT_THROW(BoundedPareto(1.5, Bytes{0}, 1_KB), ConfigError);
+}
+
+// ---------------------------------------------------------- EmpiricalCdf
+
+EmpiricalCdf simple_cdf() {
+  return EmpiricalCdf("simple", {{10_KB, 0.5}, {100_KB, 1.0}});
+}
+
+TEST(EmpiricalCdf, RejectsMalformedKnots) {
+  using P = EmpiricalCdf::Point;
+  EXPECT_THROW(EmpiricalCdf("e", std::vector<P>{}), ConfigError);
+  // Non-increasing sizes.
+  EXPECT_THROW(EmpiricalCdf("e", {P{10_KB, 0.5}, P{10_KB, 1.0}}),
+               ConfigError);
+  // Non-increasing probabilities.
+  EXPECT_THROW(EmpiricalCdf("e", {P{10_KB, 0.7}, P{20_KB, 0.7}}),
+               ConfigError);
+  // Does not end at 1.
+  EXPECT_THROW(EmpiricalCdf("e", {P{10_KB, 0.5}, P{20_KB, 0.9}}),
+               ConfigError);
+}
+
+TEST(EmpiricalCdf, CdfAtInterpolatesLinearly) {
+  const auto d = simple_cdf();
+  EXPECT_DOUBLE_EQ(d.cdf_at(Bytes{0}), 0.0);
+  EXPECT_NEAR(d.cdf_at(10_KB), 0.5, 1e-9);
+  EXPECT_NEAR(d.cdf_at(55_KB), 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(d.cdf_at(100_KB), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(1_MB), 1.0);
+}
+
+TEST(EmpiricalCdf, SamplingConvergesToCdf) {
+  const auto d = simple_cdf();
+  Rng rng(5);
+  const int n = 200'000;
+  int below_10k = 0;
+  int below_55k = 0;
+  for (int i = 0; i < n; ++i) {
+    const Bytes s = d.sample(rng);
+    ASSERT_GE(s.count, 1);
+    ASSERT_LE(s, 100_KB);
+    below_10k += s <= 10_KB ? 1 : 0;
+    below_55k += s <= 55_KB ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(below_10k) / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(below_55k) / n, 0.75, 0.01);
+}
+
+TEST(EmpiricalCdf, MeanMatchesSampling) {
+  const auto d = simple_cdf();
+  EXPECT_NEAR(empirical_mean(d, 200'000, 6) / d.mean_bytes(), 1.0, 0.02);
+}
+
+TEST(EmpiricalCdf, ByteFractionIsAFractionAndSumsToOne) {
+  const auto d = simple_cdf();
+  const double low = d.byte_fraction(Bytes{1}, 10_KB);
+  const double high = d.byte_fraction(10_KB, 100_KB);
+  EXPECT_GT(low, 0.0);
+  EXPECT_GT(high, 0.0);
+  EXPECT_NEAR(low + high, 1.0, 1e-6);
+  // Big flows dominate bytes even at equal flow counts.
+  EXPECT_GT(high, low);
+}
+
+// ------------------------------------------------------ canned workloads
+
+TEST(FlowSizes, QueryIs20KB) {
+  Rng rng(7);
+  EXPECT_EQ(query_size()->sample(rng), 20_KB);
+}
+
+TEST(FlowSizes, WebSearchIsHeavyTailed) {
+  const auto d = web_search();
+  EXPECT_EQ(d->max_bytes(), 20000_KB);
+  // Mean is pulled far above the median by the tail.
+  const auto* cdf = dynamic_cast<const EmpiricalCdf*>(d.get());
+  ASSERT_NE(cdf, nullptr);
+  EXPECT_GT(d->mean_bytes(), 400'000.0);
+  EXPECT_GT(cdf->cdf_at(53_KB), 0.65);
+}
+
+TEST(FlowSizes, BackgroundMatchesPaperCalibration) {
+  // "over 95% of all bytes are from the 30% of flows with the size of
+  // 1-20 MB" and all flows below 50 MB.
+  const auto d = background();
+  const auto* cdf = dynamic_cast<const EmpiricalCdf*>(d.get());
+  ASSERT_NE(cdf, nullptr);
+  EXPECT_EQ(d->max_bytes(), 50_MB);
+  const double flows_1_to_20mb = cdf->cdf_at(20_MB) - cdf->cdf_at(1_MB);
+  EXPECT_NEAR(flows_1_to_20mb, 0.30, 0.05);
+  EXPECT_GT(cdf->byte_fraction(1_MB, 50_MB), 0.90);
+}
+
+TEST(FlowSizes, BackgroundSamplesRespectCap) {
+  const auto d = background();
+  Rng rng(8);
+  for (int i = 0; i < 20'000; ++i) {
+    ASSERT_LE(d->sample(rng), 50_MB);
+  }
+}
+
+TEST(FlowSizes, HeavyTailStressMostlyTiny) {
+  const auto d = heavy_tail_stress();
+  Rng rng(9);
+  int tiny = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    tiny += d->sample(rng) <= 4_KB ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(tiny) / n, 0.8, 0.02);
+}
+
+}  // namespace
+}  // namespace basrpt::dist

@@ -1,0 +1,152 @@
+// Distribution-level property sweeps: Kolmogorov–Smirnov checks of every
+// canned workload distribution, P² estimator accuracy across quantiles,
+// slowdown lower bounds across schedulers, and governor throughput.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "dist/flow_sizes.hpp"
+#include "stats/percentile.hpp"
+#include "workload/generators.hpp"
+
+namespace basrpt {
+namespace {
+
+// --------------------------- KS distance of sampling vs specification
+
+class CannedDistribution
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  dist::SizeDistributionPtr make() const {
+    const std::string which = GetParam();
+    if (which == "web-search") {
+      return dist::web_search();
+    }
+    if (which == "background") {
+      return dist::background();
+    }
+    return dist::heavy_tail_stress();
+  }
+};
+
+TEST_P(CannedDistribution, SamplingMatchesCdfByKsDistance) {
+  const auto d = make();
+  const auto* cdf = dynamic_cast<const dist::EmpiricalCdf*>(d.get());
+  ASSERT_NE(cdf, nullptr);
+  Rng rng(99);
+  const int n = 100'000;
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(static_cast<double>(d->sample(rng).count));
+  }
+  std::sort(samples.begin(), samples.end());
+  // One-sided KS statistic against the specified CDF at every knot and
+  // midpoint.
+  double ks = 0.0;
+  for (const auto& knot : cdf->knots()) {
+    const double x = static_cast<double>(knot.size.count);
+    const auto below = std::upper_bound(samples.begin(), samples.end(), x) -
+                       samples.begin();
+    const double empirical = static_cast<double>(below) / n;
+    ks = std::max(ks, std::abs(empirical - cdf->cdf_at(knot.size)));
+  }
+  EXPECT_LT(ks, 0.01) << "distribution " << d->name();
+}
+
+TEST_P(CannedDistribution, MeanMatchesSampling) {
+  const auto d = make();
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 300'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(d->sample(rng).count);
+  }
+  EXPECT_NEAR(sum / n / d->mean_bytes(), 1.0, 0.03)
+      << "distribution " << d->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCanned, CannedDistribution,
+                         ::testing::Values("web-search", "background",
+                                           "heavy-tail-stress"));
+
+// ----------------------------------------- P2 accuracy across quantiles
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksExactQuantileOnLognormalish) {
+  const double q = GetParam();
+  stats::P2Quantile p2(q);
+  stats::ExactPercentiles exact;
+  Rng rng(5);
+  for (int i = 0; i < 150'000; ++i) {
+    // Exponentiated uniform: heavy-ish tail without extreme outliers.
+    const double v = std::exp(rng.uniform(0.0, 3.0));
+    p2.add(v);
+    exact.add(v);
+  }
+  const double truth = exact.quantile(q);
+  EXPECT_NEAR(p2.value() / truth, 1.0, 0.05) << "quantile " << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+// ------------------------------------ slowdown >= 1 for every scheduler
+
+class SlowdownBound : public ::testing::TestWithParam<sched::Policy> {};
+
+TEST_P(SlowdownBound, NoFlowBeatsLineRate) {
+  core::ExperimentConfig config;
+  config.fabric = topo::small_fabric(2, 4, 2);
+  config.load = 0.7;
+  config.horizon = seconds(0.25);
+  config.scheduler.policy = GetParam();
+  config.scheduler.v = 400.0;
+  const auto result = core::run_experiment(config);
+  ASSERT_GT(result.flows_completed, 100);
+  // A flow cannot finish faster than alone at line rate.
+  EXPECT_GE(result.query_mean_slowdown, 1.0);
+  EXPECT_GE(result.background_mean_slowdown, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SlowdownBound,
+    ::testing::Values(sched::Policy::kSrpt, sched::Policy::kFastBasrpt,
+                      sched::Policy::kFifo, sched::Policy::kMaxWeight),
+    [](const ::testing::TestParamInfo<sched::Policy>& info) {
+      std::string name = sched::to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// ------------------------------------------- governor keeps load intact
+
+TEST(GovernorThroughput, GovernedOfferedLoadStaysNearTarget) {
+  // The governor must cap per-port excursions without starving the
+  // aggregate offered load.
+  Rng rng(31);
+  const double load = 0.9;
+  auto source = workload::paper_mix(load, 0.1, 4, 6, gbps(10.0),
+                                    seconds(1.0), rng);
+  double bytes = 0.0;
+  double last = 0.0;
+  while (auto a = source->next()) {
+    bytes += static_cast<double>(a->size.count);
+    last = a->time.seconds;
+  }
+  ASSERT_GT(last, 0.5);
+  const double offered = bytes * 8.0 / last;
+  const double target = load * 1e10 * 24;
+  EXPECT_NEAR(offered / target, 1.0, 0.08);
+}
+
+}  // namespace
+}  // namespace basrpt

@@ -1,0 +1,249 @@
+// Model-based fuzz suites: randomized operation sequences checked
+// against naive reference implementations, plus cross-scheduler
+// conservation sweeps on the flow-level simulator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "flowsim/flow_sim.hpp"
+#include "queueing/voq.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "workload/generators.hpp"
+
+namespace basrpt {
+namespace {
+
+using queueing::Flow;
+using queueing::FlowId;
+using queueing::PortId;
+using queueing::VoqMatrix;
+
+// ------------------------------------------------- VoqMatrix vs reference
+
+/// Naive reference model: a plain map of flows, recomputing every
+/// aggregate from scratch.
+struct ReferenceModel {
+  std::map<FlowId, Flow> flows;
+
+  Bytes backlog(PortId i, PortId j) const {
+    Bytes total{};
+    for (const auto& [id, f] : flows) {
+      if (f.src == i && f.dst == j) {
+        total += f.remaining;
+      }
+    }
+    return total;
+  }
+  Bytes ingress_backlog(PortId i) const {
+    Bytes total{};
+    for (const auto& [id, f] : flows) {
+      if (f.src == i) {
+        total += f.remaining;
+      }
+    }
+    return total;
+  }
+  FlowId shortest_in_voq(PortId i, PortId j) const {
+    FlowId best = queueing::kInvalidFlow;
+    for (const auto& [id, f] : flows) {
+      if (f.src != i || f.dst != j) {
+        continue;
+      }
+      if (best == queueing::kInvalidFlow ||
+          f.remaining < flows.at(best).remaining ||
+          (f.remaining == flows.at(best).remaining && id < best)) {
+        best = id;
+      }
+    }
+    return best;
+  }
+};
+
+class VoqFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(VoqFuzz, MatchesReferenceModelUnderRandomOps) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const PortId n = 4;
+  VoqMatrix voqs(n);
+  ReferenceModel model;
+  FlowId next_id = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const double op = rng.uniform01();
+    if (op < 0.45 || model.flows.empty()) {
+      // Add a flow.
+      Flow f;
+      f.id = next_id++;
+      f.src = static_cast<PortId>(rng.uniform_int(0, n - 1));
+      f.dst = static_cast<PortId>(rng.uniform_int(0, n - 1));
+      f.size = Bytes{rng.uniform_int(1, 5000)};
+      f.remaining = f.size;
+      f.arrival = SimTime{static_cast<double>(step)};
+      voqs.add_flow(f);
+      model.flows.emplace(f.id, f);
+    } else if (op < 0.85) {
+      // Drain a random existing flow by a random amount.
+      auto it = model.flows.begin();
+      std::advance(it, rng.uniform_int(
+                           0, static_cast<std::int64_t>(
+                                  model.flows.size()) - 1));
+      const FlowId id = it->first;
+      const Bytes amount{rng.uniform_int(0, 6000)};
+      const bool completed = voqs.drain(id, amount);
+      Flow& f = it->second;
+      const Bytes drained =
+          amount.count >= f.remaining.count ? f.remaining : amount;
+      f.remaining -= drained;
+      EXPECT_EQ(completed, f.remaining.count == 0);
+      if (f.remaining.count == 0) {
+        model.flows.erase(it);
+      }
+    } else {
+      // Remove a random flow outright.
+      auto it = model.flows.begin();
+      std::advance(it, rng.uniform_int(
+                           0, static_cast<std::int64_t>(
+                                  model.flows.size()) - 1));
+      voqs.remove(it->first);
+      model.flows.erase(it);
+    }
+
+    // Cross-check aggregates every few steps (full check is O(n^2)).
+    if (step % 50 == 0) {
+      ASSERT_EQ(voqs.active_flows(), model.flows.size());
+      Bytes total{};
+      for (const auto& [id, f] : model.flows) {
+        total += f.remaining;
+      }
+      ASSERT_EQ(voqs.total_backlog(), total);
+      for (PortId i = 0; i < n; ++i) {
+        ASSERT_EQ(voqs.ingress_backlog(i), model.ingress_backlog(i));
+        for (PortId j = 0; j < n; ++j) {
+          ASSERT_EQ(voqs.backlog(i, j), model.backlog(i, j));
+          ASSERT_EQ(voqs.shortest_in_voq(i, j), model.shortest_in_voq(i, j))
+              << "VOQ " << i << "," << j << " at step " << step;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VoqFuzz, ::testing::Range(0, 6));
+
+// ------------------------------------------------------ engine ordering
+
+class EngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzz, RandomSchedulesExecuteInOrder) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  sim::Engine engine;
+  std::vector<double> fired;
+  // Seed events; some handlers schedule follow-ups.
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    engine.schedule_at(SimTime{t}, [&engine, &fired, &rng]() {
+      fired.push_back(engine.now().seconds);
+      if (rng.bernoulli(0.3)) {
+        engine.schedule_in(SimTime{rng.uniform(0.0, 10.0)},
+                           [&engine, &fired]() {
+                             fired.push_back(engine.now().seconds);
+                           });
+      }
+    });
+  }
+  engine.run_until(SimTime{200.0});
+  ASSERT_GE(fired.size(), 200u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1], fired[i]) << "events fired out of order";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range(0, 5));
+
+// --------------------------------------- conservation across schedulers
+
+class FlowSimConservation
+    : public ::testing::TestWithParam<sched::Policy> {};
+
+TEST_P(FlowSimConservation, OfferedBytesAreDeliveredOrQueued) {
+  sched::SchedulerSpec spec;
+  spec.policy = GetParam();
+  spec.v = 400.0;
+  spec.threshold_packets = 1000.0;
+  spec.rounds = 4;
+  auto scheduler = sched::make_scheduler(spec);
+
+  flowsim::FlowSimConfig config;
+  config.fabric = topo::small_fabric(2, 4, 2);
+  config.horizon = seconds(0.25);
+  config.validate_decisions = true;
+
+  Rng rng(31);
+  auto traffic = workload::paper_mix(0.85, 0.15, 2, 4, gbps(10.0),
+                                     seconds(0.25), rng);
+  const auto result = run_flow_sim(config, *scheduler, *traffic);
+  EXPECT_EQ(result.delivered + result.bytes_left, result.bytes_arrived)
+      << sched::to_string(spec.policy);
+  EXPECT_EQ(result.flows_arrived,
+            result.flows_completed + result.flows_left);
+  EXPECT_GT(result.flows_completed, 0);
+  // No scheduler can deliver more than the fabric line rate allows.
+  EXPECT_LE(result.throughput().bits_per_sec, 8 * 1e10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, FlowSimConservation,
+    ::testing::Values(sched::Policy::kSrpt, sched::Policy::kFastBasrpt,
+                      sched::Policy::kThresholdSrpt,
+                      sched::Policy::kMaxWeight, sched::Policy::kFifo,
+                      sched::Policy::kDistBasrpt),
+    [](const ::testing::TestParamInfo<sched::Policy>& info) {
+      std::string name = sched::to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// ---------------------------------------------------- governor property
+
+class GovernorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GovernorFuzz, BudgetsNeverExceeded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const std::int32_t ports = 6;
+  const double cap = 0.8;
+  const Bytes slack = 5_MB;
+  workload::LoadGovernor governor(ports, gbps(10.0), cap, slack);
+
+  double t = 0.0;
+  for (int step = 0; step < 5000; ++step) {
+    t += rng.exponential(5000.0);
+    const auto src = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+    const auto dst = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+    const Bytes size{rng.uniform_int(1000, 2'000'000)};
+    if (governor.would_admit(src, dst, size, SimTime{t})) {
+      governor.commit(src, dst, size);
+    }
+    if (step % 500 == 0) {
+      const double budget =
+          cap * 1.25e9 * t + static_cast<double>(slack.count);
+      for (PortId p = 0; p < ports; ++p) {
+        ASSERT_LE(static_cast<double>(governor.offered_ingress(p).count),
+                  budget + 1.0);
+        ASSERT_LE(static_cast<double>(governor.offered_egress(p).count),
+                  budget + 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GovernorFuzz, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace basrpt

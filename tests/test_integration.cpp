@@ -1,0 +1,112 @@
+// Cross-module integration tests: the paper's qualitative claims
+// reproduced end-to-end on the flow-level simulator at small scale.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "flowsim/flow_sim.hpp"
+#include "sched/fast_basrpt.hpp"
+#include "sched/srpt.hpp"
+#include "workload/adversarial.hpp"
+
+namespace basrpt {
+namespace {
+
+// --------------------------------------------- starvation on the flow sim
+
+// The adversarial pattern from Sec. II-B, scaled to real units: packet
+// 1500 B, slot 1.2 us (1500 B at 10 Gbps).
+flowsim::FlowSimConfig starvation_config(double horizon_s) {
+  flowsim::FlowSimConfig config;
+  config.fabric = topo::small_fabric(1, 4, 1);
+  config.horizon = seconds(horizon_s);
+  config.sample_every = milliseconds(1.0);
+  config.watched_src = 0;
+  config.watched_dst = 2;
+  return config;
+}
+
+workload::VectorTraffic starvation_traffic(double horizon_s) {
+  const SimTime slot = transmission_time(Bytes{1500}, gbps(10.0));
+  const auto rounds =
+      static_cast<std::int64_t>(horizon_s / slot.seconds) - 1;
+  return workload::VectorTraffic(workload::srpt_starvation_pattern(
+      slot, Bytes{1500}, 8, 32, rounds));
+}
+
+TEST(StarvationIntegration, SrptBacklogGrowsOnFlowSim) {
+  auto config = starvation_config(0.25);
+  sched::SrptScheduler srpt;
+  auto traffic = starvation_traffic(0.25);
+  const auto result = run_flow_sim(config, srpt, traffic);
+  const auto verdict = stats::classify_trend(result.backlog.watched_voq());
+  EXPECT_TRUE(verdict.growing) << "slope " << verdict.slope;
+  EXPECT_GT(result.flows_left, 100);
+}
+
+TEST(StarvationIntegration, FastBasrptStabilizesOnFlowSim) {
+  auto config = starvation_config(0.25);
+  sched::FastBasrptScheduler basrpt(100.0);
+  auto traffic = starvation_traffic(0.25);
+  const auto result = run_flow_sim(config, basrpt, traffic);
+  const auto verdict = stats::classify_trend(result.backlog.watched_voq());
+  EXPECT_FALSE(verdict.growing) << "slope " << verdict.slope;
+  EXPECT_LT(result.flows_left, 100);
+}
+
+TEST(StarvationIntegration, FastBasrptDeliversMoreBytes) {
+  auto config = starvation_config(0.25);
+  sched::SrptScheduler srpt;
+  sched::FastBasrptScheduler basrpt(100.0);
+  auto t1 = starvation_traffic(0.25);
+  auto t2 = starvation_traffic(0.25);
+  const auto srpt_result = run_flow_sim(config, srpt, t1);
+  const auto basrpt_result = run_flow_sim(config, basrpt, t2);
+  EXPECT_GT(basrpt_result.delivered.count, srpt_result.delivered.count);
+}
+
+// --------------------------------------------------- low-load equivalence
+
+TEST(LowLoad, FastBasrptMatchesSrptDelay) {
+  // Fig. 6's left edge: at low load the two schemes are near-identical.
+  core::ExperimentConfig config;
+  config.fabric = topo::small_fabric(2, 4, 2);
+  config.load = 0.2;
+  config.query_share = 0.2;
+  config.horizon = seconds(0.4);
+  config.seed = 11;
+
+  config.scheduler = sched::SchedulerSpec::srpt();
+  const auto srpt = core::run_experiment(config);
+  config.scheduler = sched::SchedulerSpec::fast_basrpt(2500.0);
+  const auto basrpt = core::run_experiment(config);
+
+  ASSERT_GT(srpt.flows_completed, 100);
+  EXPECT_NEAR(basrpt.query_avg_ms / srpt.query_avg_ms, 1.0, 0.25);
+  EXPECT_NEAR(basrpt.throughput_gbps / srpt.throughput_gbps, 1.0, 0.05);
+  EXPECT_FALSE(srpt.total_backlog_trend.growing);
+  EXPECT_FALSE(basrpt.total_backlog_trend.growing);
+}
+
+// ----------------------------------------------------- V-sweep direction
+
+TEST(VSweep, LargerVReducesQueryFct) {
+  // Fig. 8's headline trend, checked at two well-separated V values.
+  core::ExperimentConfig config;
+  config.fabric = topo::small_fabric(2, 4, 2);
+  config.load = 0.7;
+  config.query_share = 0.2;
+  config.horizon = seconds(0.5);
+  config.seed = 13;
+
+  config.scheduler = sched::SchedulerSpec::fast_basrpt(50.0);
+  const auto small_v = core::run_experiment(config);
+  config.scheduler = sched::SchedulerSpec::fast_basrpt(50'000.0);
+  const auto large_v = core::run_experiment(config);
+
+  ASSERT_GT(small_v.flows_completed, 200);
+  EXPECT_LT(large_v.query_avg_ms, small_v.query_avg_ms);
+}
+
+}  // namespace
+}  // namespace basrpt

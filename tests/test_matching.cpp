@@ -1,0 +1,311 @@
+// Unit tests for src/matching: greedy, Hopcroft–Karp, Hungarian,
+// Birkhoff–von-Neumann, maximal-matching enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "matching/bipartite.hpp"
+#include "matching/birkhoff.hpp"
+#include "matching/enumerate.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/hungarian.hpp"
+
+namespace basrpt::matching {
+namespace {
+
+// -------------------------------------------------------------- bipartite
+
+TEST(Bipartite, ValidMatchingAcceptsPartial) {
+  Matching m{{1, kUnmatched, 0}};
+  EXPECT_TRUE(is_valid_matching(m, 3));
+}
+
+TEST(Bipartite, ValidMatchingRejectsDuplicateRight) {
+  Matching m{{1, 1, kUnmatched}};
+  EXPECT_FALSE(is_valid_matching(m, 3));
+}
+
+TEST(Bipartite, MaximalityDetectsAddableEdge) {
+  const std::vector<Edge> edges = {{0, 0}, {1, 1}};
+  Matching only_first{{0, kUnmatched}};
+  EXPECT_FALSE(is_maximal_matching(only_first, edges, 2));
+  Matching both{{0, 1}};
+  EXPECT_TRUE(is_maximal_matching(both, edges, 2));
+}
+
+// ----------------------------------------------------------------- greedy
+
+TEST(Greedy, PrefersLowerScores) {
+  // Two candidates compete for ingress 0; the lower score wins.
+  std::vector<ScoredCandidate> c = {
+      {0, 0, 5.0, 100},
+      {0, 1, 1.0, 101},
+  };
+  const auto result = greedy_maximal(c, 2, 2);
+  ASSERT_EQ(result.selected_payloads.size(), 1u);
+  EXPECT_EQ(result.selected_payloads[0], 101);
+  EXPECT_EQ(result.matching.match_of_left[0], 1);
+}
+
+TEST(Greedy, ProducesMaximalMatching) {
+  std::vector<ScoredCandidate> c = {
+      {0, 0, 1.0, 1}, {0, 1, 2.0, 2}, {1, 0, 3.0, 3}, {1, 1, 4.0, 4}};
+  const auto result = greedy_maximal(c, 2, 2);
+  // Greedy takes (0,0) then must take (1,1).
+  EXPECT_EQ(result.selected_payloads.size(), 2u);
+  std::vector<Edge> edges;
+  for (const auto& cand : c) {
+    edges.push_back({cand.left, cand.right});
+  }
+  EXPECT_TRUE(is_maximal_matching(result.matching, edges, 2));
+}
+
+TEST(Greedy, TieBrokenByPayloadDeterministically) {
+  std::vector<ScoredCandidate> c = {{0, 0, 1.0, 7}, {0, 1, 1.0, 3}};
+  const auto result = greedy_maximal(c, 1, 2);
+  ASSERT_EQ(result.selected_payloads.size(), 1u);
+  EXPECT_EQ(result.selected_payloads[0], 3);
+}
+
+TEST(Greedy, EmptyCandidatesGiveEmptyDecision) {
+  const auto result = greedy_maximal({}, 4, 4);
+  EXPECT_TRUE(result.selected_payloads.empty());
+  EXPECT_EQ(result.matching.size(), 0u);
+}
+
+TEST(Greedy, BlockedPortsSkipCandidates) {
+  // Three flows all from ingress 0: only one can go.
+  std::vector<ScoredCandidate> c = {
+      {0, 0, 3.0, 1}, {0, 1, 1.0, 2}, {0, 2, 2.0, 3}};
+  const auto result = greedy_maximal(c, 1, 3);
+  ASSERT_EQ(result.selected_payloads.size(), 1u);
+  EXPECT_EQ(result.selected_payloads[0], 2);
+}
+
+// ------------------------------------------------------------ HopcroftKarp
+
+TEST(HopcroftKarp, PerfectOnCompleteBipartite) {
+  BipartiteGraph g(4, 4);
+  for (PortId l = 0; l < 4; ++l) {
+    for (PortId r = 0; r < 4; ++r) {
+      g.add_edge(l, r);
+    }
+  }
+  EXPECT_EQ(maximum_matching_size(g), 4u);
+}
+
+TEST(HopcroftKarp, FindsAugmentingPaths) {
+  // Greedy-by-order would match (0,0) and block; HK must find size 2 via
+  // augmentation: 0-0, 1-0 only ... structure: L0→{R0,R1}, L1→{R0}.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.match_of_left[1], 0);
+  EXPECT_EQ(m.match_of_left[0], 1);
+}
+
+TEST(HopcroftKarp, EmptyGraphHasEmptyMatching) {
+  BipartiteGraph g(3, 3);
+  EXPECT_EQ(maximum_matching_size(g), 0u);
+}
+
+TEST(HopcroftKarp, HandlesUnbalancedSides) {
+  BipartiteGraph g(3, 1);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  EXPECT_EQ(maximum_matching_size(g), 1u);
+}
+
+TEST(HopcroftKarp, MatchesKnownNonTrivialGraph) {
+  // Max matching is 3 (not 4): R legs constrained.
+  BipartiteGraph g(4, 4);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  g.add_edge(2, 1);
+  g.add_edge(3, 2);
+  EXPECT_EQ(maximum_matching_size(g), 3u);
+}
+
+// -------------------------------------------------------------- Hungarian
+
+double brute_force_best(const std::vector<std::vector<double>>& w) {
+  const std::size_t n = w.size();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  double best = -1e300;
+  do {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += w[i][perm[i]];
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomMatrices) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial % 5);
+    std::vector<std::vector<double>> w(n, std::vector<double>(n));
+    for (auto& row : w) {
+      for (auto& v : row) {
+        v = rng.uniform(0.0, 100.0);
+      }
+    }
+    const Matching m = max_weight_perfect(w);
+    EXPECT_EQ(m.size(), n);
+    EXPECT_NEAR(matching_weight(m, w), brute_force_best(w), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Hungarian, HandlesZeroAndNegativeWeights) {
+  std::vector<std::vector<double>> w = {{0.0, -5.0}, {-5.0, 0.0}};
+  const Matching m = max_weight_perfect(w);
+  EXPECT_NEAR(matching_weight(m, w), 0.0, 1e-12);
+}
+
+TEST(Hungarian, DiagonalDominantPicksDiagonal) {
+  std::vector<std::vector<double>> w = {
+      {10.0, 1.0, 1.0}, {1.0, 10.0, 1.0}, {1.0, 1.0, 10.0}};
+  const Matching m = max_weight_perfect(w);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.match_of_left[i], static_cast<PortId>(i));
+  }
+}
+
+// --------------------------------------------------------------- Birkhoff
+
+TEST(Birkhoff, CompletionYieldsDoublyStochastic) {
+  RateMatrix rates = {{0.2, 0.3, 0.0},
+                      {0.1, 0.0, 0.4},
+                      {0.0, 0.2, 0.1}};
+  const RateMatrix m = complete_to_doubly_stochastic(rates);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double row = 0.0;
+    double col = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      row += m[i][j];
+      col += m[j][i];
+      EXPECT_GE(m[i][j] + 1e-12, rates[i][j]) << "entries must not shrink";
+    }
+    EXPECT_NEAR(row, 1.0, 1e-6);
+    EXPECT_NEAR(col, 1.0, 1e-6);
+  }
+}
+
+TEST(Birkhoff, CompletionRejectsInadmissible) {
+  RateMatrix over = {{0.8, 0.4}, {0.0, 0.1}};  // row 0 sums to 1.2
+  EXPECT_THROW(complete_to_doubly_stochastic(over), ConfigError);
+}
+
+TEST(Birkhoff, DecompositionReconstructsMatrix) {
+  RateMatrix rates = {{0.25, 0.35, 0.2},
+                      {0.3, 0.25, 0.4},
+                      {0.4, 0.3, 0.25}};
+  const RateMatrix m = complete_to_doubly_stochastic(rates);
+  const auto terms = birkhoff_decompose(m);
+  double total_weight = 0.0;
+  for (const auto& t : terms) {
+    EXPECT_GT(t.weight, 0.0);
+    EXPECT_EQ(t.permutation.size(), 3u);
+    total_weight += t.weight;
+  }
+  EXPECT_NEAR(total_weight, 1.0, 1e-6);
+  const RateMatrix rebuilt = reconstruct(terms, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(rebuilt[i][j], m[i][j], 1e-6);
+    }
+  }
+}
+
+TEST(Birkhoff, TermCountWithinBirkhoffBound) {
+  Rng rng(17);
+  const std::size_t n = 6;
+  RateMatrix rates(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      rates[i][j] = rng.uniform(0.0, 1.0 / static_cast<double>(n));
+    }
+  }
+  const auto terms =
+      birkhoff_decompose(complete_to_doubly_stochastic(rates));
+  EXPECT_LE(terms.size(), (n - 1) * (n - 1) + 1 + 2);
+}
+
+TEST(Birkhoff, IdentityDecomposesToOneTerm) {
+  RateMatrix eye = {{1.0, 0.0}, {0.0, 1.0}};
+  const auto terms = birkhoff_decompose(eye);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_NEAR(terms[0].weight, 1.0, 1e-9);
+  EXPECT_EQ(terms[0].permutation.match_of_left[0], 0);
+  EXPECT_EQ(terms[0].permutation.match_of_left[1], 1);
+}
+
+TEST(Birkhoff, MaxLineSumComputed) {
+  RateMatrix rates = {{0.2, 0.3}, {0.6, 0.1}};
+  EXPECT_NEAR(max_line_sum(rates), 0.8, 1e-12);  // column 0
+}
+
+// -------------------------------------------------------------- enumerate
+
+TEST(Enumerate, SingleEdgeHasOneMaximalMatching) {
+  EXPECT_EQ(count_maximal_matchings({{0, 0}}, 1, 1), 1u);
+}
+
+TEST(Enumerate, TwoDisjointEdgesHaveOneMaximalMatching) {
+  // Both edges can always be added, so the only maximal matching is both.
+  EXPECT_EQ(count_maximal_matchings({{0, 0}, {1, 1}}, 2, 2), 1u);
+}
+
+TEST(Enumerate, SharedIngressYieldsOnePerEdge) {
+  EXPECT_EQ(count_maximal_matchings({{0, 0}, {0, 1}}, 1, 2), 2u);
+}
+
+TEST(Enumerate, CompleteBipartite3x3HasFactorialMaximalMatchings) {
+  std::vector<Edge> edges;
+  for (PortId l = 0; l < 3; ++l) {
+    for (PortId r = 0; r < 3; ++r) {
+      edges.push_back({l, r});
+    }
+  }
+  // On K_{n,n} every maximal matching is perfect: n! of them.
+  EXPECT_EQ(count_maximal_matchings(edges, 3, 3), 6u);
+}
+
+TEST(Enumerate, AllVisitedMatchingsAreMaximal) {
+  const std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 0}, {2, 1}, {2, 2}};
+  std::size_t visits = 0;
+  for_each_maximal_matching(edges, 3, 3, [&](const Matching& m) {
+    ++visits;
+    EXPECT_TRUE(is_maximal_matching(m, edges, 3));
+  });
+  EXPECT_GT(visits, 0u);
+}
+
+TEST(Enumerate, DuplicateEdgesIgnored) {
+  EXPECT_EQ(count_maximal_matchings({{0, 0}, {0, 0}, {0, 0}}, 1, 1), 1u);
+}
+
+TEST(Enumerate, RefusesLargeFabrics) {
+  std::vector<Edge> edges = {{0, 0}};
+  EXPECT_THROW(
+      count_maximal_matchings(edges, 64, 64),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace basrpt::matching

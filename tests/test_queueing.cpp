@@ -1,0 +1,222 @@
+// Unit tests for src/queueing: VOQ matrix bookkeeping, Lyapunov tools,
+// backlog recording.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "queueing/backlog_recorder.hpp"
+#include "queueing/lyapunov.hpp"
+#include "queueing/voq.hpp"
+
+namespace basrpt::queueing {
+namespace {
+
+Flow make_flow(FlowId id, PortId src, PortId dst, Bytes size,
+               double arrival = 0.0,
+               stats::FlowClass cls = stats::FlowClass::kBackground) {
+  Flow f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.size = size;
+  f.remaining = size;
+  f.arrival = SimTime{arrival};
+  f.cls = cls;
+  return f;
+}
+
+// -------------------------------------------------------------- VoqMatrix
+
+TEST(VoqMatrix, AddAndLookup) {
+  VoqMatrix voqs(4);
+  voqs.add_flow(make_flow(1, 0, 2, 10_KB));
+  EXPECT_TRUE(voqs.contains(1));
+  EXPECT_EQ(voqs.flow(1).remaining, 10_KB);
+  EXPECT_EQ(voqs.backlog(0, 2), 10_KB);
+  EXPECT_EQ(voqs.flow_count(0, 2), 1u);
+  EXPECT_EQ(voqs.active_flows(), 1u);
+  EXPECT_EQ(voqs.non_empty_voqs(), 1u);
+}
+
+TEST(VoqMatrix, BacklogsAggregatePerPort) {
+  VoqMatrix voqs(4);
+  voqs.add_flow(make_flow(1, 0, 2, 10_KB));
+  voqs.add_flow(make_flow(2, 0, 3, 5_KB));
+  voqs.add_flow(make_flow(3, 1, 2, 7_KB));
+  EXPECT_EQ(voqs.ingress_backlog(0), 15_KB);
+  EXPECT_EQ(voqs.ingress_backlog(1), 7_KB);
+  EXPECT_EQ(voqs.egress_backlog(2), 17_KB);
+  EXPECT_EQ(voqs.egress_backlog(3), 5_KB);
+  EXPECT_EQ(voqs.total_backlog(), 22_KB);
+}
+
+TEST(VoqMatrix, DrainPartialKeepsFlow) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(1, 0, 1, 10_KB));
+  EXPECT_FALSE(voqs.drain(1, 4_KB));
+  EXPECT_EQ(voqs.flow(1).remaining, 6_KB);
+  EXPECT_EQ(voqs.backlog(0, 1), 6_KB);
+  EXPECT_EQ(voqs.total_backlog(), 6_KB);
+}
+
+TEST(VoqMatrix, DrainToZeroCompletesAndRemoves) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(1, 0, 1, 10_KB));
+  EXPECT_TRUE(voqs.drain(1, 10_KB));
+  EXPECT_FALSE(voqs.contains(1));
+  EXPECT_EQ(voqs.total_backlog(), Bytes{0});
+  EXPECT_EQ(voqs.non_empty_voqs(), 0u);
+}
+
+TEST(VoqMatrix, OverdrainClampsToRemaining) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(1, 0, 1, 10_KB));
+  EXPECT_TRUE(voqs.drain(1, 1_MB));
+  EXPECT_EQ(voqs.total_backlog(), Bytes{0});
+}
+
+TEST(VoqMatrix, RemoveDiscardsBacklog) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(1, 0, 1, 10_KB));
+  voqs.add_flow(make_flow(2, 0, 1, 5_KB));
+  voqs.remove(1);
+  EXPECT_FALSE(voqs.contains(1));
+  EXPECT_EQ(voqs.backlog(0, 1), 5_KB);
+  voqs.remove(99);  // absent id is a no-op
+  EXPECT_EQ(voqs.active_flows(), 1u);
+}
+
+TEST(VoqMatrix, ShortestTracksDrains) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(1, 0, 1, 10_KB));
+  voqs.add_flow(make_flow(2, 0, 1, 8_KB));
+  EXPECT_EQ(voqs.shortest_in_voq(0, 1), 2);
+  // Drain flow 1 below flow 2: the ordering index must follow.
+  voqs.drain(1, 5_KB);
+  EXPECT_EQ(voqs.shortest_in_voq(0, 1), 1);
+}
+
+TEST(VoqMatrix, OldestIsByArrivalNotSize) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(1, 0, 1, 1_KB, 5.0));
+  voqs.add_flow(make_flow(2, 0, 1, 100_KB, 1.0));
+  EXPECT_EQ(voqs.oldest_in_voq(0, 1), 2);
+  EXPECT_EQ(voqs.shortest_in_voq(0, 1), 1);
+}
+
+TEST(VoqMatrix, EmptyVoqQueriesReturnInvalid) {
+  VoqMatrix voqs(2);
+  EXPECT_EQ(voqs.shortest_in_voq(0, 1), kInvalidFlow);
+  EXPECT_EQ(voqs.oldest_in_voq(0, 1), kInvalidFlow);
+}
+
+TEST(VoqMatrix, NonEmptyIterationMatchesState) {
+  VoqMatrix voqs(3);
+  voqs.add_flow(make_flow(1, 0, 1, 1_KB));
+  voqs.add_flow(make_flow(2, 2, 0, 2_KB));
+  voqs.add_flow(make_flow(3, 2, 0, 3_KB));
+  int seen = 0;
+  voqs.for_each_non_empty_voq([&](PortId i, PortId j) {
+    ++seen;
+    EXPECT_GT(voqs.flow_count(i, j), 0u);
+  });
+  EXPECT_EQ(seen, 2);
+  voqs.drain(2, 2_KB);
+  voqs.drain(3, 3_KB);
+  seen = 0;
+  voqs.for_each_non_empty_voq([&](PortId, PortId) { ++seen; });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(VoqMatrix, VoqFlowIdsSortedByRemaining) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(1, 0, 1, 30_KB));
+  voqs.add_flow(make_flow(2, 0, 1, 10_KB));
+  voqs.add_flow(make_flow(3, 0, 1, 20_KB));
+  const auto ids = voqs.voq_flow_ids(0, 1);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 2);
+  EXPECT_EQ(ids[1], 3);
+  EXPECT_EQ(ids[2], 1);
+}
+
+TEST(VoqMatrix, DuplicateIdAsserts) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(1, 0, 1, 1_KB));
+  EXPECT_THROW(voqs.add_flow(make_flow(1, 1, 0, 1_KB)), SimulationError);
+}
+
+TEST(VoqMatrix, TiedRemainingBrokenById) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(5, 0, 1, 1_KB));
+  voqs.add_flow(make_flow(3, 0, 1, 1_KB));
+  EXPECT_EQ(voqs.shortest_in_voq(0, 1), 3);
+}
+
+TEST(VoqMatrix, ForEachFlowVisitsAll) {
+  VoqMatrix voqs(3);
+  for (FlowId id = 0; id < 5; ++id) {
+    voqs.add_flow(make_flow(id, static_cast<PortId>(id % 3),
+                            static_cast<PortId>((id + 1) % 3), 1_KB));
+  }
+  std::size_t count = 0;
+  Bytes total{};
+  voqs.for_each_flow([&](const Flow& f) {
+    ++count;
+    total += f.remaining;
+  });
+  EXPECT_EQ(count, 5u);
+  EXPECT_EQ(total, voqs.total_backlog());
+}
+
+// --------------------------------------------------------------- Lyapunov
+
+TEST(Lyapunov, QuadraticOfVector) {
+  EXPECT_DOUBLE_EQ(lyapunov_value(std::vector<double>{3.0, 4.0}), 12.5);
+  EXPECT_DOUBLE_EQ(lyapunov_value(std::vector<double>{}), 0.0);
+}
+
+TEST(Lyapunov, OfVoqMatrixInPacketUnits) {
+  VoqMatrix voqs(2);
+  voqs.add_flow(make_flow(1, 0, 1, Bytes{3000}));  // 2 packets @1500B
+  voqs.add_flow(make_flow(2, 1, 0, Bytes{1500}));  // 1 packet
+  EXPECT_DOUBLE_EQ(lyapunov_value(voqs, 1500.0), 0.5 * (4.0 + 1.0));
+}
+
+TEST(Lyapunov, ZeroWhenEmpty) {
+  VoqMatrix voqs(4);
+  EXPECT_DOUBLE_EQ(lyapunov_value(voqs, 1500.0), 0.0);
+}
+
+TEST(DriftTracker, MeanDriftOfLinearGrowth) {
+  DriftTracker tracker;
+  for (int t = 0; t <= 10; ++t) {
+    tracker.observe(5.0 * t);
+  }
+  EXPECT_TRUE(tracker.has_samples());
+  EXPECT_DOUBLE_EQ(tracker.mean_drift(), 5.0);
+  EXPECT_DOUBLE_EQ(tracker.max_drift(), 5.0);
+}
+
+TEST(DriftTracker, NoSamplesBeforeTwoObservations) {
+  DriftTracker tracker;
+  tracker.observe(1.0);
+  EXPECT_FALSE(tracker.has_samples());
+}
+
+// -------------------------------------------------------- BacklogRecorder
+
+TEST(BacklogRecorder, TracksThreeSeries) {
+  VoqMatrix voqs(4);
+  BacklogRecorder rec(0, 2);
+  rec.sample(SimTime{0.0}, voqs);
+  voqs.add_flow(make_flow(1, 0, 2, 10_KB));
+  voqs.add_flow(make_flow(2, 1, 3, 99_KB));
+  rec.sample(SimTime{1.0}, voqs);
+  EXPECT_EQ(rec.total().size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.total().last_value(), 109'000.0);
+  EXPECT_DOUBLE_EQ(rec.watched_voq().last_value(), 10'000.0);
+  EXPECT_DOUBLE_EQ(rec.max_ingress().last_value(), 99'000.0);
+}
+
+}  // namespace
+}  // namespace basrpt::queueing

@@ -1,0 +1,137 @@
+// Unit tests for src/sim: event engine ordering, clock semantics,
+// periodic sampling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/engine.hpp"
+
+namespace basrpt::sim {
+namespace {
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(seconds(3.0), [&] { order.push_back(3); });
+  engine.schedule_at(seconds(1.0), [&] { order.push_back(1); });
+  engine.schedule_at(seconds(2.0), [&] { order.push_back(2); });
+  engine.run_until(seconds(10.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now().seconds, 10.0);
+  EXPECT_EQ(engine.executed(), 3u);
+}
+
+TEST(Engine, SimultaneousEventsFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  engine.run_until(seconds(1.0));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsPending) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(seconds(1.0), [&] { ++fired; });
+  engine.schedule_at(seconds(5.0), [&] { ++fired; });
+  engine.run_until(seconds(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.pending(), 1u);
+  EXPECT_DOUBLE_EQ(engine.now().seconds, 2.0);
+  engine.run_until(seconds(5.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventsAtHorizonStillFire) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_at(seconds(2.0), [&] { fired = true; });
+  engine.run_until(seconds(2.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, HandlersCanScheduleMoreEvents) {
+  Engine engine;
+  int chain = 0;
+  std::function<void()> step = [&]() {
+    ++chain;
+    if (chain < 4) {
+      engine.schedule_in(seconds(1.0), step);
+    }
+  };
+  engine.schedule_at(seconds(0.0), step);
+  engine.run_until(seconds(10.0));
+  EXPECT_EQ(chain, 4);
+}
+
+TEST(Engine, SchedulingInThePastAsserts) {
+  Engine engine;
+  engine.schedule_at(seconds(5.0), [] {});
+  engine.run_until(seconds(5.0));
+  EXPECT_THROW(engine.schedule_at(seconds(1.0), [] {}), SimulationError);
+  EXPECT_THROW(engine.schedule_in(seconds(-1.0), [] {}), SimulationError);
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(seconds(1.0), [&] { ++fired; });
+  engine.schedule_at(seconds(2.0), [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now().seconds, 1.0);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, ClockNeverExceedsHorizonWhenCalendarDrains) {
+  Engine engine;
+  engine.schedule_at(seconds(1.0), [] {});
+  engine.run_until(seconds(3.0));
+  EXPECT_DOUBLE_EQ(engine.now().seconds, 3.0);
+}
+
+TEST(PeriodicSampler, TickCountMatchesHorizon) {
+  Engine engine;
+  std::vector<double> ticks;
+  schedule_periodic(engine, seconds(0.0), seconds(1.0), seconds(5.0),
+                    [&](SimTime t) { ticks.push_back(t.seconds); });
+  engine.run_until(seconds(5.0));
+  EXPECT_EQ(ticks, (std::vector<double>{0.0, 1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(PeriodicSampler, StartBeyondHorizonDoesNothing) {
+  Engine engine;
+  int ticks = 0;
+  schedule_periodic(engine, seconds(10.0), seconds(1.0), seconds(5.0),
+                    [&](SimTime) { ++ticks; });
+  engine.run_until(seconds(5.0));
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(PeriodicSampler, InterleavesWithOtherEvents) {
+  Engine engine;
+  std::vector<std::string> log;
+  schedule_periodic(engine, seconds(0.5), seconds(1.0), seconds(3.0),
+                    [&](SimTime) { log.push_back("sample"); });
+  engine.schedule_at(seconds(1.0), [&] { log.push_back("event"); });
+  engine.run_until(seconds(3.0));
+  // samples at 0.5, 1.5, 2.5 and the event at 1.0.
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "sample");
+  EXPECT_EQ(log[1], "event");
+  EXPECT_EQ(log[2], "sample");
+}
+
+TEST(PeriodicSampler, RejectsNonPositiveInterval) {
+  Engine engine;
+  EXPECT_THROW(schedule_periodic(engine, seconds(0.0), seconds(0.0),
+                                 seconds(1.0), [](SimTime) {}),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace basrpt::sim

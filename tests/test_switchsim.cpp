@@ -1,0 +1,281 @@
+// Unit tests for src/switchsim: the slotted model, the Fig. 1 hand
+// example, conservation laws, and stability behaviour per scheduler.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "sched/bvn_scheduler.hpp"
+#include "sched/fast_basrpt.hpp"
+#include "sched/fifo.hpp"
+#include "sched/maxweight.hpp"
+#include "sched/srpt.hpp"
+#include "sched/threshold.hpp"
+#include "switchsim/arrivals.hpp"
+#include "switchsim/slotted_sim.hpp"
+#include "workload/adversarial.hpp"
+
+namespace basrpt::switchsim {
+namespace {
+
+std::vector<SlottedArrival> to_slotted(
+    const std::vector<workload::FlowArrival>& arrivals) {
+  std::vector<SlottedArrival> out;
+  out.reserve(arrivals.size());
+  for (const auto& a : arrivals) {
+    SlottedArrival s;
+    s.slot = static_cast<Slot>(a.time.seconds);
+    s.src = a.src;
+    s.dst = a.dst;
+    s.size = a.size.count;
+    s.cls = a.cls;
+    out.push_back(s);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- Fig. 1
+
+TEST(Fig1, SrptLeavesOnePacketAfterSixSlots) {
+  SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = 6;
+  config.sample_every = 1;
+  sched::SrptScheduler srpt;
+  const auto arrivals =
+      to_slotted(workload::fig1_example(seconds(1.0), Bytes{1}));
+  const auto result =
+      run_slotted(config, srpt, stream_from_vector(arrivals));
+  // The paper's Fig. 1(b): f2 and f3 complete, f1 keeps 1 packet.
+  EXPECT_EQ(result.left_packets, 1);
+  EXPECT_EQ(result.left_flows, 1);
+  EXPECT_EQ(result.delivered_packets, 6);
+  EXPECT_EQ(result.fct.completed(stats::FlowClass::kQuery), 2);
+  EXPECT_EQ(result.fct.completed(stats::FlowClass::kBackground), 0);
+}
+
+TEST(Fig1, SrptQueryFctsMatchPaperTimeline) {
+  SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = 6;
+  sched::SrptScheduler srpt;
+  const auto arrivals =
+      to_slotted(workload::fig1_example(seconds(1.0), Bytes{1}));
+  const auto result =
+      run_slotted(config, srpt, stream_from_vector(arrivals));
+  // f2 leaves during slot 1, f3 during slot 2: both have FCT 1 slot.
+  const auto q = result.fct.summary(stats::FlowClass::kQuery);
+  EXPECT_DOUBLE_EQ(q.mean_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(q.max_seconds, 1.0);
+}
+
+TEST(Fig1, ThresholdStrategyReproducesFig1c) {
+  // The backlog-aware strategy of Fig. 1(c): f1's 5-packet backlog is
+  // promoted above the threshold, wins slot 1, drops below it, and the
+  // two queries take slot 2; f1 finishes in the remaining 4 slots.
+  SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = 6;
+  sched::ThresholdSrptScheduler threshold(4.5);
+  const auto arrivals =
+      to_slotted(workload::fig1_example(seconds(1.0), Bytes{1}));
+  const auto result =
+      run_slotted(config, threshold, stream_from_vector(arrivals));
+  EXPECT_EQ(result.left_packets, 0);
+  EXPECT_EQ(result.delivered_packets, 7);
+  EXPECT_EQ(result.fct.completed_total(), 3);
+  // The cost the paper quotes: one query waits one extra slot.
+  const auto q = result.fct.summary(stats::FlowClass::kQuery);
+  EXPECT_DOUBLE_EQ(q.max_seconds, 2.0);
+}
+
+TEST(Fig1, FastBasrptAlsoCompletesEverything) {
+  SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = 6;
+  // V < 4 puts f1 ahead of the queries at t=0 (key 1.25V−5 < 0.25V−1),
+  // and the drained backlog keeps it there; all 7 packets clear in 6
+  // slots, unlike SRPT.
+  sched::FastBasrptScheduler basrpt(1.0);
+  const auto arrivals =
+      to_slotted(workload::fig1_example(seconds(1.0), Bytes{1}));
+  const auto result =
+      run_slotted(config, basrpt, stream_from_vector(arrivals));
+  EXPECT_EQ(result.left_packets, 0);
+  EXPECT_EQ(result.delivered_packets, 7);
+  EXPECT_EQ(result.fct.completed_total(), 3);
+}
+
+// ------------------------------------------------------------ conservation
+
+TEST(Conservation, DeliveredPlusLeftEqualsArrived) {
+  const PortId n = 6;
+  const auto rates = uniform_rates(n, 0.7);
+  SizeMix mix;
+  Rng rng(1);
+  // Materialize the arrivals so we can count them exactly.
+  std::vector<SlottedArrival> all;
+  auto stream = bernoulli_arrivals(rates, mix, 4000, rng);
+  std::int64_t arrived_packets = 0;
+  while (auto a = stream()) {
+    arrived_packets += a->size;
+    all.push_back(*a);
+  }
+  ASSERT_GT(arrived_packets, 0);
+
+  SlottedConfig config;
+  config.n_ports = n;
+  config.horizon = 4100;  // a little past the last arrival
+  sched::SrptScheduler srpt;
+  const auto result = run_slotted(config, srpt, stream_from_vector(all));
+  EXPECT_EQ(result.delivered_packets + result.left_packets,
+            arrived_packets);
+}
+
+TEST(Conservation, FctNeverBelowFlowSize) {
+  const PortId n = 4;
+  SlottedConfig config;
+  config.n_ports = n;
+  config.horizon = 3000;
+  sched::FastBasrptScheduler sched(100.0);
+  SizeMix mix;
+  mix.large = 12;
+  const auto result = run_slotted(
+      config, sched,
+      bernoulli_arrivals(uniform_rates(n, 0.5), mix, 2500, Rng(2)));
+  // A size-s flow needs at least s slots; the small flows are 1 packet.
+  const auto q = result.fct.summary(stats::FlowClass::kQuery);
+  ASSERT_GT(q.completed, 0);
+  EXPECT_GE(q.mean_seconds, 1.0);
+  const auto b = result.fct.summary(stats::FlowClass::kBackground);
+  ASSERT_GT(b.completed, 0);
+  EXPECT_GE(b.mean_seconds, static_cast<double>(mix.large));
+}
+
+// ----------------------------------------------------- stability contrasts
+
+TEST(Stability, SrptDivergesOnStarvationPattern) {
+  SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = 20'000;
+  config.watched_src = 0;
+  config.watched_dst = 2;
+  sched::SrptScheduler srpt;
+  const auto arrivals = to_slotted(workload::srpt_starvation_pattern(
+      seconds(1.0), Bytes{1}, 8, 32, 20'000));
+  const auto result =
+      run_slotted(config, srpt, stream_from_vector(arrivals));
+  const auto verdict = stats::classify_trend(result.backlog.watched_voq());
+  EXPECT_TRUE(verdict.growing) << "slope " << verdict.slope;
+  // Roughly one long flow's worth of packets parks every period.
+  EXPECT_GT(result.left_packets, 3000);
+}
+
+TEST(Stability, FastBasrptStabilizesStarvationPattern) {
+  SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = 20'000;
+  config.watched_src = 0;
+  config.watched_dst = 2;
+  sched::FastBasrptScheduler basrpt(100.0);
+  const auto arrivals = to_slotted(workload::srpt_starvation_pattern(
+      seconds(1.0), Bytes{1}, 8, 32, 20'000));
+  const auto result =
+      run_slotted(config, basrpt, stream_from_vector(arrivals));
+  const auto verdict = stats::classify_trend(result.backlog.watched_voq());
+  EXPECT_FALSE(verdict.growing) << "slope " << verdict.slope;
+  EXPECT_LT(result.left_packets, 500);
+}
+
+TEST(Stability, MaxWeightStableAtHighUniformLoad) {
+  const PortId n = 6;
+  SlottedConfig config;
+  config.n_ports = n;
+  config.horizon = 30'000;
+  sched::MaxWeightScheduler sched;
+  const auto result = run_slotted(
+      config, sched,
+      bernoulli_arrivals(uniform_rates(n, 0.9), SizeMix{}, 30'000, Rng(3)));
+  EXPECT_FALSE(stats::classify_trend(result.backlog.total()).growing);
+}
+
+TEST(Stability, BvnStableWithServiceSlack) {
+  // The Theorem-1 construction needs λ_ij + ε <= R̄_ij: give the BvN
+  // scheduler a rate matrix with headroom over the actual arrivals.
+  const PortId n = 5;
+  SlottedConfig config;
+  config.n_ports = n;
+  config.horizon = 30'000;
+  sched::BvnScheduler sched(uniform_rates(n, 0.98), Rng(4));
+  const auto result = run_slotted(
+      config, sched,
+      bernoulli_arrivals(uniform_rates(n, 0.85), SizeMix{}, 30'000, Rng(5)));
+  EXPECT_FALSE(stats::classify_trend(result.backlog.total()).growing);
+}
+
+// ------------------------------------------------------------- mechanics
+
+TEST(Mechanics, ThroughputReflectsDeliveredPackets) {
+  SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = 100;
+  sched::SrptScheduler srpt;
+  std::vector<SlottedArrival> arrivals = {{0, 0, 1, 50,
+                                           stats::FlowClass::kBackground}};
+  const auto result =
+      run_slotted(config, srpt, stream_from_vector(arrivals));
+  EXPECT_EQ(result.delivered_packets, 50);
+  EXPECT_NEAR(result.throughput_pkts_per_slot(), 0.5, 1e-12);
+}
+
+TEST(Mechanics, SingleFlowFctEqualsItsSize) {
+  SlottedConfig config;
+  config.n_ports = 2;
+  config.horizon = 64;
+  config.watched_dst = 1;
+  sched::SrptScheduler srpt;
+  std::vector<SlottedArrival> arrivals = {{3, 0, 1, 17,
+                                           stats::FlowClass::kBackground}};
+  const auto result =
+      run_slotted(config, srpt, stream_from_vector(arrivals));
+  const auto b = result.fct.summary(stats::FlowClass::kBackground);
+  ASSERT_EQ(b.completed, 1);
+  EXPECT_DOUBLE_EQ(b.mean_seconds, 17.0);
+}
+
+TEST(Mechanics, CrossbarServesAtMostOnePacketPerPortPerSlot) {
+  // Two flows sharing an egress need size1 + size2 slots in total.
+  SlottedConfig config;
+  config.n_ports = 3;
+  config.horizon = 32;
+  sched::SrptScheduler srpt;
+  std::vector<SlottedArrival> arrivals = {
+      {0, 0, 2, 5, stats::FlowClass::kBackground},
+      {0, 1, 2, 5, stats::FlowClass::kBackground}};
+  const auto result =
+      run_slotted(config, srpt, stream_from_vector(arrivals));
+  const auto b = result.fct.summary(stats::FlowClass::kBackground);
+  ASSERT_EQ(b.completed, 2);
+  EXPECT_DOUBLE_EQ(b.max_seconds, 10.0);
+}
+
+TEST(Mechanics, UnsortedArrivalVectorRejected) {
+  std::vector<SlottedArrival> arrivals = {
+      {5, 0, 1, 1, stats::FlowClass::kQuery},
+      {2, 0, 1, 1, stats::FlowClass::kQuery}};
+  EXPECT_THROW(stream_from_vector(arrivals), ConfigError);
+}
+
+TEST(Mechanics, DriftTrackerObservesRun) {
+  SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = 2000;
+  config.sample_every = 8;
+  sched::FifoScheduler fifo;
+  const auto result = run_slotted(
+      config, fifo,
+      bernoulli_arrivals(uniform_rates(4, 0.4), SizeMix{}, 2000, Rng(6)));
+  EXPECT_TRUE(result.drift.has_samples());
+}
+
+}  // namespace
+}  // namespace basrpt::switchsim

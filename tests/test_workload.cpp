@@ -1,0 +1,292 @@
+// Unit tests for src/workload: traffic sources, calibration, the Fig. 1
+// example and the starvation pattern.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "dist/flow_sizes.hpp"
+#include "workload/adversarial.hpp"
+#include "workload/generators.hpp"
+#include "workload/traffic.hpp"
+
+namespace basrpt::workload {
+namespace {
+
+std::vector<FlowArrival> drain(TrafficSource& source, std::size_t cap) {
+  std::vector<FlowArrival> out;
+  while (out.size() < cap) {
+    auto a = source.next();
+    if (!a) {
+      break;
+    }
+    out.push_back(*a);
+  }
+  return out;
+}
+
+// --------------------------------------------------------- VectorTraffic
+
+TEST(VectorTraffic, ReplaysInOrder) {
+  std::vector<FlowArrival> arrivals(3);
+  arrivals[0].time = seconds(1.0);
+  arrivals[1].time = seconds(2.0);
+  arrivals[2].time = seconds(2.0);
+  VectorTraffic source(arrivals);
+  const auto out = drain(source, 10);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[1].time.seconds, 2.0);
+  EXPECT_FALSE(source.next().has_value());
+}
+
+TEST(VectorTraffic, RejectsUnsortedInput) {
+  std::vector<FlowArrival> arrivals(2);
+  arrivals[0].time = seconds(2.0);
+  arrivals[1].time = seconds(1.0);
+  EXPECT_THROW(VectorTraffic{arrivals}, ConfigError);
+}
+
+// ------------------------------------------------------ CompositeTraffic
+
+TEST(CompositeTraffic, MergesInTimeOrder) {
+  std::vector<FlowArrival> a(2);
+  a[0].time = seconds(1.0);
+  a[0].src = 1;
+  a[1].time = seconds(3.0);
+  a[1].src = 1;
+  std::vector<FlowArrival> b(2);
+  b[0].time = seconds(2.0);
+  b[0].src = 2;
+  b[1].time = seconds(4.0);
+  b[1].src = 2;
+  std::vector<TrafficSourcePtr> sources;
+  sources.push_back(std::make_unique<VectorTraffic>(a));
+  sources.push_back(std::make_unique<VectorTraffic>(b));
+  CompositeTraffic merged(std::move(sources));
+  const auto out = drain(merged, 10);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].time, out[i].time);
+  }
+  EXPECT_EQ(out[0].src, 1);
+  EXPECT_EQ(out[1].src, 2);
+}
+
+TEST(TruncatedTraffic, DropsArrivalsPastHorizon) {
+  std::vector<FlowArrival> a(3);
+  a[0].time = seconds(1.0);
+  a[1].time = seconds(2.0);
+  a[2].time = seconds(9.0);
+  TruncatedTraffic source(std::make_unique<VectorTraffic>(a), seconds(5.0));
+  EXPECT_EQ(drain(source, 10).size(), 2u);
+}
+
+// ------------------------------------------------------------ calibration
+
+TEST(Calibration, ArrivalRateFormula) {
+  // 10% of 10 Gbps with 20 KB flows: 1e9 bps / (8 * 2e4 B) = 6250 /s.
+  EXPECT_NEAR(arrivals_per_host_sec(0.1, gbps(10.0), 20'000.0), 6250.0,
+              1e-9);
+}
+
+TEST(Calibration, QueryTrafficDeliversTargetLoad) {
+  ClassConfig config;
+  config.load_fraction = 0.2;
+  config.host_link = gbps(10.0);
+  config.sizes = dist::query_size();
+  const std::int32_t hosts = 12;
+  QueryTraffic source(config, hosts, Rng(1));
+  double bytes = 0.0;
+  double last_time = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto a = source.next();
+    ASSERT_TRUE(a.has_value());
+    bytes += static_cast<double>(a->size.count);
+    last_time = a->time.seconds;
+  }
+  const double offered_bps = bytes * 8.0 / last_time;
+  const double target_bps = 0.2 * 1e10 * hosts;
+  EXPECT_NEAR(offered_bps / target_bps, 1.0, 0.03);
+}
+
+TEST(Calibration, BackgroundTrafficDeliversTargetLoad) {
+  ClassConfig config;
+  config.load_fraction = 0.5;
+  config.host_link = gbps(10.0);
+  config.sizes = dist::background();
+  config.cls = stats::FlowClass::kBackground;
+  BackgroundTraffic source(config, 4, 6, Rng(2));
+  double bytes = 0.0;
+  double last_time = 0.0;
+  for (int i = 0; i < 200'000; ++i) {
+    const auto a = source.next();
+    ASSERT_TRUE(a.has_value());
+    bytes += static_cast<double>(a->size.count);
+    last_time = a->time.seconds;
+  }
+  const double offered_bps = bytes * 8.0 / last_time;
+  const double target_bps = 0.5 * 1e10 * 24;
+  EXPECT_NEAR(offered_bps / target_bps, 1.0, 0.05);
+}
+
+// -------------------------------------------------------- spatial pattern
+
+TEST(QueryTraffic, DestinationsSpanFabricAndAvoidSelf) {
+  ClassConfig config;
+  config.load_fraction = 0.1;
+  config.sizes = dist::query_size();
+  const std::int32_t hosts = 8;
+  QueryTraffic source(config, hosts, Rng(3));
+  std::map<int, int> dst_count;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto a = source.next();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_NE(a->src, a->dst);
+    ASSERT_GE(a->dst, 0);
+    ASSERT_LT(a->dst, hosts);
+    EXPECT_EQ(a->cls, stats::FlowClass::kQuery);
+    dst_count[a->dst]++;
+  }
+  EXPECT_EQ(dst_count.size(), 8u);
+  for (const auto& [dst, count] : dst_count) {
+    EXPECT_NEAR(static_cast<double>(count) / 20'000.0, 1.0 / 8.0, 0.02);
+  }
+}
+
+TEST(BackgroundTraffic, StaysWithinRack) {
+  ClassConfig config;
+  config.load_fraction = 0.3;
+  config.sizes = dist::background();
+  config.cls = stats::FlowClass::kBackground;
+  const std::int32_t racks = 3;
+  const std::int32_t per_rack = 4;
+  BackgroundTraffic source(config, racks, per_rack, Rng(4));
+  for (int i = 0; i < 20'000; ++i) {
+    const auto a = source.next();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_NE(a->src, a->dst);
+    EXPECT_EQ(a->src / per_rack, a->dst / per_rack)
+        << "background flow crossed racks";
+    EXPECT_EQ(a->cls, stats::FlowClass::kBackground);
+  }
+}
+
+TEST(PaperMix, CombinesBothClassesUnderHorizon) {
+  Rng rng(5);
+  auto source =
+      paper_mix(0.9, 0.2, 2, 4, gbps(10.0), seconds(0.5), rng);
+  int queries = 0;
+  int background = 0;
+  double last = 0.0;
+  while (auto a = source->next()) {
+    EXPECT_GE(a->time.seconds, last);
+    last = a->time.seconds;
+    EXPECT_LE(a->time.seconds, 0.5);
+    (a->cls == stats::FlowClass::kQuery ? queries : background)++;
+  }
+  EXPECT_GT(queries, 100);
+  EXPECT_GT(background, 10);
+  // Queries are tiny, so they dominate the flow count.
+  EXPECT_GT(queries, background);
+}
+
+// ------------------------------------------------------- hyperexponential
+
+TEST(Hyperexponential, Cv2OneIsExponential) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    sum += hyperexponential_gap(rng, 5.0, 1.0);
+  }
+  EXPECT_NEAR(sum / n, 0.2, 0.005);
+}
+
+TEST(Hyperexponential, LargerCv2KeepsMeanRaisesVariance) {
+  Rng rng(7);
+  const int n = 400'000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = hyperexponential_gap(rng, 2.0, 16.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+  EXPECT_NEAR(var / (mean * mean), 16.0, 2.0);
+}
+
+// -------------------------------------------------------------- Fig. 1
+
+TEST(Fig1Example, MatchesThePaper) {
+  const auto arrivals = fig1_example(seconds(1.0), Bytes{1});
+  ASSERT_EQ(arrivals.size(), 3u);
+  // f1: 5 packets A(0)→C(2) at t=0.
+  EXPECT_EQ(arrivals[0].src, 0);
+  EXPECT_EQ(arrivals[0].dst, 2);
+  EXPECT_EQ(arrivals[0].size.count, 5);
+  EXPECT_DOUBLE_EQ(arrivals[0].time.seconds, 0.0);
+  // f2: 1 packet A(0)→B(1) at t=0.
+  EXPECT_EQ(arrivals[1].src, 0);
+  EXPECT_EQ(arrivals[1].dst, 1);
+  EXPECT_EQ(arrivals[1].size.count, 1);
+  // f3: 1 packet D(3)→C(2) at t=1.
+  EXPECT_EQ(arrivals[2].src, 3);
+  EXPECT_EQ(arrivals[2].dst, 2);
+  EXPECT_DOUBLE_EQ(arrivals[2].time.seconds, 1.0);
+}
+
+// --------------------------------------------------- starvation pattern
+
+TEST(StarvationPattern, LoadsAreAdmissible) {
+  const auto arrivals =
+      srpt_starvation_pattern(seconds(1.0), Bytes{1}, 8, 32, 1024);
+  // Count packets per ingress and egress port per slot on average.
+  std::map<int, double> ingress_pkts;
+  std::map<int, double> egress_pkts;
+  for (const auto& a : arrivals) {
+    ingress_pkts[a.src] += static_cast<double>(a.size.count);
+    egress_pkts[a.dst] += static_cast<double>(a.size.count);
+  }
+  const double slots = 1024.0;
+  for (const auto& [port, pkts] : ingress_pkts) {
+    EXPECT_LT(pkts / slots, 1.0) << "ingress " << port;
+  }
+  for (const auto& [port, pkts] : egress_pkts) {
+    EXPECT_LT(pkts / slots, 1.0) << "egress " << port;
+  }
+}
+
+TEST(StarvationPattern, AlternatesShortFlowPorts) {
+  const auto arrivals =
+      srpt_starvation_pattern(seconds(1.0), Bytes{1}, 4, 16, 64);
+  for (const auto& a : arrivals) {
+    if (a.cls == stats::FlowClass::kQuery) {
+      const auto slot = static_cast<std::int64_t>(a.time.seconds);
+      if (slot % 2 == 0) {
+        EXPECT_EQ(a.src, 0);
+        EXPECT_EQ(a.dst, 1);
+      } else {
+        EXPECT_EQ(a.src, 3);
+        EXPECT_EQ(a.dst, 2);
+      }
+    } else {
+      EXPECT_EQ(a.src, 0);
+      EXPECT_EQ(a.dst, 2);
+      EXPECT_EQ(a.size.count, 4);
+    }
+  }
+}
+
+TEST(StarvationPattern, RejectsOverload) {
+  // period <= 2*long_packets would push port 0 to >= 1 pkt/slot.
+  EXPECT_THROW(srpt_starvation_pattern(seconds(1.0), Bytes{1}, 8, 16, 64),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace basrpt::workload
