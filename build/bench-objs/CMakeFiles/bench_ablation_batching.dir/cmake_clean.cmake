@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_batching"
+  "../bench/bench_ablation_batching.pdb"
+  "CMakeFiles/bench_ablation_batching.dir/bench_ablation_batching.cpp.o"
+  "CMakeFiles/bench_ablation_batching.dir/bench_ablation_batching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_burstiness"
+  "../bench/bench_ablation_burstiness.pdb"
+  "CMakeFiles/bench_ablation_burstiness.dir/bench_ablation_burstiness.cpp.o"
+  "CMakeFiles/bench_ablation_burstiness.dir/bench_ablation_burstiness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

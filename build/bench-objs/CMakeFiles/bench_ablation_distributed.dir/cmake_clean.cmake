@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_distributed"
+  "../bench/bench_ablation_distributed.pdb"
+  "CMakeFiles/bench_ablation_distributed.dir/bench_ablation_distributed.cpp.o"
+  "CMakeFiles/bench_ablation_distributed.dir/bench_ablation_distributed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

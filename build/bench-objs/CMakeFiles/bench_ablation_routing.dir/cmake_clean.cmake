@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_routing"
+  "../bench/bench_ablation_routing.pdb"
+  "CMakeFiles/bench_ablation_routing.dir/bench_ablation_routing.cpp.o"
+  "CMakeFiles/bench_ablation_routing.dir/bench_ablation_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

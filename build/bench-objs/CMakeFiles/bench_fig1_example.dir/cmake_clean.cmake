@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_example"
+  "../bench/bench_fig1_example.pdb"
+  "CMakeFiles/bench_fig1_example.dir/bench_fig1_example.cpp.o"
+  "CMakeFiles/bench_fig1_example.dir/bench_fig1_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_motivation"
+  "../bench/bench_fig2_motivation.pdb"
+  "CMakeFiles/bench_fig2_motivation.dir/bench_fig2_motivation.cpp.o"
+  "CMakeFiles/bench_fig2_motivation.dir/bench_fig2_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

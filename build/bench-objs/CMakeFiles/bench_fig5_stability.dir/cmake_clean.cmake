@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_stability"
+  "../bench/bench_fig5_stability.pdb"
+  "CMakeFiles/bench_fig5_stability.dir/bench_fig5_stability.cpp.o"
+  "CMakeFiles/bench_fig5_stability.dir/bench_fig5_stability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_loads"
+  "../bench/bench_fig6_loads.pdb"
+  "CMakeFiles/bench_fig6_loads.dir/bench_fig6_loads.cpp.o"
+  "CMakeFiles/bench_fig6_loads.dir/bench_fig6_loads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_vsweep"
+  "../bench/bench_fig7_vsweep.pdb"
+  "CMakeFiles/bench_fig7_vsweep.dir/bench_fig7_vsweep.cpp.o"
+  "CMakeFiles/bench_fig7_vsweep.dir/bench_fig7_vsweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_vsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_vsweep_fct"
+  "../bench/bench_fig8_vsweep_fct.pdb"
+  "CMakeFiles/bench_fig8_vsweep_fct.dir/bench_fig8_vsweep_fct.cpp.o"
+  "CMakeFiles/bench_fig8_vsweep_fct.dir/bench_fig8_vsweep_fct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vsweep_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

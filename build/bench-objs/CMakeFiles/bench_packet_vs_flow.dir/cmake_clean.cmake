@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_packet_vs_flow"
+  "../bench/bench_packet_vs_flow.pdb"
+  "CMakeFiles/bench_packet_vs_flow.dir/bench_packet_vs_flow.cpp.o"
+  "CMakeFiles/bench_packet_vs_flow.dir/bench_packet_vs_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packet_vs_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_fct"
+  "../bench/bench_table1_fct.pdb"
+  "CMakeFiles/bench_table1_fct.dir/bench_table1_fct.cpp.o"
+  "CMakeFiles/bench_table1_fct.dir/bench_table1_fct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem1_slotted"
+  "../bench/bench_theorem1_slotted.pdb"
+  "CMakeFiles/bench_theorem1_slotted.dir/bench_theorem1_slotted.cpp.o"
+  "CMakeFiles/bench_theorem1_slotted.dir/bench_theorem1_slotted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem1_slotted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instability_demo.dir/instability_demo.cpp.o"
+  "CMakeFiles/instability_demo.dir/instability_demo.cpp.o.d"
+  "instability_demo"
+  "instability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for instability_demo.
+# This may be replaced when dependencies are built.

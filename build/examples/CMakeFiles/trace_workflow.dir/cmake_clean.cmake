@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_workflow.dir/trace_workflow.cpp.o"
+  "CMakeFiles/trace_workflow.dir/trace_workflow.cpp.o.d"
+  "trace_workflow"
+  "trace_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

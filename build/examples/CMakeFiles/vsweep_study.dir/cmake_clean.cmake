@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsweep_study.dir/vsweep_study.cpp.o"
+  "CMakeFiles/vsweep_study.dir/vsweep_study.cpp.o.d"
+  "vsweep_study"
+  "vsweep_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsweep_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

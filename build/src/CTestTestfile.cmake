@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dist")
+subdirs("matching")
+subdirs("queueing")
+subdirs("sim")
+subdirs("topo")
+subdirs("workload")
+subdirs("sched")
+subdirs("switchsim")
+subdirs("flowsim")
+subdirs("pktsim")
+subdirs("stats")
+subdirs("report")
+subdirs("core")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_common.dir/assert.cpp.o"
+  "CMakeFiles/basrpt_common.dir/assert.cpp.o.d"
+  "CMakeFiles/basrpt_common.dir/cli.cpp.o"
+  "CMakeFiles/basrpt_common.dir/cli.cpp.o.d"
+  "CMakeFiles/basrpt_common.dir/log.cpp.o"
+  "CMakeFiles/basrpt_common.dir/log.cpp.o.d"
+  "CMakeFiles/basrpt_common.dir/rng.cpp.o"
+  "CMakeFiles/basrpt_common.dir/rng.cpp.o.d"
+  "CMakeFiles/basrpt_common.dir/units.cpp.o"
+  "CMakeFiles/basrpt_common.dir/units.cpp.o.d"
+  "libbasrpt_common.a"
+  "libbasrpt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_core.dir/experiment.cpp.o"
+  "CMakeFiles/basrpt_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/basrpt_core.dir/replication.cpp.o"
+  "CMakeFiles/basrpt_core.dir/replication.cpp.o.d"
+  "libbasrpt_core.a"
+  "libbasrpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/distributions.cpp" "src/dist/CMakeFiles/basrpt_dist.dir/distributions.cpp.o" "gcc" "src/dist/CMakeFiles/basrpt_dist.dir/distributions.cpp.o.d"
+  "/root/repo/src/dist/flow_sizes.cpp" "src/dist/CMakeFiles/basrpt_dist.dir/flow_sizes.cpp.o" "gcc" "src/dist/CMakeFiles/basrpt_dist.dir/flow_sizes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/basrpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

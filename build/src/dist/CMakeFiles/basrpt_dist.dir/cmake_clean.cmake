@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_dist.dir/distributions.cpp.o"
+  "CMakeFiles/basrpt_dist.dir/distributions.cpp.o.d"
+  "CMakeFiles/basrpt_dist.dir/flow_sizes.cpp.o"
+  "CMakeFiles/basrpt_dist.dir/flow_sizes.cpp.o.d"
+  "libbasrpt_dist.a"
+  "libbasrpt_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

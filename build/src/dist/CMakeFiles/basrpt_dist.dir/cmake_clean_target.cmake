@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbasrpt_dist.a"
+)

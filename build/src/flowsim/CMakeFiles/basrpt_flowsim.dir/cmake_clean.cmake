@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_flowsim.dir/flow_sim.cpp.o"
+  "CMakeFiles/basrpt_flowsim.dir/flow_sim.cpp.o.d"
+  "libbasrpt_flowsim.a"
+  "libbasrpt_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

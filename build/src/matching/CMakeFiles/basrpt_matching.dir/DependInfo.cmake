@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/bipartite.cpp" "src/matching/CMakeFiles/basrpt_matching.dir/bipartite.cpp.o" "gcc" "src/matching/CMakeFiles/basrpt_matching.dir/bipartite.cpp.o.d"
+  "/root/repo/src/matching/birkhoff.cpp" "src/matching/CMakeFiles/basrpt_matching.dir/birkhoff.cpp.o" "gcc" "src/matching/CMakeFiles/basrpt_matching.dir/birkhoff.cpp.o.d"
+  "/root/repo/src/matching/enumerate.cpp" "src/matching/CMakeFiles/basrpt_matching.dir/enumerate.cpp.o" "gcc" "src/matching/CMakeFiles/basrpt_matching.dir/enumerate.cpp.o.d"
+  "/root/repo/src/matching/greedy.cpp" "src/matching/CMakeFiles/basrpt_matching.dir/greedy.cpp.o" "gcc" "src/matching/CMakeFiles/basrpt_matching.dir/greedy.cpp.o.d"
+  "/root/repo/src/matching/hopcroft_karp.cpp" "src/matching/CMakeFiles/basrpt_matching.dir/hopcroft_karp.cpp.o" "gcc" "src/matching/CMakeFiles/basrpt_matching.dir/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/matching/hungarian.cpp" "src/matching/CMakeFiles/basrpt_matching.dir/hungarian.cpp.o" "gcc" "src/matching/CMakeFiles/basrpt_matching.dir/hungarian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/basrpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

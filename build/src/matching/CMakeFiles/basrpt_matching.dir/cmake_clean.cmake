@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_matching.dir/bipartite.cpp.o"
+  "CMakeFiles/basrpt_matching.dir/bipartite.cpp.o.d"
+  "CMakeFiles/basrpt_matching.dir/birkhoff.cpp.o"
+  "CMakeFiles/basrpt_matching.dir/birkhoff.cpp.o.d"
+  "CMakeFiles/basrpt_matching.dir/enumerate.cpp.o"
+  "CMakeFiles/basrpt_matching.dir/enumerate.cpp.o.d"
+  "CMakeFiles/basrpt_matching.dir/greedy.cpp.o"
+  "CMakeFiles/basrpt_matching.dir/greedy.cpp.o.d"
+  "CMakeFiles/basrpt_matching.dir/hopcroft_karp.cpp.o"
+  "CMakeFiles/basrpt_matching.dir/hopcroft_karp.cpp.o.d"
+  "CMakeFiles/basrpt_matching.dir/hungarian.cpp.o"
+  "CMakeFiles/basrpt_matching.dir/hungarian.cpp.o.d"
+  "libbasrpt_matching.a"
+  "libbasrpt_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_pktsim.dir/packet_sim.cpp.o"
+  "CMakeFiles/basrpt_pktsim.dir/packet_sim.cpp.o.d"
+  "libbasrpt_pktsim.a"
+  "libbasrpt_pktsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_pktsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

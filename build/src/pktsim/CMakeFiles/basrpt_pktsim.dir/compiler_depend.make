@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for basrpt_pktsim.
+# This may be replaced when dependencies are built.

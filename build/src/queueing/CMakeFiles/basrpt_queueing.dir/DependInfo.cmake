@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/backlog_recorder.cpp" "src/queueing/CMakeFiles/basrpt_queueing.dir/backlog_recorder.cpp.o" "gcc" "src/queueing/CMakeFiles/basrpt_queueing.dir/backlog_recorder.cpp.o.d"
+  "/root/repo/src/queueing/dtmc.cpp" "src/queueing/CMakeFiles/basrpt_queueing.dir/dtmc.cpp.o" "gcc" "src/queueing/CMakeFiles/basrpt_queueing.dir/dtmc.cpp.o.d"
+  "/root/repo/src/queueing/lyapunov.cpp" "src/queueing/CMakeFiles/basrpt_queueing.dir/lyapunov.cpp.o" "gcc" "src/queueing/CMakeFiles/basrpt_queueing.dir/lyapunov.cpp.o.d"
+  "/root/repo/src/queueing/voq.cpp" "src/queueing/CMakeFiles/basrpt_queueing.dir/voq.cpp.o" "gcc" "src/queueing/CMakeFiles/basrpt_queueing.dir/voq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/basrpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/basrpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

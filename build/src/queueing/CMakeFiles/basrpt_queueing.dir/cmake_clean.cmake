@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_queueing.dir/backlog_recorder.cpp.o"
+  "CMakeFiles/basrpt_queueing.dir/backlog_recorder.cpp.o.d"
+  "CMakeFiles/basrpt_queueing.dir/dtmc.cpp.o"
+  "CMakeFiles/basrpt_queueing.dir/dtmc.cpp.o.d"
+  "CMakeFiles/basrpt_queueing.dir/lyapunov.cpp.o"
+  "CMakeFiles/basrpt_queueing.dir/lyapunov.cpp.o.d"
+  "CMakeFiles/basrpt_queueing.dir/voq.cpp.o"
+  "CMakeFiles/basrpt_queueing.dir/voq.cpp.o.d"
+  "libbasrpt_queueing.a"
+  "libbasrpt_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/csv.cpp" "src/report/CMakeFiles/basrpt_report.dir/csv.cpp.o" "gcc" "src/report/CMakeFiles/basrpt_report.dir/csv.cpp.o.d"
+  "/root/repo/src/report/gnuplot.cpp" "src/report/CMakeFiles/basrpt_report.dir/gnuplot.cpp.o" "gcc" "src/report/CMakeFiles/basrpt_report.dir/gnuplot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/basrpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/basrpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_report.dir/csv.cpp.o"
+  "CMakeFiles/basrpt_report.dir/csv.cpp.o.d"
+  "CMakeFiles/basrpt_report.dir/gnuplot.cpp.o"
+  "CMakeFiles/basrpt_report.dir/gnuplot.cpp.o.d"
+  "libbasrpt_report.a"
+  "libbasrpt_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bvn_scheduler.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/bvn_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/bvn_scheduler.cpp.o.d"
+  "/root/repo/src/sched/distributed_basrpt.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/distributed_basrpt.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/distributed_basrpt.cpp.o.d"
+  "/root/repo/src/sched/exact_basrpt.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/exact_basrpt.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/exact_basrpt.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/fast_basrpt.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/fast_basrpt.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/fast_basrpt.cpp.o.d"
+  "/root/repo/src/sched/fifo.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/fifo.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/fifo.cpp.o.d"
+  "/root/repo/src/sched/maxweight.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/maxweight.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/maxweight.cpp.o.d"
+  "/root/repo/src/sched/noisy.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/noisy.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/noisy.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/srpt.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/srpt.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/srpt.cpp.o.d"
+  "/root/repo/src/sched/threshold.cpp" "src/sched/CMakeFiles/basrpt_sched.dir/threshold.cpp.o" "gcc" "src/sched/CMakeFiles/basrpt_sched.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/basrpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/basrpt_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/basrpt_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/basrpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

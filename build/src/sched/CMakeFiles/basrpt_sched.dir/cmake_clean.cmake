@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_sched.dir/bvn_scheduler.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/bvn_scheduler.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/distributed_basrpt.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/distributed_basrpt.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/exact_basrpt.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/exact_basrpt.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/factory.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/fast_basrpt.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/fast_basrpt.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/fifo.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/fifo.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/maxweight.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/maxweight.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/noisy.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/noisy.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/srpt.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/srpt.cpp.o.d"
+  "CMakeFiles/basrpt_sched.dir/threshold.cpp.o"
+  "CMakeFiles/basrpt_sched.dir/threshold.cpp.o.d"
+  "libbasrpt_sched.a"
+  "libbasrpt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

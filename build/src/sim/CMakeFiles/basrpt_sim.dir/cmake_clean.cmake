@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_sim.dir/engine.cpp.o"
+  "CMakeFiles/basrpt_sim.dir/engine.cpp.o.d"
+  "libbasrpt_sim.a"
+  "libbasrpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/fct.cpp" "src/stats/CMakeFiles/basrpt_stats.dir/fct.cpp.o" "gcc" "src/stats/CMakeFiles/basrpt_stats.dir/fct.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/basrpt_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/basrpt_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/stats/CMakeFiles/basrpt_stats.dir/percentile.cpp.o" "gcc" "src/stats/CMakeFiles/basrpt_stats.dir/percentile.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/basrpt_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/basrpt_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/stats/CMakeFiles/basrpt_stats.dir/table.cpp.o" "gcc" "src/stats/CMakeFiles/basrpt_stats.dir/table.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/basrpt_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/basrpt_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/basrpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_stats.dir/fct.cpp.o"
+  "CMakeFiles/basrpt_stats.dir/fct.cpp.o.d"
+  "CMakeFiles/basrpt_stats.dir/histogram.cpp.o"
+  "CMakeFiles/basrpt_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/basrpt_stats.dir/percentile.cpp.o"
+  "CMakeFiles/basrpt_stats.dir/percentile.cpp.o.d"
+  "CMakeFiles/basrpt_stats.dir/summary.cpp.o"
+  "CMakeFiles/basrpt_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/basrpt_stats.dir/table.cpp.o"
+  "CMakeFiles/basrpt_stats.dir/table.cpp.o.d"
+  "CMakeFiles/basrpt_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/basrpt_stats.dir/timeseries.cpp.o.d"
+  "libbasrpt_stats.a"
+  "libbasrpt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

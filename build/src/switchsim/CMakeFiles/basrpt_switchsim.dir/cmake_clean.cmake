@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_switchsim.dir/arrivals.cpp.o"
+  "CMakeFiles/basrpt_switchsim.dir/arrivals.cpp.o.d"
+  "CMakeFiles/basrpt_switchsim.dir/slotted_sim.cpp.o"
+  "CMakeFiles/basrpt_switchsim.dir/slotted_sim.cpp.o.d"
+  "libbasrpt_switchsim.a"
+  "libbasrpt_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_topo.dir/maxmin.cpp.o"
+  "CMakeFiles/basrpt_topo.dir/maxmin.cpp.o.d"
+  "CMakeFiles/basrpt_topo.dir/topology.cpp.o"
+  "CMakeFiles/basrpt_topo.dir/topology.cpp.o.d"
+  "libbasrpt_topo.a"
+  "libbasrpt_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

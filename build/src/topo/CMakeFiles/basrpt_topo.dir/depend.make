@@ -1,0 +1,2 @@
+# Empty dependencies file for basrpt_topo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/adversarial.cpp" "src/workload/CMakeFiles/basrpt_workload.dir/adversarial.cpp.o" "gcc" "src/workload/CMakeFiles/basrpt_workload.dir/adversarial.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/basrpt_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/basrpt_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/governor.cpp" "src/workload/CMakeFiles/basrpt_workload.dir/governor.cpp.o" "gcc" "src/workload/CMakeFiles/basrpt_workload.dir/governor.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/basrpt_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/basrpt_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/traffic.cpp" "src/workload/CMakeFiles/basrpt_workload.dir/traffic.cpp.o" "gcc" "src/workload/CMakeFiles/basrpt_workload.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/basrpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/basrpt_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/basrpt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/basrpt_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/basrpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basrpt_workload.dir/adversarial.cpp.o"
+  "CMakeFiles/basrpt_workload.dir/adversarial.cpp.o.d"
+  "CMakeFiles/basrpt_workload.dir/generators.cpp.o"
+  "CMakeFiles/basrpt_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/basrpt_workload.dir/governor.cpp.o"
+  "CMakeFiles/basrpt_workload.dir/governor.cpp.o.d"
+  "CMakeFiles/basrpt_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/basrpt_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/basrpt_workload.dir/traffic.cpp.o"
+  "CMakeFiles/basrpt_workload.dir/traffic.cpp.o.d"
+  "libbasrpt_workload.a"
+  "libbasrpt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basrpt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

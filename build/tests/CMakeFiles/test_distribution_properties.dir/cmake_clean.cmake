@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distribution_properties.dir/test_distribution_properties.cpp.o"
+  "CMakeFiles/test_distribution_properties.dir/test_distribution_properties.cpp.o.d"
+  "test_distribution_properties"
+  "test_distribution_properties.pdb"
+  "test_distribution_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distribution_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowsim.dir/test_flowsim.cpp.o"
+  "CMakeFiles/test_flowsim.dir/test_flowsim.cpp.o.d"
+  "test_flowsim"
+  "test_flowsim.pdb"
+  "test_flowsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_flowsim.
+# This may be replaced when dependencies are built.

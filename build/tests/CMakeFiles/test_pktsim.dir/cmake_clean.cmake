@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pktsim.dir/test_pktsim.cpp.o"
+  "CMakeFiles/test_pktsim.dir/test_pktsim.cpp.o.d"
+  "test_pktsim"
+  "test_pktsim.pdb"
+  "test_pktsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pktsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/switchsim/CMakeFiles/basrpt_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktsim/CMakeFiles/basrpt_pktsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/basrpt_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/basrpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/basrpt_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/basrpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/basrpt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/basrpt_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/basrpt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/basrpt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/basrpt_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/basrpt_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/basrpt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/basrpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
