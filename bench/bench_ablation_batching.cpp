@@ -25,12 +25,14 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: reschedule batching", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
+  bench::ObsSession obs_session(cli);
   stats::Table table({"gap us", "sched calls", "calls/s", "qry avg ms",
                       "qry p99 ms", "thpt Gbps"});
   for (const double gap_us : {0.0, 10.0, 100.0, 1000.0}) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
+    obs_session.apply(config);
     config.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
     config.min_reschedule_gap = microseconds(gap_us);
     const auto r = core::run_experiment(config);
@@ -50,5 +52,6 @@ int main(int argc, char** argv) {
       "\nexpected: invocation count drops steeply with the gap; query FCT "
       "inflates by\nroughly the gap (new short flows wait for the next "
       "refresh); throughput holds.\n");
+  obs_session.finish();
   return 0;
 }

@@ -24,12 +24,14 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: burstiness (inter-arrival CV^2)", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
+  bench::ObsSession obs_session(cli);
   stats::Table table({"scheduler", "cv^2", "qry p99 ms", "bg p99 ms",
                       "queue tail MB", "stable"});
   const auto run = [&](const sched::SchedulerSpec& spec, double cv2) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
+    obs_session.apply(config);
     config.burstiness_cv2 = cv2;
     // Ungoverned traffic: the per-port volume governor would smooth the
     // very bursts this ablation studies (it resamples hot ports), so it
@@ -62,5 +64,6 @@ int main(int argc, char** argv) {
       "exactly why the paper's instability mechanism is about\nsmall-vs-"
       "large flows, not arrival variance. BASRPT's stability is "
       "insensitive to\nCV^2 throughout.\n");
+  obs_session.finish();
   return 0;
 }

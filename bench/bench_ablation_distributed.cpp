@@ -25,12 +25,14 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: distributed fast BASRPT", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
+  bench::ObsSession obs_session(cli);
   stats::Table table({"scheduler", "qry avg ms", "qry p99 ms", "bg avg ms",
                       "thpt Gbps", "stable"});
   const auto run = [&](const sched::SchedulerSpec& spec) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
+    obs_session.apply(config);
     config.scheduler = spec;
     const auto r = core::run_experiment(config);
     table.add_row({r.scheduler_name, stats::cell(r.query_avg_ms),
@@ -54,5 +56,6 @@ int main(int argc, char** argv) {
       "the centralized scheduler's metrics. The paper's\n\"simply "
       "implemented using distributed paradigms\" claim holds, but the "
       "iteration\nbudget is the price.\n");
+  obs_session.finish();
   return 0;
 }

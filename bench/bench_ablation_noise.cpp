@@ -24,12 +24,14 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: size-estimation noise", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
+  bench::ObsSession obs_session(cli);
   stats::Table table({"scheduler", "size err", "qry avg ms", "qry p99 ms",
                       "bg avg ms", "thpt Gbps"});
   const auto run = [&](const sched::SchedulerSpec& base_spec, double error) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
+    obs_session.apply(config);
     config.scheduler = base_spec.with_size_error(error);
     const auto r = core::run_experiment(config);
     table.add_row({sched::to_string(base_spec.policy),
@@ -57,5 +59,6 @@ int main(int argc, char** argv) {
       "additionally lose to promoted backlogs — but absolute query\n"
       "FCTs stay in the low-millisecond range even at x16, and throughput "
       "and\nstability are untouched.\n");
+  obs_session.finish();
   return 0;
 }

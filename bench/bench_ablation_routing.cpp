@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: routing mode", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
+  bench::ObsSession obs_session(cli);
   stats::Table table({"scheduler", "routing", "qry avg ms", "qry p99 ms",
                       "bg avg ms", "thpt Gbps"});
   const auto run = [&](const sched::SchedulerSpec& spec,
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
+    obs_session.apply(config);
     config.fabric.routing = mode;
     config.scheduler = spec;
     const auto r = core::run_experiment(config);
@@ -53,5 +55,6 @@ int main(int argc, char** argv) {
       "\nexpected: ECMP hash collisions shave a little off cross-rack "
       "(query) service\nrates; rack-local background flows never cross the "
       "core and are unaffected.\n");
+  obs_session.finish();
   return 0;
 }

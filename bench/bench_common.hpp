@@ -14,11 +14,20 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "report/metrics_json.hpp"
+#include "sched/instrumented.hpp"
 #include "stats/table.hpp"
+#include "switchsim/slotted_sim.hpp"
 
 namespace basrpt::bench {
 
@@ -53,7 +62,14 @@ inline bool parse_common(CliParser& cli, int argc, const char* const* argv) {
   cli.flag("full", false, "paper scale: 144 hosts, long horizons")
       .flag("csv", false, "emit CSV instead of the pretty table")
       .integer("seed", 1, "workload RNG seed")
-      .real("horizon", 0.0, "override simulated seconds (0 = preset)");
+      .real("horizon", 0.0, "override simulated seconds (0 = preset)")
+      .text("metrics", "",
+            "write run-health metrics here (.csv for CSV, else JSON)")
+      .text("trace", "",
+            "write flow-lifecycle trace here (.jsonl for JSONL, else "
+            "Chrome trace-event JSON for Perfetto)")
+      .real("heartbeat", 0.0,
+            "log sim progress every N wall-seconds (0 = off)");
   return cli.parse(argc, argv);
 }
 
@@ -74,6 +90,92 @@ inline core::ExperimentConfig base_config(const Scale& scale,
   config.seed = static_cast<std::uint64_t>(cli.get_integer("seed"));
   return config;
 }
+
+/// Run-scoped observability wiring for the shared --metrics / --trace /
+/// --heartbeat flags. Construct after parse_common (enables the global
+/// obs registry when any output is requested), apply() to each config
+/// about to run, and finish() once to write the artifacts. Everything it
+/// wires is passive, so flag-bearing runs produce bit-identical tables.
+class ObsSession {
+ public:
+  explicit ObsSession(const CliParser& cli)
+      : metrics_path_(cli.get_text("metrics")),
+        trace_path_(cli.get_text("trace")),
+        heartbeat_sec_(cli.get_real("heartbeat")) {
+    if (!metrics_path_.empty()) {
+      obs::set_enabled(true);
+      obs::Registry::global().reset();  // this run's numbers only
+    }
+    // Heartbeat lines log at INFO but the default threshold is WARN;
+    // asking for --heartbeat implies wanting to see them. An explicit
+    // BASRPT_LOG_LEVEL still wins.
+    if (heartbeat_sec_ > 0.0 && std::getenv("BASRPT_LOG_LEVEL") == nullptr &&
+        log_level() > LogLevel::kInfo) {
+      set_log_level(LogLevel::kInfo);
+    }
+  }
+
+  void apply(core::ExperimentConfig& config) {
+    if (!trace_path_.empty()) {
+      config.tracer = &tracer_;
+    }
+    if (!metrics_path_.empty()) {
+      config.instrument_scheduler = true;
+    }
+    if (heartbeat_sec_ > 0.0) {
+      config.heartbeat_wall_sec = heartbeat_sec_;
+    }
+  }
+
+  void apply(switchsim::SlottedConfig& config) {
+    if (!trace_path_.empty()) {
+      config.tracer = &tracer_;
+    }
+    if (heartbeat_sec_ > 0.0) {
+      config.heartbeat_wall_sec = heartbeat_sec_;
+    }
+  }
+
+  /// For harnesses that call run_slotted / run_flow_sim directly.
+  obs::FlowTracer* tracer_or_null() {
+    return trace_path_.empty() ? nullptr : &tracer_;
+  }
+
+  /// Wraps a directly-constructed scheduler in the instrumentation
+  /// decorator when --metrics was requested; a pass-through otherwise.
+  sched::SchedulerPtr wrap(sched::SchedulerPtr scheduler) {
+    if (metrics_path_.empty()) {
+      return scheduler;
+    }
+    return std::make_unique<sched::InstrumentedScheduler>(
+        std::move(scheduler));
+  }
+
+  void finish() {
+    if (!metrics_path_.empty()) {
+      report::write_metrics_file(metrics_path_, obs::Registry::global());
+      std::printf("wrote metrics to %s\n", metrics_path_.c_str());
+    }
+    if (!trace_path_.empty()) {
+      const bool jsonl =
+          trace_path_.size() >= 6 &&
+          trace_path_.compare(trace_path_.size() - 6, 6, ".jsonl") == 0;
+      if (jsonl) {
+        tracer_.write_jsonl_file(trace_path_);
+      } else {
+        tracer_.write_chrome_json_file(trace_path_);
+      }
+      std::printf("wrote %zu trace events to %s\n", tracer_.size(),
+                  trace_path_.c_str());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  double heartbeat_sec_;
+  obs::FlowTracer tracer_;
+};
 
 inline void emit(const stats::Table& table, const CliParser& cli) {
   std::printf("%s",

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_integer("seed"));
 
   std::printf("=== 2x2 DTMC vs simulator: mean total queue (packets) ===\n");
+  bench::ObsSession obs_session(cli);
   stats::Table table({"load/port", "chain E[Q]", "sim E[Q]", "sim/chain",
                       "chain P(cap)"});
 
@@ -47,7 +48,9 @@ int main(int argc, char** argv) {
     sim_config.n_ports = 2;
     sim_config.horizon = slots;
     sim_config.watched_dst = 1;
-    auto scheduler = sched::make_scheduler(sched::SchedulerSpec::maxweight());
+    obs_session.apply(sim_config);
+    auto scheduler = obs_session.wrap(
+        sched::make_scheduler(sched::SchedulerSpec::maxweight()));
     const auto sim = switchsim::run_slotted(
         sim_config, *scheduler,
         switchsim::bernoulli_arrivals(rates, unit, slots, Rng(seed)));
@@ -67,5 +70,6 @@ int main(int argc, char** argv) {
       "\nexpected: sim/chain ratios within a few percent wherever the "
       "truncation mass\nP(cap) is negligible; deviations at the highest "
       "load measure truncation, not bugs.\n");
+  obs_session.finish();
   return 0;
 }

@@ -38,16 +38,19 @@ int main(int argc, char** argv) {
       "f1: 5 pkts A->C @slot0, f2: 1 pkt A->B @slot0, f3: 1 pkt D->C "
       "@slot1; 6 slots\n\n");
 
+  bench::ObsSession obs_session(cli);
   stats::Table table({"scheme", "delivered pkts", "left pkts",
                       "flows done", "max query FCT (slots)"});
 
   const auto run = [&](const std::string& label,
                        sched::SchedulerPtr scheduler) {
+    scheduler = obs_session.wrap(std::move(scheduler));
     switchsim::SlottedConfig config;
     config.n_ports = 4;
     config.horizon = 6;
     config.sample_every = 1;
     config.watched_dst = 2;
+    obs_session.apply(config);
     const auto result =
         switchsim::run_slotted(config, *scheduler, fig1_stream());
     const auto q = result.fct.summary(stats::FlowClass::kQuery);
@@ -71,5 +74,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: SRPT leaves 1 packet; the backlog-aware schedule clears all"
       " 7,\ncosting one query 1 extra slot (max FCT 2 instead of 1).\n");
+  obs_session.finish();
   return 0;
 }

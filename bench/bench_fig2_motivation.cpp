@@ -27,9 +27,11 @@ int main(int argc, char** argv) {
   const auto scale = bench::scale_from_cli(cli);
   bench::print_header("Fig. 2: queue length at a port", scale);
 
+  bench::ObsSession obs_session(cli);
   core::ExperimentConfig base = bench::base_config(scale, cli);
   base.load = cli.get_real("load");
   base.horizon = scale.stability_horizon;
+  obs_session.apply(base);
 
   base.scheduler = sched::SchedulerSpec::srpt();
   const auto srpt = core::run_experiment(base);
@@ -81,5 +83,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: SRPT keeps growing for the whole window; the backlog-aware"
       " strategy stabilizes.\n");
+  obs_session.finish();
   return 0;
 }

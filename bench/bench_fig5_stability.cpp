@@ -26,9 +26,11 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 5: throughput and queue length", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
+  bench::ObsSession obs_session(cli);
   core::ExperimentConfig base = bench::base_config(scale, cli);
   base.load = cli.get_real("load");
   base.horizon = scale.stability_horizon;
+  obs_session.apply(base);
 
   base.scheduler = sched::SchedulerSpec::srpt();
   const auto srpt = core::run_experiment(base);
@@ -107,5 +109,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: SRPT queue grows all the time; fast BASRPT stabilizes and "
       "delivers more bytes.\n");
+  obs_session.finish();
   return 0;
 }

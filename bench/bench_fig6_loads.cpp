@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 6: varying loads 10%..80%", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
+  bench::ObsSession obs_session(cli);
   const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4,
                                      0.5, 0.6, 0.7, 0.8};
   stats::Table table({"load", "srpt avg ms", "basrpt avg ms",
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = load;
     config.horizon = scale.fct_horizon;
+    obs_session.apply(config);
 
     config.scheduler = sched::SchedulerSpec::srpt();
     const auto srpt = core::run_experiment(config);
@@ -64,5 +66,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: near-identical at low load; modest BASRPT FCT growth at "
       "high load;\nBASRPT throughput a little higher under all loads.\n");
+  obs_session.finish();
   return 0;
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const auto scale = bench::scale_from_cli(cli);
   bench::print_header("Fig. 7: varying V at 95% load", scale);
 
+  bench::ObsSession obs_session(cli);
   const std::vector<double> paper_vs = {1000, 2500, 5000, 10000};
   stats::Table table({"paper V", "effective V", "thpt Gbps",
                       "tail queue MB", "max-port tail MB", "stable"});
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.stability_horizon;
+    obs_session.apply(config);
     const double v_eff = bench::effective_v(paper_v, scale);
     config.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
     const auto r = core::run_experiment(config);
@@ -46,5 +48,6 @@ int main(int argc, char** argv) {
       "\npaper: the stable queue level goes up slightly with V, global "
       "throughput\nsees a slight decline, and V does not make a big "
       "difference on either.\n");
+  obs_session.finish();
   return 0;
 }

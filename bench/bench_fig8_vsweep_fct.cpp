@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const auto scale = bench::scale_from_cli(cli);
   bench::print_header("Fig. 8: FCT under different V", scale);
 
+  bench::ObsSession obs_session(cli);
   const std::vector<double> paper_vs = {1000, 2500, 5000, 10000};
   stats::Table table({"paper V", "qry avg ms", "qry p99 ms", "bg avg ms",
                       "bg p99 ms"});
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
+    obs_session.apply(config);
     config.scheduler =
         sched::SchedulerSpec::fast_basrpt(bench::effective_v(paper_v, scale));
     const auto r = core::run_experiment(config);
@@ -41,5 +43,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: query avg and p99 FCT fall sharply as V grows; background "
       "avg rises\nmildly while its p99 drifts slightly down.\n");
+  obs_session.finish();
   return 0;
 }

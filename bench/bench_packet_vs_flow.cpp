@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   }
   std::printf("trace: %zu flows\n\n", recorder.recorded().size());
 
+  bench::ObsSession obs_session(cli);
   stats::Table table({"model", "policy", "qry avg ms", "qry slowdown",
                       "bg avg ms", "bg slowdown", "thpt Gbps"});
 
@@ -72,7 +73,9 @@ int main(int argc, char** argv) {
     flowsim::FlowSimConfig config;
     config.fabric = topo::small_fabric(racks, per_rack, 3);
     config.horizon = horizon;
-    auto scheduler = sched::make_scheduler(spec);
+    config.tracer = obs_session.tracer_or_null();
+    config.heartbeat_wall_sec = cli.get_real("heartbeat");
+    auto scheduler = obs_session.wrap(sched::make_scheduler(spec));
     workload::VectorTraffic replay(recorder.recorded());
     const auto r = run_flow_sim(config, *scheduler, replay);
     const auto q = r.fct.summary(stats::FlowClass::kQuery);
@@ -102,5 +105,6 @@ int main(int argc, char** argv) {
       "to the centralized matching at the egress\n(uncoordinated senders "
       "converge and queue), and the SRPT>FIFO ordering is\npreserved in "
       "both models.\n");
+  obs_session.finish();
   return 0;
 }

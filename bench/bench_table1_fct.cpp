@@ -27,9 +27,11 @@ int main(int argc, char** argv) {
   std::printf("V = %g paper-equivalent (effective %g at this N)\n\n",
               cli.get_real("v"), v_eff);
 
+  bench::ObsSession obs_session(cli);
   core::ExperimentConfig base = bench::base_config(scale, cli);
   base.load = cli.get_real("load");
   base.horizon = scale.fct_horizon;
+  obs_session.apply(base);
 
   base.scheduler = sched::SchedulerSpec::srpt();
   const auto srpt = core::run_experiment(base);
@@ -57,5 +59,6 @@ int main(int argc, char** argv) {
       "paper: background rows ~1x; query rows < 2x avg / < 4x p99 at "
       "N=144, 500 s;\nquick-scale runs sit at an earlier point of the same "
       "tradeoff curve.\n");
+  obs_session.finish();
   return 0;
 }

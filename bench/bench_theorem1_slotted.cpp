@@ -46,12 +46,14 @@ int main(int argc, char** argv) {
   mix.large = 24;
   mix.p_small = 0.9;
 
+  bench::ObsSession obs_session(cli);
   const auto run = [&](sched::Scheduler& scheduler) {
     switchsim::SlottedConfig config;
     config.n_ports = n;
     config.horizon = horizon;
     config.sample_every = 64;
     config.watched_dst = 1;
+    obs_session.apply(config);
     return switchsim::run_slotted(
         config, scheduler,
         switchsim::bernoulli_arrivals(rates, mix, horizon, Rng(seed)));
@@ -74,13 +76,16 @@ int main(int argc, char** argv) {
   };
 
   for (const double v : {10.0, 40.0, 160.0, 640.0, 2560.0}) {
-    auto scheduler = sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(v));
+    auto scheduler = obs_session.wrap(
+        sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(v)));
     add(*scheduler);
   }
   {
-    auto srpt = sched::make_scheduler(sched::SchedulerSpec::srpt());
+    auto srpt =
+        obs_session.wrap(sched::make_scheduler(sched::SchedulerSpec::srpt()));
     add(*srpt);
-    auto maxweight = sched::make_scheduler(sched::SchedulerSpec::maxweight());
+    auto maxweight = obs_session.wrap(
+        sched::make_scheduler(sched::SchedulerSpec::maxweight()));
     add(*maxweight);
     sched::BvnScheduler bvn(switchsim::skewed_rates(n, 0.98, 0.6),
                             Rng(seed + 1));
@@ -92,5 +97,6 @@ int main(int argc, char** argv) {
       "\nexpected: avg backlog grows roughly linearly in V; avg penalty "
       "(and query FCT)\nfalls toward the SRPT value as V grows; SRPT may "
       "go unstable; MaxWeight and BvN\nstay stable with poor penalty.\n");
+  obs_session.finish();
   return 0;
 }

@@ -7,10 +7,17 @@
 // workload noise, share a regression workload across machines, or
 // archive the exact input of a published figure.
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "flowsim/flow_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "report/metrics_json.hpp"
 #include "sched/factory.hpp"
+#include "sched/instrumented.hpp"
 #include "stats/table.hpp"
 #include "workload/generators.hpp"
 #include "workload/trace_io.hpp"
@@ -22,10 +29,27 @@ int main(int argc, char** argv) {
   cli.real("load", 0.9, "per-host offered load")
       .real("horizon", 0.5, "simulated seconds")
       .integer("seed", 1, "workload RNG seed")
-      .text("out", "/tmp/basrpt_example.trace", "trace file path");
+      .text("out", "/tmp/basrpt_example.trace", "trace file path")
+      .text("metrics", "", "write run metrics (JSON, or CSV if *.csv)")
+      .text("trace", "", "write flow lifecycle trace (Chrome JSON)")
+      .real("heartbeat", 0.0, "log progress every N wall-seconds (0 = off)");
   if (!cli.parse(argc, argv)) {
     return 0;
   }
+  const bool want_metrics = !cli.get_text("metrics").empty();
+  if (want_metrics) {
+    obs::set_enabled(true);
+    obs::Registry::global().reset();
+  }
+  // Heartbeat lines log at INFO but the default threshold is WARN;
+  // asking for --heartbeat implies wanting to see them. An explicit
+  // BASRPT_LOG_LEVEL still wins.
+  if (cli.get_real("heartbeat") > 0.0 &&
+      std::getenv("BASRPT_LOG_LEVEL") == nullptr &&
+      log_level() > LogLevel::kInfo) {
+    set_log_level(LogLevel::kInfo);
+  }
+  obs::FlowTracer tracer;
   const auto horizon = seconds(cli.get_real("horizon"));
   const topo::FabricConfig fabric = topo::small_fabric(2, 4, 2);
 
@@ -47,11 +71,17 @@ int main(int argc, char** argv) {
        {sched::SchedulerSpec::srpt(), sched::SchedulerSpec::fast_basrpt(400),
         sched::SchedulerSpec::fifo()}) {
     auto scheduler = sched::make_scheduler(spec);
+    if (want_metrics) {
+      scheduler = std::make_unique<sched::InstrumentedScheduler>(
+          std::move(scheduler));
+    }
     workload::VectorTraffic replay(
         workload::read_trace_file(cli.get_text("out")));
     flowsim::FlowSimConfig config;
     config.fabric = fabric;
     config.horizon = horizon;
+    config.tracer = cli.get_text("trace").empty() ? nullptr : &tracer;
+    config.heartbeat_wall_sec = cli.get_real("heartbeat");
     const auto r = flowsim::run_flow_sim(config, *scheduler, replay);
     const auto q = r.fct.summary(stats::FlowClass::kQuery);
     const auto b = r.fct.summary(stats::FlowClass::kBackground);
@@ -61,5 +91,16 @@ int main(int argc, char** argv) {
                    stats::cell(r.throughput().bits_per_sec / 1e9, 2)});
   }
   std::printf("%s", table.render().c_str());
+
+  if (want_metrics) {
+    report::write_metrics_file(cli.get_text("metrics"),
+                               obs::Registry::global());
+    std::printf("metrics written to %s\n", cli.get_text("metrics").c_str());
+  }
+  if (!cli.get_text("trace").empty()) {
+    tracer.write_chrome_json_file(cli.get_text("trace"));
+    std::printf("trace written to %s (%zu events)\n",
+                cli.get_text("trace").c_str(), tracer.size());
+  }
   return 0;
 }

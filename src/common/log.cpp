@@ -1,11 +1,15 @@
 #include "common/log.hpp"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <utility>
 
 namespace basrpt {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,14 +26,86 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// "2026-08-06 12:34:56.789" in local time.
+std::string wall_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const auto t = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm);
+  char out[40];
+  std::snprintf(out, sizeof(out), "%s.%03d", buf, static_cast<int>(ms));
+  return out;
+}
+
+void default_sink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] [%s] %s\n", wall_timestamp().c_str(),
+               level_name(level), message.c_str());
+}
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("BASRPT_LOG_LEVEL");
+  return env != nullptr ? parse_log_level(env, LogLevel::kWarn)
+                        : LogLevel::kWarn;
+}
+
+/// Function-local statics so the env var is read exactly once, at first
+/// logger use, regardless of static-init order.
+LogLevel& level_ref() {
+  static LogLevel level = level_from_env();
+  return level;
+}
+
+LogSink& sink_ref() {
+  static LogSink sink = default_sink;
+  return sink;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { level_ref() = level; }
+LogLevel log_level() { return level_ref(); }
+
+LogLevel parse_log_level(const std::string& name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warn" || lower == "warning") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error") {
+    return LogLevel::kError;
+  }
+  if (lower == "off" || lower == "none") {
+    return LogLevel::kOff;
+  }
+  return fallback;
+}
+
+LogSink set_log_sink(LogSink sink) {
+  LogSink previous = std::move(sink_ref());
+  sink_ref() = sink ? std::move(sink) : LogSink(default_sink);
+  return previous;
+}
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  sink_ref()(level, message);
 }
 }  // namespace detail
 

@@ -3,8 +3,15 @@
 // Benches and examples print their results directly; the logger is for
 // progress/diagnostic chatter that the user may silence. Not thread-safe
 // by design: the simulators are single-threaded.
+//
+// The initial threshold honors the BASRPT_LOG_LEVEL environment variable
+// (debug|info|warn|error|off, case-insensitive; default warn), read once
+// at first use. Output goes through a swappable sink — the default
+// prefixes each line with a wall-clock timestamp and level tag on
+// stderr; tests install their own sink to capture output.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +22,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// returns `fallback` on anything else.
+LogLevel parse_log_level(const std::string& name, LogLevel fallback);
+
+/// Receives every emitted line (already past the threshold). The sink
+/// gets the raw message; the default sink adds the timestamp/level
+/// prefix itself so captured test output stays clean.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the sink; pass nullptr to restore the default stderr sink.
+/// Returns the previous sink so scoped captures can restore it.
+LogSink set_log_sink(LogSink sink);
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message);

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "sched/instrumented.hpp"
 #include "workload/generators.hpp"
 
 namespace basrpt::core {
@@ -13,6 +14,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                  "load must be in (0, 1)");
 
   auto scheduler = sched::make_scheduler(config.scheduler);
+  if (config.instrument_scheduler) {
+    // Passive decorator: same decisions, same name, plus decision-cost
+    // metrics in the global obs registry.
+    scheduler = std::make_unique<sched::InstrumentedScheduler>(
+        std::move(scheduler));
+  }
 
   Rng rng(config.seed);
   auto traffic = workload::paper_mix(
@@ -29,6 +36,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim_config.watched_dst = config.watched_dst;
   sim_config.min_reschedule_gap = config.min_reschedule_gap;
   sim_config.service_model = config.service_model;
+  sim_config.tracer = config.tracer;
+  sim_config.heartbeat_wall_sec = config.heartbeat_wall_sec;
 
   auto sim = flowsim::run_flow_sim(sim_config, *scheduler, *traffic);
 

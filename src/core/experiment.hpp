@@ -19,6 +19,7 @@
 #include <string>
 
 #include "flowsim/flow_sim.hpp"
+#include "obs/trace.hpp"
 #include "sched/factory.hpp"
 #include "stats/timeseries.hpp"
 #include "topo/topology.hpp"
@@ -51,6 +52,16 @@ struct ExperimentConfig {
   // is a rack-local (background-carrying) pair in every fabric.
   flowsim::PortId watched_src = 0;
   flowsim::PortId watched_dst = 1;
+
+  // ---- Observability (all passive: results stay bit-identical) ----
+  /// Flow-lifecycle tracer; null disables. See obs::FlowTracer.
+  obs::FlowTracer* tracer = nullptr;
+  /// Wraps the scheduler in sched::InstrumentedScheduler, recording
+  /// per-decision latency/candidates/matching-size/preemptions into the
+  /// global obs registry.
+  bool instrument_scheduler = false;
+  /// Logs sim progress every N wall-seconds (<= 0 disables).
+  double heartbeat_wall_sec = 0.0;
 };
 
 /// The paper's headline numbers for one run, plus stability verdicts.

@@ -39,6 +39,12 @@ class Engine {
   }
 
   FlowSimResult run() {
+    if (config_.heartbeat_wall_sec > 0.0) {
+      events_.set_heartbeat(config_.heartbeat_wall_sec);
+    }
+    if (config_.tracer != nullptr) {
+      config_.tracer->begin_run();
+    }
     schedule_next_arrival();
     sim::schedule_periodic(
         events_, SimTime{0.0}, config_.sample_every, config_.horizon,
@@ -87,6 +93,11 @@ class Engine {
     voqs_.add_flow(flow);
     ++result_.flows_arrived;
     result_.bytes_arrived += a.size;
+    if (config_.tracer != nullptr) {
+      config_.tracer->on_arrival(flow.id, flow.src, flow.dst,
+                                 a.time.seconds,
+                                 static_cast<double>(a.size.count));
+    }
 
     schedule_next_arrival();
 
@@ -137,6 +148,11 @@ class Engine {
     result_.fct.record_with_ideal(flow.cls, now - flow.arrival, flow.size,
                                   ideal);
     ++result_.flows_completed;
+    if (config_.tracer != nullptr) {
+      config_.tracer->on_completion(flow.id, flow.src, flow.dst,
+                                    now.seconds,
+                                    static_cast<double>(flow.size.count));
+    }
   }
 
   /// Applies fluid service between the last update and `now` using the
@@ -167,14 +183,8 @@ class Engine {
     }
   }
 
-  /// Recomputes the serving set and rates; called on every arrival and
-  /// completion, per the paper.
-  void reschedule() {
-    ++schedule_generation_;
-    ++result_.scheduler_invocations;
-    last_reschedule_ = events_.now();
-    serving_.clear();
-
+  /// The flows the next service period will transmit (may be empty).
+  std::vector<FlowId> select_flows() {
     std::vector<FlowId> to_serve;
     if (config_.service_model == ServiceModel::kFairSharing) {
       // Everyone transmits; the allocator below divides the fabric.
@@ -185,7 +195,7 @@ class Engine {
       const auto candidates =
           sched::build_candidates(voqs_, config_.packet_bytes);
       if (candidates.empty()) {
-        return;
+        return to_serve;
       }
       auto decision = scheduler_.decide(
           static_cast<PortId>(fabric_.hosts()), candidates);
@@ -195,6 +205,49 @@ class Engine {
       }
       to_serve = std::move(decision.selected);
     }
+    return to_serve;
+  }
+
+  /// Lifecycle events of one decision: previously-serving flows that are
+  /// still queued but no longer selected were preempted; selected flows
+  /// start (or resume — the tracer dedups) service. Reads `serving_` as
+  /// the previous decision, so call before it is overwritten.
+  void trace_decision(const std::vector<FlowId>& to_serve) {
+    obs::FlowTracer& tracer = *config_.tracer;
+    const double now = events_.now().seconds;
+    for (const Serving& s : serving_) {
+      if (!voqs_.contains(s.id)) {
+        continue;  // completed, not preempted
+      }
+      if (std::find(to_serve.begin(), to_serve.end(), s.id) !=
+          to_serve.end()) {
+        continue;  // still selected
+      }
+      const queueing::Flow& f = voqs_.flow(s.id);
+      tracer.on_preemption(f.id, f.src, f.dst, now,
+                           static_cast<double>(f.size.count),
+                           static_cast<double>(f.remaining.count));
+    }
+    for (const FlowId id : to_serve) {
+      const queueing::Flow& f = voqs_.flow(id);
+      tracer.on_service(f.id, f.src, f.dst, now,
+                        static_cast<double>(f.size.count),
+                        static_cast<double>(f.remaining.count));
+    }
+  }
+
+  /// Recomputes the serving set and rates; called on every arrival and
+  /// completion, per the paper.
+  void reschedule() {
+    ++schedule_generation_;
+    ++result_.scheduler_invocations;
+    last_reschedule_ = events_.now();
+
+    std::vector<FlowId> to_serve = select_flows();
+    if (config_.tracer != nullptr) {
+      trace_decision(to_serve);
+    }
+    serving_.clear();
     if (to_serve.empty()) {
       return;
     }

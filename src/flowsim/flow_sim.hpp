@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.hpp"
 #include "queueing/backlog_recorder.hpp"
 #include "queueing/voq.hpp"
 #include "sched/scheduler.hpp"
@@ -52,6 +53,12 @@ struct FlowSimConfig {
   /// updates (completions always reschedule, so the fabric stays
   /// work-conserving). bench_ablation_batching measures the FCT price.
   SimTime min_reschedule_gap{0.0};
+  /// Optional flow-lifecycle tracer (arrival / first-service /
+  /// preemption / completion). Purely passive; null disables.
+  obs::FlowTracer* tracer = nullptr;
+  /// Logs sim-time progress and event rate every N wall-seconds during
+  /// long runs (<= 0 disables). See obs::Heartbeat.
+  double heartbeat_wall_sec = 0.0;
 };
 
 struct FlowSimResult {
@@ -71,7 +78,12 @@ struct FlowSimResult {
       : backlog(watched_src, watched_dst) {}
 
   /// Global throughput: bytes leaving the fabric over the horizon.
+  /// A zero horizon (result inspected before/without a run) yields 0,
+  /// not inf/NaN.
   Rate throughput() const {
+    if (horizon.seconds <= 0.0) {
+      return Rate{0.0};
+    }
     return Rate{static_cast<double>(delivered.count) * 8.0 /
                 horizon.seconds};
   }

@@ -1,0 +1,64 @@
+#include "obs/heartbeat.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace basrpt::obs {
+
+namespace {
+
+void default_report(const HeartbeatStatus& s) {
+  BASRPT_LOG(kInfo) << "heartbeat #" << s.beats << ": sim t="
+                    << s.sim_time_sec << "s, " << s.events
+                    << " events, " << s.events_per_sec
+                    << " events/s, wall " << s.wall_elapsed_sec << "s";
+}
+
+}  // namespace
+
+void Heartbeat::configure(double wall_interval_sec, ReportFn fn) {
+  interval_sec_ = wall_interval_sec;
+  fn_ = fn ? std::move(fn) : ReportFn(default_report);
+  ticks_ = 0;
+  beats_ = 0;
+  started_ = false;
+}
+
+void Heartbeat::check(double sim_time_sec, std::uint64_t events) {
+  const auto now = std::chrono::steady_clock::now();
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+    last_beat_ = now;
+    events_at_last_beat_ = events;
+    return;
+  }
+  const double since_beat =
+      std::chrono::duration<double>(now - last_beat_).count();
+  if (since_beat < interval_sec_) {
+    return;
+  }
+  HeartbeatStatus status;
+  status.wall_elapsed_sec =
+      std::chrono::duration<double>(now - start_).count();
+  status.sim_time_sec = sim_time_sec;
+  status.events = events;
+  status.events_per_sec =
+      since_beat > 0.0
+          ? static_cast<double>(events - events_at_last_beat_) / since_beat
+          : 0.0;
+  status.beats = ++beats_;
+  last_beat_ = now;
+  events_at_last_beat_ = events;
+  fn_(status);
+}
+
+void Heartbeat::flush(double sim_time_sec, std::uint64_t events) {
+  if (!active() || !started_) {
+    return;
+  }
+  check(sim_time_sec, events);
+}
+
+}  // namespace basrpt::obs

@@ -1,0 +1,69 @@
+// Wall-clock-paced progress reporting for long runs.
+//
+// A --full 144-host run simulates hours of traffic over hours of wall
+// clock; without a heartbeat the process is a black box. The owner (the
+// event engine's run loop, or the slotted simulator's slot loop) calls
+// tick() cheaply and often; the Heartbeat reads the steady clock at most
+// once every kCheckEvery ticks and invokes the report function whenever
+// the configured wall interval has elapsed. Reporting is passive — it
+// only reads simulation state handed to it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace basrpt::obs {
+
+struct HeartbeatStatus {
+  double wall_elapsed_sec = 0.0;  // since the first tick
+  double sim_time_sec = 0.0;      // simulated seconds (or slots)
+  std::uint64_t events = 0;       // events/slots processed so far
+  double events_per_sec = 0.0;    // wall-clock rate since the last beat
+  std::uint64_t beats = 0;        // 1-based beat index
+};
+
+class Heartbeat {
+ public:
+  using ReportFn = std::function<void(const HeartbeatStatus&)>;
+
+  /// Ticks between steady_clock reads; a power of two so the modulo is
+  /// a mask.
+  static constexpr std::uint64_t kCheckEvery = 1024;
+
+  Heartbeat() = default;
+
+  /// Enables beats every `wall_interval_sec` (<= 0 disables). A null
+  /// `fn` logs one BASRPT_LOG(kInfo) line per beat.
+  void configure(double wall_interval_sec, ReportFn fn = nullptr);
+
+  bool active() const { return interval_sec_ > 0.0; }
+
+  /// Call once per event/slot with current sim time and processed count.
+  void tick(double sim_time_sec, std::uint64_t events) {
+    if (!active() || (++ticks_ & (kCheckEvery - 1)) != 0) {
+      return;
+    }
+    check(sim_time_sec, events);
+  }
+
+  /// Forces a final beat (e.g. at end of run) if at least one interval
+  /// elapsed since the last one.
+  void flush(double sim_time_sec, std::uint64_t events);
+
+  std::uint64_t beats() const { return beats_; }
+
+ private:
+  void check(double sim_time_sec, std::uint64_t events);
+
+  double interval_sec_ = 0.0;
+  ReportFn fn_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t beats_ = 0;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point last_beat_{};
+  std::uint64_t events_at_last_beat_ = 0;
+};
+
+}  // namespace basrpt::obs

@@ -1,0 +1,56 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace basrpt::obs {
+
+namespace {
+bool g_enabled = false;
+}  // namespace
+
+bool enabled() { return g_enabled; }
+void set_enabled(bool on) { g_enabled = on; }
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (q <= 0.0) {
+    return static_cast<double>(min());
+  }
+  if (q >= 1.0) {
+    return static_cast<double>(max_);
+  }
+  // Rank of the q-th sample (1-based), then walk the buckets.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    seen += counts_[k];
+    if (seen >= rank) {
+      const double lo = static_cast<double>(bucket_lower(k));
+      const double hi = static_cast<double>(
+          k + 1 < kBuckets ? bucket_lower(k + 1) : max_ + 1);
+      // Geometric midpoint; clamp into the observed range so tiny
+      // histograms don't report values outside [min, max].
+      const double mid = lo > 0.0 ? std::sqrt(lo * hi) : hi / 2.0;
+      const double lo_clamp = static_cast<double>(min());
+      const double hi_clamp = static_cast<double>(max_);
+      return std::min(std::max(mid, lo_clamp), hi_clamp);
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace basrpt::obs

@@ -1,0 +1,181 @@
+// Low-overhead run-health metrics: named counters, gauges, and log-scale
+// latency histograms collected in a Registry.
+//
+// The simulators are single-threaded, so none of this locks. The
+// instrumentation contract is *passivity*: recording a metric may never
+// touch the RNG, the event calendar, or a scheduling decision, so runs
+// with and without observability produce bit-identical results. The
+// global enable flag keeps the off path to a single predictable branch
+// (ScopedTimer does not even read the clock when disabled).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace basrpt::obs {
+
+/// Global instrumentation switch. Off by default; benches flip it on
+/// when --metrics/--trace is requested.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-written value plus the maximum ever written (peak tracking).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_ || !set_) {
+      max_ = v;
+    }
+    set_ = true;
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+  void reset() { *this = Gauge{}; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+  bool set_ = false;
+};
+
+/// Histogram of non-negative integer samples (nanoseconds by convention)
+/// with power-of-two bucket edges: bucket k counts values in
+/// [2^k, 2^(k+1)), values of 0 land in bucket 0. Log-scale bucketing via
+/// one bit-scan per sample — no std::log on the hot path — covering the
+/// full 64-bit range (sub-nanosecond to centuries).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(std::uint64_t v) {
+    ++counts_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v < min_) {
+      min_ = v;
+    }
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Approximate quantile (q in [0, 1]) using the geometric midpoint of
+  /// the bucket holding the q-th sample; exact at the extremes thanks to
+  /// the tracked min/max.
+  double quantile(double q) const;
+
+  std::uint64_t bucket_count(std::size_t k) const { return counts_[k]; }
+  /// Lower edge of bucket k (0 for k == 0, else 2^k).
+  static std::uint64_t bucket_lower(std::size_t k) {
+    return k == 0 ? 0 : std::uint64_t{1} << k;
+  }
+  static std::size_t bucket_of(std::uint64_t v) {
+    return v == 0 ? 0
+                  : static_cast<std::size_t>(63 - __builtin_clzll(v));
+  }
+
+  void reset() { *this = LatencyHistogram{}; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+/// Named-metric registry. Lookups return stable references (std::map
+/// nodes never move), so hot paths resolve a metric once and keep the
+/// pointer. `global()` is the process-wide instance the simulators and
+/// the InstrumentedScheduler default to; tests construct their own.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, LatencyHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Drops every metric (names included); used between test cases and by
+  /// benches that run several experiments and want per-run numbers.
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+/// Records the wall-clock lifetime of a scope into a LatencyHistogram,
+/// in nanoseconds. Arms only when obs::enabled() (the off path never
+/// reads the clock) unless `always` forces it — the
+/// InstrumentedScheduler uses `always` because wrapping a scheduler is
+/// itself the opt-in.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram& hist, bool always = false)
+      : hist_((always || enabled()) ? &hist : nullptr) {
+    if (hist_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now instead of at scope exit; returns the elapsed
+  /// nanoseconds (0 when disarmed). Idempotent.
+  std::uint64_t stop() {
+    if (hist_ == nullptr) {
+      return 0;
+    }
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    hist_->add(static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
+    hist_ = nullptr;
+    return static_cast<std::uint64_t>(ns < 0 ? 0 : ns);
+  }
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace basrpt::obs

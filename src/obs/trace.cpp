@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace basrpt::obs {
+
+const char* flow_event_name(FlowEvent event) {
+  switch (event) {
+    case FlowEvent::kArrival:
+      return "arrival";
+    case FlowEvent::kFirstService:
+      return "first_service";
+    case FlowEvent::kPreemption:
+      return "preemption";
+    case FlowEvent::kCompletion:
+      return "completion";
+  }
+  return "?";
+}
+
+void FlowTracer::clear() {
+  records_.clear();
+  first_served_.clear();
+  run_ = 0;
+}
+
+namespace {
+
+/// Sim seconds → Chrome trace microseconds.
+constexpr double kTsScale = 1e6;
+
+/// Async b/e events are matched by (cat, id); flow ids restart per run,
+/// so the exported span id folds the run index into the high bits.
+std::int64_t span_id(const FlowTraceRecord& r) {
+  return (r.run << 32) | r.flow;
+}
+
+void write_args(std::ostream& out, const FlowTraceRecord& r) {
+  out << "\"args\":{\"size\":" << r.size << ",\"remaining\":" << r.remaining
+      << ",\"run\":" << r.run << "}";
+}
+
+void write_common(std::ostream& out, const FlowTraceRecord& r) {
+  out << "\"cat\":\"flow\",\"ts\":" << r.time_sec * kTsScale
+      << ",\"pid\":" << r.src << ",\"tid\":" << r.dst << ",";
+}
+
+void write_chrome_event(std::ostream& out, const FlowTraceRecord& r) {
+  out << "{";
+  switch (r.event) {
+    case FlowEvent::kArrival:
+      out << "\"ph\":\"b\",\"name\":\"flow\",\"id\":" << span_id(r) << ",";
+      break;
+    case FlowEvent::kCompletion:
+      out << "\"ph\":\"e\",\"name\":\"flow\",\"id\":" << span_id(r) << ",";
+      break;
+    case FlowEvent::kFirstService:
+    case FlowEvent::kPreemption:
+      out << "\"ph\":\"i\",\"s\":\"t\",\"name\":\""
+          << flow_event_name(r.event) << "\",";
+      break;
+  }
+  write_common(out, r);
+  write_args(out, r);
+  out << "}";
+}
+
+}  // namespace
+
+void FlowTracer::write_chrome_json(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const FlowTraceRecord& r : records_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n";
+    write_chrome_event(out, r);
+  }
+  out << "\n]}\n";
+}
+
+void FlowTracer::write_jsonl(std::ostream& out) const {
+  for (const FlowTraceRecord& r : records_) {
+    out << "{\"event\":\"" << flow_event_name(r.event)
+        << "\",\"run\":" << r.run << ",\"flow\":" << r.flow
+        << ",\"src\":" << r.src << ",\"dst\":" << r.dst
+        << ",\"t\":" << r.time_sec << ",\"size\":" << r.size
+        << ",\"remaining\":" << r.remaining << "}\n";
+  }
+}
+
+namespace {
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  BASRPT_REQUIRE(out.good(), "cannot open trace output file: " + path);
+  return out;
+}
+}  // namespace
+
+void FlowTracer::write_chrome_json_file(const std::string& path) const {
+  auto out = open_or_throw(path);
+  write_chrome_json(out);
+}
+
+void FlowTracer::write_jsonl_file(const std::string& path) const {
+  auto out = open_or_throw(path);
+  write_jsonl(out);
+}
+
+}  // namespace basrpt::obs

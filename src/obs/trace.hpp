@@ -1,0 +1,105 @@
+// Flow-lifecycle tracing: arrival / first-service / preemption /
+// completion events from either simulator, exportable as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing) or as
+// line-delimited JSON for ad-hoc analysis.
+//
+// The tracer is purely passive: the simulators call the on_* hooks with
+// state they already hold, and a null tracer pointer costs one branch.
+// Records accumulate in memory and are written once at end of run —
+// tracing is opt-in (--trace), so the buffer only exists when asked for.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace basrpt::obs {
+
+enum class FlowEvent {
+  kArrival = 0,
+  kFirstService = 1,
+  kPreemption = 2,
+  kCompletion = 3,
+};
+
+const char* flow_event_name(FlowEvent event);
+
+struct FlowTraceRecord {
+  FlowEvent event = FlowEvent::kArrival;
+  std::int64_t flow = 0;
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  double time_sec = 0.0;   // sim time; the slotted model passes slots
+  double size = 0.0;       // original flow size (bytes or packets)
+  double remaining = 0.0;  // remaining at the event
+  std::int64_t run = 0;    // which simulation run emitted the event
+};
+
+class FlowTracer {
+ public:
+  /// Simulators call this at the start of each run. Flow ids restart at
+  /// zero per run, so a tracer shared across several runs in one bench
+  /// must scope both the first-service dedup and the exported span ids
+  /// by run — otherwise run 2's flow 0 looks like a resumption of run
+  /// 1's flow 0.
+  void begin_run() {
+    ++run_;
+    first_served_.clear();
+  }
+  std::int64_t run() const { return run_; }
+
+  void on_arrival(std::int64_t flow, std::int32_t src, std::int32_t dst,
+                  double t, double size) {
+    push({FlowEvent::kArrival, flow, src, dst, t, size, size, run_});
+  }
+
+  /// Emits kFirstService the first time a flow is selected for service;
+  /// later selections of the same flow (resumptions after preemption)
+  /// are not lifecycle events and are dropped here, so callers can
+  /// report every selection without bookkeeping.
+  void on_service(std::int64_t flow, std::int32_t src, std::int32_t dst,
+                  double t, double size, double remaining) {
+    if (first_served_.insert(flow).second) {
+      push({FlowEvent::kFirstService, flow, src, dst, t, size, remaining,
+            run_});
+    }
+  }
+
+  void on_preemption(std::int64_t flow, std::int32_t src, std::int32_t dst,
+                     double t, double size, double remaining) {
+    push({FlowEvent::kPreemption, flow, src, dst, t, size, remaining, run_});
+  }
+
+  void on_completion(std::int64_t flow, std::int32_t src, std::int32_t dst,
+                     double t, double size) {
+    push({FlowEvent::kCompletion, flow, src, dst, t, size, 0.0, run_});
+  }
+
+  const std::vector<FlowTraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void clear();
+
+  /// Chrome trace-event format: arrival..completion become an async
+  /// "b"/"e" pair keyed by flow id, first-service and preemption become
+  /// instant events. pid = ingress port, tid = egress port, so Perfetto
+  /// groups the timeline by VOQ. `ts` is sim time scaled to
+  /// microseconds.
+  void write_chrome_json(std::ostream& out) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+  /// One JSON object per line: {"event":...,"flow":...,...}.
+  void write_jsonl(std::ostream& out) const;
+  void write_jsonl_file(const std::string& path) const;
+
+ private:
+  void push(const FlowTraceRecord& r) { records_.push_back(r); }
+
+  std::vector<FlowTraceRecord> records_;
+  std::unordered_set<std::int64_t> first_served_;
+  std::int64_t run_ = 0;
+};
+
+}  // namespace basrpt::obs

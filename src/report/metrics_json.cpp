@@ -1,0 +1,143 @@
+#include "report/metrics_json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace basrpt::report {
+
+namespace {
+
+/// Metric names are code-controlled identifiers, but escape the JSON
+/// specials anyway so a stray name can't corrupt the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_histogram_json(std::ostream& out,
+                          const obs::LatencyHistogram& h) {
+  out << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+      << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+      << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile(0.5)
+      << ",\"p90\":" << h.quantile(0.9) << ",\"p99\":" << h.quantile(0.99)
+      << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t k = 0; k < obs::LatencyHistogram::kBuckets; ++k) {
+    if (h.bucket_count(k) == 0) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"lo\":" << obs::LatencyHistogram::bucket_lower(k)
+        << ",\"count\":" << h.bucket_count(k) << "}";
+  }
+  out << "]}";
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  BASRPT_REQUIRE(out.good(), "cannot open metrics output file: " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const obs::Registry& registry) {
+  out << "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    out << (first ? "" : ",") << "\n\"" << json_escape(name)
+        << "\":" << counter.value();
+    first = false;
+  }
+  out << "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    out << (first ? "" : ",") << "\n\"" << json_escape(name)
+        << "\":{\"value\":" << gauge.value() << ",\"max\":" << gauge.max()
+        << "}";
+    first = false;
+  }
+  out << "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    out << (first ? "" : ",") << "\n\"" << json_escape(name) << "\":";
+    write_histogram_json(out, hist);
+    first = false;
+  }
+  out << "\n}\n}\n";
+}
+
+void write_metrics_csv(std::ostream& out, const obs::Registry& registry) {
+  out << "kind,name,field,value\n";
+  for (const auto& [name, counter] : registry.counters()) {
+    out << "counter," << name << ",value," << counter.value() << "\n";
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    out << "gauge," << name << ",value," << gauge.value() << "\n";
+    out << "gauge," << name << ",max," << gauge.max() << "\n";
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    out << "histogram," << name << ",count," << hist.count() << "\n";
+    out << "histogram," << name << ",sum," << hist.sum() << "\n";
+    out << "histogram," << name << ",min," << hist.min() << "\n";
+    out << "histogram," << name << ",max," << hist.max() << "\n";
+    out << "histogram," << name << ",mean," << hist.mean() << "\n";
+    out << "histogram," << name << ",p50," << hist.quantile(0.5) << "\n";
+    out << "histogram," << name << ",p90," << hist.quantile(0.9) << "\n";
+    out << "histogram," << name << ",p99," << hist.quantile(0.99) << "\n";
+  }
+}
+
+void write_metrics_json_file(const std::string& path,
+                             const obs::Registry& registry) {
+  auto out = open_or_throw(path);
+  write_metrics_json(out, registry);
+}
+
+void write_metrics_csv_file(const std::string& path,
+                            const obs::Registry& registry) {
+  auto out = open_or_throw(path);
+  write_metrics_csv(out, registry);
+}
+
+void write_metrics_file(const std::string& path,
+                        const obs::Registry& registry) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    write_metrics_csv_file(path, registry);
+  } else {
+    write_metrics_json_file(path, registry);
+  }
+}
+
+}  // namespace basrpt::report

@@ -1,0 +1,27 @@
+// Exporters for the obs metrics registry.
+//
+// JSON for machine consumption (one document: counters, gauges,
+// histograms with their log-scale buckets and derived quantiles) and a
+// flat CSV (kind,name,field,value) for spreadsheets / quick grep.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace basrpt::report {
+
+void write_metrics_json(std::ostream& out, const obs::Registry& registry);
+void write_metrics_json_file(const std::string& path,
+                             const obs::Registry& registry);
+
+void write_metrics_csv(std::ostream& out, const obs::Registry& registry);
+void write_metrics_csv_file(const std::string& path,
+                            const obs::Registry& registry);
+
+/// Dispatches on the path suffix: ".csv" writes CSV, anything else JSON.
+void write_metrics_file(const std::string& path,
+                        const obs::Registry& registry);
+
+}  // namespace basrpt::report

@@ -1,0 +1,55 @@
+#include "sched/instrumented.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace basrpt::sched {
+
+InstrumentedScheduler::InstrumentedScheduler(SchedulerPtr inner,
+                                             obs::Registry* registry,
+                                             const std::string& prefix)
+    : inner_(std::move(inner)) {
+  BASRPT_REQUIRE(inner_ != nullptr,
+                 "InstrumentedScheduler needs a scheduler to wrap");
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::global();
+  decisions_counter_ = &reg.counter(prefix + ".decisions");
+  preemptions_counter_ = &reg.counter(prefix + ".preemptions");
+  decision_ns_ = &reg.histogram(prefix + ".decision_ns");
+  candidates_hist_ = &reg.histogram(prefix + ".candidates");
+  matching_hist_ = &reg.histogram(prefix + ".matching_size");
+}
+
+Decision InstrumentedScheduler::decide(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+  obs::ScopedTimer timer(*decision_ns_, /*always=*/true);
+  Decision decision = inner_->decide(n_ports, candidates);
+  timer.stop();
+
+  ++decisions_;
+  decisions_counter_->add(1);
+  last_candidates_ = candidates.size();
+  candidates_hist_->add(candidates.size());
+  last_matching_size_ = decision.selected.size();
+  matching_hist_->add(decision.selected.size());
+
+  // Preemptions: previously-selected flows missing from this decision.
+  std::vector<FlowId> selected = decision.selected;
+  std::sort(selected.begin(), selected.end());
+  std::uint64_t preempted = 0;
+  for (const FlowId id : prev_selected_) {
+    if (!std::binary_search(selected.begin(), selected.end(), id)) {
+      ++preempted;
+    }
+  }
+  last_preemptions_ = preempted;
+  preemptions_ += preempted;
+  preemptions_counter_->add(static_cast<std::int64_t>(preempted));
+  prev_selected_ = std::move(selected);
+
+  return decision;
+}
+
+}  // namespace basrpt::sched

@@ -1,9 +1,11 @@
 #include "sim/engine.hpp"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace basrpt::sim {
 
@@ -12,6 +14,9 @@ EventId Engine::schedule_at(SimTime t, EventFn fn) {
   BASRPT_ASSERT(fn != nullptr, "event callback must be set");
   const EventId id = next_id_++;
   calendar_.push(Entry{t, id, std::move(fn)});
+  if (calendar_.size() > peak_pending_) {
+    peak_pending_ = calendar_.size();
+  }
   return id;
 }
 
@@ -21,15 +26,27 @@ EventId Engine::schedule_in(SimTime delay, EventFn fn) {
 }
 
 std::uint64_t Engine::run_until(SimTime horizon) {
+  // Observability is passive: the timer and heartbeat only *read* state,
+  // and neither can reorder events or touch callers' RNGs.
+  obs::ScopedTimer chunk_timer(
+      obs::Registry::global().histogram("sim.run_chunk_ns"));
   std::uint64_t ran = 0;
   while (!calendar_.empty() && calendar_.top().t <= horizon) {
     step();
     ++ran;
+    heartbeat_.tick(now_.seconds, executed_);
   }
   // Advance the clock to the horizon even if the calendar drained early,
   // so metrics normalized by now() see the full window.
   if (now_ < horizon) {
     now_ = horizon;
+  }
+  heartbeat_.flush(now_.seconds, executed_);
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("sim.events_executed").add(static_cast<std::int64_t>(ran));
+    reg.gauge("sim.calendar_depth").set(static_cast<double>(pending()));
+    reg.gauge("sim.calendar_peak").set(static_cast<double>(peak_pending_));
   }
   return ran;
 }
@@ -55,18 +72,22 @@ void schedule_periodic(Engine& engine, SimTime start, SimTime interval,
   if (start > horizon) {
     return;
   }
-  // Self-rescheduling closure; shared_ptr breaks the lifetime knot of a
-  // lambda that must reference itself.
+  // Self-rescheduling closure. The calendar entries own the function
+  // object via shared_ptr; the closure itself only holds a weak_ptr, so
+  // there is no ownership cycle and the chain is freed once the last
+  // scheduled tick runs (or the calendar is destroyed).
   auto tick = std::make_shared<std::function<void()>>();
   auto cb = std::make_shared<std::function<void(SimTime)>>(std::move(callback));
-  *tick = [&engine, interval, horizon, tick, cb]() {
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [&engine, interval, horizon, weak_tick, cb]() {
     (*cb)(engine.now());
     const SimTime next = engine.now() + interval;
-    if (next <= horizon) {
-      engine.schedule_at(next, *tick);
+    auto self = weak_tick.lock();
+    if (next <= horizon && self != nullptr) {
+      engine.schedule_at(next, [self] { (*self)(); });
     }
   };
-  engine.schedule_at(start, *tick);
+  engine.schedule_at(start, [tick] { (*tick)(); });
 }
 
 }  // namespace basrpt::sim

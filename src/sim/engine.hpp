@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/heartbeat.hpp"
 
 namespace basrpt::sim {
 
@@ -47,6 +48,16 @@ class Engine {
   bool empty() const { return calendar_.empty(); }
   std::size_t pending() const { return calendar_.size(); }
   std::uint64_t executed() const { return executed_; }
+  /// High-water mark of the calendar — how deep the event heap ever got.
+  std::size_t peak_pending() const { return peak_pending_; }
+
+  /// Enables a wall-clock heartbeat during run_until: every
+  /// `wall_interval_sec` of real time, `fn` (default: an INFO log line)
+  /// receives sim-time progress and the event rate. `<= 0` disables.
+  void set_heartbeat(double wall_interval_sec,
+                     obs::Heartbeat::ReportFn fn = nullptr) {
+    heartbeat_.configure(wall_interval_sec, std::move(fn));
+  }
 
  private:
   struct Entry {
@@ -66,6 +77,8 @@ class Engine {
   SimTime now_{};
   EventId next_id_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t peak_pending_ = 0;
+  obs::Heartbeat heartbeat_;
   std::priority_queue<Entry, std::vector<Entry>, Later> calendar_;
 };
 

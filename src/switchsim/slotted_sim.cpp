@@ -1,10 +1,14 @@
 #include "switchsim/slotted_sim.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "obs/heartbeat.hpp"
 
 namespace basrpt::switchsim {
 
@@ -30,7 +34,19 @@ SlottedResult run_slotted(const SlottedConfig& config,
   std::optional<SlottedArrival> pending = arrivals();
   Slot last_slot_seen = pending ? pending->slot : 0;
 
+  obs::Heartbeat heartbeat;
+  if (config.heartbeat_wall_sec > 0.0) {
+    heartbeat.configure(config.heartbeat_wall_sec);
+  }
+  if (config.tracer != nullptr) {
+    config.tracer->begin_run();
+  }
+  // Previous slot's selected flows, tracked only when tracing (for
+  // preemption detection); instrumentation never alters the decisions.
+  std::vector<queueing::FlowId> prev_selected;
+
   for (Slot t = 0; t < config.horizon; ++t) {
+    heartbeat.tick(static_cast<double>(t), static_cast<std::uint64_t>(t));
     // Admit arrivals stamped with this slot (visible to this decision).
     while (pending && pending->slot <= t) {
       BASRPT_ASSERT(pending->slot >= last_slot_seen,
@@ -47,6 +63,11 @@ SlottedResult run_slotted(const SlottedConfig& config,
       flow.cls = pending->cls;
       voqs.add_flow(flow);
       arrival_slot.emplace(flow.id, pending->slot);
+      if (config.tracer != nullptr) {
+        config.tracer->on_arrival(flow.id, flow.src, flow.dst,
+                                  static_cast<double>(pending->slot),
+                                  static_cast<double>(pending->size));
+      }
       pending = arrivals();
     }
 
@@ -55,33 +76,66 @@ SlottedResult run_slotted(const SlottedConfig& config,
 
     // Decide and serve one packet per selected flow.
     const auto candidates = sched::build_candidates(voqs, 1.0);
+    std::vector<queueing::FlowId> selected;
     if (!candidates.empty()) {
-      const auto decision = scheduler.decide(config.n_ports, candidates);
+      ++result.scheduler_invocations;
+      auto decision = scheduler.decide(config.n_ports, candidates);
       BASRPT_ASSERT(sched::decision_is_matching(decision, voqs),
                     "scheduler violated the crossbar constraint");
-      if (!decision.selected.empty()) {
-        double selected_size = 0.0;
-        for (const queueing::FlowId id : decision.selected) {
-          selected_size +=
-              static_cast<double>(voqs.flow(id).remaining.count);
+      selected = std::move(decision.selected);
+    }
+    if (config.tracer != nullptr) {
+      // Preempted: served last slot, still backlogged, not served now.
+      const double now = static_cast<double>(t);
+      for (const queueing::FlowId id : prev_selected) {
+        if (!voqs.contains(id) ||
+            std::find(selected.begin(), selected.end(), id) !=
+                selected.end()) {
+          continue;
         }
-        result.penalty.add(selected_size /
-                           static_cast<double>(decision.selected.size()));
+        const queueing::Flow& f = voqs.flow(id);
+        config.tracer->on_preemption(f.id, f.src, f.dst, now,
+                                     static_cast<double>(f.size.count),
+                                     static_cast<double>(f.remaining.count));
       }
-      for (const queueing::FlowId id : decision.selected) {
-        const queueing::Flow flow_copy = voqs.flow(id);
-        const bool completed = voqs.drain(id, Bytes{1});
-        ++result.delivered_packets;
-        if (completed) {
-          const auto it = arrival_slot.find(id);
-          BASRPT_ASSERT(it != arrival_slot.end(), "unknown completed flow");
-          const Slot fct_slots = t - it->second + 1;
-          result.fct.record(flow_copy.cls,
-                            SimTime{static_cast<double>(fct_slots)},
-                            flow_copy.size);
-          arrival_slot.erase(it);
+      for (const queueing::FlowId id : selected) {
+        const queueing::Flow& f = voqs.flow(id);
+        config.tracer->on_service(f.id, f.src, f.dst, now,
+                                  static_cast<double>(f.size.count),
+                                  static_cast<double>(f.remaining.count));
+      }
+    }
+    if (!selected.empty()) {
+      double selected_size = 0.0;
+      for (const queueing::FlowId id : selected) {
+        selected_size +=
+            static_cast<double>(voqs.flow(id).remaining.count);
+      }
+      result.penalty.add(selected_size /
+                         static_cast<double>(selected.size()));
+    }
+    for (const queueing::FlowId id : selected) {
+      const queueing::Flow flow_copy = voqs.flow(id);
+      const bool completed = voqs.drain(id, Bytes{1});
+      ++result.delivered_packets;
+      if (completed) {
+        const auto it = arrival_slot.find(id);
+        BASRPT_ASSERT(it != arrival_slot.end(), "unknown completed flow");
+        const Slot fct_slots = t - it->second + 1;
+        result.fct.record(flow_copy.cls,
+                          SimTime{static_cast<double>(fct_slots)},
+                          flow_copy.size);
+        arrival_slot.erase(it);
+        if (config.tracer != nullptr) {
+          config.tracer->on_completion(
+              flow_copy.id, flow_copy.src, flow_copy.dst,
+              static_cast<double>(t),
+              static_cast<double>(flow_copy.size.count));
         }
       }
+    }
+    if (config.tracer != nullptr) {
+      prev_selected = std::move(selected);
     }
 
     if (t % config.sample_every == 0) {
@@ -91,6 +145,8 @@ SlottedResult run_slotted(const SlottedConfig& config,
     }
   }
 
+  heartbeat.flush(static_cast<double>(config.horizon),
+                  static_cast<std::uint64_t>(config.horizon));
   result.left_packets = voqs.total_backlog().count;
   result.left_flows = static_cast<std::int64_t>(voqs.active_flows());
   return result;

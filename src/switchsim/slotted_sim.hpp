@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "queueing/backlog_recorder.hpp"
 #include "queueing/lyapunov.hpp"
 #include "queueing/voq.hpp"
@@ -51,6 +52,11 @@ struct SlottedConfig {
   Slot sample_every = 16;      // backlog/Lyapunov sampling period
   PortId watched_src = 0;      // VOQ plotted as "queue length at a port"
   PortId watched_dst = 2;
+  /// Optional flow-lifecycle tracer (times are slot indices). Purely
+  /// passive; null disables.
+  obs::FlowTracer* tracer = nullptr;
+  /// Logs slot progress every N wall-seconds (<= 0 disables).
+  double heartbeat_wall_sec = 0.0;
 };
 
 struct SlottedResult {
@@ -61,6 +67,9 @@ struct SlottedResult {
   std::int64_t left_packets = 0;           // backlog at horizon
   std::int64_t left_flows = 0;
   Slot horizon = 0;
+  /// Scheduler decide() calls (slots with at least one non-empty VOQ) —
+  /// the counter flowsim already exposes, for decision-rate parity.
+  std::uint64_t scheduler_invocations = 0;
   /// Time-average of the per-decision penalty ȳ(t) — the mean remaining
   /// size of the selected flows — the quantity Theorem 1 bounds within
   /// B'/V of the optimum.
@@ -72,8 +81,13 @@ struct SlottedResult {
   SlottedResult(PortId watched_src, PortId watched_dst)
       : backlog(watched_src, watched_dst) {}
 
-  /// Average service rate, packets per slot over all ports.
+  /// Average service rate, packets per slot over all ports. A zero
+  /// horizon (result inspected before/without a run) yields 0, not
+  /// inf/NaN.
   double throughput_pkts_per_slot() const {
+    if (horizon <= 0) {
+      return 0.0;
+    }
     return static_cast<double>(delivered_packets) /
            static_cast<double>(horizon);
   }

@@ -192,5 +192,11 @@ TEST(FlowSim, EcmpModeRunsAndConserves) {
   EXPECT_GT(result.flows_completed, 0);
 }
 
+TEST(FlowSimResult, ZeroHorizonThroughputIsZeroNotNan) {
+  FlowSimResult result(0, 1);
+  result.delivered = Bytes{1000};
+  EXPECT_DOUBLE_EQ(result.throughput().bits_per_sec, 0.0);
+}
+
 }  // namespace
 }  // namespace basrpt::flowsim

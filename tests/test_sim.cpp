@@ -1,10 +1,11 @@
 // Unit tests for src/sim: event engine ordering, clock semantics,
-// periodic sampling.
+// periodic sampling, engine observability probes.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace basrpt::sim {
@@ -124,6 +125,76 @@ TEST(PeriodicSampler, InterleavesWithOtherEvents) {
   EXPECT_EQ(log[0], "sample");
   EXPECT_EQ(log[1], "event");
   EXPECT_EQ(log[2], "sample");
+}
+
+TEST(Engine, PeakPendingTracksCalendarHighWater) {
+  Engine engine;
+  EXPECT_EQ(engine.peak_pending(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(seconds(1.0 + i), [] {});
+  }
+  EXPECT_EQ(engine.peak_pending(), 5u);
+  engine.run_until(seconds(10.0));
+  // Draining does not lower the high-water mark.
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.peak_pending(), 5u);
+  // A later shallower wave does not raise it either.
+  engine.schedule_at(seconds(11.0), [] {});
+  EXPECT_EQ(engine.peak_pending(), 5u);
+}
+
+TEST(Engine, RunUntilReturnsEventsExecutedThisChunk) {
+  Engine engine;
+  for (int i = 0; i < 4; ++i) {
+    engine.schedule_at(seconds(1.0 + i), [] {});
+  }
+  EXPECT_EQ(engine.run_until(seconds(2.0)), 2u);
+  EXPECT_EQ(engine.run_until(seconds(10.0)), 2u);
+  EXPECT_EQ(engine.executed(), 4u);
+}
+
+TEST(Engine, HeartbeatReportsThroughCustomFn) {
+  Engine engine;
+  std::vector<obs::HeartbeatStatus> beats;
+  engine.set_heartbeat(1e-9, [&](const obs::HeartbeatStatus& s) {
+    beats.push_back(s);
+  });
+  // Enough events to pass the heartbeat's clock-check stride twice.
+  const auto n = 2 * obs::Heartbeat::kCheckEvery + 1;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    engine.schedule_at(seconds(1.0), [] {});
+  }
+  engine.run_until(seconds(2.0));
+  ASSERT_FALSE(beats.empty());
+  EXPECT_GT(beats.front().events, 0u);
+  EXPECT_DOUBLE_EQ(beats.front().sim_time_sec, 1.0);
+}
+
+TEST(Engine, ExportsMetricsWhenObsEnabled) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  Engine engine;
+  for (int i = 0; i < 3; ++i) {
+    engine.schedule_at(seconds(1.0), [] {});
+  }
+  engine.run_until(seconds(2.0));
+  const auto& registry = obs::Registry::global();
+  EXPECT_EQ(registry.counters().at("sim.events_executed").value(), 3);
+  EXPECT_DOUBLE_EQ(registry.gauges().at("sim.calendar_peak").max(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.gauges().at("sim.calendar_depth").value(), 0.0);
+  EXPECT_EQ(registry.histograms().at("sim.run_chunk_ns").count(), 1u);
+  obs::Registry::global().reset();
+  obs::set_enabled(was_enabled);
+}
+
+TEST(PeriodicSampler, HorizonNotMultipleOfIntervalStopsEarly) {
+  Engine engine;
+  std::vector<double> ticks;
+  schedule_periodic(engine, seconds(0.0), seconds(2.0), seconds(5.0),
+                    [&](SimTime t) { ticks.push_back(t.seconds); });
+  engine.run_until(seconds(5.0));
+  EXPECT_EQ(ticks, (std::vector<double>{0.0, 2.0, 4.0}));
 }
 
 TEST(PeriodicSampler, RejectsNonPositiveInterval) {
