@@ -1,0 +1,123 @@
+// Microbenchmark (google-benchmark): per-decision candidate-list cost,
+// from-scratch build_candidates vs fabric::CandidateCache::refresh.
+//
+// The workload models the unstable-SRPT regime the paper's stability
+// figures run in: tens of flows per port parked in the VOQ matrix, and
+// each "slot" serving one packet from N randomly chosen flows — so a
+// decision dirties at most N of the ~40·N non-empty VOQs. The cache
+// recomputes only those and copies the packed view; the from-scratch
+// build re-derives every non-empty VOQ (ordered-index probes plus flow
+// lookups) per decision. Timing excludes the churn itself
+// (PauseTiming), so the numbers are pure candidate-list cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fabric/candidate_cache.hpp"
+#include "queueing/voq.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using namespace basrpt;
+using queueing::Flow;
+using queueing::FlowId;
+using queueing::VoqMatrix;
+using sched::PortId;
+
+/// A VOQ matrix under slotted churn: `flows` parked flows, and each
+/// step() drains one packet from N random flows, replacing the ones
+/// that complete so the population stays put.
+struct ChurnState {
+  VoqMatrix voqs;
+  Rng rng;
+  std::vector<FlowId> live;
+  FlowId next_id = 0;
+
+  ChurnState(PortId ports, int flows, std::uint64_t seed)
+      : voqs(ports), rng(seed) {
+    live.reserve(static_cast<std::size_t>(flows));
+    for (int k = 0; k < flows; ++k) {
+      admit();
+    }
+  }
+
+  void admit() {
+    const PortId ports = voqs.ports();
+    Flow f;
+    f.id = next_id++;
+    f.src = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+    f.dst = static_cast<PortId>(rng.uniform_int(0, ports - 2));
+    if (f.dst >= f.src) {
+      ++f.dst;
+    }
+    f.size = Bytes{rng.uniform_int(64, 2048)};  // packets
+    f.remaining = f.size;
+    f.arrival = SimTime{static_cast<double>(next_id)};
+    voqs.add_flow(f);
+    live.push_back(f.id);
+  }
+
+  void step() {
+    const PortId ports = voqs.ports();
+    for (PortId k = 0; k < ports; ++k) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live.size()) - 1));
+      if (voqs.drain(live[pick], Bytes{1})) {
+        live[pick] = live.back();
+        live.pop_back();
+        admit();
+      }
+    }
+  }
+};
+
+void BM_CandidatesFromScratch(benchmark::State& state) {
+  const auto ports = static_cast<PortId>(state.range(0));
+  ChurnState churn(ports, 40 * ports, /*seed=*/42);
+  std::size_t n_candidates = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    churn.step();
+    churn.voqs.clear_dirty();  // the no-cache world never reads the list
+    state.ResumeTiming();
+    auto candidates = sched::build_candidates(churn.voqs, 1.0);
+    benchmark::DoNotOptimize(candidates.data());
+    n_candidates = candidates.size();
+  }
+  state.counters["candidates"] = static_cast<double>(n_candidates);
+}
+
+void BM_CandidatesIncremental(benchmark::State& state) {
+  const auto ports = static_cast<PortId>(state.range(0));
+  ChurnState churn(ports, 40 * ports, /*seed=*/42);
+  fabric::CandidateCache cache(churn.voqs, 1.0);
+  cache.refresh();  // warm: first refresh pays the full build once
+  std::size_t n_candidates = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    churn.step();
+    state.ResumeTiming();
+    const auto& view = cache.refresh();
+    benchmark::DoNotOptimize(view.data());
+    n_candidates = view.size();
+  }
+  state.counters["candidates"] = static_cast<double>(n_candidates);
+}
+
+BENCHMARK(BM_CandidatesFromScratch)
+    ->Arg(16)
+    ->Arg(144)
+    ->Arg(288)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CandidatesIncremental)
+    ->Arg(16)
+    ->Arg(144)
+    ->Arg(288)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

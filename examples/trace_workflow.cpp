@@ -98,9 +98,17 @@ int main(int argc, char** argv) {
     std::printf("metrics written to %s\n", cli.get_text("metrics").c_str());
   }
   if (!cli.get_text("trace").empty()) {
-    tracer.write_chrome_json_file(cli.get_text("trace"));
-    std::printf("trace written to %s (%zu events)\n",
-                cli.get_text("trace").c_str(), tracer.size());
+    const std::string trace_path = cli.get_text("trace");
+    const bool jsonl =
+        trace_path.size() >= 6 &&
+        trace_path.compare(trace_path.size() - 6, 6, ".jsonl") == 0;
+    if (jsonl) {
+      tracer.write_jsonl_file(trace_path);
+    } else {
+      tracer.write_chrome_json_file(trace_path);
+    }
+    std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                tracer.size());
   }
   return 0;
 }

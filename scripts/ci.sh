@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 (warnings-as-errors build + full test suite),
+# then tier-2 (AddressSanitizer + UBSan build + full test suite).
+#
+#   scripts/ci.sh            # both tiers
+#   scripts/ci.sh --tier1    # build + ctest only
+#   scripts/ci.sh --tier2    # sanitizer build + ctest only
+#
+# Build trees: build-ci/ (tier 1) and build-asan/ (tier 2), kept apart
+# from a developer's build/ so CI never clobbers local state.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_TIER1=1
+RUN_TIER2=1
+case "${1:-}" in
+  --tier1) RUN_TIER2=0 ;;
+  --tier2) RUN_TIER1=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tier1|--tier2]" >&2; exit 2 ;;
+esac
+
+if [[ "$RUN_TIER1" == 1 ]]; then
+  echo "==== tier 1: RelWithDebInfo + -Werror + ctest ===="
+  cmake -B build-ci -DBASRPT_WERROR=ON >/dev/null
+  cmake --build build-ci -j "$JOBS"
+  ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$RUN_TIER2" == 1 ]]; then
+  echo "==== tier 2: ASan/UBSan + ctest ===="
+  cmake -B build-asan -DBASRPT_SANITIZE=ON -DBASRPT_WERROR=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "==== ci passed ===="

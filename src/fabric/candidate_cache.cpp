@@ -1,0 +1,40 @@
+#include "fabric/candidate_cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace basrpt::fabric {
+
+CandidateCache::CandidateCache(const queueing::VoqMatrix& voqs,
+                               double unit_bytes, sched::CandidateNeeds needs)
+    : voqs_(voqs), unit_bytes_(unit_bytes), needs_(needs) {
+  BASRPT_REQUIRE(unit_bytes > 0.0, "unit must be positive");
+  const auto n = static_cast<std::size_t>(voqs.ports());
+  entries_.resize(n * n);
+  view_.reserve(n);
+}
+
+const std::vector<sched::VoqCandidate>& CandidateCache::refresh() {
+  ++refreshes_;
+  if (voqs_.version() == seen_version_) {
+    return view_;  // nothing changed since the last decision
+  }
+  for (const std::size_t idx : voqs_.dirty_voqs()) {
+    const queueing::PortId i = voqs_.voq_ingress(idx);
+    const queueing::PortId j = voqs_.voq_egress(idx);
+    if (voqs_.flow_count(i, j) == 0) {
+      continue;  // drained empty; the view pass below skips it
+    }
+    sched::fill_candidate(voqs_, i, j, unit_bytes_, needs_, entries_[idx]);
+    ++voqs_recomputed_;
+  }
+  voqs_.clear_dirty();
+  seen_version_ = voqs_.version();
+
+  view_.clear();
+  for (const std::size_t idx : voqs_.non_empty_indices()) {
+    view_.push_back(entries_[idx]);
+  }
+  return view_;
+}
+
+}  // namespace basrpt::fabric

@@ -1,0 +1,64 @@
+// Incrementally maintained per-VOQ candidate list.
+//
+// The simulators previously rebuilt the scheduler's candidate list from
+// scratch before every decision — O(#non-empty VOQs) ordered-index
+// probes and flow-table lookups each time, even though an arrival or a
+// drain touches exactly one VOQ. This cache keeps one VoqCandidate per
+// VOQ in a persistently allocated dense array and recomputes only the
+// VOQs the matrix reports dirty (VoqMatrix::dirty_voqs), then packs the
+// non-empty entries into a contiguous view in the matrix's non-empty
+// order — the same order build_candidates produces, so order-sensitive
+// schedulers (exact BASRPT's enumeration ties, BvN's selection order)
+// behave identically.
+//
+// Steady-state cost per refresh: O(#dirty VOQs) candidate recomputes
+// plus O(#non-empty VOQs) POD copies, with zero heap allocation once
+// the view has warmed to the fabric's footprint.
+//
+// The cache consumes the matrix's dirty list (clear_dirty), so attach
+// at most one cache — or any single dirty-consuming observer — per
+// VoqMatrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "queueing/voq.hpp"
+#include "sched/scheduler.hpp"
+
+namespace basrpt::fabric {
+
+class CandidateCache {
+ public:
+  /// `unit_bytes` converts bytes to packets for the scheduler keys (1.0
+  /// when the matrix already stores packets). `needs` is typically the
+  /// consuming scheduler's needs() mask.
+  CandidateCache(const queueing::VoqMatrix& voqs, double unit_bytes,
+                 sched::CandidateNeeds needs = {});
+
+  /// Brings the cache up to date with the matrix and returns the packed
+  /// candidate view (one entry per non-empty VOQ, matrix order). The
+  /// reference stays valid until the next refresh().
+  const std::vector<sched::VoqCandidate>& refresh();
+
+  double unit_bytes() const { return unit_bytes_; }
+  sched::CandidateNeeds needs() const { return needs_; }
+
+  // Work accounting for tests and bench_candidate_cache.
+  std::uint64_t refreshes() const { return refreshes_; }
+  std::uint64_t voqs_recomputed() const { return voqs_recomputed_; }
+
+ private:
+  const queueing::VoqMatrix& voqs_;
+  double unit_bytes_;
+  sched::CandidateNeeds needs_;
+
+  std::uint64_t seen_version_ = 0;
+  std::uint64_t refreshes_ = 0;
+  std::uint64_t voqs_recomputed_ = 0;
+
+  std::vector<sched::VoqCandidate> entries_;  // dense, by flat VOQ index
+  std::vector<sched::VoqCandidate> view_;     // packed, non-empty order
+};
+
+}  // namespace basrpt::fabric

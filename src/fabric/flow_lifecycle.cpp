@@ -1,0 +1,102 @@
+#include "fabric/flow_lifecycle.hpp"
+
+#include "common/assert.hpp"
+
+namespace basrpt::fabric {
+
+FlowLifecycle::FlowLifecycle(queueing::VoqMatrix* voqs,
+                             stats::FctAggregator& fct,
+                             obs::FlowTracer* tracer)
+    : voqs_(voqs), fct_(fct), tracer_(tracer) {}
+
+void FlowLifecycle::begin_run() {
+  if (tracer_ != nullptr) {
+    tracer_->begin_run();
+  }
+}
+
+FlowId FlowLifecycle::admit(const Admission& a) {
+  BASRPT_ASSERT(a.size.count > 0, "arriving flow must carry bytes");
+  const FlowId id = next_id_++;
+  if (voqs_ != nullptr) {
+    queueing::Flow flow;
+    flow.id = id;
+    flow.src = a.src;
+    flow.dst = a.dst;
+    flow.size = a.size;
+    flow.remaining = a.size;
+    flow.arrival = a.arrival;
+    flow.cls = a.cls;
+    voqs_->add_flow(flow);
+  }
+  ++flows_arrived_;
+  bytes_arrived_ += a.size;
+  if (tracer_ != nullptr) {
+    tracer_->on_arrival(id, a.src, a.dst, a.arrival.seconds,
+                        static_cast<double>(a.size.count));
+  }
+  return id;
+}
+
+void FlowLifecycle::apply_decision(const std::vector<FlowId>& selected,
+                                   double now) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  BASRPT_ASSERT(voqs_ != nullptr,
+                "apply_decision needs an attached VoqMatrix");
+  selected_set_.clear();
+  selected_set_.insert(selected.begin(), selected.end());
+  for (const FlowId id : prev_selected_) {
+    if (!voqs_->contains(id)) {
+      continue;  // completed, not preempted
+    }
+    if (selected_set_.count(id) != 0) {
+      continue;  // still selected
+    }
+    const queueing::Flow& f = voqs_->flow(id);
+    tracer_->on_preemption(f.id, f.src, f.dst, now,
+                           static_cast<double>(f.size.count),
+                           static_cast<double>(f.remaining.count));
+  }
+  for (const FlowId id : selected) {
+    const queueing::Flow& f = voqs_->flow(id);
+    tracer_->on_service(f.id, f.src, f.dst, now,
+                        static_cast<double>(f.size.count),
+                        static_cast<double>(f.remaining.count));
+  }
+  prev_selected_.assign(selected.begin(), selected.end());
+}
+
+void FlowLifecycle::note_service(FlowId id, PortId src, PortId dst,
+                                 double now, Bytes size, Bytes remaining) {
+  if (tracer_ != nullptr) {
+    tracer_->on_service(id, src, dst, now,
+                        static_cast<double>(size.count),
+                        static_cast<double>(remaining.count));
+  }
+}
+
+void FlowLifecycle::record_completion(stats::FlowClass cls, FlowId id,
+                                      PortId src, PortId dst, Bytes size,
+                                      SimTime fct, double trace_time) {
+  fct_.record(cls, fct, size);
+  ++flows_completed_;
+  if (tracer_ != nullptr) {
+    tracer_->on_completion(id, src, dst, trace_time,
+                           static_cast<double>(size.count));
+  }
+}
+
+void FlowLifecycle::record_completion_with_ideal(
+    stats::FlowClass cls, FlowId id, PortId src, PortId dst, Bytes size,
+    SimTime fct, SimTime ideal, double trace_time) {
+  fct_.record_with_ideal(cls, fct, size, ideal);
+  ++flows_completed_;
+  if (tracer_ != nullptr) {
+    tracer_->on_completion(id, src, dst, trace_time,
+                           static_cast<double>(size.count));
+  }
+}
+
+}  // namespace basrpt::fabric

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "fabric/candidate_cache.hpp"
+#include "fabric/flow_lifecycle.hpp"
 #include "sim/engine.hpp"
 #include "topo/maxmin.hpp"
 
@@ -27,7 +29,9 @@ class Engine {
         traffic_(traffic),
         fabric_(config.fabric),
         voqs_(static_cast<PortId>(config.fabric.hosts())),
-        result_(config.watched_src, config.watched_dst) {
+        result_(config.watched_src, config.watched_dst),
+        lifecycle_(&voqs_, result_.fct, config.tracer),
+        cache_(voqs_, config.packet_bytes, scheduler.needs()) {
     BASRPT_REQUIRE(config.horizon.seconds > 0.0, "horizon must be positive");
     BASRPT_REQUIRE(config.packet_bytes > 0.0,
                    "packet size must be positive");
@@ -42,9 +46,7 @@ class Engine {
     if (config_.heartbeat_wall_sec > 0.0) {
       events_.set_heartbeat(config_.heartbeat_wall_sec);
     }
-    if (config_.tracer != nullptr) {
-      config_.tracer->begin_run();
-    }
+    lifecycle_.begin_run();
     schedule_next_arrival();
     sim::schedule_periodic(
         events_, SimTime{0.0}, config_.sample_every, config_.horizon,
@@ -58,6 +60,9 @@ class Engine {
     advance(config_.horizon);
 
     result_.horizon = config_.horizon;
+    result_.flows_arrived = lifecycle_.flows_arrived();
+    result_.bytes_arrived = lifecycle_.bytes_arrived();
+    result_.flows_completed = lifecycle_.flows_completed();
     result_.flows_left = static_cast<std::int64_t>(voqs_.active_flows());
     result_.bytes_left = voqs_.total_backlog();
     return std::move(result_);
@@ -82,22 +87,7 @@ class Engine {
     advance(events_.now());
 
     BASRPT_ASSERT(a.size.count > 0, "arriving flow must carry bytes");
-    queueing::Flow flow;
-    flow.id = next_flow_id_++;
-    flow.src = a.src;
-    flow.dst = a.dst;
-    flow.size = a.size;
-    flow.remaining = a.size;
-    flow.arrival = a.time;
-    flow.cls = a.cls;
-    voqs_.add_flow(flow);
-    ++result_.flows_arrived;
-    result_.bytes_arrived += a.size;
-    if (config_.tracer != nullptr) {
-      config_.tracer->on_arrival(flow.id, flow.src, flow.dst,
-                                 a.time.seconds,
-                                 static_cast<double>(a.size.count));
-    }
+    lifecycle_.admit({a.src, a.dst, a.size, a.time, a.cls});
 
     schedule_next_arrival();
 
@@ -145,14 +135,10 @@ class Engine {
     // link rate (the fabric core is non-blocking for a single flow).
     const SimTime ideal =
         transmission_time(flow.size, config_.fabric.host_link);
-    result_.fct.record_with_ideal(flow.cls, now - flow.arrival, flow.size,
-                                  ideal);
-    ++result_.flows_completed;
-    if (config_.tracer != nullptr) {
-      config_.tracer->on_completion(flow.id, flow.src, flow.dst,
-                                    now.seconds,
-                                    static_cast<double>(flow.size.count));
-    }
+    lifecycle_.record_completion_with_ideal(flow.cls, flow.id, flow.src,
+                                            flow.dst, flow.size,
+                                            now - flow.arrival, ideal,
+                                            now.seconds);
   }
 
   /// Applies fluid service between the last update and `now` using the
@@ -183,56 +169,28 @@ class Engine {
     }
   }
 
-  /// The flows the next service period will transmit (may be empty).
-  std::vector<FlowId> select_flows() {
-    std::vector<FlowId> to_serve;
+  /// Fills decision_.selected with the flows the next service period
+  /// will transmit (may end up empty). decision_ is a persistent buffer;
+  /// the decision path allocates nothing in steady state.
+  void select_flows() {
+    decision_.selected.clear();
     if (config_.service_model == ServiceModel::kFairSharing) {
       // Everyone transmits; the allocator below divides the fabric.
-      to_serve.reserve(voqs_.active_flows());
-      voqs_.for_each_flow(
-          [&to_serve](const queueing::Flow& f) { to_serve.push_back(f.id); });
+      decision_.selected.reserve(voqs_.active_flows());
+      voqs_.for_each_flow([this](const queueing::Flow& f) {
+        decision_.selected.push_back(f.id);
+      });
     } else {
-      const auto candidates =
-          sched::build_candidates(voqs_, config_.packet_bytes);
+      const auto& candidates = cache_.refresh();
       if (candidates.empty()) {
-        return to_serve;
+        return;
       }
-      auto decision = scheduler_.decide(
-          static_cast<PortId>(fabric_.hosts()), candidates);
+      scheduler_.decide_into(static_cast<PortId>(fabric_.hosts()),
+                             candidates, decision_);
       if (config_.validate_decisions) {
-        BASRPT_ASSERT(sched::decision_is_matching(decision, voqs_),
+        BASRPT_ASSERT(sched::decision_is_matching(decision_, voqs_),
                       "scheduler violated the crossbar constraint");
       }
-      to_serve = std::move(decision.selected);
-    }
-    return to_serve;
-  }
-
-  /// Lifecycle events of one decision: previously-serving flows that are
-  /// still queued but no longer selected were preempted; selected flows
-  /// start (or resume — the tracer dedups) service. Reads `serving_` as
-  /// the previous decision, so call before it is overwritten.
-  void trace_decision(const std::vector<FlowId>& to_serve) {
-    obs::FlowTracer& tracer = *config_.tracer;
-    const double now = events_.now().seconds;
-    for (const Serving& s : serving_) {
-      if (!voqs_.contains(s.id)) {
-        continue;  // completed, not preempted
-      }
-      if (std::find(to_serve.begin(), to_serve.end(), s.id) !=
-          to_serve.end()) {
-        continue;  // still selected
-      }
-      const queueing::Flow& f = voqs_.flow(s.id);
-      tracer.on_preemption(f.id, f.src, f.dst, now,
-                           static_cast<double>(f.size.count),
-                           static_cast<double>(f.remaining.count));
-    }
-    for (const FlowId id : to_serve) {
-      const queueing::Flow& f = voqs_.flow(id);
-      tracer.on_service(f.id, f.src, f.dst, now,
-                        static_cast<double>(f.size.count),
-                        static_cast<double>(f.remaining.count));
     }
   }
 
@@ -243,25 +201,24 @@ class Engine {
     ++result_.scheduler_invocations;
     last_reschedule_ = events_.now();
 
-    std::vector<FlowId> to_serve = select_flows();
-    if (config_.tracer != nullptr) {
-      trace_decision(to_serve);
-    }
+    select_flows();
+    const std::vector<FlowId>& to_serve = decision_.selected;
+    lifecycle_.apply_decision(to_serve, events_.now().seconds);
     serving_.clear();
     if (to_serve.empty()) {
       return;
     }
 
     // Max-min fair rates over the fabric for the serving set.
-    std::vector<topo::FlowDemand> demands;
-    demands.reserve(to_serve.size());
+    demands_.clear();
+    demands_.reserve(to_serve.size());
     for (const FlowId id : to_serve) {
       const queueing::Flow& f = voqs_.flow(id);
-      demands.push_back(
+      demands_.push_back(
           {fabric_.route(f.src, f.dst, static_cast<std::uint64_t>(id)),
            Rate{0.0}});
     }
-    const auto rates = topo::max_min_rates(demands, fabric_.capacities());
+    const auto rates = topo::max_min_rates(demands_, fabric_.capacities());
 
     SimTime earliest{std::numeric_limits<double>::infinity()};
     FlowId earliest_flow = queueing::kInvalidFlow;
@@ -294,13 +251,16 @@ class Engine {
   topo::Fabric fabric_;
   queueing::VoqMatrix voqs_;
   FlowSimResult result_;
+  fabric::FlowLifecycle lifecycle_;
+  fabric::CandidateCache cache_;
   sim::Engine events_;
+  sched::Decision decision_;
   std::vector<Serving> serving_;
+  std::vector<topo::FlowDemand> demands_;
   SimTime last_advance_{};
   SimTime last_reschedule_{-1.0};
   bool refresh_pending_ = false;
   std::uint64_t schedule_generation_ = 0;
-  FlowId next_flow_id_ = 0;
 };
 
 }  // namespace

@@ -36,4 +36,33 @@ GreedyResult greedy_maximal(std::vector<ScoredCandidate> candidates,
   return result;
 }
 
+void GreedyMatcher::match_into(std::vector<ScoredCandidate>& candidates,
+                               PortId n_left, PortId n_right,
+                               std::vector<std::int64_t>& out) {
+  BASRPT_ASSERT(n_left > 0 && n_right > 0, "port counts must be positive");
+  out.clear();
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              if (a.score != b.score) {
+                return a.score < b.score;
+              }
+              return a.payload < b.payload;
+            });
+
+  left_used_.assign(static_cast<std::size_t>(n_left), 0);
+  right_used_.assign(static_cast<std::size_t>(n_right), 0);
+
+  for (const ScoredCandidate& c : candidates) {
+    BASRPT_ASSERT(c.left >= 0 && c.left < n_left, "ingress out of range");
+    BASRPT_ASSERT(c.right >= 0 && c.right < n_right, "egress out of range");
+    if (!left_used_[static_cast<std::size_t>(c.left)] &&
+        !right_used_[static_cast<std::size_t>(c.right)]) {
+      left_used_[static_cast<std::size_t>(c.left)] = 1;
+      right_used_[static_cast<std::size_t>(c.right)] = 1;
+      out.push_back(c.payload);
+    }
+  }
+}
+
 }  // namespace basrpt::matching

@@ -33,4 +33,24 @@ struct GreedyResult {
 GreedyResult greedy_maximal(std::vector<ScoredCandidate> candidates,
                             PortId n_left, PortId n_right);
 
+/// Allocation-free variant of greedy_maximal for hot decision loops:
+/// port-usage scratch persists across calls, the candidate buffer is the
+/// caller's (sorted in place), and winners are appended to `out`. The
+/// selection is identical to greedy_maximal *provided payloads are
+/// distinct* (they are flow ids in the schedulers): the (score, payload)
+/// key is then a total order, so the unstable in-place sort cannot
+/// reorder equivalent elements differently than the stable one.
+class GreedyMatcher {
+ public:
+  /// Clears `out`, then appends the payloads of the accepted candidates
+  /// in selection (sorted) order. O(K log K), no heap allocation once
+  /// the scratch has warmed to the fabric size.
+  void match_into(std::vector<ScoredCandidate>& candidates, PortId n_left,
+                  PortId n_right, std::vector<std::int64_t>& out);
+
+ private:
+  std::vector<char> left_used_;
+  std::vector<char> right_used_;
+};
+
 }  // namespace basrpt::matching

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "fabric/flow_lifecycle.hpp"
 
 namespace basrpt::pktsim {
 
@@ -45,7 +46,9 @@ struct Packet {
 class Engine {
  public:
   Engine(const PacketSimConfig& config, workload::TrafficSource& traffic)
-      : config_(config), traffic_(traffic) {
+      : config_(config),
+        traffic_(traffic),
+        lifecycle_(/*voqs=*/nullptr, result_.fct, config.tracer) {
     BASRPT_REQUIRE(config.hosts >= 2, "need at least two hosts");
     BASRPT_REQUIRE(config.packet.count >= 1, "packet must be positive");
     BASRPT_REQUIRE(config.horizon.seconds > 0.0, "horizon must be positive");
@@ -63,6 +66,7 @@ class Engine {
   }
 
   PacketSimResult run() {
+    lifecycle_.begin_run();
     schedule_next_arrival();
     sim::schedule_periodic(events_, SimTime{0.0}, config_.sample_every,
                            config_.horizon, [this](SimTime now) {
@@ -71,6 +75,9 @@ class Engine {
                            });
     events_.run_until(config_.horizon);
     result_.horizon = config_.horizon;
+    result_.flows_arrived = lifecycle_.flows_arrived();
+    result_.bytes_arrived = lifecycle_.bytes_arrived();
+    result_.flows_completed = lifecycle_.flows_completed();
     return std::move(result_);
   }
 
@@ -91,7 +98,7 @@ class Engine {
 
   void on_arrival(const workload::FlowArrival& a) {
     FlowState flow;
-    flow.id = next_flow_id_++;
+    flow.id = lifecycle_.admit({a.src, a.dst, a.size, a.time, a.cls});
     flow.src = a.src;
     flow.dst = a.dst;
     flow.size = a.size;
@@ -102,8 +109,6 @@ class Engine {
     flows_.emplace(flow.id, flow);
     sender_flows_[static_cast<std::size_t>(a.src)].push_back(flow.id);
     voq_bytes(a.src, a.dst) += a.size.count;
-    ++result_.flows_arrived;
-    result_.bytes_arrived += a.size;
 
     schedule_next_arrival();
     maybe_start_sender(a.src);
@@ -173,6 +178,8 @@ class Engine {
     }
 
     FlowState& flow = flows_.at(best);
+    lifecycle_.note_service(flow.id, flow.src, flow.dst,
+                            events_.now().seconds, flow.size, flow.to_send);
     const Bytes chunk{std::min(config_.packet.count, flow.to_send.count)};
     flow.to_send -= chunk;
     voq_bytes(flow.src, flow.dst) -= chunk.count;
@@ -230,9 +237,9 @@ class Engine {
     if (flow.to_deliver.count == 0) {
       const SimTime ideal =
           transmission_time(flow.size, config_.host_link);
-      result_.fct.record_with_ideal(flow.cls, events_.now() - flow.arrival,
-                                    flow.size, ideal);
-      ++result_.flows_completed;
+      lifecycle_.record_completion_with_ideal(
+          flow.cls, flow.id, flow.src, flow.dst, flow.size,
+          events_.now() - flow.arrival, ideal, events_.now().seconds);
       flows_.erase(packet.flow);
     }
   }
@@ -249,7 +256,7 @@ class Engine {
   std::vector<std::multiset<Packet>> egress_queue_;  // per dst host
   std::vector<bool> egress_busy_;
   std::int64_t parked_bytes_ = 0;
-  FlowId next_flow_id_ = 0;
+  fabric::FlowLifecycle lifecycle_;
 };
 
 }  // namespace

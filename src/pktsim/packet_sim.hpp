@@ -31,6 +31,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "stats/fct.hpp"
 #include "stats/timeseries.hpp"
@@ -57,6 +58,10 @@ struct PacketSimConfig {
   double v = 400.0;  // fast-BASRPT weight (packets)
   SimTime horizon = seconds(0.1);
   SimTime sample_every = milliseconds(1.0);
+  /// Optional flow-lifecycle tracer (arrival / first-service /
+  /// completion; there are no preemptions in the per-packet model — a
+  /// lower-priority flow simply waits). Purely passive; null disables.
+  obs::FlowTracer* tracer = nullptr;
 };
 
 struct PacketSimResult {

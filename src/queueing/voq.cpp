@@ -17,6 +17,7 @@ VoqMatrix::VoqMatrix(PortId n_ports) : n_ports_(n_ports) {
   ingress_backlog_.assign(n, Bytes{0});
   egress_backlog_.assign(n, Bytes{0});
   position_.assign(n * n, kNoPosition);
+  dirty_stamp_.assign(n * n, 0);
 }
 
 std::size_t VoqMatrix::index(PortId i, PortId j) const {
@@ -45,6 +46,19 @@ void VoqMatrix::mark_empty(std::size_t idx) {
   position_[idx] = kNoPosition;
 }
 
+void VoqMatrix::mark_dirty(std::size_t idx) {
+  ++version_;
+  if (dirty_stamp_[idx] != dirty_epoch_) {
+    dirty_stamp_[idx] = dirty_epoch_;
+    dirty_.push_back(idx);
+  }
+}
+
+void VoqMatrix::clear_dirty() const {
+  dirty_.clear();
+  ++dirty_epoch_;
+}
+
 void VoqMatrix::add_flow(const Flow& flow) {
   BASRPT_ASSERT(flow.id != kInvalidFlow, "flow id must be valid");
   BASRPT_ASSERT(flow.remaining.count > 0, "flow must have bytes to send");
@@ -57,6 +71,7 @@ void VoqMatrix::add_flow(const Flow& flow) {
   bucket.by_arrival.emplace(flow.arrival.seconds, flow.id);
   bucket.backlog += flow.remaining;
   mark_non_empty(idx);
+  mark_dirty(idx);
 
   ingress_backlog_[static_cast<std::size_t>(flow.src)] += flow.remaining;
   egress_backlog_[static_cast<std::size_t>(flow.dst)] += flow.remaining;
@@ -95,6 +110,7 @@ bool VoqMatrix::drain(FlowId id, Bytes amount) {
 
   flow.remaining -= drained;
   bucket.backlog -= drained;
+  mark_dirty(idx);
   ingress_backlog_[static_cast<std::size_t>(flow.src)] -= drained;
   egress_backlog_[static_cast<std::size_t>(flow.dst)] -= drained;
   total_backlog_ -= drained;
@@ -124,6 +140,7 @@ void VoqMatrix::remove(FlowId id) {
   ingress_backlog_[static_cast<std::size_t>(flow.src)] -= flow.remaining;
   egress_backlog_[static_cast<std::size_t>(flow.dst)] -= flow.remaining;
   total_backlog_ -= flow.remaining;
+  mark_dirty(idx);
   unlink(flow);
   flows_.erase(it);
 }
@@ -154,8 +171,12 @@ Bytes VoqMatrix::egress_backlog(PortId j) const {
 
 void VoqMatrix::for_each_flow(
     const std::function<void(const Flow&)>& fn) const {
-  for (const auto& [id, flow] : flows_) {
-    fn(flow);
+  for (const std::size_t idx : non_empty_) {
+    for (const auto& [remaining, id] : voqs_[idx].by_remaining) {
+      const auto it = flows_.find(id);
+      BASRPT_ASSERT(it != flows_.end(), "indexed flow missing from table");
+      fn(it->second);
+    }
   }
 }
 

@@ -13,6 +13,7 @@
 // slow down quadratically as the backlog it is demonstrating grows.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <set>
 #include <unordered_map>
@@ -58,12 +59,51 @@ class VoqMatrix {
   std::size_t active_flows() const { return flows_.size(); }
   std::size_t non_empty_voqs() const { return non_empty_.size(); }
 
-  /// Iterates over every active flow (unspecified order).
+  /// Iterates over every active flow in deterministic order: non-empty
+  /// VOQs in their maintenance order, flows within a VOQ by remaining
+  /// size (ties by id). Reproducible across platforms and libstdc++
+  /// versions, unlike hash-map order — fair-sharing serving sets and
+  /// max-min tie-breaks depend on it.
   void for_each_flow(const std::function<void(const Flow&)>& fn) const;
 
   /// Iterates over non-empty VOQs (unspecified order).
   void for_each_non_empty_voq(
       const std::function<void(PortId i, PortId j)>& fn) const;
+
+  // ---- Flat VOQ indexing and mutation tracking --------------------------
+  //
+  // Incremental consumers (fabric::CandidateCache) mirror per-VOQ derived
+  // state and only want to recompute what changed. The matrix stamps every
+  // VOQ whose contents a mutation touched into a deduplicated dirty list
+  // and bumps a version counter; a consumer compares versions, recomputes
+  // the dirty VOQs, and calls clear_dirty(). The bookkeeping is O(1) per
+  // mutation and bounded by one entry per VOQ, so an unconsumed list never
+  // grows past N^2.
+
+  /// Flat index of VOQ (i, j); the inverse of voq_ingress/voq_egress.
+  std::size_t voq_index(PortId i, PortId j) const { return index(i, j); }
+  PortId voq_ingress(std::size_t idx) const {
+    return static_cast<PortId>(idx / static_cast<std::size_t>(n_ports_));
+  }
+  PortId voq_egress(std::size_t idx) const {
+    return static_cast<PortId>(idx % static_cast<std::size_t>(n_ports_));
+  }
+
+  /// Flat indices of the non-empty VOQs, in the order
+  /// for_each_non_empty_voq visits them.
+  const std::vector<std::size_t>& non_empty_indices() const {
+    return non_empty_;
+  }
+
+  /// Bumped on every content mutation (add_flow / drain / remove).
+  std::uint64_t version() const { return version_; }
+
+  /// Flat indices of VOQs mutated since the last clear_dirty(), deduped.
+  const std::vector<std::size_t>& dirty_voqs() const { return dirty_; }
+
+  /// Resets the dirty list. Const because it only touches observer-side
+  /// bookkeeping, never queue state; a single consumer owns the list.
+  void clear_dirty() const;
 
   /// Flow in VOQ (i, j) with the smallest remaining size (ties by id),
   /// or kInvalidFlow if empty. O(1).
@@ -88,6 +128,7 @@ class VoqMatrix {
   std::size_t index(PortId i, PortId j) const;
   void mark_non_empty(std::size_t idx);
   void mark_empty(std::size_t idx);
+  void mark_dirty(std::size_t idx);
   void unlink(const Flow& flow);
 
   PortId n_ports_;
@@ -101,6 +142,14 @@ class VoqMatrix {
   // position_[idx] locates idx inside non_empty_ for O(1) removal.
   std::vector<std::size_t> non_empty_;
   std::vector<std::size_t> position_;
+
+  // Mutation tracking (see above). dirty_stamp_[idx] == dirty_epoch_
+  // means idx is already in dirty_; clear_dirty() bumps the epoch so the
+  // reset is O(1). Mutable: observer-side only.
+  std::uint64_t version_ = 0;
+  mutable std::vector<std::size_t> dirty_;
+  mutable std::vector<std::uint64_t> dirty_stamp_;
+  mutable std::uint64_t dirty_epoch_ = 1;
 };
 
 }  // namespace basrpt::queueing

@@ -20,10 +20,12 @@ BvnScheduler::BvnScheduler(matching::RateMatrix rates, Rng rng)
   }
 }
 
-Decision BvnScheduler::decide(PortId n_ports,
-                              const std::vector<VoqCandidate>& candidates) {
+void BvnScheduler::decide_into(PortId n_ports,
+                               const std::vector<VoqCandidate>& candidates,
+                               Decision& out) {
+  out.selected.clear();
   if (candidates.empty()) {
-    return {};
+    return;
   }
   // Draw a permutation with probability proportional to its BvN weight.
   const double u = rng_.uniform01() * cumulative_.back();
@@ -35,14 +37,13 @@ Decision BvnScheduler::decide(PortId n_ports,
   BASRPT_ASSERT(perm.match_of_left.size() == static_cast<std::size_t>(n_ports),
                 "BvN permutation size does not match fabric");
 
-  // Serve the shortest flow of each matched, non-empty VOQ.
-  Decision decision;
+  // Serve the shortest flow of each matched, non-empty VOQ. Selection
+  // order follows the caller's candidate order.
   for (const VoqCandidate& c : candidates) {
     if (perm.match_of_left[static_cast<std::size_t>(c.ingress)] == c.egress) {
-      decision.selected.push_back(c.shortest_flow);
+      out.selected.push_back(c.shortest_flow);
     }
   }
-  return decision;
 }
 
 }  // namespace basrpt::sched

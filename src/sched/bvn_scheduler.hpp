@@ -22,8 +22,9 @@ class BvnScheduler final : public Scheduler {
   BvnScheduler(matching::RateMatrix rates, Rng rng);
 
   std::string name() const override { return "bvn-random"; }
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  CandidateNeeds needs() const override { return {.arrival_index = false}; }
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
 
   const std::vector<matching::BvnTerm>& terms() const { return terms_; }
 

@@ -19,10 +19,12 @@ std::string DistributedBasrptScheduler::name() const {
   return buf;
 }
 
-Decision DistributedBasrptScheduler::decide(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+void DistributedBasrptScheduler::decide_into(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates,
+    Decision& out) {
+  out.selected.clear();
   if (candidates.empty()) {
-    return {};
+    return;
   }
   const double weight = v_ / static_cast<double>(n_ports);
   const auto n = static_cast<std::size_t>(n_ports);
@@ -31,41 +33,43 @@ Decision DistributedBasrptScheduler::decide(
   // Local state per ingress port: its candidate VOQs (index into
   // `candidates`). Each ingress only ever inspects its own VOQs — the
   // information a real distributed endpoint has.
-  std::vector<std::vector<std::size_t>> per_ingress(n);
-  std::vector<double> key(candidates.size());
+  per_ingress_.resize(n);
+  for (auto& list : per_ingress_) {
+    list.clear();
+  }
+  key_.resize(candidates.size());
   for (std::size_t c = 0; c < candidates.size(); ++c) {
-    key[c] = weight * candidates[c].shortest_remaining -
-             candidates[c].backlog;
-    per_ingress[static_cast<std::size_t>(candidates[c].ingress)].push_back(c);
+    key_[c] = weight * candidates[c].shortest_remaining -
+              candidates[c].backlog;
+    per_ingress_[static_cast<std::size_t>(candidates[c].ingress)].push_back(c);
   }
 
-  std::vector<bool> ingress_matched(n, false);
-  std::vector<bool> egress_matched(n, false);
-  Decision decision;
+  ingress_matched_.assign(n, 0);
+  egress_matched_.assign(n, 0);
 
   for (int round = 0; round < rounds_; ++round) {
     // Request phase: every unmatched ingress picks its best VOQ whose
     // egress is still free and posts a request.
     constexpr std::size_t kNoRequest = static_cast<std::size_t>(-1);
-    std::vector<std::size_t> request_of(n, kNoRequest);  // per egress: cand
+    request_of_.assign(n, kNoRequest);  // per egress: cand
     bool any_request = false;
     for (std::size_t i = 0; i < n; ++i) {
-      if (ingress_matched[i]) {
+      if (ingress_matched_[i]) {
         continue;
       }
       std::size_t best = kNoRequest;
       double best_key = kInf;
-      for (const std::size_t c : per_ingress[i]) {
+      for (const std::size_t c : per_ingress_[i]) {
         const auto egress = static_cast<std::size_t>(candidates[c].egress);
-        if (egress_matched[egress]) {
+        if (egress_matched_[egress]) {
           continue;
         }
         // Deterministic tiebreak on flow id keeps runs reproducible.
-        if (key[c] < best_key ||
-            (key[c] == best_key && best != kNoRequest &&
+        if (key_[c] < best_key ||
+            (key_[c] == best_key && best != kNoRequest &&
              candidates[c].shortest_flow < candidates[best].shortest_flow)) {
           best = c;
-          best_key = key[c];
+          best_key = key_[c];
         }
       }
       if (best == kNoRequest) {
@@ -74,12 +78,12 @@ Decision DistributedBasrptScheduler::decide(
       any_request = true;
       // Grant phase folded in: the egress keeps the lowest-key request.
       const auto egress = static_cast<std::size_t>(candidates[best].egress);
-      const std::size_t incumbent = request_of[egress];
-      if (incumbent == kNoRequest || key[best] < key[incumbent] ||
-          (key[best] == key[incumbent] &&
+      const std::size_t incumbent = request_of_[egress];
+      if (incumbent == kNoRequest || key_[best] < key_[incumbent] ||
+          (key_[best] == key_[incumbent] &&
            candidates[best].shortest_flow <
                candidates[incumbent].shortest_flow)) {
-        request_of[egress] = best;
+        request_of_[egress] = best;
       }
     }
     if (!any_request) {
@@ -88,19 +92,18 @@ Decision DistributedBasrptScheduler::decide(
     // Commit grants; each ingress requested at most one egress, so
     // grants never conflict on the ingress side.
     for (std::size_t e = 0; e < n; ++e) {
-      const std::size_t c = request_of[e];
+      const std::size_t c = request_of_[e];
       if (c == static_cast<std::size_t>(-1)) {
         continue;
       }
       const auto ingress = static_cast<std::size_t>(candidates[c].ingress);
-      BASRPT_ASSERT(!ingress_matched[ingress] && !egress_matched[e],
+      BASRPT_ASSERT(!ingress_matched_[ingress] && !egress_matched_[e],
                     "request/grant produced a conflicting match");
-      ingress_matched[ingress] = true;
-      egress_matched[e] = true;
-      decision.selected.push_back(candidates[c].shortest_flow);
+      ingress_matched_[ingress] = 1;
+      egress_matched_[e] = 1;
+      out.selected.push_back(candidates[c].shortest_flow);
     }
   }
-  return decision;
 }
 
 }  // namespace basrpt::sched

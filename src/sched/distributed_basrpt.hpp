@@ -26,8 +26,9 @@ class DistributedBasrptScheduler final : public Scheduler {
   DistributedBasrptScheduler(double v, int rounds);
 
   std::string name() const override;
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  CandidateNeeds needs() const override { return {.arrival_index = false}; }
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
 
   double v() const { return v_; }
   int rounds() const { return rounds_; }
@@ -35,6 +36,11 @@ class DistributedBasrptScheduler final : public Scheduler {
  private:
   double v_;
   int rounds_;
+  std::vector<std::vector<std::size_t>> per_ingress_;
+  std::vector<double> key_;
+  std::vector<char> ingress_matched_;
+  std::vector<char> egress_matched_;
+  std::vector<std::size_t> request_of_;
 };
 
 }  // namespace basrpt::sched

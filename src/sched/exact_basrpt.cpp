@@ -4,7 +4,6 @@
 #include <limits>
 
 #include "common/assert.hpp"
-#include "matching/enumerate.hpp"
 
 namespace basrpt::sched {
 
@@ -34,44 +33,49 @@ double ExactBasrptScheduler::objective(
   return v * size_sum / static_cast<double>(selected.size()) - backlog_sum;
 }
 
-Decision ExactBasrptScheduler::decide(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+void ExactBasrptScheduler::decide_into(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates,
+    Decision& out) {
   BASRPT_REQUIRE(n_ports <= max_ports_,
                  "exact BASRPT refuses fabrics larger than max_ports; "
                  "use FastBasrptScheduler");
+  out.selected.clear();
   if (candidates.empty()) {
-    return {};
+    return;
   }
 
   // Within a matched VOQ the objective is minimized by its shortest flow
   // (the backlog term is fixed by the VOQ choice), so candidates carry
   // everything needed: enumerate maximal matchings over the VOQ support.
-  std::vector<matching::Edge> edges;
-  edges.reserve(candidates.size());
+  // Candidates arrive in the caller's deterministic VOQ order, and the
+  // enumeration ties break by edge order, so the caller's order is part
+  // of this scheduler's observable behavior.
+  edges_.clear();
+  edges_.reserve(candidates.size());
   for (const VoqCandidate& c : candidates) {
-    edges.push_back({c.ingress, c.egress});
+    edges_.push_back({c.ingress, c.egress});
   }
 
   // Candidate lookup by (ingress, egress).
-  std::vector<const VoqCandidate*> by_pair(
+  by_pair_.assign(
       static_cast<std::size_t>(n_ports) * static_cast<std::size_t>(n_ports),
       nullptr);
   for (const VoqCandidate& c : candidates) {
-    by_pair[static_cast<std::size_t>(c.ingress) *
-                static_cast<std::size_t>(n_ports) +
-            static_cast<std::size_t>(c.egress)] = &c;
+    by_pair_[static_cast<std::size_t>(c.ingress) *
+                 static_cast<std::size_t>(n_ports) +
+             static_cast<std::size_t>(c.egress)] = &c;
   }
 
   double best_objective = std::numeric_limits<double>::infinity();
-  std::vector<FlowId> best_selection;
+  best_selection_.clear();
 
   matching::for_each_maximal_matching(
-      edges, n_ports, n_ports,
+      edges_, n_ports, n_ports,
       [&](const matching::Matching& m) {
         double size_sum = 0.0;
         double backlog_sum = 0.0;
         std::size_t count = 0;
-        std::vector<FlowId> selection;
+        selection_.clear();
         for (PortId i = 0; i < n_ports; ++i) {
           const matching::PortId j =
               m.match_of_left[static_cast<std::size_t>(i)];
@@ -79,13 +83,13 @@ Decision ExactBasrptScheduler::decide(
             continue;
           }
           const VoqCandidate* c =
-              by_pair[static_cast<std::size_t>(i) *
-                          static_cast<std::size_t>(n_ports) +
-                      static_cast<std::size_t>(j)];
+              by_pair_[static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(n_ports) +
+                       static_cast<std::size_t>(j)];
           BASRPT_ASSERT(c != nullptr, "matching used a non-candidate edge");
           size_sum += c->shortest_remaining;
           backlog_sum += c->backlog;
-          selection.push_back(c->shortest_flow);
+          selection_.push_back(c->shortest_flow);
           ++count;
         }
         if (count == 0) {
@@ -95,12 +99,12 @@ Decision ExactBasrptScheduler::decide(
             v_ * size_sum / static_cast<double>(count) - backlog_sum;
         if (objective < best_objective) {
           best_objective = objective;
-          best_selection = std::move(selection);
+          best_selection_ = selection_;
         }
       },
       max_ports_);
 
-  return Decision{std::move(best_selection)};
+  out.selected = best_selection_;
 }
 
 }  // namespace basrpt::sched

@@ -8,6 +8,7 @@
 // computational gap in bench_sched_micro.
 #pragma once
 
+#include "matching/enumerate.hpp"
 #include "sched/scheduler.hpp"
 
 namespace basrpt::sched {
@@ -18,8 +19,9 @@ class ExactBasrptScheduler final : public Scheduler {
   explicit ExactBasrptScheduler(double v, PortId max_ports = 10);
 
   std::string name() const override;
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  CandidateNeeds needs() const override { return {.arrival_index = false}; }
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
 
   double v() const { return v_; }
 
@@ -31,6 +33,10 @@ class ExactBasrptScheduler final : public Scheduler {
  private:
   double v_;
   PortId max_ports_;
+  std::vector<matching::Edge> edges_;
+  std::vector<const VoqCandidate*> by_pair_;
+  std::vector<FlowId> selection_;
+  std::vector<FlowId> best_selection_;
 };
 
 }  // namespace basrpt::sched

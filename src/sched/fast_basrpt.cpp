@@ -3,7 +3,6 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
-#include "matching/greedy.hpp"
 
 namespace basrpt::sched {
 
@@ -17,19 +16,19 @@ std::string FastBasrptScheduler::name() const {
   return buf;
 }
 
-Decision FastBasrptScheduler::decide(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+void FastBasrptScheduler::decide_into(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates,
+    Decision& out) {
   const double weight = v_ / static_cast<double>(n_ports);
-  std::vector<matching::ScoredCandidate> scored;
-  scored.reserve(candidates.size());
+  scored_.clear();
+  scored_.reserve(candidates.size());
   for (const VoqCandidate& c : candidates) {
     // The per-VOQ SRPT representative also minimizes this key within its
     // VOQ (the backlog term is common to all the VOQ's flows).
     const double key = weight * c.shortest_remaining - c.backlog;
-    scored.push_back({c.ingress, c.egress, key, c.shortest_flow});
+    scored_.push_back({c.ingress, c.egress, key, c.shortest_flow});
   }
-  auto greedy = matching::greedy_maximal(std::move(scored), n_ports, n_ports);
-  return Decision{std::move(greedy.selected_payloads)};
+  matcher_.match_into(scored_, n_ports, n_ports, out.selected);
 }
 
 }  // namespace basrpt::sched

@@ -9,6 +9,7 @@
 // degenerates to SRPT, V = 0 degenerates to longest-queue-first.
 #pragma once
 
+#include "matching/greedy.hpp"
 #include "sched/scheduler.hpp"
 
 namespace basrpt::sched {
@@ -19,13 +20,16 @@ class FastBasrptScheduler final : public Scheduler {
   explicit FastBasrptScheduler(double v);
 
   std::string name() const override;
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  CandidateNeeds needs() const override { return {.arrival_index = false}; }
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
 
   double v() const { return v_; }
 
  private:
   double v_;
+  std::vector<matching::ScoredCandidate> scored_;
+  matching::GreedyMatcher matcher_;
 };
 
 }  // namespace basrpt::sched

@@ -1,18 +1,16 @@
 #include "sched/fifo.hpp"
 
-#include "matching/greedy.hpp"
-
 namespace basrpt::sched {
 
-Decision FifoScheduler::decide(PortId n_ports,
-                               const std::vector<VoqCandidate>& candidates) {
-  std::vector<matching::ScoredCandidate> scored;
-  scored.reserve(candidates.size());
+void FifoScheduler::decide_into(PortId n_ports,
+                                const std::vector<VoqCandidate>& candidates,
+                                Decision& out) {
+  scored_.clear();
+  scored_.reserve(candidates.size());
   for (const VoqCandidate& c : candidates) {
-    scored.push_back({c.ingress, c.egress, c.oldest_arrival, c.oldest_flow});
+    scored_.push_back({c.ingress, c.egress, c.oldest_arrival, c.oldest_flow});
   }
-  auto greedy = matching::greedy_maximal(std::move(scored), n_ports, n_ports);
-  return Decision{std::move(greedy.selected_payloads)};
+  matcher_.match_into(scored_, n_ports, n_ports, out.selected);
 }
 
 }  // namespace basrpt::sched

@@ -6,6 +6,7 @@
 // check that SRPT's delay advantage reproduces.
 #pragma once
 
+#include "matching/greedy.hpp"
 #include "sched/scheduler.hpp"
 
 namespace basrpt::sched {
@@ -13,8 +14,14 @@ namespace basrpt::sched {
 class FifoScheduler final : public Scheduler {
  public:
   std::string name() const override { return "fifo"; }
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  // The only built-in scheduler that reads the per-VOQ FIFO head.
+  CandidateNeeds needs() const override { return {.arrival_index = true}; }
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
+
+ private:
+  std::vector<matching::ScoredCandidate> scored_;
+  matching::GreedyMatcher matcher_;
 };
 
 }  // namespace basrpt::sched

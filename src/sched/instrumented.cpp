@@ -1,7 +1,6 @@
 #include "sched/instrumented.hpp"
 
 #include <algorithm>
-#include <utility>
 
 #include "common/assert.hpp"
 
@@ -22,34 +21,34 @@ InstrumentedScheduler::InstrumentedScheduler(SchedulerPtr inner,
   matching_hist_ = &reg.histogram(prefix + ".matching_size");
 }
 
-Decision InstrumentedScheduler::decide(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+void InstrumentedScheduler::decide_into(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates,
+    Decision& out) {
   obs::ScopedTimer timer(*decision_ns_, /*always=*/true);
-  Decision decision = inner_->decide(n_ports, candidates);
+  inner_->decide_into(n_ports, candidates, out);
   timer.stop();
 
   ++decisions_;
   decisions_counter_->add(1);
   last_candidates_ = candidates.size();
   candidates_hist_->add(candidates.size());
-  last_matching_size_ = decision.selected.size();
-  matching_hist_->add(decision.selected.size());
+  last_matching_size_ = out.selected.size();
+  matching_hist_->add(out.selected.size());
 
   // Preemptions: previously-selected flows missing from this decision.
-  std::vector<FlowId> selected = decision.selected;
-  std::sort(selected.begin(), selected.end());
+  sorted_scratch_ = out.selected;
+  std::sort(sorted_scratch_.begin(), sorted_scratch_.end());
   std::uint64_t preempted = 0;
   for (const FlowId id : prev_selected_) {
-    if (!std::binary_search(selected.begin(), selected.end(), id)) {
+    if (!std::binary_search(sorted_scratch_.begin(), sorted_scratch_.end(),
+                            id)) {
       ++preempted;
     }
   }
   last_preemptions_ = preempted;
   preemptions_ += preempted;
   preemptions_counter_->add(static_cast<std::int64_t>(preempted));
-  prev_selected_ = std::move(selected);
-
-  return decision;
+  prev_selected_.swap(sorted_scratch_);
 }
 
 }  // namespace basrpt::sched

@@ -1,6 +1,6 @@
 // Passive observability decorator for any Scheduler.
 //
-// Wraps a scheduler and records, per decide() call: wall-clock decision
+// Wraps a scheduler and records, per decision: wall-clock decision
 // latency (the Sec. IV-C cost the paper worries about), candidate count,
 // matching size, and preemption count — the number of flows selected by
 // the previous decision but absent from this one (a flow that completed
@@ -9,7 +9,8 @@
 //
 // The decorator never alters the wrapped decision, candidate order, or
 // any RNG, so instrumented runs are bit-identical to bare ones. name()
-// forwards to the wrapped scheduler so result tables are unchanged.
+// and needs() forward to the wrapped scheduler so result tables and
+// candidate building are unchanged.
 // Wrapping is itself the opt-in: metrics are recorded on every call,
 // independent of obs::enabled().
 #pragma once
@@ -33,9 +34,10 @@ class InstrumentedScheduler : public Scheduler {
                                  const std::string& prefix = "sched");
 
   std::string name() const override { return inner_->name(); }
+  CandidateNeeds needs() const override { return inner_->needs(); }
 
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
 
   // Local tallies mirroring the registry, for tests and direct queries.
   std::uint64_t decisions() const { return decisions_; }
@@ -55,6 +57,7 @@ class InstrumentedScheduler : public Scheduler {
   obs::LatencyHistogram* matching_hist_;
 
   std::vector<FlowId> prev_selected_;  // sorted
+  std::vector<FlowId> sorted_scratch_;
   std::uint64_t decisions_ = 0;
   std::uint64_t preemptions_ = 0;
   std::uint64_t last_candidates_ = 0;

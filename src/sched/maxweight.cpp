@@ -4,38 +4,41 @@
 
 namespace basrpt::sched {
 
-Decision MaxWeightScheduler::decide(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+void MaxWeightScheduler::decide_into(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates,
+    Decision& out) {
+  out.selected.clear();
   if (candidates.empty()) {
-    return {};
+    return;
   }
   const auto n = static_cast<std::size_t>(n_ports);
-  std::vector<std::vector<double>> weights(n, std::vector<double>(n, 0.0));
-  std::vector<std::vector<FlowId>> flow_at(
-      n, std::vector<FlowId>(n, queueing::kInvalidFlow));
+  weights_.resize(n);
+  flow_at_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights_[i].assign(n, 0.0);
+    flow_at_[i].assign(n, queueing::kInvalidFlow);
+  }
   for (const VoqCandidate& c : candidates) {
-    weights[static_cast<std::size_t>(c.ingress)]
-           [static_cast<std::size_t>(c.egress)] = c.backlog;
+    weights_[static_cast<std::size_t>(c.ingress)]
+            [static_cast<std::size_t>(c.egress)] = c.backlog;
     // Serve the SRPT representative of the matched VOQ: MaxWeight fixes
     // the port pairs; within a VOQ any flow drains X_ij equally, so the
     // shortest-first choice strictly helps FCT at no stability cost.
-    flow_at[static_cast<std::size_t>(c.ingress)]
-           [static_cast<std::size_t>(c.egress)] = c.shortest_flow;
+    flow_at_[static_cast<std::size_t>(c.ingress)]
+            [static_cast<std::size_t>(c.egress)] = c.shortest_flow;
   }
 
-  const matching::Matching m = matching::max_weight_perfect(weights);
-  Decision decision;
+  const matching::Matching m = matching::max_weight_perfect(weights_);
   for (std::size_t i = 0; i < n; ++i) {
     const matching::PortId j = m.match_of_left[i];
     if (j == matching::kUnmatched) {
       continue;
     }
-    const FlowId flow = flow_at[i][static_cast<std::size_t>(j)];
+    const FlowId flow = flow_at_[i][static_cast<std::size_t>(j)];
     if (flow != queueing::kInvalidFlow) {
-      decision.selected.push_back(flow);
+      out.selected.push_back(flow);
     }
   }
-  return decision;
 }
 
 }  // namespace basrpt::sched

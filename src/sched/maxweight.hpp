@@ -14,8 +14,13 @@ namespace basrpt::sched {
 class MaxWeightScheduler final : public Scheduler {
  public:
   std::string name() const override { return "maxweight"; }
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  CandidateNeeds needs() const override { return {.arrival_index = false}; }
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
+
+ private:
+  std::vector<std::vector<double>> weights_;
+  std::vector<std::vector<FlowId>> flow_at_;
 };
 
 }  // namespace basrpt::sched

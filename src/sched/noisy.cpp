@@ -31,16 +31,18 @@ double NoisySizeScheduler::factor_for(FlowId flow) const {
   return std::exp((2.0 * u - 1.0) * log_error);
 }
 
-Decision NoisySizeScheduler::decide(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+void NoisySizeScheduler::decide_into(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates,
+    Decision& out) {
   if (error_ <= 1.0 + 1e-12) {
-    return inner_->decide(n_ports, candidates);
+    inner_->decide_into(n_ports, candidates, out);
+    return;
   }
-  std::vector<VoqCandidate> noisy = candidates;
-  for (VoqCandidate& c : noisy) {
+  noisy_ = candidates;  // copy-assign reuses capacity in steady state
+  for (VoqCandidate& c : noisy_) {
     c.shortest_remaining *= factor_for(c.shortest_flow);
   }
-  return inner_->decide(n_ports, noisy);
+  inner_->decide_into(n_ports, noisy_, out);
 }
 
 }  // namespace basrpt::sched

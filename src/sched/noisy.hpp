@@ -23,8 +23,9 @@ class NoisySizeScheduler final : public Scheduler {
   NoisySizeScheduler(SchedulerPtr inner, double error, std::uint64_t seed);
 
   std::string name() const override;
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  CandidateNeeds needs() const override { return inner_->needs(); }
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
 
   double error() const { return error_; }
 
@@ -34,6 +35,7 @@ class NoisySizeScheduler final : public Scheduler {
   SchedulerPtr inner_;
   double error_;
   std::uint64_t seed_;
+  std::vector<VoqCandidate> noisy_;
 };
 
 }  // namespace basrpt::sched

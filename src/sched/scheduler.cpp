@@ -6,32 +6,43 @@
 
 namespace basrpt::sched {
 
+void fill_candidate(const queueing::VoqMatrix& voqs, PortId i, PortId j,
+                    double unit_bytes, CandidateNeeds needs,
+                    VoqCandidate& out) {
+  out.ingress = i;
+  out.egress = j;
+  out.backlog = static_cast<double>(voqs.backlog(i, j).count) / unit_bytes;
+  out.flow_count = voqs.flow_count(i, j);
+
+  const FlowId shortest = voqs.shortest_in_voq(i, j);
+  BASRPT_ASSERT(shortest != queueing::kInvalidFlow,
+                "non-empty VOQ without flows");
+  const queueing::Flow& sf = voqs.flow(shortest);
+  out.shortest_flow = shortest;
+  out.shortest_remaining =
+      static_cast<double>(sf.remaining.count) / unit_bytes;
+  out.shortest_arrival = sf.arrival.seconds;
+
+  if (needs.arrival_index) {
+    const FlowId oldest = voqs.oldest_in_voq(i, j);
+    const queueing::Flow& of = voqs.flow(oldest);
+    out.oldest_flow = oldest;
+    out.oldest_arrival = of.arrival.seconds;
+  } else {
+    out.oldest_flow = queueing::kInvalidFlow;
+    out.oldest_arrival = 0.0;
+  }
+}
+
 std::vector<VoqCandidate> build_candidates(const queueing::VoqMatrix& voqs,
-                                           double unit_bytes) {
+                                           double unit_bytes,
+                                           CandidateNeeds needs) {
   BASRPT_ASSERT(unit_bytes > 0.0, "unit must be positive");
   std::vector<VoqCandidate> candidates;
   candidates.reserve(voqs.non_empty_voqs());
   voqs.for_each_non_empty_voq([&](PortId i, PortId j) {
     VoqCandidate c;
-    c.ingress = i;
-    c.egress = j;
-    c.backlog = static_cast<double>(voqs.backlog(i, j).count) / unit_bytes;
-    c.flow_count = voqs.flow_count(i, j);
-
-    const FlowId shortest = voqs.shortest_in_voq(i, j);
-    BASRPT_ASSERT(shortest != queueing::kInvalidFlow,
-                  "non-empty VOQ without flows");
-    const queueing::Flow& sf = voqs.flow(shortest);
-    c.shortest_flow = shortest;
-    c.shortest_remaining =
-        static_cast<double>(sf.remaining.count) / unit_bytes;
-    c.shortest_arrival = sf.arrival.seconds;
-
-    const FlowId oldest = voqs.oldest_in_voq(i, j);
-    const queueing::Flow& of = voqs.flow(oldest);
-    c.oldest_flow = oldest;
-    c.oldest_arrival = of.arrival.seconds;
-
+    fill_candidate(voqs, i, j, unit_bytes, needs, c);
     candidates.push_back(c);
   });
   return candidates;

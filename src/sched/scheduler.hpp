@@ -12,6 +12,14 @@
 // O(#non-empty VOQs) instead of O(#active flows) — the difference between
 // a tractable and an intractable unstable-SRPT run, where the number of
 // parked flows grows without bound.
+//
+// The decision path is the simulators' hot loop (the paper reschedules
+// on *every* arrival and completion), so the interface is built to run
+// allocation-free in steady state: decide_into() writes into a
+// caller-owned Decision whose capacity persists across invocations, and
+// implementations keep their sort/matching scratch as members. The
+// candidate list itself is typically served by fabric::CandidateCache,
+// which maintains it incrementally instead of rebuilding per decision.
 #pragma once
 
 #include <memory>
@@ -41,6 +49,15 @@ struct VoqCandidate {
   double oldest_arrival = 0.0;      // seconds
 };
 
+/// Which optional candidate fields a scheduler reads. Candidate builders
+/// (build_candidates, fabric::CandidateCache) skip the fields nobody
+/// asked for — maintaining the FIFO head costs an ordered-index probe and
+/// a flow-table lookup per VOQ, and only FIFO reads it today.
+struct CandidateNeeds {
+  /// oldest_flow / oldest_arrival (the per-VOQ FIFO representative).
+  bool arrival_index = true;
+};
+
 /// A scheduling decision: flows to serve this slot / until the next
 /// arrival-or-completion event. Guaranteed by implementations to respect
 /// the crossbar constraint.
@@ -54,18 +71,46 @@ class Scheduler {
 
   virtual std::string name() const = 0;
 
-  /// Computes a decision. Candidates hold at most one entry per (i, j).
-  virtual Decision decide(PortId n_ports,
-                          const std::vector<VoqCandidate>& candidates) = 0;
+  /// Candidate fields this scheduler's decisions depend on. The default
+  /// is conservative (everything); schedulers that ignore the arrival
+  /// index override this so candidate builders can skip it. Decorators
+  /// must forward to the wrapped scheduler.
+  virtual CandidateNeeds needs() const { return {}; }
+
+  /// Computes a decision into `out`, clearing `out.selected` first and
+  /// reusing its capacity. Candidates hold at most one entry per (i, j).
+  virtual void decide_into(PortId n_ports,
+                           const std::vector<VoqCandidate>& candidates,
+                           Decision& out) = 0;
+
+  /// Convenience wrapper allocating a fresh Decision (tests, one-off
+  /// callers). Hot paths keep a Decision buffer and call decide_into.
+  Decision decide(PortId n_ports,
+                  const std::vector<VoqCandidate>& candidates) {
+    Decision out;
+    decide_into(n_ports, candidates, out);
+    return out;
+  }
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;
 
-/// Builds the per-VOQ candidate list from a VoqMatrix. `unit_bytes`
-/// converts bytes to packets (use 1.0 when the matrix already stores
-/// packets, as in the slotted model).
+/// Builds the per-VOQ candidate list from a VoqMatrix, from scratch.
+/// `unit_bytes` converts bytes to packets (use 1.0 when the matrix
+/// already stores packets, as in the slotted model). `needs` limits
+/// which optional fields are filled. The simulators use
+/// fabric::CandidateCache instead, which maintains the same list
+/// incrementally; this remains the reference implementation and the
+/// cache's differential-test oracle.
 std::vector<VoqCandidate> build_candidates(const queueing::VoqMatrix& voqs,
-                                           double unit_bytes);
+                                           double unit_bytes,
+                                           CandidateNeeds needs = {});
+
+/// Fills one candidate entry for non-empty VOQ (i, j) — the single-VOQ
+/// kernel shared by build_candidates and fabric::CandidateCache.
+void fill_candidate(const queueing::VoqMatrix& voqs, PortId i, PortId j,
+                    double unit_bytes, CandidateNeeds needs,
+                    VoqCandidate& out);
 
 /// Checks the crossbar constraint of a decision against the candidate
 /// set; used by tests and (cheaply) asserted by the simulators.

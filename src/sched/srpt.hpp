@@ -8,6 +8,7 @@
 // the paper demonstrates.
 #pragma once
 
+#include "matching/greedy.hpp"
 #include "sched/scheduler.hpp"
 
 namespace basrpt::sched {
@@ -15,8 +16,13 @@ namespace basrpt::sched {
 class SrptScheduler final : public Scheduler {
  public:
   std::string name() const override { return "srpt"; }
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  CandidateNeeds needs() const override { return {.arrival_index = false}; }
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
+
+ private:
+  std::vector<matching::ScoredCandidate> scored_;
+  matching::GreedyMatcher matcher_;
 };
 
 }  // namespace basrpt::sched

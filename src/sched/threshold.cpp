@@ -3,7 +3,6 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
-#include "matching/greedy.hpp"
 
 namespace basrpt::sched {
 
@@ -18,23 +17,23 @@ std::string ThresholdSrptScheduler::name() const {
   return buf;
 }
 
-Decision ThresholdSrptScheduler::decide(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates) {
+void ThresholdSrptScheduler::decide_into(
+    PortId n_ports, const std::vector<VoqCandidate>& candidates,
+    Decision& out) {
   // Two-class scoring: promoted VOQs sort strictly before everything
   // else, each class internally ordered by remaining size. The class
   // offset must dominate any remaining size; sizes are bounded by 50 MB
   // (~3.4e4 packets), so 1e12 packets is a safe separator.
   constexpr double kClassOffset = 1e12;
-  std::vector<matching::ScoredCandidate> scored;
-  scored.reserve(candidates.size());
+  scored_.clear();
+  scored_.reserve(candidates.size());
   for (const VoqCandidate& c : candidates) {
     const bool promoted = c.backlog > threshold_;
     const double key =
         c.shortest_remaining + (promoted ? 0.0 : kClassOffset);
-    scored.push_back({c.ingress, c.egress, key, c.shortest_flow});
+    scored_.push_back({c.ingress, c.egress, key, c.shortest_flow});
   }
-  auto greedy = matching::greedy_maximal(std::move(scored), n_ports, n_ports);
-  return Decision{std::move(greedy.selected_payloads)};
+  matcher_.match_into(scored_, n_ports, n_ports, out.selected);
 }
 
 }  // namespace basrpt::sched

@@ -7,6 +7,7 @@
 // everything else is plain SRPT below them.
 #pragma once
 
+#include "matching/greedy.hpp"
 #include "sched/scheduler.hpp"
 
 namespace basrpt::sched {
@@ -18,13 +19,16 @@ class ThresholdSrptScheduler final : public Scheduler {
   explicit ThresholdSrptScheduler(double threshold_packets);
 
   std::string name() const override;
-  Decision decide(PortId n_ports,
-                  const std::vector<VoqCandidate>& candidates) override;
+  CandidateNeeds needs() const override { return {.arrival_index = false}; }
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) override;
 
   double threshold() const { return threshold_; }
 
  private:
   double threshold_;
+  std::vector<matching::ScoredCandidate> scored_;
+  matching::GreedyMatcher matcher_;
 };
 
 }  // namespace basrpt::sched

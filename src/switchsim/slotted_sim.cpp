@@ -1,13 +1,13 @@
 #include "switchsim/slotted_sim.hpp"
 
-#include <algorithm>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "fabric/candidate_cache.hpp"
+#include "fabric/flow_lifecycle.hpp"
 #include "obs/heartbeat.hpp"
 
 namespace basrpt::switchsim {
@@ -28,8 +28,9 @@ SlottedResult run_slotted(const SlottedConfig& config,
   SlottedResult result(config.watched_src, config.watched_dst);
   result.horizon = config.horizon;
 
-  std::unordered_map<queueing::FlowId, Slot> arrival_slot;
-  queueing::FlowId next_id = 0;
+  fabric::FlowLifecycle lifecycle(&voqs, result.fct, config.tracer);
+  fabric::CandidateCache cache(voqs, /*unit_bytes=*/1.0, scheduler.needs());
+  sched::Decision decision;
 
   std::optional<SlottedArrival> pending = arrivals();
   Slot last_slot_seen = pending ? pending->slot : 0;
@@ -38,12 +39,7 @@ SlottedResult run_slotted(const SlottedConfig& config,
   if (config.heartbeat_wall_sec > 0.0) {
     heartbeat.configure(config.heartbeat_wall_sec);
   }
-  if (config.tracer != nullptr) {
-    config.tracer->begin_run();
-  }
-  // Previous slot's selected flows, tracked only when tracing (for
-  // preemption detection); instrumentation never alters the decisions.
-  std::vector<queueing::FlowId> prev_selected;
+  lifecycle.begin_run();
 
   for (Slot t = 0; t < config.horizon; ++t) {
     heartbeat.tick(static_cast<double>(t), static_cast<std::uint64_t>(t));
@@ -53,21 +49,10 @@ SlottedResult run_slotted(const SlottedConfig& config,
                     "arrival stream went backwards in time");
       last_slot_seen = pending->slot;
       BASRPT_ASSERT(pending->size > 0, "flow must carry packets");
-      queueing::Flow flow;
-      flow.id = next_id++;
-      flow.src = pending->src;
-      flow.dst = pending->dst;
-      flow.size = Bytes{pending->size};  // 1 byte == 1 packet here
-      flow.remaining = flow.size;
-      flow.arrival = SimTime{static_cast<double>(pending->slot)};
-      flow.cls = pending->cls;
-      voqs.add_flow(flow);
-      arrival_slot.emplace(flow.id, pending->slot);
-      if (config.tracer != nullptr) {
-        config.tracer->on_arrival(flow.id, flow.src, flow.dst,
-                                  static_cast<double>(pending->slot),
-                                  static_cast<double>(pending->size));
-      }
+      lifecycle.admit({pending->src, pending->dst,
+                       Bytes{pending->size},  // 1 byte == 1 packet here
+                       SimTime{static_cast<double>(pending->slot)},
+                       pending->cls});
       pending = arrivals();
     }
 
@@ -75,36 +60,16 @@ SlottedResult run_slotted(const SlottedConfig& config,
         static_cast<double>(voqs.total_backlog().count));
 
     // Decide and serve one packet per selected flow.
-    const auto candidates = sched::build_candidates(voqs, 1.0);
-    std::vector<queueing::FlowId> selected;
+    const auto& candidates = cache.refresh();
+    decision.selected.clear();
     if (!candidates.empty()) {
       ++result.scheduler_invocations;
-      auto decision = scheduler.decide(config.n_ports, candidates);
+      scheduler.decide_into(config.n_ports, candidates, decision);
       BASRPT_ASSERT(sched::decision_is_matching(decision, voqs),
                     "scheduler violated the crossbar constraint");
-      selected = std::move(decision.selected);
     }
-    if (config.tracer != nullptr) {
-      // Preempted: served last slot, still backlogged, not served now.
-      const double now = static_cast<double>(t);
-      for (const queueing::FlowId id : prev_selected) {
-        if (!voqs.contains(id) ||
-            std::find(selected.begin(), selected.end(), id) !=
-                selected.end()) {
-          continue;
-        }
-        const queueing::Flow& f = voqs.flow(id);
-        config.tracer->on_preemption(f.id, f.src, f.dst, now,
-                                     static_cast<double>(f.size.count),
-                                     static_cast<double>(f.remaining.count));
-      }
-      for (const queueing::FlowId id : selected) {
-        const queueing::Flow& f = voqs.flow(id);
-        config.tracer->on_service(f.id, f.src, f.dst, now,
-                                  static_cast<double>(f.size.count),
-                                  static_cast<double>(f.remaining.count));
-      }
-    }
+    const std::vector<queueing::FlowId>& selected = decision.selected;
+    lifecycle.apply_decision(selected, static_cast<double>(t));
     if (!selected.empty()) {
       double selected_size = 0.0;
       for (const queueing::FlowId id : selected) {
@@ -119,23 +84,15 @@ SlottedResult run_slotted(const SlottedConfig& config,
       const bool completed = voqs.drain(id, Bytes{1});
       ++result.delivered_packets;
       if (completed) {
-        const auto it = arrival_slot.find(id);
-        BASRPT_ASSERT(it != arrival_slot.end(), "unknown completed flow");
-        const Slot fct_slots = t - it->second + 1;
-        result.fct.record(flow_copy.cls,
-                          SimTime{static_cast<double>(fct_slots)},
-                          flow_copy.size);
-        arrival_slot.erase(it);
-        if (config.tracer != nullptr) {
-          config.tracer->on_completion(
-              flow_copy.id, flow_copy.src, flow_copy.dst,
-              static_cast<double>(t),
-              static_cast<double>(flow_copy.size.count));
-        }
+        // Flow::arrival stores the arrival slot.
+        const Slot fct_slots =
+            t - static_cast<Slot>(flow_copy.arrival.seconds) + 1;
+        lifecycle.record_completion(flow_copy.cls, flow_copy.id,
+                                    flow_copy.src, flow_copy.dst,
+                                    flow_copy.size,
+                                    SimTime{static_cast<double>(fct_slots)},
+                                    static_cast<double>(t));
       }
-    }
-    if (config.tracer != nullptr) {
-      prev_selected = std::move(selected);
     }
 
     if (t % config.sample_every == 0) {

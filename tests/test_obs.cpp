@@ -351,14 +351,13 @@ class ScriptedScheduler : public sched::Scheduler {
   explicit ScriptedScheduler(std::vector<std::vector<sched::FlowId>> script)
       : script_(std::move(script)) {}
   std::string name() const override { return "scripted"; }
-  sched::Decision decide(
-      sched::PortId, const std::vector<sched::VoqCandidate>&) override {
-    sched::Decision d;
+  void decide_into(sched::PortId, const std::vector<sched::VoqCandidate>&,
+                   sched::Decision& out) override {
+    out.selected.clear();
     if (calls_ < script_.size()) {
-      d.selected = script_[calls_];
+      out.selected = script_[calls_];
     }
     ++calls_;
-    return d;
   }
 
  private:
