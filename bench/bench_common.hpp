@@ -19,8 +19,10 @@
 #include <string>
 #include <utility>
 
+#include "common/assert.hpp"
 #include "common/cli.hpp"
 #include "common/log.hpp"
+#include "fault/fault_plan.hpp"
 #include "core/experiment.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -57,7 +59,10 @@ inline Scale make_scale(bool full) {
 }
 
 /// Registers the flags every harness shares; returns after cli.parse so
-/// callers can add their own flags *before* calling this.
+/// callers can add their own flags *before* calling this. A malformed
+/// command line (unknown / duplicate / unparsable option) prints the
+/// error plus the usage text and exits 2 — sweep scripts fail fast with
+/// an actionable message instead of an uncaught-exception abort.
 inline bool parse_common(CliParser& cli, int argc, const char* const* argv) {
   cli.flag("full", false, "paper scale: 144 hosts, long horizons")
       .flag("csv", false, "emit CSV instead of the pretty table")
@@ -69,8 +74,20 @@ inline bool parse_common(CliParser& cli, int argc, const char* const* argv) {
             "write flow-lifecycle trace here (.jsonl for JSONL, else "
             "Chrome trace-event JSON for Perfetto)")
       .real("heartbeat", 0.0,
-            "log sim progress every N wall-seconds (0 = off)");
-  return cli.parse(argc, argv);
+            "log sim progress every N wall-seconds (0 = off)")
+      .text("fault-plan", "",
+            "inject faults: a basrpt-faults-v1 file, or 'random' for a "
+            "seeded schedule (see --fault-seed)")
+      .integer("fault-seed", 1, "seed for --fault-plan=random")
+      .real("watchdog", 0.0,
+            "abort with diagnostics after N wall-seconds of frozen "
+            "sim-time (0 = off)");
+  try {
+    return cli.parse(argc, argv);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "error: %s\n\n%s", e.what(), cli.usage().c_str());
+    std::exit(2);
+  }
 }
 
 inline Scale scale_from_cli(const CliParser& cli) {
@@ -175,6 +192,79 @@ class ObsSession {
   std::string trace_path_;
   double heartbeat_sec_;
   obs::FlowTracer tracer_;
+};
+
+/// Run-scoped fault wiring for the shared --fault-plan / --fault-seed /
+/// --watchdog flags. Construct after parse_common with the fabric size
+/// and the horizon the bench will simulate (random plans draw their
+/// events over it), then apply() to each config about to run. With no
+/// flags set, apply() is a no-op and outputs stay bit-identical.
+class FaultSession {
+ public:
+  FaultSession(const CliParser& cli, std::int32_t hosts, SimTime horizon)
+      : watchdog_wall_sec_(cli.get_real("watchdog")) {
+    const std::string& spec = cli.get_text("fault-plan");
+    // Plan loading fails like a bad flag would: a clear message and exit
+    // 2, not an uncaught ParseError terminating the process.
+    try {
+      if (spec == "random") {
+        fault::RandomFaultSpec random;
+        random.ports = hosts;
+        random.horizon = horizon.seconds;
+        plan_ = fault::FaultPlan::randomized(
+            random,
+            static_cast<std::uint64_t>(cli.get_integer("fault-seed")));
+      } else if (!spec.empty()) {
+        plan_ = fault::FaultPlan::from_file(spec);
+      }
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "error: --fault-plan %s: %s\n", spec.c_str(),
+                   e.what());
+      std::exit(2);
+    }
+    if (!plan_.empty()) {
+      std::printf("fault plan: %zu events over [0, %.3g] s\n", plan_.size(),
+                  plan_.span());
+    }
+  }
+
+  bool active() const { return !plan_.empty(); }
+  const fault::FaultPlan& plan() const { return plan_; }
+
+  void apply(core::ExperimentConfig& config) const {
+    if (active()) {
+      config.fault_plan = &plan_;
+    }
+    if (watchdog_wall_sec_ > 0.0) {
+      config.watchdog.stall_wall_sec = watchdog_wall_sec_;
+    }
+  }
+
+  void apply(flowsim::FlowSimConfig& config) const {
+    if (active()) {
+      config.fault_plan = &plan_;
+    }
+    if (watchdog_wall_sec_ > 0.0) {
+      config.watchdog.stall_wall_sec = watchdog_wall_sec_;
+    }
+  }
+
+  /// Prints the fault counters of a finished run (omitted when inactive).
+  void report(const char* label, const fault::FaultStats& stats) const {
+    if (!active()) {
+      return;
+    }
+    std::printf("faults[%s]: %lld transitions, %lld decisions suppressed, "
+                "%lld flows requeued, %lld candidates masked\n",
+                label, static_cast<long long>(stats.transitions),
+                static_cast<long long>(stats.decisions_suppressed),
+                static_cast<long long>(stats.flows_requeued),
+                static_cast<long long>(stats.candidates_masked));
+  }
+
+ private:
+  fault::FaultPlan plan_;
+  double watchdog_wall_sec_;
 };
 
 inline void emit(const stats::Table& table, const CliParser& cli) {

@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   base.load = cli.get_real("load");
   base.horizon = scale.stability_horizon;
   obs_session.apply(base);
+  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon);
+  faults.apply(base);
 
   base.scheduler = sched::SchedulerSpec::srpt();
   const auto srpt = core::run_experiment(base);
@@ -83,6 +85,8 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: SRPT keeps growing for the whole window; the backlog-aware"
       " strategy stabilizes.\n");
+  faults.report("srpt", srpt.raw.fault_stats);
+  faults.report("threshold srpt", threshold.raw.fault_stats);
   obs_session.finish();
   return 0;
 }

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   base.load = cli.get_real("load");
   base.horizon = scale.stability_horizon;
   obs_session.apply(base);
+  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon);
+  faults.apply(base);
 
   base.scheduler = sched::SchedulerSpec::srpt();
   const auto srpt = core::run_experiment(base);
@@ -109,6 +111,8 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: SRPT queue grows all the time; fast BASRPT stabilizes and "
       "delivers more bytes.\n");
+  faults.report("srpt", srpt.raw.fault_stats);
+  faults.report("fast basrpt", basrpt.raw.fault_stats);
   obs_session.finish();
   return 0;
 }

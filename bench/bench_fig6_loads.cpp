@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
   bench::ObsSession obs_session(cli);
+  bench::FaultSession faults(cli, scale.fabric.hosts(), scale.fct_horizon);
   const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4,
                                      0.5, 0.6, 0.7, 0.8};
   stats::Table table({"load", "srpt avg ms", "basrpt avg ms",
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
     config.load = load;
     config.horizon = scale.fct_horizon;
     obs_session.apply(config);
+    faults.apply(config);
 
     config.scheduler = sched::SchedulerSpec::srpt();
     const auto srpt = core::run_experiment(config);

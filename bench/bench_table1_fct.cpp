@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   base.load = cli.get_real("load");
   base.horizon = scale.fct_horizon;
   obs_session.apply(base);
+  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon);
+  faults.apply(base);
 
   base.scheduler = sched::SchedulerSpec::srpt();
   const auto srpt = core::run_experiment(base);
@@ -59,6 +61,8 @@ int main(int argc, char** argv) {
       "paper: background rows ~1x; query rows < 2x avg / < 4x p99 at "
       "N=144, 500 s;\nquick-scale runs sit at an earlier point of the same "
       "tradeoff curve.\n");
+  faults.report("srpt", srpt.raw.fault_stats);
+  faults.report("fast basrpt", basrpt.raw.fault_stats);
   obs_session.finish();
   return 0;
 }

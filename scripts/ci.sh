@@ -34,6 +34,15 @@ if [[ "$RUN_TIER2" == 1 ]]; then
   cmake -B build-asan -DBASRPT_SANITIZE=ON -DBASRPT_WERROR=ON >/dev/null
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+  # Fault-injection soak: the resilience harness exercises the injector,
+  # port masking, re-arrival rebirth, and the stall watchdog across two
+  # schedulers end to end — exactly the churny code paths sanitizers are
+  # good at catching. Short horizon keeps it a soak, not a benchmark.
+  echo "==== tier 2: fault-injection soak (ASan/UBSan) ===="
+  ./build-asan/bench/bench_fault_resilience --horizon 0.5 --watchdog 120
+  ./build-asan/bench/bench_fig5_stability \
+      --horizon 0.4 --fault-plan=random --fault-seed 7 --watchdog 120
 fi
 
 echo "==== ci passed ===="

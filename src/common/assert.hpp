@@ -6,6 +6,7 @@
 // Configuration errors (bad user input) throw basrpt::ConfigError.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -23,6 +24,22 @@ class ConfigError : public std::runtime_error {
 class SimulationError : public std::logic_error {
  public:
   explicit SimulationError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// ConfigError specialization for line-oriented input files (traces,
+/// fault plans): carries the 1-based line number so tooling can point at
+/// the offending row. Catchable as ConfigError by existing callers.
+class ParseError : public ConfigError {
+ public:
+  ParseError(const std::string& context, std::size_t line,
+             const std::string& what)
+      : ConfigError(context + " line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
 };
 
 namespace detail {

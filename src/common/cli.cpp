@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -12,6 +13,7 @@ CliParser::CliParser(std::string program, std::string description)
 
 CliParser& CliParser::flag(const std::string& name, bool default_value,
                            const std::string& help) {
+  require_unregistered(name);
   options_[name] = {Kind::kFlag, help, default_value ? "true" : "false"};
   order_.push_back(name);
   return *this;
@@ -20,6 +22,7 @@ CliParser& CliParser::flag(const std::string& name, bool default_value,
 CliParser& CliParser::integer(const std::string& name,
                               std::int64_t default_value,
                               const std::string& help) {
+  require_unregistered(name);
   options_[name] = {Kind::kInteger, help, std::to_string(default_value)};
   order_.push_back(name);
   return *this;
@@ -27,6 +30,7 @@ CliParser& CliParser::integer(const std::string& name,
 
 CliParser& CliParser::real(const std::string& name, double default_value,
                            const std::string& help) {
+  require_unregistered(name);
   std::ostringstream out;
   out << default_value;
   options_[name] = {Kind::kReal, help, out.str()};
@@ -37,12 +41,19 @@ CliParser& CliParser::real(const std::string& name, double default_value,
 CliParser& CliParser::text(const std::string& name,
                            const std::string& default_value,
                            const std::string& help) {
+  require_unregistered(name);
   options_[name] = {Kind::kText, help, default_value};
   order_.push_back(name);
   return *this;
 }
 
+void CliParser::require_unregistered(const std::string& name) const {
+  BASRPT_REQUIRE(options_.count(name) == 0,
+                 "option --" + name + " registered twice");
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -70,7 +81,12 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
 
     auto it = options_.find(name);
-    BASRPT_REQUIRE(it != options_.end(), "unknown option: --" + name);
+    BASRPT_REQUIRE(it != options_.end(),
+                   "unknown option: --" + name + " (see --help)");
+    // A repeated option is almost always a sweep-script editing mistake;
+    // silently letting the last occurrence win hides it.
+    BASRPT_REQUIRE(seen.insert(name).second,
+                   "option --" + name + " given more than once");
     Option& opt = it->second;
 
     if (opt.kind == Kind::kFlag) {
@@ -85,23 +101,33 @@ bool CliParser::parse(int argc, const char* const* argv) {
         BASRPT_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
         value = argv[++i];
       }
+      // Catch std::exception, not just logic_error: stoll/stod throw
+      // std::out_of_range (a runtime_error) on values like "1e999".
       if (opt.kind == Kind::kInteger) {
         try {
           size_t pos = 0;
           (void)std::stoll(*value, &pos);
           BASRPT_REQUIRE(pos == value->size(),
-                         "option --" + name + " expects an integer");
-        } catch (const std::logic_error&) {
-          throw ConfigError("option --" + name + " expects an integer");
+                         "option --" + name + " expects an integer, got '" +
+                             *value + "'");
+        } catch (const ConfigError&) {
+          throw;
+        } catch (const std::exception&) {
+          throw ConfigError("option --" + name + " expects an integer, got '" +
+                            *value + "'");
         }
       } else if (opt.kind == Kind::kReal) {
         try {
           size_t pos = 0;
           (void)std::stod(*value, &pos);
           BASRPT_REQUIRE(pos == value->size(),
-                         "option --" + name + " expects a number");
-        } catch (const std::logic_error&) {
-          throw ConfigError("option --" + name + " expects a number");
+                         "option --" + name + " expects a number, got '" +
+                             *value + "'");
+        } catch (const ConfigError&) {
+          throw;
+        } catch (const std::exception&) {
+          throw ConfigError("option --" + name + " expects a number, got '" +
+                            *value + "'");
         }
       }
       opt.value = *value;

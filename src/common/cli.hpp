@@ -28,7 +28,8 @@ class CliParser {
   CliParser& text(const std::string& name, const std::string& default_value,
                   const std::string& help);
 
-  /// Parses argv. Throws ConfigError on unknown/malformed options.
+  /// Parses argv. Throws ConfigError on unknown, malformed, or repeated
+  /// options (a repeated option is a sweep-script bug, not a override).
   /// If --help is present, prints usage and returns false (caller exits 0).
   bool parse(int argc, const char* const* argv);
 
@@ -48,6 +49,7 @@ class CliParser {
   };
 
   const Option& find(const std::string& name, Kind kind) const;
+  void require_unregistered(const std::string& name) const;
 
   std::string program_;
   std::string description_;

@@ -38,6 +38,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim_config.service_model = config.service_model;
   sim_config.tracer = config.tracer;
   sim_config.heartbeat_wall_sec = config.heartbeat_wall_sec;
+  sim_config.fault_plan = config.fault_plan;
+  sim_config.watchdog = config.watchdog;
 
   auto sim = flowsim::run_flow_sim(sim_config, *scheduler, *traffic);
 
@@ -99,6 +101,14 @@ std::string render_summary(const ExperimentResult& r) {
       << "watched VOQ trend:    "
       << (r.watched_trend.growing ? "GROWING (unstable)" : "stable")
       << " (tail mean " << r.watched_tail_mean_bytes << " B)\n";
+  const fault::FaultStats& f = r.raw.fault_stats;
+  if (f.transitions > 0 || f.flows_requeued > 0 ||
+      f.decisions_suppressed > 0) {
+    out << "faults injected:      " << f.transitions << " transitions, "
+        << f.decisions_suppressed << " decisions suppressed, "
+        << f.flows_requeued << " flows requeued, " << f.candidates_masked
+        << " candidates masked\n";
+  }
   return out.str();
 }
 

@@ -62,6 +62,13 @@ struct ExperimentConfig {
   bool instrument_scheduler = false;
   /// Logs sim progress every N wall-seconds (<= 0 disables).
   double heartbeat_wall_sec = 0.0;
+
+  // ---- Robustness (see docs/FAULTS.md) ----
+  /// Fault schedule replayed during the run (non-owning; must outlive
+  /// run_experiment). Null or empty is strictly pay-for-use.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// No-progress stall watchdog; default-disabled.
+  fault::WatchdogConfig watchdog{};
 };
 
 /// The paper's headline numbers for one run, plus stability verdicts.

@@ -11,11 +11,12 @@ CandidateCache::CandidateCache(const queueing::VoqMatrix& voqs,
   const auto n = static_cast<std::size_t>(voqs.ports());
   entries_.resize(n * n);
   view_.reserve(n);
+  port_ok_.assign(n, 1);
 }
 
 const std::vector<sched::VoqCandidate>& CandidateCache::refresh() {
   ++refreshes_;
-  if (voqs_.version() == seen_version_) {
+  if (voqs_.version() == seen_version_ && mask_epoch_ == seen_mask_epoch_) {
     return view_;  // nothing changed since the last decision
   }
   for (const std::size_t idx : voqs_.dirty_voqs()) {
@@ -24,17 +25,54 @@ const std::vector<sched::VoqCandidate>& CandidateCache::refresh() {
     if (voqs_.flow_count(i, j) == 0) {
       continue;  // drained empty; the view pass below skips it
     }
+    // Masked VOQs still recompute: entries_ stays warm so recovery is a
+    // pure repack.
     sched::fill_candidate(voqs_, i, j, unit_bytes_, needs_, entries_[idx]);
     ++voqs_recomputed_;
   }
   voqs_.clear_dirty();
   seen_version_ = voqs_.version();
+  seen_mask_epoch_ = mask_epoch_;
 
   view_.clear();
-  for (const std::size_t idx : voqs_.non_empty_indices()) {
-    view_.push_back(entries_[idx]);
+  if (masked_ports_ == 0) {
+    for (const std::size_t idx : voqs_.non_empty_indices()) {
+      view_.push_back(entries_[idx]);
+    }
+  } else {
+    for (const std::size_t idx : voqs_.non_empty_indices()) {
+      const auto i = static_cast<std::size_t>(voqs_.voq_ingress(idx));
+      const auto j = static_cast<std::size_t>(voqs_.voq_egress(idx));
+      if (port_ok_[i] == 0 || port_ok_[j] == 0) {
+        ++candidates_masked_;
+        continue;
+      }
+      view_.push_back(entries_[idx]);
+    }
   }
   return view_;
+}
+
+void CandidateCache::set_port_usable(queueing::PortId port, bool usable) {
+  const auto p = static_cast<std::size_t>(port);
+  BASRPT_REQUIRE(p < port_ok_.size(), "port out of range");
+  const char next = usable ? 1 : 0;
+  if (port_ok_[p] == next) {
+    return;
+  }
+  port_ok_[p] = next;
+  if (usable) {
+    --masked_ports_;
+  } else {
+    ++masked_ports_;
+  }
+  ++mask_epoch_;
+}
+
+bool CandidateCache::port_usable(queueing::PortId port) const {
+  const auto p = static_cast<std::size_t>(port);
+  BASRPT_REQUIRE(p < port_ok_.size(), "port out of range");
+  return port_ok_[p] != 0;
 }
 
 }  // namespace basrpt::fabric

@@ -37,9 +37,19 @@ class CandidateCache {
                  sched::CandidateNeeds needs = {});
 
   /// Brings the cache up to date with the matrix and returns the packed
-  /// candidate view (one entry per non-empty VOQ, matrix order). The
-  /// reference stays valid until the next refresh().
+  /// candidate view (one entry per non-empty VOQ whose ports are usable,
+  /// matrix order). The reference stays valid until the next refresh().
   const std::vector<sched::VoqCandidate>& refresh();
+
+  /// Marks a port usable/unusable (fault blackout): candidates whose
+  /// ingress *or* egress is an unusable port are filtered from the
+  /// packed view, so decide_into never selects a dead matching edge.
+  /// O(1); the next refresh() repacks the view without recomputing any
+  /// per-VOQ entry — entries keep tracking matrix mutations while the
+  /// port is dark, so recovery costs one repack, not a row+column
+  /// recompute. All ports start usable.
+  void set_port_usable(queueing::PortId port, bool usable);
+  bool port_usable(queueing::PortId port) const;
 
   double unit_bytes() const { return unit_bytes_; }
   sched::CandidateNeeds needs() const { return needs_; }
@@ -47,6 +57,8 @@ class CandidateCache {
   // Work accounting for tests and bench_candidate_cache.
   std::uint64_t refreshes() const { return refreshes_; }
   std::uint64_t voqs_recomputed() const { return voqs_recomputed_; }
+  /// Candidates filtered out by the port mask, cumulative over refreshes.
+  std::uint64_t candidates_masked() const { return candidates_masked_; }
 
  private:
   const queueing::VoqMatrix& voqs_;
@@ -56,6 +68,15 @@ class CandidateCache {
   std::uint64_t seen_version_ = 0;
   std::uint64_t refreshes_ = 0;
   std::uint64_t voqs_recomputed_ = 0;
+  std::uint64_t candidates_masked_ = 0;
+
+  // Port mask (fault support). mask_epoch_ bumps on every mask change so
+  // refresh() repacks even when the matrix itself is unchanged;
+  // masked_ports_ lets the common all-usable case skip the filter.
+  std::vector<char> port_ok_;
+  std::size_t masked_ports_ = 0;
+  std::uint64_t mask_epoch_ = 0;
+  std::uint64_t seen_mask_epoch_ = 0;
 
   std::vector<sched::VoqCandidate> entries_;  // dense, by flat VOQ index
   std::vector<sched::VoqCandidate> view_;     // packed, non-empty order

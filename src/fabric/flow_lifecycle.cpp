@@ -38,6 +38,34 @@ FlowId FlowLifecycle::admit(const Admission& a) {
   return id;
 }
 
+FlowId FlowLifecycle::requeue(const queueing::Flow& evicted, double now) {
+  BASRPT_ASSERT(evicted.remaining.count > 0,
+                "requeued flow must carry remaining bytes");
+  const FlowId id = next_id_++;
+  if (voqs_ != nullptr) {
+    BASRPT_ASSERT(!voqs_->contains(evicted.id),
+                  "requeue expects the flow already evicted");
+    queueing::Flow flow;
+    flow.id = id;
+    flow.src = evicted.src;
+    flow.dst = evicted.dst;
+    flow.size = evicted.remaining;
+    flow.remaining = evicted.remaining;
+    flow.arrival = SimTime{now};
+    flow.cls = evicted.cls;
+    voqs_->add_flow(flow);
+  }
+  ++flows_requeued_;
+  if (tracer_ != nullptr) {
+    tracer_->on_preemption(evicted.id, evicted.src, evicted.dst, now,
+                           static_cast<double>(evicted.size.count),
+                           static_cast<double>(evicted.remaining.count));
+    tracer_->on_arrival(id, evicted.src, evicted.dst, now,
+                        static_cast<double>(evicted.remaining.count));
+  }
+  return id;
+}
+
 void FlowLifecycle::apply_decision(const std::vector<FlowId>& selected,
                                    double now) {
   if (tracer_ == nullptr) {

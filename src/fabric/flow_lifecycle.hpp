@@ -55,6 +55,16 @@ class FlowLifecycle {
   /// the tracer. Returns the allocated id.
   FlowId admit(const Admission& a);
 
+  /// Re-admits an evicted flow (fault burst re-arrival): the flow is
+  /// reborn under a fresh id carrying only its remaining bytes, with
+  /// `now` as its arrival. Deliberately does NOT bump the arrival
+  /// counters — the original admit() already accounted the flow, and a
+  /// requeue moves bytes, it does not create them — so conservation
+  /// (delivered + left == arrived) holds across fault injection. The
+  /// caller must already have removed the flow from the VoqMatrix.
+  /// Traces as a preemption followed by an arrival. Returns the new id.
+  FlowId requeue(const queueing::Flow& evicted, double now);
+
   /// Applies a new scheduling decision for tracing purposes: flows from
   /// the previous selection that are still queued but absent from
   /// `selected` are reported preempted (in previous-decision order),
@@ -83,6 +93,7 @@ class FlowLifecycle {
 
   std::int64_t flows_arrived() const { return flows_arrived_; }
   std::int64_t flows_completed() const { return flows_completed_; }
+  std::int64_t flows_requeued() const { return flows_requeued_; }
   Bytes bytes_arrived() const { return bytes_arrived_; }
   bool tracing() const { return tracer_ != nullptr; }
 
@@ -94,6 +105,7 @@ class FlowLifecycle {
   FlowId next_id_ = 0;
   std::int64_t flows_arrived_ = 0;
   std::int64_t flows_completed_ = 0;
+  std::int64_t flows_requeued_ = 0;
   Bytes bytes_arrived_{};
 
   std::vector<FlowId> prev_selected_;        // in decision order

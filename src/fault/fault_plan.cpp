@@ -1,0 +1,338 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace basrpt::fault {
+
+namespace {
+
+constexpr const char* kHeader = "basrpt-faults-v1";
+constexpr const char* kContext = "fault plan";
+
+/// Parses a full-line-consumed finite double; rejects trailing garbage,
+/// overflow, and NaN/inf — std::stod alone accepts "1.5x" and throws
+/// std::out_of_range (not a logic_error) on "1e999".
+double parse_real(const std::string& cell, std::size_t line,
+                  const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(cell, &pos);
+    if (pos != cell.size() || !std::isfinite(value)) {
+      throw ParseError(kContext, line,
+                       std::string(what) + " is not a number: '" + cell + "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(kContext, line,
+                     std::string(what) + " is not a number: '" + cell + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& cell, std::size_t line,
+                       const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(cell, &pos);
+    if (pos != cell.size()) {
+      throw ParseError(kContext, line,
+                       std::string(what) + " is not an integer: '" + cell +
+                           "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(kContext, line,
+                     std::string(what) + " is not an integer: '" + cell +
+                         "'");
+  }
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) {
+    fields.push_back(cell);
+  }
+  if (!line.empty() && line.back() == ',') {
+    fields.emplace_back();  // trailing comma == trailing empty field
+  }
+  return fields;
+}
+
+void require_fields(const std::vector<std::string>& fields,
+                    std::size_t expected, std::size_t line,
+                    const char* kind) {
+  if (fields.size() != expected) {
+    throw ParseError(kContext, line,
+                     std::string(kind) + " expects " +
+                         std::to_string(expected - 1) + " arguments, got " +
+                         std::to_string(fields.size() - 1));
+  }
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDegrade:
+      return "degrade";
+    case FaultKind::kBlackout:
+      return "blackout";
+    case FaultKind::kDropDecisions:
+      return "drop-decisions";
+    case FaultKind::kRearrival:
+      return "rearrive";
+  }
+  return "?";
+}
+
+void FaultPlan::add(const FaultEvent& event) {
+  BASRPT_REQUIRE(std::isfinite(event.start) && event.start >= 0.0,
+                 "fault event start must be finite and non-negative");
+  switch (event.kind) {
+    case FaultKind::kDegrade:
+      BASRPT_REQUIRE(event.port >= 0, "degrade needs a port");
+      BASRPT_REQUIRE(event.factor > 0.0 && event.factor < 1.0,
+                     "degrade factor must be in (0, 1); use blackout for 0");
+      BASRPT_REQUIRE(std::isfinite(event.duration) && event.duration > 0.0,
+                     "degrade duration must be positive");
+      break;
+    case FaultKind::kBlackout:
+      BASRPT_REQUIRE(event.port >= 0, "blackout needs a port");
+      BASRPT_REQUIRE(std::isfinite(event.duration) && event.duration > 0.0,
+                     "blackout duration must be positive");
+      break;
+    case FaultKind::kDropDecisions:
+      BASRPT_REQUIRE(std::isfinite(event.duration) && event.duration > 0.0,
+                     "drop-decisions duration must be positive");
+      break;
+    case FaultKind::kRearrival:
+      BASRPT_REQUIRE(event.count > 0, "rearrive needs a positive count");
+      break;
+  }
+  // Insertion sort keeps events() ordered while preserving the relative
+  // order of equal-time events (plans are small; simplicity wins).
+  auto it = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.start < b.start; });
+  events_.insert(it, event);
+}
+
+std::int32_t FaultPlan::max_port() const {
+  std::int32_t max = -1;
+  for (const FaultEvent& e : events_) {
+    max = std::max(max, e.port);
+  }
+  return max;
+}
+
+double FaultPlan::span() const {
+  double end = 0.0;
+  for (const FaultEvent& e : events_) {
+    end = std::max(end, e.start + (e.kind == FaultKind::kRearrival
+                                       ? 0.0
+                                       : e.duration));
+  }
+  return end;
+}
+
+FaultPlan FaultPlan::parse(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ParseError(kContext, 1, std::string("expected '") + kHeader + "'");
+  }
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();  // tolerate CRLF
+  }
+  if (line != kHeader) {
+    throw ParseError(kContext, 1, std::string("expected '") + kHeader + "'");
+  }
+  FaultPlan plan;
+  std::size_t line_no = 1;
+  bool saw_newline_at_end = !in.eof();
+  while (std::getline(in, line)) {
+    ++line_no;
+    // A file whose final line lacks the trailing newline was truncated
+    // mid-write (the writer always terminates lines); reject it rather
+    // than silently acting on a partial event.
+    saw_newline_at_end = !in.eof();
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // tolerate CRLF
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const auto fields = split_fields(line);
+    const std::string& kind = fields[0];
+    FaultEvent event;
+    if (kind == "degrade") {
+      require_fields(fields, 5, line_no, "degrade");
+      event.kind = FaultKind::kDegrade;
+      event.start = parse_real(fields[1], line_no, "start");
+      event.duration = parse_real(fields[2], line_no, "duration");
+      event.port =
+          static_cast<std::int32_t>(parse_int(fields[3], line_no, "port"));
+      event.factor = parse_real(fields[4], line_no, "factor");
+    } else if (kind == "blackout") {
+      require_fields(fields, 4, line_no, "blackout");
+      event.kind = FaultKind::kBlackout;
+      event.start = parse_real(fields[1], line_no, "start");
+      event.duration = parse_real(fields[2], line_no, "duration");
+      event.port =
+          static_cast<std::int32_t>(parse_int(fields[3], line_no, "port"));
+    } else if (kind == "drop-decisions") {
+      require_fields(fields, 3, line_no, "drop-decisions");
+      event.kind = FaultKind::kDropDecisions;
+      event.start = parse_real(fields[1], line_no, "start");
+      event.duration = parse_real(fields[2], line_no, "duration");
+    } else if (kind == "rearrive") {
+      require_fields(fields, 3, line_no, "rearrive");
+      event.kind = FaultKind::kRearrival;
+      event.start = parse_real(fields[1], line_no, "start");
+      event.count = parse_int(fields[2], line_no, "count");
+    } else {
+      throw ParseError(kContext, line_no,
+                       "unknown fault kind '" + kind + "'");
+    }
+    try {
+      plan.add(event);
+    } catch (const ConfigError& e) {
+      throw ParseError(kContext, line_no, e.what());
+    }
+  }
+  if (in.bad()) {
+    throw ConfigError("fault plan: I/O error while reading");
+  }
+  if (!saw_newline_at_end) {
+    throw ParseError(kContext, line_no,
+                     "file truncated (no trailing newline)");
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_file(const std::string& path) {
+  std::ifstream in(path);
+  BASRPT_REQUIRE(in.good(), "cannot open fault plan: " + path);
+  return parse(in);
+}
+
+void FaultPlan::write(std::ostream& out) const {
+  out << kHeader << "\n# kind,start,duration,port,factor / count\n";
+  char buf[160];
+  for (const FaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultKind::kDegrade:
+        std::snprintf(buf, sizeof(buf), "degrade,%.17g,%.17g,%d,%.17g\n",
+                      e.start, e.duration, e.port, e.factor);
+        break;
+      case FaultKind::kBlackout:
+        std::snprintf(buf, sizeof(buf), "blackout,%.17g,%.17g,%d\n", e.start,
+                      e.duration, e.port);
+        break;
+      case FaultKind::kDropDecisions:
+        std::snprintf(buf, sizeof(buf), "drop-decisions,%.17g,%.17g\n",
+                      e.start, e.duration);
+        break;
+      case FaultKind::kRearrival:
+        std::snprintf(buf, sizeof(buf), "rearrive,%.17g,%" PRId64 "\n",
+                      e.start, e.count);
+        break;
+    }
+    out << buf;
+  }
+}
+
+void FaultPlan::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  BASRPT_REQUIRE(out.good(), "cannot open fault plan for writing: " + path);
+  write(out);
+  BASRPT_REQUIRE(out.good(), "error while writing fault plan: " + path);
+}
+
+FaultPlan FaultPlan::randomized(const RandomFaultSpec& spec,
+                                std::uint64_t seed) {
+  BASRPT_REQUIRE(spec.ports >= 1, "random fault spec needs ports");
+  BASRPT_REQUIRE(spec.horizon > 0.0, "random fault spec needs a horizon");
+  Rng rng(seed ^ 0xFA017ull);
+  FaultPlan plan;
+  // Events land in the middle of the run so both the healthy warm-up and
+  // the post-recovery drain are observable.
+  const double lo = 0.05 * spec.horizon;
+  const double hi = 0.85 * spec.horizon;
+  const double mean_dur =
+      std::max(1e-9, spec.mean_duration_frac * spec.horizon);
+  auto count_of = [&rng](double expected) {
+    // Deterministic Poisson-ish count: floor + Bernoulli on the
+    // fractional part keeps the expectation without a full sampler.
+    const double floor_part = std::floor(expected);
+    std::int64_t n = static_cast<std::int64_t>(floor_part);
+    if (rng.bernoulli(expected - floor_part)) {
+      ++n;
+    }
+    return n;
+  };
+  auto duration = [&]() {
+    const double d = rng.exponential(1.0 / mean_dur);
+    return std::min(std::max(d, 0.01 * mean_dur), spec.horizon);
+  };
+
+  const std::int64_t degrades = count_of(spec.degrades);
+  for (std::int64_t k = 0; k < degrades; ++k) {
+    FaultEvent e;
+    e.kind = FaultKind::kDegrade;
+    e.start = rng.uniform(lo, hi);
+    e.duration = duration();
+    e.port = static_cast<std::int32_t>(rng.uniform_int(0, spec.ports - 1));
+    e.factor = rng.uniform(spec.min_factor, 0.9);
+    plan.add(e);
+  }
+  const std::int64_t blackouts = count_of(spec.blackouts);
+  for (std::int64_t k = 0; k < blackouts; ++k) {
+    FaultEvent e;
+    e.kind = FaultKind::kBlackout;
+    e.start = rng.uniform(lo, hi);
+    e.duration = 0.5 * duration();
+    e.port = static_cast<std::int32_t>(rng.uniform_int(0, spec.ports - 1));
+    plan.add(e);
+  }
+  const std::int64_t drops = count_of(spec.decision_drops);
+  for (std::int64_t k = 0; k < drops; ++k) {
+    FaultEvent e;
+    e.kind = FaultKind::kDropDecisions;
+    e.start = rng.uniform(lo, hi);
+    e.duration = 0.5 * duration();
+    plan.add(e);
+  }
+  const std::int64_t bursts = count_of(spec.rearrivals);
+  for (std::int64_t k = 0; k < bursts; ++k) {
+    FaultEvent e;
+    e.kind = FaultKind::kRearrival;
+    e.start = rng.uniform(lo, hi);
+    e.count = spec.rearrival_count;
+    plan.add(e);
+  }
+  return plan;
+}
+
+bool operator==(const FaultEvent& a, const FaultEvent& b) {
+  return a.kind == b.kind && a.start == b.start && a.duration == b.duration &&
+         a.port == b.port && a.factor == b.factor && a.count == b.count;
+}
+
+bool operator==(const FaultPlan& a, const FaultPlan& b) {
+  return a.events() == b.events();
+}
+
+}  // namespace basrpt::fault

@@ -1,0 +1,116 @@
+// Deterministic fault schedules for the simulators.
+//
+// Theorem 1 assumes a healthy fabric; real datacenters lose links,
+// degrade ports, and drop control messages, and preemptive schedulers
+// (PDQ, and the BASRPT family here) are sensitive to exactly that churn.
+// A FaultPlan is a seeded, fully deterministic schedule of such events —
+// scripted by hand, loaded from a versioned text file, or generated from
+// a seed — that the simulators replay through fault::FaultInjector. The
+// same (plan, workload seed) pair always produces the same event stream,
+// so degraded runs stay A/B-comparable across schedulers.
+//
+// Time units are the owning simulator's: seconds for the event-driven
+// simulators (flowsim, pktsim), slot indices for the slotted model.
+//
+// File format (diffable, fuzz-tested; see docs/FAULTS.md):
+//
+//   basrpt-faults-v1
+//   # kind,args...
+//   degrade,0.5,1.0,3,0.25     # start,duration,port,factor
+//   blackout,1.0,0.2,7         # start,duration,port
+//   drop-decisions,2.0,0.05    # start,duration
+//   rearrive,2.5,64            # start,count
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace basrpt::fault {
+
+enum class FaultKind {
+  /// Port's link runs at `factor` of nominal capacity for `duration`.
+  kDegrade,
+  /// Port fully dark for `duration`: no service in or out; schedulers
+  /// must not select flows touching it.
+  kBlackout,
+  /// Scheduler decisions during the window are lost: the data plane
+  /// keeps the stale serving set (control-message loss / delay — a
+  /// delayed decision is a lost one until the window closes and the
+  /// scheduler recomputes).
+  kDropDecisions,
+  /// Instant burst re-arrival: up to `count` parked (queued, unserved)
+  /// flows are evicted and re-enter as fresh flows carrying their
+  /// remaining bytes — senders timing out and restarting after losing
+  /// their slot, the PDQ-style preemption pathology.
+  kRearrival,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDegrade;
+  double start = 0.0;      // sim seconds (or slots)
+  double duration = 0.0;   // window length; unused for kRearrival
+  std::int32_t port = -1;  // kDegrade / kBlackout
+  double factor = 1.0;     // kDegrade: residual capacity fraction (0, 1)
+  std::int64_t count = 0;  // kRearrival: max flows to re-admit
+};
+
+/// Knobs for FaultPlan::randomized — expected event counts over the
+/// horizon, drawn uniformly in time with seeded parameters.
+struct RandomFaultSpec {
+  std::int32_t ports = 0;  // fabric size; events pick ports < this
+  double horizon = 0.0;    // events scheduled in [0.05, 0.85] * horizon
+  double degrades = 4.0;   // expected kDegrade events
+  double blackouts = 2.0;  // expected kBlackout events
+  double decision_drops = 1.0;
+  double rearrivals = 1.0;
+  double mean_duration_frac = 0.08;  // mean window, fraction of horizon
+  double min_factor = 0.2;           // degrade factor drawn in [min, 0.9]
+  std::int64_t rearrival_count = 64;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Validates and appends one event. Events may be added in any order;
+  /// events() is kept sorted by start (stable, so equal-time events keep
+  /// insertion order).
+  void add(const FaultEvent& event);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Largest port id any event references, or -1 if none. Simulators
+  /// reject plans referencing ports outside their fabric.
+  std::int32_t max_port() const;
+
+  /// End of the last window (start for instant events).
+  double span() const;
+
+  // ---- Text round-trip (basrpt-faults-v1) -------------------------------
+
+  /// Parses a plan; throws ParseError (line-numbered) on malformed
+  /// input. A truncated file (final line without newline) is an error.
+  static FaultPlan parse(std::istream& in);
+  static FaultPlan from_file(const std::string& path);
+
+  void write(std::ostream& out) const;
+  void write_file(const std::string& path) const;
+
+  /// Seeded random plan: deterministic in (spec, seed).
+  static FaultPlan randomized(const RandomFaultSpec& spec,
+                              std::uint64_t seed);
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by start, stable
+};
+
+bool operator==(const FaultEvent& a, const FaultEvent& b);
+bool operator==(const FaultPlan& a, const FaultPlan& b);
+
+}  // namespace basrpt::fault

@@ -1,0 +1,109 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "obs/metrics.hpp"
+
+namespace basrpt::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::int32_t ports,
+                             FaultHooks hooks)
+    : plan_(plan), ports_(ports), hooks_(std::move(hooks)) {
+  BASRPT_REQUIRE(ports >= 1, "fault injector needs at least one port");
+  BASRPT_REQUIRE(plan.max_port() < ports,
+                 "fault plan references port " +
+                     std::to_string(plan.max_port()) + " but the fabric has " +
+                     std::to_string(ports) + " ports");
+  active_factors_.resize(static_cast<std::size_t>(ports));
+
+  const auto& events = plan.events();
+  transitions_.reserve(2 * events.size());
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const FaultEvent& e = events[k];
+    transitions_.push_back({e.start, k, /*opens=*/true});
+    if (e.kind != FaultKind::kRearrival) {
+      transitions_.push_back({e.start + e.duration, k, /*opens=*/false});
+    }
+  }
+  // Closes sort before opens at the same instant so a window that ends
+  // exactly when another begins never double-counts; ties then break by
+  // plan order for determinism.
+  std::sort(transitions_.begin(), transitions_.end(),
+            [](const Transition& a, const Transition& b) {
+              if (a.time != b.time) {
+                return a.time < b.time;
+              }
+              if (a.opens != b.opens) {
+                return !a.opens;
+              }
+              return a.event < b.event;
+            });
+}
+
+double FaultInjector::next_transition_after(double t) const {
+  for (std::size_t k = cursor_; k < transitions_.size(); ++k) {
+    if (transitions_[k].time > t) {
+      return transitions_[k].time;
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+void FaultInjector::advance_to(double t) {
+  while (cursor_ < transitions_.size() && transitions_[cursor_].time <= t) {
+    apply(transitions_[cursor_]);
+    ++cursor_;
+  }
+}
+
+void FaultInjector::apply(const Transition& t) {
+  const FaultEvent& e = plan_.events()[t.event];
+  ++stats_.transitions;
+  if (obs::enabled()) {
+    obs::Registry::global().counter("fault.transitions").add(1);
+  }
+  switch (e.kind) {
+    case FaultKind::kDegrade:
+    case FaultKind::kBlackout: {
+      const double factor = e.kind == FaultKind::kBlackout ? 0.0 : e.factor;
+      auto& active = active_factors_[static_cast<std::size_t>(e.port)];
+      const double before = port_factor(e.port);
+      if (t.opens) {
+        active.push_back(factor);
+      } else {
+        const auto it = std::find(active.begin(), active.end(), factor);
+        BASRPT_ASSERT(it != active.end(),
+                      "fault window closed without a matching open");
+        active.erase(it);
+      }
+      const double after = port_factor(e.port);
+      if (after != before && hooks_.on_port_factor) {
+        hooks_.on_port_factor(e.port, after);
+      }
+      break;
+    }
+    case FaultKind::kDropDecisions:
+      suppress_depth_ += t.opens ? 1 : -1;
+      BASRPT_ASSERT(suppress_depth_ >= 0, "suppression depth underflow");
+      break;
+    case FaultKind::kRearrival:
+      if (hooks_.on_rearrival) {
+        hooks_.on_rearrival(e.count);
+      }
+      break;
+  }
+}
+
+double FaultInjector::port_factor(std::int32_t port) const {
+  BASRPT_ASSERT(port >= 0 && port < ports_, "port out of range");
+  const auto& active = active_factors_[static_cast<std::size_t>(port)];
+  double factor = 1.0;
+  for (const double f : active) {
+    factor = std::min(factor, f);
+  }
+  return factor;
+}
+
+}  // namespace basrpt::fault

@@ -1,0 +1,91 @@
+// Replays a FaultPlan against a running simulator.
+//
+// The injector expands the plan into a sorted list of *transitions*
+// (window opens, window closes, instant bursts) and applies them in
+// order as the owner advances simulated time. It is deliberately
+// simulator-agnostic: the event-driven simulators schedule a calendar
+// event at next_transition_after() and call advance_to() from it; the
+// slotted simulator calls advance_to() once per slot. Hooks only mutate
+// simulator state — the owner decides when to re-run the scheduler, so
+// one fault instant triggers exactly one reschedule.
+//
+// Overlap semantics: a port's effective capacity factor is the minimum
+// over its active degrade/blackout windows (a port both degraded and
+// dark is dark); decision suppression windows nest by depth count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace basrpt::fault {
+
+/// Counters surfaced in results and (via the obs registry) in exported
+/// metrics. Transition counts come from the injector; the simulator owns
+/// the counters only it can observe.
+struct FaultStats {
+  std::int64_t transitions = 0;          // applied plan transitions
+  std::int64_t decisions_suppressed = 0; // reschedules lost to control loss
+  std::int64_t flows_requeued = 0;       // flows reborn by rearrival bursts
+  std::int64_t candidates_masked = 0;    // candidates hidden from decisions
+};
+
+struct FaultHooks {
+  /// Port `port` now runs at `factor` of nominal capacity (0 = dark).
+  /// Called only when the effective factor actually changes.
+  std::function<void(std::int32_t port, double factor)> on_port_factor;
+  /// A rearrival burst fired: re-admit up to `count` parked flows.
+  std::function<void(std::int64_t count)> on_rearrival;
+};
+
+class FaultInjector {
+ public:
+  /// `ports` bounds the fabric; the plan must not reference a port >= it.
+  /// The plan must outlive the injector.
+  FaultInjector(const FaultPlan& plan, std::int32_t ports, FaultHooks hooks);
+
+  /// Time of the first unapplied transition strictly after `t`, or
+  /// +infinity when the plan is exhausted.
+  double next_transition_after(double t) const;
+
+  /// Applies every transition with time <= `t`, in order, firing hooks.
+  void advance_to(double t);
+
+  bool done() const { return cursor_ >= transitions_.size(); }
+
+  /// Effective capacity factor of `port` right now: 1 when healthy, 0
+  /// during a blackout, the minimum active degrade factor otherwise.
+  double port_factor(std::int32_t port) const;
+  bool port_usable(std::int32_t port) const {
+    return port_factor(port) > 0.0;
+  }
+  /// True while at least one drop-decisions window is open.
+  bool decisions_suppressed() const { return suppress_depth_ > 0; }
+
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  struct Transition {
+    double time;
+    std::size_t event;  // index into plan.events()
+    bool opens;         // window open (or instant burst) vs close
+  };
+
+  void apply(const Transition& t);
+
+  const FaultPlan& plan_;
+  std::int32_t ports_;
+  FaultHooks hooks_;
+  std::vector<Transition> transitions_;  // sorted by (time, event, close<open)
+  std::size_t cursor_ = 0;
+  int suppress_depth_ = 0;
+  /// Active capacity windows per port: factors of open degrade windows
+  /// (0.0 for blackouts). Effective factor = min, 1.0 when empty.
+  std::vector<std::vector<double>> active_factors_;
+  FaultStats stats_;
+};
+
+}  // namespace basrpt::fault

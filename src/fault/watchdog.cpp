@@ -1,0 +1,76 @@
+#include "fault/watchdog.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace basrpt::fault {
+
+void Watchdog::configure(const WatchdogConfig& config) {
+  BASRPT_REQUIRE(config.stall_wall_sec >= 0.0,
+                 "watchdog wall threshold cannot be negative");
+  config_ = config;
+  ticks_ = 0;
+  checks_ = 0;
+  frozen_ = false;
+  frozen_events_ = 0;
+  frozen_wall_sec_ = 0.0;
+}
+
+double Watchdog::read_clock() const {
+  if (clock_) {
+    return clock_();
+  }
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Watchdog::check(double sim_time_sec, std::uint64_t events) {
+  ++checks_;
+  if (!frozen_ || sim_time_sec > frozen_sim_time_) {
+    // Progress (or first check): (re)arm at the current instant. The
+    // wall clock is only read once per freeze, not per check.
+    frozen_ = true;
+    frozen_sim_time_ = sim_time_sec;
+    events_at_freeze_ = events;
+    wall_at_freeze_ = -1.0;  // lazily stamped on the next frozen check
+    frozen_events_ = 0;
+    frozen_wall_sec_ = 0.0;
+    return;
+  }
+  frozen_events_ = events - events_at_freeze_;
+  if (config_.stall_events > 0 && frozen_events_ >= config_.stall_events) {
+    stall(sim_time_sec, events,
+          std::to_string(frozen_events_) + " events at one sim instant");
+  }
+  if (config_.stall_wall_sec > 0.0) {
+    const double now = read_clock();
+    if (wall_at_freeze_ < 0.0) {
+      wall_at_freeze_ = now;
+    }
+    frozen_wall_sec_ = now - wall_at_freeze_;
+    if (frozen_wall_sec_ >= config_.stall_wall_sec) {
+      stall(sim_time_sec, events,
+            "sim time frozen for " + std::to_string(frozen_wall_sec_) +
+                " wall seconds");
+    }
+  }
+}
+
+void Watchdog::stall(double sim_time_sec, std::uint64_t events,
+                     const std::string& why) {
+  ++stalls_detected_;
+  std::ostringstream out;
+  out << "watchdog: no-progress stall at sim t=" << sim_time_sec << "s ("
+      << why << "; " << events << " events executed, " << checks_
+      << " checks)";
+  if (diagnostics_) {
+    out << "\n" << diagnostics_();
+  }
+  const std::string message = out.str();
+  BASRPT_LOG(kError) << message;
+  throw StallError(message);
+}
+
+}  // namespace basrpt::fault

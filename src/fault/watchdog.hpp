@@ -1,0 +1,107 @@
+// No-progress stall detection for long runs.
+//
+// A wedged simulation (a zero-delay event loop, a scheduler that stopped
+// converging) used to be invisible: the heartbeat log just went quiet
+// and the process hung until killed. The Watchdog rides the same cheap
+// per-event tick as obs::Heartbeat and trips on two independent
+// criteria, both of which reset the moment simulated time advances — a
+// legitimately slow-but-progressing run never trips:
+//
+//   * event-count: more than `stall_events` events executed while
+//     simulated time stayed frozen (zero-delay event storms);
+//   * wall-clock: more than `stall_wall_sec` real seconds elapsed while
+//     simulated time stayed frozen (livelock inside one instant).
+//
+// On a stall it logs and throws StallError carrying a diagnostic dump —
+// the owner's snapshot (calendar depth, backlog, last decision) plus the
+// watchdog's own counters — so the run dies loudly with state attached
+// instead of hanging forever.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace basrpt::fault {
+
+struct WatchdogConfig {
+  /// Real seconds of frozen sim-time before aborting; <= 0 disables.
+  double stall_wall_sec = 0.0;
+  /// Events executed at one sim instant before aborting; 0 disables.
+  std::uint64_t stall_events = 0;
+
+  bool enabled() const { return stall_wall_sec > 0.0 || stall_events > 0; }
+};
+
+/// Thrown when the watchdog declares a stall. Derives from
+/// SimulationError: a stall is a broken run, not bad configuration.
+class StallError : public SimulationError {
+ public:
+  explicit StallError(const std::string& what) : SimulationError(what) {}
+};
+
+class Watchdog {
+ public:
+  /// Ticks between full checks; a power of two so the modulo is a mask.
+  static constexpr std::uint64_t kCheckEvery = 256;
+
+  Watchdog() = default;
+
+  void configure(const WatchdogConfig& config);
+  bool active() const { return config_.enabled(); }
+
+  /// Owner-provided snapshot appended to the stall diagnostic (backlog,
+  /// calendar depth, last decision — whatever the owner can cheaply
+  /// render). Called only when a stall fires.
+  void set_diagnostics(std::function<std::string()> fn) {
+    diagnostics_ = std::move(fn);
+  }
+
+  /// Test hook: replaces steady_clock with a fake monotone clock
+  /// (seconds). Null restores the real clock.
+  void set_clock(std::function<double()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  /// Call once per event/slot. Cheap: one increment and mask compare
+  /// between full checks. Throws StallError on a detected stall.
+  void tick(double sim_time_sec, std::uint64_t events) {
+    if (!active() || (++ticks_ & (kCheckEvery - 1)) != 0) {
+      return;
+    }
+    check(sim_time_sec, events);
+  }
+
+  // ---- Counters (exposed in heartbeat status and tests) -----------------
+  std::uint64_t checks() const { return checks_; }
+  /// Events observed at the currently-frozen sim instant (0 if moving).
+  std::uint64_t frozen_events() const { return frozen_events_; }
+  /// Wall seconds the sim instant has been frozen (0 if moving).
+  double frozen_wall_sec() const { return frozen_wall_sec_; }
+  std::uint64_t stalls_detected() const { return stalls_detected_; }
+
+ private:
+  void check(double sim_time_sec, std::uint64_t events);
+  [[noreturn]] void stall(double sim_time_sec, std::uint64_t events,
+                          const std::string& why);
+  double read_clock() const;
+
+  WatchdogConfig config_;
+  std::function<std::string()> diagnostics_;
+  std::function<double()> clock_;
+
+  std::uint64_t ticks_ = 0;
+  std::uint64_t checks_ = 0;
+  bool frozen_ = false;
+  double frozen_sim_time_ = 0.0;
+  std::uint64_t events_at_freeze_ = 0;
+  double wall_at_freeze_ = 0.0;
+  std::uint64_t frozen_events_ = 0;
+  double frozen_wall_sec_ = 0.0;
+  std::uint64_t stalls_detected_ = 0;
+};
+
+}  // namespace basrpt::fault

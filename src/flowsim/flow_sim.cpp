@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -40,13 +44,36 @@ class Engine {
                        config.watched_dst >= 0 &&
                        config.watched_dst < fabric_.hosts(),
                    "watched VOQ out of range");
+    if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
+      BASRPT_REQUIRE(config.fault_plan->max_port() <
+                         static_cast<std::int32_t>(fabric_.hosts()),
+                     "fault plan references a port outside the fabric");
+      fault::FaultHooks hooks;
+      hooks.on_port_factor = [this](std::int32_t port, double factor) {
+        cache_.set_port_usable(static_cast<PortId>(port), factor > 0.0);
+      };
+      hooks.on_rearrival = [this](std::int64_t count) {
+        do_rearrival(count);
+      };
+      injector_ = std::make_unique<fault::FaultInjector>(
+          *config.fault_plan, static_cast<std::int32_t>(fabric_.hosts()),
+          std::move(hooks));
+    }
   }
 
   FlowSimResult run() {
     if (config_.heartbeat_wall_sec > 0.0) {
       events_.set_heartbeat(config_.heartbeat_wall_sec);
     }
+    if (config_.watchdog.enabled()) {
+      watchdog_.configure(config_.watchdog);
+      watchdog_.set_diagnostics([this]() { return stall_diagnostics(); });
+      events_.set_watchdog(&watchdog_);
+    }
     lifecycle_.begin_run();
+    if (injector_ != nullptr) {
+      schedule_next_fault();
+    }
     schedule_next_arrival();
     sim::schedule_periodic(
         events_, SimTime{0.0}, config_.sample_every, config_.horizon,
@@ -65,6 +92,12 @@ class Engine {
     result_.flows_completed = lifecycle_.flows_completed();
     result_.flows_left = static_cast<std::int64_t>(voqs_.active_flows());
     result_.bytes_left = voqs_.total_backlog();
+    if (injector_ != nullptr) {
+      result_.fault_stats = injector_->stats();
+      result_.fault_stats.flows_requeued = lifecycle_.flows_requeued();
+      result_.fault_stats.candidates_masked =
+          static_cast<std::int64_t>(cache_.candidates_masked());
+    }
     return std::move(result_);
   }
 
@@ -117,9 +150,16 @@ class Engine {
     advance(events_.now());
 
     if (voqs_.contains(target)) {
+      const Bytes residual = voqs_.flow(target).remaining;
+      if (injector_ != nullptr && residual.count > kCompletionSlackBytes) {
+        // A fault clamped this flow's rate after the completion was
+        // estimated (suppression windows keep stale estimates alive), so
+        // the flow is not actually done. Rescheduling re-estimates.
+        reschedule();
+        return;
+      }
       // advance() drained the analytically exact amount up to rounding;
       // retire the residual dust explicitly.
-      const Bytes residual = voqs_.flow(target).remaining;
       BASRPT_ASSERT(residual.count <= kCompletionSlackBytes,
                     "completion event fired with substantial bytes left");
       const queueing::Flow copy = voqs_.flow(target);
@@ -128,6 +168,73 @@ class Engine {
       record_completion(copy, events_.now());
     }
     reschedule();
+  }
+
+  // ---- Fault injection --------------------------------------------------
+
+  /// Schedules the next fault transition as a calendar event; the chain
+  /// self-renews from pump_faults(). Transitions beyond the horizon are
+  /// irrelevant and dropped.
+  void schedule_next_fault() {
+    const double t = injector_->next_transition_after(events_.now().seconds);
+    if (std::isfinite(t) && t <= config_.horizon.seconds) {
+      events_.schedule_at(SimTime{t}, [this]() { pump_faults(); });
+    }
+  }
+
+  void pump_faults() {
+    advance(events_.now());
+    injector_->advance_to(events_.now().seconds);
+    schedule_next_fault();
+    // One reschedule per fault instant: a closing drop-decisions window
+    // recomputes here; an opening one is counted as suppressed inside
+    // reschedule() and the stale serving set persists, which is the
+    // control-loss model.
+    reschedule();
+  }
+
+  /// Burst re-arrival: up to `count` parked flows (queued but not in the
+  /// current serving set) are evicted and reborn with their remaining
+  /// bytes. Iteration order is for_each_flow's deterministic order.
+  void do_rearrival(std::int64_t count) {
+    if (count <= 0 || voqs_.active_flows() == 0) {
+      return;
+    }
+    serving_set_.clear();
+    for (const Serving& s : serving_) {
+      serving_set_.insert(s.id);
+    }
+    rearrival_scratch_.clear();
+    voqs_.for_each_flow([this, count](const queueing::Flow& f) {
+      if (static_cast<std::int64_t>(rearrival_scratch_.size()) >= count) {
+        return;
+      }
+      if (serving_set_.count(f.id) != 0) {
+        return;  // in service; only parked flows time out and restart
+      }
+      rearrival_scratch_.push_back(f);
+    });
+    const double now = events_.now().seconds;
+    for (const queueing::Flow& f : rearrival_scratch_) {
+      voqs_.remove(f.id);
+      lifecycle_.requeue(f, now);
+    }
+  }
+
+  std::string stall_diagnostics() const {
+    std::ostringstream os;
+    os << "calendar depth=" << events_.pending()
+       << ", active flows=" << voqs_.active_flows()
+       << ", backlog=" << voqs_.total_backlog().count << "B"
+       << ", serving=" << serving_.size()
+       << ", decision generation=" << schedule_generation_
+       << ", last reschedule t=" << last_reschedule_.seconds << "s";
+    if (injector_ != nullptr) {
+      os << ", fault transitions=" << injector_->stats().transitions
+         << (injector_->decisions_suppressed() ? " (decisions suppressed)"
+                                               : "");
+    }
+    return os.str();
   }
 
   void record_completion(const queueing::Flow& flow, SimTime now) {
@@ -197,6 +304,13 @@ class Engine {
   /// Recomputes the serving set and rates; called on every arrival and
   /// completion, per the paper.
   void reschedule() {
+    if (injector_ != nullptr && injector_->decisions_suppressed()) {
+      // Control-message loss: the recomputation never reaches the data
+      // plane, so the stale serving set keeps draining (via advance()).
+      // The pump event at the window close forces a real reschedule.
+      ++injector_->stats().decisions_suppressed;
+      return;
+    }
     ++schedule_generation_;
     ++result_.scheduler_invocations;
     last_reschedule_ = events_.now();
@@ -225,7 +339,20 @@ class Engine {
     serving_.reserve(to_serve.size());
     for (std::size_t k = 0; k < to_serve.size(); ++k) {
       const FlowId id = to_serve[k];
-      const double rate = rates[k].bits_per_sec;
+      double rate = rates[k].bits_per_sec;
+      if (injector_ != nullptr) {
+        // Degraded ports serve at a fraction of the allocated rate; a
+        // dark endpoint (blackout) freezes the flow entirely. Matching
+        // mode masks dark ports out of the candidates, but fair sharing
+        // selects every flow, so zero-rate flows are parked rather than
+        // asserted against.
+        const queueing::Flow& f = voqs_.flow(id);
+        rate *= std::min(injector_->port_factor(f.src),
+                         injector_->port_factor(f.dst));
+        if (rate <= 0.0) {
+          continue;
+        }
+      }
       BASRPT_ASSERT(rate > 0.0, "selected flow allocated zero rate");
       serving_.push_back({id, rate});
       const double finish =
@@ -234,6 +361,9 @@ class Engine {
         earliest = SimTime{finish};
         earliest_flow = id;
       }
+    }
+    if (serving_.empty()) {
+      return;  // every selected flow was frozen by a fault
     }
 
     const SimTime when = events_.now() + earliest;
@@ -257,6 +387,10 @@ class Engine {
   sched::Decision decision_;
   std::vector<Serving> serving_;
   std::vector<topo::FlowDemand> demands_;
+  std::unique_ptr<fault::FaultInjector> injector_;  // null = fault-free
+  fault::Watchdog watchdog_;
+  std::unordered_set<FlowId> serving_set_;        // rearrival scratch
+  std::vector<queueing::Flow> rearrival_scratch_;
   SimTime last_advance_{};
   SimTime last_reschedule_{-1.0};
   bool refresh_pending_ = false;

@@ -13,6 +13,9 @@
 
 #include <cstdint>
 
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/trace.hpp"
 #include "queueing/backlog_recorder.hpp"
 #include "queueing/voq.hpp"
@@ -59,6 +62,15 @@ struct FlowSimConfig {
   /// Logs sim-time progress and event rate every N wall-seconds during
   /// long runs (<= 0 disables). See obs::Heartbeat.
   double heartbeat_wall_sec = 0.0;
+  /// Fault schedule replayed during the run (non-owning; must outlive
+  /// the run). Degrades clamp flow rates, blackouts additionally mask
+  /// the port's VOQs from scheduling, drop-decisions windows freeze the
+  /// serving set, rearrival bursts re-admit parked flows. Null or an
+  /// empty plan is strictly pay-for-use: the run is bit-identical to one
+  /// without the fault layer.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// No-progress stall watchdog (see fault::Watchdog); default-disabled.
+  fault::WatchdogConfig watchdog{};
 };
 
 struct FlowSimResult {
@@ -73,6 +85,7 @@ struct FlowSimResult {
   Bytes bytes_left{};
   SimTime horizon{};
   std::uint64_t scheduler_invocations = 0;
+  fault::FaultStats fault_stats;  // zeros when no plan was attached
 
   FlowSimResult(PortId watched_src, PortId watched_dst)
       : backlog(watched_src, watched_dst) {}

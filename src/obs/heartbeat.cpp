@@ -9,10 +9,17 @@ namespace basrpt::obs {
 namespace {
 
 void default_report(const HeartbeatStatus& s) {
-  BASRPT_LOG(kInfo) << "heartbeat #" << s.beats << ": sim t="
-                    << s.sim_time_sec << "s, " << s.events
-                    << " events, " << s.events_per_sec
-                    << " events/s, wall " << s.wall_elapsed_sec << "s";
+  LogLine line = BASRPT_LOG(kInfo);
+  line << "heartbeat #" << s.beats << ": sim t=" << s.sim_time_sec << "s, "
+       << s.events << " events, " << s.events_per_sec << " events/s, wall "
+       << s.wall_elapsed_sec << "s";
+  if (s.stall_checks > 0) {
+    line << ", watchdog " << s.stall_checks << " checks";
+    if (s.stall_frozen_events > 0 || s.stall_frozen_wall_sec > 0.0) {
+      line << " (frozen: " << s.stall_frozen_events << " events, "
+           << s.stall_frozen_wall_sec << "s wall)";
+    }
+  }
 }
 
 }  // namespace
@@ -51,6 +58,9 @@ void Heartbeat::check(double sim_time_sec, std::uint64_t events) {
   status.beats = ++beats_;
   last_beat_ = now;
   events_at_last_beat_ = events;
+  if (augment_) {
+    augment_(status);
+  }
   fn_(status);
 }
 

@@ -21,6 +21,12 @@ struct HeartbeatStatus {
   std::uint64_t events = 0;       // events/slots processed so far
   double events_per_sec = 0.0;    // wall-clock rate since the last beat
   std::uint64_t beats = 0;        // 1-based beat index
+
+  // Watchdog counters, filled by the owner's augment hook when a stall
+  // watchdog is armed (see fault::Watchdog); all-zero otherwise.
+  std::uint64_t stall_checks = 0;          // full watchdog checks so far
+  std::uint64_t stall_frozen_events = 0;   // events at the frozen instant
+  double stall_frozen_wall_sec = 0.0;      // wall time sim has been frozen
 };
 
 class Heartbeat {
@@ -36,6 +42,13 @@ class Heartbeat {
   /// Enables beats every `wall_interval_sec` (<= 0 disables). A null
   /// `fn` logs one BASRPT_LOG(kInfo) line per beat.
   void configure(double wall_interval_sec, ReportFn fn = nullptr);
+
+  /// Owner hook that decorates each beat's status before it is reported
+  /// (e.g. the engine copying its watchdog's stall counters in). Null
+  /// disables. Survives configure().
+  void set_augment(std::function<void(HeartbeatStatus&)> fn) {
+    augment_ = std::move(fn);
+  }
 
   bool active() const { return interval_sec_ > 0.0; }
 
@@ -58,6 +71,7 @@ class Heartbeat {
 
   double interval_sec_ = 0.0;
   ReportFn fn_;
+  std::function<void(HeartbeatStatus&)> augment_;
   std::uint64_t ticks_ = 0;
   std::uint64_t beats_ = 0;
   bool started_ = false;

@@ -1,7 +1,12 @@
 #include "pktsim/packet_sim.hpp"
 
+#include <cmath>
+#include <memory>
 #include <set>
+#include <sstream>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -63,10 +68,42 @@ class Engine {
     }
     egress_queue_.resize(n);
     egress_busy_.assign(n, false);
+    if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
+      BASRPT_REQUIRE(config.fault_plan->max_port() < config.hosts,
+                     "fault plan references a port outside the fabric");
+      fault::FaultHooks hooks;
+      hooks.on_port_factor = [this](std::int32_t port, double factor) {
+        if (factor > 0.0) {
+          // Recovery (or a degrade change): restart anything that went
+          // idle while the port was dark.
+          maybe_start_sender(static_cast<PortId>(port));
+          maybe_start_egress(static_cast<PortId>(port));
+        }
+      };
+      // Decision-loss and rearrival bursts model centralized-control
+      // pathologies; this simulator has no central control to lose.
+      injector_ = std::make_unique<fault::FaultInjector>(
+          *config.fault_plan, config.hosts, std::move(hooks));
+    }
   }
 
   PacketSimResult run() {
+    if (config_.watchdog.enabled()) {
+      watchdog_.configure(config_.watchdog);
+      watchdog_.set_diagnostics([this]() {
+        std::ostringstream os;
+        os << "calendar depth=" << events_.pending()
+           << ", active flows=" << flows_.size()
+           << ", parked egress bytes=" << parked_bytes_
+           << ", packets sent=" << result_.packets_sent;
+        return os.str();
+      });
+      events_.set_watchdog(&watchdog_);
+    }
     lifecycle_.begin_run();
+    if (injector_ != nullptr) {
+      schedule_next_fault();
+    }
     schedule_next_arrival();
     sim::schedule_periodic(events_, SimTime{0.0}, config_.sample_every,
                            config_.horizon, [this](SimTime now) {
@@ -78,10 +115,42 @@ class Engine {
     result_.flows_arrived = lifecycle_.flows_arrived();
     result_.bytes_arrived = lifecycle_.bytes_arrived();
     result_.flows_completed = lifecycle_.flows_completed();
+    if (injector_ != nullptr) {
+      result_.fault_stats = injector_->stats();
+    }
     return std::move(result_);
   }
 
  private:
+  // ---------------------------------------------------------------- faults
+
+  void schedule_next_fault() {
+    const double t = injector_->next_transition_after(events_.now().seconds);
+    if (std::isfinite(t) && t <= config_.horizon.seconds) {
+      events_.schedule_at(SimTime{t}, [this]() {
+        injector_->advance_to(events_.now().seconds);
+        schedule_next_fault();
+      });
+    }
+  }
+
+  /// Line rate of `host` under the current fault state (0 while dark).
+  double effective_bps(PortId host) const {
+    double bps = config_.host_link.bits_per_sec;
+    if (injector_ != nullptr) {
+      bps *= injector_->port_factor(host);
+    }
+    return bps;
+  }
+
+  void maybe_start_egress(PortId dst) {
+    const auto i = static_cast<std::size_t>(dst);
+    if (!egress_busy_[i] && !egress_queue_[i].empty()) {
+      egress_busy_[i] = true;
+      drain_next(dst);
+    }
+  }
+
   // ------------------------------------------------------------- arrivals
 
   void schedule_next_arrival() {
@@ -151,6 +220,12 @@ class Engine {
 
   /// Picks the locally best flow and puts one packet on the wire.
   void transmit_next(PortId host) {
+    const double bps = effective_bps(host);
+    if (bps <= 0.0) {
+      // NIC dark (blackout): park; the recovery hook restarts us.
+      sender_busy_[static_cast<std::size_t>(host)] = false;
+      return;
+    }
     auto& active = sender_flows_[static_cast<std::size_t>(host)];
     // Drop flows that finished sending (lazy cleanup). A fully-delivered
     // flow may already be gone from flows_ entirely.
@@ -191,7 +266,10 @@ class Engine {
     packet.seq = result_.packets_sent;
     packet.bytes = chunk;
 
-    const SimTime tx = transmission_time(chunk, config_.host_link);
+    // A degraded NIC serializes slower; the stretch is sampled at send
+    // time (an in-flight packet keeps its serialization if the factor
+    // changes mid-transmission, as real hardware would).
+    const SimTime tx = transmission_time(chunk, Rate{bps});
     const SimTime arrival = events_.now() + tx + config_.fabric_delay;
     const PortId dst = flow.dst;
     events_.schedule_at(arrival, [this, packet, dst]() {
@@ -218,11 +296,17 @@ class Engine {
       egress_busy_[static_cast<std::size_t>(dst)] = false;
       return;
     }
+    const double bps = effective_bps(dst);
+    if (bps <= 0.0) {
+      // Egress dark: packets stay parked; the recovery hook restarts us.
+      egress_busy_[static_cast<std::size_t>(dst)] = false;
+      return;
+    }
     const Packet packet = *queue.begin();
     queue.erase(queue.begin());
     parked_bytes_ -= packet.bytes.count;
 
-    const SimTime tx = transmission_time(packet.bytes, config_.host_link);
+    const SimTime tx = transmission_time(packet.bytes, Rate{bps});
     events_.schedule_at(events_.now() + tx, [this, packet, dst]() {
       deliver(packet);
       drain_next(dst);
@@ -257,6 +341,8 @@ class Engine {
   std::vector<bool> egress_busy_;
   std::int64_t parked_bytes_ = 0;
   fabric::FlowLifecycle lifecycle_;
+  std::unique_ptr<fault::FaultInjector> injector_;  // null = fault-free
+  fault::Watchdog watchdog_;
 };
 
 }  // namespace

@@ -31,6 +31,9 @@
 
 #include <cstdint>
 
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "stats/fct.hpp"
@@ -62,6 +65,15 @@ struct PacketSimConfig {
   /// completion; there are no preemptions in the per-packet model — a
   /// lower-priority flow simply waits). Purely passive; null disables.
   obs::FlowTracer* tracer = nullptr;
+  /// Fault schedule in seconds (non-owning; must outlive the run).
+  /// Degrades stretch packet serialization at the affected host's NIC
+  /// and egress drain; blackouts pause them until recovery. The
+  /// centralized-control faults (drop-decisions, rearrive) have no
+  /// meaning in this decentralized model and are ignored. Null/empty
+  /// plan is pay-for-use.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// No-progress stall watchdog; default-disabled.
+  fault::WatchdogConfig watchdog{};
 };
 
 struct PacketSimResult {
@@ -73,6 +85,7 @@ struct PacketSimResult {
   std::int64_t flows_completed = 0;
   std::int64_t packets_sent = 0;
   SimTime horizon{};
+  fault::FaultStats fault_stats;  // zeros when no plan was attached
 
   Rate throughput() const {
     return Rate{static_cast<double>(delivered.count) * 8.0 /

@@ -35,6 +35,9 @@ std::uint64_t Engine::run_until(SimTime horizon) {
     step();
     ++ran;
     heartbeat_.tick(now_.seconds, executed_);
+    if (watchdog_ != nullptr) {
+      watchdog_->tick(now_.seconds, executed_);
+    }
   }
   // Advance the clock to the horizon even if the calendar drained early,
   // so metrics normalized by now() see the full window.
@@ -49,6 +52,19 @@ std::uint64_t Engine::run_until(SimTime horizon) {
     reg.gauge("sim.calendar_peak").set(static_cast<double>(peak_pending_));
   }
   return ran;
+}
+
+void Engine::set_watchdog(fault::Watchdog* wd) {
+  watchdog_ = (wd != nullptr && wd->active()) ? wd : nullptr;
+  if (watchdog_ != nullptr) {
+    heartbeat_.set_augment([this](obs::HeartbeatStatus& status) {
+      status.stall_checks = watchdog_->checks();
+      status.stall_frozen_events = watchdog_->frozen_events();
+      status.stall_frozen_wall_sec = watchdog_->frozen_wall_sec();
+    });
+  } else {
+    heartbeat_.set_augment(nullptr);
+  }
 }
 
 bool Engine::step() {

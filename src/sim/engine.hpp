@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/heartbeat.hpp"
 
 namespace basrpt::sim {
@@ -59,6 +60,13 @@ class Engine {
     heartbeat_.configure(wall_interval_sec, std::move(fn));
   }
 
+  /// Arms a no-progress stall watchdog for run_until: the watchdog is
+  /// ticked once per event and throws fault::StallError when simulated
+  /// time stops advancing (see fault::Watchdog). Non-owning — `wd` must
+  /// outlive the run; null or inactive disarms. While armed, heartbeat
+  /// beats carry the watchdog's stall counters.
+  void set_watchdog(fault::Watchdog* wd);
+
  private:
   struct Entry {
     SimTime t;
@@ -79,6 +87,7 @@ class Engine {
   std::uint64_t executed_ = 0;
   std::size_t peak_pending_ = 0;
   obs::Heartbeat heartbeat_;
+  fault::Watchdog* watchdog_ = nullptr;  // non-owning; null = disarmed
   std::priority_queue<Entry, std::vector<Entry>, Later> calendar_;
 };
 

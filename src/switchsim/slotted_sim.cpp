@@ -1,7 +1,9 @@
 #include "switchsim/slotted_sim.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -39,10 +41,72 @@ SlottedResult run_slotted(const SlottedConfig& config,
   if (config.heartbeat_wall_sec > 0.0) {
     heartbeat.configure(config.heartbeat_wall_sec);
   }
+  fault::Watchdog watchdog;
+  if (config.watchdog.enabled()) {
+    watchdog.configure(config.watchdog);
+  }
+
+  // Fault support. Degraded ports serve on a deterministic duty cycle:
+  // each slot a port's credit gains its capacity factor (capped at 1);
+  // serving a packet costs one credit at the ingress and one at the
+  // egress, so a factor-0.5 port forwards every other slot. Healthy
+  // ports pin at credit 1 and never block. A blackout zeroes the credit
+  // so the port doesn't spend a pre-fault surplus while dark.
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::vector<double> credit;
+  std::vector<queueing::FlowId> last_selected;  // for suppressed slots
+  std::unordered_set<queueing::FlowId> scratch_set;
+  std::vector<queueing::Flow> scratch_flows;
+  Slot fault_now = 0;  // slot the injector hooks see as "now"
+  if (config.fault_plan != nullptr && !config.fault_plan->empty()) {
+    BASRPT_REQUIRE(config.fault_plan->max_port() <
+                       static_cast<std::int32_t>(config.n_ports),
+                   "fault plan references a port outside the fabric");
+    credit.assign(static_cast<std::size_t>(config.n_ports), 1.0);
+    fault::FaultHooks hooks;
+    hooks.on_port_factor = [&cache, &credit](std::int32_t port,
+                                             double factor) {
+      cache.set_port_usable(static_cast<PortId>(port), factor > 0.0);
+      if (factor <= 0.0) {
+        credit[static_cast<std::size_t>(port)] = 0.0;
+      }
+    };
+    hooks.on_rearrival = [&](std::int64_t count) {
+      // Evict up to `count` parked flows (queued, not in the previous
+      // slot's selection) and re-admit their remaining packets.
+      scratch_set.clear();
+      scratch_set.insert(last_selected.begin(), last_selected.end());
+      scratch_flows.clear();
+      voqs.for_each_flow([&](const queueing::Flow& f) {
+        if (static_cast<std::int64_t>(scratch_flows.size()) >= count ||
+            scratch_set.count(f.id) != 0) {
+          return;
+        }
+        scratch_flows.push_back(f);
+      });
+      for (const queueing::Flow& f : scratch_flows) {
+        voqs.remove(f.id);
+        lifecycle.requeue(f, static_cast<double>(fault_now));
+      }
+    };
+    injector = std::make_unique<fault::FaultInjector>(
+        *config.fault_plan, static_cast<std::int32_t>(config.n_ports),
+        std::move(hooks));
+  }
+
   lifecycle.begin_run();
 
   for (Slot t = 0; t < config.horizon; ++t) {
     heartbeat.tick(static_cast<double>(t), static_cast<std::uint64_t>(t));
+    watchdog.tick(static_cast<double>(t), static_cast<std::uint64_t>(t));
+    if (injector != nullptr) {
+      fault_now = t;
+      injector->advance_to(static_cast<double>(t));
+      for (PortId p = 0; p < config.n_ports; ++p) {
+        const auto ip = static_cast<std::size_t>(p);
+        credit[ip] = std::min(1.0, credit[ip] + injector->port_factor(p));
+      }
+    }
     // Admit arrivals stamped with this slot (visible to this decision).
     while (pending && pending->slot <= t) {
       BASRPT_ASSERT(pending->slot >= last_slot_seen,
@@ -62,11 +126,44 @@ SlottedResult run_slotted(const SlottedConfig& config,
     // Decide and serve one packet per selected flow.
     const auto& candidates = cache.refresh();
     decision.selected.clear();
-    if (!candidates.empty()) {
+    if (injector != nullptr && injector->decisions_suppressed()) {
+      // Control loss: the new decision never reaches the crossbar, so
+      // the previous slot's selection persists (minus completed flows —
+      // a matching stays a matching under deletion).
+      if (!candidates.empty()) {
+        ++injector->stats().decisions_suppressed;
+      }
+      for (const queueing::FlowId id : last_selected) {
+        if (voqs.contains(id)) {
+          decision.selected.push_back(id);
+        }
+      }
+    } else if (!candidates.empty()) {
       ++result.scheduler_invocations;
       scheduler.decide_into(config.n_ports, candidates, decision);
       BASRPT_ASSERT(sched::decision_is_matching(decision, voqs),
                     "scheduler violated the crossbar constraint");
+    }
+    if (injector != nullptr) {
+      // Ports without a credit this slot (degraded duty cycle, dark)
+      // cannot move a packet; their flows drop out of the served set.
+      auto& sel = decision.selected;
+      sel.erase(std::remove_if(sel.begin(), sel.end(),
+                               [&](queueing::FlowId id) {
+                                 const queueing::Flow& f = voqs.flow(id);
+                                 const auto si =
+                                     static_cast<std::size_t>(f.src);
+                                 const auto di =
+                                     static_cast<std::size_t>(f.dst);
+                                 return credit[si] < 1.0 || credit[di] < 1.0;
+                               }),
+                sel.end());
+      for (const queueing::FlowId id : sel) {
+        const queueing::Flow& f = voqs.flow(id);
+        credit[static_cast<std::size_t>(f.src)] -= 1.0;
+        credit[static_cast<std::size_t>(f.dst)] -= 1.0;
+      }
+      last_selected = sel;
     }
     const std::vector<queueing::FlowId>& selected = decision.selected;
     lifecycle.apply_decision(selected, static_cast<double>(t));
@@ -106,6 +203,12 @@ SlottedResult run_slotted(const SlottedConfig& config,
                   static_cast<std::uint64_t>(config.horizon));
   result.left_packets = voqs.total_backlog().count;
   result.left_flows = static_cast<std::int64_t>(voqs.active_flows());
+  if (injector != nullptr) {
+    result.fault_stats = injector->stats();
+    result.fault_stats.flows_requeued = lifecycle.flows_requeued();
+    result.fault_stats.candidates_masked =
+        static_cast<std::int64_t>(cache.candidates_masked());
+  }
   return result;
 }
 

@@ -21,6 +21,9 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/trace.hpp"
 #include "queueing/backlog_recorder.hpp"
 #include "queueing/lyapunov.hpp"
@@ -57,6 +60,16 @@ struct SlottedConfig {
   obs::FlowTracer* tracer = nullptr;
   /// Logs slot progress every N wall-seconds (<= 0 disables).
   double heartbeat_wall_sec = 0.0;
+  /// Fault schedule in slot units (non-owning; must outlive the run).
+  /// Degraded ports serve on a deterministic duty cycle (factor 0.5 =
+  /// every other slot), dark ports are masked from scheduling,
+  /// drop-decisions slots reuse the previous selection, rearrivals
+  /// re-admit parked flows. Null/empty plan is pay-for-use.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// No-progress stall watchdog; default-disabled. The slotted clock
+  /// advances every slot by construction, so only the wall-clock
+  /// criterion is meaningful here.
+  fault::WatchdogConfig watchdog{};
 };
 
 struct SlottedResult {
@@ -77,6 +90,7 @@ struct SlottedResult {
   /// Time-average total backlog (packets), sampled every slot; Theorem 1
   /// bounds its mean as O(V).
   stats::StreamingMoments backlog_packets;
+  fault::FaultStats fault_stats;  // zeros when no plan was attached
 
   SlottedResult(PortId watched_src, PortId watched_dst)
       : backlog(watched_src, watched_dst) {}

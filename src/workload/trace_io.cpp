@@ -1,9 +1,11 @@
 #include "workload/trace_io.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "common/assert.hpp"
 
@@ -12,6 +14,7 @@ namespace basrpt::workload {
 namespace {
 
 constexpr const char* kHeader = "basrpt-trace-v1";
+constexpr const char* kContext = "trace";
 
 char class_tag(stats::FlowClass cls) {
   return cls == stats::FlowClass::kQuery ? 'q' : 'b';
@@ -24,8 +27,49 @@ stats::FlowClass parse_class(const std::string& tag, std::size_t line) {
   if (tag == "b") {
     return stats::FlowClass::kBackground;
   }
-  throw ConfigError("trace line " + std::to_string(line) +
-                    ": unknown flow class '" + tag + "'");
+  throw ParseError(kContext, line, "unknown flow class '" + tag + "'");
+}
+
+/// Full-consumption finite double. std::stod alone accepts trailing
+/// garbage ("1.5x") and throws std::out_of_range — a runtime_error, not
+/// a logic_error — on overflow like "1e999", so a plain logic_error
+/// catch would let it escape as an unlabelled crash.
+double parse_real(const std::string& cell, std::size_t line,
+                  const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(cell, &pos);
+    if (pos != cell.size() || !std::isfinite(value)) {
+      throw ParseError(kContext, line,
+                       std::string(what) + " is not a number: '" + cell + "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(kContext, line,
+                     std::string(what) + " is not a number: '" + cell + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& cell, std::size_t line,
+                       const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(cell, &pos);
+    if (pos != cell.size()) {
+      throw ParseError(kContext, line,
+                       std::string(what) + " is not an integer: '" + cell +
+                           "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(kContext, line,
+                     std::string(what) + " is not an integer: '" + cell +
+                         "'");
+  }
 }
 
 }  // namespace
@@ -54,42 +98,74 @@ void write_trace_file(const std::string& path,
 
 std::vector<FlowArrival> read_trace(std::istream& in) {
   std::string line;
-  BASRPT_REQUIRE(std::getline(in, line) && line == kHeader,
-                 "not a basrpt-trace-v1 file");
+  if (!std::getline(in, line)) {
+    throw ParseError(kContext, 1, std::string("expected '") + kHeader + "'");
+  }
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();  // tolerate CRLF
+  }
+  if (line != kHeader) {
+    throw ParseError(kContext, 1, std::string("expected '") + kHeader + "'");
+  }
   std::vector<FlowArrival> arrivals;
   std::size_t line_no = 1;
   double last_time = 0.0;
+  bool saw_newline_at_end = !in.eof();
   while (std::getline(in, line)) {
     ++line_no;
+    // The writer terminates every line; a final line without a newline
+    // means the file was truncated mid-write. Reject it rather than
+    // silently replaying a partial workload.
+    saw_newline_at_end = !in.eof();
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // tolerate CRLF
+    }
     if (line.empty() || line[0] == '#') {
       continue;
     }
-    std::istringstream fields(line);
-    std::string cell;
-    FlowArrival a;
-    try {
-      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing time");
-      a.time = SimTime{std::stod(cell)};
-      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing src");
-      a.src = static_cast<PortId>(std::stol(cell));
-      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing dst");
-      a.dst = static_cast<PortId>(std::stol(cell));
-      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing size");
-      a.size = Bytes{std::stoll(cell)};
-      BASRPT_REQUIRE(std::getline(fields, cell, ','), "missing class");
-      a.cls = parse_class(cell, line_no);
-    } catch (const std::logic_error& e) {
-      throw ConfigError("trace line " + std::to_string(line_no) +
-                        ": malformed (" + e.what() + ")");
+    std::vector<std::string> fields;
+    {
+      std::istringstream cells(line);
+      std::string cell;
+      while (std::getline(cells, cell, ',')) {
+        fields.push_back(cell);
+      }
+      if (!line.empty() && line.back() == ',') {
+        fields.emplace_back();  // trailing comma == trailing empty field
+      }
     }
-    BASRPT_REQUIRE(a.time.seconds >= last_time,
-                   "trace line " + std::to_string(line_no) +
-                       ": times must be non-decreasing");
-    BASRPT_REQUIRE(a.size.count > 0,
-                   "trace line " + std::to_string(line_no) +
-                       ": size must be positive");
+    if (fields.size() != 5) {
+      throw ParseError(kContext, line_no,
+                       "expected 5 fields (time,src,dst,size,class), got " +
+                           std::to_string(fields.size()));
+    }
+    FlowArrival a;
+    a.time = SimTime{parse_real(fields[0], line_no, "time")};
+    a.src = static_cast<PortId>(parse_int(fields[1], line_no, "src"));
+    a.dst = static_cast<PortId>(parse_int(fields[2], line_no, "dst"));
+    a.size = Bytes{parse_int(fields[3], line_no, "size")};
+    a.cls = parse_class(fields[4], line_no);
+    if (a.time.seconds < last_time) {
+      throw ParseError(kContext, line_no, "times must be non-decreasing");
+    }
+    if (a.time.seconds < 0.0) {
+      throw ParseError(kContext, line_no, "time must be non-negative");
+    }
+    if (a.src < 0 || a.dst < 0) {
+      throw ParseError(kContext, line_no, "ports must be non-negative");
+    }
+    if (a.size.count <= 0) {
+      throw ParseError(kContext, line_no, "size must be positive");
+    }
     last_time = a.time.seconds;
     arrivals.push_back(a);
+  }
+  if (in.bad()) {
+    throw ConfigError("trace: I/O error while reading");
+  }
+  if (!saw_newline_at_end) {
+    throw ParseError(kContext, line_no,
+                     "file truncated (no trailing newline)");
   }
   return arrivals;
 }

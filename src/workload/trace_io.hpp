@@ -25,8 +25,11 @@ void write_trace(std::ostream& out, const std::vector<FlowArrival>& arrivals);
 void write_trace_file(const std::string& path,
                       const std::vector<FlowArrival>& arrivals);
 
-/// Parses a v1 trace; throws ConfigError on malformed input (wrong
-/// header, bad field counts, unsorted times, unknown class tags).
+/// Parses a v1 trace; throws ParseError (a ConfigError carrying the
+/// offending line number) on malformed input: wrong header, bad field
+/// counts, unparsable or overflowing numbers, negative ports, unsorted
+/// times, unknown class tags, or a truncated file (final line missing
+/// its newline). Tolerates CRLF line endings.
 std::vector<FlowArrival> read_trace(std::istream& in);
 std::vector<FlowArrival> read_trace_file(const std::string& path);
 

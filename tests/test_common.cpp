@@ -213,6 +213,57 @@ TEST(Cli, PositionalArgumentsRejected) {
   EXPECT_THROW(cli.parse(2, argv), ConfigError);
 }
 
+TEST(Cli, UnknownOptionErrorNamesTheOptionAndPointsAtHelp) {
+  CliParser cli("prog", "test");
+  cli.integer("hosts", 24, "host count");
+  const char* argv[] = {"prog", "--hots=3"};
+  try {
+    cli.parse(2, argv);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--hots"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--help"), std::string::npos);
+  }
+}
+
+TEST(Cli, DuplicateOptionOnCommandLineThrows) {
+  CliParser cli("prog", "test");
+  cli.integer("hosts", 24, "host count");
+  const char* argv[] = {"prog", "--hosts=3", "--hosts=5"};
+  try {
+    cli.parse(3, argv);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--hosts"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("more than once"),
+              std::string::npos);
+  }
+}
+
+TEST(Cli, DuplicateFlagMixedFormsThrows) {
+  CliParser cli("prog", "test");
+  cli.flag("full", false, "full scale");
+  const char* argv[] = {"prog", "--full", "--no-full"};
+  EXPECT_THROW(cli.parse(3, argv), ConfigError);
+}
+
+TEST(Cli, DuplicateRegistrationThrows) {
+  CliParser cli("prog", "test");
+  cli.integer("hosts", 24, "host count");
+  EXPECT_THROW(cli.real("hosts", 1.0, "collides"), ConfigError);
+}
+
+TEST(Cli, OverflowingNumberIsAConfigErrorNotACrash) {
+  // stoll/stod throw std::out_of_range (not logic_error) on overflow;
+  // the parser must translate it instead of letting it escape.
+  CliParser cli("prog", "test");
+  cli.integer("hosts", 24, "host count").real("load", 0.5, "load");
+  const char* argv1[] = {"prog", "--hosts=99999999999999999999"};
+  EXPECT_THROW(cli.parse(2, argv1), ConfigError);
+  const char* argv2[] = {"prog", "--load=1e999"};
+  EXPECT_THROW(cli.parse(2, argv2), ConfigError);
+}
+
 TEST(Cli, HelpReturnsFalseAndPrintsOptions) {
   CliParser cli("prog", "demo description");
   cli.integer("hosts", 24, "host count");

@@ -162,6 +162,72 @@ TEST(TraceIo, RejectsMalformedInput) {
   }
 }
 
+TEST(TraceIo, TruncatedFileRejected) {
+  // The writer terminates every row; a missing final newline means the
+  // file was cut off mid-write and must not be replayed silently.
+  std::stringstream bad("basrpt-trace-v1\n1.0,0,1,100,q\n2.0,0,1,100");
+  EXPECT_THROW(workload::read_trace(bad), ConfigError);
+  // Header-only truncation is caught too.
+  std::stringstream bad_header("basrpt-trace-v1");
+  EXPECT_THROW(workload::read_trace(bad_header), ConfigError);
+}
+
+TEST(TraceIo, OverflowingNumbersRejected) {
+  // stod/stoll throw std::out_of_range (not logic_error) on these; the
+  // reader must translate that into a ParseError, not crash.
+  std::stringstream bad_time("basrpt-trace-v1\n1e999,0,1,100,q\n");
+  EXPECT_THROW(workload::read_trace(bad_time), ConfigError);
+  std::stringstream bad_size(
+      "basrpt-trace-v1\n1.0,0,1,99999999999999999999,q\n");
+  EXPECT_THROW(workload::read_trace(bad_size), ConfigError);
+}
+
+TEST(TraceIo, TrailingGarbageInNumbersRejected) {
+  // Partial conversions ("1.5x" parses as 1.5 under plain stod) must
+  // not be accepted.
+  std::stringstream bad_time("basrpt-trace-v1\n1.5x,0,1,100,q\n");
+  EXPECT_THROW(workload::read_trace(bad_time), ConfigError);
+  std::stringstream bad_port("basrpt-trace-v1\n1.0,0y,1,100,q\n");
+  EXPECT_THROW(workload::read_trace(bad_port), ConfigError);
+}
+
+TEST(TraceIo, WrongFieldCountRejected) {
+  std::stringstream four("basrpt-trace-v1\n1.0,0,1,100\n");
+  EXPECT_THROW(workload::read_trace(four), ConfigError);
+  std::stringstream six("basrpt-trace-v1\n1.0,0,1,100,q,extra\n");
+  EXPECT_THROW(workload::read_trace(six), ConfigError);
+  // A trailing comma is a real (empty) sixth field, not whitespace.
+  std::stringstream trailing("basrpt-trace-v1\n1.0,0,1,100,q,\n");
+  EXPECT_THROW(workload::read_trace(trailing), ConfigError);
+}
+
+TEST(TraceIo, NegativePortsAndSizesRejected) {
+  std::stringstream bad_port("basrpt-trace-v1\n1.0,-1,1,100,q\n");
+  EXPECT_THROW(workload::read_trace(bad_port), ConfigError);
+  std::stringstream bad_size("basrpt-trace-v1\n1.0,0,1,-100,q\n");
+  EXPECT_THROW(workload::read_trace(bad_size), ConfigError);
+}
+
+TEST(TraceIo, CrlfLineEndingsAccepted) {
+  std::stringstream in("basrpt-trace-v1\r\n0.5,1,2,777,b\r\n");
+  const auto trace = workload::read_trace(in);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].size.count, 777);
+}
+
+TEST(TraceIo, ParseErrorCarriesLineNumber) {
+  // Line 3 is the bad row (header is line 1).
+  std::stringstream bad(
+      "basrpt-trace-v1\n1.0,0,1,100,q\n2.0,0,1,100,z\n");
+  try {
+    workload::read_trace(bad);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
 TEST(TraceIo, CommentsAndBlankLinesIgnored) {
   std::stringstream in(
       "basrpt-trace-v1\n# comment\n\n0.5,1,2,777,b\n");

@@ -5,13 +5,17 @@
 
 #include <map>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
 #include "flowsim/flow_sim.hpp"
 #include "queueing/voq.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
 #include "workload/generators.hpp"
+#include "workload/trace_io.hpp"
 
 namespace basrpt {
 namespace {
@@ -244,6 +248,134 @@ TEST_P(GovernorFuzz, BudgetsNeverExceeded) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GovernorFuzz, ::testing::Range(0, 4));
+
+// ------------------------------------------- line-oriented parser fuzz
+
+/// Renders a valid fault plan, then applies seeded byte-level mutations
+/// (corrupt, delete, duplicate, truncate). The parser must either
+/// produce a plan or throw ConfigError/ParseError — nothing else
+/// escapes, and accepted plans must re-serialize cleanly.
+class FaultPlanFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultPlanFuzz, MutatedInputNeverEscapesConfigError) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  fault::RandomFaultSpec spec;
+  spec.ports = 8;
+  spec.horizon = 4.0;
+  const fault::FaultPlan seed_plan =
+      fault::FaultPlan::randomized(spec, static_cast<std::uint64_t>(
+                                             GetParam() + 1));
+  std::ostringstream rendered;
+  seed_plan.write(rendered);
+  const std::string pristine = rendered.str();
+
+  for (int round = 0; round < 400; ++round) {
+    std::string text = pristine;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:  // corrupt one byte (printable, so lines stay lines)
+          text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:  // delete one byte
+          text.erase(pos, 1);
+          break;
+        case 2:  // duplicate a span
+          text.insert(pos, text.substr(
+                               pos, static_cast<std::size_t>(
+                                        rng.uniform_int(1, 8))));
+          break;
+        default:  // truncate (models a partial write)
+          text.resize(pos);
+          break;
+      }
+    }
+    std::istringstream in(text);
+    try {
+      const fault::FaultPlan plan = fault::FaultPlan::parse(in);
+      // Accepted input must round-trip: write then parse reproduces it.
+      std::ostringstream out;
+      plan.write(out);
+      std::istringstream again(out.str());
+      EXPECT_TRUE(fault::FaultPlan::parse(again) == plan);
+    } catch (const ConfigError&) {
+      // Expected for malformed input (ParseError derives from this).
+    }
+    // Any other exception type propagates and fails the test.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultPlanFuzz, ::testing::Range(0, 4));
+
+/// Same mutation harness against the trace reader: a corrupted or
+/// truncated trace must never crash, loop, or parse into out-of-order
+/// arrivals — only ConfigError (or a clean parse) is acceptable.
+class TraceIoFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceIoFuzz, MutatedTracesNeverEscapeConfigError) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 12289 + 11);
+  // Build a small valid trace to mutate.
+  std::vector<workload::FlowArrival> arrivals;
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    t += rng.exponential(100.0);
+    workload::FlowArrival a;
+    a.time = SimTime{t};
+    a.src = static_cast<PortId>(rng.uniform_int(0, 7));
+    a.dst = static_cast<PortId>(rng.uniform_int(0, 7));
+    a.size = Bytes{rng.uniform_int(1, 1'000'000)};
+    a.cls = rng.bernoulli(0.5) ? stats::FlowClass::kQuery
+                               : stats::FlowClass::kBackground;
+    arrivals.push_back(a);
+  }
+  std::ostringstream rendered;
+  workload::write_trace(rendered, arrivals);
+  const std::string pristine = rendered.str();
+
+  for (int round = 0; round < 400; ++round) {
+    std::string text = pristine;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        case 2:
+          text.insert(pos, text.substr(
+                               pos, static_cast<std::size_t>(
+                                        rng.uniform_int(1, 8))));
+          break;
+        default:
+          text.resize(pos);
+          break;
+      }
+    }
+    std::istringstream in(text);
+    try {
+      const auto trace = workload::read_trace(in);
+      // Whatever survived mutation must satisfy the reader's contract.
+      double last = 0.0;
+      for (const auto& a : trace) {
+        ASSERT_GE(a.time.seconds, last);
+        ASSERT_GE(a.src, 0);
+        ASSERT_GE(a.dst, 0);
+        ASSERT_GT(a.size.count, 0);
+        last = a.time.seconds;
+      }
+    } catch (const ConfigError&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoFuzz, ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace basrpt
