@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
   bench::ObsSession obs_session(cli);
+  bench::CheckpointSession ckpt(cli, "ablation_batching", obs_session);
   stats::Table table({"gap us", "sched calls", "calls/s", "qry avg ms",
                       "qry p99 ms", "thpt Gbps"});
   for (const double gap_us : {0.0, 10.0, 100.0, 1000.0}) {
@@ -35,7 +37,8 @@ int main(int argc, char** argv) {
     obs_session.apply(config);
     config.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
     config.min_reschedule_gap = microseconds(gap_us);
-    const auto r = core::run_experiment(config);
+    const auto r = ckpt.run(
+        "gap" + std::to_string(static_cast<int>(gap_us)), config);
     table.add_row(
         {stats::cell(gap_us, 0),
          stats::cell(static_cast<std::int64_t>(r.raw.scheduler_invocations)),

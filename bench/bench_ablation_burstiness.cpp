@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
   bench::ObsSession obs_session(cli);
+  bench::CheckpointSession ckpt(cli, "ablation_burstiness", obs_session);
   stats::Table table({"scheduler", "cv^2", "qry p99 ms", "bg p99 ms",
                       "queue tail MB", "stable"});
   const auto run = [&](const sched::SchedulerSpec& spec, double cv2) {
@@ -39,7 +41,10 @@ int main(int argc, char** argv) {
     // capacity, which is the point.
     config.governor_headroom = -1.0;
     config.scheduler = spec;
-    const auto r = core::run_experiment(config);
+    const auto r =
+        ckpt.run(std::string(sched::to_string(spec.policy)) + "_cv" +
+                     std::to_string(static_cast<int>(cv2)),
+                 config);
     table.add_row({sched::to_string(spec.policy), stats::cell(cv2, 0),
                    stats::cell(r.query_p99_ms),
                    stats::cell(r.background_p99_ms),

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -26,15 +27,17 @@ int main(int argc, char** argv) {
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
   bench::ObsSession obs_session(cli);
+  bench::CheckpointSession ckpt(cli, "ablation_distributed", obs_session);
   stats::Table table({"scheduler", "qry avg ms", "qry p99 ms", "bg avg ms",
                       "thpt Gbps", "stable"});
-  const auto run = [&](const sched::SchedulerSpec& spec) {
+  const auto run = [&](const std::string& label,
+                       const sched::SchedulerSpec& spec) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
     obs_session.apply(config);
     config.scheduler = spec;
-    const auto r = core::run_experiment(config);
+    const auto r = ckpt.run(label, config);
     table.add_row({r.scheduler_name, stats::cell(r.query_avg_ms),
                    stats::cell(r.query_p99_ms),
                    stats::cell(r.background_avg_ms),
@@ -43,9 +46,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s done\n", r.scheduler_name.c_str());
   };
 
-  run(sched::SchedulerSpec::fast_basrpt(v_eff));
+  run("fast_basrpt", sched::SchedulerSpec::fast_basrpt(v_eff));
   for (const int rounds : {1, 2, 4}) {
-    run(sched::SchedulerSpec::dist_basrpt(v_eff, rounds));
+    run("dist_r" + std::to_string(rounds),
+        sched::SchedulerSpec::dist_basrpt(v_eff, rounds));
   }
 
   bench::emit(table, cli);

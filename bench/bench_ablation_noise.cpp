@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
   bench::ObsSession obs_session(cli);
+  bench::CheckpointSession ckpt(cli, "ablation_noise", obs_session);
   stats::Table table({"scheduler", "size err", "qry avg ms", "qry p99 ms",
                       "bg avg ms", "thpt Gbps"});
   const auto run = [&](const sched::SchedulerSpec& base_spec, double error) {
@@ -33,7 +35,10 @@ int main(int argc, char** argv) {
     config.horizon = scale.fct_horizon;
     obs_session.apply(config);
     config.scheduler = base_spec.with_size_error(error);
-    const auto r = core::run_experiment(config);
+    const auto r =
+        ckpt.run(std::string(sched::to_string(base_spec.policy)) + "_err" +
+                     std::to_string(static_cast<int>(error)),
+                 config);
     table.add_row({sched::to_string(base_spec.policy),
                    "x" + stats::cell(error, 0), stats::cell(r.query_avg_ms),
                    stats::cell(r.query_p99_ms),

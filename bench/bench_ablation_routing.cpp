@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
   bench::ObsSession obs_session(cli);
+  bench::CheckpointSession ckpt(cli, "ablation_routing", obs_session);
   stats::Table table({"scheduler", "routing", "qry avg ms", "qry p99 ms",
                       "bg avg ms", "thpt Gbps"});
   const auto run = [&](const sched::SchedulerSpec& spec,
@@ -35,7 +37,9 @@ int main(int argc, char** argv) {
     obs_session.apply(config);
     config.fabric.routing = mode;
     config.scheduler = spec;
-    const auto r = core::run_experiment(config);
+    const auto r = ckpt.run(std::string(sched::to_string(spec.policy)) + "_" +
+                                label,
+                            config);
     table.add_row({sched::to_string(spec.policy), label,
                    stats::cell(r.query_avg_ms), stats::cell(r.query_p99_ms),
                    stats::cell(r.background_avg_ms),

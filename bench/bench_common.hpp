@@ -81,7 +81,19 @@ inline bool parse_common(CliParser& cli, int argc, const char* const* argv) {
       .integer("fault-seed", 1, "seed for --fault-plan=random")
       .real("watchdog", 0.0,
             "abort with diagnostics after N wall-seconds of frozen "
-            "sim-time (0 = off)");
+            "sim-time (0 = off)")
+      .flag("paranoid", false,
+            "audit conservation ledgers at every sampling instant; abort "
+            "on the first imbalance")
+      .text("checkpoint-dir", "",
+            "write crash-safe checkpoints here (see docs/CHECKPOINT.md); "
+            "empty disables")
+      .integer("checkpoint-every", 0,
+               "checkpoint cadence: completed cells for figure benches, "
+               "slots for slotted benches (0 = per cell / on interrupt)")
+      .text("resume", "",
+            "resume from a checkpoint file, or 'latest' to pick the "
+            "newest in --checkpoint-dir");
   try {
     return cli.parse(argc, argv);
   } catch (const ConfigError& e) {
@@ -105,6 +117,7 @@ inline core::ExperimentConfig base_config(const Scale& scale,
   core::ExperimentConfig config;
   config.fabric = scale.fabric;
   config.seed = static_cast<std::uint64_t>(cli.get_integer("seed"));
+  config.paranoid = cli.get_flag("paranoid");
   return config;
 }
 
@@ -168,9 +181,14 @@ class ObsSession {
         std::move(scheduler));
   }
 
-  void finish() {
+  /// Writes the artifacts. `status` other than "ok" marks a partial
+  /// flush (signal / stall / config-parse failure): metrics carry a
+  /// top-level "status" field and the trace a run_status marker, so
+  /// downstream tooling never mistakes partial numbers for final ones.
+  void finish(const std::string& status = "ok") {
     if (!metrics_path_.empty()) {
-      report::write_metrics_file(metrics_path_, obs::Registry::global());
+      report::write_metrics_file(metrics_path_, obs::Registry::global(),
+                                 status);
       std::printf("wrote metrics to %s\n", metrics_path_.c_str());
     }
     if (!trace_path_.empty()) {
@@ -178,9 +196,9 @@ class ObsSession {
           trace_path_.size() >= 6 &&
           trace_path_.compare(trace_path_.size() - 6, 6, ".jsonl") == 0;
       if (jsonl) {
-        tracer_.write_jsonl_file(trace_path_);
+        tracer_.write_jsonl_file(trace_path_, status);
       } else {
-        tracer_.write_chrome_json_file(trace_path_);
+        tracer_.write_chrome_json_file(trace_path_, status);
       }
       std::printf("wrote %zu trace events to %s\n", tracer_.size(),
                   trace_path_.c_str());
@@ -201,7 +219,11 @@ class ObsSession {
 /// flags set, apply() is a no-op and outputs stay bit-identical.
 class FaultSession {
  public:
-  FaultSession(const CliParser& cli, std::int32_t hosts, SimTime horizon)
+  /// `obs` (optional): flushed with the "interrupted" marker when the
+  /// plan fails to parse, so a sweep that dies on a bad fault file still
+  /// leaves honestly-labelled partial artifacts behind.
+  FaultSession(const CliParser& cli, std::int32_t hosts, SimTime horizon,
+               ObsSession* obs = nullptr)
       : watchdog_wall_sec_(cli.get_real("watchdog")) {
     const std::string& spec = cli.get_text("fault-plan");
     // Plan loading fails like a bad flag would: a clear message and exit
@@ -220,6 +242,9 @@ class FaultSession {
     } catch (const ConfigError& e) {
       std::fprintf(stderr, "error: --fault-plan %s: %s\n", spec.c_str(),
                    e.what());
+      if (obs != nullptr) {
+        obs->finish("interrupted");
+      }
       std::exit(2);
     }
     if (!plan_.empty()) {

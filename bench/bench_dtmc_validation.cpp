@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 #include "queueing/dtmc.hpp"
 #include "sched/factory.hpp"
 #include "switchsim/arrivals.hpp"
@@ -23,6 +24,9 @@ int main(int argc, char** argv) {
   if (!bench::parse_common(cli, argc, argv)) {
     return 0;
   }
+  // The analytic half (power iteration) has no resumable state, so the
+  // sim half alone cannot honour a checkpoint of "the bench's work".
+  bench::require_no_checkpoint_flags(cli);
   const auto slots = static_cast<switchsim::Slot>(cli.get_integer("slots"));
   const auto cap = static_cast<std::int32_t>(cli.get_integer("cap"));
   const auto seed = static_cast<std::uint64_t>(cli.get_integer("seed"));

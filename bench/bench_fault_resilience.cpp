@@ -17,6 +17,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 #include "report/csv.hpp"
 
 namespace {
@@ -79,7 +80,8 @@ int main(int argc, char** argv) {
 
   bench::ObsSession obs_session(cli);
   bench::FaultSession cli_faults(cli, scale.fabric.hosts(),
-                                 scale.stability_horizon);
+                                 scale.stability_horizon, &obs_session);
+  bench::CheckpointSession ckpt(cli, "fault_resilience", obs_session);
   const fault::FaultPlan plan =
       cli_faults.active()
           ? cli_faults.plan()
@@ -96,9 +98,9 @@ int main(int argc, char** argv) {
   base.fault_plan = &plan;
 
   base.scheduler = sched::SchedulerSpec::srpt();
-  const auto srpt = core::run_experiment(base);
+  const auto srpt = ckpt.run("srpt", base);
   base.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-  const auto basrpt = core::run_experiment(base);
+  const auto basrpt = ckpt.run("fast_basrpt", base);
 
   std::printf("\n--- total backlog evolution under faults (MB) ---\n");
   stats::Table qlen({"time s", "srpt MB", "fast basrpt MB"});

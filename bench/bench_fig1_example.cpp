@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 #include "sched/factory.hpp"
 #include "switchsim/slotted_sim.hpp"
 #include "workload/adversarial.hpp"
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
       "@slot1; 6 slots\n\n");
 
   bench::ObsSession obs_session(cli);
+  bench::CheckpointSession ckpt(cli, "fig1_example", obs_session);
   stats::Table table({"scheme", "delivered pkts", "left pkts",
                       "flows done", "max query FCT (slots)"});
 
@@ -52,7 +54,7 @@ int main(int argc, char** argv) {
     config.watched_dst = 2;
     obs_session.apply(config);
     const auto result =
-        switchsim::run_slotted(config, *scheduler, fig1_stream());
+        ckpt.run_slotted(label, config, *scheduler, fig1_stream);
     const auto q = result.fct.summary(stats::FlowClass::kQuery);
     table.add_row({label, stats::cell(result.delivered_packets),
                    stats::cell(result.left_packets),

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 #include "report/csv.hpp"
 #include "report/gnuplot.hpp"
 
@@ -32,14 +33,16 @@ int main(int argc, char** argv) {
   base.load = cli.get_real("load");
   base.horizon = scale.stability_horizon;
   obs_session.apply(base);
-  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon);
+  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon,
+                             &obs_session);
   faults.apply(base);
+  bench::CheckpointSession ckpt(cli, "fig2_motivation", obs_session);
 
   base.scheduler = sched::SchedulerSpec::srpt();
-  const auto srpt = core::run_experiment(base);
+  const auto srpt = ckpt.run("srpt", base);
   base.scheduler =
       sched::SchedulerSpec::threshold_srpt(cli.get_real("threshold"));
-  const auto threshold = core::run_experiment(base);
+  const auto threshold = ckpt.run("threshold", base);
 
   // The paper plots the backlog of one server; the per-server average of
   // the total fabric backlog is the same signal with the sampling noise

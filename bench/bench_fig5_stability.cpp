@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 #include "report/csv.hpp"
 #include "report/gnuplot.hpp"
 
@@ -31,13 +32,15 @@ int main(int argc, char** argv) {
   base.load = cli.get_real("load");
   base.horizon = scale.stability_horizon;
   obs_session.apply(base);
-  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon);
+  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon,
+                             &obs_session);
   faults.apply(base);
+  bench::CheckpointSession ckpt(cli, "fig5_stability", obs_session);
 
   base.scheduler = sched::SchedulerSpec::srpt();
-  const auto srpt = core::run_experiment(base);
+  const auto srpt = ckpt.run("srpt", base);
   base.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-  const auto basrpt = core::run_experiment(base);
+  const auto basrpt = ckpt.run("fast_basrpt", base);
 
   const auto rows = static_cast<std::size_t>(cli.get_integer("trace-points"));
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
   bench::ObsSession obs_session(cli);
-  bench::FaultSession faults(cli, scale.fabric.hosts(), scale.fct_horizon);
+  bench::FaultSession faults(cli, scale.fabric.hosts(), scale.fct_horizon,
+                             &obs_session);
+  bench::CheckpointSession ckpt(cli, "fig6_loads", obs_session);
   const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4,
                                      0.5, 0.6, 0.7, 0.8};
   stats::Table table({"load", "srpt avg ms", "basrpt avg ms",
@@ -38,10 +41,12 @@ int main(int argc, char** argv) {
     obs_session.apply(config);
     faults.apply(config);
 
+    char load_tag[32];
+    std::snprintf(load_tag, sizeof(load_tag), "%.1f", load);
     config.scheduler = sched::SchedulerSpec::srpt();
-    const auto srpt = core::run_experiment(config);
+    const auto srpt = ckpt.run(std::string("srpt_") + load_tag, config);
     config.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-    const auto basrpt = core::run_experiment(config);
+    const auto basrpt = ckpt.run(std::string("basrpt_") + load_tag, config);
 
     // "Average FCT" in Fig. 6 is over all flows.
     const auto overall = [](const core::ExperimentResult& r) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 7: varying V at 95% load", scale);
 
   bench::ObsSession obs_session(cli);
+  bench::CheckpointSession ckpt(cli, "fig7_vsweep", obs_session);
   const std::vector<double> paper_vs = {1000, 2500, 5000, 10000};
   stats::Table table({"paper V", "effective V", "thpt Gbps",
                       "tail queue MB", "max-port tail MB", "stable"});
@@ -33,7 +35,8 @@ int main(int argc, char** argv) {
     obs_session.apply(config);
     const double v_eff = bench::effective_v(paper_v, scale);
     config.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-    const auto r = core::run_experiment(config);
+    const auto r =
+        ckpt.run("v" + std::to_string(static_cast<int>(paper_v)), config);
 
     table.add_row(
         {stats::cell(paper_v, 0), stats::cell(v_eff, 0),

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 8: FCT under different V", scale);
 
   bench::ObsSession obs_session(cli);
+  bench::CheckpointSession ckpt(cli, "fig8_vsweep_fct", obs_session);
   const std::vector<double> paper_vs = {1000, 2500, 5000, 10000};
   stats::Table table({"paper V", "qry avg ms", "qry p99 ms", "bg avg ms",
                       "bg p99 ms"});
@@ -32,7 +34,8 @@ int main(int argc, char** argv) {
     obs_session.apply(config);
     config.scheduler =
         sched::SchedulerSpec::fast_basrpt(bench::effective_v(paper_v, scale));
-    const auto r = core::run_experiment(config);
+    const auto r =
+        ckpt.run("v" + std::to_string(static_cast<int>(paper_v)), config);
     table.add_row({stats::cell(paper_v, 0), stats::cell(r.query_avg_ms),
                    stats::cell(r.query_p99_ms),
                    stats::cell(r.background_avg_ms),

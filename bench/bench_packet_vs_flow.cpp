@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 #include "flowsim/flow_sim.hpp"
 #include "pktsim/packet_sim.hpp"
 #include "workload/generators.hpp"
@@ -27,6 +28,9 @@ int main(int argc, char** argv) {
   if (!bench::parse_common(cli, argc, argv)) {
     return 0;
   }
+  // Both halves replay one recorded trace through model-specific result
+  // types — there is no ExperimentResult cell to store or replay.
+  bench::require_no_checkpoint_flags(cli);
   const bool full = cli.get_flag("full");
   const std::int32_t racks = full ? 4 : 2;
   const std::int32_t per_rack = 4;
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
     config.policy = policy;
     config.v = v_eff;
     config.horizon = horizon;
+    config.paranoid = cli.get_flag("paranoid");
     workload::VectorTraffic replay(recorder.recorded());
     const auto r = run_packet_sim(config, replay);
     const auto q = r.fct.summary(stats::FlowClass::kQuery);
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
     config.horizon = horizon;
     config.tracer = obs_session.tracer_or_null();
     config.heartbeat_wall_sec = cli.get_real("heartbeat");
+    config.paranoid = cli.get_flag("paranoid");
     auto scheduler = obs_session.wrap(sched::make_scheduler(spec));
     workload::VectorTraffic replay(recorder.recorded());
     const auto r = run_flow_sim(config, *scheduler, replay);

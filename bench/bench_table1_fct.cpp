@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -32,13 +33,15 @@ int main(int argc, char** argv) {
   base.load = cli.get_real("load");
   base.horizon = scale.fct_horizon;
   obs_session.apply(base);
-  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon);
+  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon,
+                             &obs_session);
   faults.apply(base);
+  bench::CheckpointSession ckpt(cli, "table1_fct", obs_session);
 
   base.scheduler = sched::SchedulerSpec::srpt();
-  const auto srpt = core::run_experiment(base);
+  const auto srpt = ckpt.run("srpt", base);
   base.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-  const auto basrpt = core::run_experiment(base);
+  const auto basrpt = ckpt.run("fast_basrpt", base);
 
   stats::Table table({"metric", "srpt", "fast basrpt", "ratio"});
   const auto row = [&](const std::string& name, double a, double b) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "checkpoint_session.hpp"
 #include "sched/bvn_scheduler.hpp"
 #include "sched/factory.hpp"
 #include "switchsim/arrivals.hpp"
@@ -47,23 +48,26 @@ int main(int argc, char** argv) {
   mix.p_small = 0.9;
 
   bench::ObsSession obs_session(cli);
-  const auto run = [&](sched::Scheduler& scheduler) {
+  bench::CheckpointSession ckpt(cli, "theorem1_slotted", obs_session);
+  const auto run = [&](const std::string& label,
+                       sched::Scheduler& scheduler) {
     switchsim::SlottedConfig config;
     config.n_ports = n;
     config.horizon = horizon;
     config.sample_every = 64;
     config.watched_dst = 1;
     obs_session.apply(config);
-    return switchsim::run_slotted(
-        config, scheduler,
-        switchsim::bernoulli_arrivals(rates, mix, horizon, Rng(seed)));
+    return ckpt.run_slotted(label, config, scheduler, [&] {
+      return switchsim::bernoulli_arrivals(rates, mix, horizon, Rng(seed));
+    });
   };
 
   stats::Table table({"scheduler", "avg backlog pkts", "avg penalty",
                       "qry avg FCT", "bg avg FCT", "thpt pkt/slot",
                       "stable"});
-  const auto add = [&](sched::Scheduler& scheduler) {
-    const auto r = run(scheduler);
+  const auto add = [&](const std::string& label,
+                       sched::Scheduler& scheduler) {
+    const auto r = run(label, scheduler);
     const auto q = r.fct.summary(stats::FlowClass::kQuery);
     const auto b = r.fct.summary(stats::FlowClass::kBackground);
     table.add_row(
@@ -78,18 +82,18 @@ int main(int argc, char** argv) {
   for (const double v : {10.0, 40.0, 160.0, 640.0, 2560.0}) {
     auto scheduler = obs_session.wrap(
         sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(v)));
-    add(*scheduler);
+    add("v" + std::to_string(static_cast<int>(v)), *scheduler);
   }
   {
     auto srpt =
         obs_session.wrap(sched::make_scheduler(sched::SchedulerSpec::srpt()));
-    add(*srpt);
+    add("srpt", *srpt);
     auto maxweight = obs_session.wrap(
         sched::make_scheduler(sched::SchedulerSpec::maxweight()));
-    add(*maxweight);
+    add("maxweight", *maxweight);
     sched::BvnScheduler bvn(switchsim::skewed_rates(n, 0.98, 0.6),
                             Rng(seed + 1));
-    add(bvn);
+    add("bvn", bvn);
   }
 
   bench::emit(table, cli);

@@ -43,6 +43,55 @@ if [[ "$RUN_TIER2" == 1 ]]; then
   ./build-asan/bench/bench_fault_resilience --horizon 0.5 --watchdog 120
   ./build-asan/bench/bench_fig5_stability \
       --horizon 0.4 --fault-plan=random --fault-seed 7 --watchdog 120
+
+  # Kill-and-resume soak: SIGKILL a checkpointing bench the moment its
+  # first checkpoint lands, resume from the newest file, and require the
+  # final CSV to be byte-identical to an uninterrupted reference run.
+  # SIGKILL (not SIGINT) is the honest crash model — no handler runs, so
+  # only the already-fsynced checkpoint can save the run. Covers both
+  # checkpoint kinds: fig5 stores finished experiment cells; theorem1
+  # also snapshots genuine mid-run slotted state.
+  echo "==== tier 2: kill-and-resume soak (ASan/UBSan) ===="
+  CKPT_TMP="$(mktemp -d)"
+  trap 'rm -rf "$CKPT_TMP"' EXIT
+
+  kill_and_resume() {
+    local name="$1"; shift
+    local cadence="$1"; shift  # cells for experiment benches, slots for slotted
+    local bin="$1"; shift
+    local dir="$CKPT_TMP/$name"
+    mkdir -p "$dir"
+
+    "$bin" "$@" --csv > "$CKPT_TMP/$name.ref.csv"
+
+    "$bin" "$@" --csv --checkpoint-dir "$dir" --checkpoint-every "$cadence" \
+        > "$CKPT_TMP/$name.partial.csv" 2> "$CKPT_TMP/$name.partial.err" &
+    local pid=$!
+    # Kill as soon as the first checkpoint is durable; if the run beats
+    # us to the finish line, resume degenerates to replay-everything,
+    # which must produce the same bytes anyway.
+    for _ in $(seq 1 600); do
+      compgen -G "$dir/*.ckpt" > /dev/null && break
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    kill -KILL "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    if ! compgen -G "$dir/*.ckpt" > /dev/null; then
+      echo "kill-and-resume($name): no checkpoint was written" >&2
+      exit 1
+    fi
+
+    "$bin" "$@" --csv --checkpoint-dir "$dir" --resume latest \
+        > "$CKPT_TMP/$name.resumed.csv"
+    diff "$CKPT_TMP/$name.ref.csv" "$CKPT_TMP/$name.resumed.csv" \
+        || { echo "kill-and-resume($name): resumed CSV diverges" >&2; exit 1; }
+    echo "kill-and-resume($name): resumed CSV byte-identical"
+  }
+
+  kill_and_resume fig5 1 ./build-asan/bench/bench_fig5_stability --horizon 0.3
+  kill_and_resume theorem1 4000 ./build-asan/bench/bench_theorem1_slotted \
+      --slots 60000
 fi
 
 echo "==== ci passed ===="

@@ -1,0 +1,128 @@
+#include "ckpt/experiment_state.hpp"
+
+#include <cstdint>
+
+#include "ckpt/stats_codec.hpp"
+
+namespace basrpt::ckpt {
+
+namespace {
+
+void write_trend(SnapshotWriter::Section& out, const char* slope_key,
+                 const char* ratio_key, const char* growing_key,
+                 const stats::TrendVerdict& t) {
+  out.f64(slope_key, t.slope);
+  out.f64(ratio_key, t.growth_ratio);
+  out.u64(growing_key, t.growing ? 1 : 0);
+}
+
+stats::TrendVerdict read_trend(SectionReader& in, const char* slope_key,
+                               const char* ratio_key,
+                               const char* growing_key) {
+  stats::TrendVerdict t;
+  t.slope = in.f64(slope_key);
+  t.growth_ratio = in.f64(ratio_key);
+  const std::uint64_t growing = in.u64(growing_key);
+  if (growing > 1) {
+    in.fail(std::string(growing_key) + " must be 0 or 1");
+  }
+  t.growing = growing == 1;
+  return t;
+}
+
+}  // namespace
+
+void write_experiment_result(SnapshotWriter& out, const std::string& prefix,
+                             const core::ExperimentResult& r) {
+  auto& sum = out.section(prefix + ".summary");
+  sum.text("scheduler_name", r.scheduler_name);
+  sum.f64("query_avg_ms", r.query_avg_ms);
+  sum.f64("query_p99_ms", r.query_p99_ms);
+  sum.f64("background_avg_ms", r.background_avg_ms);
+  sum.f64("background_p99_ms", r.background_p99_ms);
+  sum.f64("query_mean_slowdown", r.query_mean_slowdown);
+  sum.f64("background_mean_slowdown", r.background_mean_slowdown);
+  sum.f64("throughput_gbps", r.throughput_gbps);
+  write_trend(sum, "watched_slope", "watched_ratio", "watched_growing",
+              r.watched_trend);
+  write_trend(sum, "total_slope", "total_ratio", "total_growing",
+              r.total_backlog_trend);
+  sum.f64("watched_tail_mean_bytes", r.watched_tail_mean_bytes);
+  sum.f64("total_tail_mean_bytes", r.total_tail_mean_bytes);
+  sum.i64("flows_arrived", r.flows_arrived);
+  sum.i64("flows_completed", r.flows_completed);
+  sum.i64("flows_left", r.flows_left);
+  sum.f64("bytes_left_gb", r.bytes_left_gb);
+
+  auto& raw = out.section(prefix + ".raw");
+  raw.i64("delivered", r.raw.delivered.count);
+  raw.i64("bytes_arrived", r.raw.bytes_arrived.count);
+  raw.i64("flows_arrived", r.raw.flows_arrived);
+  raw.i64("flows_completed", r.raw.flows_completed);
+  raw.i64("flows_left", r.raw.flows_left);
+  raw.i64("bytes_left", r.raw.bytes_left.count);
+  raw.f64("horizon", r.raw.horizon.seconds);
+  raw.u64("scheduler_invocations", r.raw.scheduler_invocations);
+  write_fault_stats(raw, r.raw.fault_stats);
+
+  write_fct(out.section(prefix + ".fct"), r.raw.fct.state());
+  write_backlog(out.section(prefix + ".backlog"), r.raw.backlog.state());
+  write_timeseries(out.section(prefix + ".delivered_trace"),
+                   r.raw.delivered_trace.state());
+}
+
+core::ExperimentResult read_experiment_result(const Snapshot& snap,
+                                              const std::string& prefix,
+                                              flowsim::PortId ws,
+                                              flowsim::PortId wd) {
+  core::ExperimentResult r(ws, wd);
+
+  SectionReader sum = snap.reader(prefix + ".summary");
+  r.scheduler_name = sum.text("scheduler_name");
+  r.query_avg_ms = sum.f64("query_avg_ms");
+  r.query_p99_ms = sum.f64("query_p99_ms");
+  r.background_avg_ms = sum.f64("background_avg_ms");
+  r.background_p99_ms = sum.f64("background_p99_ms");
+  r.query_mean_slowdown = sum.f64("query_mean_slowdown");
+  r.background_mean_slowdown = sum.f64("background_mean_slowdown");
+  r.throughput_gbps = sum.f64("throughput_gbps");
+  r.watched_trend =
+      read_trend(sum, "watched_slope", "watched_ratio", "watched_growing");
+  r.total_backlog_trend =
+      read_trend(sum, "total_slope", "total_ratio", "total_growing");
+  r.watched_tail_mean_bytes = sum.f64("watched_tail_mean_bytes");
+  r.total_tail_mean_bytes = sum.f64("total_tail_mean_bytes");
+  r.flows_arrived = sum.i64("flows_arrived");
+  r.flows_completed = sum.i64("flows_completed");
+  r.flows_left = sum.i64("flows_left");
+  r.bytes_left_gb = sum.f64("bytes_left_gb");
+  sum.expect_done();
+
+  SectionReader raw = snap.reader(prefix + ".raw");
+  r.raw.delivered = Bytes{raw.i64("delivered")};
+  r.raw.bytes_arrived = Bytes{raw.i64("bytes_arrived")};
+  r.raw.flows_arrived = raw.i64("flows_arrived");
+  r.raw.flows_completed = raw.i64("flows_completed");
+  r.raw.flows_left = raw.i64("flows_left");
+  r.raw.bytes_left = Bytes{raw.i64("bytes_left")};
+  r.raw.horizon = SimTime{raw.f64("horizon")};
+  r.raw.scheduler_invocations = raw.u64("scheduler_invocations");
+  r.raw.fault_stats = read_fault_stats(raw);
+  raw.expect_done();
+
+  SectionReader fct = snap.reader(prefix + ".fct");
+  r.raw.fct.restore(read_fct(fct));
+  fct.expect_done();
+
+  SectionReader bl = snap.reader(prefix + ".backlog");
+  r.raw.backlog.restore(read_backlog(bl));
+  bl.expect_done();
+
+  SectionReader dt = snap.reader(prefix + ".delivered_trace");
+  r.raw.delivered_trace.restore(read_timeseries(dt));
+  dt.expect_done();
+
+  return r;
+}
+
+}  // namespace basrpt::ckpt

@@ -1,0 +1,35 @@
+// basrpt-ckpt-v1 encoding of a completed core::ExperimentResult.
+//
+// The figure benches are sequences of independent work units ("cells"):
+// each core::run_experiment call seeds a fresh RNG from its own config,
+// so a cell's result depends only on that config — never on the cells
+// before it. Checkpointing therefore stores *finished* cells; resuming
+// replays them from the file (bit-identical, no recomputation) and runs
+// the remaining cells live. The final CSVs are byte-identical to an
+// uninterrupted run's.
+//
+// Sections are namespaced by a caller-chosen prefix (`<prefix>.summary`,
+// `<prefix>.fct`, ...) so one snapshot can hold many cells.
+#pragma once
+
+#include <string>
+
+#include "ckpt/snapshot.hpp"
+#include "core/experiment.hpp"
+
+namespace basrpt::ckpt {
+
+/// Appends the result's sections, all named `<prefix>.<part>`. The
+/// prefix must satisfy the section-name charset ([a-z0-9_.-]+).
+void write_experiment_result(SnapshotWriter& out, const std::string& prefix,
+                             const core::ExperimentResult& r);
+
+/// Rebuilds a stored result. `ws`/`wd` are the watched ports of the
+/// resuming config (construction-time state of the embedded recorder;
+/// the config fingerprint upstream guarantees they match the writer's).
+core::ExperimentResult read_experiment_result(const Snapshot& snap,
+                                              const std::string& prefix,
+                                              flowsim::PortId ws,
+                                              flowsim::PortId wd);
+
+}  // namespace basrpt::ckpt

@@ -1,0 +1,47 @@
+#include "ckpt/signal_guard.hpp"
+
+#include <csignal>
+
+#include "common/assert.hpp"
+#include "common/interrupt.hpp"
+
+namespace basrpt::ckpt {
+
+namespace {
+
+bool g_guard_alive = false;
+
+extern "C" void on_fatal_signal(int signal_number) {
+  // Async-signal-safe: one sig_atomic_t store + one relaxed atomic store.
+  request_interrupt(signal_number);
+}
+
+}  // namespace
+
+struct SignalGuard::Saved {
+  struct sigaction sigint;
+  struct sigaction sigterm;
+};
+
+SignalGuard::SignalGuard() : saved_(new Saved) {
+  BASRPT_ASSERT(!g_guard_alive, "only one SignalGuard may be alive");
+  g_guard_alive = true;
+  struct sigaction action {};
+  action.sa_handler = on_fatal_signal;
+  sigemptyset(&action.sa_mask);
+  // One-shot: the handler uninstalls itself, so a second Ctrl-C while the
+  // checkpoint is being written kills the process the normal way.
+  action.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGINT, &action, &saved_->sigint);
+  ::sigaction(SIGTERM, &action, &saved_->sigterm);
+}
+
+SignalGuard::~SignalGuard() {
+  ::sigaction(SIGINT, &saved_->sigint, nullptr);
+  ::sigaction(SIGTERM, &saved_->sigterm, nullptr);
+  delete saved_;
+  g_guard_alive = false;
+  clear_interrupt();
+}
+
+}  // namespace basrpt::ckpt

@@ -1,0 +1,34 @@
+// SignalGuard: turn SIGINT/SIGTERM into a checkpoint opportunity.
+//
+// While a guard is alive, the first SIGINT or SIGTERM sets the common
+// interrupt flag (see common/interrupt.hpp); the simulation loop notices
+// at its next poll and raises InterruptedError at a safe boundary, where
+// the bench writes a final checkpoint and flushes partial artifacts.
+// Handlers are installed with SA_RESETHAND: a second signal gets the
+// default disposition and kills the process immediately — operators must
+// always be able to insist.
+//
+// Pay-for-use: benches construct the guard only when checkpointing is
+// enabled; without it, signal dispositions are untouched.
+#pragma once
+
+namespace basrpt::ckpt {
+
+class SignalGuard {
+ public:
+  /// Installs one-shot SIGINT/SIGTERM handlers. Only one guard may be
+  /// alive at a time (process-global signal dispositions).
+  SignalGuard();
+
+  /// Restores the previous dispositions and clears any pending flag.
+  ~SignalGuard();
+
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+ private:
+  struct Saved;
+  Saved* saved_;
+};
+
+}  // namespace basrpt::ckpt

@@ -1,0 +1,35 @@
+// basrpt-ckpt-v1 encoding of switchsim::SlottedSimState — the genuine
+// mid-run snapshot of the slotted simulator. Restoring it and re-running
+// with an identically configured SlottedConfig + freshly seeded arrival
+// stream continues the run bit-identically (enforced by the differential
+// tests in tests/test_ckpt.cpp).
+#pragma once
+
+#include "ckpt/snapshot.hpp"
+#include "switchsim/slotted_sim.hpp"
+
+namespace basrpt::ckpt {
+
+/// Appends the state's sections (all prefixed `slotted.`) to `out`. The
+/// caller may add its own sections (e.g. a `meta` fingerprint) alongside.
+void write_slotted_state(SnapshotWriter& out,
+                         const switchsim::SlottedSimState& s);
+
+/// Rebuilds the state from a parsed snapshot; ParseError on any missing
+/// section, schema drift, or implausible value.
+switchsim::SlottedSimState read_slotted_state(const Snapshot& snap);
+
+/// Encoding of a *finished* slotted run, namespaced `<prefix>.<part>` —
+/// how the slotted benches store completed cells so resume can re-emit
+/// their tables without recomputation.
+void write_slotted_result(SnapshotWriter& out, const std::string& prefix,
+                          const switchsim::SlottedResult& r);
+
+/// `ws`/`wd` are the resuming config's watched ports (construction-time
+/// state of the embedded recorder, covered by the config fingerprint).
+switchsim::SlottedResult read_slotted_result(const Snapshot& snap,
+                                             const std::string& prefix,
+                                             switchsim::PortId ws,
+                                             switchsim::PortId wd);
+
+}  // namespace basrpt::ckpt

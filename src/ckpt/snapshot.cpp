@@ -1,0 +1,365 @@
+#include "ckpt/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/serial.hpp"
+
+namespace basrpt::ckpt {
+
+namespace {
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-' || c == '.';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t crc_of_lines(const std::vector<std::string>& lines) {
+  std::uint32_t crc = 0;
+  for (const std::string& line : lines) {
+    crc = crc32(crc, line.data(), line.size());
+    crc = crc32(crc, "\n", 1);
+  }
+  return crc;
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  // Low 8 digits of the 16-digit helper: CRC-32 is 32 bits wide.
+  return u64_to_hex(crc).substr(8);
+}
+
+std::uint64_t parse_count(const std::string& cell, std::size_t line,
+                          const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(cell, &pos);
+    if (pos != cell.size() || cell.empty() || cell[0] == '-' ||
+        cell[0] == '+') {
+      throw ParseError(kParseContext, line,
+                       std::string(what) + " is not a count: '" + cell + "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(kParseContext, line,
+                     std::string(what) + " is not a count: '" + cell + "'");
+  }
+}
+
+std::uint32_t parse_crc(const std::string& cell, std::size_t line) {
+  if (cell.size() != 8) {
+    throw ParseError(kParseContext, line,
+                     "CRC must be 8 hex digits: '" + cell + "'");
+  }
+  try {
+    return static_cast<std::uint32_t>(u64_from_hex("00000000" + cell));
+  } catch (const std::exception&) {
+    throw ParseError(kParseContext, line,
+                     "CRC must be 8 hex digits: '" + cell + "'");
+  }
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream in(line);
+  std::string cell;
+  while (in >> cell) {
+    fields.push_back(cell);
+  }
+  return fields;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+
+void SnapshotWriter::Section::line(const std::string& raw) {
+  BASRPT_ASSERT(raw.find('\n') == std::string::npos &&
+                    raw.find('\r') == std::string::npos,
+                "checkpoint payload line contains a line break");
+  lines_.push_back(raw);
+}
+
+void SnapshotWriter::Section::u64(const char* key, std::uint64_t value) {
+  line(std::string(key) + ' ' + std::to_string(value));
+}
+
+void SnapshotWriter::Section::i64(const char* key, std::int64_t value) {
+  line(std::string(key) + ' ' + std::to_string(value));
+}
+
+void SnapshotWriter::Section::f64(const char* key, double value) {
+  line(std::string(key) + ' ' + f64_to_hex(value));
+}
+
+void SnapshotWriter::Section::text(const char* key, const std::string& value) {
+  line(std::string(key) + ' ' + value);
+}
+
+SnapshotWriter::Section& SnapshotWriter::section(const std::string& name) {
+  BASRPT_ASSERT(valid_name(name),
+                "checkpoint section name must be [a-z0-9_.-]+: '" + name + "'");
+  for (const Section& s : sections_) {
+    BASRPT_ASSERT(s.name_ != name,
+                  "checkpoint section written twice: '" + name + "'");
+  }
+  sections_.emplace_back();
+  sections_.back().name_ = name;
+  return sections_.back();
+}
+
+std::string SnapshotWriter::str() const {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  for (const Section& s : sections_) {
+    out << "section " << s.name_ << ' ' << s.lines_.size() << ' '
+        << crc_hex(crc_of_lines(s.lines_)) << '\n';
+    for (const std::string& line : s.lines_) {
+      out << line << '\n';
+    }
+  }
+  out << "end " << sections_.size() << '\n';
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+const std::string& SectionReader::next(const char* what) {
+  if (cursor_ >= section_->lines.size()) {
+    throw ParseError(kParseContext,
+                     section_->first_line + section_->lines.size(),
+                     "section '" + section_->name + "' is missing " + what);
+  }
+  return section_->lines[cursor_++];
+}
+
+std::size_t SectionReader::current_file_line() const {
+  // Line of the row the cursor just consumed (or would consume next when
+  // nothing was consumed yet).
+  const std::size_t row = cursor_ == 0 ? 0 : cursor_ - 1;
+  return section_->first_line + row;
+}
+
+void SectionReader::fail(const std::string& what) const {
+  throw ParseError(kParseContext, current_file_line(),
+                   "section '" + section_->name + "': " + what);
+}
+
+std::string SectionReader::value_of(const char* key) {
+  const std::string& line = next(key);
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    fail("expected 'key value', got '" + line + "'");
+  }
+  const std::string got = line.substr(0, space);
+  if (got != key) {
+    fail("expected key '" + std::string(key) + "', got '" + got + "'");
+  }
+  return line.substr(space + 1);
+}
+
+std::uint64_t SectionReader::u64(const char* key) {
+  const std::string cell = value_of(key);
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(cell, &pos);
+    if (pos != cell.size() || cell.empty() || cell[0] == '-' ||
+        cell[0] == '+') {
+      fail(std::string(key) + " is not a u64: '" + cell + "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(std::string(key) + " is not a u64: '" + cell + "'");
+  }
+}
+
+std::int64_t SectionReader::i64(const char* key) {
+  const std::string cell = value_of(key);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(cell, &pos);
+    if (pos != cell.size()) {
+      fail(std::string(key) + " is not an integer: '" + cell + "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(std::string(key) + " is not an integer: '" + cell + "'");
+  }
+}
+
+double SectionReader::f64(const char* key) {
+  const std::string cell = value_of(key);
+  try {
+    return f64_from_hex(cell);
+  } catch (const std::exception&) {
+    fail(std::string(key) + " is not a hex-encoded double: '" + cell + "'");
+  }
+}
+
+std::string SectionReader::text(const char* key) { return value_of(key); }
+
+void SectionReader::expect_done() {
+  if (cursor_ != section_->lines.size()) {
+    throw ParseError(kParseContext, section_->first_line + cursor_,
+                     "section '" + section_->name + "' has " +
+                         std::to_string(remaining()) +
+                         " unexpected trailing line(s)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot parse
+
+Snapshot Snapshot::parse(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ParseError(kParseContext, 1,
+                     std::string("expected '") + kMagic + "'");
+  }
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();  // tolerate CRLF
+  }
+  if (line != kMagic) {
+    throw ParseError(kParseContext, 1,
+                     std::string("expected '") + kMagic + "'");
+  }
+
+  Snapshot snap;
+  std::size_t line_no = 1;
+  bool saw_newline_at_end = !in.eof();
+  bool saw_trailer = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    saw_newline_at_end = !in.eof();
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (saw_trailer) {
+      // Anything after `end <n>` is a concatenation accident or an
+      // attacker-controlled tail; either way the file is not trustworthy.
+      throw ParseError(kParseContext, line_no,
+                       "trailing content after 'end' trailer");
+    }
+    const auto fields = split_ws(line);
+    if (fields.empty()) {
+      throw ParseError(kParseContext, line_no, "blank line inside snapshot");
+    }
+    if (fields[0] == "end") {
+      if (fields.size() != 2) {
+        throw ParseError(kParseContext, line_no,
+                         "'end' expects the section count");
+      }
+      const std::uint64_t count =
+          parse_count(fields[1], line_no, "section count");
+      if (count != snap.sections_.size()) {
+        throw ParseError(kParseContext, line_no,
+                         "trailer says " + std::to_string(count) +
+                             " sections, file has " +
+                             std::to_string(snap.sections_.size()));
+      }
+      saw_trailer = true;
+      continue;
+    }
+    if (fields[0] != "section") {
+      throw ParseError(kParseContext, line_no,
+                       "expected 'section' or 'end', got '" + fields[0] + "'");
+    }
+    if (fields.size() != 4) {
+      throw ParseError(kParseContext, line_no,
+                       "'section' expects <name> <nlines> <crc32>");
+    }
+    Section section;
+    section.name = fields[1];
+    if (!valid_name(section.name)) {
+      throw ParseError(kParseContext, line_no,
+                       "bad section name '" + section.name + "'");
+    }
+    if (snap.index_.count(section.name)) {
+      throw ParseError(kParseContext, line_no,
+                       "duplicate section '" + section.name + "'");
+    }
+    const std::uint64_t nlines = parse_count(fields[2], line_no, "nlines");
+    // An absurd count is a corrupt header; refuse before attempting to
+    // allocate or loop on it.
+    if (nlines > (1ull << 32)) {
+      throw ParseError(kParseContext, line_no,
+                       "implausible section size " + std::to_string(nlines));
+    }
+    const std::uint32_t want_crc = parse_crc(fields[3], line_no);
+    section.first_line = line_no + 1;
+    section.lines.reserve(static_cast<std::size_t>(nlines));
+    for (std::uint64_t i = 0; i < nlines; ++i) {
+      if (!std::getline(in, line)) {
+        throw ParseError(kParseContext, line_no,
+                         "section '" + section.name + "' truncated: expected " +
+                             std::to_string(nlines) + " lines, got " +
+                             std::to_string(i));
+      }
+      ++line_no;
+      saw_newline_at_end = !in.eof();
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      section.lines.push_back(line);
+    }
+    const std::uint32_t got_crc = crc_of_lines(section.lines);
+    if (got_crc != want_crc) {
+      throw ParseError(kParseContext, section.first_line,
+                       "section '" + section.name + "' CRC mismatch: header " +
+                           crc_hex(want_crc) + ", payload " +
+                           crc_hex(got_crc));
+    }
+    snap.index_[section.name] = snap.sections_.size();
+    snap.sections_.push_back(std::move(section));
+  }
+  if (in.bad()) {
+    throw ConfigError("checkpoint: I/O error while reading");
+  }
+  if (!saw_trailer) {
+    throw ParseError(kParseContext, line_no,
+                     "file truncated (missing 'end' trailer)");
+  }
+  if (!saw_newline_at_end) {
+    throw ParseError(kParseContext, line_no,
+                     "file truncated (no trailing newline)");
+  }
+  return snap;
+}
+
+Snapshot Snapshot::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BASRPT_REQUIRE(in.good(), "cannot open checkpoint: " + path);
+  return parse(in);
+}
+
+bool Snapshot::has(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+const Section& Snapshot::section(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw ParseError(kParseContext, 1,
+                     "snapshot has no section '" + name + "'");
+  }
+  return sections_[it->second];
+}
+
+}  // namespace basrpt::ckpt

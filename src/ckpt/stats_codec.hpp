@@ -1,0 +1,45 @@
+// Sub-codecs for the statistics accumulators embedded in every
+// checkpointable simulator state (moments, time series, FCT aggregates,
+// backlog traces, fault counters).
+//
+// Each write_*/read_* pair is strictly symmetric: the reader consumes
+// exactly the lines the writer produced, in order, and any drift —
+// missing field, renamed key, wrong count — surfaces as a line-numbered
+// ParseError from the SectionReader rather than a default-filled struct.
+#pragma once
+
+#include "ckpt/snapshot.hpp"
+#include "fault/injector.hpp"
+#include "queueing/backlog_recorder.hpp"
+#include "queueing/lyapunov.hpp"
+#include "stats/fct.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+namespace basrpt::ckpt {
+
+void write_moments(SnapshotWriter::Section& out,
+                   const stats::StreamingMoments::State& s);
+stats::StreamingMoments::State read_moments(SectionReader& in);
+
+void write_timeseries(SnapshotWriter::Section& out,
+                      const stats::TimeSeries::State& s);
+stats::TimeSeries::State read_timeseries(SectionReader& in);
+
+void write_fct(SnapshotWriter::Section& out,
+               const stats::FctAggregator::State& s);
+stats::FctAggregator::State read_fct(SectionReader& in);
+
+void write_backlog(SnapshotWriter::Section& out,
+                   const queueing::BacklogRecorder::State& s);
+queueing::BacklogRecorder::State read_backlog(SectionReader& in);
+
+void write_drift(SnapshotWriter::Section& out,
+                 const queueing::DriftTracker::State& s);
+queueing::DriftTracker::State read_drift(SectionReader& in);
+
+void write_fault_stats(SnapshotWriter::Section& out,
+                       const fault::FaultStats& s);
+fault::FaultStats read_fault_stats(SectionReader& in);
+
+}  // namespace basrpt::ckpt

@@ -160,6 +160,19 @@ const std::string& CliParser::get_text(const std::string& name) const {
   return find(name, Kind::kText).value;
 }
 
+std::string CliParser::canonical_values(
+    const std::vector<std::string>& exclude) const {
+  const std::set<std::string> skip(exclude.begin(), exclude.end());
+  std::ostringstream out;
+  for (const auto& [name, opt] : options_) {  // std::map → name order
+    if (skip.count(name)) {
+      continue;
+    }
+    out << name << '=' << opt.value << '\n';
+  }
+  return out.str();
+}
+
 std::string CliParser::usage() const {
   std::ostringstream out;
   out << program_ << " — " << description_ << "\n\noptions:\n";

@@ -40,6 +40,13 @@ class CliParser {
 
   std::string usage() const;
 
+  /// One "name=value\n" line per registered option, in name order, with
+  /// the options named in `exclude` omitted. Defaults and explicit values
+  /// are indistinguishable on purpose: two invocations that resolve to
+  /// the same effective configuration fingerprint identically, which is
+  /// what checkpoint/resume compatibility checks need.
+  std::string canonical_values(const std::vector<std::string>& exclude) const;
+
  private:
   enum class Kind { kFlag, kInteger, kReal, kText };
   struct Option {

@@ -1,0 +1,39 @@
+#include "common/interrupt.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <string>
+
+namespace basrpt {
+
+namespace {
+volatile std::sig_atomic_t g_requested = 0;
+std::atomic<int> g_signal{0};
+}  // namespace
+
+InterruptedError::InterruptedError(int signal_number)
+    : SimulationError("interrupted by " +
+                      (signal_number == SIGINT    ? std::string("SIGINT")
+                       : signal_number == SIGTERM ? std::string("SIGTERM")
+                       : signal_number == 0
+                           ? std::string("request")
+                           : "signal " + std::to_string(signal_number))),
+      signal_number_(signal_number) {}
+
+void request_interrupt(int signal_number) noexcept {
+  g_signal.store(signal_number, std::memory_order_relaxed);
+  g_requested = 1;
+}
+
+bool interrupt_requested() noexcept { return g_requested != 0; }
+
+int interrupt_signal() noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+void clear_interrupt() noexcept {
+  g_requested = 0;
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace basrpt

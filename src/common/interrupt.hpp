@@ -1,0 +1,44 @@
+// Cooperative interrupt delivery: async-signal context → simulation loop.
+//
+// A signal handler may only touch a `volatile sig_atomic_t`, but the
+// simulators need interruption to surface as a normal C++ exception at a
+// safe point (between events / slots), where state is consistent enough
+// to checkpoint. This module is the bridge: the handler (or a test) calls
+// request_interrupt(), and the engines poll interrupt_requested() on their
+// hot loop, throwing InterruptedError when it trips.
+//
+// Polling is armed only while a ckpt::SignalGuard is installed; without
+// one the flag never trips and the loops pay a single relaxed atomic load
+// per poll interval — pay-for-use.
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace basrpt {
+
+/// Thrown at a safe boundary after an interrupt was requested. Carries
+/// the signal number (0 if the request was programmatic).
+class InterruptedError : public SimulationError {
+ public:
+  explicit InterruptedError(int signal_number);
+
+  int signal_number() const { return signal_number_; }
+
+ private:
+  int signal_number_;
+};
+
+/// Record an interrupt request. Async-signal-safe (writes one
+/// sig_atomic_t and one relaxed atomic int).
+void request_interrupt(int signal_number) noexcept;
+
+/// True once request_interrupt() has been called (until cleared).
+bool interrupt_requested() noexcept;
+
+/// Signal number of the pending request (0 when programmatic / none).
+int interrupt_signal() noexcept;
+
+/// Reset the pending flag (test teardown and post-checkpoint exit paths).
+void clear_interrupt() noexcept;
+
+}  // namespace basrpt

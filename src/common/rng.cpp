@@ -71,6 +71,18 @@ double Rng::exponential(double rate) {
 
 bool Rng::bernoulli(double p) { return uniform01() < p; }
 
+std::array<std::uint64_t, 5> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3], seed_};
+}
+
+void Rng::restore(const std::array<std::uint64_t, 5>& state) {
+  s_[0] = state[0];
+  s_[1] = state[1];
+  s_[2] = state[2];
+  s_[3] = state[3];
+  seed_ = state[4];
+}
+
 Rng Rng::split(std::uint64_t label) const {
   std::uint64_t sm = seed_ ^ (0xA0761D6478BD642Full * (label + 1));
   return Rng(splitmix64(sm));

@@ -10,6 +10,7 @@
 // SplitMix64 as its authors recommend.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -52,6 +53,14 @@ class Rng {
   /// Derives an independent child stream; deterministic in (this stream's
   /// seed, label). Use one label per component.
   Rng split(std::uint64_t label) const;
+
+  /// Checkpointable state: the four xoshiro256** words followed by the
+  /// retained seed (needed so split() keeps working after restore()).
+  std::array<std::uint64_t, 5> state() const;
+
+  /// Restores a stream captured with state(); the draw sequence continues
+  /// bit-identically from the capture point.
+  void restore(const std::array<std::uint64_t, 5>& state);
 
  private:
   std::uint64_t s_[4];

@@ -40,6 +40,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim_config.heartbeat_wall_sec = config.heartbeat_wall_sec;
   sim_config.fault_plan = config.fault_plan;
   sim_config.watchdog = config.watchdog;
+  sim_config.paranoid = config.paranoid;
 
   auto sim = flowsim::run_flow_sim(sim_config, *scheduler, *traffic);
 

@@ -69,6 +69,9 @@ struct ExperimentConfig {
   const fault::FaultPlan* fault_plan = nullptr;
   /// No-progress stall watchdog; default-disabled.
   fault::WatchdogConfig watchdog{};
+  /// Conservation auditing at every sampling instant (--paranoid); the
+  /// run aborts with fault::InvariantError if the books stop balancing.
+  bool paranoid = false;
 };
 
 /// The paper's headline numbers for one run, plus stability verdicts.

@@ -96,6 +96,21 @@ void FlowLifecycle::apply_decision(const std::vector<FlowId>& selected,
   prev_selected_.assign(selected.begin(), selected.end());
 }
 
+FlowLifecycle::State FlowLifecycle::state() const {
+  return {next_id_,     flows_arrived_, flows_completed_,
+          flows_requeued_, bytes_arrived_, prev_selected_};
+}
+
+void FlowLifecycle::restore(const State& s) {
+  next_id_ = s.next_id;
+  flows_arrived_ = s.flows_arrived;
+  flows_completed_ = s.flows_completed;
+  flows_requeued_ = s.flows_requeued;
+  bytes_arrived_ = s.bytes_arrived;
+  prev_selected_ = s.prev_selected;
+  selected_set_.clear();  // scratch; rebuilt by the next apply_decision
+}
+
 void FlowLifecycle::note_service(FlowId id, PortId src, PortId dst,
                                  double now, Bytes size, Bytes remaining) {
   if (tracer_ != nullptr) {

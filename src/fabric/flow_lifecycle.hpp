@@ -97,6 +97,20 @@ class FlowLifecycle {
   Bytes bytes_arrived() const { return bytes_arrived_; }
   bool tracing() const { return tracer_ != nullptr; }
 
+  /// Checkpointable image of the lifecycle tables. `prev_selected`
+  /// matters: the first post-resume decision diffs against it, and the
+  /// preemption events it emits must match the uninterrupted run's.
+  struct State {
+    FlowId next_id = 0;
+    std::int64_t flows_arrived = 0;
+    std::int64_t flows_completed = 0;
+    std::int64_t flows_requeued = 0;
+    Bytes bytes_arrived{};
+    std::vector<FlowId> prev_selected;
+  };
+  State state() const;
+  void restore(const State& s);
+
  private:
   queueing::VoqMatrix* voqs_;
   stats::FctAggregator& fct_;

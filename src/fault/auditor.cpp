@@ -1,0 +1,45 @@
+#include "fault/auditor.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace basrpt::fault {
+
+void InvariantAuditor::audit(double when, const std::vector<Ledger>& ledgers) {
+  ++audits_;
+  for (const Ledger& ledger : ledgers) {
+    std::int64_t credit = 0;
+    std::int64_t debit = 0;
+    for (const auto& [label, value] : ledger.credits) {
+      credit += value;
+    }
+    for (const auto& [label, value] : ledger.debits) {
+      debit += value;
+    }
+    if (credit == debit) {
+      continue;
+    }
+    std::ostringstream out;
+    out << owner_ << ": conservation violated in ledger '" << ledger.name
+        << "' at t=" << when << ": ";
+    const char* sep = "";
+    for (const auto& [label, value] : ledger.credits) {
+      out << sep << label << "=" << value;
+      sep = " + ";
+    }
+    out << " != ";
+    sep = "";
+    for (const auto& [label, value] : ledger.debits) {
+      out << sep << label << "=" << value;
+      sep = " + ";
+    }
+    out << " (" << credit << " vs " << debit
+        << ", delta=" << (credit - debit) << ")";
+    const std::string message = out.str();
+    BASRPT_LOG(kError) << message;
+    throw InvariantError(message);
+  }
+}
+
+}  // namespace basrpt::fault

@@ -96,6 +96,59 @@ void FaultInjector::apply(const Transition& t) {
   }
 }
 
+bool FaultInjector::in_disruption() const {
+  if (suppress_depth_ > 0) {
+    return true;
+  }
+  for (const auto& active : active_factors_) {
+    for (const double f : active) {
+      if (f == 0.0) {
+        return true;  // blackout window open
+      }
+    }
+  }
+  return false;
+}
+
+void FaultInjector::restore_cursor(std::size_t cursor) {
+  BASRPT_REQUIRE(cursor <= transitions_.size(),
+                 "checkpoint fault cursor " + std::to_string(cursor) +
+                     " exceeds " + std::to_string(transitions_.size()) +
+                     " plan transitions");
+  BASRPT_ASSERT(cursor_ == 0, "restore_cursor on a used injector");
+  // Replay the window bookkeeping silently: no hooks (the owner restores
+  // derived state — port masks, credits — from its own checkpoint
+  // sections) and no stats (restored separately, so counters continue
+  // from their checkpointed values instead of double-counting).
+  for (std::size_t k = 0; k < cursor; ++k) {
+    const Transition& t = transitions_[k];
+    const FaultEvent& e = plan_.events()[t.event];
+    switch (e.kind) {
+      case FaultKind::kDegrade:
+      case FaultKind::kBlackout: {
+        const double factor = e.kind == FaultKind::kBlackout ? 0.0 : e.factor;
+        auto& active = active_factors_[static_cast<std::size_t>(e.port)];
+        if (t.opens) {
+          active.push_back(factor);
+        } else {
+          const auto it = std::find(active.begin(), active.end(), factor);
+          BASRPT_ASSERT(it != active.end(),
+                        "fault window closed without a matching open");
+          active.erase(it);
+        }
+        break;
+      }
+      case FaultKind::kDropDecisions:
+        suppress_depth_ += t.opens ? 1 : -1;
+        BASRPT_ASSERT(suppress_depth_ >= 0, "suppression depth underflow");
+        break;
+      case FaultKind::kRearrival:
+        break;  // instant burst; no window state to rebuild
+    }
+  }
+  cursor_ = cursor;
+}
+
 double FaultInjector::port_factor(std::int32_t port) const {
   BASRPT_ASSERT(port >= 0 && port < ports_, "port out of range");
   const auto& active = active_factors_[static_cast<std::size_t>(port)];

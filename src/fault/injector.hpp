@@ -64,6 +64,20 @@ class FaultInjector {
   /// True while at least one drop-decisions window is open.
   bool decisions_suppressed() const { return suppress_depth_ > 0; }
 
+  /// True while the plan legitimately halts forward progress: a port is
+  /// fully dark (blackout) or decisions are being dropped. The watchdog
+  /// consults this to avoid declaring a scripted outage a stall.
+  bool in_disruption() const;
+
+  /// Number of transitions applied so far (checkpoint cursor).
+  std::size_t cursor() const { return cursor_; }
+
+  /// Rebuilds the window bookkeeping as if the first `cursor` transitions
+  /// had been applied — WITHOUT firing hooks or bumping stats (the owner
+  /// restores its own derived state and counters from the checkpoint).
+  /// Only valid on a freshly constructed injector.
+  void restore_cursor(std::size_t cursor);
+
   FaultStats& stats() { return stats_; }
   const FaultStats& stats() const { return stats_; }
 

@@ -28,6 +28,16 @@ double Watchdog::read_clock() const {
 
 void Watchdog::check(double sim_time_sec, std::uint64_t events) {
   ++checks_;
+  if (suppress_when_ && suppress_when_()) {
+    // A scripted blackout / control-loss window is open: frozen sim time
+    // is the fault plan doing its job, not a wedge. Disarm so the full
+    // deadline restarts after the window closes.
+    ++suppressed_checks_;
+    frozen_ = false;
+    frozen_events_ = 0;
+    frozen_wall_sec_ = 0.0;
+    return;
+  }
   if (!frozen_ || sim_time_sec > frozen_sim_time_) {
     // Progress (or first check): (re)arm at the current instant. The
     // wall clock is only read once per freeze, not per check.

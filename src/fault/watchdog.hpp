@@ -66,6 +66,15 @@ class Watchdog {
     clock_ = std::move(clock);
   }
 
+  /// While the predicate returns true, stall detection is disarmed and
+  /// the freeze baseline resets — a run frozen inside a scripted blackout
+  /// or control-loss window (see FaultInjector::in_disruption) is waiting
+  /// on the plan, not wedged. The full deadline starts over once the
+  /// window closes. Counted in suppressed_checks().
+  void set_suppress_when(std::function<bool()> predicate) {
+    suppress_when_ = std::move(predicate);
+  }
+
   /// Call once per event/slot. Cheap: one increment and mask compare
   /// between full checks. Throws StallError on a detected stall.
   void tick(double sim_time_sec, std::uint64_t events) {
@@ -82,6 +91,8 @@ class Watchdog {
   /// Wall seconds the sim instant has been frozen (0 if moving).
   double frozen_wall_sec() const { return frozen_wall_sec_; }
   std::uint64_t stalls_detected() const { return stalls_detected_; }
+  /// Checks skipped because a scripted disruption window was open.
+  std::uint64_t suppressed_checks() const { return suppressed_checks_; }
 
  private:
   void check(double sim_time_sec, std::uint64_t events);
@@ -92,9 +103,11 @@ class Watchdog {
   WatchdogConfig config_;
   std::function<std::string()> diagnostics_;
   std::function<double()> clock_;
+  std::function<bool()> suppress_when_;
 
   std::uint64_t ticks_ = 0;
   std::uint64_t checks_ = 0;
+  std::uint64_t suppressed_checks_ = 0;
   bool frozen_ = false;
   double frozen_sim_time_ = 0.0;
   std::uint64_t events_at_freeze_ = 0;

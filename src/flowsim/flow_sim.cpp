@@ -12,6 +12,7 @@
 #include "common/assert.hpp"
 #include "fabric/candidate_cache.hpp"
 #include "fabric/flow_lifecycle.hpp"
+#include "fault/auditor.hpp"
 #include "sim/engine.hpp"
 #include "topo/maxmin.hpp"
 
@@ -68,6 +69,13 @@ class Engine {
     if (config_.watchdog.enabled()) {
       watchdog_.configure(config_.watchdog);
       watchdog_.set_diagnostics([this]() { return stall_diagnostics(); });
+      if (injector_ != nullptr) {
+        // A scripted blackout/control-loss window can legitimately freeze
+        // sim time (nothing drains, decisions are dropped); that is the
+        // plan working, not a stall.
+        watchdog_.set_suppress_when(
+            [this]() { return injector_->in_disruption(); });
+      }
       events_.set_watchdog(&watchdog_);
     }
     lifecycle_.begin_run();
@@ -82,6 +90,9 @@ class Engine {
           result_.backlog.sample(now, voqs_);
           result_.delivered_trace.add(
               now, static_cast<double>(result_.delivered.count));
+          if (config_.paranoid) {
+            audit_conservation(now);
+          }
         });
     events_.run_until(config_.horizon);
     advance(config_.horizon);
@@ -219,6 +230,23 @@ class Engine {
       voqs_.remove(f.id);
       lifecycle_.requeue(f, now);
     }
+  }
+
+  /// --paranoid ledger: every admitted byte is delivered or still queued;
+  /// every admitted flow is completed or still active. Exact integers —
+  /// fluid drains round to whole bytes, so equality is achievable and
+  /// any imbalance is a real leak.
+  void audit_conservation(SimTime now) {
+    auditor_.audit(
+        now.seconds,
+        {{"bytes",
+          {{"bytes_arrived", lifecycle_.bytes_arrived().count}},
+          {{"delivered", result_.delivered.count},
+           {"backlog", voqs_.total_backlog().count}}},
+         {"flows",
+          {{"flows_arrived", lifecycle_.flows_arrived()}},
+          {{"completed", lifecycle_.flows_completed()},
+           {"active", static_cast<std::int64_t>(voqs_.active_flows())}}}});
   }
 
   std::string stall_diagnostics() const {
@@ -389,6 +417,7 @@ class Engine {
   std::vector<topo::FlowDemand> demands_;
   std::unique_ptr<fault::FaultInjector> injector_;  // null = fault-free
   fault::Watchdog watchdog_;
+  fault::InvariantAuditor auditor_{"flowsim"};
   std::unordered_set<FlowId> serving_set_;        // rearrival scratch
   std::vector<queueing::Flow> rearrival_scratch_;
   SimTime last_advance_{};

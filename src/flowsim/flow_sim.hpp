@@ -71,6 +71,10 @@ struct FlowSimConfig {
   const fault::FaultPlan* fault_plan = nullptr;
   /// No-progress stall watchdog (see fault::Watchdog); default-disabled.
   fault::WatchdogConfig watchdog{};
+  /// Conservation auditing at every sampling instant (--paranoid):
+  /// admitted bytes/flows must equal in-flight + completed, or the run
+  /// aborts with fault::InvariantError naming the violated ledger entry.
+  bool paranoid = false;
 };
 
 struct FlowSimResult {

@@ -70,7 +70,8 @@ void write_chrome_event(std::ostream& out, const FlowTraceRecord& r) {
 
 }  // namespace
 
-void FlowTracer::write_chrome_json(std::ostream& out) const {
+void FlowTracer::write_chrome_json(std::ostream& out,
+                                   const std::string& status) const {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const FlowTraceRecord& r : records_) {
@@ -81,16 +82,27 @@ void FlowTracer::write_chrome_json(std::ostream& out) const {
     out << "\n";
     write_chrome_event(out, r);
   }
+  // Clean runs stay byte-identical to the pre-status format; a partial
+  // flush stamps a metadata event so viewers and diffs can tell.
+  if (status != "ok") {
+    out << (first ? "" : ",")
+        << "\n{\"ph\":\"M\",\"name\":\"run_status\",\"args\":{\"status\":\""
+        << status << "\"}}";
+  }
   out << "\n]}\n";
 }
 
-void FlowTracer::write_jsonl(std::ostream& out) const {
+void FlowTracer::write_jsonl(std::ostream& out,
+                             const std::string& status) const {
   for (const FlowTraceRecord& r : records_) {
     out << "{\"event\":\"" << flow_event_name(r.event)
         << "\",\"run\":" << r.run << ",\"flow\":" << r.flow
         << ",\"src\":" << r.src << ",\"dst\":" << r.dst
         << ",\"t\":" << r.time_sec << ",\"size\":" << r.size
         << ",\"remaining\":" << r.remaining << "}\n";
+  }
+  if (status != "ok") {
+    out << "{\"event\":\"run_status\",\"status\":\"" << status << "\"}\n";
   }
 }
 
@@ -102,14 +114,16 @@ std::ofstream open_or_throw(const std::string& path) {
 }
 }  // namespace
 
-void FlowTracer::write_chrome_json_file(const std::string& path) const {
+void FlowTracer::write_chrome_json_file(const std::string& path,
+                                        const std::string& status) const {
   auto out = open_or_throw(path);
-  write_chrome_json(out);
+  write_chrome_json(out, status);
 }
 
-void FlowTracer::write_jsonl_file(const std::string& path) const {
+void FlowTracer::write_jsonl_file(const std::string& path,
+                                  const std::string& status) const {
   auto out = open_or_throw(path);
-  write_jsonl(out);
+  write_jsonl(out, status);
 }
 
 }  // namespace basrpt::obs

@@ -86,13 +86,18 @@ class FlowTracer {
   /// "b"/"e" pair keyed by flow id, first-service and preemption become
   /// instant events. pid = ingress port, tid = egress port, so Perfetto
   /// groups the timeline by VOQ. `ts` is sim time scaled to
-  /// microseconds.
-  void write_chrome_json(std::ostream& out) const;
-  void write_chrome_json_file(const std::string& path) const;
+  /// microseconds. A `status` other than "ok" (e.g. "interrupted" for a
+  /// partial flush) appends a run_status marker; "ok" leaves the output
+  /// byte-identical to the status-less format.
+  void write_chrome_json(std::ostream& out,
+                         const std::string& status = "ok") const;
+  void write_chrome_json_file(const std::string& path,
+                              const std::string& status = "ok") const;
 
   /// One JSON object per line: {"event":...,"flow":...,...}.
-  void write_jsonl(std::ostream& out) const;
-  void write_jsonl_file(const std::string& path) const;
+  void write_jsonl(std::ostream& out, const std::string& status = "ok") const;
+  void write_jsonl_file(const std::string& path,
+                        const std::string& status = "ok") const;
 
  private:
   void push(const FlowTraceRecord& r) { records_.push_back(r); }

@@ -11,6 +11,7 @@
 
 #include "common/assert.hpp"
 #include "fabric/flow_lifecycle.hpp"
+#include "fault/auditor.hpp"
 
 namespace basrpt::pktsim {
 
@@ -99,6 +100,12 @@ class Engine {
         return os.str();
       });
       events_.set_watchdog(&watchdog_);
+      if (injector_ != nullptr) {
+        // Don't declare a stall while a scripted blackout legitimately
+        // halts progress; the deadline restarts once the window closes.
+        watchdog_.set_suppress_when(
+            [this]() { return injector_->in_disruption(); });
+      }
     }
     lifecycle_.begin_run();
     if (injector_ != nullptr) {
@@ -109,6 +116,9 @@ class Engine {
                            config_.horizon, [this](SimTime now) {
                              result_.egress_backlog.add(
                                  now, static_cast<double>(parked_bytes_));
+                             if (config_.paranoid) {
+                               audit_conservation(now);
+                             }
                            });
     events_.run_until(config_.horizon);
     result_.horizon = config_.horizon;
@@ -122,6 +132,30 @@ class Engine {
   }
 
  private:
+  // ------------------------------------------------------------- auditing
+
+  /// Exact conservation check (--paranoid): every admitted byte is either
+  /// delivered or still owed to an active flow (in a sender queue, on the
+  /// wire, or parked at an egress — all captured by `to_deliver`).
+  void audit_conservation(SimTime now) {
+    std::int64_t undelivered = 0;
+    for (const auto& [id, flow] : flows_) {
+      undelivered += flow.to_deliver.count;
+    }
+    fault::Ledger bytes;
+    bytes.name = "bytes";
+    bytes.credits = {{"bytes_arrived", lifecycle_.bytes_arrived().count}};
+    bytes.debits = {{"delivered", result_.delivered.count},
+                    {"undelivered_active", undelivered}};
+    fault::Ledger flows;
+    flows.name = "flows";
+    flows.credits = {{"flows_arrived", lifecycle_.flows_arrived()}};
+    flows.debits = {
+        {"completed", lifecycle_.flows_completed()},
+        {"active", static_cast<std::int64_t>(flows_.size())}};
+    auditor_.audit(now.seconds, {bytes, flows});
+  }
+
   // ---------------------------------------------------------------- faults
 
   void schedule_next_fault() {
@@ -343,6 +377,7 @@ class Engine {
   fabric::FlowLifecycle lifecycle_;
   std::unique_ptr<fault::FaultInjector> injector_;  // null = fault-free
   fault::Watchdog watchdog_;
+  fault::InvariantAuditor auditor_{"pktsim"};
 };
 
 }  // namespace

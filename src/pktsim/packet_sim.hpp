@@ -74,6 +74,10 @@ struct PacketSimConfig {
   const fault::FaultPlan* fault_plan = nullptr;
   /// No-progress stall watchdog; default-disabled.
   fault::WatchdogConfig watchdog{};
+  /// Conservation auditing at every sampling instant (--paranoid):
+  /// admitted bytes must equal delivered + undelivered remainders of the
+  /// active flows, or the run aborts with fault::InvariantError.
+  bool paranoid = false;
 };
 
 struct PacketSimResult {

@@ -3,6 +3,8 @@
 // stats::classify_trend for programmatic stability verdicts).
 #pragma once
 
+#include <utility>
+
 #include "queueing/voq.hpp"
 #include "stats/timeseries.hpp"
 
@@ -24,6 +26,22 @@ class BacklogRecorder {
 
   PortId watched_src() const { return watched_src_; }
   PortId watched_dst() const { return watched_dst_; }
+
+  /// Checkpointable image: the three traces (watched ports are
+  /// construction-time configuration, covered by the config fingerprint).
+  struct State {
+    stats::TimeSeries::State total;
+    stats::TimeSeries::State max_ingress;
+    stats::TimeSeries::State watched_voq;
+  };
+  State state() const {
+    return {total_.state(), max_ingress_.state(), watched_voq_.state()};
+  }
+  void restore(State s) {
+    total_.restore(std::move(s.total));
+    max_ingress_.restore(std::move(s.max_ingress));
+    watched_voq_.restore(std::move(s.watched_voq));
+  }
 
  private:
   PortId watched_src_;

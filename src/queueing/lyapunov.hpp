@@ -34,6 +34,20 @@ class DriftTracker {
   double max_drift() const { return drift_.max(); }
   const stats::StreamingMoments& drift() const { return drift_; }
 
+  /// Checkpointable image (the `last_` anchor keeps the next observe()
+  /// producing the same drift sample it would have uninterrupted).
+  struct State {
+    bool primed = false;
+    double last = 0.0;
+    stats::StreamingMoments::State drift;
+  };
+  State state() const { return {primed_, last_, drift_.state()}; }
+  void restore(const State& s) {
+    primed_ = s.primed;
+    last_ = s.last;
+    drift_.restore(s.drift);
+  }
+
  private:
   bool primed_ = false;
   double last_ = 0.0;

@@ -72,8 +72,9 @@ std::ofstream open_or_throw(const std::string& path) {
 
 }  // namespace
 
-void write_metrics_json(std::ostream& out, const obs::Registry& registry) {
-  out << "{\n\"counters\":{";
+void write_metrics_json(std::ostream& out, const obs::Registry& registry,
+                        const std::string& status) {
+  out << "{\n\"status\":\"" << json_escape(status) << "\",\n\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : registry.counters()) {
     out << (first ? "" : ",") << "\n\"" << json_escape(name)
@@ -98,8 +99,10 @@ void write_metrics_json(std::ostream& out, const obs::Registry& registry) {
   out << "\n}\n}\n";
 }
 
-void write_metrics_csv(std::ostream& out, const obs::Registry& registry) {
+void write_metrics_csv(std::ostream& out, const obs::Registry& registry,
+                       const std::string& status) {
   out << "kind,name,field,value\n";
+  out << "run,status,," << status << "\n";
   for (const auto& [name, counter] : registry.counters()) {
     out << "counter," << name << ",value," << counter.value() << "\n";
   }
@@ -120,23 +123,26 @@ void write_metrics_csv(std::ostream& out, const obs::Registry& registry) {
 }
 
 void write_metrics_json_file(const std::string& path,
-                             const obs::Registry& registry) {
+                             const obs::Registry& registry,
+                             const std::string& status) {
   auto out = open_or_throw(path);
-  write_metrics_json(out, registry);
+  write_metrics_json(out, registry, status);
 }
 
 void write_metrics_csv_file(const std::string& path,
-                            const obs::Registry& registry) {
+                            const obs::Registry& registry,
+                            const std::string& status) {
   auto out = open_or_throw(path);
-  write_metrics_csv(out, registry);
+  write_metrics_csv(out, registry, status);
 }
 
 void write_metrics_file(const std::string& path,
-                        const obs::Registry& registry) {
+                        const obs::Registry& registry,
+                        const std::string& status) {
   if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
-    write_metrics_csv_file(path, registry);
+    write_metrics_csv_file(path, registry, status);
   } else {
-    write_metrics_json_file(path, registry);
+    write_metrics_json_file(path, registry, status);
   }
 }
 

@@ -1,6 +1,8 @@
 #include "sched/bvn_scheduler.hpp"
 
 #include <algorithm>
+#include <array>
+#include <string>
 
 #include "common/assert.hpp"
 
@@ -18,6 +20,21 @@ BvnScheduler::BvnScheduler(matching::RateMatrix rates, Rng rng)
     acc += term.weight;
     cumulative_.push_back(acc);
   }
+}
+
+std::vector<std::uint64_t> BvnScheduler::checkpoint_state() const {
+  const auto words = rng_.state();
+  return std::vector<std::uint64_t>(words.begin(), words.end());
+}
+
+void BvnScheduler::restore_checkpoint_state(
+    const std::vector<std::uint64_t>& state) {
+  BASRPT_REQUIRE(state.size() == 5,
+                 "BvN scheduler state must be the 5 RNG words, got " +
+                     std::to_string(state.size()));
+  std::array<std::uint64_t, 5> words{};
+  std::copy(state.begin(), state.end(), words.begin());
+  rng_.restore(words);
 }
 
 void BvnScheduler::decide_into(PortId n_ports,

@@ -26,6 +26,12 @@ class BvnScheduler final : public Scheduler {
   void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
                    Decision& out) override;
 
+  /// The permutation draws consume the RNG, so mid-run resume must carry
+  /// it: state is the raw xoshiro words (common::Rng::state()).
+  std::vector<std::uint64_t> checkpoint_state() const override;
+  void restore_checkpoint_state(
+      const std::vector<std::uint64_t>& state) override;
+
   const std::vector<matching::BvnTerm>& terms() const { return terms_; }
 
  private:

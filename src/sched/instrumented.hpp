@@ -39,6 +39,16 @@ class InstrumentedScheduler : public Scheduler {
   void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
                    Decision& out) override;
 
+  // The decorator's own tallies are observability, not simulation state;
+  // only the wrapped scheduler's state travels through checkpoints.
+  std::vector<std::uint64_t> checkpoint_state() const override {
+    return inner_->checkpoint_state();
+  }
+  void restore_checkpoint_state(
+      const std::vector<std::uint64_t>& state) override {
+    inner_->restore_checkpoint_state(state);
+  }
+
   // Local tallies mirroring the registry, for tests and direct queries.
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t preemptions() const { return preemptions_; }

@@ -27,6 +27,16 @@ class NoisySizeScheduler final : public Scheduler {
   void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
                    Decision& out) override;
 
+  // The per-flow factor is a pure hash of (seed, flow); only the wrapped
+  // scheduler can carry checkpointable state.
+  std::vector<std::uint64_t> checkpoint_state() const override {
+    return inner_->checkpoint_state();
+  }
+  void restore_checkpoint_state(
+      const std::vector<std::uint64_t>& state) override {
+    inner_->restore_checkpoint_state(state);
+  }
+
   double error() const { return error_; }
 
  private:

@@ -6,6 +6,14 @@
 
 namespace basrpt::sched {
 
+void Scheduler::restore_checkpoint_state(
+    const std::vector<std::uint64_t>& state) {
+  BASRPT_REQUIRE(state.empty(),
+                 "checkpoint carries scheduler state but scheduler '" +
+                     name() + "' is stateless — scheduler mismatch on "
+                     "resume");
+}
+
 void fill_candidate(const queueing::VoqMatrix& voqs, PortId i, PortId j,
                     double unit_bytes, CandidateNeeds needs,
                     VoqCandidate& out) {

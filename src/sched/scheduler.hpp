@@ -83,6 +83,20 @@ class Scheduler {
                            const std::vector<VoqCandidate>& candidates,
                            Decision& out) = 0;
 
+  /// Opaque internal state for checkpoint/resume. Schedulers whose
+  /// decisions depend only on the candidates (everything here except the
+  /// randomized BvN reference) return empty; stateful ones serialize
+  /// whatever restore_checkpoint_state() needs to continue the decision
+  /// sequence bit-identically. Decorators forward to the wrapped
+  /// scheduler.
+  virtual std::vector<std::uint64_t> checkpoint_state() const { return {}; }
+
+  /// Inverse of checkpoint_state(). The default rejects non-empty state
+  /// (a stateful checkpoint cannot be restored into a stateless
+  /// scheduler — that points at a scheduler-spec mismatch on resume).
+  virtual void restore_checkpoint_state(
+      const std::vector<std::uint64_t>& state);
+
   /// Convenience wrapper allocating a fresh Decision (tests, one-off
   /// callers). Hot paths keep a Decision buffer and call decide_into.
   Decision decide(PortId n_ports,

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/interrupt.hpp"
 #include "obs/metrics.hpp"
 
 namespace basrpt::sim {
@@ -37,6 +38,13 @@ std::uint64_t Engine::run_until(SimTime horizon) {
     heartbeat_.tick(now_.seconds, executed_);
     if (watchdog_ != nullptr) {
       watchdog_->tick(now_.seconds, executed_);
+    }
+    // Cooperative interruption (SIGINT/SIGTERM under a ckpt::SignalGuard):
+    // surface at an event boundary, where caller state is consistent
+    // enough to checkpoint. One relaxed load every 64 events; nothing
+    // ever sets the flag unless a guard is installed.
+    if ((executed_ & 63u) == 0 && interrupt_requested()) {
+      throw InterruptedError(interrupt_signal());
     }
   }
   // Advance the clock to the horizon even if the calendar drained early,

@@ -63,6 +63,33 @@ std::int64_t FctAggregator::completed_total() const {
   return total;
 }
 
+FctAggregator::State FctAggregator::state() const {
+  State out;
+  out.bytes_completed = bytes_completed_;
+  for (const auto& [cls, entry] : per_class_) {  // std::map → FlowClass order
+    ClassState c;
+    c.cls = cls;
+    c.moments = entry.moments.state();
+    c.fct_samples = entry.percentiles.samples();
+    c.slowdown_moments = entry.slowdown_moments.state();
+    c.slowdown_samples = entry.slowdown_percentiles.samples();
+    out.classes.push_back(std::move(c));
+  }
+  return out;
+}
+
+void FctAggregator::restore(const State& s) {
+  per_class_.clear();
+  bytes_completed_ = s.bytes_completed;
+  for (const ClassState& c : s.classes) {
+    PerClass& entry = per_class_[c.cls];
+    entry.moments.restore(c.moments);
+    entry.percentiles.restore(c.fct_samples);
+    entry.slowdown_moments.restore(c.slowdown_moments);
+    entry.slowdown_percentiles.restore(c.slowdown_samples);
+  }
+}
+
 void ThroughputMeter::deliver(Bytes amount) {
   BASRPT_ASSERT(amount.count >= 0, "cannot deliver negative bytes");
   delivered_ += amount;

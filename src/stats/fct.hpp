@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/units.hpp"
 #include "stats/percentile.hpp"
@@ -52,6 +53,22 @@ class FctAggregator {
 
   /// Total bytes of *completed* flows.
   Bytes bytes_completed() const { return bytes_completed_; }
+
+  /// Checkpointable image: every per-class accumulator plus the byte
+  /// counter. Restoring reproduces summary() output bit-identically.
+  struct ClassState {
+    FlowClass cls = FlowClass::kQuery;
+    StreamingMoments::State moments;
+    std::vector<double> fct_samples;
+    StreamingMoments::State slowdown_moments;
+    std::vector<double> slowdown_samples;
+  };
+  struct State {
+    std::vector<ClassState> classes;  // in FlowClass order
+    Bytes bytes_completed{};
+  };
+  State state() const;
+  void restore(const State& s);
 
  private:
   struct PerClass {

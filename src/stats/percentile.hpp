@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace basrpt::stats {
@@ -23,6 +24,15 @@ class ExactPercentiles {
 
   double p50() const { return quantile(0.50); }
   double p99() const { return quantile(0.99); }
+
+  /// Stored samples in their current order (checkpointing). Quantiles do
+  /// not depend on sample order, so the order a checkpoint happens to
+  /// capture is irrelevant to results.
+  const std::vector<double>& samples() const { return values_; }
+  void restore(std::vector<double> samples) {
+    values_ = std::move(samples);
+    sorted_ = false;
+  }
 
  private:
   mutable std::vector<double> values_;

@@ -22,6 +22,26 @@ class StreamingMoments {
   /// Merges another accumulator (parallel Welford).
   void merge(const StreamingMoments& other);
 
+  /// Checkpointable image of the accumulator. Restoring it continues the
+  /// Welford recurrence bit-identically.
+  struct State {
+    std::int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State state() const { return {count_, mean_, m2_, sum_, min_, max_}; }
+  void restore(const State& s) {
+    count_ = s.count;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    sum_ = s.sum;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::int64_t count_ = 0;
   double mean_ = 0.0;

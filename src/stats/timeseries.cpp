@@ -38,6 +38,15 @@ void TimeSeries::maybe_compact() {
   stride_ *= 2;
 }
 
+void TimeSeries::restore(State s) {
+  BASRPT_ASSERT(s.stride >= 1, "time series stride must be >= 1");
+  BASRPT_ASSERT(s.points.size() <= max_points_,
+                "restored time series exceeds max_points");
+  stride_ = s.stride;
+  pending_ = s.pending;
+  points_ = std::move(s.points);
+}
+
 double TimeSeries::slope() const {
   if (points_.size() < 2) {
     return 0.0;

@@ -44,6 +44,18 @@ class TimeSeries {
   double max_value() const;
   double last_value() const;
 
+  /// Checkpointable image: the compaction cursor plus retained points.
+  /// `max_points` is construction-time configuration and is not part of
+  /// the state (the resuming run must be configured identically, which
+  /// the checkpoint's config fingerprint enforces upstream).
+  struct State {
+    std::size_t stride = 1;
+    std::size_t pending = 0;
+    std::vector<Point> points;
+  };
+  State state() const { return {stride_, pending_, points_}; }
+  void restore(State s);
+
  private:
   void maybe_compact();
 

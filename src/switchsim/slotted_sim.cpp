@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/interrupt.hpp"
 #include "fabric/candidate_cache.hpp"
 #include "fabric/flow_lifecycle.hpp"
+#include "fault/auditor.hpp"
 #include "obs/heartbeat.hpp"
 
 namespace basrpt::switchsim {
@@ -33,9 +35,21 @@ SlottedResult run_slotted(const SlottedConfig& config,
   fabric::FlowLifecycle lifecycle(&voqs, result.fct, config.tracer);
   fabric::CandidateCache cache(voqs, /*unit_bytes=*/1.0, scheduler.needs());
   sched::Decision decision;
+  fault::InvariantAuditor auditor("switchsim");
 
-  std::optional<SlottedArrival> pending = arrivals();
-  Slot last_slot_seen = pending ? pending->slot : 0;
+  // Every arrivals() call is counted so a resumed run can replay the
+  // deterministic stream to the exact pull the checkpoint was taken at.
+  std::uint64_t arrival_pulls = 0;
+  auto pull = [&]() {
+    ++arrival_pulls;
+    return arrivals();
+  };
+  std::optional<SlottedArrival> pending;
+  Slot last_slot_seen = 0;
+  if (config.resume_from == nullptr) {
+    pending = pull();
+    last_slot_seen = pending ? pending->slot : 0;
+  }
 
   obs::Heartbeat heartbeat;
   if (config.heartbeat_wall_sec > 0.0) {
@@ -92,13 +106,133 @@ SlottedResult run_slotted(const SlottedConfig& config,
     injector = std::make_unique<fault::FaultInjector>(
         *config.fault_plan, static_cast<std::int32_t>(config.n_ports),
         std::move(hooks));
+    if (config.watchdog.enabled()) {
+      // A scripted blackout/control-loss window legitimately freezes
+      // progress; the watchdog must wait the window out (see
+      // FaultInjector::in_disruption).
+      watchdog.set_suppress_when(
+          [&injector]() { return injector->in_disruption(); });
+    }
+  }
+  std::int64_t candidates_masked_base = 0;
+
+  /// Top-of-slot snapshot: slot t's processing has not begun, so every
+  /// container is at its end-of-slot-(t-1) value. Flows travel in
+  /// for_each_flow order; re-adding them in that order rebuilds the
+  /// VoqMatrix (and hence the candidate view) bit-identically.
+  auto capture = [&](Slot t) {
+    SlottedSimState s;
+    s.slot = t;
+    s.arrival_pulls = arrival_pulls;
+    s.has_pending = pending.has_value();
+    if (pending) {
+      s.pending = *pending;
+    }
+    s.last_slot_seen = last_slot_seen;
+    s.scheduler_invocations = result.scheduler_invocations;
+    s.delivered_packets = result.delivered_packets;
+    s.scheduler_state = scheduler.checkpoint_state();
+    s.lifecycle = lifecycle.state();
+    s.flows.reserve(voqs.active_flows());
+    voqs.for_each_flow(
+        [&s](const queueing::Flow& f) { s.flows.push_back(f); });
+    s.fct = result.fct.state();
+    s.backlog = result.backlog.state();
+    s.drift = result.drift.state();
+    s.penalty = result.penalty.state();
+    s.backlog_packets = result.backlog_packets.state();
+    if (injector != nullptr) {
+      s.fault_cursor = injector->cursor();
+      s.fault_stats = injector->stats();
+      s.credit = credit;
+      s.last_selected = last_selected;
+      s.candidates_masked_base =
+          candidates_masked_base +
+          static_cast<std::int64_t>(cache.candidates_masked());
+    }
+    return s;
+  };
+
+  Slot start_slot = 0;
+  if (config.resume_from != nullptr) {
+    const SlottedSimState& s = *config.resume_from;
+    BASRPT_REQUIRE(s.slot >= 0 && s.slot <= config.horizon,
+                   "checkpoint slot " + std::to_string(s.slot) +
+                       " outside the configured horizon");
+    // Replay the deterministic stream up to the checkpointed pull count;
+    // the final pull must reproduce the stored pending arrival, or the
+    // stream is not the one the checkpoint was taken against.
+    for (std::uint64_t i = 0; i < s.arrival_pulls; ++i) {
+      pending = pull();
+    }
+    BASRPT_REQUIRE(pending.has_value() == s.has_pending &&
+                       (!pending ||
+                        (pending->slot == s.pending.slot &&
+                         pending->src == s.pending.src &&
+                         pending->dst == s.pending.dst &&
+                         pending->size == s.pending.size &&
+                         pending->cls == s.pending.cls)),
+                   "arrival stream diverged from checkpoint (wrong seed or "
+                   "workload config?)");
+    last_slot_seen = s.last_slot_seen;
+    for (const queueing::Flow& f : s.flows) {
+      voqs.add_flow(f);
+    }
+    lifecycle.restore(s.lifecycle);
+    result.fct.restore(s.fct);
+    result.backlog.restore(s.backlog);
+    result.drift.restore(s.drift);
+    result.penalty.restore(s.penalty);
+    result.backlog_packets.restore(s.backlog_packets);
+    result.scheduler_invocations = s.scheduler_invocations;
+    result.delivered_packets = s.delivered_packets;
+    scheduler.restore_checkpoint_state(s.scheduler_state);
+    if (injector != nullptr) {
+      injector->restore_cursor(s.fault_cursor);
+      injector->stats() = s.fault_stats;
+      BASRPT_REQUIRE(s.credit.size() ==
+                         static_cast<std::size_t>(config.n_ports),
+                     "checkpoint credit vector does not match port count");
+      credit = s.credit;
+      last_selected = s.last_selected;
+      candidates_masked_base = s.candidates_masked_base;
+      // Rebuild derived masking (restore_cursor fires no hooks).
+      for (PortId p = 0; p < config.n_ports; ++p) {
+        cache.set_port_usable(p, injector->port_usable(p));
+      }
+    } else {
+      BASRPT_REQUIRE(s.fault_cursor == 0 && s.credit.empty(),
+                     "checkpoint carries fault state but no plan is attached");
+    }
+    start_slot = s.slot;
   }
 
   lifecycle.begin_run();
 
-  for (Slot t = 0; t < config.horizon; ++t) {
+  for (Slot t = start_slot; t < config.horizon; ++t) {
+    if ((t & 63) == 0 && interrupt_requested()) {
+      // SIGINT/SIGTERM under a ckpt::SignalGuard: hand the caller a final
+      // snapshot (slot boundary, fully consistent) before unwinding.
+      if (config.on_checkpoint) {
+        config.on_checkpoint(capture(t));
+      }
+      throw InterruptedError(interrupt_signal());
+    }
+    if (config.checkpoint_every > 0 && config.on_checkpoint &&
+        t > start_slot && t % config.checkpoint_every == 0) {
+      config.on_checkpoint(capture(t));
+    }
     heartbeat.tick(static_cast<double>(t), static_cast<std::uint64_t>(t));
-    watchdog.tick(static_cast<double>(t), static_cast<std::uint64_t>(t));
+    try {
+      watchdog.tick(static_cast<double>(t), static_cast<std::uint64_t>(t));
+    } catch (const fault::StallError&) {
+      // Nothing of slot t has run yet, so the snapshot is consistent:
+      // a stalled run leaves a resume point behind.
+      if (config.on_checkpoint) {
+        config.on_checkpoint(capture(t));
+      }
+      throw;
+    }
     if (injector != nullptr) {
       fault_now = t;
       injector->advance_to(static_cast<double>(t));
@@ -117,7 +251,7 @@ SlottedResult run_slotted(const SlottedConfig& config,
                        Bytes{pending->size},  // 1 byte == 1 packet here
                        SimTime{static_cast<double>(pending->slot)},
                        pending->cls});
-      pending = arrivals();
+      pending = pull();
     }
 
     result.backlog_packets.add(
@@ -196,6 +330,21 @@ SlottedResult run_slotted(const SlottedConfig& config,
       const SimTime now{static_cast<double>(t)};
       result.backlog.sample(now, voqs);
       result.drift.observe(queueing::lyapunov_value(voqs, 1.0));
+      if (config.paranoid) {
+        // Admission stores packets as bytes (1 byte == 1 packet), so the
+        // lifecycle's byte counter IS the admitted-packet ledger.
+        auditor.audit(
+            static_cast<double>(t),
+            {{"packets",
+              {{"packets_arrived", lifecycle.bytes_arrived().count}},
+              {{"delivered", result.delivered_packets},
+               {"backlog", voqs.total_backlog().count}}},
+             {"flows",
+              {{"flows_arrived", lifecycle.flows_arrived()}},
+              {{"completed", lifecycle.flows_completed()},
+               {"active",
+                static_cast<std::int64_t>(voqs.active_flows())}}}});
+      }
     }
   }
 
@@ -207,6 +356,7 @@ SlottedResult run_slotted(const SlottedConfig& config,
     result.fault_stats = injector->stats();
     result.fault_stats.flows_requeued = lifecycle.flows_requeued();
     result.fault_stats.candidates_masked =
+        candidates_masked_base +
         static_cast<std::int64_t>(cache.candidates_masked());
   }
   return result;

@@ -21,11 +21,13 @@
 #include <optional>
 #include <vector>
 
+#include "fabric/flow_lifecycle.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "fault/watchdog.hpp"
 #include "obs/trace.hpp"
 #include "queueing/backlog_recorder.hpp"
+#include "queueing/flow.hpp"
 #include "queueing/lyapunov.hpp"
 #include "queueing/voq.hpp"
 #include "sched/scheduler.hpp"
@@ -49,6 +51,43 @@ struct SlottedArrival {
 /// Pull-based arrival stream, non-decreasing in slot.
 using ArrivalStream = std::function<std::optional<SlottedArrival>()>;
 
+/// Complete mid-run state, captured at the top of a slot before any of
+/// that slot's processing. Resuming from it continues the run
+/// bit-identically: every container below is serialized/restored in a
+/// deterministic order (flows in VoqMatrix::for_each_flow order, which
+/// re-adding reproduces exactly), and the arrival stream is replayed by
+/// pull count against a freshly-seeded generator.
+///
+/// Plain data on purpose: the simulator exposes state, src/ckpt owns the
+/// on-disk encoding, and neither depends on the other's internals.
+struct SlottedSimState {
+  Slot slot = 0;                    // next slot to execute
+  std::uint64_t arrival_pulls = 0;  // total arrivals() invocations so far
+  bool has_pending = false;
+  SlottedArrival pending{};  // last pull not yet admitted (if has_pending)
+  Slot last_slot_seen = 0;
+  std::uint64_t scheduler_invocations = 0;
+  std::int64_t delivered_packets = 0;
+  /// Scheduler-internal state (Scheduler::checkpoint_state); empty for
+  /// the stateless schedulers, the RNG words for randomized BvN.
+  std::vector<std::uint64_t> scheduler_state;
+  fabric::FlowLifecycle::State lifecycle;
+  std::vector<queueing::Flow> flows;  // in for_each_flow order
+  stats::FctAggregator::State fct;
+  queueing::BacklogRecorder::State backlog;
+  queueing::DriftTracker::State drift;
+  stats::StreamingMoments::State penalty;
+  stats::StreamingMoments::State backlog_packets;
+  // Fault layer (populated only while a plan is attached).
+  std::uint64_t fault_cursor = 0;        // transitions already applied
+  fault::FaultStats fault_stats{};       // counters at capture time
+  std::vector<double> credit;            // duty-cycle credit per port
+  std::vector<queueing::FlowId> last_selected;
+  /// candidates_masked accumulated before the capture; the resumed run's
+  /// cache restarts its counter at zero, so the final stat is base + new.
+  std::int64_t candidates_masked_base = 0;
+};
+
 struct SlottedConfig {
   PortId n_ports = 4;
   Slot horizon = 10'000;
@@ -70,6 +109,21 @@ struct SlottedConfig {
   /// advances every slot by construction, so only the wall-clock
   /// criterion is meaningful here.
   fault::WatchdogConfig watchdog{};
+  /// Conservation auditing at every sampling instant (--paranoid); see
+  /// fault::InvariantAuditor. Ledgers are exact packet counts.
+  bool paranoid = false;
+
+  // ---- Checkpoint/resume (see docs/CHECKPOINT.md) ----
+  /// Capture cadence in slots (0 disables). At each multiple the run
+  /// hands a SlottedSimState to `on_checkpoint` before processing the
+  /// slot. Purely observational: results are bit-identical either way.
+  Slot checkpoint_every = 0;
+  std::function<void(const SlottedSimState&)> on_checkpoint;
+  /// Resume point. The caller must pass the *same* config and a freshly
+  /// constructed arrival stream seeded identically to the original run;
+  /// the stream is replayed `arrival_pulls` times and cross-checked
+  /// against the stored pending arrival. Non-owning.
+  const SlottedSimState* resume_from = nullptr;
 };
 
 struct SlottedResult {

@@ -1,0 +1,561 @@
+// Checkpoint subsystem: container round-trips and corruption detection,
+// atomic manager writes with rotation, codec round-trips for every
+// section type, and the load-bearing property — mid-run snapshot +
+// resume reproduces an uninterrupted run bit-identically.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/experiment_state.hpp"
+#include "ckpt/manager.hpp"
+#include "ckpt/slotted_state.hpp"
+#include "ckpt/snapshot.hpp"
+#include "ckpt/stats_codec.hpp"
+#include "common/interrupt.hpp"
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "core/experiment.hpp"
+#include "fault/auditor.hpp"
+#include "fault/fault_plan.hpp"
+#include "pktsim/packet_sim.hpp"
+#include "queueing/lyapunov.hpp"
+#include "queueing/voq.hpp"
+#include "sched/bvn_scheduler.hpp"
+#include "sched/factory.hpp"
+#include "switchsim/arrivals.hpp"
+#include "switchsim/slotted_sim.hpp"
+#include "workload/generators.hpp"
+
+namespace basrpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------- snapshot container
+
+TEST(Snapshot, RoundTripsTypedSections) {
+  ckpt::SnapshotWriter w;
+  auto& a = w.section("alpha");
+  a.u64("count", 42);
+  a.i64("delta", -7);
+  a.f64("pi", 3.14159265358979);
+  a.text("label", "hello world with spaces");
+  auto& b = w.section("beta");
+  b.line("raw payload line");
+
+  const std::string text = w.str();
+  EXPECT_EQ(text.compare(0, std::string(ckpt::kMagic).size(), ckpt::kMagic),
+            0);
+
+  std::istringstream in(text);
+  const ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+  ASSERT_TRUE(snap.has("alpha"));
+  ASSERT_TRUE(snap.has("beta"));
+  EXPECT_FALSE(snap.has("gamma"));
+
+  ckpt::SectionReader ra = snap.reader("alpha");
+  EXPECT_EQ(ra.u64("count"), 42u);
+  EXPECT_EQ(ra.i64("delta"), -7);
+  EXPECT_EQ(ra.f64("pi"), 3.14159265358979);  // bit-exact via hex encoding
+  EXPECT_EQ(ra.text("label"), "hello world with spaces");
+  ra.expect_done();
+
+  ckpt::SectionReader rb = snap.reader("beta");
+  EXPECT_EQ(rb.next("raw"), "raw payload line");
+  rb.expect_done();
+}
+
+TEST(Snapshot, DoublesSurviveBitExactly) {
+  // Values decimal round-trips mangle: denormals, -0.0, extremes.
+  const std::vector<double> values = {0.0,    -0.0, 5e-324,    1e308,
+                                      -1e308, 0.1,  1.0 / 3.0};
+  ckpt::SnapshotWriter w;
+  auto& s = w.section("doubles");
+  for (const double v : values) {
+    s.f64("v", v);
+  }
+  std::istringstream in(w.str());
+  ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+  ckpt::SectionReader r = snap.reader("doubles");
+  for (const double v : values) {
+    EXPECT_EQ(f64_to_hex(r.f64("v")), f64_to_hex(v));
+  }
+}
+
+TEST(Snapshot, TruncationIsAParseError) {
+  ckpt::SnapshotWriter w;
+  auto& s = w.section("data");
+  for (int i = 0; i < 16; ++i) {
+    s.u64("n", static_cast<std::uint64_t>(i));
+  }
+  const std::string text = w.str();
+  // Every strict prefix must be rejected (torn write / partial copy).
+  for (const std::size_t cut :
+       {text.size() - 1, text.size() / 2, std::size_t{20}}) {
+    std::istringstream in(text.substr(0, cut));
+    EXPECT_THROW(ckpt::Snapshot::parse(in), ConfigError) << "cut=" << cut;
+  }
+}
+
+TEST(Snapshot, CrcMismatchIsAParseError) {
+  ckpt::SnapshotWriter w;
+  w.section("data").text("key", "value");
+  std::string text = w.str();
+  const std::size_t pos = text.find("value");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = 'V';  // payload no longer matches the section CRC
+  std::istringstream in(text);
+  EXPECT_THROW(ckpt::Snapshot::parse(in), ConfigError);
+}
+
+TEST(Snapshot, WrongMagicIsAParseError) {
+  std::istringstream in("basrpt-ckpt-v9\nend 0\n");
+  EXPECT_THROW(ckpt::Snapshot::parse(in), ConfigError);
+}
+
+TEST(Snapshot, KeyMismatchAndLeftoverLinesAreParseErrors) {
+  ckpt::SnapshotWriter w;
+  auto& s = w.section("data");
+  s.u64("expected", 1);
+  s.u64("extra", 2);
+  std::istringstream in(w.str());
+  ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+  {
+    ckpt::SectionReader r = snap.reader("data");
+    EXPECT_THROW(r.u64("different"), ConfigError);  // schema drift
+  }
+  {
+    ckpt::SectionReader r = snap.reader("data");
+    EXPECT_EQ(r.u64("expected"), 1u);
+    EXPECT_THROW(r.expect_done(), ConfigError);  // unread payload
+  }
+  EXPECT_THROW(snap.section("missing"), ConfigError);
+}
+
+// ------------------------------------------------- checkpoint manager
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("basrpt_ckpt_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+TEST(CheckpointManager, WritesRotatesAndFindsLatest) {
+  TempDir tmp;
+  ckpt::CheckpointManagerConfig config;
+  config.dir = tmp.path.string();
+  config.run_id = "unit";
+  config.keep_last = 2;
+  ckpt::CheckpointManager manager(config);
+
+  std::vector<std::string> paths;
+  for (int i = 0; i < 4; ++i) {
+    paths.push_back(manager.write("payload " + std::to_string(i) + "\n"));
+  }
+  EXPECT_EQ(manager.writes(), 4u);
+  // Rotation: only the last keep_last files remain.
+  EXPECT_FALSE(fs::exists(paths[0]));
+  EXPECT_FALSE(fs::exists(paths[1]));
+  EXPECT_TRUE(fs::exists(paths[2]));
+  EXPECT_TRUE(fs::exists(paths[3]));
+  EXPECT_EQ(ckpt::CheckpointManager::latest(config.dir, "unit"), paths[3]);
+  EXPECT_EQ(ckpt::CheckpointManager::sequence_of(paths[3]), 3u);
+  // Foreign run_ids are invisible to latest().
+  EXPECT_EQ(ckpt::CheckpointManager::latest(config.dir, "other"), "");
+
+  std::ifstream in(paths[3]);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "payload 3");
+}
+
+TEST(CheckpointManager, SetSequenceProtectsTheResumedFromFile) {
+  TempDir tmp;
+  ckpt::CheckpointManagerConfig config;
+  config.dir = tmp.path.string();
+  config.run_id = "resume";
+  config.keep_last = 1;
+  std::string loaded;
+  {
+    ckpt::CheckpointManager first(config);
+    loaded = first.write("origin\n");
+  }
+  ckpt::CheckpointManager second(config);
+  second.set_sequence(ckpt::CheckpointManager::sequence_of(loaded) + 1);
+  const std::string next = second.write("continued\n");
+  EXPECT_NE(next, loaded);
+  EXPECT_EQ(ckpt::CheckpointManager::latest(config.dir, "resume"), next);
+}
+
+TEST(CheckpointManager, SequenceOfRejectsForeignNames) {
+  EXPECT_THROW(ckpt::CheckpointManager::sequence_of("/tmp/notackpt.txt"),
+               ConfigError);
+}
+
+// ----------------------------------------------- per-section codecs
+
+/// Round-trip check by re-serialization: write → parse → read → write
+/// again must reproduce the exact byte stream (field-by-field equality
+/// without needing operator== on every stats type).
+template <typename State, typename WriteFn, typename ReadFn>
+void expect_codec_roundtrip(const State& s, WriteFn write, ReadFn read) {
+  ckpt::SnapshotWriter w1;
+  write(w1.section("s"), s);
+  std::istringstream in(w1.str());
+  ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+  ckpt::SectionReader r = snap.reader("s");
+  const State back = read(r);
+  r.expect_done();
+  ckpt::SnapshotWriter w2;
+  write(w2.section("s"), back);
+  EXPECT_EQ(w1.str(), w2.str());
+}
+
+TEST(StatsCodec, MomentsRoundTrip) {
+  stats::StreamingMoments m;
+  Rng rng(11);
+  for (int i = 0; i < 257; ++i) {
+    m.add(rng.uniform(-5.0, 100.0));
+  }
+  expect_codec_roundtrip(
+      m.state(),
+      [](ckpt::SnapshotWriter::Section& out,
+         const stats::StreamingMoments::State& s) {
+        ckpt::write_moments(out, s);
+      },
+      [](ckpt::SectionReader& in) { return ckpt::read_moments(in); });
+}
+
+TEST(StatsCodec, FctRoundTrip) {
+  stats::FctAggregator fct;
+  Rng rng(12);
+  for (int i = 0; i < 300; ++i) {
+    const auto cls = rng.bernoulli(0.3) ? stats::FlowClass::kQuery
+                                        : stats::FlowClass::kBackground;
+    fct.record(cls, SimTime{rng.uniform(0.001, 2.0)},
+               Bytes{rng.uniform_int(1, 1000000)});
+  }
+  expect_codec_roundtrip(
+      fct.state(),
+      [](ckpt::SnapshotWriter::Section& out,
+         const stats::FctAggregator::State& s) { ckpt::write_fct(out, s); },
+      [](ckpt::SectionReader& in) { return ckpt::read_fct(in); });
+}
+
+TEST(StatsCodec, BacklogAndDriftRoundTrip) {
+  queueing::BacklogRecorder recorder(0, 1);
+  queueing::DriftTracker drift;
+  queueing::VoqMatrix voqs(2);
+  Rng rng(13);
+  queueing::FlowId id = 0;
+  for (int step = 0; step < 64; ++step) {
+    queueing::Flow f;
+    f.id = id++;
+    f.src = static_cast<queueing::PortId>(rng.uniform_int(0, 1));
+    f.dst = static_cast<queueing::PortId>(rng.uniform_int(0, 1));
+    f.size = Bytes{rng.uniform_int(1, 5000)};
+    f.remaining = f.size;
+    f.arrival = SimTime{static_cast<double>(step)};
+    voqs.add_flow(f);
+    recorder.sample(SimTime{static_cast<double>(step)}, voqs);
+    drift.observe(queueing::lyapunov_value(voqs, 1500.0));
+  }
+  expect_codec_roundtrip(
+      recorder.state(),
+      [](ckpt::SnapshotWriter::Section& out,
+         const queueing::BacklogRecorder::State& s) {
+        ckpt::write_backlog(out, s);
+      },
+      [](ckpt::SectionReader& in) { return ckpt::read_backlog(in); });
+  expect_codec_roundtrip(
+      drift.state(),
+      [](ckpt::SnapshotWriter::Section& out,
+         const queueing::DriftTracker::State& s) {
+        ckpt::write_drift(out, s);
+      },
+      [](ckpt::SectionReader& in) { return ckpt::read_drift(in); });
+}
+
+// --------------------------------------------- experiment-result codec
+
+core::ExperimentConfig tiny_experiment() {
+  core::ExperimentConfig config;
+  config.fabric = topo::small_fabric(2, 4, 2);
+  config.load = 0.6;
+  config.query_share = 0.2;
+  config.horizon = seconds(0.2);
+  config.sample_every = milliseconds(2.0);
+  config.seed = 7;
+  config.scheduler = sched::SchedulerSpec::fast_basrpt(400.0);
+  return config;
+}
+
+TEST(ExperimentCodec, StoredCellReplaysBitIdentically) {
+  const auto config = tiny_experiment();
+  const core::ExperimentResult r = core::run_experiment(config);
+
+  ckpt::SnapshotWriter w1;
+  ckpt::write_experiment_result(w1, "cell0", r);
+  std::istringstream in(w1.str());
+  ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+  const core::ExperimentResult back = ckpt::read_experiment_result(
+      snap, "cell0", config.watched_src, config.watched_dst);
+
+  // Bit-exact on the table-facing numbers…
+  EXPECT_EQ(f64_to_hex(back.query_avg_ms), f64_to_hex(r.query_avg_ms));
+  EXPECT_EQ(f64_to_hex(back.query_p99_ms), f64_to_hex(r.query_p99_ms));
+  EXPECT_EQ(f64_to_hex(back.throughput_gbps), f64_to_hex(r.throughput_gbps));
+  EXPECT_EQ(back.scheduler_name, r.scheduler_name);
+  EXPECT_EQ(back.flows_completed, r.flows_completed);
+  EXPECT_EQ(back.raw.delivered, r.raw.delivered);
+  // …and on the full serialized image (traces included).
+  ckpt::SnapshotWriter w2;
+  ckpt::write_experiment_result(w2, "cell0", back);
+  EXPECT_EQ(w1.str(), w2.str());
+}
+
+// --------------------------------------------- slotted mid-run resume
+
+switchsim::SlottedConfig slotted_config(switchsim::Slot horizon) {
+  switchsim::SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = horizon;
+  config.sample_every = 8;
+  config.watched_dst = 1;
+  return config;
+}
+
+switchsim::ArrivalStream fresh_stream(switchsim::Slot horizon,
+                                      std::uint64_t seed) {
+  const auto rates = switchsim::skewed_rates(4, 0.85, 0.6);
+  switchsim::SizeMix mix;
+  mix.small = 1;
+  mix.large = 16;
+  mix.p_small = 0.85;
+  return switchsim::bernoulli_arrivals(rates, mix, horizon, Rng(seed));
+}
+
+std::string serialize_slotted(const switchsim::SlottedResult& r) {
+  ckpt::SnapshotWriter w;
+  ckpt::write_slotted_result(w, "r", r);
+  return w.str();
+}
+
+/// The subsystem's defining property: capture at a slot boundary, encode
+/// to text, decode, resume with a fresh stream and scheduler — the final
+/// result must serialize to the same bytes as the uninterrupted run.
+void expect_resume_matches_straight(sched::Scheduler& straight_sched,
+                                    sched::Scheduler& capture_sched,
+                                    sched::Scheduler& resume_sched,
+                                    switchsim::Slot horizon,
+                                    switchsim::Slot capture_at) {
+  const std::uint64_t seed = 99;
+  auto config = slotted_config(horizon);
+  const auto straight = switchsim::run_slotted(config, straight_sched,
+                                               fresh_stream(horizon, seed));
+
+  std::string encoded;
+  auto capture_config = config;
+  capture_config.checkpoint_every = capture_at;
+  capture_config.on_checkpoint = [&](const switchsim::SlottedSimState& s) {
+    if (encoded.empty()) {
+      ckpt::SnapshotWriter w;
+      ckpt::write_slotted_state(w, s);
+      encoded = w.str();
+    }
+  };
+  (void)switchsim::run_slotted(capture_config, capture_sched,
+                               fresh_stream(horizon, seed));
+  ASSERT_FALSE(encoded.empty()) << "no checkpoint captured";
+
+  std::istringstream in(encoded);
+  ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+  const switchsim::SlottedSimState state = ckpt::read_slotted_state(snap);
+  EXPECT_EQ(state.slot, capture_at);
+
+  auto resume_config = config;
+  resume_config.resume_from = &state;
+  const auto resumed = switchsim::run_slotted(resume_config, resume_sched,
+                                              fresh_stream(horizon, seed));
+  EXPECT_EQ(serialize_slotted(resumed), serialize_slotted(straight));
+}
+
+TEST(SlottedResume, DeterministicSchedulerResumesBitIdentically) {
+  auto s1 = sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(40.0));
+  auto s2 = sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(40.0));
+  auto s3 = sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(40.0));
+  expect_resume_matches_straight(*s1, *s2, *s3, 4096, 1536);
+}
+
+TEST(SlottedResume, StatefulBvnSchedulerResumesBitIdentically) {
+  // BvN consumes its RNG on every decision; resume must restore the RNG
+  // words through Scheduler::checkpoint_state or the draw sequence (and
+  // hence every later matching) diverges.
+  const auto rates = switchsim::skewed_rates(4, 0.9, 0.6);
+  sched::BvnScheduler s1(rates, Rng(5));
+  sched::BvnScheduler s2(rates, Rng(5));
+  sched::BvnScheduler s3(rates, Rng(5));
+  expect_resume_matches_straight(s1, s2, s3, 4096, 1536);
+}
+
+TEST(SlottedResume, FaultyRunResumesBitIdentically) {
+  // Faults are the hard case: injector cursor, duty-cycle credit, the
+  // drop-decisions selection memory, and the masked-candidates counter
+  // all have to travel through the snapshot.
+  fault::RandomFaultSpec spec;
+  spec.ports = 4;
+  spec.horizon = 4096.0;
+  const fault::FaultPlan plan = fault::FaultPlan::randomized(spec, 3);
+
+  const std::uint64_t seed = 99;
+  auto config = slotted_config(4096);
+  config.fault_plan = &plan;
+  auto s1 = sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(40.0));
+  const auto straight =
+      switchsim::run_slotted(config, *s1, fresh_stream(4096, seed));
+
+  std::string encoded;
+  auto capture_config = config;
+  capture_config.checkpoint_every = 1536;
+  capture_config.on_checkpoint = [&](const switchsim::SlottedSimState& s) {
+    if (encoded.empty()) {
+      ckpt::SnapshotWriter w;
+      ckpt::write_slotted_state(w, s);
+      encoded = w.str();
+    }
+  };
+  auto s2 = sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(40.0));
+  (void)switchsim::run_slotted(capture_config, *s2, fresh_stream(4096, seed));
+  ASSERT_FALSE(encoded.empty());
+
+  std::istringstream in(encoded);
+  ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+  const switchsim::SlottedSimState state = ckpt::read_slotted_state(snap);
+  auto resume_config = config;
+  resume_config.resume_from = &state;
+  auto s3 = sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(40.0));
+  const auto resumed =
+      switchsim::run_slotted(resume_config, *s3, fresh_stream(4096, seed));
+  EXPECT_EQ(serialize_slotted(resumed), serialize_slotted(straight));
+  EXPECT_EQ(resumed.fault_stats.transitions, straight.fault_stats.transitions);
+  EXPECT_EQ(resumed.fault_stats.candidates_masked,
+            straight.fault_stats.candidates_masked);
+}
+
+TEST(SlottedResume, DivergedStreamIsRejected) {
+  auto config = slotted_config(2048);
+  switchsim::SlottedSimState state;
+  auto cap = config;
+  cap.checkpoint_every = 512;
+  cap.on_checkpoint = [&](const switchsim::SlottedSimState& s) {
+    if (state.slot == 0) {
+      state = s;
+    }
+  };
+  auto s1 = sched::make_scheduler(sched::SchedulerSpec::srpt());
+  (void)switchsim::run_slotted(cap, *s1, fresh_stream(2048, 99));
+  ASSERT_GT(state.slot, 0);
+
+  auto resume_config = config;
+  resume_config.resume_from = &state;
+  auto s2 = sched::make_scheduler(sched::SchedulerSpec::srpt());
+  // Wrong seed → the replayed stream cannot reproduce the stored pending
+  // arrival; resuming against it must refuse, not silently drift.
+  EXPECT_THROW(
+      switchsim::run_slotted(resume_config, *s2, fresh_stream(2048, 100)),
+      ConfigError);
+}
+
+TEST(SlottedResume, ProgrammaticInterruptLeavesAConsistentSnapshot) {
+  auto config = slotted_config(4096);
+  std::string encoded;
+  config.on_checkpoint = [&](const switchsim::SlottedSimState& s) {
+    ckpt::SnapshotWriter w;
+    ckpt::write_slotted_state(w, s);
+    encoded = w.str();
+  };
+  auto scheduler = sched::make_scheduler(sched::SchedulerSpec::srpt());
+  request_interrupt(0);
+  EXPECT_THROW(
+      switchsim::run_slotted(config, *scheduler, fresh_stream(4096, 99)),
+      InterruptedError);
+  clear_interrupt();
+  ASSERT_FALSE(encoded.empty());
+  std::istringstream in(encoded);
+  EXPECT_NO_THROW({
+    ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+    (void)ckpt::read_slotted_state(snap);
+  });
+}
+
+// ----------------------------------------------- invariant auditor
+
+TEST(InvariantAuditor, BalancedLedgersPass) {
+  fault::InvariantAuditor auditor("unit");
+  fault::Ledger bytes;
+  bytes.name = "bytes";
+  bytes.credits = {{"arrived", 100}};
+  bytes.debits = {{"delivered", 60}, {"queued", 40}};
+  EXPECT_NO_THROW(auditor.audit(1.0, {bytes}));
+  EXPECT_EQ(auditor.audits(), 1);
+}
+
+TEST(InvariantAuditor, ImbalanceThrowsDiagnosticInvariantError) {
+  fault::InvariantAuditor auditor("unit");
+  fault::Ledger flows;
+  flows.name = "flows";
+  flows.credits = {{"arrived", 10}};
+  flows.debits = {{"completed", 4}, {"active", 5}};
+  try {
+    auditor.audit(2.5, {flows});
+    FAIL() << "imbalance must throw";
+  } catch (const fault::InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("flows"), std::string::npos);
+    EXPECT_NE(what.find("arrived"), std::string::npos);
+    EXPECT_NE(what.find("unit"), std::string::npos);
+  }
+}
+
+TEST(InvariantAuditor, AllThreeSimulatorsBalanceUnderParanoid) {
+  {
+    auto config = tiny_experiment();
+    config.paranoid = true;
+    EXPECT_NO_THROW(core::run_experiment(config));
+  }
+  {
+    auto config = slotted_config(2048);
+    config.paranoid = true;
+    auto scheduler = sched::make_scheduler(sched::SchedulerSpec::srpt());
+    EXPECT_NO_THROW(
+        switchsim::run_slotted(config, *scheduler, fresh_stream(2048, 1)));
+  }
+  {
+    pktsim::PacketSimConfig config;
+    config.hosts = 8;
+    config.policy = pktsim::PacketPolicy::kSrpt;
+    config.horizon = seconds(0.02);
+    config.paranoid = true;
+    Rng rng(3);
+    auto traffic =
+        workload::paper_mix(0.5, 0.25, 2, 4, gbps(10.0), seconds(0.02), rng);
+    EXPECT_NO_THROW(run_packet_sim(config, *traffic));
+  }
+}
+
+}  // namespace
+}  // namespace basrpt

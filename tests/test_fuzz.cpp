@@ -8,12 +8,16 @@
 #include <sstream>
 #include <string>
 
+#include "ckpt/slotted_state.hpp"
+#include "ckpt/snapshot.hpp"
 #include "common/rng.hpp"
 #include "fault/fault_plan.hpp"
 #include "flowsim/flow_sim.hpp"
 #include "queueing/voq.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
+#include "switchsim/arrivals.hpp"
+#include "switchsim/slotted_sim.hpp"
 #include "workload/generators.hpp"
 #include "workload/trace_io.hpp"
 
@@ -376,6 +380,147 @@ TEST_P(TraceIoFuzz, MutatedTracesNeverEscapeConfigError) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoFuzz, ::testing::Range(0, 4));
+
+// ------------------------------------------- checkpoint reader fuzz
+
+/// Renders a genuine mid-run slotted checkpoint, captured once from a
+/// short switchsim run, for the checkpoint fuzz suites below.
+std::string pristine_slotted_snapshot() {
+  switchsim::SlottedConfig config;
+  config.n_ports = 4;
+  config.horizon = 512;
+  config.sample_every = 8;
+  config.watched_dst = 1;
+  config.checkpoint_every = 256;
+  std::string text;
+  config.on_checkpoint = [&](const switchsim::SlottedSimState& s) {
+    if (text.empty()) {
+      ckpt::SnapshotWriter w;
+      ckpt::write_slotted_state(w, s);
+      text = w.str();
+    }
+  };
+  const auto rates = switchsim::skewed_rates(4, 0.8, 0.6);
+  switchsim::SizeMix mix;
+  auto scheduler = sched::make_scheduler(sched::SchedulerSpec::srpt());
+  (void)switchsim::run_slotted(
+      config, *scheduler,
+      switchsim::bernoulli_arrivals(rates, mix, 512, Rng(17)));
+  return text;
+}
+
+/// Byte-level mutations of a real checkpoint file (bit flips, deletes,
+/// duplicated spans, truncation). The CRC-guarded container must reject
+/// essentially all of them, and nothing but ConfigError may escape — a
+/// checkpoint is exactly the file most likely to be torn by the crash
+/// it exists to survive.
+class CkptContainerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CkptContainerFuzz, MutatedBytesNeverEscapeConfigError) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 24593 + 29);
+  const std::string pristine = pristine_slotted_snapshot();
+  ASSERT_FALSE(pristine.empty());
+
+  for (int round = 0; round < 300; ++round) {
+    std::string text = pristine;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      switch (rng.uniform_int(0, 4)) {
+        case 0:  // corrupt one byte (printable, so lines stay lines)
+          text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:  // flip one bit (may produce non-printable bytes)
+          text[pos] = static_cast<char>(
+              text[pos] ^ (1 << rng.uniform_int(0, 7)));
+          break;
+        case 2:  // delete one byte
+          text.erase(pos, 1);
+          break;
+        case 3:  // duplicate a span
+          text.insert(pos, text.substr(
+                               pos, static_cast<std::size_t>(
+                                        rng.uniform_int(1, 8))));
+          break;
+        default:  // truncate (models a torn write)
+          text.resize(pos);
+          break;
+      }
+    }
+    std::istringstream in(text);
+    try {
+      const ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+      // The rare mutation that passes every CRC must still either decode
+      // or be rejected at the codec layer — never crash.
+      (void)ckpt::read_slotted_state(snap);
+    } catch (const ConfigError&) {
+      // Expected (ParseError derives from ConfigError).
+    }
+    // Any other exception type propagates and fails the test.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CkptContainerFuzz, ::testing::Range(0, 4));
+
+/// Semantic fuzz below the CRC: mutate whole payload *lines* and rebuild
+/// the container (fresh CRCs), so the typed SectionReader and the
+/// slotted codec see internally consistent but schema-violating input.
+/// This is the drift a newer writer / older reader pair would produce.
+class CkptCodecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CkptCodecFuzz, MutatedPayloadNeverEscapesConfigError) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40961 + 37);
+  const std::string pristine = pristine_slotted_snapshot();
+  std::istringstream pin(pristine);
+  const ckpt::Snapshot parsed = ckpt::Snapshot::parse(pin);
+
+  for (int round = 0; round < 200; ++round) {
+    ckpt::SnapshotWriter w;
+    for (const auto& section : parsed.sections()) {
+      auto& out = w.section(section.name);
+      std::vector<std::string> lines = section.lines;
+      const int mutations = static_cast<int>(rng.uniform_int(0, 2));
+      for (int m = 0; m < mutations && !lines.empty(); ++m) {
+        const auto at = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(lines.size()) - 1));
+        switch (rng.uniform_int(0, 3)) {
+          case 0:  // corrupt one byte of the line
+            if (!lines[at].empty()) {
+              lines[at][static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(lines[at].size()) - 1))] =
+                  static_cast<char>(rng.uniform_int(32, 126));
+            }
+            break;
+          case 1:  // drop the line (count drift)
+            lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(at));
+            break;
+          case 2:  // duplicate the line
+            lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                         lines[at]);
+            break;
+          default:  // swap with a neighbour (order drift)
+            if (at + 1 < lines.size()) {
+              std::swap(lines[at], lines[at + 1]);
+            }
+            break;
+        }
+      }
+      for (const auto& line : lines) {
+        out.line(line);
+      }
+    }
+    std::istringstream in(w.str());
+    try {
+      const ckpt::Snapshot snap = ckpt::Snapshot::parse(in);
+      (void)ckpt::read_slotted_state(snap);
+    } catch (const ConfigError&) {
+      // Expected: schema drift must surface as a ParseError.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CkptCodecFuzz, ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace basrpt
