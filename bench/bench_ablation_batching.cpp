@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -26,35 +26,40 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: reschedule batching", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
-  bench::ObsSession obs_session(cli);
-  bench::CheckpointSession ckpt(cli, "ablation_batching", obs_session);
+  bench::RunSession session(cli, "ablation_batching", scale.fabric.hosts(),
+                            scale.fct_horizon);
   stats::Table table({"gap us", "sched calls", "calls/s", "qry avg ms",
                       "qry p99 ms", "thpt Gbps"});
+  exec::Sweep sweep;
   for (const double gap_us : {0.0, 10.0, 100.0, 1000.0}) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
-    obs_session.apply(config);
+    session.apply(config);
     config.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
     config.min_reschedule_gap = microseconds(gap_us);
-    const auto r = ckpt.run(
-        "gap" + std::to_string(static_cast<int>(gap_us)), config);
-    table.add_row(
-        {stats::cell(gap_us, 0),
-         stats::cell(static_cast<std::int64_t>(r.raw.scheduler_invocations)),
-         stats::cell(static_cast<double>(r.raw.scheduler_invocations) /
-                         r.raw.horizon.seconds,
-                     0),
-         stats::cell(r.query_avg_ms), stats::cell(r.query_p99_ms),
-         stats::cell(r.throughput_gbps, 2)});
-    std::fprintf(stderr, "gap %g us done\n", gap_us);
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "gap%d", static_cast<int>(gap_us));
+    sweep.add(label, config, [&, gap_us](const core::ExperimentResult& r) {
+      table.add_row(
+          {stats::cell(gap_us, 0),
+           stats::cell(static_cast<std::int64_t>(r.raw.scheduler_invocations)),
+           stats::cell(static_cast<double>(r.raw.scheduler_invocations) /
+                           r.raw.horizon.seconds,
+                       0),
+           stats::cell(r.query_avg_ms), stats::cell(r.query_p99_ms),
+           stats::cell(r.throughput_gbps, 2)});
+      session.progress("gap %g us done\n", gap_us);
+    });
   }
+  session.run_sweep(sweep);
 
   bench::emit(table, cli);
   std::printf(
       "\nexpected: invocation count drops steeply with the gap; query FCT "
       "inflates by\nroughly the gap (new short flows wait for the next "
       "refresh); throughput holds.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

@@ -6,10 +6,11 @@
 // large value"). We sweep the inter-arrival CV^2 (1 = Poisson) with the
 // load held fixed and watch the queue levels and FCT tails.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -25,15 +26,16 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: burstiness (inter-arrival CV^2)", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
-  bench::ObsSession obs_session(cli);
-  bench::CheckpointSession ckpt(cli, "ablation_burstiness", obs_session);
+  bench::RunSession session(cli, "ablation_burstiness", scale.fabric.hosts(),
+                            scale.fct_horizon);
   stats::Table table({"scheduler", "cv^2", "qry p99 ms", "bg p99 ms",
                       "queue tail MB", "stable"});
-  const auto run = [&](const sched::SchedulerSpec& spec, double cv2) {
+  exec::Sweep sweep;
+  const auto declare = [&](const sched::SchedulerSpec& spec, double cv2) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
-    obs_session.apply(config);
+    session.apply(config);
     config.burstiness_cv2 = cv2;
     // Ungoverned traffic: the per-port volume governor would smooth the
     // very bursts this ablation studies (it resamples hot ports), so it
@@ -41,24 +43,30 @@ int main(int argc, char** argv) {
     // capacity, which is the point.
     config.governor_headroom = -1.0;
     config.scheduler = spec;
-    const auto r =
-        ckpt.run(std::string(sched::to_string(spec.policy)) + "_cv" +
-                     std::to_string(static_cast<int>(cv2)),
-                 config);
-    table.add_row({sched::to_string(spec.policy), stats::cell(cv2, 0),
-                   stats::cell(r.query_p99_ms),
-                   stats::cell(r.background_p99_ms),
-                   stats::cell(r.total_tail_mean_bytes / 1e6, 1),
-                   r.total_backlog_trend.growing ? "NO" : "yes"});
-    std::fprintf(stderr, "%s cv2=%g done\n", r.scheduler_name.c_str(), cv2);
+
+    const std::string policy = sched::to_string(spec.policy);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s_cv%d", policy.c_str(),
+                  static_cast<int>(cv2));
+    sweep.add(label, config,
+              [&, policy, cv2](const core::ExperimentResult& r) {
+                table.add_row({policy, stats::cell(cv2, 0),
+                               stats::cell(r.query_p99_ms),
+                               stats::cell(r.background_p99_ms),
+                               stats::cell(r.total_tail_mean_bytes / 1e6, 1),
+                               r.total_backlog_trend.growing ? "NO" : "yes"});
+                session.progress("%s cv2=%g done\n", r.scheduler_name.c_str(),
+                                 cv2);
+              });
   };
 
   for (const double cv2 : {1.0, 4.0, 16.0}) {
-    run(sched::SchedulerSpec::srpt(), cv2);
+    declare(sched::SchedulerSpec::srpt(), cv2);
   }
   for (const double cv2 : {1.0, 4.0, 16.0}) {
-    run(sched::SchedulerSpec::fast_basrpt(v_eff), cv2);
+    declare(sched::SchedulerSpec::fast_basrpt(v_eff), cv2);
   }
+  session.run_sweep(sweep);
 
   bench::emit(table, cli);
   std::printf(
@@ -69,6 +77,6 @@ int main(int argc, char** argv) {
       "exactly why the paper's instability mechanism is about\nsmall-vs-"
       "large flows, not arrival variance. BASRPT's stability is "
       "insensitive to\nCV^2 throughout.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

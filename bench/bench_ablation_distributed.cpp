@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -26,31 +26,35 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: distributed fast BASRPT", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
-  bench::ObsSession obs_session(cli);
-  bench::CheckpointSession ckpt(cli, "ablation_distributed", obs_session);
+  bench::RunSession session(cli, "ablation_distributed", scale.fabric.hosts(),
+                            scale.fct_horizon);
   stats::Table table({"scheduler", "qry avg ms", "qry p99 ms", "bg avg ms",
                       "thpt Gbps", "stable"});
-  const auto run = [&](const std::string& label,
-                       const sched::SchedulerSpec& spec) {
+  exec::Sweep sweep;
+  const auto declare = [&](const char* label,
+                           const sched::SchedulerSpec& spec) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
-    obs_session.apply(config);
+    session.apply(config);
     config.scheduler = spec;
-    const auto r = ckpt.run(label, config);
-    table.add_row({r.scheduler_name, stats::cell(r.query_avg_ms),
-                   stats::cell(r.query_p99_ms),
-                   stats::cell(r.background_avg_ms),
-                   stats::cell(r.throughput_gbps, 2),
-                   r.total_backlog_trend.growing ? "NO" : "yes"});
-    std::fprintf(stderr, "%s done\n", r.scheduler_name.c_str());
+    sweep.add(label, config, [&](const core::ExperimentResult& r) {
+      table.add_row({r.scheduler_name, stats::cell(r.query_avg_ms),
+                     stats::cell(r.query_p99_ms),
+                     stats::cell(r.background_avg_ms),
+                     stats::cell(r.throughput_gbps, 2),
+                     r.total_backlog_trend.growing ? "NO" : "yes"});
+      session.progress("%s done\n", r.scheduler_name.c_str());
+    });
   };
 
-  run("fast_basrpt", sched::SchedulerSpec::fast_basrpt(v_eff));
+  declare("fast_basrpt", sched::SchedulerSpec::fast_basrpt(v_eff));
   for (const int rounds : {1, 2, 4}) {
-    run("dist_r" + std::to_string(rounds),
-        sched::SchedulerSpec::dist_basrpt(v_eff, rounds));
+    char label[32];
+    std::snprintf(label, sizeof(label), "dist_r%d", rounds);
+    declare(label, sched::SchedulerSpec::dist_basrpt(v_eff, rounds));
   }
+  session.run_sweep(sweep);
 
   bench::emit(table, cli);
   std::printf(
@@ -60,6 +64,6 @@ int main(int argc, char** argv) {
       "the centralized scheduler's metrics. The paper's\n\"simply "
       "implemented using distributed paradigms\" claim holds, but the "
       "iteration\nbudget is the price.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

@@ -6,10 +6,11 @@
 // BASRPT key is measured, not estimated, so fast BASRPT should degrade
 // more gracefully than pure SRPT on large errors.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -25,35 +26,45 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: size-estimation noise", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
-  bench::ObsSession obs_session(cli);
-  bench::CheckpointSession ckpt(cli, "ablation_noise", obs_session);
+  bench::RunSession session(cli, "ablation_noise", scale.fabric.hosts(),
+                            scale.fct_horizon);
   stats::Table table({"scheduler", "size err", "qry avg ms", "qry p99 ms",
                       "bg avg ms", "thpt Gbps"});
-  const auto run = [&](const sched::SchedulerSpec& base_spec, double error) {
+  exec::Sweep sweep;
+  const auto declare = [&](const sched::SchedulerSpec& base_spec,
+                           double error) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
-    obs_session.apply(config);
+    session.apply(config);
     config.scheduler = base_spec.with_size_error(error);
-    const auto r =
-        ckpt.run(std::string(sched::to_string(base_spec.policy)) + "_err" +
-                     std::to_string(static_cast<int>(error)),
-                 config);
-    table.add_row({sched::to_string(base_spec.policy),
-                   "x" + stats::cell(error, 0), stats::cell(r.query_avg_ms),
-                   stats::cell(r.query_p99_ms),
-                   stats::cell(r.background_avg_ms),
-                   stats::cell(r.throughput_gbps, 2)});
-    std::fprintf(stderr, "%s err x%g done\n", r.scheduler_name.c_str(),
-                 error);
+
+    const std::string policy = sched::to_string(base_spec.policy);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s_err%d", policy.c_str(),
+                  static_cast<int>(error));
+    char err_cell[16];
+    std::snprintf(err_cell, sizeof(err_cell), "x%.0f", error);
+    sweep.add(label, config,
+              [&, policy, error,
+               err_text = std::string(err_cell)](
+                  const core::ExperimentResult& r) {
+                table.add_row({policy, err_text, stats::cell(r.query_avg_ms),
+                               stats::cell(r.query_p99_ms),
+                               stats::cell(r.background_avg_ms),
+                               stats::cell(r.throughput_gbps, 2)});
+                session.progress("%s err x%g done\n",
+                                 r.scheduler_name.c_str(), error);
+              });
   };
 
   for (const double error : {1.0, 2.0, 4.0, 16.0}) {
-    run(sched::SchedulerSpec::srpt(), error);
+    declare(sched::SchedulerSpec::srpt(), error);
   }
   for (const double error : {1.0, 2.0, 4.0, 16.0}) {
-    run(sched::SchedulerSpec::fast_basrpt(v_eff), error);
+    declare(sched::SchedulerSpec::fast_basrpt(v_eff), error);
   }
+  session.run_sweep(sweep);
 
   bench::emit(table, cli);
   std::printf(
@@ -64,6 +75,6 @@ int main(int argc, char** argv) {
       "additionally lose to promoted backlogs — but absolute query\n"
       "FCTs stay in the low-millisecond range even at x16, and throughput "
       "and\nstability are untouched.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

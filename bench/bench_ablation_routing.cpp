@@ -7,9 +7,10 @@
 // flows onto one core link. The gap between the two rows is the
 // abstraction error.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -25,40 +26,49 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: routing mode", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
-  bench::ObsSession obs_session(cli);
-  bench::CheckpointSession ckpt(cli, "ablation_routing", obs_session);
+  bench::RunSession session(cli, "ablation_routing", scale.fabric.hosts(),
+                            scale.fct_horizon);
   stats::Table table({"scheduler", "routing", "qry avg ms", "qry p99 ms",
                       "bg avg ms", "thpt Gbps"});
-  const auto run = [&](const sched::SchedulerSpec& spec,
-                       topo::RoutingMode mode, const char* label) {
+  exec::Sweep sweep;
+  const auto declare = [&](const sched::SchedulerSpec& spec,
+                           topo::RoutingMode mode, const char* label) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
-    obs_session.apply(config);
+    session.apply(config);
     config.fabric.routing = mode;
     config.scheduler = spec;
-    const auto r = ckpt.run(std::string(sched::to_string(spec.policy)) + "_" +
-                                label,
-                            config);
-    table.add_row({sched::to_string(spec.policy), label,
-                   stats::cell(r.query_avg_ms), stats::cell(r.query_p99_ms),
-                   stats::cell(r.background_avg_ms),
-                   stats::cell(r.throughput_gbps, 2)});
-    std::fprintf(stderr, "%s %s done\n", r.scheduler_name.c_str(), label);
+
+    const std::string policy = sched::to_string(spec.policy);
+    char cell_label[64];
+    std::snprintf(cell_label, sizeof(cell_label), "%s_%s", policy.c_str(),
+                  label);
+    sweep.add(cell_label, config,
+              [&, policy, label](const core::ExperimentResult& r) {
+                table.add_row({policy, label, stats::cell(r.query_avg_ms),
+                               stats::cell(r.query_p99_ms),
+                               stats::cell(r.background_avg_ms),
+                               stats::cell(r.throughput_gbps, 2)});
+                session.progress("%s %s done\n", r.scheduler_name.c_str(),
+                                 label);
+              });
   };
 
-  run(sched::SchedulerSpec::srpt(), topo::RoutingMode::kFluidSpray, "spray");
-  run(sched::SchedulerSpec::srpt(), topo::RoutingMode::kEcmpHash, "ecmp");
-  run(sched::SchedulerSpec::fast_basrpt(v_eff),
-      topo::RoutingMode::kFluidSpray, "spray");
-  run(sched::SchedulerSpec::fast_basrpt(v_eff), topo::RoutingMode::kEcmpHash,
-      "ecmp");
+  declare(sched::SchedulerSpec::srpt(), topo::RoutingMode::kFluidSpray,
+          "spray");
+  declare(sched::SchedulerSpec::srpt(), topo::RoutingMode::kEcmpHash, "ecmp");
+  declare(sched::SchedulerSpec::fast_basrpt(v_eff),
+          topo::RoutingMode::kFluidSpray, "spray");
+  declare(sched::SchedulerSpec::fast_basrpt(v_eff), topo::RoutingMode::kEcmpHash,
+          "ecmp");
+  session.run_sweep(sweep);
 
   bench::emit(table, cli);
   std::printf(
       "\nexpected: ECMP hash collisions shave a little off cross-rack "
       "(query) service\nrates; rack-local background flows never cross the "
       "core and are unaffected.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

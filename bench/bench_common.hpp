@@ -93,7 +93,10 @@ inline bool parse_common(CliParser& cli, int argc, const char* const* argv) {
                "slots for slotted benches (0 = per cell / on interrupt)")
       .text("resume", "",
             "resume from a checkpoint file, or 'latest' to pick the "
-            "newest in --checkpoint-dir");
+            "newest in --checkpoint-dir")
+      .integer("jobs", 1,
+               "run sweep cells on N threads (0 = all cores); output is "
+               "bit-identical at any value (see docs/PARALLEL.md)");
   try {
     return cli.parse(argc, argv);
   } catch (const ConfigError& e) {
@@ -121,11 +124,29 @@ inline core::ExperimentConfig base_config(const Scale& scale,
   return config;
 }
 
+/// Hard-fails benches whose work is a single indivisible run (example
+/// replays, closed-form validation sweeps): --jobs cannot apply, and
+/// silently accepting it would read as "parallelism worked".
+inline void require_sequential(const CliParser& cli) {
+  if (cli.get_integer("jobs") != 1) {
+    std::fprintf(stderr,
+                 "error: this bench has no parallelizable sweep cells; "
+                 "--jobs does not apply here\n");
+    std::exit(2);
+  }
+}
+
 /// Run-scoped observability wiring for the shared --metrics / --trace /
 /// --heartbeat flags. Construct after parse_common (enables the global
 /// obs registry when any output is requested), apply() to each config
 /// about to run, and finish() once to write the artifacts. Everything it
 /// wires is passive, so flag-bearing runs produce bit-identical tables.
+///
+/// DEPRECATED for direct use in benches: construct a bench::RunSession
+/// (bench/run_session.hpp) instead, which owns one of these and adds
+/// fault wiring, checkpointing, and the parallel sweep driver behind a
+/// single object. Direct construction remains for tests and will go
+/// away once the migration settles.
 class ObsSession {
  public:
   explicit ObsSession(const CliParser& cli)
@@ -217,6 +238,9 @@ class ObsSession {
 /// and the horizon the bench will simulate (random plans draw their
 /// events over it), then apply() to each config about to run. With no
 /// flags set, apply() is a no-op and outputs stay bit-identical.
+///
+/// DEPRECATED for direct use in benches: bench::RunSession owns one and
+/// forwards apply()/report(); see bench/run_session.hpp.
 class FaultSession {
  public:
   /// `obs` (optional): flushed with the "interrupted" marker when the

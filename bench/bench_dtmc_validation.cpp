@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   if (!bench::parse_common(cli, argc, argv)) {
     return 0;
   }
+  bench::require_sequential(cli);
   // The analytic half (power iteration) has no resumable state, so the
   // sim half alone cannot honour a checkpoint of "the bench's work".
   bench::require_no_checkpoint_flags(cli);

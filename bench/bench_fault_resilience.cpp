@@ -14,10 +14,11 @@
 // stable across machines; --fault-plan overrides it with a file or a
 // seeded random schedule, exactly as on the figure benches.
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 #include "report/csv.hpp"
 
 namespace {
@@ -78,13 +79,11 @@ int main(int argc, char** argv) {
                       scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
-  bench::ObsSession obs_session(cli);
-  bench::FaultSession cli_faults(cli, scale.fabric.hosts(),
-                                 scale.stability_horizon, &obs_session);
-  bench::CheckpointSession ckpt(cli, "fault_resilience", obs_session);
+  bench::RunSession session(cli, "fault_resilience", scale.fabric.hosts(),
+                            scale.stability_horizon);
   const fault::FaultPlan plan =
-      cli_faults.active()
-          ? cli_faults.plan()
+      session.fault_active()
+          ? session.fault_plan()
           : scripted_plan(scale.fabric.hosts(),
                           scale.stability_horizon.seconds);
   std::printf("injecting %zu fault events over [0, %.3g] s\n", plan.size(),
@@ -93,14 +92,24 @@ int main(int argc, char** argv) {
   core::ExperimentConfig base = bench::base_config(scale, cli);
   base.load = cli.get_real("load");
   base.horizon = scale.stability_horizon;
-  obs_session.apply(base);
-  cli_faults.apply(base);  // arms --watchdog even with the scripted plan
+  session.apply(base);  // arms --watchdog even with the scripted plan
   base.fault_plan = &plan;
 
+  // Both results feed the tables after the sweep (two cells — same
+  // liveness as the sequential code had).
+  std::optional<core::ExperimentResult> srpt_r;
+  std::optional<core::ExperimentResult> basrpt_r;
+
+  exec::Sweep sweep;
   base.scheduler = sched::SchedulerSpec::srpt();
-  const auto srpt = ckpt.run("srpt", base);
+  sweep.add("srpt", base,
+            [&](const core::ExperimentResult& r) { srpt_r = r; });
   base.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-  const auto basrpt = ckpt.run("fast_basrpt", base);
+  sweep.add("fast_basrpt", base,
+            [&](const core::ExperimentResult& r) { basrpt_r = r; });
+  session.run_sweep(sweep);
+  const core::ExperimentResult& srpt = *srpt_r;
+  const core::ExperimentResult& basrpt = *basrpt_r;
 
   std::printf("\n--- total backlog evolution under faults (MB) ---\n");
   stats::Table qlen({"time s", "srpt MB", "fast basrpt MB"});
@@ -154,6 +163,6 @@ int main(int argc, char** argv) {
   std::printf("tail-mean backlog: srpt %.2f MB, fast basrpt %.2f MB\n",
               srpt.total_tail_mean_bytes / 1e6,
               basrpt.total_tail_mean_bytes / 1e6);
-  obs_session.finish();
+  session.finish();
   return 0;
 }

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   if (!bench::parse_common(cli, argc, argv)) {
     return 0;
   }
+  bench::require_sequential(cli);
 
   std::printf("=== Fig. 1: SRPT vs backlog-aware on the 3-flow example ===\n");
   std::printf(

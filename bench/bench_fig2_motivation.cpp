@@ -6,9 +6,10 @@
 // window although every port's offered load is under capacity; the
 // threshold strategy's trace stabilizes at a finite level.
 #include <cstdio>
+#include <optional>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 #include "report/csv.hpp"
 #include "report/gnuplot.hpp"
 
@@ -28,27 +29,33 @@ int main(int argc, char** argv) {
   const auto scale = bench::scale_from_cli(cli);
   bench::print_header("Fig. 2: queue length at a port", scale);
 
-  bench::ObsSession obs_session(cli);
   core::ExperimentConfig base = bench::base_config(scale, cli);
   base.load = cli.get_real("load");
   base.horizon = scale.stability_horizon;
-  obs_session.apply(base);
-  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon,
-                             &obs_session);
-  faults.apply(base);
-  bench::CheckpointSession ckpt(cli, "fig2_motivation", obs_session);
+  bench::RunSession session(cli, "fig2_motivation", scale.fabric.hosts(),
+                            base.horizon);
+  session.apply(base);
 
+  // Both traces feed the table/plot after the sweep, so the results are
+  // retained (two cells — same liveness as the sequential code had).
+  std::optional<core::ExperimentResult> srpt;
+  std::optional<core::ExperimentResult> threshold;
+
+  exec::Sweep sweep;
   base.scheduler = sched::SchedulerSpec::srpt();
-  const auto srpt = ckpt.run("srpt", base);
+  sweep.add("srpt", base,
+            [&](const core::ExperimentResult& r) { srpt = r; });
   base.scheduler =
       sched::SchedulerSpec::threshold_srpt(cli.get_real("threshold"));
-  const auto threshold = ckpt.run("threshold", base);
+  sweep.add("threshold", base,
+            [&](const core::ExperimentResult& r) { threshold = r; });
+  session.run_sweep(sweep);
 
   // The paper plots the backlog of one server; the per-server average of
   // the total fabric backlog is the same signal with the sampling noise
   // of "which port is worst right now" averaged out.
-  const auto& srpt_trace = srpt.raw.backlog.total();
-  const auto& thr_trace = threshold.raw.backlog.total();
+  const auto& srpt_trace = srpt->raw.backlog.total();
+  const auto& thr_trace = threshold->raw.backlog.total();
   const double hosts = static_cast<double>(scale.fabric.hosts());
 
   stats::Table table({"time s", "srpt qlen MB/host", "threshold qlen MB/host"});
@@ -88,8 +95,8 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: SRPT keeps growing for the whole window; the backlog-aware"
       " strategy stabilizes.\n");
-  faults.report("srpt", srpt.raw.fault_stats);
-  faults.report("threshold srpt", threshold.raw.fault_stats);
-  obs_session.finish();
+  session.fault_report("srpt", srpt->raw.fault_stats);
+  session.fault_report("threshold srpt", threshold->raw.fault_stats);
+  session.finish();
   return 0;
 }

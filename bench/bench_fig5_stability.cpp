@@ -5,9 +5,10 @@
 // window while fast BASRPT's flattens; cumulative delivered bytes
 // (global throughput) are higher under fast BASRPT.
 #include <cstdio>
+#include <optional>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 #include "report/csv.hpp"
 #include "report/gnuplot.hpp"
 
@@ -27,20 +28,27 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 5: throughput and queue length", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
-  bench::ObsSession obs_session(cli);
   core::ExperimentConfig base = bench::base_config(scale, cli);
   base.load = cli.get_real("load");
   base.horizon = scale.stability_horizon;
-  obs_session.apply(base);
-  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon,
-                             &obs_session);
-  faults.apply(base);
-  bench::CheckpointSession ckpt(cli, "fig5_stability", obs_session);
+  bench::RunSession session(cli, "fig5_stability", scale.fabric.hosts(),
+                            base.horizon);
+  session.apply(base);
 
+  // Both results feed the trace tables after the sweep, so they are
+  // retained (two cells — same liveness as the sequential code had).
+  std::optional<core::ExperimentResult> srpt_r;
+  std::optional<core::ExperimentResult> basrpt_r;
+  exec::Sweep sweep;
   base.scheduler = sched::SchedulerSpec::srpt();
-  const auto srpt = ckpt.run("srpt", base);
+  sweep.add("srpt", base,
+            [&](const core::ExperimentResult& r) { srpt_r = r; });
   base.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-  const auto basrpt = ckpt.run("fast_basrpt", base);
+  sweep.add("fast_basrpt", base,
+            [&](const core::ExperimentResult& r) { basrpt_r = r; });
+  session.run_sweep(sweep);
+  const core::ExperimentResult& srpt = *srpt_r;
+  const core::ExperimentResult& basrpt = *basrpt_r;
 
   const auto rows = static_cast<std::size_t>(cli.get_integer("trace-points"));
 
@@ -114,8 +122,8 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: SRPT queue grows all the time; fast BASRPT stabilizes and "
       "delivers more bytes.\n");
-  faults.report("srpt", srpt.raw.fault_stats);
-  faults.report("fast basrpt", basrpt.raw.fault_stats);
-  obs_session.finish();
+  session.fault_report("srpt", srpt.raw.fault_stats);
+  session.fault_report("fast basrpt", basrpt.raw.fault_stats);
+  session.finish();
   return 0;
 }

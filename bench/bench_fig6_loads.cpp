@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -24,55 +24,72 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 6: varying loads 10%..80%", scale);
   const double v_eff = bench::effective_v(cli.get_real("v"), scale);
 
-  bench::ObsSession obs_session(cli);
-  bench::FaultSession faults(cli, scale.fabric.hosts(), scale.fct_horizon,
-                             &obs_session);
-  bench::CheckpointSession ckpt(cli, "fig6_loads", obs_session);
+  bench::RunSession session(cli, "fig6_loads", scale.fabric.hosts(),
+                            scale.fct_horizon);
   const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4,
                                      0.5, 0.6, 0.7, 0.8};
   stats::Table table({"load", "srpt avg ms", "basrpt avg ms",
                       "srpt q-p99 ms", "basrpt q-p99 ms", "srpt Gbps",
                       "basrpt Gbps"});
 
-  for (const double load : loads) {
+  // "Average FCT" in Fig. 6 is over all flows.
+  const auto overall = [](const core::ExperimentResult& r) {
+    const auto q = r.raw.fct.summary(stats::FlowClass::kQuery);
+    const auto b = r.raw.fct.summary(stats::FlowClass::kBackground);
+    const auto total = q.completed + b.completed;
+    if (total == 0) {
+      return 0.0;
+    }
+    return (q.mean_seconds * static_cast<double>(q.completed) +
+            b.mean_seconds * static_cast<double>(b.completed)) /
+           static_cast<double>(total) * 1e3;
+  };
+
+  // Per-load figures extracted at commit time; the srpt cell's commit
+  // stashes them, the basrpt cell's commit (always later in submission
+  // order) emits the row. Full results are not retained.
+  struct SrptFigures {
+    double avg_ms = 0.0;
+    double p99_ms = 0.0;
+    double gbps = 0.0;
+  };
+  std::vector<SrptFigures> srpt_figs(loads.size());
+
+  exec::Sweep sweep;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double load = loads[i];
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = load;
     config.horizon = scale.fct_horizon;
-    obs_session.apply(config);
-    faults.apply(config);
+    session.apply(config);
 
     char load_tag[32];
-    std::snprintf(load_tag, sizeof(load_tag), "%.1f", load);
+    std::snprintf(load_tag, sizeof(load_tag), "srpt_%.1f", load);
     config.scheduler = sched::SchedulerSpec::srpt();
-    const auto srpt = ckpt.run(std::string("srpt_") + load_tag, config);
+    sweep.add(load_tag, config,
+              [&, i, overall](const core::ExperimentResult& r) {
+                srpt_figs[i] = {overall(r), r.query_p99_ms,
+                                r.throughput_gbps};
+              });
+    std::snprintf(load_tag, sizeof(load_tag), "basrpt_%.1f", load);
     config.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-    const auto basrpt = ckpt.run(std::string("basrpt_") + load_tag, config);
-
-    // "Average FCT" in Fig. 6 is over all flows.
-    const auto overall = [](const core::ExperimentResult& r) {
-      const auto q = r.raw.fct.summary(stats::FlowClass::kQuery);
-      const auto b = r.raw.fct.summary(stats::FlowClass::kBackground);
-      const auto total = q.completed + b.completed;
-      if (total == 0) {
-        return 0.0;
-      }
-      return (q.mean_seconds * static_cast<double>(q.completed) +
-              b.mean_seconds * static_cast<double>(b.completed)) /
-             static_cast<double>(total) * 1e3;
-    };
-
-    table.add_row({stats::cell(load, 1), stats::cell(overall(srpt)),
-                   stats::cell(overall(basrpt)),
-                   stats::cell(srpt.query_p99_ms),
-                   stats::cell(basrpt.query_p99_ms),
-                   stats::cell(srpt.throughput_gbps, 1),
-                   stats::cell(basrpt.throughput_gbps, 1)});
-    std::fprintf(stderr, "load %.1f done\n", load);
+    sweep.add(load_tag, config,
+              [&, i, load, overall](const core::ExperimentResult& r) {
+                table.add_row({stats::cell(load, 1),
+                               stats::cell(srpt_figs[i].avg_ms),
+                               stats::cell(overall(r)),
+                               stats::cell(srpt_figs[i].p99_ms),
+                               stats::cell(r.query_p99_ms),
+                               stats::cell(srpt_figs[i].gbps, 1),
+                               stats::cell(r.throughput_gbps, 1)});
+                session.progress("load %.1f done\n", load);
+              });
   }
+  session.run_sweep(sweep);
   bench::emit(table, cli);
   std::printf(
       "\npaper: near-identical at low load; modest BASRPT FCT growth at "
       "high load;\nBASRPT throughput a little higher under all loads.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -22,35 +22,41 @@ int main(int argc, char** argv) {
   const auto scale = bench::scale_from_cli(cli);
   bench::print_header("Fig. 7: varying V at 95% load", scale);
 
-  bench::ObsSession obs_session(cli);
-  bench::CheckpointSession ckpt(cli, "fig7_vsweep", obs_session);
+  bench::RunSession session(cli, "fig7_vsweep", scale.fabric.hosts(),
+                            scale.stability_horizon);
   const std::vector<double> paper_vs = {1000, 2500, 5000, 10000};
   stats::Table table({"paper V", "effective V", "thpt Gbps",
                       "tail queue MB", "max-port tail MB", "stable"});
 
+  exec::Sweep sweep;
   for (const double paper_v : paper_vs) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.stability_horizon;
-    obs_session.apply(config);
+    session.apply(config);
     const double v_eff = bench::effective_v(paper_v, scale);
     config.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-    const auto r =
-        ckpt.run("v" + std::to_string(static_cast<int>(paper_v)), config);
 
-    table.add_row(
-        {stats::cell(paper_v, 0), stats::cell(v_eff, 0),
-         stats::cell(r.throughput_gbps, 2),
-         stats::cell(r.total_tail_mean_bytes / 1e6, 1),
-         stats::cell(r.raw.backlog.max_ingress().tail_mean() / 1e6, 1),
-         r.total_backlog_trend.growing ? "NO" : "yes"});
-    std::fprintf(stderr, "V=%g done\n", paper_v);
+    char label[32];
+    std::snprintf(label, sizeof(label), "v%d", static_cast<int>(paper_v));
+    sweep.add(label, config,
+              [&, paper_v, v_eff](const core::ExperimentResult& r) {
+                table.add_row(
+                    {stats::cell(paper_v, 0), stats::cell(v_eff, 0),
+                     stats::cell(r.throughput_gbps, 2),
+                     stats::cell(r.total_tail_mean_bytes / 1e6, 1),
+                     stats::cell(r.raw.backlog.max_ingress().tail_mean() / 1e6,
+                                 1),
+                     r.total_backlog_trend.growing ? "NO" : "yes"});
+                session.progress("V=%g done\n", paper_v);
+              });
   }
+  session.run_sweep(sweep);
   bench::emit(table, cli);
   std::printf(
       "\npaper: the stable queue level goes up slightly with V, global "
       "throughput\nsees a slight decline, and V does not make a big "
       "difference on either.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

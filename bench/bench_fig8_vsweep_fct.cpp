@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -21,31 +21,36 @@ int main(int argc, char** argv) {
   const auto scale = bench::scale_from_cli(cli);
   bench::print_header("Fig. 8: FCT under different V", scale);
 
-  bench::ObsSession obs_session(cli);
-  bench::CheckpointSession ckpt(cli, "fig8_vsweep_fct", obs_session);
+  bench::RunSession session(cli, "fig8_vsweep_fct", scale.fabric.hosts(),
+                            scale.fct_horizon);
   const std::vector<double> paper_vs = {1000, 2500, 5000, 10000};
   stats::Table table({"paper V", "qry avg ms", "qry p99 ms", "bg avg ms",
                       "bg p99 ms"});
 
+  exec::Sweep sweep;
   for (const double paper_v : paper_vs) {
     core::ExperimentConfig config = bench::base_config(scale, cli);
     config.load = cli.get_real("load");
     config.horizon = scale.fct_horizon;
-    obs_session.apply(config);
+    session.apply(config);
     config.scheduler =
         sched::SchedulerSpec::fast_basrpt(bench::effective_v(paper_v, scale));
-    const auto r =
-        ckpt.run("v" + std::to_string(static_cast<int>(paper_v)), config);
-    table.add_row({stats::cell(paper_v, 0), stats::cell(r.query_avg_ms),
-                   stats::cell(r.query_p99_ms),
-                   stats::cell(r.background_avg_ms),
-                   stats::cell(r.background_p99_ms)});
-    std::fprintf(stderr, "V=%g done\n", paper_v);
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "v%d", static_cast<int>(paper_v));
+    sweep.add(label, config, [&, paper_v](const core::ExperimentResult& r) {
+      table.add_row({stats::cell(paper_v, 0), stats::cell(r.query_avg_ms),
+                     stats::cell(r.query_p99_ms),
+                     stats::cell(r.background_avg_ms),
+                     stats::cell(r.background_p99_ms)});
+      session.progress("V=%g done\n", paper_v);
+    });
   }
+  session.run_sweep(sweep);
   bench::emit(table, cli);
   std::printf(
       "\npaper: query avg and p99 FCT fall sharply as V grows; background "
       "avg rises\nmildly while its p99 drifts slightly down.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

@@ -8,13 +8,49 @@
 //  * the decentralization gap — per-packet local priorities vs the
 //    idealized centralized matching scheduler.
 #include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 #include "flowsim/flow_sim.hpp"
 #include "pktsim/packet_sim.hpp"
 #include "workload/generators.hpp"
 #include "workload/trace_io.hpp"
+
+namespace {
+
+/// One comparison row: a policy realized in one of the two models.
+struct PvfCell {
+  bool packet = false;
+  basrpt::sched::SchedulerSpec spec{};  // flow cells
+  basrpt::pktsim::PacketPolicy policy =
+      basrpt::pktsim::PacketPolicy::kSrpt;  // packet cells
+  double pkt_v = 0.0;
+  std::string label;  // "policy" column + progress line
+};
+
+/// Packet-side realization of a flow-level policy, when one exists.
+std::optional<basrpt::pktsim::PacketPolicy> packet_policy(
+    const basrpt::sched::SchedulerSpec& spec) {
+  using basrpt::pktsim::PacketPolicy;
+  if (spec.size_error > 1.0) {
+    return std::nullopt;  // the packet model has no size-noise hook
+  }
+  switch (spec.policy) {
+    case basrpt::sched::Policy::kSrpt:
+      return PacketPolicy::kSrpt;
+    case basrpt::sched::Policy::kFastBasrpt:
+      return PacketPolicy::kFastBasrpt;
+    case basrpt::sched::Policy::kFifo:
+      return PacketPolicy::kFifo;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -24,13 +60,13 @@ int main(int argc, char** argv) {
   cli.real("load", 0.5, "per-host offered load")
       .real("v", 2500.0, "paper-equivalent BASRPT weight")
       .real("pkt-horizon", 0.05, "simulated seconds (packet events are "
-                                 "~1000x denser than flow events)");
+                                 "~1000x denser than flow events)")
+      .text("scheduler", "",
+            "comma-separated scheduler specs (sched::SchedulerSpec::parse "
+            "grammar, v in paper units); default srpt,fast-basrpt,fifo");
   if (!bench::parse_common(cli, argc, argv)) {
     return 0;
   }
-  // Both halves replay one recorded trace through model-specific result
-  // types — there is no ExperimentResult cell to store or replay.
-  bench::require_no_checkpoint_flags(cli);
   const bool full = cli.get_flag("full");
   const std::int32_t racks = full ? 4 : 2;
   const std::int32_t per_rack = 4;
@@ -51,57 +87,123 @@ int main(int argc, char** argv) {
   }
   std::printf("trace: %zu flows\n\n", recorder.recorded().size());
 
-  bench::ObsSession obs_session(cli);
+  // Both halves replay one recorded trace through model-specific result
+  // types — there is no ExperimentResult cell to store or replay, so
+  // the session runs checkpoint-free (the flags are rejected).
+  bench::RunSession session(cli, "packet_vs_flow", hosts, horizon,
+                            bench::RunSession::Checkpointing::kNone);
+
+  std::vector<PvfCell> cells;
+  const auto add_flow = [&](const sched::SchedulerSpec& spec,
+                            std::string label) {
+    PvfCell cell;
+    cell.spec = spec;
+    cell.label = std::move(label);
+    cells.push_back(std::move(cell));
+  };
+  const auto add_packet = [&](pktsim::PacketPolicy policy, double v,
+                              std::string label) {
+    PvfCell cell;
+    cell.packet = true;
+    cell.policy = policy;
+    cell.pkt_v = v;
+    cell.label = std::move(label);
+    cells.push_back(std::move(cell));
+  };
+
+  if (const std::string list = cli.get_text("scheduler"); list.empty()) {
+    add_flow(sched::SchedulerSpec::srpt(), "srpt");
+    add_packet(pktsim::PacketPolicy::kSrpt, v_eff, "srpt");
+    add_flow(sched::SchedulerSpec::fast_basrpt(v_eff), "fast-basrpt");
+    add_packet(pktsim::PacketPolicy::kFastBasrpt, v_eff, "fast-basrpt");
+    add_flow(sched::SchedulerSpec::fifo(), "fifo");
+    add_packet(pktsim::PacketPolicy::kFifo, v_eff, "fifo");
+  } else {
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string text =
+          list.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      start = comma == std::string::npos ? list.size() + 1 : comma + 1;
+      sched::SchedulerSpec spec;
+      try {
+        spec = sched::SchedulerSpec::parse(text);
+      } catch (const ConfigError& e) {
+        std::fprintf(stderr, "error: --scheduler '%s': %s\n", text.c_str(),
+                     e.what());
+        return 2;
+      }
+      // Specs carry paper-equivalent V; the simulators want it scaled to
+      // this fabric, exactly like the --v flag. Rows keep the paper-units
+      // text the user typed.
+      const std::string label = spec.to_string();
+      spec.v = core::scale_v(spec.v, hosts);
+      add_flow(spec, label);
+      if (const auto policy = packet_policy(spec); policy.has_value()) {
+        add_packet(*policy, spec.v, sched::to_string(spec.policy));
+      } else {
+        std::fprintf(stderr,
+                     "note: %s has no packet-level realization; flow row "
+                     "only\n",
+                     text.c_str());
+      }
+    }
+  }
+
   stats::Table table({"model", "policy", "qry avg ms", "qry slowdown",
                       "bg avg ms", "bg slowdown", "thpt Gbps"});
+  std::vector<std::vector<std::string>> rows(cells.size());
 
-  const auto pkt_row = [&](pktsim::PacketPolicy policy, const char* label) {
+  const auto pkt_cell = [&](const PvfCell& cell) {
     pktsim::PacketSimConfig config;
     config.hosts = hosts;
-    config.policy = policy;
-    config.v = v_eff;
+    config.policy = cell.policy;
+    config.v = cell.pkt_v;
     config.horizon = horizon;
     config.paranoid = cli.get_flag("paranoid");
     workload::VectorTraffic replay(recorder.recorded());
     const auto r = run_packet_sim(config, replay);
     const auto q = r.fct.summary(stats::FlowClass::kQuery);
     const auto b = r.fct.summary(stats::FlowClass::kBackground);
-    table.add_row({"packet", label, stats::cell(q.mean_seconds * 1e3),
-                   stats::cell(q.mean_slowdown, 2),
-                   stats::cell(b.mean_seconds * 1e3),
-                   stats::cell(b.mean_slowdown, 2),
-                   stats::cell(r.throughput().bits_per_sec / 1e9, 2)});
-    std::fprintf(stderr, "packet %s done\n", label);
+    return std::vector<std::string>{
+        "packet", cell.label, stats::cell(q.mean_seconds * 1e3),
+        stats::cell(q.mean_slowdown, 2), stats::cell(b.mean_seconds * 1e3),
+        stats::cell(b.mean_slowdown, 2),
+        stats::cell(r.throughput().bits_per_sec / 1e9, 2)};
   };
 
-  const auto flow_row = [&](const sched::SchedulerSpec& spec) {
+  const auto flow_cell = [&](const PvfCell& cell, obs::FlowTracer* tracer) {
     flowsim::FlowSimConfig config;
     config.fabric = topo::small_fabric(racks, per_rack, 3);
     config.horizon = horizon;
-    config.tracer = obs_session.tracer_or_null();
+    config.tracer = tracer;
     config.heartbeat_wall_sec = cli.get_real("heartbeat");
     config.paranoid = cli.get_flag("paranoid");
-    auto scheduler = obs_session.wrap(sched::make_scheduler(spec));
+    session.apply(config);
+    auto scheduler = session.wrap(sched::make_scheduler(cell.spec));
     workload::VectorTraffic replay(recorder.recorded());
     const auto r = run_flow_sim(config, *scheduler, replay);
     const auto q = r.fct.summary(stats::FlowClass::kQuery);
     const auto b = r.fct.summary(stats::FlowClass::kBackground);
-    table.add_row({"flow", sched::to_string(spec.policy),
-                   stats::cell(q.mean_seconds * 1e3),
-                   stats::cell(q.mean_slowdown, 2),
-                   stats::cell(b.mean_seconds * 1e3),
-                   stats::cell(b.mean_slowdown, 2),
-                   stats::cell(r.throughput().bits_per_sec / 1e9, 2)});
-    std::fprintf(stderr, "flow %s done\n",
-                 sched::to_string(spec.policy).c_str());
+    return std::vector<std::string>{
+        "flow", cell.label, stats::cell(q.mean_seconds * 1e3),
+        stats::cell(q.mean_slowdown, 2), stats::cell(b.mean_seconds * 1e3),
+        stats::cell(b.mean_slowdown, 2),
+        stats::cell(r.throughput().bits_per_sec / 1e9, 2)};
   };
 
-  flow_row(sched::SchedulerSpec::srpt());
-  pkt_row(pktsim::PacketPolicy::kSrpt, "srpt");
-  flow_row(sched::SchedulerSpec::fast_basrpt(v_eff));
-  pkt_row(pktsim::PacketPolicy::kFastBasrpt, "fast-basrpt");
-  flow_row(sched::SchedulerSpec::fifo());
-  pkt_row(pktsim::PacketPolicy::kFifo, "fifo");
+  session.run_cells(
+      cells.size(),
+      [&](std::size_t i, obs::FlowTracer* tracer) {
+        rows[i] =
+            cells[i].packet ? pkt_cell(cells[i]) : flow_cell(cells[i], tracer);
+      },
+      [&](std::size_t i) {
+        table.add_row(rows[i]);
+        session.progress("%s %s done\n", cells[i].packet ? "packet" : "flow",
+                         cells[i].label.c_str());
+      });
 
   bench::emit(table, cli);
   std::printf(
@@ -111,6 +213,6 @@ int main(int argc, char** argv) {
       "to the centralized matching at the egress\n(uncoordinated senders "
       "converge and queue), and the SRPT>FIFO ordering is\npreserved in "
       "both models.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

@@ -7,6 +7,12 @@
 // O(K log K) as SRPT and MaxWeight pays the Hungarian O(N^3).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "matching/birkhoff.hpp"
 #include "matching/greedy.hpp"
@@ -56,37 +62,56 @@ void run_decision_bench(benchmark::State& state,
   state.SetLabel(scheduler->name());
 }
 
-void BM_DecideSrpt(benchmark::State& state) {
-  run_decision_bench(state, sched::SchedulerSpec::srpt());
-}
-void BM_DecideFastBasrpt(benchmark::State& state) {
-  run_decision_bench(state, sched::SchedulerSpec::fast_basrpt(2500));
-}
-void BM_DecideThreshold(benchmark::State& state) {
-  run_decision_bench(state, sched::SchedulerSpec::threshold_srpt(1000));
-}
-void BM_DecideMaxWeight(benchmark::State& state) {
-  run_decision_bench(state, sched::SchedulerSpec::maxweight());
-}
-void BM_DecideExactBasrpt(benchmark::State& state) {
-  run_decision_bench(state, sched::SchedulerSpec::exact_basrpt(2500));
+// The decide benchmarks are registered from a scheduler-spec list
+// (sched::SchedulerSpec::parse grammar) so `--scheduler=LIST` can swap
+// the set without recompiling. The default list reproduces the
+// original five fixtures.
+constexpr const char* kDefaultSchedulers =
+    "srpt,fast-basrpt:v=2500,threshold-srpt:threshold=1000,maxweight,"
+    "exact-basrpt:v=2500";
+
+/// Benchmark sizes for one policy: the paper's evaluation scale is 144
+/// ports; the candidate count (second argument) is the number of
+/// non-empty VOQs. O(K log K) policies get the 20000-candidate point;
+/// exact BASRPT's traversal is exponential — 6 ports is already the
+/// practical ceiling, which is the paper's point.
+std::vector<std::pair<std::int64_t, std::int64_t>> decide_sizes(
+    sched::Policy policy) {
+  switch (policy) {
+    case sched::Policy::kSrpt:
+    case sched::Policy::kFastBasrpt:
+      return {{24, 200}, {144, 2000}, {144, 20000}};
+    case sched::Policy::kExactBasrpt:
+      return {{4, 12}, {5, 20}, {6, 30}};
+    default:
+      return {{24, 200}, {144, 2000}};
+  }
 }
 
-// The paper's evaluation scale is 144 ports; the candidate count (second
-// argument) is the number of non-empty VOQs.
-BENCHMARK(BM_DecideSrpt)
-    ->Args({24, 200})
-    ->Args({144, 2000})
-    ->Args({144, 20000});
-BENCHMARK(BM_DecideFastBasrpt)
-    ->Args({24, 200})
-    ->Args({144, 2000})
-    ->Args({144, 20000});
-BENCHMARK(BM_DecideThreshold)->Args({24, 200})->Args({144, 2000});
-BENCHMARK(BM_DecideMaxWeight)->Args({24, 200})->Args({144, 2000});
-// Exact BASRPT: the traversal is exponential — 6 ports is already the
-// practical ceiling, which is the paper's point.
-BENCHMARK(BM_DecideExactBasrpt)->Args({4, 12})->Args({5, 20})->Args({6, 30});
+void register_decide_benchmarks(const std::string& list) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string text =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    start = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    sched::SchedulerSpec spec;
+    try {
+      spec = sched::SchedulerSpec::parse(text);
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "error: --scheduler '%s': %s\n", text.c_str(),
+                   e.what());
+      std::exit(2);
+    }
+    auto* bench = benchmark::RegisterBenchmark(
+        ("BM_Decide<" + spec.to_string() + ">").c_str(),
+        [spec](benchmark::State& state) { run_decision_bench(state, spec); });
+    for (const auto& [ports, flows] : decide_sizes(spec.policy)) {
+      bench->Args({ports, flows});
+    }
+  }
+}
 
 // ----------------------------------------------------- candidate building
 
@@ -164,4 +189,25 @@ BENCHMARK(BM_BirkhoffDecompose)->Arg(8)->Arg(24);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--scheduler=LIST` is ours (google-benchmark rejects
+// unknown flags), so it is consumed before Initialize sees argv.
+int main(int argc, char** argv) {
+  std::string list = kDefaultSchedulers;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scheduler=", 12) == 0) {
+      list = argv[i] + 12;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  register_decide_benchmarks(list);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

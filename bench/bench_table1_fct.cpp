@@ -8,9 +8,10 @@
 // 500 s horizon — the inflation shrinks as V grows, see bench_fig8) in
 // exchange for queue stability and higher delivered throughput.
 #include <cstdio>
+#include <optional>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace basrpt;
@@ -28,20 +29,25 @@ int main(int argc, char** argv) {
   std::printf("V = %g paper-equivalent (effective %g at this N)\n\n",
               cli.get_real("v"), v_eff);
 
-  bench::ObsSession obs_session(cli);
   core::ExperimentConfig base = bench::base_config(scale, cli);
   base.load = cli.get_real("load");
   base.horizon = scale.fct_horizon;
-  obs_session.apply(base);
-  bench::FaultSession faults(cli, scale.fabric.hosts(), base.horizon,
-                             &obs_session);
-  faults.apply(base);
-  bench::CheckpointSession ckpt(cli, "table1_fct", obs_session);
+  bench::RunSession session(cli, "table1_fct", scale.fabric.hosts(),
+                            base.horizon);
+  session.apply(base);
 
+  std::optional<core::ExperimentResult> srpt_r;
+  std::optional<core::ExperimentResult> basrpt_r;
+  exec::Sweep sweep;
   base.scheduler = sched::SchedulerSpec::srpt();
-  const auto srpt = ckpt.run("srpt", base);
+  sweep.add("srpt", base,
+            [&](const core::ExperimentResult& r) { srpt_r = r; });
   base.scheduler = sched::SchedulerSpec::fast_basrpt(v_eff);
-  const auto basrpt = ckpt.run("fast_basrpt", base);
+  sweep.add("fast_basrpt", base,
+            [&](const core::ExperimentResult& r) { basrpt_r = r; });
+  session.run_sweep(sweep);
+  const core::ExperimentResult& srpt = *srpt_r;
+  const core::ExperimentResult& basrpt = *basrpt_r;
 
   stats::Table table({"metric", "srpt", "fast basrpt", "ratio"});
   const auto row = [&](const std::string& name, double a, double b) {
@@ -64,8 +70,8 @@ int main(int argc, char** argv) {
       "paper: background rows ~1x; query rows < 2x avg / < 4x p99 at "
       "N=144, 500 s;\nquick-scale runs sit at an earlier point of the same "
       "tradeoff curve.\n");
-  faults.report("srpt", srpt.raw.fault_stats);
-  faults.report("fast basrpt", basrpt.raw.fault_stats);
-  obs_session.finish();
+  session.fault_report("srpt", srpt.raw.fault_stats);
+  session.fault_report("fast basrpt", basrpt.raw.fault_stats);
+  session.finish();
   return 0;
 }

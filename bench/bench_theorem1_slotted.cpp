@@ -8,10 +8,11 @@
 // MaxWeight are run as references: BvN is backlog-oblivious and stable;
 // MaxWeight is the V = 0 extreme.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "checkpoint_session.hpp"
+#include "run_session.hpp"
 #include "sched/bvn_scheduler.hpp"
 #include "sched/factory.hpp"
 #include "switchsim/arrivals.hpp"
@@ -47,60 +48,76 @@ int main(int argc, char** argv) {
   mix.large = 24;
   mix.p_small = 0.9;
 
-  bench::ObsSession obs_session(cli);
-  bench::CheckpointSession ckpt(cli, "theorem1_slotted", obs_session);
-  const auto run = [&](const std::string& label,
-                       sched::Scheduler& scheduler) {
+  // The slotted model has no fault hooks; the fault arguments only size
+  // a --fault-plan=random schedule, which this bench never applies.
+  bench::RunSession session(cli, "theorem1_slotted", n, seconds(1.0));
+
+  stats::Table table({"scheduler", "avg backlog pkts", "avg penalty",
+                      "qry avg FCT", "bg avg FCT", "thpt pkt/slot",
+                      "stable"});
+  const auto make_stream = [&] {
+    return switchsim::bernoulli_arrivals(rates, mix, horizon, Rng(seed));
+  };
+
+  // Declares one slotted cell. The scheduler factory runs on the worker
+  // thread (fresh scheduler per compute); the display name is captured
+  // here from a throwaway instance so the row text never depends on
+  // which thread ran the cell.
+  exec::Sweep sweep;
+  const auto add = [&](const std::string& label,
+                       std::function<sched::SchedulerPtr()> make_scheduler) {
     switchsim::SlottedConfig config;
     config.n_ports = n;
     config.horizon = horizon;
     config.sample_every = 64;
     config.watched_dst = 1;
-    obs_session.apply(config);
-    return ckpt.run_slotted(label, config, scheduler, [&] {
-      return switchsim::bernoulli_arrivals(rates, mix, horizon, Rng(seed));
-    });
-  };
-
-  stats::Table table({"scheduler", "avg backlog pkts", "avg penalty",
-                      "qry avg FCT", "bg avg FCT", "thpt pkt/slot",
-                      "stable"});
-  const auto add = [&](const std::string& label,
-                       sched::Scheduler& scheduler) {
-    const auto r = run(label, scheduler);
-    const auto q = r.fct.summary(stats::FlowClass::kQuery);
-    const auto b = r.fct.summary(stats::FlowClass::kBackground);
-    table.add_row(
-        {scheduler.name(), stats::cell(r.backlog_packets.mean(), 1),
-         stats::cell(r.penalty.mean(), 2), stats::cell(q.mean_seconds, 1),
-         stats::cell(b.mean_seconds, 1),
-         stats::cell(r.throughput_pkts_per_slot(), 3),
-         stats::classify_trend(r.backlog.total()).growing ? "NO" : "yes"});
-    std::fprintf(stderr, "%s done\n", scheduler.name().c_str());
+    session.apply(config);
+    const std::string sched_name = make_scheduler()->name();
+    sweep.add_slotted(label, config, std::move(make_scheduler), make_stream,
+                      [&, sched_name](const switchsim::SlottedResult& r) {
+                        const auto q = r.fct.summary(stats::FlowClass::kQuery);
+                        const auto b =
+                            r.fct.summary(stats::FlowClass::kBackground);
+                        table.add_row(
+                            {sched_name,
+                             stats::cell(r.backlog_packets.mean(), 1),
+                             stats::cell(r.penalty.mean(), 2),
+                             stats::cell(q.mean_seconds, 1),
+                             stats::cell(b.mean_seconds, 1),
+                             stats::cell(r.throughput_pkts_per_slot(), 3),
+                             stats::classify_trend(r.backlog.total()).growing
+                                 ? "NO"
+                                 : "yes"});
+                        session.progress("%s done\n", sched_name.c_str());
+                      });
   };
 
   for (const double v : {10.0, 40.0, 160.0, 640.0, 2560.0}) {
-    auto scheduler = obs_session.wrap(
-        sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(v)));
-    add("v" + std::to_string(static_cast<int>(v)), *scheduler);
+    char label[32];
+    std::snprintf(label, sizeof(label), "v%d", static_cast<int>(v));
+    add(label, [&session, v] {
+      return session.wrap(
+          sched::make_scheduler(sched::SchedulerSpec::fast_basrpt(v)));
+    });
   }
-  {
-    auto srpt =
-        obs_session.wrap(sched::make_scheduler(sched::SchedulerSpec::srpt()));
-    add("srpt", *srpt);
-    auto maxweight = obs_session.wrap(
+  add("srpt", [&session] {
+    return session.wrap(sched::make_scheduler(sched::SchedulerSpec::srpt()));
+  });
+  add("maxweight", [&session] {
+    return session.wrap(
         sched::make_scheduler(sched::SchedulerSpec::maxweight()));
-    add("maxweight", *maxweight);
-    sched::BvnScheduler bvn(switchsim::skewed_rates(n, 0.98, 0.6),
-                            Rng(seed + 1));
-    add("bvn", bvn);
-  }
+  });
+  add("bvn", [n, seed] {
+    return std::make_unique<sched::BvnScheduler>(
+        switchsim::skewed_rates(n, 0.98, 0.6), Rng(seed + 1));
+  });
+  session.run_sweep(sweep);
 
   bench::emit(table, cli);
   std::printf(
       "\nexpected: avg backlog grows roughly linearly in V; avg penalty "
       "(and query FCT)\nfalls toward the SRPT value as V grows; SRPT may "
       "go unstable; MaxWeight and BvN\nstay stable with poor penalty.\n");
-  obs_session.finish();
+  session.finish();
   return 0;
 }

@@ -49,7 +49,7 @@ namespace basrpt::bench {
 inline std::vector<std::string> fingerprint_excludes() {
   return {"checkpoint-dir", "checkpoint-every", "resume",   "metrics",
           "trace",          "heartbeat",        "plot-dir", "csv",
-          "watchdog",       "paranoid"};
+          "watchdog",       "paranoid",         "jobs"};
 }
 
 /// Hard-fails benches whose work is not organized in resumable cells
@@ -67,6 +67,9 @@ inline void require_no_checkpoint_flags(const CliParser& cli) {
   }
 }
 
+/// DEPRECATED for direct use in benches: bench::RunSession owns one and
+/// drives it both sequentially and under --jobs; see
+/// bench/run_session.hpp.
 class CheckpointSession {
  public:
   /// Construct after parse_common and after the ObsSession (partial
@@ -190,6 +193,91 @@ class CheckpointSession {
                    e.what());
       abort_interrupted("watchdog stall", 3, /*write=*/!enabled());
     }
+  }
+
+  // ---- Parallel-sweep extension (bench::RunSession's --jobs path) ----
+  //
+  // The serialized commit path: workers compute cells concurrently, but
+  // every mutation of this session — replaying the stored prefix,
+  // recording a finished cell, writing a checkpoint — happens on the
+  // committing thread, in submission order. Checkpoint files therefore
+  // hold a *prefix* of the sweep regardless of --jobs, and resuming one
+  // is indistinguishable from resuming a sequential run.
+
+  /// True while the resume snapshot still holds the finished result of
+  /// the next cell to declare (index cells_.size()).
+  bool next_cell_stored() const {
+    return snapshot_.has_value() && cells_.size() < stored_.size();
+  }
+
+  /// Replays the next cell from the snapshot (call only when
+  /// next_cell_stored()).
+  core::ExperimentResult replay_experiment(
+      const std::string& label, const core::ExperimentConfig& config) {
+    const Stored* stored = stored_cell(cells_.size(), "experiment", label);
+    BASRPT_REQUIRE(stored != nullptr, "no stored cell to replay");
+    core::ExperimentResult r = ckpt::read_experiment_result(
+        *snapshot_, stored->prefix, config.watched_src, config.watched_dst);
+    cells_.push_back(Cell{"experiment", label, r, std::nullopt});
+    std::fprintf(stderr, "checkpoint: cell '%s' replayed (no recompute)\n",
+                 label.c_str());
+    return r;
+  }
+
+  switchsim::SlottedResult replay_slotted(
+      const std::string& label, const switchsim::SlottedConfig& config) {
+    const Stored* stored = stored_cell(cells_.size(), "slotted", label);
+    BASRPT_REQUIRE(stored != nullptr, "no stored cell to replay");
+    switchsim::SlottedResult r = ckpt::read_slotted_result(
+        *snapshot_, stored->prefix, config.watched_src, config.watched_dst);
+    cells_.push_back(Cell{"slotted", label, std::nullopt, r});
+    std::fprintf(stderr, "checkpoint: cell '%s' replayed (no recompute)\n",
+                 label.c_str());
+    return r;
+  }
+
+  /// Mid-run state of the first unstored cell, if the snapshot captured
+  /// one; null otherwise. The label must match the checkpointed wip
+  /// label (a mismatch exits like any other cell-identity mismatch).
+  std::shared_ptr<switchsim::SlottedSimState> take_wip(
+      const std::string& label) {
+    if (!snapshot_ || wip_cell_ != static_cast<std::int64_t>(cells_.size())) {
+      return nullptr;
+    }
+    if (wip_label_ != label) {
+      mismatch(cells_.size(), wip_label_, label);
+    }
+    auto state = std::make_shared<switchsim::SlottedSimState>(
+        ckpt::read_slotted_state(*snapshot_));
+    std::fprintf(stderr,
+                 "checkpoint: cell '%s' resuming mid-run at slot %lld\n",
+                 label.c_str(), static_cast<long long>(state->slot));
+    return state;
+  }
+
+  /// Ordered commit of a cell computed outside this session (on a
+  /// worker): records it and honors the checkpoint cadence exactly as
+  /// the sequential run()/run_slotted() paths do.
+  void commit_experiment(const std::string& label,
+                         const core::ExperimentResult& r) {
+    cells_.push_back(Cell{"experiment", label, r, std::nullopt});
+    after_cell();
+  }
+  void commit_slotted(const std::string& label,
+                      const switchsim::SlottedResult& r) {
+    cells_.push_back(Cell{"slotted", label, std::nullopt, r});
+    after_cell();
+  }
+
+  /// Interruption surfaced by the parallel runner: checkpoints the
+  /// committed prefix, flushes partial artifacts, exits. Mid-run slotted
+  /// capture is a jobs==1 feature, so here there is never wip state.
+  [[noreturn]] void fail_interrupted(const std::string& why, int code) {
+    abort_interrupted(why, code);
+  }
+
+  static int interrupt_exit_code(const InterruptedError& e) {
+    return exit_code(e);
   }
 
  private:

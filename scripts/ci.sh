@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 (warnings-as-errors build + full test suite),
-# then tier-2 (AddressSanitizer + UBSan build + full test suite).
+# then tier-2 (AddressSanitizer + UBSan build + full test suite, fault
+# and kill-and-resume soaks, and a ThreadSanitizer parallel-sweep
+# determinism check).
 #
 #   scripts/ci.sh            # both tiers
 #   scripts/ci.sh --tier1    # build + ctest only
@@ -92,6 +94,21 @@ if [[ "$RUN_TIER2" == 1 ]]; then
   kill_and_resume fig5 1 ./build-asan/bench/bench_fig5_stability --horizon 0.3
   kill_and_resume theorem1 4000 ./build-asan/bench/bench_theorem1_slotted \
       --slots 60000
+
+  # Parallel-sweep determinism under ThreadSanitizer: run one sweep bench
+  # at --jobs 4 in a TSan build (halt on the first race) and require its
+  # CSV to be byte-identical to the same binary at --jobs 1. This is the
+  # contract of src/exec (docs/PARALLEL.md): any job count, same bytes.
+  echo "==== tier 2: parallel sweep under TSan ===="
+  cmake -B build-tsan -DBASRPT_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target bench_fig6_loads
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/bench/bench_fig6_loads \
+      --horizon 0.3 --csv --jobs 1 > "$CKPT_TMP/fig6.j1.csv"
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/bench/bench_fig6_loads \
+      --horizon 0.3 --csv --jobs 4 > "$CKPT_TMP/fig6.j4.csv"
+  diff "$CKPT_TMP/fig6.j1.csv" "$CKPT_TMP/fig6.j4.csv" \
+      || { echo "tsan sweep: --jobs 4 CSV diverges from --jobs 1" >&2; exit 1; }
+  echo "tsan sweep: --jobs 4 CSV byte-identical, no races"
 fi
 
 echo "==== ci passed ===="

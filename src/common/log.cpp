@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <mutex>
 #include <utility>
 
 namespace basrpt {
@@ -67,6 +68,14 @@ LogSink& sink_ref() {
   return sink;
 }
 
+/// Serializes emitted lines across threads (parallel sweep cells all
+/// heartbeat through here). Configuration is not guarded: it happens
+/// before workers start, per the header contract.
+std::mutex& write_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { level_ref() = level; }
@@ -105,6 +114,7 @@ LogSink set_log_sink(LogSink sink) {
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(write_mutex());
   sink_ref()(level, message);
 }
 }  // namespace detail

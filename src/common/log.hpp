@@ -1,8 +1,11 @@
 // Minimal leveled logger for simulator diagnostics.
 //
 // Benches and examples print their results directly; the logger is for
-// progress/diagnostic chatter that the user may silence. Not thread-safe
-// by design: the simulators are single-threaded.
+// progress/diagnostic chatter that the user may silence. Line emission
+// is serialized by a mutex so heartbeat chatter from parallel sweep
+// cells (--jobs) never interleaves mid-line; configuration
+// (set_log_level / set_log_sink) is still single-threaded by design —
+// call it before any worker threads start.
 //
 // The initial threshold honors the BASRPT_LOG_LEVEL environment variable
 // (debug|info|warn|error|off, case-insensitive; default warn), read once

@@ -1,0 +1,189 @@
+#include "exec/cell_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdarg>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/heartbeat.hpp"
+
+namespace basrpt::exec {
+
+namespace {
+
+/// Progress counters of the (single) running pool. The runner is not
+/// reentrant — sweeps do not nest — so one global set suffices; the
+/// heartbeat note reads these from worker threads.
+struct StatusCounters {
+  std::atomic<std::size_t> cells{0};
+  std::atomic<std::size_t> committed{0};
+  std::atomic<std::size_t> started{0};
+  std::atomic<std::size_t> finished{0};
+  std::atomic<bool> active{false};
+};
+StatusCounters g_status;
+
+std::mutex& progress_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+int resolve_jobs(int jobs) {
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  return jobs > 1 ? jobs : 1;
+}
+
+PoolStatus pool_status() {
+  PoolStatus s;
+  s.active = g_status.active.load(std::memory_order_relaxed);
+  if (!s.active) {
+    return s;
+  }
+  s.cells = g_status.cells.load(std::memory_order_relaxed);
+  s.committed = g_status.committed.load(std::memory_order_relaxed);
+  const std::size_t started = g_status.started.load(std::memory_order_relaxed);
+  const std::size_t finished =
+      g_status.finished.load(std::memory_order_relaxed);
+  s.in_flight = started > finished ? started - finished : 0;
+  return s;
+}
+
+void progress(const char* format, ...) {
+  std::va_list args;
+  va_start(args, format);
+  char buf[512];
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  const std::lock_guard<std::mutex> lock(progress_mutex());
+  std::fputs(buf, stderr);
+}
+
+CellPool::CellPool(int jobs) : jobs_(resolve_jobs(jobs)) {}
+
+void CellPool::run(std::size_t count,
+                   const std::function<void(std::size_t)>& task,
+                   const std::function<void(std::size_t)>& commit) {
+  if (count == 0) {
+    return;
+  }
+  if (jobs_ <= 1 || count == 1) {
+    // The sequential path is exactly the pre-parallel bench loop:
+    // compute one cell, commit it, move on. No threads, no shards.
+    for (std::size_t i = 0; i < count; ++i) {
+      task(i);
+      commit(i);
+    }
+    return;
+  }
+
+  struct Slot {
+    bool done = false;
+    std::exception_ptr error;
+  };
+  std::vector<Slot> slots(count);
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> cancel{false};
+
+  g_status.cells.store(count, std::memory_order_relaxed);
+  g_status.committed.store(0, std::memory_order_relaxed);
+  g_status.started.store(0, std::memory_order_relaxed);
+  g_status.finished.store(0, std::memory_order_relaxed);
+  g_status.active.store(true, std::memory_order_relaxed);
+  obs::HeartbeatNoteFn previous_note = obs::set_heartbeat_note([] {
+    const PoolStatus s = pool_status();
+    if (!s.active) {
+      return std::string();
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "cells %zu/%zu committed, %zu in flight",
+                  s.committed, s.cells, s.in_flight);
+    return std::string(buf);
+  });
+
+  auto worker = [&] {
+    for (;;) {
+      if (cancel.load(std::memory_order_relaxed)) {
+        return;
+      }
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      g_status.started.fetch_add(1, std::memory_order_relaxed);
+      std::exception_ptr error;
+      try {
+        task(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      g_status.finished.fetch_add(1, std::memory_order_relaxed);
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        slots[i].done = true;
+        slots[i].error = error;
+      }
+      done_cv.notify_all();
+    }
+  };
+
+  const std::size_t n_workers =
+      count < static_cast<std::size_t>(jobs_) ? count
+                                              : static_cast<std::size_t>(jobs_);
+  std::vector<std::thread> workers;
+  workers.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers.emplace_back(worker);
+  }
+
+  // Commit frontier: strictly in submission order, on this thread. On
+  // the first failing index, cells before it are already committed;
+  // everything at or after it is cancelled and *its* exception — the
+  // lowest-index one, a deterministic choice — propagates.
+  std::exception_ptr failure;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      done_cv.wait(lock, [&] { return slots[i].done; });
+      error = slots[i].error;
+    }
+    if (error == nullptr) {
+      try {
+        commit(i);
+        g_status.committed.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    if (error != nullptr) {
+      failure = error;
+      break;
+    }
+  }
+
+  if (failure != nullptr) {
+    cancel.store(true, std::memory_order_relaxed);
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  obs::set_heartbeat_note(std::move(previous_note));
+  g_status.active.store(false, std::memory_order_relaxed);
+  if (failure != nullptr) {
+    std::rethrow_exception(failure);
+  }
+}
+
+}  // namespace basrpt::exec

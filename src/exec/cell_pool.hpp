@@ -1,0 +1,67 @@
+// Deterministic parallel cell execution — the tentpole of the sweep
+// runner (see docs/PARALLEL.md).
+//
+// CellPool runs N independent tasks on a fixed set of worker threads
+// and commits their results on the *calling* thread in strict
+// submission order. There is no work stealing and no reordering:
+// workers claim task indices from a single atomic cursor (so claiming
+// order equals submission order) and the caller walks a commit frontier
+// index by index. Everything order-sensitive — result tables, CSV
+// bytes, checkpoint sequence numbers, tracer merges, metric-shard
+// folds — therefore happens in exactly the order a sequential run would
+// produce, and the output is bit-identical at any job count.
+//
+// Failure semantics are deterministic too: if tasks or commits throw,
+// the exception of the *lowest* failing index is rethrown after the
+// cells before it have committed, regardless of which thread failed
+// first in wall-clock terms. Remaining uncommitted work is cancelled
+// (already-running tasks are drained, not interrupted — the simulators'
+// cooperative interrupt flag handles SIGINT-style cancellation).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace basrpt::exec {
+
+/// --jobs semantics: 0 = hardware concurrency, otherwise the value
+/// itself; the result is always at least 1.
+int resolve_jobs(int jobs);
+
+/// Progress snapshot of the currently running pool (all zeros /
+/// inactive when no parallel run is in flight). Safe to call from any
+/// thread; the heartbeat's cells-in-flight note reads it.
+struct PoolStatus {
+  std::size_t cells = 0;      // total cells in the running sweep
+  std::size_t committed = 0;  // committed in submission order so far
+  std::size_t in_flight = 0;  // tasks started but not yet finished
+  bool active = false;
+};
+PoolStatus pool_status();
+
+/// Serialized printf-style progress line on stderr. Cell-completion
+/// chatter ("load 0.8 done") goes through here so lines from the commit
+/// thread never interleave with worker-side logging mid-line.
+void progress(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+class CellPool {
+ public:
+  /// `jobs` as passed on the command line (resolve_jobs applied).
+  explicit CellPool(int jobs);
+
+  int jobs() const { return jobs_; }
+
+  /// Runs `task(i)` for i in [0, count) on the workers and `commit(i)`
+  /// on the calling thread, in index order. With jobs() == 1 (or a
+  /// single cell) no threads are spawned and task/commit strictly
+  /// alternate — byte-identical to the pre-parallel code path. While a
+  /// parallel run is active, a heartbeat note reporting cells-in-flight
+  /// is installed (see obs::set_heartbeat_note).
+  void run(std::size_t count, const std::function<void(std::size_t)>& task,
+           const std::function<void(std::size_t)>& commit);
+
+ private:
+  int jobs_;
+};
+
+}  // namespace basrpt::exec

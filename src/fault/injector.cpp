@@ -62,7 +62,7 @@ void FaultInjector::apply(const Transition& t) {
   const FaultEvent& e = plan_.events()[t.event];
   ++stats_.transitions;
   if (obs::enabled()) {
-    obs::Registry::global().counter("fault.transitions").add(1);
+    obs::Registry::active().counter("fault.transitions").add(1);
   }
   switch (e.kind) {
     case FaultKind::kDegrade:

@@ -8,6 +8,10 @@ namespace basrpt::obs {
 
 namespace {
 
+/// Installed before worker threads start and cleared after they join,
+/// so concurrent default_report calls only ever *invoke* it.
+HeartbeatNoteFn g_note;
+
 void default_report(const HeartbeatStatus& s) {
   LogLine line = BASRPT_LOG(kInfo);
   line << "heartbeat #" << s.beats << ": sim t=" << s.sim_time_sec << "s, "
@@ -20,9 +24,21 @@ void default_report(const HeartbeatStatus& s) {
            << s.stall_frozen_wall_sec << "s wall)";
     }
   }
+  if (g_note) {
+    const std::string note = g_note();
+    if (!note.empty()) {
+      line << ", " << note;
+    }
+  }
 }
 
 }  // namespace
+
+HeartbeatNoteFn set_heartbeat_note(HeartbeatNoteFn fn) {
+  HeartbeatNoteFn previous = std::move(g_note);
+  g_note = std::move(fn);
+  return previous;
+}
 
 void Heartbeat::configure(double wall_interval_sec, ReportFn fn) {
   interval_sec_ = wall_interval_sec;

@@ -13,7 +13,17 @@
 #include <cstdint>
 #include <functional>
 
+#include <string>
+
 namespace basrpt::obs {
+
+/// Process-wide annotation appended to every default heartbeat line
+/// while installed (e.g. the parallel cell runner reporting "cells 3/16
+/// committed, 4 in flight"). Returns the previous provider so scopes can
+/// restore it. Install/clear only while no simulation threads are
+/// running; the provider itself must be safe to call from any thread.
+using HeartbeatNoteFn = std::function<std::string()>;
+HeartbeatNoteFn set_heartbeat_note(HeartbeatNoteFn fn);
 
 struct HeartbeatStatus {
   double wall_elapsed_sec = 0.0;  // since the first tick

@@ -6,6 +6,10 @@ namespace basrpt::obs {
 
 namespace {
 bool g_enabled = false;
+
+/// Per-thread registry override; null means "record into global()".
+/// Written only by ScopedRegistryBind on the owning thread.
+thread_local Registry* t_bound_registry = nullptr;
 }  // namespace
 
 bool enabled() { return g_enabled; }
@@ -16,11 +20,36 @@ Registry& Registry::global() {
   return instance;
 }
 
+Registry& Registry::active() {
+  return t_bound_registry != nullptr ? *t_bound_registry : global();
+}
+
 void Registry::reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[name].merge_from(counter);
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    gauges_[name].merge_from(gauge);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].merge_from(histogram);
+  }
+}
+
+ScopedRegistryBind::ScopedRegistryBind(Registry* shard)
+    : previous_(t_bound_registry) {
+  if (shard != nullptr) {
+    t_bound_registry = shard;
+  }
+}
+
+ScopedRegistryBind::~ScopedRegistryBind() { t_bound_registry = previous_; }
 
 double LatencyHistogram::quantile(double q) const {
   if (count_ == 0) {

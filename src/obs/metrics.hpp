@@ -1,10 +1,14 @@
 // Low-overhead run-health metrics: named counters, gauges, and log-scale
 // latency histograms collected in a Registry.
 //
-// The simulators are single-threaded, so none of this locks. The
-// instrumentation contract is *passivity*: recording a metric may never
-// touch the RNG, the event calendar, or a scheduling decision, so runs
-// with and without observability produce bit-identical results. The
+// Each simulation run is single-threaded, so none of this locks. The
+// parallel sweep runner (src/exec) gives every concurrent cell its own
+// Registry shard via the thread-local active() override and merges the
+// shards back into the global registry in cell-submission order, which
+// keeps the lock-free hot path while making multi-threaded sweeps safe.
+// The instrumentation contract is *passivity*: recording a metric may
+// never touch the RNG, the event calendar, or a scheduling decision, so
+// runs with and without observability produce bit-identical results. The
 // global enable flag keeps the off path to a single predictable branch
 // (ScopedTimer does not even read the clock when disabled).
 #pragma once
@@ -29,6 +33,9 @@ class Counter {
   std::int64_t value() const { return value_; }
   void reset() { value_ = 0; }
 
+  /// Folds another counter in (shard merge): counts simply add.
+  void merge_from(const Counter& other) { value_ += other.value_; }
+
  private:
   std::int64_t value_ = 0;
 };
@@ -45,7 +52,20 @@ class Gauge {
   }
   double value() const { return value_; }
   double max() const { return max_; }
+  bool is_set() const { return set_; }
   void reset() { *this = Gauge{}; }
+
+  /// Folds another gauge in (shard merge). Applied in cell-submission
+  /// order this reproduces the sequential outcome: the later shard's
+  /// last write wins, the peak is the max over both.
+  void merge_from(const Gauge& other) {
+    if (!other.set_) {
+      return;
+    }
+    value_ = other.value_;
+    max_ = set_ && max_ > other.max_ ? max_ : other.max_;
+    set_ = true;
+  }
 
  private:
   double value_ = 0.0;
@@ -100,6 +120,22 @@ class LatencyHistogram {
 
   void reset() { *this = LatencyHistogram{}; }
 
+  /// Folds another histogram in (shard merge): buckets, count, and sum
+  /// add; min/max combine. Order-independent.
+  void merge_from(const LatencyHistogram& other) {
+    for (std::size_t k = 0; k < kBuckets; ++k) {
+      counts_[k] += other.counts_[k];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0 && other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+
  private:
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t count_ = 0;
@@ -110,11 +146,19 @@ class LatencyHistogram {
 
 /// Named-metric registry. Lookups return stable references (std::map
 /// nodes never move), so hot paths resolve a metric once and keep the
-/// pointer. `global()` is the process-wide instance the simulators and
-/// the InstrumentedScheduler default to; tests construct their own.
+/// pointer. `global()` is the process-wide instance; the simulators and
+/// the InstrumentedScheduler record into `active()`, which is global()
+/// unless the calling thread has bound a shard (ScopedRegistryBind).
+/// Tests construct their own.
 class Registry {
  public:
   static Registry& global();
+
+  /// The registry the current thread should record into: its bound
+  /// shard if a ScopedRegistryBind is live, else global(). This is what
+  /// keeps per-cell metrics isolated under the parallel sweep runner
+  /// without a lock on the recording path.
+  static Registry& active();
 
   Counter& counter(const std::string& name) { return counters_[name]; }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
@@ -136,10 +180,34 @@ class Registry {
   /// benches that run several experiments and want per-run numbers.
   void reset();
 
+  /// Folds a shard's metrics into this registry. The per-type merge
+  /// rules (counters add, gauges last-write-wins, histograms combine)
+  /// make a sequence of merges in cell-submission order reproduce the
+  /// registry a sequential run would have built, and the operation is
+  /// associative: merging shard groups in any grouping — as long as the
+  /// overall order is preserved — yields the same registry.
+  void merge_from(const Registry& other);
+
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;
+};
+
+/// Routes Registry::active() to `shard` for the lifetime of the binder,
+/// on the constructing thread only. The parallel cell runner binds each
+/// cell's shard around the cell's compute; nesting restores the previous
+/// binding on destruction. Passing nullptr is a no-op binding (active()
+/// stays global()).
+class ScopedRegistryBind {
+ public:
+  explicit ScopedRegistryBind(Registry* shard);
+  ~ScopedRegistryBind();
+  ScopedRegistryBind(const ScopedRegistryBind&) = delete;
+  ScopedRegistryBind& operator=(const ScopedRegistryBind&) = delete;
+
+ private:
+  Registry* previous_;
 };
 
 /// Records the wall-clock lifetime of a scope into a LatencyHistogram,

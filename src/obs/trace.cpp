@@ -21,6 +21,17 @@ const char* flow_event_name(FlowEvent event) {
   return "?";
 }
 
+void FlowTracer::absorb(FlowTracer& other) {
+  records_.reserve(records_.size() + other.records_.size());
+  for (FlowTraceRecord r : other.records_) {
+    r.run += run_;
+    records_.push_back(r);
+  }
+  run_ += other.run_;
+  other.clear();
+  other.run_ = 0;
+}
+
 void FlowTracer::clear() {
   records_.clear();
   first_served_.clear();

@@ -82,6 +82,14 @@ class FlowTracer {
   bool empty() const { return records_.empty(); }
   void clear();
 
+  /// Appends another tracer's records, renumbering its runs to follow
+  /// this tracer's, and leaves `other` empty. Committing per-cell
+  /// tracers in submission order reproduces exactly the stream the
+  /// cells would have written into one shared tracer sequentially —
+  /// this is how the parallel sweep runner keeps --trace output
+  /// byte-identical at any --jobs.
+  void absorb(FlowTracer& other);
+
   /// Chrome trace-event format: arrival..completion become an async
   /// "b"/"e" pair keyed by flow id, first-service and preemption become
   /// instant events. pid = ingress port, tid = egress port, so Perfetto

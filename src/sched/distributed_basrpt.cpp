@@ -15,7 +15,7 @@ DistributedBasrptScheduler::DistributedBasrptScheduler(double v, int rounds)
 
 std::string DistributedBasrptScheduler::name() const {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "dist-basrpt(V=%g,r=%d)", v_, rounds_);
+  std::snprintf(buf, sizeof(buf), "dist-basrpt(V=%g r=%d)", v_, rounds_);
   return buf;
 }
 

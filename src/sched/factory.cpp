@@ -1,5 +1,9 @@
 #include "sched/factory.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
 #include "common/assert.hpp"
 #include "sched/exact_basrpt.hpp"
 #include "sched/fast_basrpt.hpp"
@@ -63,6 +67,168 @@ SchedulerSpec SchedulerSpec::with_size_error(double error) const {
   SchedulerSpec spec = *this;
   spec.size_error = error;
   return spec;
+}
+
+namespace {
+
+/// Shortest %g rendering that parses back to exactly `value` (falls
+/// through to 17 significant digits, which always round-trips).
+std::string format_real(double value) {
+  char buf[64];
+  for (const int precision : {6, 9, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  return buf;
+}
+
+double parse_real(const std::string& key, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(begin, &end);
+  if (value.empty() || end != begin + value.size()) {
+    throw ConfigError("scheduler spec: '" + key + "' needs a number, got '" +
+                      value + "'");
+  }
+  return parsed;
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  const long long parsed = std::strtoll(begin, &end, 10);
+  if (value.empty() || end != begin + value.size()) {
+    throw ConfigError("scheduler spec: '" + key + "' needs an integer, got '" +
+                      value + "'");
+  }
+  return parsed;
+}
+
+bool policy_has_v(Policy policy) {
+  return policy == Policy::kFastBasrpt || policy == Policy::kExactBasrpt ||
+         policy == Policy::kDistBasrpt;
+}
+
+}  // namespace
+
+SchedulerSpec SchedulerSpec::parse(const std::string& text) {
+  std::vector<std::string> segments;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = text.find(':', start);
+    segments.push_back(text.substr(
+        start, colon == std::string::npos ? std::string::npos : colon - start));
+    if (colon == std::string::npos) {
+      break;
+    }
+    start = colon + 1;
+  }
+
+  // Policy names accept '_' as '-' so shell-friendly spellings like
+  // fast_basrpt work unquoted everywhere.
+  std::string name = segments.front();
+  for (char& c : name) {
+    if (c == '_') {
+      c = '-';
+    }
+  }
+  if (name.empty()) {
+    throw ConfigError("scheduler spec: empty policy name in '" + text + "'");
+  }
+
+  SchedulerSpec spec;
+  spec.policy = parse_policy(name);
+
+  bool saw_v = false;
+  bool saw_threshold = false;
+  bool saw_rounds = false;
+  bool saw_err = false;
+  bool saw_seed = false;
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    const std::string& segment = segments[i];
+    const std::size_t eq = segment.find('=');
+    if (segment.empty() || eq == std::string::npos || eq == 0) {
+      throw ConfigError("scheduler spec: expected key=value, got '" + segment +
+                        "' in '" + text + "'");
+    }
+    std::string key = segment.substr(0, eq);
+    for (char& c : key) {
+      if (c == '_') {
+        c = '-';
+      }
+    }
+    const std::string value = segment.substr(eq + 1);
+    const auto require_once = [&](bool& seen) {
+      if (seen) {
+        throw ConfigError("scheduler spec: repeated '" + key + "' in '" +
+                          text + "'");
+      }
+      seen = true;
+    };
+    const auto require_applies = [&](bool applies) {
+      if (!applies) {
+        throw ConfigError("scheduler spec: '" + key +
+                          "' does not apply to policy '" + name + "'");
+      }
+    };
+    if (key == "v") {
+      require_applies(policy_has_v(spec.policy));
+      require_once(saw_v);
+      spec.v = parse_real(key, value);
+      if (spec.v < 0.0) {
+        throw ConfigError("scheduler spec: v must be >= 0");
+      }
+    } else if (key == "threshold") {
+      require_applies(spec.policy == Policy::kThresholdSrpt);
+      require_once(saw_threshold);
+      spec.threshold_packets = parse_real(key, value);
+      if (spec.threshold_packets <= 0.0) {
+        throw ConfigError("scheduler spec: threshold must be > 0");
+      }
+    } else if (key == "rounds") {
+      require_applies(spec.policy == Policy::kDistBasrpt);
+      require_once(saw_rounds);
+      const std::int64_t rounds = parse_int(key, value);
+      if (rounds < 1) {
+        throw ConfigError("scheduler spec: rounds must be >= 1");
+      }
+      spec.rounds = static_cast<int>(rounds);
+    } else if (key == "err") {
+      require_once(saw_err);
+      spec.size_error = parse_real(key, value);
+      if (spec.size_error < 1.0) {
+        throw ConfigError(
+            "scheduler spec: err must be >= 1 (1 = exact sizes)");
+      }
+    } else if (key == "noise-seed") {
+      require_once(saw_seed);
+      spec.noise_seed = static_cast<std::uint64_t>(parse_int(key, value));
+    } else {
+      throw ConfigError("scheduler spec: unknown option '" + key + "' in '" +
+                        text + "'");
+    }
+  }
+  return spec;
+}
+
+std::string SchedulerSpec::to_string() const {
+  std::string out = sched::to_string(policy);
+  if (policy_has_v(policy)) {
+    out += ":v=" + format_real(v);
+  }
+  if (policy == Policy::kThresholdSrpt) {
+    out += ":threshold=" + format_real(threshold_packets);
+  }
+  if (policy == Policy::kDistBasrpt) {
+    out += ":rounds=" + std::to_string(rounds);
+  }
+  if (size_error > 1.0) {
+    out += ":err=" + format_real(size_error) +
+           ":noise-seed=" + std::to_string(noise_seed);
+  }
+  return out;
 }
 
 SchedulerPtr make_scheduler(const SchedulerSpec& spec) {

@@ -40,6 +40,23 @@ struct SchedulerSpec {
 
   /// Returns a copy with size-estimation noise applied.
   SchedulerSpec with_size_error(double error) const;
+
+  /// Parses "policy[:key=value]..." — e.g. "srpt", "fast_basrpt:v=2500",
+  /// "dist-basrpt:v=1000:rounds=4", "srpt:err=4:noise-seed=7". '_' and
+  /// '-' are interchangeable in the policy name. Recognized keys:
+  /// v (fast/exact/dist-basrpt), threshold (threshold-srpt), rounds
+  /// (dist-basrpt), err and noise-seed (any policy). Unknown policies or
+  /// keys, keys that do not apply to the policy, malformed or repeated
+  /// assignments all throw ConfigError — a typo in a sweep script must
+  /// not silently fall back to a default.
+  static SchedulerSpec parse(const std::string& text);
+
+  /// Canonical spec string: dash-form policy name plus the parameters
+  /// that matter for the policy, omitting the noise suffix when
+  /// size_error == 1. parse(to_string()) reproduces every
+  /// policy-relevant field; fields a policy ignores (e.g. `v` for SRPT)
+  /// are not represented.
+  std::string to_string() const;
 };
 
 /// Instantiates the scheduler described by `spec`.

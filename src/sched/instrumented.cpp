@@ -13,7 +13,7 @@ InstrumentedScheduler::InstrumentedScheduler(SchedulerPtr inner,
   BASRPT_REQUIRE(inner_ != nullptr,
                  "InstrumentedScheduler needs a scheduler to wrap");
   obs::Registry& reg =
-      registry != nullptr ? *registry : obs::Registry::global();
+      registry != nullptr ? *registry : obs::Registry::active();
   decisions_counter_ = &reg.counter(prefix + ".decisions");
   preemptions_counter_ = &reg.counter(prefix + ".preemptions");
   decision_ns_ = &reg.histogram(prefix + ".decision_ns");

@@ -26,7 +26,8 @@ namespace basrpt::sched {
 
 class InstrumentedScheduler : public Scheduler {
  public:
-  /// Records into `registry` (default: the global one) under
+  /// Records into `registry` (default: the thread's active one — the
+  /// bound shard under the parallel sweep runner, else global) under
   /// "<prefix>.decisions", "<prefix>.decision_ns", "<prefix>.candidates",
   /// "<prefix>.matching_size", and "<prefix>.preemptions".
   explicit InstrumentedScheduler(SchedulerPtr inner,

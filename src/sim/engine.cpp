@@ -30,7 +30,7 @@ std::uint64_t Engine::run_until(SimTime horizon) {
   // Observability is passive: the timer and heartbeat only *read* state,
   // and neither can reorder events or touch callers' RNGs.
   obs::ScopedTimer chunk_timer(
-      obs::Registry::global().histogram("sim.run_chunk_ns"));
+      obs::Registry::active().histogram("sim.run_chunk_ns"));
   std::uint64_t ran = 0;
   while (!calendar_.empty() && calendar_.top().t <= horizon) {
     step();
@@ -54,7 +54,7 @@ std::uint64_t Engine::run_until(SimTime horizon) {
   }
   heartbeat_.flush(now_.seconds, executed_);
   if (obs::enabled()) {
-    obs::Registry& reg = obs::Registry::global();
+    obs::Registry& reg = obs::Registry::active();
     reg.counter("sim.events_executed").add(static_cast<std::int64_t>(ran));
     reg.gauge("sim.calendar_depth").set(static_cast<double>(pending()));
     reg.gauge("sim.calendar_peak").set(static_cast<double>(peak_pending_));

@@ -396,7 +396,7 @@ TEST(DistributedBasrpt, MoreRoundsNeverSelectFewer) {
 
 TEST(DistributedBasrpt, FactoryIntegration) {
   const auto spec = sched::SchedulerSpec::dist_basrpt(500.0, 2);
-  EXPECT_EQ(sched::make_scheduler(spec)->name(), "dist-basrpt(V=500,r=2)");
+  EXPECT_EQ(sched::make_scheduler(spec)->name(), "dist-basrpt(V=500 r=2)");
   EXPECT_EQ(sched::parse_policy("dist-basrpt"),
             sched::Policy::kDistBasrpt);
 }
