@@ -9,13 +9,22 @@
 // build re-derives every non-empty VOQ (ordered-index probes plus flow
 // lookups) per decision. Timing excludes the churn itself
 // (PauseTiming), so the numbers are pure candidate-list cost.
+// --perf-out=PATH switches to the perf::measure_op harness and writes a
+// basrpt-bench-v1 record (churn runs as the untimed setup callback, the
+// same exclusion PauseTiming provides here).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "fabric/candidate_cache.hpp"
+#include "perf/bench_record.hpp"
+#include "perf/measure.hpp"
 #include "queueing/voq.hpp"
 #include "sched/scheduler.hpp"
 
@@ -118,6 +127,99 @@ BENCHMARK(BM_CandidatesIncremental)
     ->Arg(288)
     ->Unit(benchmark::kMicrosecond);
 
+// ------------------------------------------------- perf-record mode
+
+int run_perf_mode(const std::string& out_path, int warmup, int reps) {
+  perf::BenchRecord record =
+      perf::make_record("candidate_cache", warmup, reps);
+  perf::MeasureOptions options;
+  options.warmup = warmup;
+  options.reps = reps;
+
+  struct Variant {
+    const char* name;
+    bool incremental;
+  };
+  const Variant variants[] = {{"scratch", false}, {"incremental", true}};
+  for (const Variant& variant : variants) {
+    for (const PortId ports : {16, 144, 288}) {
+      ChurnState churn(ports, 40 * ports, /*seed=*/42);
+      fabric::CandidateCache cache(churn.voqs, 1.0);
+      if (variant.incremental) {
+        cache.refresh();  // warm: first refresh pays the full build once
+      }
+      const perf::Measurement m = perf::measure_op(
+          [&] {
+            if (variant.incremental) {
+              const auto& view = cache.refresh();
+              benchmark::DoNotOptimize(view.data());
+            } else {
+              auto candidates = sched::build_candidates(churn.voqs, 1.0);
+              benchmark::DoNotOptimize(candidates.data());
+            }
+          },
+          options,
+          [&] {
+            churn.step();
+            if (!variant.incremental) {
+              churn.voqs.clear_dirty();
+            }
+          });
+
+      perf::BenchCase c;
+      c.label = std::string("candidates/") + variant.name +
+                "/ports=" + std::to_string(ports);
+      c.param("variant", variant.name);
+      c.param("ports", std::to_string(ports));
+      c.param("flows", std::to_string(40 * ports));
+      c.param("iters_per_rep", std::to_string(m.iters_per_rep));
+      c.metric("refreshes_per_sec", m.ops_per_sec);
+      c.metric("ns_mean", m.ns_mean);
+      c.metric("ns_p50", m.ns_p50);
+      c.metric("ns_p99", m.ns_p99);
+      c.metric("ns_p999", m.ns_p999);
+      c.metric("allocs_per_refresh", m.allocs_per_op);
+      c.metric("rep_spread_frac", m.rep_spread_frac);
+      record.cases.push_back(std::move(c));
+      std::printf("%-36s %12.0f refreshes/s  p99 %8.0f ns  "
+                  "allocs/op %.3f  spread %.1f%%\n",
+                  record.cases.back().label.c_str(), m.ops_per_sec, m.ns_p99,
+                  m.allocs_per_op, m.rep_spread_frac * 100.0);
+    }
+  }
+  perf::write_record_file(out_path, record);
+  std::printf("wrote %zu cases to %s\n", record.cases.size(),
+              out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string perf_out;
+  int warmup = 500;
+  int reps = 5;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--perf-out=", 11) == 0) {
+      perf_out = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--warmup=", 9) == 0) {
+      warmup = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!perf_out.empty()) {
+    return run_perf_mode(perf_out, warmup, reps);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

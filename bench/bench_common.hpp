@@ -26,6 +26,7 @@
 #include "core/experiment.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "perf/profiler.hpp"
 #include "report/metrics_json.hpp"
 #include "sched/instrumented.hpp"
 #include "stats/table.hpp"
@@ -96,7 +97,14 @@ inline bool parse_common(CliParser& cli, int argc, const char* const* argv) {
             "newest in --checkpoint-dir")
       .integer("jobs", 1,
                "run sweep cells on N threads (0 = all cores); output is "
-               "bit-identical at any value (see docs/PARALLEL.md)");
+               "bit-identical at any value (see docs/PARALLEL.md)")
+      .flag("profile", false,
+            "time hot-path phases (decide, lifecycle, calendar, repack, "
+            "checkpoint) and print a breakdown; sequential only "
+            "(see docs/PERF.md)")
+      .text("profile-out", "",
+            "write the basrpt-profile-v1 JSON breakdown here (implies "
+            "--profile)");
   try {
     return cli.parse(argc, argv);
   } catch (const ConfigError& e) {
@@ -152,10 +160,21 @@ class ObsSession {
   explicit ObsSession(const CliParser& cli)
       : metrics_path_(cli.get_text("metrics")),
         trace_path_(cli.get_text("trace")),
+        profile_path_(cli.get_text("profile-out")),
+        profile_(cli.get_flag("profile") || !cli.get_text("profile-out").empty()),
         heartbeat_sec_(cli.get_real("heartbeat")) {
     if (!metrics_path_.empty()) {
       obs::set_enabled(true);
       obs::Registry::global().reset();  // this run's numbers only
+    }
+    if (profile_) {
+      perf::Profiler& profiler = perf::Profiler::global();
+      profiler.reset();
+      // Span export only matters when a trace will be written; skipping
+      // it otherwise keeps --profile's memory footprint flat.
+      profiler.set_span_recording(!trace_path_.empty());
+      perf::set_profiling(true);
+      profiler.begin_window();
     }
     // Heartbeat lines log at INFO but the default threshold is WARN;
     // asking for --heartbeat implies wanting to see them. An explicit
@@ -207,6 +226,26 @@ class ObsSession {
   /// top-level "status" field and the trace a run_status marker, so
   /// downstream tooling never mistakes partial numbers for final ones.
   void finish(const std::string& status = "ok") {
+    if (profile_) {
+      perf::Profiler& profiler = perf::Profiler::global();
+      profiler.end_window();
+      perf::set_profiling(false);
+      if (!trace_path_.empty()) {
+        profiler.export_spans(tracer_);
+        if (profiler.spans_dropped() > 0) {
+          std::fprintf(stderr,
+                       "profile: trace span cap reached; %zu later phase "
+                       "spans not exported (aggregates still cover them)\n",
+                       profiler.spans_dropped());
+        }
+      }
+      if (!profile_path_.empty()) {
+        profiler.write_json_file(profile_path_);
+        std::printf("wrote profile to %s\n", profile_path_.c_str());
+      }
+      print_profile_breakdown(profiler);
+      profile_ = false;  // a second finish() must not reopen the window
+    }
     if (!metrics_path_.empty()) {
       report::write_metrics_file(metrics_path_, obs::Registry::global(),
                                  status);
@@ -227,8 +266,36 @@ class ObsSession {
   }
 
  private:
+  static void print_profile_breakdown(const perf::Profiler& profiler) {
+    std::fprintf(stderr, "profile: window %.3f s, coverage %.1f%%\n",
+                static_cast<double>(profiler.window_ns()) * 1e-9,
+                profiler.coverage() * 100.0);
+    for (std::size_t p = 0; p < perf::kPhaseCount; ++p) {
+      const auto phase = static_cast<perf::Phase>(p);
+      const perf::PhaseStats s = profiler.stats(phase);
+      if (s.calls == 0) {
+        continue;
+      }
+      std::fprintf(stderr,
+                  "  %-17s %12llu calls  self %9.3f ms  p99 %8.0f ns  "
+                  "allocs %llu\n",
+                  perf::phase_name(phase),
+                  static_cast<unsigned long long>(s.calls),
+                  static_cast<double>(s.self_ns) * 1e-6,
+                  profiler.histogram(phase).quantile(0.99),
+                  static_cast<unsigned long long>(s.allocs));
+    }
+    const perf::PhaseStats u = profiler.unattributed();
+    if (u.allocs > 0) {
+      std::fprintf(stderr, "  %-17s %32s allocs %llu\n", "(unattributed)", "",
+                  static_cast<unsigned long long>(u.allocs));
+    }
+  }
+
   std::string metrics_path_;
   std::string trace_path_;
+  std::string profile_path_;
+  bool profile_ = false;
   double heartbeat_sec_;
   obs::FlowTracer tracer_;
 };

@@ -5,9 +5,20 @@
 // traversal of maximal schemes explodes with port count (it is capped at
 // tiny fabrics here), while fast BASRPT's greedy pass costs the same
 // O(K log K) as SRPT and MaxWeight pays the Hungarian O(N^3).
+//
+// Two modes share the fixtures:
+//  * default — google-benchmark console output, for interactive tuning;
+//  * --perf-out=PATH — the perf::measure_op harness (median of --reps
+//    repetitions after --warmup untimed calls) writes a basrpt-bench-v1
+//    record for the regression gate. Empirically the same-host noise
+//    floor of the decide loop is ~2-5% on throughput and ~10-30% on p99
+//    tails (rep_spread_frac in the record carries the per-run value);
+//    the gate tolerances in docs/PERF.md are set above that floor, so
+//    a flagged regression is a code change, not scheduler jitter.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -18,6 +29,8 @@
 #include "matching/greedy.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/hungarian.hpp"
+#include "perf/bench_record.hpp"
+#include "perf/measure.hpp"
 #include "queueing/voq.hpp"
 #include "sched/factory.hpp"
 #include "switchsim/arrivals.hpp"
@@ -187,21 +200,115 @@ void BM_BirkhoffDecompose(benchmark::State& state) {
 }
 BENCHMARK(BM_BirkhoffDecompose)->Arg(8)->Arg(24);
 
+// ------------------------------------------------- perf-record mode
+
+/// Port counts for the gated record: the paper's 144 plus a small and a
+/// doubled point, so scaling regressions (not just constant-factor
+/// ones) move a gated metric. Candidate count tracks the sims' typical
+/// load factor of ~40 flows per port.
+std::vector<std::pair<PortId, int>> perf_sizes(sched::Policy policy) {
+  switch (policy) {
+    case sched::Policy::kExactBasrpt:
+      return {{4, 12}, {5, 20}, {6, 30}};
+    case sched::Policy::kMaxWeight:
+      return {{16, 640}, {144, 5760}};  // Hungarian at 288 blows the budget
+    default:
+      return {{16, 640}, {144, 5760}, {288, 11520}};
+  }
+}
+
+int run_perf_mode(const std::string& list, const std::string& out_path,
+                  int warmup, int reps) {
+  perf::BenchRecord record = perf::make_record("sched_micro", warmup, reps);
+  perf::MeasureOptions options;
+  options.warmup = warmup;
+  options.reps = reps;
+
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string text =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    start = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    sched::SchedulerSpec spec;
+    try {
+      spec = sched::SchedulerSpec::parse(text);
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "error: --scheduler '%s': %s\n", text.c_str(),
+                   e.what());
+      return 2;
+    }
+    auto scheduler = sched::make_scheduler(spec);
+    for (const auto& [ports, flows] : perf_sizes(spec.policy)) {
+      const VoqMatrix voqs = random_state(ports, flows, 42);
+      const auto candidates = sched::build_candidates(voqs, 1.0);
+      // decide_into with a reused Decision is the simulators' hot path;
+      // steady state must not allocate, and the record enforces that.
+      sched::Decision decision;
+      const perf::Measurement m = perf::measure_op(
+          [&] {
+            scheduler->decide_into(ports, candidates, decision);
+            benchmark::DoNotOptimize(decision);
+          },
+          options);
+
+      perf::BenchCase c;
+      c.label = "decide/" + spec.to_string() +
+                "/ports=" + std::to_string(ports);
+      c.param("scheduler", spec.to_string());
+      c.param("ports", std::to_string(ports));
+      c.param("flows", std::to_string(flows));
+      c.param("iters_per_rep", std::to_string(m.iters_per_rep));
+      c.metric("decisions_per_sec", m.ops_per_sec);
+      c.metric("ns_mean", m.ns_mean);
+      c.metric("ns_p50", m.ns_p50);
+      c.metric("ns_p99", m.ns_p99);
+      c.metric("ns_p999", m.ns_p999);
+      c.metric("allocs_per_decision", m.allocs_per_op);
+      c.metric("rep_spread_frac", m.rep_spread_frac);
+      record.cases.push_back(std::move(c));
+      std::printf("%-40s %12.0f decisions/s  p99 %7.0f ns  "
+                  "allocs/op %.3f  spread %.1f%%\n",
+                  record.cases.back().label.c_str(), m.ops_per_sec, m.ns_p99,
+                  m.allocs_per_op, m.rep_spread_frac * 100.0);
+    }
+  }
+  perf::write_record_file(out_path, record);
+  std::printf("wrote %zu cases to %s\n", record.cases.size(),
+              out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-// Custom main: `--scheduler=LIST` is ours (google-benchmark rejects
-// unknown flags), so it is consumed before Initialize sees argv.
+// Custom main: `--scheduler=LIST`, `--perf-out=PATH`, `--warmup=N` and
+// `--reps=N` are ours (google-benchmark rejects unknown flags), so they
+// are consumed before Initialize sees argv. --perf-out switches to the
+// measure_op harness and skips google-benchmark entirely.
 int main(int argc, char** argv) {
   std::string list = kDefaultSchedulers;
+  std::string perf_out;
+  int warmup = 500;
+  int reps = 5;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scheduler=", 12) == 0) {
       list = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--perf-out=", 11) == 0) {
+      perf_out = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--warmup=", 9) == 0) {
+      warmup = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (!perf_out.empty()) {
+    return run_perf_mode(list, perf_out, warmup, reps);
+  }
   register_decide_benchmarks(list);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

@@ -59,6 +59,16 @@ class RunSession {
         obs_(cli),
         faults_(cli, fault_ports, fault_horizon, &obs_),
         jobs_(exec::resolve_jobs(static_cast<int>(cli.get_integer("jobs")))) {
+    // Phase timing accumulates into unsynchronized globals (see
+    // perf/profiler.hpp); a parallel profile would be silently corrupt,
+    // so refuse the combination like any other bad flag pair.
+    if (jobs_ > 1 && (cli.get_flag("profile") ||
+                      !cli.get_text("profile-out").empty())) {
+      std::fprintf(stderr,
+                   "error: --profile requires a sequential run; drop "
+                   "--jobs or set --jobs 1\n");
+      std::exit(2);
+    }
     if (checkpointing == Checkpointing::kCells) {
       ckpt_.emplace(cli, std::move(bench_name), obs_);
     } else {

@@ -7,6 +7,12 @@
 #   scripts/ci.sh            # both tiers
 #   scripts/ci.sh --tier1    # build + ctest only
 #   scripts/ci.sh --tier2    # sanitizer build + ctest only
+#   scripts/ci.sh --perf     # perf stage only (bench + regression gate)
+#
+# The perf stage regenerates small BENCH_*.json records and gates them
+# against the committed baselines with scripts/perf_gate.py. On shared
+# runners it reports regressions but exits 0; set BASRPT_PERF_STRICT=1
+# to make a regression fail the build (docs/PERF.md).
 #
 # Build trees: build-ci/ (tier 1) and build-asan/ (tier 2), kept apart
 # from a developer's build/ so CI never clobbers local state.
@@ -17,11 +23,13 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_TIER1=1
 RUN_TIER2=1
+RUN_PERF=1
 case "${1:-}" in
-  --tier1) RUN_TIER2=0 ;;
-  --tier2) RUN_TIER1=0 ;;
+  --tier1) RUN_TIER2=0; RUN_PERF=0 ;;
+  --tier2) RUN_TIER1=0; RUN_PERF=0 ;;
+  --perf)  RUN_TIER1=0; RUN_TIER2=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--tier2]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tier1|--tier2|--perf]" >&2; exit 2 ;;
 esac
 
 if [[ "$RUN_TIER1" == 1 ]]; then
@@ -109,6 +117,43 @@ if [[ "$RUN_TIER2" == 1 ]]; then
   diff "$CKPT_TMP/fig6.j1.csv" "$CKPT_TMP/fig6.j4.csv" \
       || { echo "tsan sweep: --jobs 4 CSV diverges from --jobs 1" >&2; exit 1; }
   echo "tsan sweep: --jobs 4 CSV byte-identical, no races"
+fi
+
+if [[ "$RUN_PERF" == 1 ]]; then
+  # Perf stage: regenerate each BENCH_*.json with a bounded budget
+  # (fewer reps / shorter horizon than the committed baselines, so the
+  # stage stays under ~2 minutes) and gate against the baselines at the
+  # repo root. The gate mirrors src/perf/gate.cpp; --self-test proves
+  # the comparator itself before any real records are trusted. Shared
+  # CI runners are noisy, so the gate defaults to warn-only there —
+  # BASRPT_PERF_STRICT=1 turns a regression into a hard failure.
+  echo "==== perf: bench records + regression gate ===="
+  cmake -B build-ci >/dev/null
+  cmake --build build-ci -j "$JOBS" \
+      --target bench_sched_micro bench_candidate_cache bench_perf_suite
+  python3 scripts/perf_gate.py --self-test
+
+  PERF_TMP="$(mktemp -d)"
+  # Re-arm the EXIT trap to also cover tier 2's scratch dir if it ran.
+  trap 'rm -rf "$PERF_TMP" "${CKPT_TMP:-}"' EXIT
+  GATE_ARGS=(--warn-only)
+  if [[ "${BASRPT_PERF_STRICT:-0}" == 1 ]]; then
+    GATE_ARGS=()
+  fi
+
+  ./build-ci/bench/bench_sched_micro \
+      --perf-out="$PERF_TMP/BENCH_sched_micro.json" --warmup=200 --reps=3
+  ./build-ci/bench/bench_candidate_cache \
+      --perf-out="$PERF_TMP/BENCH_candidate_cache.json" --warmup=200 --reps=3
+  ./build-ci/bench/bench_perf_suite \
+      --perf-out="$PERF_TMP/BENCH_perf_suite.json" --horizon=0.5 --reps=2
+
+  for name in sched_micro candidate_cache perf_suite; do
+    python3 scripts/perf_gate.py "${GATE_ARGS[@]}" \
+        --baseline "BENCH_$name.json" \
+        --fresh "$PERF_TMP/BENCH_$name.json" \
+        --trajectory-dir bench/trajectory
+  done
 fi
 
 echo "==== ci passed ===="

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over basrpt-bench-v1 records.
+
+Compares a fresh BENCH_<name>.json against the committed baseline with
+per-metric-class tolerances and exits non-zero on regression. The rules
+mirror src/perf/gate.cpp (the unit-tested C++ reference); docs/PERF.md
+pins the metric naming convention both implementations infer direction
+from:
+
+    *_per_sec                    higher is better   (throughput tol)
+    ns_* / *_ns*                 lower is better    (latency tol)
+    *p99* / *p999* / *p9999*     lower is better    (tail tol, looser)
+    *alloc*                      lower is better    (absolute corridor)
+    anything else                informational, never gated
+
+Usage:
+    perf_gate.py --baseline BENCH_sched_micro.json --fresh fresh.json
+    perf_gate.py --self-test
+    perf_gate.py ... --warn-only          # report, exit 0 (shared runners)
+    perf_gate.py ... --trajectory-dir bench/trajectory
+
+--trajectory-dir appends one JSONL line per gated run (commit, verdict,
+per-case metrics) so the perf history of the repo accumulates next to
+the code. stdlib only; python3 is the only dependency.
+"""
+
+import argparse
+import json
+import os
+import socket
+import sys
+import time
+
+
+THROUGHPUT_TOL = 0.10  # *_per_sec may drop up to 10%
+LATENCY_TOL = 0.30     # p50/mean ns may grow up to 30%
+TAIL_TOL = 0.60        # p99/p999 ns may grow up to 60%
+ALLOC_ABS = 0.5        # allocs/op may grow by < 0.5 absolute
+
+
+def is_tail_metric(name):
+    return "p99" in name or "p999" in name or "p9999" in name
+
+
+def is_alloc_metric(name):
+    return "alloc" in name
+
+
+def metric_direction(name):
+    """'higher', 'lower', or None (informational)."""
+    if name.endswith("_per_sec"):
+        return "higher"
+    if is_alloc_metric(name):
+        return "lower"
+    if name.startswith("ns_") or "_ns" in name:
+        return "lower"
+    return None
+
+
+def load_record(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: record must be a JSON object")
+    if doc.get("schema") != "basrpt-bench-v1":
+        raise ValueError(
+            f"{path}: schema is {doc.get('schema')!r}, want 'basrpt-bench-v1'")
+    for field in ("name", "cases"):
+        if field not in doc:
+            raise ValueError(f"{path}: missing required field {field!r}")
+    labels = [c.get("label") for c in doc["cases"]]
+    dupes = {l for l in labels if labels.count(l) > 1}
+    if dupes:
+        raise ValueError(f"{path}: duplicate case labels {sorted(dupes)}")
+    return doc
+
+
+def compare(baseline, fresh, tols):
+    """Returns (regressions, missing_cases, notes)."""
+    regressions = []
+    missing = []
+    notes = []
+    if baseline["name"] != fresh["name"]:
+        notes.append("record name mismatch: baseline %r vs fresh %r"
+                     % (baseline["name"], fresh["name"]))
+    if baseline.get("host") != fresh.get("host") or \
+       baseline.get("cpu") != fresh.get("cpu"):
+        notes.append("host fingerprint differs from the baseline's; "
+                     "absolute comparisons are cross-machine")
+
+    fresh_cases = {c["label"]: c for c in fresh["cases"]}
+    for base_case in baseline["cases"]:
+        label = base_case["label"]
+        fresh_case = fresh_cases.get(label)
+        if fresh_case is None:
+            missing.append(label)
+            continue
+        fresh_metrics = dict(fresh_case.get("metrics", {}))
+        for metric, base_value in base_case.get("metrics", {}).items():
+            direction = metric_direction(metric)
+            if direction is None:
+                continue
+            if metric not in fresh_metrics:
+                notes.append("case %r: fresh record lacks gated metric %r"
+                             % (label, metric))
+                continue
+            fresh_value = fresh_metrics[metric]
+            if direction == "higher":
+                limit = base_value * (1.0 - tols["throughput"])
+                regressed = fresh_value < limit
+            elif is_alloc_metric(metric):
+                limit = base_value + tols["alloc_abs"]
+                regressed = fresh_value > limit
+            else:
+                frac = tols["tail"] if is_tail_metric(metric) else \
+                    tols["latency"]
+                limit = base_value * (1.0 + frac)
+                regressed = fresh_value > limit
+            if regressed:
+                regressions.append({
+                    "case": label, "metric": metric,
+                    "baseline": base_value, "fresh": fresh_value,
+                    "limit": limit,
+                })
+    base_labels = {c["label"] for c in baseline["cases"]}
+    for label in fresh_cases:
+        if label not in base_labels:
+            notes.append("new case %r has no baseline yet" % label)
+    return regressions, missing, notes
+
+
+def append_trajectory(directory, fresh, regressions, missing, ok):
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, fresh["name"] + ".jsonl")
+    entry = {
+        "t": int(time.time()),
+        "commit": fresh.get("commit", "unknown"),
+        "host": fresh.get("host", socket.gethostname()),
+        "ok": ok,
+        "regressions": len(regressions),
+        "missing_cases": missing,
+        "cases": {
+            c["label"]: c.get("metrics", {}) for c in fresh["cases"]
+        },
+    }
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def run_gate(args):
+    tols = {
+        "throughput": args.tol_throughput,
+        "latency": args.tol_latency,
+        "tail": args.tol_tail,
+        "alloc_abs": args.tol_alloc_abs,
+    }
+    try:
+        baseline = load_record(args.baseline)
+        fresh = load_record(args.fresh)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"perf_gate: error: {e}", file=sys.stderr)
+        return 2
+
+    regressions, missing, notes = compare(baseline, fresh, tols)
+    for r in regressions:
+        print("REGRESSION %s %s: baseline %.6g -> fresh %.6g (limit %.6g)"
+              % (r["case"], r["metric"], r["baseline"], r["fresh"],
+                 r["limit"]))
+    for label in missing:
+        print("MISSING case %r (present in baseline)" % label)
+    for note in notes:
+        print("note:", note)
+
+    ok = not regressions and not missing
+    if args.trajectory_dir:
+        path = append_trajectory(args.trajectory_dir, fresh, regressions,
+                                 missing, ok)
+        print("trajectory: appended to", path)
+
+    if ok:
+        print("gate: ok (%d cases)" % len(baseline["cases"]))
+        return 0
+    if args.warn_only:
+        print("gate: FAILED, but --warn-only is set (set "
+              "BASRPT_PERF_STRICT=1 in CI to hard-fail)")
+        return 0
+    print("gate: FAILED")
+    return 1
+
+
+def self_test():
+    """Synthesizes a baseline, an injected 20% regression that must fail,
+    and a within-tolerance run that must pass."""
+    base = {
+        "schema": "basrpt-bench-v1", "name": "selftest",
+        "host": "h", "cpu": "c",
+        "cases": [{
+            "label": "decide/srpt/ports=144",
+            "metrics": {
+                "decisions_per_sec": 1.0e6,
+                "ns_p50": 900.0,
+                "ns_p99": 2000.0,
+                "allocs_per_decision": 0.0,
+                "rep_spread_frac": 0.03,
+            },
+        }],
+    }
+    tols = {"throughput": THROUGHPUT_TOL, "latency": LATENCY_TOL,
+            "tail": TAIL_TOL, "alloc_abs": ALLOC_ABS}
+
+    def clone_with(**metrics):
+        fresh = json.loads(json.dumps(base))
+        fresh["cases"][0]["metrics"].update(metrics)
+        return fresh
+
+    failures = []
+
+    # 1. A 20% throughput drop must regress (tolerance is 10%).
+    r, m, _ = compare(base, clone_with(decisions_per_sec=0.8e6), tols)
+    if not r:
+        failures.append("20% throughput drop was not flagged")
+
+    # 2. Within tolerance must pass: -5% throughput, +10% p50, +30% p99.
+    r, m, _ = compare(
+        base, clone_with(decisions_per_sec=0.95e6, ns_p50=990.0,
+                         ns_p99=2600.0), tols)
+    if r or m:
+        failures.append("within-tolerance run was flagged: %r" % (r + m))
+
+    # 3. A new steady-state allocation must regress (absolute corridor).
+    r, m, _ = compare(base, clone_with(allocs_per_decision=1.0), tols)
+    if not r:
+        failures.append("new steady-state allocation was not flagged")
+
+    # 4. Tail tolerance is looser: +50% p99 passes, +70% fails.
+    r, _, _ = compare(base, clone_with(ns_p99=3000.0), tols)
+    if r:
+        failures.append("+50% p99 was flagged despite 60% tail tolerance")
+    r, _, _ = compare(base, clone_with(ns_p99=3400.0), tols)
+    if not r:
+        failures.append("+70% p99 was not flagged")
+
+    # 5. A dropped case must fail the gate.
+    fresh = json.loads(json.dumps(base))
+    fresh["cases"] = []
+    _, m, _ = compare(base, fresh, tols)
+    if not m:
+        failures.append("dropped case was not flagged")
+
+    # 6. Informational metrics are never gated.
+    r, _, _ = compare(base, clone_with(rep_spread_frac=10.0), tols)
+    if r:
+        failures.append("informational metric was gated")
+
+    for f in failures:
+        print("self-test FAILED:", f, file=sys.stderr)
+    if not failures:
+        print("self-test: ok (6 scenarios)")
+    return 1 if failures else 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--baseline", help="committed BENCH_<name>.json")
+    p.add_argument("--fresh", help="freshly generated record to gate")
+    p.add_argument("--warn-only", action="store_true",
+                   help="report regressions but exit 0 (shared runners)")
+    p.add_argument("--trajectory-dir",
+                   help="append a JSONL history line here")
+    p.add_argument("--tol-throughput", type=float, default=THROUGHPUT_TOL)
+    p.add_argument("--tol-latency", type=float, default=LATENCY_TOL)
+    p.add_argument("--tol-tail", type=float, default=TAIL_TOL)
+    p.add_argument("--tol-alloc-abs", type=float, default=ALLOC_ABS)
+    p.add_argument("--self-test", action="store_true",
+                   help="verify the comparator on synthetic records")
+    args = p.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.fresh:
+        p.error("--baseline and --fresh are required (or --self-test)")
+    sys.exit(run_gate(args))
+
+
+if __name__ == "__main__":
+    main()

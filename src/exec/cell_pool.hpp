@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace basrpt::exec {
 
@@ -38,6 +40,33 @@ struct PoolStatus {
   bool active = false;
 };
 PoolStatus pool_status();
+
+/// Timing profile of the most recent parallel run (empty after a
+/// sequential run — the jobs<=1 path has no workers or frontier to
+/// profile). Busy time is the wall-clock a worker spent inside task();
+/// commit-frontier stall time is the wall-clock the calling thread
+/// spent blocked waiting for the next in-order cell to finish. The
+/// perf-suite bench reports busy fractions and stall fraction from
+/// these.
+struct PoolPerf {
+  std::uint64_t wall_ns = 0;
+  std::uint64_t commit_stall_ns = 0;
+  std::vector<std::uint64_t> worker_busy_ns;  // one entry per worker
+  std::vector<std::uint64_t> worker_claimed;  // cells claimed per worker
+
+  std::size_t workers() const { return worker_busy_ns.size(); }
+  /// Mean of per-worker busy_ns / wall_ns; 0 when nothing ran.
+  double busy_frac_mean() const;
+  double stall_frac() const {
+    return wall_ns > 0 ? static_cast<double>(commit_stall_ns) /
+                             static_cast<double>(wall_ns)
+                       : 0.0;
+  }
+};
+/// Snapshot of the last completed CellPool::run on this thread's pool.
+/// Not thread-safe against a concurrently running pool; read it after
+/// run() returns.
+PoolPerf last_pool_perf();
 
 /// Serialized printf-style progress line on stderr. Cell-completion
 /// chatter ("load 0.8 done") goes through here so lines from the commit

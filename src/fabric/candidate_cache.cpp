@@ -1,6 +1,7 @@
 #include "fabric/candidate_cache.hpp"
 
 #include "common/assert.hpp"
+#include "perf/profiler.hpp"
 
 namespace basrpt::fabric {
 
@@ -15,6 +16,7 @@ CandidateCache::CandidateCache(const queueing::VoqMatrix& voqs,
 }
 
 const std::vector<sched::VoqCandidate>& CandidateCache::refresh() {
+  const perf::ScopedPhase phase(perf::Phase::kCandidateRepack);
   ++refreshes_;
   if (voqs_.version() == seen_version_ && mask_epoch_ == seen_mask_epoch_) {
     return view_;  // nothing changed since the last decision

@@ -1,6 +1,7 @@
 #include "fabric/flow_lifecycle.hpp"
 
 #include "common/assert.hpp"
+#include "perf/profiler.hpp"
 
 namespace basrpt::fabric {
 
@@ -71,6 +72,7 @@ void FlowLifecycle::apply_decision(const std::vector<FlowId>& selected,
   if (tracer_ == nullptr) {
     return;
   }
+  const perf::ScopedPhase phase(perf::Phase::kLifecycleApply);
   BASRPT_ASSERT(voqs_ != nullptr,
                 "apply_decision needs an attached VoqMatrix");
   selected_set_.clear();

@@ -13,6 +13,7 @@
 #include "fabric/candidate_cache.hpp"
 #include "fabric/flow_lifecycle.hpp"
 #include "fault/auditor.hpp"
+#include "perf/profiler.hpp"
 #include "sim/engine.hpp"
 #include "topo/maxmin.hpp"
 
@@ -320,8 +321,11 @@ class Engine {
       if (candidates.empty()) {
         return;
       }
-      scheduler_.decide_into(static_cast<PortId>(fabric_.hosts()),
-                             candidates, decision_);
+      {
+        const perf::ScopedPhase phase(perf::Phase::kDecide);
+        scheduler_.decide_into(static_cast<PortId>(fabric_.hosts()),
+                               candidates, decision_);
+      }
       if (config_.validate_decisions) {
         BASRPT_ASSERT(sched::decision_is_matching(decision_, voqs_),
                       "scheduler violated the crossbar constraint");

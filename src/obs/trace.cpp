@@ -27,6 +27,10 @@ void FlowTracer::absorb(FlowTracer& other) {
     r.run += run_;
     records_.push_back(r);
   }
+  // Phase spans carry wall-clock offsets, not run-scoped sim time, so
+  // they concatenate unchanged.
+  phase_spans_.insert(phase_spans_.end(), other.phase_spans_.begin(),
+                      other.phase_spans_.end());
   run_ += other.run_;
   other.clear();
   other.run_ = 0;
@@ -34,6 +38,7 @@ void FlowTracer::absorb(FlowTracer& other) {
 
 void FlowTracer::clear() {
   records_.clear();
+  phase_spans_.clear();
   first_served_.clear();
   run_ = 0;
 }
@@ -92,6 +97,21 @@ void FlowTracer::write_chrome_json(std::ostream& out,
     first = false;
     out << "\n";
     write_chrome_event(out, r);
+  }
+  // Profiler phase spans (present only under --profile) render as
+  // complete events on a dedicated pid so the wall-clock time base
+  // never mixes with the flow rows' sim time base. Port pids are
+  // non-negative, so -1 is free for the perf row.
+  if (!phase_spans_.empty()) {
+    out << (first ? "" : ",")
+        << "\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":-1,"
+           "\"args\":{\"name\":\"perf\"}}";
+    first = false;
+    for (const PhaseSpan& span : phase_spans_) {
+      out << ",\n{\"ph\":\"X\",\"cat\":\"phase\",\"name\":\"" << span.name
+          << "\",\"ts\":" << span.start_us << ",\"dur\":" << span.dur_us
+          << ",\"pid\":-1,\"tid\":0}";
+    }
   }
   // Clean runs stay byte-identical to the pre-status format; a partial
   // flush stamps a metadata event so viewers and diffs can tell.

@@ -26,6 +26,16 @@ enum class FlowEvent {
 
 const char* flow_event_name(FlowEvent event);
 
+/// A completed profiler phase span merged into the trace stream. Times
+/// are wall-clock microseconds relative to the profiling window start
+/// (the trace's flow events use sim time; phase spans live on their own
+/// pid so the two time bases never share a row).
+struct PhaseSpan {
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
 struct FlowTraceRecord {
   FlowEvent event = FlowEvent::kArrival;
   std::int64_t flow = 0;
@@ -77,6 +87,15 @@ class FlowTracer {
     push({FlowEvent::kCompletion, flow, src, dst, t, size, 0.0, run_});
   }
 
+  /// Records a profiler phase span for merged export (--profile +
+  /// --trace). Spans are drawn as complete ("X") events under a
+  /// dedicated "perf" process row in the Chrome trace.
+  void add_phase_span(const std::string& name, double start_us,
+                      double dur_us) {
+    phase_spans_.push_back({name, start_us, dur_us});
+  }
+  const std::vector<PhaseSpan>& phase_spans() const { return phase_spans_; }
+
   const std::vector<FlowTraceRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
@@ -111,6 +130,7 @@ class FlowTracer {
   void push(const FlowTraceRecord& r) { records_.push_back(r); }
 
   std::vector<FlowTraceRecord> records_;
+  std::vector<PhaseSpan> phase_spans_;
   std::unordered_set<std::int64_t> first_served_;
   std::int64_t run_ = 0;
 };

@@ -1,0 +1,128 @@
+#include "perf/gate.hpp"
+
+#include <cstdio>
+
+namespace basrpt::perf {
+
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool is_tail_metric(const std::string& name) {
+  return contains(name, "p99") || contains(name, "p999") ||
+         contains(name, "p9999");
+}
+
+bool is_alloc_metric(const std::string& name) {
+  return contains(name, "alloc");
+}
+
+Direction metric_direction(const std::string& name) {
+  if (ends_with(name, "_per_sec")) {
+    return Direction::kHigherBetter;
+  }
+  if (is_alloc_metric(name)) {
+    return Direction::kLowerBetter;
+  }
+  if (name.rfind("ns_", 0) == 0 || contains(name, "_ns")) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kInformational;
+}
+
+GateResult compare_records(const BenchRecord& baseline,
+                           const BenchRecord& fresh,
+                           const GateTolerances& tolerances) {
+  GateResult result;
+  if (baseline.name != fresh.name) {
+    result.notes.push_back("record name mismatch: baseline '" +
+                           baseline.name + "' vs fresh '" + fresh.name + "'");
+  }
+  if (baseline.host != fresh.host || baseline.cpu != fresh.cpu) {
+    result.notes.push_back(
+        "host fingerprint differs from the baseline's; absolute "
+        "comparisons are cross-machine");
+  }
+
+  for (const BenchCase& base_case : baseline.cases) {
+    const BenchCase* fresh_case = fresh.find_case(base_case.label);
+    if (fresh_case == nullptr) {
+      result.missing_cases.push_back(base_case.label);
+      continue;
+    }
+    for (const auto& [metric, base_value] : base_case.metrics) {
+      const Direction direction = metric_direction(metric);
+      if (direction == Direction::kInformational) {
+        continue;
+      }
+      const double* fresh_value = fresh_case->find_metric(metric);
+      if (fresh_value == nullptr) {
+        result.notes.push_back("case '" + base_case.label +
+                               "': fresh record lacks gated metric '" +
+                               metric + "'");
+        continue;
+      }
+      GateFinding finding;
+      finding.case_label = base_case.label;
+      finding.metric = metric;
+      finding.baseline = base_value;
+      finding.fresh = *fresh_value;
+      if (direction == Direction::kHigherBetter) {
+        finding.limit = base_value * (1.0 - tolerances.throughput_frac);
+        finding.regression = *fresh_value < finding.limit;
+      } else if (is_alloc_metric(metric)) {
+        finding.limit = base_value + tolerances.alloc_abs;
+        finding.regression = *fresh_value > finding.limit;
+      } else {
+        const double frac = is_tail_metric(metric) ? tolerances.tail_frac
+                                                   : tolerances.latency_frac;
+        finding.limit = base_value * (1.0 + frac);
+        finding.regression = *fresh_value > finding.limit;
+      }
+      if (finding.regression) {
+        result.regressions.push_back(finding);
+      }
+    }
+  }
+  for (const BenchCase& fresh_case : fresh.cases) {
+    if (baseline.find_case(fresh_case.label) == nullptr) {
+      result.notes.push_back("new case '" + fresh_case.label +
+                             "' has no baseline yet");
+    }
+  }
+  return result;
+}
+
+std::string render_gate_result(const GateResult& result) {
+  std::string out;
+  char line[512];
+  for (const GateFinding& f : result.regressions) {
+    std::snprintf(line, sizeof(line),
+                  "REGRESSION %s %s: baseline %.6g -> fresh %.6g "
+                  "(limit %.6g)\n",
+                  f.case_label.c_str(), f.metric.c_str(), f.baseline, f.fresh,
+                  f.limit);
+    out += line;
+  }
+  for (const std::string& label : result.missing_cases) {
+    out += "MISSING case '" + label + "' (present in baseline)\n";
+  }
+  for (const std::string& note : result.notes) {
+    out += "note: " + note + "\n";
+  }
+  if (result.ok()) {
+    out += "gate: ok\n";
+  }
+  return out;
+}
+
+}  // namespace basrpt::perf

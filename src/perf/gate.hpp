@@ -1,0 +1,74 @@
+// Perf-regression gate comparator.
+//
+// Diffs a fresh basrpt-bench-v1 record against a committed baseline,
+// case by case and metric by metric, with per-metric-class tolerances.
+// The direction of "worse" is inferred from the metric name (the
+// convention docs/PERF.md pins down):
+//
+//   *_per_sec                      higher is better  (throughput tol)
+//   ns_* / *_ns / *_ns_p50 / mean  lower is better   (latency tol)
+//   *_p99* / *_p999* / *_p9999*    lower is better   (tail tol, looser)
+//   allocs_* / *_allocs*           lower is better   (absolute floor —
+//                                  a 0-alloc baseline is a contract)
+//   anything else                  informational, never gated
+//
+// scripts/perf_gate.py implements the same rules for CI; this C++
+// comparator is the unit-tested reference and backs in-process checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/bench_record.hpp"
+
+namespace basrpt::perf {
+
+enum class Direction { kHigherBetter, kLowerBetter, kInformational };
+
+/// Name-based direction inference (see table above).
+Direction metric_direction(const std::string& name);
+
+/// True when the metric is a tail percentile (p99/p999/p9999) and gets
+/// the looser tail tolerance.
+bool is_tail_metric(const std::string& name);
+
+/// True for allocation-count metrics, which compare against an absolute
+/// floor instead of a fraction (so a zero-allocation baseline stays an
+/// enforced zero).
+bool is_alloc_metric(const std::string& name);
+
+struct GateTolerances {
+  double throughput_frac = 0.10;  // *_per_sec may drop up to 10%
+  double latency_frac = 0.30;     // p50/mean ns may grow up to 30%
+  double tail_frac = 0.60;        // p99/p999 ns may grow up to 60%
+  double alloc_abs = 0.5;         // allocs/op may grow by < 0.5 absolute
+};
+
+struct GateFinding {
+  std::string case_label;
+  std::string metric;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double limit = 0.0;  // the threshold the fresh value crossed
+  bool regression = false;
+};
+
+struct GateResult {
+  std::vector<GateFinding> regressions;
+  std::vector<std::string> notes;  // missing metrics, new cases, ...
+  /// Cases present in the baseline but absent from the fresh record —
+  /// shrinking coverage fails the gate (a silently dropped case is how
+  /// regressions hide).
+  std::vector<std::string> missing_cases;
+
+  bool ok() const { return regressions.empty() && missing_cases.empty(); }
+};
+
+GateResult compare_records(const BenchRecord& baseline,
+                           const BenchRecord& fresh,
+                           const GateTolerances& tolerances);
+
+/// Multi-line human-readable verdict (one line per regression/note).
+std::string render_gate_result(const GateResult& result);
+
+}  // namespace basrpt::perf

@@ -1,0 +1,78 @@
+// Minimal JSON document model for the perf subsystem.
+//
+// BENCH_*.json records and basrpt-profile-v1 breakdowns need to be both
+// written and *read back* (round-trips, the regression gate, trajectory
+// tooling) without external dependencies, so this is a small
+// recursive-descent parser plus a deterministic serializer. The reader
+// follows the trace_io hardening conventions: every malformed input
+// throws basrpt::ParseError carrying the 1-based line number, including
+// truncation (unterminated strings/containers) and trailing garbage.
+// Object member order is preserved, so serialize(parse(x)) is stable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace basrpt::perf::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw ConfigError on kind mismatch so schema
+  /// readers get a diagnosable error instead of garbage.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  const std::vector<Value>& items() const;
+  void push(Value v);
+
+  /// Object access, insertion order preserved. find() returns null when
+  /// the key is absent; at() throws ConfigError naming the key.
+  const std::vector<std::pair<std::string, Value>>& members() const;
+  const Value* find(const std::string& key) const;
+  const Value& at(const std::string& key) const;
+  void set(const std::string& key, Value v);
+
+  /// Serializes deterministically. `indent` == 0 is compact one-line;
+  /// > 0 pretty-prints with that many spaces per level (records on disk
+  /// use 2 so diffs of committed baselines stay reviewable).
+  std::string serialize(int indent = 0) const;
+
+ private:
+  void serialize_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one JSON document. `context` names the source (a path) for
+/// ParseError messages. Rejects trailing non-whitespace, nesting deeper
+/// than 64 levels, and every malformed construct with the offending
+/// line number.
+Value parse(const std::string& text, const std::string& context);
+
+}  // namespace basrpt::perf::json

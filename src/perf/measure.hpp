@@ -1,0 +1,57 @@
+// Microbenchmark measurement harness with median-of-N repetition
+// discipline.
+//
+// google-benchmark answers "how fast is this op on my screen"; the perf
+// records need reproducible numbers with tails and allocation counts in
+// a fixed schema, so this harness owns its own loop:
+//
+//   warmup  — `warmup` untimed invocations (branch predictors, caches,
+//             allocator pools reach steady state);
+//   calibrate — a short timed probe sizes iters/rep to ~rep_budget_ms,
+//             rounded to a 1-2-5 ladder so successive runs on the same
+//             host pick the same count;
+//   measure — `reps` repetitions; each records per-op nanoseconds into
+//             exact percentiles and the allocation-counter delta.
+//
+// The reported throughput/percentiles come from the median repetition
+// (by throughput) — one noisy rep (cron job, thermal event) cannot move
+// the record. rep_spread_frac reports (max-min)/median across reps: the
+// empirical noise floor, which the gate tolerances must exceed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace basrpt::perf {
+
+struct MeasureOptions {
+  int warmup = 500;          // untimed op invocations before measuring
+  int reps = 5;              // repetitions; median is reported
+  double rep_budget_ms = 50; // target wall-clock per repetition
+  int min_iters = 30;        // per-rep iteration floor
+  int max_iters = 200000;    // per-rep iteration ceiling
+};
+
+struct Measurement {
+  std::uint64_t iters_per_rep = 0;
+  int reps = 0;
+  double ops_per_sec = 0.0;  // median rep
+  double ns_mean = 0.0;      // per-op, median rep
+  double ns_p50 = 0.0;
+  double ns_p99 = 0.0;
+  double ns_p999 = 0.0;
+  double allocs_per_op = 0.0;     // median rep, interposer delta / iters
+  double rep_spread_frac = 0.0;   // (max-min)/median ops_per_sec over reps
+};
+
+/// Measures `op`. When `setup` is non-null it runs untimed before every
+/// op invocation (workload churn between decisions); throughput is then
+/// iters / sum(per-op ns). Without a setup, throughput comes from one
+/// batch-timed pass per rep (no per-op clock overhead in the rate) and
+/// percentiles from a second, per-op-timed pass of the same length.
+/// Allocation counting is enabled for the duration (timed ops only).
+Measurement measure_op(const std::function<void()>& op,
+                       const MeasureOptions& options,
+                       const std::function<void()>& setup = nullptr);
+
+}  // namespace basrpt::perf

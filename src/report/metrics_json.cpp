@@ -48,7 +48,8 @@ void write_histogram_json(std::ostream& out,
       << ",\"min\":" << h.min() << ",\"max\":" << h.max()
       << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile(0.5)
       << ",\"p90\":" << h.quantile(0.9) << ",\"p99\":" << h.quantile(0.99)
-      << ",\"buckets\":[";
+      << ",\"p999\":" << h.quantile(0.999)
+      << ",\"p9999\":" << h.quantile(0.9999) << ",\"buckets\":[";
   bool first = true;
   for (std::size_t k = 0; k < obs::LatencyHistogram::kBuckets; ++k) {
     if (h.bucket_count(k) == 0) {
@@ -119,6 +120,8 @@ void write_metrics_csv(std::ostream& out, const obs::Registry& registry,
     out << "histogram," << name << ",p50," << hist.quantile(0.5) << "\n";
     out << "histogram," << name << ",p90," << hist.quantile(0.9) << "\n";
     out << "histogram," << name << ",p99," << hist.quantile(0.99) << "\n";
+    out << "histogram," << name << ",p999," << hist.quantile(0.999) << "\n";
+    out << "histogram," << name << ",p9999," << hist.quantile(0.9999) << "\n";
   }
 }
 

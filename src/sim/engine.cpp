@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "common/interrupt.hpp"
 #include "obs/metrics.hpp"
+#include "perf/profiler.hpp"
 
 namespace basrpt::sim {
 
@@ -14,7 +15,10 @@ EventId Engine::schedule_at(SimTime t, EventFn fn) {
   BASRPT_ASSERT(t >= now_, "cannot schedule an event in the past");
   BASRPT_ASSERT(fn != nullptr, "event callback must be set");
   const EventId id = next_id_++;
-  calendar_.push(Entry{t, id, std::move(fn)});
+  {
+    const perf::ScopedPhase phase(perf::Phase::kCalendarPush);
+    calendar_.push(Entry{t, id, std::move(fn)});
+  }
   if (calendar_.size() > peak_pending_) {
     peak_pending_ = calendar_.size();
   }
@@ -82,11 +86,17 @@ bool Engine::step() {
   // priority_queue::top() is const; move out via const_cast on the
   // callback only (the entry is popped immediately after).
   Entry entry = calendar_.top();
-  calendar_.pop();
+  {
+    const perf::ScopedPhase phase(perf::Phase::kCalendarPop);
+    calendar_.pop();
+  }
   BASRPT_ASSERT(entry.t >= now_, "event queue produced an event in the past");
   now_ = entry.t;
   ++executed_;
-  entry.fn();
+  {
+    const perf::ScopedPhase phase(perf::Phase::kEventDispatch);
+    entry.fn();
+  }
   return true;
 }
 

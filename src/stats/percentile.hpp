@@ -24,6 +24,8 @@ class ExactPercentiles {
 
   double p50() const { return quantile(0.50); }
   double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+  double p9999() const { return quantile(0.9999); }
 
   /// Stored samples in their current order (checkpointing). Quantiles do
   /// not depend on sample order, so the order a checkpoint happens to

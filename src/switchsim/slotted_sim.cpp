@@ -13,6 +13,7 @@
 #include "fabric/flow_lifecycle.hpp"
 #include "fault/auditor.hpp"
 #include "obs/heartbeat.hpp"
+#include "perf/profiler.hpp"
 
 namespace basrpt::switchsim {
 
@@ -274,7 +275,10 @@ SlottedResult run_slotted(const SlottedConfig& config,
       }
     } else if (!candidates.empty()) {
       ++result.scheduler_invocations;
-      scheduler.decide_into(config.n_ports, candidates, decision);
+      {
+        const perf::ScopedPhase phase(perf::Phase::kDecide);
+        scheduler.decide_into(config.n_ports, candidates, decision);
+      }
       BASRPT_ASSERT(sched::decision_is_matching(decision, voqs),
                     "scheduler violated the crossbar constraint");
     }

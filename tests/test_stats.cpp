@@ -81,6 +81,18 @@ TEST(ExactPercentiles, QuantilesOfKnownSequence) {
   EXPECT_NEAR(p.p99(), 99.01, 1e-9);
 }
 
+TEST(ExactPercentiles, ExtremeTailsPinToLinearInterpolation) {
+  // Pins the p999/p9999 accessors used by the perf harness to the same
+  // index = q*(n-1) interpolation rule the rest of the class follows.
+  ExactPercentiles p;
+  for (int i = 1; i <= 1000; ++i) {
+    p.add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(p.p999(), 999.001, 1e-9);
+  EXPECT_NEAR(p.p9999(), 999.9001, 1e-9);
+  EXPECT_NEAR(p.quantile(0.999), p.p999(), 1e-12);
+}
+
 TEST(ExactPercentiles, InterleavedAddAndQuery) {
   ExactPercentiles p;
   p.add(10.0);
