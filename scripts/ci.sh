@@ -10,9 +10,9 @@
 #   scripts/ci.sh --perf     # perf stage only (bench + regression gate)
 #
 # The perf stage regenerates small BENCH_*.json records and gates them
-# against the committed baselines with scripts/perf_gate.py. On shared
-# runners it reports regressions but exits 0; set BASRPT_PERF_STRICT=1
-# to make a regression fail the build (docs/PERF.md).
+# against the committed baselines with scripts/perf_gate.py. A
+# regression fails the build by default; set BASRPT_PERF_STRICT=0 on a
+# noisy shared runner to downgrade it to a warning (docs/PERF.md).
 #
 # Build trees: build-ci/ (tier 1) and build-asan/ (tier 2), kept apart
 # from a developer's build/ so CI never clobbers local state.
@@ -124,9 +124,9 @@ if [[ "$RUN_PERF" == 1 ]]; then
   # (fewer reps / shorter horizon than the committed baselines, so the
   # stage stays under ~2 minutes) and gate against the baselines at the
   # repo root. The gate mirrors src/perf/gate.cpp; --self-test proves
-  # the comparator itself before any real records are trusted. Shared
-  # CI runners are noisy, so the gate defaults to warn-only there —
-  # BASRPT_PERF_STRICT=1 turns a regression into a hard failure.
+  # the comparator itself before any real records are trusted. The gate
+  # is strict by default — a regression fails the build; set
+  # BASRPT_PERF_STRICT=0 to downgrade to warn-only on noisy runners.
   echo "==== perf: bench records + regression gate ===="
   cmake -B build-ci >/dev/null
   cmake --build build-ci -j "$JOBS" \
@@ -136,23 +136,41 @@ if [[ "$RUN_PERF" == 1 ]]; then
   PERF_TMP="$(mktemp -d)"
   # Re-arm the EXIT trap to also cover tier 2's scratch dir if it ran.
   trap 'rm -rf "$PERF_TMP" "${CKPT_TMP:-}"' EXIT
-  GATE_ARGS=(--warn-only)
-  if [[ "${BASRPT_PERF_STRICT:-0}" == 1 ]]; then
-    GATE_ARGS=()
+  GATE_ARGS=()
+  if [[ "${BASRPT_PERF_STRICT:-1}" == 0 ]]; then
+    GATE_ARGS=(--warn-only)
   fi
 
-  ./build-ci/bench/bench_sched_micro \
-      --perf-out="$PERF_TMP/BENCH_sched_micro.json" --warmup=200 --reps=3
-  ./build-ci/bench/bench_candidate_cache \
-      --perf-out="$PERF_TMP/BENCH_candidate_cache.json" --warmup=200 --reps=3
-  ./build-ci/bench/bench_perf_suite \
-      --perf-out="$PERF_TMP/BENCH_perf_suite.json" --horizon=0.5 --reps=2
+  run_perf_bench() {
+    case "$1" in
+      sched_micro) ./build-ci/bench/bench_sched_micro \
+          --perf-out="$2" --warmup=200 --reps=3 ;;
+      candidate_cache) ./build-ci/bench/bench_candidate_cache \
+          --perf-out="$2" --warmup=200 --reps=3 ;;
+      perf_suite) ./build-ci/bench/bench_perf_suite \
+          --perf-out="$2" --horizon=0.5 --reps=2 ;;
+    esac
+  }
 
+  # At this stage's reduced budget per-op ns metrics are preemption-
+  # dominated (a single descheduling lands in p99/p999), so CI gates
+  # throughput and allocation metrics only — ns metrics are defended by
+  # full-discipline baseline refreshes. One retry before failing: a
+  # genuine throughput regression reproduces on the second run, a host
+  # noise burst does not.
   for name in sched_micro candidate_cache perf_suite; do
-    python3 scripts/perf_gate.py "${GATE_ARGS[@]}" \
+    run_perf_bench "$name" "$PERF_TMP/BENCH_$name.json"
+    if ! python3 scripts/perf_gate.py "${GATE_ARGS[@]}" --skip-ns-metrics \
         --baseline "BENCH_$name.json" \
         --fresh "$PERF_TMP/BENCH_$name.json" \
-        --trajectory-dir bench/trajectory
+        --trajectory-dir bench/trajectory; then
+      echo "perf: $name failed the gate; retrying once to rule out noise"
+      run_perf_bench "$name" "$PERF_TMP/BENCH_$name.json"
+      python3 scripts/perf_gate.py "${GATE_ARGS[@]}" --skip-ns-metrics \
+          --baseline "BENCH_$name.json" \
+          --fresh "$PERF_TMP/BENCH_$name.json" \
+          --trajectory-dir bench/trajectory
+    fi
   done
 fi
 

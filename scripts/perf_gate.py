@@ -75,7 +75,7 @@ def load_record(path):
     return doc
 
 
-def compare(baseline, fresh, tols):
+def compare(baseline, fresh, tols, skip_ns=False):
     """Returns (regressions, missing_cases, notes)."""
     regressions = []
     missing = []
@@ -105,6 +105,9 @@ def compare(baseline, fresh, tols):
                              % (label, metric))
                 continue
             fresh_value = fresh_metrics[metric]
+            if skip_ns and direction == "lower" and \
+                    not is_alloc_metric(metric):
+                continue
             if direction == "higher":
                 limit = base_value * (1.0 - tols["throughput"])
                 regressed = fresh_value < limit
@@ -162,7 +165,8 @@ def run_gate(args):
         print(f"perf_gate: error: {e}", file=sys.stderr)
         return 2
 
-    regressions, missing, notes = compare(baseline, fresh, tols)
+    regressions, missing, notes = compare(baseline, fresh, tols,
+                                          skip_ns=args.skip_ns_metrics)
     for r in regressions:
         print("REGRESSION %s %s: baseline %.6g -> fresh %.6g (limit %.6g)"
               % (r["case"], r["metric"], r["baseline"], r["fresh"],
@@ -182,8 +186,8 @@ def run_gate(args):
         print("gate: ok (%d cases)" % len(baseline["cases"]))
         return 0
     if args.warn_only:
-        print("gate: FAILED, but --warn-only is set (set "
-              "BASRPT_PERF_STRICT=1 in CI to hard-fail)")
+        print("gate: FAILED, but --warn-only is set (CI hard-fails "
+              "unless BASRPT_PERF_STRICT=0)")
         return 0
     print("gate: FAILED")
     return 1
@@ -253,10 +257,20 @@ def self_test():
     if r:
         failures.append("informational metric was gated")
 
+    # 7. skip_ns ignores ns metrics but still gates throughput/allocs.
+    r, _, _ = compare(base, clone_with(ns_p99=9000.0, ns_mean=9000.0),
+                      tols, skip_ns=True)
+    if r:
+        failures.append("skip_ns still gated an ns metric")
+    r, _, _ = compare(base, clone_with(decisions_per_sec=700000.0),
+                      tols, skip_ns=True)
+    if not r:
+        failures.append("skip_ns dropped the throughput gate")
+
     for f in failures:
         print("self-test FAILED:", f, file=sys.stderr)
     if not failures:
-        print("self-test: ok (6 scenarios)")
+        print("self-test: ok (7 scenarios)")
     return 1 if failures else 0
 
 
@@ -268,6 +282,10 @@ def main():
                    help="report regressions but exit 0 (shared runners)")
     p.add_argument("--trajectory-dir",
                    help="append a JSONL history line here")
+    p.add_argument("--skip-ns-metrics", action="store_true",
+                   help="gate throughput and allocation metrics only; "
+                        "per-op ns metrics are skipped (for reduced-budget "
+                        "runs where timings are preemption-dominated)")
     p.add_argument("--tol-throughput", type=float, default=THROUGHPUT_TOL)
     p.add_argument("--tol-latency", type=float, default=LATENCY_TOL)
     p.add_argument("--tol-tail", type=float, default=TAIL_TOL)

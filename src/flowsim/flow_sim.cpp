@@ -116,6 +116,7 @@ class Engine {
  private:
   struct Serving {
     FlowId id;
+    queueing::FlowRef ref;  // slot handle; revalidated before every use
     double rate_bps;
   };
 
@@ -161,8 +162,9 @@ class Engine {
     }
     advance(events_.now());
 
-    if (voqs_.contains(target)) {
-      const Bytes residual = voqs_.flow(target).remaining;
+    const queueing::FlowSlot slot = voqs_.slot_of(target);
+    if (slot != queueing::kNoSlot) {
+      const Bytes residual = voqs_.flow_at(slot).remaining;
       if (injector_ != nullptr && residual.count > kCompletionSlackBytes) {
         // A fault clamped this flow's rate after the completion was
         // estimated (suppression windows keep stale estimates alive), so
@@ -174,8 +176,8 @@ class Engine {
       // retire the residual dust explicitly.
       BASRPT_ASSERT(residual.count <= kCompletionSlackBytes,
                     "completion event fired with substantial bytes left");
-      const queueing::Flow copy = voqs_.flow(target);
-      voqs_.drain(target, residual);
+      const queueing::Flow copy = voqs_.flow_at(slot);
+      voqs_.drain_at(slot, residual);
       result_.delivered += residual;
       record_completion(copy, events_.now());
     }
@@ -286,8 +288,11 @@ class Engine {
       return;
     }
     last_advance_ = now;
+    const queueing::FlowStore& store = voqs_.store();
     for (const Serving& s : serving_) {
-      if (!voqs_.contains(s.id)) {
+      // The generation-stamped ref distinguishes "this flow, still
+      // live" from a recycled slot — no hash probe per serving flow.
+      if (!store.valid(s.ref)) {
         continue;
       }
       const auto drained_bytes = static_cast<std::int64_t>(
@@ -295,12 +300,18 @@ class Engine {
       if (drained_bytes <= 0) {
         continue;
       }
-      const queueing::Flow copy = voqs_.flow(s.id);
-      const Bytes amount{std::min(drained_bytes, copy.remaining.count)};
-      const bool completed = voqs_.drain(s.id, amount);
-      result_.delivered += amount;
-      if (completed) {
+      const std::int64_t remaining = store.remaining(s.ref.slot);
+      const Bytes amount{std::min(drained_bytes, remaining)};
+      if (amount.count == remaining) {
+        // Completing: copy the record out before drain_at frees the
+        // slot. Flows that merely shrink are drained without a copy.
+        const queueing::Flow copy = store.at(s.ref.slot);
+        voqs_.drain_at(s.ref.slot, amount);
+        result_.delivered += amount;
         record_completion(copy, now);
+      } else {
+        voqs_.drain_at(s.ref.slot, amount);
+        result_.delivered += amount;
       }
     }
   }
@@ -355,30 +366,40 @@ class Engine {
       return;
     }
 
-    // Max-min fair rates over the fabric for the serving set.
-    demands_.clear();
-    demands_.reserve(to_serve.size());
-    for (const FlowId id : to_serve) {
-      const queueing::Flow& f = voqs_.flow(id);
-      demands_.push_back(
-          {fabric_.route(f.src, f.dst, static_cast<std::uint64_t>(id)),
-           Rate{0.0}});
+    // Max-min fair rates over the fabric for the serving set. The
+    // demand buffer only ever grows (entries past to_serve.size() are
+    // stale but unread), so the inner path vectors — and the solver's
+    // scratch — are reused verbatim: zero allocations once warmed.
+    if (demands_.size() < to_serve.size()) {
+      demands_.resize(to_serve.size());
     }
-    const auto rates = topo::max_min_rates(demands_, fabric_.capacities());
+    serving_slots_.clear();
+    for (std::size_t k = 0; k < to_serve.size(); ++k) {
+      const FlowId id = to_serve[k];
+      const queueing::FlowSlot slot = voqs_.slot_of(id);
+      const queueing::Flow& f = voqs_.flow_at(slot);
+      fabric_.route_into(f.src, f.dst, static_cast<std::uint64_t>(id),
+                         demands_[k].path);
+      demands_[k].cap = Rate{0.0};
+      serving_slots_.push_back(slot);
+    }
+    solver_.solve_into(demands_.data(), to_serve.size(),
+                       fabric_.capacities(), rates_);
 
     SimTime earliest{std::numeric_limits<double>::infinity()};
     FlowId earliest_flow = queueing::kInvalidFlow;
     serving_.reserve(to_serve.size());
     for (std::size_t k = 0; k < to_serve.size(); ++k) {
       const FlowId id = to_serve[k];
-      double rate = rates[k].bits_per_sec;
+      const queueing::FlowSlot slot = serving_slots_[k];
+      double rate = rates_[k].bits_per_sec;
       if (injector_ != nullptr) {
         // Degraded ports serve at a fraction of the allocated rate; a
         // dark endpoint (blackout) freezes the flow entirely. Matching
         // mode masks dark ports out of the candidates, but fair sharing
         // selects every flow, so zero-rate flows are parked rather than
         // asserted against.
-        const queueing::Flow& f = voqs_.flow(id);
+        const queueing::Flow& f = voqs_.flow_at(slot);
         rate *= std::min(injector_->port_factor(f.src),
                          injector_->port_factor(f.dst));
         if (rate <= 0.0) {
@@ -386,9 +407,10 @@ class Engine {
         }
       }
       BASRPT_ASSERT(rate > 0.0, "selected flow allocated zero rate");
-      serving_.push_back({id, rate});
+      serving_.push_back({id, voqs_.store().ref(slot), rate});
       const double finish =
-          static_cast<double>(voqs_.flow(id).remaining.count) * 8.0 / rate;
+          static_cast<double>(voqs_.flow_at(slot).remaining.count) * 8.0 /
+          rate;
       if (SimTime{finish} < earliest) {
         earliest = SimTime{finish};
         earliest_flow = id;
@@ -418,7 +440,10 @@ class Engine {
   sim::Engine events_;
   sched::Decision decision_;
   std::vector<Serving> serving_;
-  std::vector<topo::FlowDemand> demands_;
+  std::vector<topo::FlowDemand> demands_;  // grow-only; see reschedule()
+  std::vector<queueing::FlowSlot> serving_slots_;  // reschedule scratch
+  std::vector<Rate> rates_;
+  topo::MaxMinSolver solver_;
   std::unique_ptr<fault::FaultInjector> injector_;  // null = fault-free
   fault::Watchdog watchdog_;
   fault::InvariantAuditor auditor_{"flowsim"};

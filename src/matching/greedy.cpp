@@ -1,6 +1,7 @@
 #include "matching/greedy.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/assert.hpp"
 
@@ -36,11 +37,161 @@ GreedyResult greedy_maximal(std::vector<ScoredCandidate> candidates,
   return result;
 }
 
+namespace {
+
+/// Maps a double to a 32-bit key whose integer order matches the
+/// double's numeric order coarsened to the top 32 bits: flip all bits
+/// of negatives, flip only the sign bit of non-negatives, keep the
+/// sign, exponent and top 20 mantissa bits. Distinct scores may
+/// collide (the fixup pass resolves those runs exactly); equal scores
+/// always map to equal keys — -0.0 is first collapsed onto +0.0 so the
+/// payload tie-break fires exactly where the comparison path's would.
+std::uint32_t coarse_score_key(double score) {
+  if (score == 0.0) {
+    score = 0.0;  // normalizes -0.0
+  }
+  std::uint64_t bits;
+  std::memcpy(&bits, &score, sizeof(bits));
+  const std::uint64_t full = (bits & 0x8000000000000000ull) != 0
+                                 ? ~bits
+                                 : bits | 0x8000000000000000ull;
+  return static_cast<std::uint32_t>(full >> 32);
+}
+
+/// 8-bit LSD digits, four passes over the 32-bit key. 256 bins keep
+/// the scatter's active write lines (one per bin) inside L1; wider
+/// digits save a pass but thrash the cache and measure slower.
+constexpr std::uint32_t kRadixBits = 8;
+constexpr std::uint32_t kRadixBins = 1u << kRadixBits;
+constexpr std::uint32_t kRadixMask = kRadixBins - 1;
+constexpr std::size_t kRadixPasses = 4;
+
+}  // namespace
+
+void GreedyMatcher::sort_recs_radix(
+    const std::vector<ScoredCandidate>& candidates) {
+  const std::size_t n = candidates.size();
+  recs_a_.resize(n);
+  recs_b_.resize(n);
+
+  // Build the records and all three digit histograms in one pass.
+  std::uint32_t hist[kRadixPasses][kRadixBins];
+  std::memset(hist, 0, sizeof(hist));
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScoredCandidate& c = candidates[i];
+    const std::uint32_t key = coarse_score_key(c.score);
+    recs_a_[i] = {key, static_cast<std::uint16_t>(c.left),
+                  static_cast<std::uint16_t>(c.right),
+                  static_cast<std::uint32_t>(i)};
+    ++hist[0][key & kRadixMask];
+    ++hist[1][(key >> kRadixBits) & kRadixMask];
+    ++hist[2][(key >> (2 * kRadixBits)) & kRadixMask];
+    ++hist[3][key >> (3 * kRadixBits)];
+  }
+
+  // LSD passes; a digit position where all keys agree permutes nothing
+  // and is skipped (scores from one decision often share sign and
+  // exponent range, so a pass or two usually vanishes).
+  Rec* src = recs_a_.data();
+  Rec* dst = recs_b_.data();
+  for (std::size_t p = 0; p < kRadixPasses; ++p) {
+    std::uint32_t* h = hist[p];
+    bool trivial = false;
+    for (std::size_t v = 0; v < kRadixBins; ++v) {
+      if (h[v] == n) {
+        trivial = true;
+        break;
+      }
+      if (h[v] != 0) {
+        break;
+      }
+    }
+    if (trivial) {
+      continue;
+    }
+    std::uint32_t sum = 0;
+    for (std::size_t v = 0; v < kRadixBins; ++v) {
+      const std::uint32_t count = h[v];
+      h[v] = sum;
+      sum += count;
+    }
+    const std::uint32_t shift = static_cast<std::uint32_t>(p) * kRadixBits;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t v = (src[i].key >> shift) & kRadixMask;
+      dst[h[v]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != recs_a_.data()) {
+    recs_a_.swap(recs_b_);
+  }
+
+  // Radix LSD is stable, so equal-coarse-key runs are in original
+  // candidate order — but the contract is exact (score, payload) order,
+  // and a coarse key can collide for distinct scores. Re-sort each run
+  // with the full comparator; runs are rare and short in practice.
+  for (std::size_t i = 0; i + 1 < n;) {
+    std::size_t j = i + 1;
+    while (j < n && recs_a_[j].key == recs_a_[i].key) {
+      ++j;
+    }
+    if (j - i > 1) {
+      std::sort(recs_a_.begin() + static_cast<std::ptrdiff_t>(i),
+                recs_a_.begin() + static_cast<std::ptrdiff_t>(j),
+                [&](const Rec& a, const Rec& b) {
+                  const double sa = candidates[a.idx].score;
+                  const double sb = candidates[b.idx].score;
+                  if (sa != sb) {
+                    return sa < sb;
+                  }
+                  return candidates[a.idx].payload < candidates[b.idx].payload;
+                });
+    }
+    i = j;
+  }
+}
+
 void GreedyMatcher::match_into(std::vector<ScoredCandidate>& candidates,
                                PortId n_left, PortId n_right,
                                std::vector<std::int64_t>& out) {
   BASRPT_ASSERT(n_left > 0 && n_right > 0, "port counts must be positive");
   out.clear();
+
+  left_used_.assign(static_cast<std::size_t>(n_left), 0);
+  right_used_.assign(static_cast<std::size_t>(n_right), 0);
+
+  // No candidate can be accepted once every left (or every right) port
+  // is taken, so the scan stops at max_accept winners — identical
+  // selection, and on dense candidate sets most of the tail is skipped.
+  const std::size_t max_accept =
+      static_cast<std::size_t>(n_left < n_right ? n_left : n_right);
+  std::size_t accepted = 0;
+
+  if (candidates.size() >= kRadixThreshold && n_left <= 0xffff &&
+      n_right <= 0xffff) {
+    // Radix path: counting passes over compact records instead of
+    // comparison-sorting 24-byte candidates; the accept scan then walks
+    // the records sequentially (ports ride inside them) and only
+    // touches a candidate when it wins, to fetch the payload. The
+    // candidate buffer itself is left untouched.
+    for (const ScoredCandidate& c : candidates) {
+      BASRPT_ASSERT(c.left >= 0 && c.left < n_left, "ingress out of range");
+      BASRPT_ASSERT(c.right >= 0 && c.right < n_right,
+                    "egress out of range");
+    }
+    sort_recs_radix(candidates);
+    for (const Rec& e : recs_a_) {
+      if (!left_used_[e.left] && !right_used_[e.right]) {
+        left_used_[e.left] = 1;
+        right_used_[e.right] = 1;
+        out.push_back(candidates[e.idx].payload);
+        if (++accepted == max_accept) {
+          break;
+        }
+      }
+    }
+    return;
+  }
 
   std::sort(candidates.begin(), candidates.end(),
             [](const ScoredCandidate& a, const ScoredCandidate& b) {
@@ -50,9 +201,6 @@ void GreedyMatcher::match_into(std::vector<ScoredCandidate>& candidates,
               return a.payload < b.payload;
             });
 
-  left_used_.assign(static_cast<std::size_t>(n_left), 0);
-  right_used_.assign(static_cast<std::size_t>(n_right), 0);
-
   for (const ScoredCandidate& c : candidates) {
     BASRPT_ASSERT(c.left >= 0 && c.left < n_left, "ingress out of range");
     BASRPT_ASSERT(c.right >= 0 && c.right < n_right, "egress out of range");
@@ -61,6 +209,9 @@ void GreedyMatcher::match_into(std::vector<ScoredCandidate>& candidates,
       left_used_[static_cast<std::size_t>(c.left)] = 1;
       right_used_[static_cast<std::size_t>(c.right)] = 1;
       out.push_back(c.payload);
+      if (++accepted == max_accept) {
+        break;
+      }
     }
   }
 }

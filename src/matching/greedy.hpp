@@ -35,22 +35,53 @@ GreedyResult greedy_maximal(std::vector<ScoredCandidate> candidates,
 
 /// Allocation-free variant of greedy_maximal for hot decision loops:
 /// port-usage scratch persists across calls, the candidate buffer is the
-/// caller's (sorted in place), and winners are appended to `out`. The
-/// selection is identical to greedy_maximal *provided payloads are
-/// distinct* (they are flow ids in the schedulers): the (score, payload)
-/// key is then a total order, so the unstable in-place sort cannot
-/// reorder equivalent elements differently than the stable one.
+/// caller's, and winners are appended to `out`. The selection is
+/// identical to greedy_maximal *provided payloads are distinct* (they
+/// are flow ids in the schedulers): the (score, payload) key is then a
+/// total order, so no two sort algorithms can disagree on the order.
+///
+/// Large candidate sets take an LSD radix sort over compact 12-byte
+/// records — a 32-bit order-preserving score key, the ports, and the
+/// candidate's index — instead of comparison-sorting the 24-byte
+/// candidates; runs whose coarse keys collide are re-sorted with the
+/// full (score, payload) comparator, so the order is exact. Small sets
+/// use std::sort in place. Either way the scan stops once min(n_left,
+/// n_right) winners are accepted — every later candidate would be
+/// rejected anyway. The candidate buffer may be reordered (small-set
+/// path) or left untouched (radix path); callers must not rely on its
+/// order afterwards.
 class GreedyMatcher {
  public:
   /// Clears `out`, then appends the payloads of the accepted candidates
-  /// in selection (sorted) order. O(K log K), no heap allocation once
-  /// the scratch has warmed to the fabric size.
+  /// in selection (sorted) order. No heap allocation once the scratch
+  /// has warmed to the fabric size.
   void match_into(std::vector<ScoredCandidate>& candidates, PortId n_left,
                   PortId n_right, std::vector<std::int64_t>& out);
 
+  /// Below this many candidates, comparison sort beats the radix
+  /// histogram setup cost. Port counts >= 65536 also take the
+  /// comparison path (ports are packed into 16 bits in the records).
+  static constexpr std::size_t kRadixThreshold = 128;
+
  private:
+  /// Radix record: coarse score key (top 32 bits of the sortable-double
+  /// transform), the candidate's ports for the accept scan, and its
+  /// index for payload fetch and tie fixups. 12 bytes, so a sort pass
+  /// moves half the bytes a ScoredCandidate sort would.
+  struct Rec {
+    std::uint32_t key;
+    std::uint16_t left;
+    std::uint16_t right;
+    std::uint32_t idx;
+  };
+
+  /// Sorts recs_a_ into (score, payload) order for `candidates`.
+  void sort_recs_radix(const std::vector<ScoredCandidate>& candidates);
+
   std::vector<char> left_used_;
   std::vector<char> right_used_;
+  std::vector<Rec> recs_a_;
+  std::vector<Rec> recs_b_;
 };
 
 }  // namespace basrpt::matching

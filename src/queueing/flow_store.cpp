@@ -1,0 +1,182 @@
+#include "queueing/flow_store.hpp"
+
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "common/assert.hpp"
+
+// Manual ASan poisoning of recycled arena slots. The free-list link
+// occupies the first bytes of a dead Flow and must stay addressable;
+// everything past it is poisoned until the slot is reused. Exercised by
+// the tier-2 sanitizer stage (a use-after-free of a recycled slot must
+// trap — see tests/test_queueing.cpp).
+#if defined(__SANITIZE_ADDRESS__)
+#define BASRPT_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define BASRPT_ASAN 1
+#endif
+#endif
+
+#if defined(BASRPT_ASAN)
+#include <sanitizer/asan_interface.h>
+#define BASRPT_POISON(addr, size) __asan_poison_memory_region(addr, size)
+#define BASRPT_UNPOISON(addr, size) __asan_unpoison_memory_region(addr, size)
+#else
+#define BASRPT_POISON(addr, size) ((void)0)
+#define BASRPT_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace basrpt::queueing {
+
+static_assert(std::is_trivially_copyable_v<Flow>,
+              "the arena memcpy/poison scheme assumes trivial flows");
+static_assert(sizeof(Flow) >= sizeof(FlowSlot) * 2,
+              "a dead Flow must fit the free-list link");
+
+namespace {
+// Free-list link offset within a dead Flow. Offset 0 would overlay the
+// id field; harmless, but ASan poison granularity (8 bytes) makes the
+// first 8 bytes the natural unpoisoned window either way.
+constexpr std::size_t kLinkBytes = 8;
+}  // namespace
+
+FlowStore::FlowStore() = default;
+
+FlowStore::~FlowStore() {
+#if defined(BASRPT_ASAN)
+  // Unpoison everything before the chunks are returned to the
+  // allocator; freeing poisoned memory is fine, but keeping the shadow
+  // clean avoids confusing later tenants of the same pages.
+  for (const std::unique_ptr<Chunk>& chunk : chunks_) {
+    BASRPT_UNPOISON(chunk->raw, sizeof(chunk->raw));
+  }
+#endif
+}
+
+std::size_t FlowStore::hash_id(FlowId id) {
+  // SplitMix64 finalizer: cheap, well-mixed, and deterministic across
+  // platforms (flow ids are small sequential integers — identity
+  // hashing would clump linear probes).
+  auto x = static_cast<std::uint64_t>(id);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+FlowSlot FlowStore::pop_free_slot() {
+  if (free_head_ != kNoSlot) {
+    const FlowSlot slot = free_head_;
+    unsigned char* raw = reinterpret_cast<unsigned char*>(flow_ptr(slot));
+    std::memcpy(&free_head_, raw, sizeof(FlowSlot));
+    BASRPT_UNPOISON(raw, sizeof(Flow));
+    return slot;
+  }
+  const std::size_t next = slots_allocated_;
+  BASRPT_REQUIRE(next < static_cast<std::size_t>(kNoSlot),
+                 "flow arena exhausted the 32-bit slot space");
+  if ((next >> kChunkShift) == chunks_.size()) {
+    chunks_.push_back(std::make_unique<Chunk>());
+  }
+  ++slots_allocated_;
+  remaining_.push_back(0);
+  src_.push_back(0);
+  dst_.push_back(0);
+  gen_.push_back(0);
+  return static_cast<FlowSlot>(next);
+}
+
+void FlowStore::push_free_slot(FlowSlot slot) {
+  unsigned char* raw = reinterpret_cast<unsigned char*>(flow_ptr(slot));
+  std::memcpy(raw, &free_head_, sizeof(FlowSlot));
+  free_head_ = slot;
+  BASRPT_POISON(raw + kLinkBytes, sizeof(Flow) - kLinkBytes);
+}
+
+FlowSlot FlowStore::insert(const Flow& flow) {
+  BASRPT_ASSERT(flow.id != kInvalidFlow, "flow id must be valid");
+  BASRPT_ASSERT(find(flow.id) == kNoSlot, "duplicate flow id");
+  const FlowSlot slot = pop_free_slot();
+  ::new (static_cast<void*>(flow_ptr(slot))) Flow(flow);
+  remaining_[slot] = flow.remaining.count;
+  src_[slot] = flow.src;
+  dst_[slot] = flow.dst;
+  ++gen_[slot];  // even -> odd: live
+  ++size_;
+  map_insert(flow.id, slot);
+  return slot;
+}
+
+void FlowStore::erase(FlowSlot slot) {
+  BASRPT_ASSERT(live(slot), "erasing a slot that is not live");
+  map_erase(at(slot).id);
+  ++gen_[slot];  // odd -> even: free
+  --size_;
+  push_free_slot(slot);
+}
+
+void FlowStore::map_grow() {
+  const std::size_t old_cap = map_keys_.size();
+  const std::size_t new_cap = old_cap == 0 ? 64 : old_cap * 2;
+  std::vector<FlowId> old_keys = std::move(map_keys_);
+  std::vector<FlowSlot> old_slots = std::move(map_slots_);
+  map_keys_.assign(new_cap, kInvalidFlow);
+  map_slots_.assign(new_cap, kNoSlot);
+  const std::size_t mask = new_cap - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kInvalidFlow) {
+      continue;
+    }
+    std::size_t pos = hash_id(old_keys[i]) & mask;
+    while (map_keys_[pos] != kInvalidFlow) {
+      pos = (pos + 1) & mask;
+    }
+    map_keys_[pos] = old_keys[i];
+    map_slots_[pos] = old_slots[i];
+  }
+}
+
+void FlowStore::map_insert(FlowId id, FlowSlot slot) {
+  // Grow at 7/8 occupancy so probe chains stay short.
+  if ((size_ + 1) * 8 > map_keys_.size() * 7) {
+    map_grow();
+  }
+  const std::size_t mask = map_keys_.size() - 1;
+  std::size_t pos = hash_id(id) & mask;
+  while (map_keys_[pos] != kInvalidFlow) {
+    BASRPT_ASSERT(map_keys_[pos] != id, "duplicate flow id in slot map");
+    pos = (pos + 1) & mask;
+  }
+  map_keys_[pos] = id;
+  map_slots_[pos] = slot;
+}
+
+void FlowStore::map_erase(FlowId id) {
+  const std::size_t mask = map_keys_.size() - 1;
+  std::size_t pos = hash_id(id) & mask;
+  while (map_keys_[pos] != id) {
+    BASRPT_ASSERT(map_keys_[pos] != kInvalidFlow,
+                  "erasing a flow id absent from the slot map");
+    pos = (pos + 1) & mask;
+  }
+  // Backward-shift deletion: pull displaced entries over the hole so
+  // probing never needs tombstones (which would decay lookup cost under
+  // the simulators' perpetual churn).
+  std::size_t hole = pos;
+  std::size_t cur = (hole + 1) & mask;
+  while (map_keys_[cur] != kInvalidFlow) {
+    const std::size_t ideal = hash_id(map_keys_[cur]) & mask;
+    if (((cur - ideal) & mask) >= ((cur - hole) & mask)) {
+      map_keys_[hole] = map_keys_[cur];
+      map_slots_[hole] = map_slots_[cur];
+      hole = cur;
+    }
+    cur = (cur + 1) & mask;
+  }
+  map_keys_[hole] = kInvalidFlow;
+  map_slots_[hole] = kNoSlot;
+}
+
+}  // namespace basrpt::queueing

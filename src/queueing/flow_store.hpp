@@ -1,0 +1,161 @@
+// Slab flow store: the arena behind VoqMatrix.
+//
+// Flows live in a chunked arena addressed by a stable FlowSlot (a dense
+// uint32 index), replacing the node-per-flow std::unordered_map the
+// matrix used to own. Three pieces:
+//
+//   * the arena — fixed-size chunks of Flow storage, so a Flow& stays
+//     valid from insert to erase (the same reference-stability contract
+//     unordered_map gave callers) while slots stay densely packed for
+//     direct indexing;
+//   * an open-addressing FlowId -> FlowSlot map (linear probing,
+//     backward-shift deletion, SplitMix64 hashing) — the only hashed
+//     step left on the lookup path, one cache line in the common case;
+//   * SoA mirrors of the scan-hot fields (remaining, src, dst), kept
+//     coherent by the mutators, so scoring loops touch 8-byte lanes
+//     instead of whole 48-byte Flow records.
+//
+// Freed slots form an intrusive free list threaded through the dead
+// Flow storage itself (the first bytes hold the next free slot). Under
+// AddressSanitizer the rest of a freed Flow's bytes are poisoned until
+// the slot is reused, so a stale-slot read trips ASan instead of
+// silently reading the next tenant. Slots also carry a generation
+// counter (bumped on every insert and erase) for FlowRef validation in
+// tests and diagnostics.
+//
+// Checkpoints never see slots: codecs serialize flows by FlowId (see
+// docs/CHECKPOINT.md), so slot assignment is free to differ between a
+// run and its resume without perturbing a single byte of output.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "queueing/flow.hpp"
+
+namespace basrpt::queueing {
+
+using FlowSlot = std::uint32_t;
+constexpr FlowSlot kNoSlot = static_cast<FlowSlot>(-1);
+
+/// Generation-stamped slot handle: valid while the same tenant holds
+/// the slot. FlowStore::valid() checks both liveness and generation.
+struct FlowRef {
+  FlowSlot slot = kNoSlot;
+  std::uint32_t gen = 0;
+};
+
+class FlowStore {
+ public:
+  FlowStore();
+  ~FlowStore();
+
+  // The arena is intentionally move-only: a deep copy would have to
+  // re-thread the free list and re-poison dead slots, and nothing in
+  // the codebase copies a flow table.
+  FlowStore(const FlowStore&) = delete;
+  FlowStore& operator=(const FlowStore&) = delete;
+  FlowStore(FlowStore&&) noexcept = default;
+  FlowStore& operator=(FlowStore&&) noexcept = default;
+
+  /// Inserts a flow (id must be absent) and returns its slot.
+  FlowSlot insert(const Flow& flow);
+
+  /// Frees a live slot; its storage is poisoned and recycled.
+  void erase(FlowSlot slot);
+
+  /// Slot of `id`, or kNoSlot.
+  FlowSlot find(FlowId id) const {
+    if (size_ == 0) {
+      return kNoSlot;
+    }
+    const std::size_t mask = map_keys_.size() - 1;
+    std::size_t pos = hash_id(id) & mask;
+    while (true) {
+      const FlowId k = map_keys_[pos];
+      if (k == kInvalidFlow) {
+        return kNoSlot;
+      }
+      if (k == id) {
+        return map_slots_[pos];
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  /// Direct arena access. `slot` must be live: the store does not check
+  /// liveness here (this is the hot path), but under ASan a freed
+  /// slot's storage is poisoned and the access traps.
+  Flow& at(FlowSlot slot) { return *flow_ptr(slot); }
+  const Flow& at(FlowSlot slot) const { return *flow_ptr(slot); }
+
+  // SoA lanes for scan-heavy consumers. Indexed by slot; live slots
+  // mirror the Flow record exactly, freed slots hold stale values.
+  std::int64_t remaining(FlowSlot slot) const { return remaining_[slot]; }
+  PortId src(FlowSlot slot) const { return src_[slot]; }
+  PortId dst(FlowSlot slot) const { return dst_[slot]; }
+
+  /// Updates a live flow's remaining bytes in the record and the SoA
+  /// mirror together (the only sanctioned way to mutate it).
+  void set_remaining(FlowSlot slot, Bytes remaining) {
+    at(slot).remaining = remaining;
+    remaining_[slot] = remaining.count;
+  }
+
+  std::size_t size() const { return size_; }
+  /// Slots ever allocated (live + free-listed); SoA lanes have this many
+  /// valid indices.
+  std::size_t capacity() const { return slots_allocated_; }
+
+  FlowRef ref(FlowSlot slot) const { return {slot, gen_[slot]}; }
+  /// Generation parity encodes liveness: odd = live, even = free.
+  bool live(FlowSlot slot) const {
+    return slot < slots_allocated_ && (gen_[slot] & 1u) != 0;
+  }
+  bool valid(FlowRef ref) const {
+    return ref.slot < slots_allocated_ && gen_[ref.slot] == ref.gen &&
+           (ref.gen & 1u) != 0;
+  }
+
+ private:
+  // 256 flows per chunk: ~12 KiB of Flow storage, allocated once and
+  // recycled through the free list forever after.
+  static constexpr std::size_t kChunkShift = 8;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+  struct Chunk {
+    alignas(alignof(Flow)) unsigned char raw[sizeof(Flow) * kChunkSize];
+  };
+
+  static std::size_t hash_id(FlowId id);
+
+  Flow* flow_ptr(FlowSlot slot) const {
+    unsigned char* base = const_cast<unsigned char*>(
+        chunks_[slot >> kChunkShift]->raw);
+    return reinterpret_cast<Flow*>(base) + (slot & kChunkMask);
+  }
+
+  FlowSlot pop_free_slot();
+  void push_free_slot(FlowSlot slot);
+  void map_insert(FlowId id, FlowSlot slot);
+  void map_erase(FlowId id);
+  void map_grow();
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::int64_t> remaining_;  // SoA mirrors, indexed by slot
+  std::vector<PortId> src_;
+  std::vector<PortId> dst_;
+  std::vector<std::uint32_t> gen_;
+
+  FlowSlot free_head_ = kNoSlot;  // intrusive list through dead Flows
+  std::size_t slots_allocated_ = 0;
+  std::size_t size_ = 0;
+
+  std::vector<FlowId> map_keys_;    // kInvalidFlow = empty; power-of-two
+  std::vector<FlowSlot> map_slots_;
+};
+
+}  // namespace basrpt::queueing

@@ -62,13 +62,12 @@ void VoqMatrix::clear_dirty() const {
 void VoqMatrix::add_flow(const Flow& flow) {
   BASRPT_ASSERT(flow.id != kInvalidFlow, "flow id must be valid");
   BASRPT_ASSERT(flow.remaining.count > 0, "flow must have bytes to send");
-  BASRPT_ASSERT(!flows_.count(flow.id), "duplicate flow id");
   const std::size_t idx = index(flow.src, flow.dst);
-  flows_.emplace(flow.id, flow);
+  const FlowSlot slot = store_.insert(flow);  // asserts id uniqueness
 
   VoqBucket& bucket = voqs_[idx];
-  bucket.by_remaining.emplace(flow.remaining.count, flow.id);
-  bucket.by_arrival.emplace(flow.arrival.seconds, flow.id);
+  bucket.by_remaining.insert(flow.remaining.count, flow.id, slot);
+  bucket.by_arrival.insert(flow.arrival.seconds, flow.id, slot);
   bucket.backlog += flow.remaining;
   mark_non_empty(idx);
   mark_dirty(idx);
@@ -78,25 +77,20 @@ void VoqMatrix::add_flow(const Flow& flow) {
   total_backlog_ += flow.remaining;
 }
 
-void VoqMatrix::unlink(const Flow& flow) {
-  const std::size_t idx = index(flow.src, flow.dst);
-  VoqBucket& bucket = voqs_[idx];
-  const auto erased_rem =
-      bucket.by_remaining.erase({flow.remaining.count, flow.id});
-  BASRPT_ASSERT(erased_rem == 1, "flow missing from remaining index");
-  const auto erased_arr =
-      bucket.by_arrival.erase({flow.arrival.seconds, flow.id});
-  BASRPT_ASSERT(erased_arr == 1, "flow missing from arrival index");
-  if (bucket.by_remaining.empty()) {
-    mark_empty(idx);
-  }
+bool VoqMatrix::drain(FlowId id, Bytes amount) {
+  const FlowSlot slot = store_.find(id);
+  BASRPT_ASSERT(slot != kNoSlot, "draining unknown flow");
+  return drain_slot(slot, amount);
 }
 
-bool VoqMatrix::drain(FlowId id, Bytes amount) {
+bool VoqMatrix::drain_at(FlowSlot slot, Bytes amount) {
+  BASRPT_ASSERT(store_.live(slot), "draining a stale slot");
+  return drain_slot(slot, amount);
+}
+
+bool VoqMatrix::drain_slot(FlowSlot slot, Bytes amount) {
   BASRPT_ASSERT(amount.count >= 0, "cannot drain negative bytes");
-  const auto it = flows_.find(id);
-  BASRPT_ASSERT(it != flows_.end(), "draining unknown flow");
-  Flow& flow = it->second;
+  Flow& flow = store_.at(slot);
   const Bytes drained =
       amount.count >= flow.remaining.count ? flow.remaining : amount;
   if (drained.count == 0) {
@@ -105,10 +99,9 @@ bool VoqMatrix::drain(FlowId id, Bytes amount) {
 
   const std::size_t idx = index(flow.src, flow.dst);
   VoqBucket& bucket = voqs_[idx];
-  const auto erased = bucket.by_remaining.erase({flow.remaining.count, id});
-  BASRPT_ASSERT(erased == 1, "flow missing from remaining index");
+  bucket.by_remaining.erase(flow.remaining.count, flow.id);
 
-  flow.remaining -= drained;
+  store_.set_remaining(slot, flow.remaining - drained);
   bucket.backlog -= drained;
   mark_dirty(idx);
   ingress_backlog_[static_cast<std::size_t>(flow.src)] -= drained;
@@ -116,39 +109,42 @@ bool VoqMatrix::drain(FlowId id, Bytes amount) {
   total_backlog_ -= drained;
 
   if (flow.done()) {
-    const auto erased_arr =
-        bucket.by_arrival.erase({flow.arrival.seconds, id});
-    BASRPT_ASSERT(erased_arr == 1, "flow missing from arrival index");
+    bucket.by_arrival.erase(flow.arrival.seconds, flow.id);
     if (bucket.by_remaining.empty()) {
       mark_empty(idx);
     }
-    flows_.erase(it);
+    store_.erase(slot);
     return true;
   }
-  bucket.by_remaining.emplace(flow.remaining.count, id);
+  bucket.by_remaining.insert(flow.remaining.count, flow.id, slot);
   return false;
 }
 
 void VoqMatrix::remove(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) {
+  const FlowSlot slot = store_.find(id);
+  if (slot == kNoSlot) {
     return;
   }
-  Flow& flow = it->second;
+  const Flow& flow = store_.at(slot);
   const std::size_t idx = index(flow.src, flow.dst);
-  voqs_[idx].backlog -= flow.remaining;
+  VoqBucket& bucket = voqs_[idx];
+  bucket.backlog -= flow.remaining;
   ingress_backlog_[static_cast<std::size_t>(flow.src)] -= flow.remaining;
   egress_backlog_[static_cast<std::size_t>(flow.dst)] -= flow.remaining;
   total_backlog_ -= flow.remaining;
   mark_dirty(idx);
-  unlink(flow);
-  flows_.erase(it);
+  bucket.by_remaining.erase(flow.remaining.count, flow.id);
+  bucket.by_arrival.erase(flow.arrival.seconds, flow.id);
+  if (bucket.by_remaining.empty()) {
+    mark_empty(idx);
+  }
+  store_.erase(slot);
 }
 
 const Flow& VoqMatrix::flow(FlowId id) const {
-  const auto it = flows_.find(id);
-  BASRPT_ASSERT(it != flows_.end(), "looking up unknown flow");
-  return it->second;
+  const FlowSlot slot = store_.find(id);
+  BASRPT_ASSERT(slot != kNoSlot, "looking up unknown flow");
+  return store_.at(slot);
 }
 
 Bytes VoqMatrix::backlog(PortId i, PortId j) const {
@@ -172,11 +168,8 @@ Bytes VoqMatrix::egress_backlog(PortId j) const {
 void VoqMatrix::for_each_flow(
     const std::function<void(const Flow&)>& fn) const {
   for (const std::size_t idx : non_empty_) {
-    for (const auto& [remaining, id] : voqs_[idx].by_remaining) {
-      const auto it = flows_.find(id);
-      BASRPT_ASSERT(it != flows_.end(), "indexed flow missing from table");
-      fn(it->second);
-    }
+    voqs_[idx].by_remaining.for_each(
+        [&](const RemainingIndex::Entry& e) { fn(store_.at(e.slot)); });
   }
 }
 
@@ -191,22 +184,31 @@ void VoqMatrix::for_each_non_empty_voq(
 FlowId VoqMatrix::shortest_in_voq(PortId i, PortId j) const {
   const VoqBucket& bucket = voqs_[index(i, j)];
   return bucket.by_remaining.empty() ? kInvalidFlow
-                                     : bucket.by_remaining.begin()->second;
+                                     : bucket.by_remaining.front().id;
 }
 
 FlowId VoqMatrix::oldest_in_voq(PortId i, PortId j) const {
   const VoqBucket& bucket = voqs_[index(i, j)];
   return bucket.by_arrival.empty() ? kInvalidFlow
-                                   : bucket.by_arrival.begin()->second;
+                                   : bucket.by_arrival.front().id;
+}
+
+const VoqMatrix::RemainingIndex::Entry& VoqMatrix::shortest_entry(
+    PortId i, PortId j) const {
+  return voqs_[index(i, j)].by_remaining.front();
+}
+
+const VoqMatrix::ArrivalIndex::Entry& VoqMatrix::oldest_entry(
+    PortId i, PortId j) const {
+  return voqs_[index(i, j)].by_arrival.front();
 }
 
 std::vector<FlowId> VoqMatrix::voq_flow_ids(PortId i, PortId j) const {
   const VoqBucket& bucket = voqs_[index(i, j)];
   std::vector<FlowId> ids;
   ids.reserve(bucket.by_remaining.size());
-  for (const auto& [remaining, id] : bucket.by_remaining) {
-    ids.push_back(id);
-  }
+  bucket.by_remaining.for_each(
+      [&](const RemainingIndex::Entry& e) { ids.push_back(e.id); });
   return ids;
 }
 

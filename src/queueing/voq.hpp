@@ -11,21 +11,35 @@
 // The last two matter because the whole point of the paper is a regime
 // where SRPT parks an unbounded number of flows: the simulator must not
 // slow down quadratically as the backlog it is demonstrating grows.
+//
+// Storage layout (the hot-path contract): flow records live in a slab
+// FlowStore — a chunked arena addressed by stable FlowSlot indices with
+// an open-addressing id map and SoA mirrors of the scoring fields — and
+// the per-VOQ orderings are sorted-chunk indexes over (key, id, slot)
+// entries rather than node-based std::sets. Every ordered walk and
+// representative probe resolves flows by direct slot indexing; the only
+// hashed lookup left is the public by-id entry points. Iteration order,
+// tie-breaks and the public API are bit-identical to the original
+// map+set layout; checkpoints serialize by FlowId only, so slots are
+// free to differ across a resume (docs/CHECKPOINT.md).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
+#include "queueing/chunked_index.hpp"
 #include "queueing/flow.hpp"
+#include "queueing/flow_store.hpp"
 
 namespace basrpt::queueing {
 
 class VoqMatrix {
  public:
+  using RemainingIndex = ChunkedIndex<std::int64_t>;
+  using ArrivalIndex = ChunkedIndex<double>;
+
   explicit VoqMatrix(PortId n_ports);
 
   PortId ports() const { return n_ports_; }
@@ -37,11 +51,27 @@ class VoqMatrix {
   /// Returns true if the flow completed; completed flows are removed.
   bool drain(FlowId id, Bytes amount);
 
+  /// drain() addressed by slot — for hot loops that already resolved
+  /// the flow (e.g. flowsim's advance) and must not pay a second map
+  /// probe. `slot` must be live.
+  bool drain_at(FlowSlot slot, Bytes amount);
+
   /// Removes a flow regardless of remaining size; no-op if absent.
   void remove(FlowId id);
 
-  bool contains(FlowId id) const { return flows_.count(id) != 0; }
+  bool contains(FlowId id) const { return store_.find(id) != kNoSlot; }
   const Flow& flow(FlowId id) const;
+
+  /// Slot of `id` in the backing store, or kNoSlot if absent. Slots are
+  /// stable for the flow's lifetime and recycled afterwards; never
+  /// persist them across mutations without revalidating.
+  FlowSlot slot_of(FlowId id) const { return store_.find(id); }
+
+  /// Direct arena access for a live slot (no hashing).
+  const Flow& flow_at(FlowSlot slot) const { return store_.at(slot); }
+
+  /// The backing slab store (SoA lanes, FlowRef validation).
+  const FlowStore& store() const { return store_; }
 
   /// Backlog of VOQ (i, j): total remaining bytes of its flows.
   Bytes backlog(PortId i, PortId j) const;
@@ -56,14 +86,14 @@ class VoqMatrix {
   Bytes ingress_backlog(PortId i) const;
   Bytes egress_backlog(PortId j) const;
 
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return store_.size(); }
   std::size_t non_empty_voqs() const { return non_empty_.size(); }
 
   /// Iterates over every active flow in deterministic order: non-empty
   /// VOQs in their maintenance order, flows within a VOQ by remaining
   /// size (ties by id). Reproducible across platforms and libstdc++
-  /// versions, unlike hash-map order — fair-sharing serving sets and
-  /// max-min tie-breaks depend on it.
+  /// versions — fair-sharing serving sets and max-min tie-breaks
+  /// depend on it.
   void for_each_flow(const std::function<void(const Flow&)>& fn) const;
 
   /// Iterates over non-empty VOQs (unspecified order).
@@ -112,16 +142,24 @@ class VoqMatrix {
   /// Earliest-arrived flow in VOQ (i, j) (ties by id), or kInvalidFlow.
   FlowId oldest_in_voq(PortId i, PortId j) const;
 
+  /// SRPT head of non-empty VOQ (i, j) as an index entry — key
+  /// (remaining bytes), id, and slot in one probe, no flow lookup.
+  const RemainingIndex::Entry& shortest_entry(PortId i, PortId j) const;
+
+  /// FIFO head of non-empty VOQ (i, j); the key is the arrival time in
+  /// seconds, so candidate builders need no flow lookup at all.
+  const ArrivalIndex::Entry& oldest_entry(PortId i, PortId j) const;
+
   /// Flow ids currently queued in VOQ (i, j), in remaining-size order
   /// (test/diagnostic helper; allocates).
   std::vector<FlowId> voq_flow_ids(PortId i, PortId j) const;
 
  private:
   struct VoqBucket {
-    // (remaining bytes, id): begin() is the SRPT representative.
-    std::set<std::pair<std::int64_t, FlowId>> by_remaining;
-    // (arrival seconds, id): begin() is the FIFO representative.
-    std::set<std::pair<double, FlowId>> by_arrival;
+    // (remaining bytes, id): front() is the SRPT representative.
+    RemainingIndex by_remaining;
+    // (arrival seconds, id): front() is the FIFO representative.
+    ArrivalIndex by_arrival;
     Bytes backlog{};
   };
 
@@ -129,10 +167,10 @@ class VoqMatrix {
   void mark_non_empty(std::size_t idx);
   void mark_empty(std::size_t idx);
   void mark_dirty(std::size_t idx);
-  void unlink(const Flow& flow);
+  bool drain_slot(FlowSlot slot, Bytes amount);
 
   PortId n_ports_;
-  std::unordered_map<FlowId, Flow> flows_;
+  FlowStore store_;
   std::vector<VoqBucket> voqs_;         // N^2 buckets
   std::vector<Bytes> ingress_backlog_;  // per ingress port
   std::vector<Bytes> egress_backlog_;   // per egress port

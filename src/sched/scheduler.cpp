@@ -22,20 +22,22 @@ void fill_candidate(const queueing::VoqMatrix& voqs, PortId i, PortId j,
   out.backlog = static_cast<double>(voqs.backlog(i, j).count) / unit_bytes;
   out.flow_count = voqs.flow_count(i, j);
 
-  const FlowId shortest = voqs.shortest_in_voq(i, j);
-  BASRPT_ASSERT(shortest != queueing::kInvalidFlow,
+  // The ordered-index head entries carry (key, id, slot) directly: the
+  // SRPT key IS the remaining size and the arrival key IS the oldest
+  // arrival, so neither candidate field needs a FlowId hash lookup. Only
+  // the shortest flow's arrival time requires touching the Flow record,
+  // and that is a direct slot deref into the slab.
+  const auto& se = voqs.shortest_entry(i, j);
+  BASRPT_ASSERT(se.id != queueing::kInvalidFlow,
                 "non-empty VOQ without flows");
-  const queueing::Flow& sf = voqs.flow(shortest);
-  out.shortest_flow = shortest;
-  out.shortest_remaining =
-      static_cast<double>(sf.remaining.count) / unit_bytes;
-  out.shortest_arrival = sf.arrival.seconds;
+  out.shortest_flow = se.id;
+  out.shortest_remaining = static_cast<double>(se.key) / unit_bytes;
+  out.shortest_arrival = voqs.flow_at(se.slot).arrival.seconds;
 
   if (needs.arrival_index) {
-    const FlowId oldest = voqs.oldest_in_voq(i, j);
-    const queueing::Flow& of = voqs.flow(oldest);
-    out.oldest_flow = oldest;
-    out.oldest_arrival = of.arrival.seconds;
+    const auto& oe = voqs.oldest_entry(i, j);
+    out.oldest_flow = oe.id;
+    out.oldest_arrival = oe.key;
   } else {
     out.oldest_flow = queueing::kInvalidFlow;
     out.oldest_arrival = 0.0;

@@ -13,11 +13,11 @@ namespace basrpt::sim {
 
 EventId Engine::schedule_at(SimTime t, EventFn fn) {
   BASRPT_ASSERT(t >= now_, "cannot schedule an event in the past");
-  BASRPT_ASSERT(fn != nullptr, "event callback must be set");
+  BASRPT_ASSERT(static_cast<bool>(fn), "event callback must be set");
   const EventId id = next_id_++;
   {
     const perf::ScopedPhase phase(perf::Phase::kCalendarPush);
-    calendar_.push(Entry{t, id, std::move(fn)});
+    calendar_.push(t, id, std::move(fn));
   }
   if (calendar_.size() > peak_pending_) {
     peak_pending_ = calendar_.size();
@@ -36,7 +36,7 @@ std::uint64_t Engine::run_until(SimTime horizon) {
   obs::ScopedTimer chunk_timer(
       obs::Registry::active().histogram("sim.run_chunk_ns"));
   std::uint64_t ran = 0;
-  while (!calendar_.empty() && calendar_.top().t <= horizon) {
+  while (!calendar_.empty() && calendar_.min_time() <= horizon) {
     step();
     ++ran;
     heartbeat_.tick(now_.seconds, executed_);
@@ -83,13 +83,12 @@ bool Engine::step() {
   if (calendar_.empty()) {
     return false;
   }
-  // priority_queue::top() is const; move out via const_cast on the
-  // callback only (the entry is popped immediately after).
-  Entry entry = calendar_.top();
-  {
+  // The ladder queue pops by move, so the callback (and any move-only
+  // state it owns) transfers out without a copy or an allocation.
+  LadderQueue::Entry entry = [this] {
     const perf::ScopedPhase phase(perf::Phase::kCalendarPop);
-    calendar_.pop();
-  }
+    return calendar_.pop_min();
+  }();
   BASRPT_ASSERT(entry.t >= now_, "event queue produced an event in the past");
   now_ = entry.t;
   ++executed_;

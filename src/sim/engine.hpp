@@ -10,21 +10,24 @@
 // hands out monotonically increasing EventIds and callers drop stale
 // wakeups by comparing against their own latest id (the standard
 // lazy-invalidation idiom).
+//
+// The calendar is a two-tier ladder queue (sim/ladder_queue.hpp) and
+// callbacks are move-only EventFns with 64 bytes of inline storage
+// (sim/event_fn.hpp): scheduling and dispatching an event allocates
+// nothing for every closure the simulators create, and pops move the
+// callback out instead of copying it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/units.hpp"
 #include "fault/watchdog.hpp"
 #include "obs/heartbeat.hpp"
+#include "sim/event_fn.hpp"
+#include "sim/ladder_queue.hpp"
 
 namespace basrpt::sim {
-
-using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
 
 class Engine {
  public:
@@ -68,27 +71,13 @@ class Engine {
   void set_watchdog(fault::Watchdog* wd);
 
  private:
-  struct Entry {
-    SimTime t;
-    EventId id;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) {
-        return a.t > b.t;  // min-heap on time
-      }
-      return a.id > b.id;  // FIFO among simultaneous events
-    }
-  };
-
   SimTime now_{};
   EventId next_id_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t peak_pending_ = 0;
   obs::Heartbeat heartbeat_;
   fault::Watchdog* watchdog_ = nullptr;  // non-owning; null = disarmed
-  std::priority_queue<Entry, std::vector<Entry>, Later> calendar_;
+  LadderQueue calendar_;
 };
 
 /// Invokes a callback every `interval` until `horizon` (inclusive of the

@@ -1,0 +1,112 @@
+// Move-only callback type for the event calendar.
+//
+// std::function<void()> forced two allocations per simulated event on
+// the hot path: its small-buffer is ~16 bytes, and the simulators'
+// event captures (an arrival record + this, a completion generation +
+// target) are 24-40 bytes, so every schedule heap-allocated the
+// closure — and because priority_queue::top() is const, every pop
+// *copied* it, allocating again. EventFn fixes both: a 64-byte inline
+// buffer absorbs every closure the simulators create, and the type is
+// move-only, so the calendar can hand closures out without copies (and
+// closures may own move-only state such as unique_ptr).
+//
+// Callables larger than the inline buffer fall back to one heap
+// allocation (pktsim's packet-carrying closures); the dispatch is a
+// two-pointer vtable (invoke + move-destroy), one indirect call each.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace basrpt::sim {
+
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule_at call site
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      relocate_ = [](void* dst, void* src) noexcept {
+        Fn* from = static_cast<Fn*>(src);
+        if (dst != nullptr) {
+          ::new (dst) Fn(std::move(*from));
+        }
+        from->~Fn();
+      };
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* p) { (**static_cast<Fn**>(p))(); };
+      relocate_ = [](void* dst, void* src) noexcept {
+        Fn** from = static_cast<Fn**>(src);
+        if (dst != nullptr) {
+          ::new (dst) Fn*(*from);
+        } else {
+          delete *from;
+        }
+      };
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { steal(std::move(other)); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(buf_); }
+
+ private:
+  using InvokeFn = void (*)(void*);
+  /// Move-constructs the callable into `dst` (or just destroys it when
+  /// `dst` is null), then tears down the source.
+  using RelocateFn = void (*)(void* dst, void* src) noexcept;
+
+  void steal(EventFn&& other) noexcept {
+    if (other.invoke_ != nullptr) {
+      invoke_ = other.invoke_;
+      relocate_ = other.relocate_;
+      relocate_(buf_, other.buf_);
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) {
+      relocate_(nullptr, buf_);
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  InvokeFn invoke_ = nullptr;
+  RelocateFn relocate_ = nullptr;
+};
+
+}  // namespace basrpt::sim

@@ -1,0 +1,103 @@
+#include "sim/ladder_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace basrpt::sim {
+
+namespace {
+/// (e.t, e.id) > (t, id) — the descending-order predicate for bottom_.
+bool entry_greater(const LadderQueue::Entry& e, SimTime t, EventId id) {
+  if (e.t.seconds != t.seconds) {
+    return t < e.t;
+  }
+  return id < e.id;
+}
+}  // namespace
+
+void LadderQueue::push(SimTime t, EventId id, EventFn fn) {
+  if (below_boundary(t, id)) {
+    // Near-future event: keep bottom_ sorted (descending) with a
+    // bounded memmove insert. Binary search over (t, id) directly so no
+    // probe Entry has to be constructed.
+    std::size_t lo = 0;
+    std::size_t hi = bottom_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (entry_greater(bottom_[mid], t, id)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    bottom_.insert(bottom_.begin() + static_cast<std::ptrdiff_t>(lo),
+                   Entry{t, id, std::move(fn)});
+  } else {
+    far_.push_back(Entry{t, id, std::move(fn)});
+  }
+}
+
+SimTime LadderQueue::min_time() {
+  BASRPT_ASSERT(!empty(), "min_time() on an empty calendar");
+  if (bottom_.empty()) {
+    refill();
+  }
+  return bottom_.back().t;
+}
+
+LadderQueue::Entry LadderQueue::pop_min() {
+  BASRPT_ASSERT(!empty(), "pop_min() on an empty calendar");
+  if (bottom_.empty()) {
+    refill();
+  }
+  Entry e = std::move(bottom_.back());
+  bottom_.pop_back();
+  return e;
+}
+
+void LadderQueue::refill() {
+  BASRPT_ASSERT(!far_.empty(), "refill with no spilled events");
+  // Promote the K smallest far_ entries. Taking a quarter amortizes the
+  // O(|far|) selection across K subsequent pops; small backlogs are
+  // taken whole so the boundary advances past everything pending.
+  std::size_t k = far_.size() / 4;
+  if (k < kMinRefill) {
+    k = kMinRefill;
+  }
+  if (k * 2 >= far_.size()) {
+    k = far_.size();
+  }
+
+  if (k < far_.size()) {
+    std::nth_element(far_.begin(),
+                     far_.begin() + static_cast<std::ptrdiff_t>(k),
+                     far_.end(), before);
+    // far_[k] is the minimum of what stays behind: the new boundary.
+    boundary_t_ = far_[k].t;
+    boundary_id_ = far_[k].id;
+    bottom_.reserve(bottom_.size() + k);
+    for (std::size_t i = 0; i < k; ++i) {
+      bottom_.push_back(std::move(far_[i]));
+    }
+    far_.erase(far_.begin(), far_.begin() + static_cast<std::ptrdiff_t>(k));
+  } else {
+    bottom_.reserve(bottom_.size() + far_.size());
+    for (Entry& e : far_) {
+      bottom_.push_back(std::move(e));
+    }
+    far_.clear();
+  }
+  // Sort descending by (t, id): min at the back, pop is pop_back().
+  std::sort(bottom_.begin(), bottom_.end(),
+            [](const Entry& a, const Entry& b) { return before(b, a); });
+  if (k == bottom_.size() && far_.empty()) {
+    // Everything pending is now in bottom_; park the boundary just past
+    // the maximum so newly scheduled events spill to far_ again (pushes
+    // below it still sort into bottom_ correctly).
+    boundary_t_ = bottom_.front().t;
+    boundary_id_ = bottom_.front().id + 1;
+  }
+}
+
+}  // namespace basrpt::sim

@@ -1,0 +1,86 @@
+// Two-tier ladder / calendar queue for the event engine.
+//
+// The engine's calendar used to be a std::priority_queue binary heap;
+// every push/pop sifted O(log n) Entry objects around, and because
+// top() is const the callback had to be *copied* out on every pop.
+// This structure replaces it with two contiguous tiers:
+//
+//   * bottom_ — a small vector kept sorted DESCENDING by (t, id), so
+//     the global minimum is bottom_.back(): pop is a move + pop_back,
+//     and near-future pushes are a bounded memmove insert;
+//   * far_ — an unsorted spill vector for everything at or beyond the
+//     boundary_ (t, id) threshold: push is an O(1) push_back, which is
+//     the common case since simulators schedule into the future.
+//
+// Invariant: every far_ entry is >= boundary_ and every bottom_ entry
+// is < boundary_. When bottom_ drains, a refill selects the K smallest
+// far_ entries with nth_element (O(|far|)), sorts just those, and
+// advances boundary_ to the smallest entry left behind — so sorting
+// work is incremental and amortized O(log n)-ish per event, but over
+// flat arrays instead of a pointer-chasing heap.
+//
+// Pop order is bit-identical to the heap's: strictly ascending (t, id),
+// and EventIds are unique (the engine allocates them monotonically), so
+// (t, id) is a strict total order — same-timestamp events fire in
+// scheduling order, the engine's determinism contract. Differential
+// tests pin this against a reference binary heap (tests/test_sim.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/event_fn.hpp"
+
+namespace basrpt::sim {
+
+using EventId = std::uint64_t;
+
+class LadderQueue {
+ public:
+  struct Entry {
+    SimTime t;
+    EventId id;
+    EventFn fn;
+  };
+
+  bool empty() const { return bottom_.empty() && far_.empty(); }
+  std::size_t size() const { return bottom_.size() + far_.size(); }
+
+  void push(SimTime t, EventId id, EventFn fn);
+
+  /// Time of the earliest event. Requires non-empty; may promote far_
+  /// entries into bottom_ (the set of pending events is unchanged).
+  SimTime min_time();
+
+  /// Removes and returns the earliest event (ascending (t, id) order).
+  Entry pop_min();
+
+ private:
+  // Refill size floor: sorting fewer than this per refill wastes the
+  // O(|far|) selection pass that each refill costs.
+  static constexpr std::size_t kMinRefill = 64;
+
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.t.seconds != b.t.seconds) {
+      return a.t < b.t;
+    }
+    return a.id < b.id;
+  }
+  bool below_boundary(SimTime t, EventId id) const {
+    if (t.seconds != boundary_t_.seconds) {
+      return t < boundary_t_;
+    }
+    return id < boundary_id_;
+  }
+
+  void refill();
+
+  std::vector<Entry> bottom_;  // sorted descending; back() is the min
+  std::vector<Entry> far_;     // unsorted; all >= (boundary_t_, boundary_id_)
+  SimTime boundary_t_{0.0};
+  EventId boundary_id_ = 0;  // boundary starts at (0, 0): empty bottom tier
+};
+
+}  // namespace basrpt::sim

@@ -9,25 +9,33 @@ namespace basrpt::topo {
 
 std::vector<Rate> max_min_rates(const std::vector<FlowDemand>& demands,
                                 const std::vector<Rate>& capacities) {
-  const std::size_t n_flows = demands.size();
+  std::vector<Rate> rates;
+  MaxMinSolver solver;
+  solver.solve_into(demands.data(), demands.size(), capacities, rates);
+  return rates;
+}
+
+void MaxMinSolver::solve_into(const FlowDemand* demands, std::size_t n_flows,
+                              const std::vector<Rate>& capacities,
+                              std::vector<Rate>& rates) {
   const std::size_t n_links = capacities.size();
-  std::vector<Rate> rates(n_flows, Rate{0.0});
+  rates.assign(n_flows, Rate{0.0});
   if (n_flows == 0) {
-    return rates;
+    return;
   }
 
   constexpr double kEps = 1e-6;  // bits/s; capacities are ~1e9-1e10
 
-  std::vector<double> residual(n_links);
+  residual_.resize(n_links);
   for (std::size_t l = 0; l < n_links; ++l) {
     BASRPT_ASSERT(capacities[l].bits_per_sec >= 0.0,
                   "negative link capacity");
-    residual[l] = capacities[l].bits_per_sec;
+    residual_[l] = capacities[l].bits_per_sec;
   }
 
   // Weight of unfrozen traffic per link.
-  std::vector<double> weight(n_links, 0.0);
-  std::vector<bool> frozen(n_flows, false);
+  weight_.assign(n_links, 0.0);
+  frozen_.assign(n_flows, 0);
   for (std::size_t f = 0; f < n_flows; ++f) {
     BASRPT_ASSERT(!demands[f].path.empty(), "flow demand with empty path");
     for (const LinkUse& use : demands[f].path) {
@@ -36,7 +44,7 @@ std::vector<Rate> max_min_rates(const std::vector<FlowDemand>& demands,
                     "link id out of range");
       BASRPT_ASSERT(use.fraction > 0.0 && use.fraction <= 1.0,
                     "link fraction must be in (0, 1]");
-      weight[static_cast<std::size_t>(use.link)] += use.fraction;
+      weight_[static_cast<std::size_t>(use.link)] += use.fraction;
     }
   }
 
@@ -48,12 +56,12 @@ std::vector<Rate> max_min_rates(const std::vector<FlowDemand>& demands,
   while (remaining > 0) {
     double delta = std::numeric_limits<double>::infinity();
     for (std::size_t l = 0; l < n_links; ++l) {
-      if (weight[l] > kEps) {
-        delta = std::min(delta, residual[l] / weight[l]);
+      if (weight_[l] > kEps) {
+        delta = std::min(delta, residual_[l] / weight_[l]);
       }
     }
     for (std::size_t f = 0; f < n_flows; ++f) {
-      if (!frozen[f] && demands[f].cap.bits_per_sec > 0.0) {
+      if (frozen_[f] == 0 && demands[f].cap.bits_per_sec > 0.0) {
         delta = std::min(delta, demands[f].cap.bits_per_sec - level);
       }
     }
@@ -63,15 +71,15 @@ std::vector<Rate> max_min_rates(const std::vector<FlowDemand>& demands,
 
     level += delta;
     for (std::size_t l = 0; l < n_links; ++l) {
-      if (weight[l] > kEps) {
-        residual[l] -= weight[l] * delta;
+      if (weight_[l] > kEps) {
+        residual_[l] -= weight_[l] * delta;
       }
     }
 
     // Freeze flows on saturated links or at their caps.
     std::size_t newly_frozen = 0;
     for (std::size_t f = 0; f < n_flows; ++f) {
-      if (frozen[f]) {
+      if (frozen_[f] != 0) {
         continue;
       }
       bool freeze = false;
@@ -81,17 +89,17 @@ std::vector<Rate> max_min_rates(const std::vector<FlowDemand>& demands,
       }
       if (!freeze) {
         for (const LinkUse& use : demands[f].path) {
-          if (residual[static_cast<std::size_t>(use.link)] <= kEps) {
+          if (residual_[static_cast<std::size_t>(use.link)] <= kEps) {
             freeze = true;
             break;
           }
         }
       }
       if (freeze) {
-        frozen[f] = true;
+        frozen_[f] = 1;
         rates[f] = Rate{level};
         for (const LinkUse& use : demands[f].path) {
-          weight[static_cast<std::size_t>(use.link)] -= use.fraction;
+          weight_[static_cast<std::size_t>(use.link)] -= use.fraction;
         }
         ++newly_frozen;
       }
@@ -100,7 +108,6 @@ std::vector<Rate> max_min_rates(const std::vector<FlowDemand>& demands,
     BASRPT_ASSERT(newly_frozen > 0 || remaining == 0,
                   "progressive filling made no progress");
   }
-  return rates;
 }
 
 }  // namespace basrpt::topo

@@ -27,4 +27,24 @@ struct FlowDemand {
 std::vector<Rate> max_min_rates(const std::vector<FlowDemand>& demands,
                                 const std::vector<Rate>& capacities);
 
+/// Progressive filling with persistent scratch for hot loops: the
+/// per-link residual/weight and per-flow frozen arrays live in the
+/// solver and are reused across calls, so solving allocates nothing
+/// once warmed. `n_flows` is the count of valid leading entries in
+/// `demands` (callers keep oversized demand buffers to reuse their
+/// inner path vectors). Arithmetic, iteration order and tolerances are
+/// exactly those of max_min_rates — the two are bit-identical.
+class MaxMinSolver {
+ public:
+  /// Resizes `rates` to `n_flows` and fills it with the max-min rates.
+  void solve_into(const FlowDemand* demands, std::size_t n_flows,
+                  const std::vector<Rate>& capacities,
+                  std::vector<Rate>& rates);
+
+ private:
+  std::vector<double> residual_;
+  std::vector<double> weight_;
+  std::vector<char> frozen_;
+};
+
 }  // namespace basrpt::topo

@@ -87,8 +87,15 @@ LinkId Fabric::tor_down(std::int32_t rack, std::int32_t core) const {
 
 std::vector<LinkUse> Fabric::route(HostId src, HostId dst,
                                    std::uint64_t flow_key) const {
-  BASRPT_ASSERT(src != dst, "flow source equals destination");
   std::vector<LinkUse> uses;
+  route_into(src, dst, flow_key, uses);
+  return uses;
+}
+
+void Fabric::route_into(HostId src, HostId dst, std::uint64_t flow_key,
+                        std::vector<LinkUse>& uses) const {
+  BASRPT_ASSERT(src != dst, "flow source equals destination");
+  uses.clear();
   uses.push_back({host_up(src), 1.0});
   if (!same_rack(src, dst)) {
     const std::int32_t src_rack = rack_of(src);
@@ -111,7 +118,6 @@ std::vector<LinkUse> Fabric::route(HostId src, HostId dst,
     }
   }
   uses.push_back({host_down(dst), 1.0});
-  return uses;
 }
 
 }  // namespace basrpt::topo

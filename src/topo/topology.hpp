@@ -80,6 +80,12 @@ class Fabric {
   std::vector<LinkUse> route(HostId src, HostId dst,
                              std::uint64_t flow_key) const;
 
+  /// route() into a caller-owned buffer: `out` is cleared and refilled,
+  /// so hot loops that reuse their path vectors allocate nothing once
+  /// the buffers have warmed to the path length.
+  void route_into(HostId src, HostId dst, std::uint64_t flow_key,
+                  std::vector<LinkUse>& out) const;
+
   /// All link capacities indexed by LinkId, for the max-min allocator.
   const std::vector<Rate>& capacities() const { return capacity_; }
 

@@ -86,6 +86,84 @@ TEST(Greedy, BlockedPortsSkipCandidates) {
   EXPECT_EQ(result.selected_payloads[0], 2);
 }
 
+// Oracle check for GreedyMatcher: the radix path must pick exactly the
+// payloads greedy_maximal's stable_sort picks, in the same order.
+void expect_matcher_matches_oracle(std::vector<ScoredCandidate> candidates,
+                                   PortId n_left, PortId n_right) {
+  const GreedyResult oracle = greedy_maximal(candidates, n_left, n_right);
+  GreedyMatcher matcher;
+  std::vector<std::int64_t> selected;
+  matcher.match_into(candidates, n_left, n_right, selected);
+  EXPECT_EQ(selected, oracle.selected_payloads);
+}
+
+TEST(Greedy, MatcherRadixMatchesStableSortOracle) {
+  // Large candidate sets with deliberate score collisions: scores drawn
+  // from a coarse grid (many exact ties, resolved by payload), plus a
+  // sprinkle of +0.0/-0.0 and negatives. Payloads are distinct, as the
+  // schedulers guarantee.
+  for (std::uint64_t seed : {3u, 7u, 23u}) {
+    Rng rng(seed);
+    const PortId ports = 48;
+    std::vector<ScoredCandidate> candidates;
+    for (int k = 0; k < 2000; ++k) {
+      ScoredCandidate c;
+      c.left = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+      c.right = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+      const std::int64_t grid = rng.uniform_int(-8, 8);
+      c.score = rng.bernoulli(0.25)
+                    ? static_cast<double>(grid) * 1500.0
+                    : rng.uniform(-1e6, 1e6);
+      if (grid == 0 && rng.bernoulli(0.5)) {
+        c.score = rng.bernoulli(0.5) ? 0.0 : -0.0;
+      }
+      c.payload = k;
+      candidates.push_back(c);
+    }
+    ASSERT_GE(candidates.size(), GreedyMatcher::kRadixThreshold);
+    expect_matcher_matches_oracle(std::move(candidates), ports, ports);
+  }
+}
+
+TEST(Greedy, MatcherComparisonPathMatchesOracleBelowThreshold) {
+  // One candidate below the radix threshold and exactly at it: both
+  // sides of the path split must agree with the oracle.
+  for (std::size_t n : {GreedyMatcher::kRadixThreshold - 1,
+                        GreedyMatcher::kRadixThreshold}) {
+    Rng rng(n);
+    std::vector<ScoredCandidate> candidates;
+    for (std::size_t k = 0; k < n; ++k) {
+      candidates.push_back(
+          {static_cast<PortId>(rng.uniform_int(0, 15)),
+           static_cast<PortId>(rng.uniform_int(0, 15)),
+           static_cast<double>(rng.uniform_int(0, 5)),
+           static_cast<std::int64_t>(k)});
+    }
+    expect_matcher_matches_oracle(std::move(candidates), 16, 16);
+  }
+}
+
+TEST(Greedy, MatcherReusedAcrossCallsStaysExact) {
+  // The matcher's scratch persists across calls; stale state from a big
+  // call must not leak into a later small one (and vice versa).
+  GreedyMatcher matcher;
+  std::vector<std::int64_t> selected;
+  Rng rng(91);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = (round % 2 == 0) ? 800 : 20;
+    std::vector<ScoredCandidate> candidates;
+    for (std::size_t k = 0; k < n; ++k) {
+      candidates.push_back(
+          {static_cast<PortId>(rng.uniform_int(0, 31)),
+           static_cast<PortId>(rng.uniform_int(0, 31)),
+           rng.uniform(0.0, 100.0), static_cast<std::int64_t>(k)});
+    }
+    const GreedyResult oracle = greedy_maximal(candidates, 32, 32);
+    matcher.match_into(candidates, 32, 32, selected);
+    EXPECT_EQ(selected, oracle.selected_payloads);
+  }
+}
+
 // ------------------------------------------------------------ HopcroftKarp
 
 TEST(HopcroftKarp, PerfectOnCompleteBipartite) {

@@ -2,7 +2,14 @@
 // backlog recording.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 #include "queueing/backlog_recorder.hpp"
 #include "queueing/lyapunov.hpp"
 #include "queueing/voq.hpp"
@@ -167,6 +174,185 @@ TEST(VoqMatrix, ForEachFlowVisitsAll) {
   EXPECT_EQ(count, 5u);
   EXPECT_EQ(total, voqs.total_backlog());
 }
+
+// Reference model for the slab/index layout: the plain map+set design
+// it replaced. Every queue-state observable must agree exactly.
+struct VoqOracle {
+  explicit VoqOracle(PortId ports) : n_ports(ports) {}
+
+  std::size_t index(PortId i, PortId j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_ports) +
+           static_cast<std::size_t>(j);
+  }
+
+  void add(const Flow& f) {
+    flows.emplace(f.id, f);
+    by_remaining[index(f.src, f.dst)].insert({f.remaining.count, f.id});
+    by_arrival[index(f.src, f.dst)].insert({f.arrival.seconds, f.id});
+  }
+
+  void erase(const Flow& f) {
+    by_remaining[index(f.src, f.dst)].erase({f.remaining.count, f.id});
+    by_arrival[index(f.src, f.dst)].erase({f.arrival.seconds, f.id});
+    flows.erase(f.id);
+  }
+
+  // Mirrors VoqMatrix::drain: clamp at zero, remove on completion.
+  bool drain(FlowId id, Bytes amount) {
+    Flow& f = flows.at(id);
+    const std::size_t idx = index(f.src, f.dst);
+    by_remaining[idx].erase({f.remaining.count, id});
+    f.remaining.count = std::max<std::int64_t>(0, f.remaining.count -
+                                                      amount.count);
+    if (f.remaining.count == 0) {
+      by_arrival[idx].erase({f.arrival.seconds, id});
+      flows.erase(id);
+      return true;
+    }
+    by_remaining[idx].insert({f.remaining.count, id});
+    return false;
+  }
+
+  PortId n_ports;
+  std::map<FlowId, Flow> flows;
+  std::map<std::size_t, std::set<std::pair<std::int64_t, FlowId>>>
+      by_remaining;
+  std::map<std::size_t, std::set<std::pair<double, FlowId>>> by_arrival;
+};
+
+TEST(VoqMatrix, RandomChurnMatchesMapSetOracle) {
+  const PortId ports = 4;
+  VoqMatrix voqs(ports);
+  VoqOracle oracle(ports);
+  Rng rng(2024);
+  FlowId next_id = 1;
+  std::vector<FlowId> live;
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::int64_t op = rng.uniform_int(0, 9);
+    if (op < 5 || live.empty()) {
+      // Admit a fresh flow; sizes small enough that drains complete.
+      Flow f = make_flow(next_id++,
+                         static_cast<PortId>(rng.uniform_int(0, ports - 1)),
+                         static_cast<PortId>(rng.uniform_int(0, ports - 1)),
+                         Bytes{rng.uniform_int(1, 5000)},
+                         rng.uniform(0.0, 100.0));
+      voqs.add_flow(f);
+      oracle.add(f);
+      live.push_back(f.id);
+    } else if (op < 9) {
+      // Drain a random live flow, sometimes through the slot-addressed
+      // hot path, sometimes to completion.
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const FlowId id = live[pick];
+      const Bytes amount{rng.bernoulli(0.3)
+                             ? voqs.flow(id).remaining.count
+                             : rng.uniform_int(1, 2000)};
+      bool done;
+      if (rng.bernoulli(0.5)) {
+        done = voqs.drain_at(voqs.slot_of(id), amount);
+      } else {
+        done = voqs.drain(id, amount);
+      }
+      EXPECT_EQ(done, oracle.drain(id, amount));
+      if (done) {
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    } else {
+      // Remove a random live flow outright.
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const FlowId id = live[pick];
+      oracle.erase(oracle.flows.at(id));
+      voqs.remove(id);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+
+    // Compare the full observable state every few mutations.
+    if (step % 17 != 0) {
+      continue;
+    }
+    ASSERT_EQ(voqs.active_flows(), oracle.flows.size());
+    std::int64_t total = 0;
+    for (const auto& [id, f] : oracle.flows) {
+      ASSERT_TRUE(voqs.contains(id));
+      ASSERT_EQ(voqs.flow(id).remaining, f.remaining);
+      total += f.remaining.count;
+    }
+    ASSERT_EQ(voqs.total_backlog(), Bytes{total});
+    for (PortId i = 0; i < ports; ++i) {
+      for (PortId j = 0; j < ports; ++j) {
+        const auto rem_it = oracle.by_remaining.find(oracle.index(i, j));
+        const bool empty =
+            rem_it == oracle.by_remaining.end() || rem_it->second.empty();
+        ASSERT_EQ(voqs.flow_count(i, j), empty ? 0u : rem_it->second.size());
+        if (empty) {
+          ASSERT_EQ(voqs.shortest_in_voq(i, j), kInvalidFlow);
+          ASSERT_EQ(voqs.oldest_in_voq(i, j), kInvalidFlow);
+          continue;
+        }
+        // Heads and full per-VOQ order against the reference sets.
+        ASSERT_EQ(voqs.shortest_in_voq(i, j), rem_it->second.begin()->second);
+        const auto& arr = oracle.by_arrival.at(oracle.index(i, j));
+        ASSERT_EQ(voqs.oldest_in_voq(i, j), arr.begin()->second);
+        const auto& se = voqs.shortest_entry(i, j);
+        ASSERT_EQ(se.key, rem_it->second.begin()->first);
+        ASSERT_EQ(voqs.flow_at(se.slot).id, se.id);
+        std::vector<FlowId> expected_order;
+        std::int64_t backlog = 0;
+        for (const auto& [rem, id] : rem_it->second) {
+          expected_order.push_back(id);
+          backlog += rem;
+        }
+        ASSERT_EQ(voqs.voq_flow_ids(i, j), expected_order);
+        ASSERT_EQ(voqs.backlog(i, j), Bytes{backlog});
+      }
+    }
+  }
+}
+
+TEST(FlowStore, RefInvalidatedByEraseAndRecycle) {
+  FlowStore store;
+  const FlowSlot slot = store.insert(make_flow(7, 0, 1, 10_KB));
+  const FlowRef ref = store.ref(slot);
+  EXPECT_TRUE(store.valid(ref));
+  store.erase(slot);
+  EXPECT_FALSE(store.valid(ref));
+  // Recycling the slot for a new tenant must not resurrect the old ref.
+  const FlowSlot again = store.insert(make_flow(8, 2, 3, 20_KB));
+  EXPECT_EQ(again, slot);
+  EXPECT_FALSE(store.valid(ref));
+  EXPECT_TRUE(store.valid(store.ref(again)));
+}
+
+#if defined(__SANITIZE_ADDRESS__)
+#define BASRPT_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define BASRPT_TEST_ASAN 1
+#endif
+#endif
+
+#if defined(BASRPT_TEST_ASAN)
+TEST(FlowStoreDeathTest, RecycledSlotReadTrapsUnderAsan) {
+  // Freed arena slots are poisoned (past the free-list link in the
+  // first bytes): a stale-slot read of a scoring field must trap
+  // instead of silently reading the next tenant's storage.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        FlowStore store;
+        const FlowSlot slot = store.insert(make_flow(1, 0, 1, 10_KB));
+        store.erase(slot);
+        volatile std::int64_t sink = store.at(slot).remaining.count;
+        (void)sink;
+      },
+      "use-after-poison");
+}
+#endif
 
 // --------------------------------------------------------------- Lyapunov
 
