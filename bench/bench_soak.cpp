@@ -1,0 +1,218 @@
+// Sustained soak of the basrptd serving core: a scripted diurnal load
+// ramp that deliberately crosses 1.0 (0.6 → 1.2 → 0.8 of host-link
+// capacity by default), hyperexponential bursts in the overloaded
+// middle, and a degraded-link fault window opening inside it — the
+// worst plausible hour of a scheduling service, compressed.
+//
+// What a healthy run shows: the health machine rides healthy →
+// (degraded) → shedding through the overload, admission control sheds
+// while the backlog is above the watermarks, and once the ramp comes
+// back down the service re-probes (with hysteresis — no flapping),
+// returns to healthy, and the shed rate goes back to zero. The final
+// SLO report (--slo-out) carries the full transition history plus
+// decision p99/p999.
+//
+// Modes:
+//   bench_soak                         # in-process soak, report on stdout
+//   bench_soak --emit-feed soak.feed   # just materialize the feed
+//   bench_soak --pace 2 --ckpt-dir d   # wall-paced; SIGTERM drains,
+//                                      # SIGKILL + --resume continues
+//
+// All admission decisions are virtual-time-driven, so two runs of the
+// same seed (paced or not, resumed or not) print identical deterministic
+// counters — which is exactly what tests/test_srv.cpp's kill-and-resume
+// differential asserts.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "ckpt/signal_guard.hpp"
+#include "common/assert.hpp"
+#include "common/cli.hpp"
+#include "fault/fault_plan.hpp"
+#include "srv/loadgen.hpp"
+#include "srv/server.hpp"
+
+namespace {
+
+using namespace basrpt;
+
+/// Degraded-link window inside the overload segment: two host ports at
+/// reduced capacity while the fabric is already past saturation.
+fault::FaultPlan degraded_link_plan(double duration_sec,
+                                    std::int32_t hosts) {
+  fault::FaultPlan plan;
+  fault::FaultEvent degrade;
+  degrade.kind = fault::FaultKind::kDegrade;
+  degrade.start = duration_sec * 0.40;
+  degrade.duration = duration_sec * 0.15;
+  degrade.port = 0 % hosts;
+  degrade.factor = 0.4;
+  plan.add(degrade);
+  degrade.port = 1 % hosts;
+  degrade.factor = 0.6;
+  plan.add(degrade);
+  // A short control-loss blip early in the ramp: the injector reports
+  // in_disruption, which the health machine surfaces as the advisory
+  // `degraded` state (admission unaffected).
+  fault::FaultEvent drop;
+  drop.kind = fault::FaultKind::kDropDecisions;
+  drop.start = duration_sec * 0.10;
+  drop.duration = duration_sec * 0.04;
+  plan.add(drop);
+  return plan;
+}
+
+srv::LoadGenConfig loadgen_config(const CliParser& cli) {
+  srv::LoadGenConfig gen;
+  const double duration = cli.get_real("duration");
+  BASRPT_REQUIRE(duration > 0.0, "soak: --duration must be positive");
+  gen.segments = {
+      {duration / 3.0, cli.get_real("load-low"), 1.0},
+      {duration / 3.0, cli.get_real("load-peak"), 4.0},
+      {duration / 3.0, cli.get_real("load-tail"), 1.0},
+  };
+  gen.racks = static_cast<std::int32_t>(cli.get_integer("racks"));
+  gen.hosts_per_rack =
+      static_cast<std::int32_t>(cli.get_integer("hosts-per-rack"));
+  gen.host_link = mbps(cli.get_real("host-link-mbps"));
+  gen.tenants = static_cast<std::int32_t>(cli.get_integer("tenants"));
+  gen.seed = static_cast<std::uint64_t>(cli.get_integer("seed"));
+  return gen;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliParser cli("bench_soak",
+                  "sustained overload/degradation soak of the basrptd "
+                  "serving core");
+    cli.real("duration", 60.0, "total scripted feed duration (s)")
+        .real("load-low", 0.6, "per-host load of the opening segment")
+        .real("load-peak", 1.2, "per-host load of the overload segment")
+        .real("load-tail", 0.8, "per-host load of the closing segment")
+        .integer("racks", 2, "fabric racks")
+        .integer("hosts-per-rack", 4, "hosts per rack")
+        .real("host-link-mbps", 100.0, "host link rate (Mbit/s)")
+        .integer("tenants", 3, "round-robin tenant count")
+        .integer("seed", 1, "workload seed")
+        .flag("faults", true, "inject the scripted degraded-link window")
+        .text("emit-feed", "", "write the feed to this path and exit")
+        .text("feed", "", "serve this feed file instead of generating")
+        .real("pace", 0.0, "feed seconds per wall second (0 = full speed)")
+        .text("ckpt-dir", "", "checkpoint directory ('' disables)")
+        .text("run-id", "soak", "checkpoint filename stem")
+        .real("ckpt-every-sec", 0.5, "virtual checkpoint cadence (s)")
+        .flag("resume", false, "resume from the newest checkpoint")
+        .text("slo-out", "", "SLO report path ('' = stdout)")
+        .real("quantum-ms", 5.0, "virtual health-update step (ms)")
+        .real("shed-enter-mb", 48.0, "backlog (MB) that starts shedding")
+        .real("shed-exit-mb", 24.0, "backlog (MB) to stop shedding")
+        .real("hysteresis-ms", 250.0, "recovery dwell (ms, virtual)")
+        .real("decision-budget-ms", 1.0, "wall budget per decision");
+    if (!cli.parse(argc, argv)) {
+      return 0;
+    }
+
+    const srv::LoadGenConfig gen = loadgen_config(cli);
+    const double duration = srv::loadgen_duration(gen);
+
+    if (!cli.get_text("emit-feed").empty()) {
+      const std::vector<srv::FeedRecord> records = srv::generate_feed(gen);
+      srv::write_feed_file(cli.get_text("emit-feed"), records);
+      std::printf("wrote %zu records (%.3g feed-s) to %s\n", records.size(),
+                  duration, cli.get_text("emit-feed").c_str());
+      return 0;
+    }
+
+    srv::ServerConfig config;
+    config.sim.fabric = topo::small_fabric(gen.racks, gen.hosts_per_rack);
+    config.sim.fabric.host_link = gen.host_link;
+    config.sim.horizon = seconds(duration + 1.0);
+    config.scheduler = sched::SchedulerSpec::fast_basrpt(2500.0);
+    config.quantum_sec = cli.get_real("quantum-ms") / 1e3;
+    config.decision_budget_ms = cli.get_real("decision-budget-ms");
+    config.pace = cli.get_real("pace");
+    config.health.shed_enter_backlog_bytes = static_cast<std::int64_t>(
+        cli.get_real("shed-enter-mb") * (1 << 20));
+    config.health.shed_exit_backlog_bytes = static_cast<std::int64_t>(
+        cli.get_real("shed-exit-mb") * (1 << 20));
+    config.health.hysteresis_sec = cli.get_real("hysteresis-ms") / 1e3;
+    config.ckpt_dir = cli.get_text("ckpt-dir");
+    config.run_id = cli.get_text("run-id");
+    config.ckpt_every_sec = cli.get_real("ckpt-every-sec");
+
+    fault::FaultPlan plan;
+    if (cli.get_flag("faults")) {
+      plan = degraded_link_plan(duration, config.sim.fabric.hosts());
+      config.sim.fault_plan = &plan;
+    }
+
+    // Build the feed stream: external file, or the scripted schedule
+    // rendered through the real feed codec (so the soak also exercises
+    // the parser end to end).
+    std::unique_ptr<std::istream> owned_in;
+    if (!cli.get_text("feed").empty()) {
+      auto file = std::make_unique<std::ifstream>(cli.get_text("feed"));
+      BASRPT_REQUIRE(file->good(),
+                     "cannot open feed file: " + cli.get_text("feed"));
+      owned_in = std::move(file);
+    } else {
+      std::ostringstream rendered;
+      srv::write_feed(rendered, srv::generate_feed(gen));
+      owned_in = std::make_unique<std::istringstream>(rendered.str());
+    }
+    srv::FeedReader feed(*owned_in);
+
+    ckpt::SignalGuard guard(/*drain_on_sigterm=*/true);
+
+    std::unique_ptr<srv::Server> server;
+    if (cli.get_flag("resume")) {
+      BASRPT_REQUIRE(!config.ckpt_dir.empty(), "--resume needs --ckpt-dir");
+      const std::string latest = ckpt::CheckpointManager::latest(
+          config.ckpt_dir, config.run_id);
+      BASRPT_REQUIRE(!latest.empty(),
+                     "--resume: no checkpoint in " + config.ckpt_dir);
+      std::fprintf(stderr, "soak: resuming from %s\n", latest.c_str());
+      server = std::make_unique<srv::Server>(
+          config, srv::read_server_ckpt_file(latest));
+    } else {
+      server = std::make_unique<srv::Server>(config);
+    }
+
+    const srv::ServeResult result = server->serve(feed);
+
+    if (cli.get_text("slo-out").empty()) {
+      srv::write_slo_json(std::cout, server->slo(), server->health(),
+                          result.totals);
+    } else {
+      srv::write_slo_json_file(cli.get_text("slo-out"), server->slo(),
+                               server->health(), result.totals);
+    }
+
+    // Deterministic counters — identical across paced/unpaced/resumed
+    // runs of the same seed (the kill-and-resume differential's anchor).
+    std::printf("soak status=%s feed_s=%.6g records=%lld admitted=%lld "
+                "shed=%lld shed_entries=%lld completed=%lld "
+                "delivered=%lld final=%s\n",
+                result.totals.status.c_str(), result.totals.feed_seconds,
+                static_cast<long long>(result.totals.records_consumed),
+                static_cast<long long>(server->slo().admitted()),
+                static_cast<long long>(server->slo().shed()),
+                static_cast<long long>(server->health().shed_entries()),
+                static_cast<long long>(result.totals.flows_completed),
+                static_cast<long long>(result.totals.delivered_bytes),
+                srv::health_state_name(server->health().state()));
+    return result.exit_code;
+  } catch (const basrpt::ConfigError& e) {
+    std::fprintf(stderr, "bench_soak: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_soak: %s\n", e.what());
+    return 1;
+  }
+}

@@ -4,9 +4,10 @@
 # and kill-and-resume soaks, and a ThreadSanitizer parallel-sweep
 # determinism check).
 #
-#   scripts/ci.sh            # both tiers
+#   scripts/ci.sh            # all stages
 #   scripts/ci.sh --tier1    # build + ctest only
 #   scripts/ci.sh --tier2    # sanitizer build + ctest only
+#   scripts/ci.sh --soak     # serving soak only (overload + drain)
 #   scripts/ci.sh --perf     # perf stage only (bench + regression gate)
 #
 # The perf stage regenerates small BENCH_*.json records and gates them
@@ -23,13 +24,15 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_TIER1=1
 RUN_TIER2=1
+RUN_SOAK=1
 RUN_PERF=1
 case "${1:-}" in
-  --tier1) RUN_TIER2=0; RUN_PERF=0 ;;
-  --tier2) RUN_TIER1=0; RUN_PERF=0 ;;
-  --perf)  RUN_TIER1=0; RUN_TIER2=0 ;;
+  --tier1) RUN_TIER2=0; RUN_SOAK=0; RUN_PERF=0 ;;
+  --tier2) RUN_TIER1=0; RUN_SOAK=0; RUN_PERF=0 ;;
+  --soak)  RUN_TIER1=0; RUN_TIER2=0; RUN_PERF=0 ;;
+  --perf)  RUN_TIER1=0; RUN_TIER2=0; RUN_SOAK=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--tier2|--perf]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tier1|--tier2|--soak|--perf]" >&2; exit 2 ;;
 esac
 
 if [[ "$RUN_TIER1" == 1 ]]; then
@@ -119,6 +122,86 @@ if [[ "$RUN_TIER2" == 1 ]]; then
   echo "tsan sweep: --jobs 4 CSV byte-identical, no races"
 fi
 
+if [[ "$RUN_SOAK" == 1 ]]; then
+  # Bounded serving soak (~90 s): drive the basrptd core through the
+  # scripted overload ramp (0.6 -> 1.2 -> 0.8 of host-link capacity)
+  # with its degraded-link fault window, then SIGTERM a wall-paced
+  # replay mid-flight. Asserts clean exits, a well-formed SLO report
+  # with non-zero decision p99/p999, real shedding during the overload,
+  # and a shed rate that returns to zero before the feed ends
+  # (docs/SERVING.md). Warn-only by default — the paced half is
+  # wall-clock-sensitive on loaded shared runners — set
+  # BASRPT_SOAK_STRICT=1 to make a failure fatal.
+  echo "==== soak: serving core under overload + degradation ===="
+  cmake -B build-ci >/dev/null
+  cmake --build build-ci -j "$JOBS" --target bench_soak
+  SOAK_TMP="$(mktemp -d)"
+  trap 'rm -rf "${SOAK_TMP:-}" "${CKPT_TMP:-}"' EXIT
+
+  soak_stage() (
+    set -e
+    # Full-speed pass over the 12 feed-second ramp: overload segment
+    # crosses the watermarks, recovery happens in the closing segment.
+    ./build-ci/bench/bench_soak --duration 12 \
+        --slo-out "$SOAK_TMP/slo.json" > "$SOAK_TMP/soak.out"
+    grep -q 'status=completed' "$SOAK_TMP/soak.out"
+    python3 - "$SOAK_TMP/slo.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["report"] == "basrpt-slo-v1", doc
+assert doc["status"] == "completed", doc["status"]
+adm, dec, h = doc["admission"], doc["decisions"], doc["health"]
+assert dec["count"] > 0 and dec["p99_ms"] > 0 and dec["p999_ms"] > 0, dec
+assert adm["shed"] > 0, "overload segment never shed"
+assert h["shed_entries"] >= 1, h
+# Recovery: the final shed lands well before the feed ends, i.e. the
+# shed rate returned to zero once the ramp came back down.
+assert 0 < adm["last_shed_sec"] < 0.9 * doc["feed_seconds"], adm
+assert h["final_state"] in ("healthy", "draining"), h
+states = [t["to"] for t in h["transitions"]]
+assert "shedding" in states and "healthy" in states, states
+print("soak: SLO report well-formed "
+      f"(shed={adm['shed']}, entries={h['shed_entries']}, "
+      f"p99={dec['p99_ms']:.3f} ms)")
+PYEOF
+
+    # Wall-paced replay SIGTERM'd mid-flight: must stop admitting,
+    # drain in-flight flows, checkpoint, and exit 0.
+    ./build-ci/bench/bench_soak --duration 12 --pace 2 \
+        --ckpt-dir "$SOAK_TMP/ckpts" \
+        --slo-out "$SOAK_TMP/slo_drain.json" > "$SOAK_TMP/drain.out" &
+    soak_pid=$!
+    sleep 2
+    kill -TERM "$soak_pid"
+    rc=0
+    wait "$soak_pid" || rc=$?
+    if [[ "$rc" != 0 ]]; then
+      echo "soak: SIGTERM-drained run exited $rc, want 0" >&2
+      exit 1
+    fi
+    grep -q 'status=drained' "$SOAK_TMP/drain.out"
+    compgen -G "$SOAK_TMP/ckpts/*.ckpt" > /dev/null \
+        || { echo "soak: no checkpoint written before the drain" >&2; exit 1; }
+    python3 - "$SOAK_TMP/slo_drain.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["report"] == "basrpt-slo-v1", doc
+assert doc["status"] == "drained", doc["status"]
+assert doc["health"]["final_state"] == "draining", doc["health"]
+print(f"soak: SIGTERM drained cleanly at {doc['feed_seconds']:.2f} feed-s")
+PYEOF
+  )
+
+  if soak_stage; then
+    echo "soak: passed"
+  elif [[ "${BASRPT_SOAK_STRICT:-0}" == 1 ]]; then
+    echo "soak: FAILED (BASRPT_SOAK_STRICT=1)" >&2
+    exit 1
+  else
+    echo "soak: FAILED (warn-only; set BASRPT_SOAK_STRICT=1 to gate)" >&2
+  fi
+fi
+
 if [[ "$RUN_PERF" == 1 ]]; then
   # Perf stage: regenerate each BENCH_*.json with a bounded budget
   # (fewer reps / shorter horizon than the committed baselines, so the
@@ -134,8 +217,8 @@ if [[ "$RUN_PERF" == 1 ]]; then
   python3 scripts/perf_gate.py --self-test
 
   PERF_TMP="$(mktemp -d)"
-  # Re-arm the EXIT trap to also cover tier 2's scratch dir if it ran.
-  trap 'rm -rf "$PERF_TMP" "${CKPT_TMP:-}"' EXIT
+  # Re-arm the EXIT trap to also cover earlier stages' scratch dirs.
+  trap 'rm -rf "$PERF_TMP" "${CKPT_TMP:-}" "${SOAK_TMP:-}"' EXIT
   GATE_ARGS=()
   if [[ "${BASRPT_PERF_STRICT:-1}" == 0 ]]; then
     GATE_ARGS=(--warn-only)

@@ -16,6 +16,13 @@ extern "C" void on_fatal_signal(int signal_number) {
   request_interrupt(signal_number);
 }
 
+extern "C" void on_drain_signal(int signal_number) {
+  // Async-signal-safe for the same reason. Deliberately does NOT set the
+  // interrupt flag: a drain finishes in-flight work instead of aborting
+  // at the next poll, and the exit code stays 0.
+  request_drain(signal_number);
+}
+
 }  // namespace
 
 struct SignalGuard::Saved {
@@ -23,7 +30,7 @@ struct SignalGuard::Saved {
   struct sigaction sigterm;
 };
 
-SignalGuard::SignalGuard() : saved_(new Saved) {
+SignalGuard::SignalGuard(bool drain_on_sigterm) : saved_(new Saved) {
   BASRPT_ASSERT(!g_guard_alive, "only one SignalGuard may be alive");
   g_guard_alive = true;
   struct sigaction action {};
@@ -33,6 +40,9 @@ SignalGuard::SignalGuard() : saved_(new Saved) {
   // checkpoint is being written kills the process the normal way.
   action.sa_flags = SA_RESETHAND;
   ::sigaction(SIGINT, &action, &saved_->sigint);
+  if (drain_on_sigterm) {
+    action.sa_handler = on_drain_signal;
+  }
   ::sigaction(SIGTERM, &action, &saved_->sigterm);
 }
 
@@ -42,6 +52,7 @@ SignalGuard::~SignalGuard() {
   delete saved_;
   g_guard_alive = false;
   clear_interrupt();
+  clear_drain();
 }
 
 }  // namespace basrpt::ckpt

@@ -8,6 +8,18 @@
 // default disposition and kills the process immediately — operators must
 // always be able to insist.
 //
+// Services (basrptd, bench_soak) construct the guard in drain mode,
+// which splits the two signals by their operational meaning:
+//
+//   * SIGTERM → graceful drain: sets the *drain* flag only. The service
+//     stops admitting, finishes in-flight work, checkpoints, flushes its
+//     artifacts, and exits 0 — a drained shutdown is a success, not a
+//     failure (systemd/Kubernetes send SIGTERM on every routine stop).
+//   * SIGINT → interrupt: the bench semantics above; the run is cut
+//     short at the next safe boundary and exits 128+SIGINT.
+//   * SIGKILL is of course uncatchable either way — crash-safety is the
+//     checkpoint manager's job, not the guard's.
+//
 // Pay-for-use: benches construct the guard only when checkpointing is
 // enabled; without it, signal dispositions are untouched.
 #pragma once
@@ -17,10 +29,13 @@ namespace basrpt::ckpt {
 class SignalGuard {
  public:
   /// Installs one-shot SIGINT/SIGTERM handlers. Only one guard may be
-  /// alive at a time (process-global signal dispositions).
-  SignalGuard();
+  /// alive at a time (process-global signal dispositions). With
+  /// `drain_on_sigterm`, SIGTERM requests a graceful drain instead of an
+  /// interrupt (see above); the default keeps the historical bench
+  /// behavior where both signals interrupt.
+  explicit SignalGuard(bool drain_on_sigterm = false);
 
-  /// Restores the previous dispositions and clears any pending flag.
+  /// Restores the previous dispositions and clears any pending flags.
   ~SignalGuard();
 
   SignalGuard(const SignalGuard&) = delete;

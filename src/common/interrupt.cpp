@@ -9,6 +9,8 @@ namespace basrpt {
 namespace {
 volatile std::sig_atomic_t g_requested = 0;
 std::atomic<int> g_signal{0};
+volatile std::sig_atomic_t g_drain_requested = 0;
+std::atomic<int> g_drain_signal{0};
 }  // namespace
 
 InterruptedError::InterruptedError(int signal_number)
@@ -34,6 +36,22 @@ int interrupt_signal() noexcept {
 void clear_interrupt() noexcept {
   g_requested = 0;
   g_signal.store(0, std::memory_order_relaxed);
+}
+
+void request_drain(int signal_number) noexcept {
+  g_drain_signal.store(signal_number, std::memory_order_relaxed);
+  g_drain_requested = 1;
+}
+
+bool drain_requested() noexcept { return g_drain_requested != 0; }
+
+int drain_signal() noexcept {
+  return g_drain_signal.load(std::memory_order_relaxed);
+}
+
+void clear_drain() noexcept {
+  g_drain_requested = 0;
+  g_drain_signal.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace basrpt

@@ -41,4 +41,26 @@ int interrupt_signal() noexcept;
 /// Reset the pending flag (test teardown and post-checkpoint exit paths).
 void clear_interrupt() noexcept;
 
+// ---- Graceful drain (SIGTERM under a drain-aware SignalGuard) -----------
+//
+// A drain request is the soft sibling of an interrupt: the long-running
+// service (srv::Server) stops admitting new work, finishes what is in
+// flight, checkpoints, and exits 0 — where an interrupt abandons the run
+// at the next safe boundary and exits 128+sig. The two flags are
+// independent channels so a SIGINT arriving during a drain still cuts the
+// run short the hard way.
+
+/// Record a drain request. Async-signal-safe (same discipline as
+/// request_interrupt).
+void request_drain(int signal_number) noexcept;
+
+/// True once request_drain() has been called (until cleared).
+bool drain_requested() noexcept;
+
+/// Signal number of the pending drain request (0 when programmatic/none).
+int drain_signal() noexcept;
+
+/// Reset the pending drain flag.
+void clear_drain() noexcept;
+
 }  // namespace basrpt

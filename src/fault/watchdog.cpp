@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace basrpt::fault {
 
@@ -79,8 +80,34 @@ void Watchdog::stall(double sim_time_sec, std::uint64_t events,
     out << "\n" << diagnostics_();
   }
   const std::string message = out.str();
+  // Capture before throwing: StallError unwinds the owner (and usually
+  // the simulation objects the diagnostics describe), but the partial
+  // metrics flush on the interrupted path still wants the counters and
+  // the dump. The owner label is unknown here, so the stall path exports
+  // under the generic "stall" owner; the owner's run-end export (never
+  // reached on this path) would have used its own name.
+  last_stall_diagnostics_ = message;
+  if (obs::enabled()) {
+    export_metrics(obs::Registry::active(), "stall");
+  }
   BASRPT_LOG(kError) << message;
   throw StallError(message);
+}
+
+void Watchdog::export_metrics(obs::Registry& registry,
+                              const std::string& owner) const {
+  const std::string prefix = "watchdog." + owner + ".";
+  registry.counter(prefix + "checks").add(static_cast<std::int64_t>(checks_));
+  registry.counter(prefix + "suppressed_checks")
+      .add(static_cast<std::int64_t>(suppressed_checks_));
+  registry.counter(prefix + "stalls_detected")
+      .add(static_cast<std::int64_t>(stalls_detected_));
+  registry.gauge(prefix + "frozen_events")
+      .set(static_cast<double>(frozen_events_));
+  registry.gauge(prefix + "frozen_wall_sec").set(frozen_wall_sec_);
+  if (!last_stall_diagnostics_.empty()) {
+    registry.set_note(prefix + "diagnostics", last_stall_diagnostics_);
+  }
 }
 
 }  // namespace basrpt::fault

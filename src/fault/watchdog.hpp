@@ -25,6 +25,10 @@
 
 #include "common/assert.hpp"
 
+namespace basrpt::obs {
+class Registry;
+}  // namespace basrpt::obs
+
 namespace basrpt::fault {
 
 struct WatchdogConfig {
@@ -93,6 +97,21 @@ class Watchdog {
   std::uint64_t stalls_detected() const { return stalls_detected_; }
   /// Checks skipped because a scripted disruption window was open.
   std::uint64_t suppressed_checks() const { return suppressed_checks_; }
+  /// Full diagnostic text of the last stall (empty until one fires).
+  /// Captured before StallError unwinds the owner, so post-mortem
+  /// exporters still have it after the simulation objects are gone.
+  const std::string& last_stall_diagnostics() const {
+    return last_stall_diagnostics_;
+  }
+
+  /// Publishes the stall counters (and, after a stall, the owner
+  /// diagnostics as a note) into `registry` under `watchdog.<owner>.*` —
+  /// the metrics JSON/CSV export is the soak post-mortem artifact, and
+  /// before this the counters only ever reached heartbeat stderr lines.
+  /// Passive: reads counters only. The simulators call it at run end and
+  /// the stall path calls it before StallError unwinds, so interrupted
+  /// flushes carry the counters too.
+  void export_metrics(obs::Registry& registry, const std::string& owner) const;
 
  private:
   void check(double sim_time_sec, std::uint64_t events);
@@ -115,6 +134,7 @@ class Watchdog {
   std::uint64_t frozen_events_ = 0;
   double frozen_wall_sec_ = 0.0;
   std::uint64_t stalls_detected_ = 0;
+  std::string last_stall_diagnostics_;
 };
 
 }  // namespace basrpt::fault

@@ -1,4 +1,5 @@
 #include "flowsim/flow_sim.hpp"
+#include "flowsim/online.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -13,6 +14,7 @@
 #include "fabric/candidate_cache.hpp"
 #include "fabric/flow_lifecycle.hpp"
 #include "fault/auditor.hpp"
+#include "obs/metrics.hpp"
 #include "perf/profiler.hpp"
 #include "sim/engine.hpp"
 #include "topo/maxmin.hpp"
@@ -28,8 +30,10 @@ constexpr std::int64_t kCompletionSlackBytes = 64;
 
 class Engine {
  public:
+  /// `traffic` may be null: the online façade pushes arrivals via
+  /// offer() instead of pulling them from a source.
   Engine(const FlowSimConfig& config, sched::Scheduler& scheduler,
-         workload::TrafficSource& traffic)
+         workload::TrafficSource* traffic)
       : config_(config),
         scheduler_(scheduler),
         traffic_(traffic),
@@ -64,6 +68,32 @@ class Engine {
   }
 
   FlowSimResult run() {
+    begin(nullptr);
+    sim::schedule_periodic(
+        events_, SimTime{0.0}, config_.sample_every, config_.horizon,
+        [this](SimTime now) {
+          advance(now);
+          result_.backlog.sample(now, voqs_);
+          result_.delivered_trace.add(
+              now, static_cast<double>(result_.delivered.count));
+          if (config_.paranoid) {
+            audit_conservation(now);
+          }
+        });
+    events_.run_until(config_.horizon);
+    advance(config_.horizon);
+    return finalize(config_.horizon);
+  }
+
+  // ---- Online stepping interface (flowsim/online.hpp façade) ------------
+
+  /// Arms heartbeat/watchdog/faults and, when `resume` is set, rebuilds
+  /// the captured state before any calendar event exists (the clock jump
+  /// must not execute fault transitions the checkpoint already applied).
+  /// The batch run() calls this with null; the event-scheduling order it
+  /// performs (faults, then the first arrival) is the original one, so
+  /// batch results are unchanged.
+  void begin(const OnlineSimState* resume) {
     if (config_.heartbeat_wall_sec > 0.0) {
       events_.set_heartbeat(config_.heartbeat_wall_sec);
     }
@@ -80,25 +110,129 @@ class Engine {
       events_.set_watchdog(&watchdog_);
     }
     lifecycle_.begin_run();
+    if (resume != nullptr) {
+      restore_online(*resume);
+    }
     if (injector_ != nullptr) {
       schedule_next_fault();
     }
     schedule_next_arrival();
-    sim::schedule_periodic(
-        events_, SimTime{0.0}, config_.sample_every, config_.horizon,
-        [this](SimTime now) {
-          advance(now);
-          result_.backlog.sample(now, voqs_);
-          result_.delivered_trace.add(
-              now, static_cast<double>(result_.delivered.count));
-          if (config_.paranoid) {
-            audit_conservation(now);
-          }
-        });
-    events_.run_until(config_.horizon);
-    advance(config_.horizon);
+    if (resume != nullptr) {
+      // Regenerate the serving set and its completion event from the
+      // restored queues. Not counted as a decision: at a decision
+      // boundary it recomputes exactly what the captured run had just
+      // decided, so the restored counter must match the original's.
+      reschedule();
+      result_.scheduler_invocations = resume->scheduler_invocations;
+    }
+  }
 
-    result_.horizon = config_.horizon;
+  void offer(const workload::FlowArrival& a) {
+    BASRPT_REQUIRE(a.time.seconds >= events_.now().seconds,
+                   "offered arrival is in the simulated past");
+    BASRPT_REQUIRE(a.time.seconds <= config_.horizon.seconds,
+                   "offered arrival is beyond the scheduling horizon");
+    BASRPT_REQUIRE(a.size.count > 0, "offered flow must carry bytes");
+    BASRPT_REQUIRE(a.src >= 0 && a.src < fabric_.hosts() && a.dst >= 0 &&
+                       a.dst < fabric_.hosts(),
+                   "offered flow references a port outside the fabric");
+    BASRPT_REQUIRE(a.src != a.dst,
+                   "offered flow has identical source and destination");
+    events_.schedule_at(a.time, [this, a]() { on_arrival(a); });
+  }
+
+  void advance_to(SimTime t) {
+    BASRPT_REQUIRE(t.seconds >= events_.now().seconds,
+                   "advance_to went backwards");
+    events_.run_until(t);
+    advance(t);
+  }
+
+  SimTime now() const { return events_.now(); }
+  std::size_t active_flows() const { return voqs_.active_flows(); }
+  Bytes backlog() const { return voqs_.total_backlog(); }
+  std::int64_t flows_arrived() const { return lifecycle_.flows_arrived(); }
+  std::int64_t flows_completed() const {
+    return lifecycle_.flows_completed();
+  }
+  Bytes delivered() const { return result_.delivered; }
+  std::uint64_t scheduler_invocations() const {
+    return result_.scheduler_invocations;
+  }
+  const stats::FctAggregator& fct() const { return result_.fct; }
+  bool in_disruption() const {
+    return injector_ != nullptr && injector_->in_disruption();
+  }
+  fault::FaultStats fault_stats() const {
+    return injector_ != nullptr ? injector_->stats() : fault::FaultStats{};
+  }
+
+  OnlineSimState capture() const {
+    BASRPT_REQUIRE(!refresh_pending_,
+                   "capture with a batched reschedule pending (online "
+                   "checkpoints require min_reschedule_gap == 0)");
+    OnlineSimState s;
+    s.now_sec = events_.now().seconds;
+    s.scheduler_invocations = result_.scheduler_invocations;
+    s.delivered_bytes = result_.delivered.count;
+    s.scheduler_state = scheduler_.checkpoint_state();
+    s.lifecycle = lifecycle_.state();
+    s.flows.reserve(voqs_.active_flows());
+    voqs_.for_each_flow(
+        [&s](const queueing::Flow& f) { s.flows.push_back(f); });
+    s.fct = result_.fct.state();
+    if (injector_ != nullptr) {
+      s.fault_cursor = injector_->cursor();
+      s.fault_stats = injector_->stats();
+      s.candidates_masked_base =
+          candidates_masked_base_ +
+          static_cast<std::int64_t>(cache_.candidates_masked());
+    }
+    return s;
+  }
+
+  FlowSimResult finish_online() {
+    advance(events_.now());
+    return finalize(events_.now());
+  }
+
+ private:
+  /// Rebuilds captured state into this freshly constructed engine. Runs
+  /// before any event is scheduled: the run_until below only jumps the
+  /// clock.
+  void restore_online(const OnlineSimState& s) {
+    BASRPT_REQUIRE(s.now_sec <= config_.horizon.seconds,
+                   "checkpoint time is beyond the configured horizon");
+    events_.run_until(SimTime{s.now_sec});
+    last_advance_ = SimTime{s.now_sec};
+    last_reschedule_ = SimTime{s.now_sec};
+    lifecycle_.restore(s.lifecycle);
+    for (const queueing::Flow& f : s.flows) {
+      voqs_.add_flow(f);
+    }
+    result_.fct.restore(s.fct);
+    result_.delivered = Bytes{s.delivered_bytes};
+    scheduler_.restore_checkpoint_state(s.scheduler_state);
+    if (injector_ != nullptr) {
+      injector_->restore_cursor(static_cast<std::size_t>(s.fault_cursor));
+      injector_->stats() = s.fault_stats;
+      // Rebuild derived masking (restore_cursor fires no hooks).
+      for (PortId p = 0; p < fabric_.hosts(); ++p) {
+        cache_.set_port_usable(p, injector_->port_usable(p));
+      }
+      candidates_masked_base_ = s.candidates_masked_base;
+    } else {
+      BASRPT_REQUIRE(s.fault_cursor == 0,
+                     "checkpoint carries fault state but no plan is "
+                     "attached");
+    }
+  }
+
+  FlowSimResult finalize(SimTime horizon) {
+    if (watchdog_.active() && obs::enabled()) {
+      watchdog_.export_metrics(obs::Registry::active(), "flowsim");
+    }
+    result_.horizon = horizon;
     result_.flows_arrived = lifecycle_.flows_arrived();
     result_.bytes_arrived = lifecycle_.bytes_arrived();
     result_.flows_completed = lifecycle_.flows_completed();
@@ -108,12 +242,11 @@ class Engine {
       result_.fault_stats = injector_->stats();
       result_.fault_stats.flows_requeued = lifecycle_.flows_requeued();
       result_.fault_stats.candidates_masked =
+          candidates_masked_base_ +
           static_cast<std::int64_t>(cache_.candidates_masked());
     }
     return std::move(result_);
   }
-
- private:
   struct Serving {
     FlowId id;
     queueing::FlowRef ref;  // slot handle; revalidated before every use
@@ -121,7 +254,10 @@ class Engine {
   };
 
   void schedule_next_arrival() {
-    auto arrival = traffic_.next();
+    if (traffic_ == nullptr) {
+      return;  // online mode: arrivals are pushed via offer()
+    }
+    auto arrival = traffic_->next();
     if (!arrival || arrival->time > config_.horizon) {
       return;
     }
@@ -431,7 +567,7 @@ class Engine {
 
   FlowSimConfig config_;
   sched::Scheduler& scheduler_;
-  workload::TrafficSource& traffic_;
+  workload::TrafficSource* traffic_;  // null in online mode
   topo::Fabric fabric_;
   queueing::VoqMatrix voqs_;
   FlowSimResult result_;
@@ -453,6 +589,9 @@ class Engine {
   SimTime last_reschedule_{-1.0};
   bool refresh_pending_ = false;
   std::uint64_t schedule_generation_ = 0;
+  /// candidates_masked carried over from a resumed checkpoint (the cache
+  /// counter restarts at zero after a restore); 0 for fresh runs.
+  std::int64_t candidates_masked_base_ = 0;
 };
 
 }  // namespace
@@ -460,8 +599,65 @@ class Engine {
 FlowSimResult run_flow_sim(const FlowSimConfig& config,
                            sched::Scheduler& scheduler,
                            workload::TrafficSource& traffic) {
-  Engine engine(config, scheduler, traffic);
+  Engine engine(config, scheduler, &traffic);
   return engine.run();
 }
+
+// ---- OnlineFlowSim: thin pimpl over the file-local Engine ---------------
+
+class OnlineFlowSim::Impl {
+ public:
+  Impl(const FlowSimConfig& config, sched::Scheduler& scheduler)
+      : engine(config, scheduler, /*traffic=*/nullptr) {}
+  Engine engine;
+};
+
+OnlineFlowSim::OnlineFlowSim(const FlowSimConfig& config,
+                             sched::Scheduler& scheduler)
+    : impl_(std::make_unique<Impl>(config, scheduler)) {
+  impl_->engine.begin(nullptr);
+}
+
+OnlineFlowSim::OnlineFlowSim(const FlowSimConfig& config,
+                             sched::Scheduler& scheduler,
+                             const OnlineSimState& resume)
+    : impl_(std::make_unique<Impl>(config, scheduler)) {
+  impl_->engine.begin(&resume);
+}
+
+OnlineFlowSim::~OnlineFlowSim() = default;
+
+void OnlineFlowSim::offer(const workload::FlowArrival& a) {
+  impl_->engine.offer(a);
+}
+void OnlineFlowSim::advance_to(SimTime t) { impl_->engine.advance_to(t); }
+SimTime OnlineFlowSim::now() const { return impl_->engine.now(); }
+std::size_t OnlineFlowSim::active_flows() const {
+  return impl_->engine.active_flows();
+}
+Bytes OnlineFlowSim::backlog() const { return impl_->engine.backlog(); }
+std::int64_t OnlineFlowSim::flows_arrived() const {
+  return impl_->engine.flows_arrived();
+}
+std::int64_t OnlineFlowSim::flows_completed() const {
+  return impl_->engine.flows_completed();
+}
+Bytes OnlineFlowSim::delivered() const { return impl_->engine.delivered(); }
+std::uint64_t OnlineFlowSim::scheduler_invocations() const {
+  return impl_->engine.scheduler_invocations();
+}
+const stats::FctAggregator& OnlineFlowSim::fct() const {
+  return impl_->engine.fct();
+}
+bool OnlineFlowSim::in_disruption() const {
+  return impl_->engine.in_disruption();
+}
+fault::FaultStats OnlineFlowSim::fault_stats() const {
+  return impl_->engine.fault_stats();
+}
+OnlineSimState OnlineFlowSim::capture() const {
+  return impl_->engine.capture();
+}
+FlowSimResult OnlineFlowSim::finish() { return impl_->engine.finish_online(); }
 
 }  // namespace basrpt::flowsim

@@ -1,0 +1,138 @@
+// Online (externally clocked) façade over the flow-level simulator.
+//
+// The batch entry point (run_flow_sim) owns the clock: it pulls arrivals
+// from a TrafficSource and runs the calendar to a fixed horizon. A
+// serving process inverts that control flow — arrivals come from an
+// external feed one record at a time, and the caller decides how far the
+// simulated clock advances between records. OnlineFlowSim exposes the
+// same engine (same event loop, same fluid-rate service, same fault
+// layer; one translation unit, so the batch path stays byte-identical)
+// through a stepping API:
+//
+//   OnlineFlowSim sim(config, scheduler);
+//   sim.offer(arrival);        // schedule an external arrival (>= now)
+//   sim.advance_to(t);         // run the calendar to t, drain fluid
+//   sim.active_flows(); ...    // inspect live state between steps
+//   FlowSimResult r = sim.finish();
+//
+// config.horizon acts as the hard scheduling ceiling (offers and fault
+// transitions beyond it are rejected/dropped); a server sets it past any
+// feed it will accept. config.sample_every is unused — the caller does
+// its own sampling at whatever cadence it wants.
+//
+// Checkpoint/resume: capture() returns a plain-data image of the live
+// state (flows in deterministic for_each_flow order, lifecycle tables,
+// scheduler-internal state, FCT accumulators, fault cursor) and the
+// resume constructor rebuilds an equivalent engine from it, finishing
+// with one forced reschedule to regenerate the serving set and its
+// completion event. When the capture instant is a *decision boundary* —
+// immediately after an offered arrival was executed, i.e. the serving
+// set was just recomputed from exactly the captured queue state — a
+// stateless scheduler recomputes the identical decision on resume and
+// the continuation is bit-deterministic (the forced reschedule is not
+// counted: scheduler_invocations is restored after it). Captured
+// mid-service-period, the recomputed decision may differ from the one
+// the uninterrupted run was holding, so the continuation is only
+// divergence-bounded — the fluid drained between the boundary and the
+// capture is identical, and the first reschedule after resume re-syncs
+// the serving set. docs/CHECKPOINT.md spells out the contract.
+//
+// Not checkpointable: a pending batched reschedule (min_reschedule_gap
+// > 0) — capture() rejects that, so online users wanting checkpoints
+// keep the paper's reschedule-on-every-event behaviour (gap == 0).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fabric/flow_lifecycle.hpp"
+#include "fault/injector.hpp"
+#include "flowsim/flow_sim.hpp"
+#include "queueing/flow.hpp"
+#include "stats/fct.hpp"
+#include "workload/traffic.hpp"
+
+namespace basrpt::flowsim {
+
+/// Plain-data image of a live online run. The simulator exposes state,
+/// the caller owns the encoding (src/ckpt for the daemon), and neither
+/// depends on the other's internals — same split as SlottedSimState.
+struct OnlineSimState {
+  double now_sec = 0.0;
+  std::uint64_t scheduler_invocations = 0;
+  std::int64_t delivered_bytes = 0;
+  /// Scheduler-internal words (Scheduler::checkpoint_state); empty for
+  /// every stateless scheduler.
+  std::vector<std::uint64_t> scheduler_state;
+  fabric::FlowLifecycle::State lifecycle;
+  std::vector<queueing::Flow> flows;  // in for_each_flow order
+  stats::FctAggregator::State fct;
+  // Fault layer (meaningful only while a plan is attached).
+  std::uint64_t fault_cursor = 0;  // transitions already applied
+  fault::FaultStats fault_stats{};
+  /// candidates_masked accumulated before capture; the resumed cache
+  /// restarts its counter at zero, so the final stat is base + new.
+  std::int64_t candidates_masked_base = 0;
+};
+
+class OnlineFlowSim {
+ public:
+  /// Fresh run at t = 0. The config and scheduler must outlive the
+  /// object; `config.fault_plan`, if set, replays against the online
+  /// clock exactly as in the batch path.
+  OnlineFlowSim(const FlowSimConfig& config, sched::Scheduler& scheduler);
+
+  /// Resume from a captured state. The caller must pass the *same*
+  /// config (fabric, fault plan, scheduler spec) as the captured run;
+  /// the scheduler's internal state is restored from the image.
+  OnlineFlowSim(const FlowSimConfig& config, sched::Scheduler& scheduler,
+                const OnlineSimState& resume);
+
+  ~OnlineFlowSim();
+  OnlineFlowSim(const OnlineFlowSim&) = delete;
+  OnlineFlowSim& operator=(const OnlineFlowSim&) = delete;
+
+  /// Schedules one external arrival. `a.time` must be >= now() and <=
+  /// config.horizon; sizes must be positive and ports in range. The
+  /// arrival executes (admission + reschedule) when advance_to passes
+  /// its timestamp.
+  void offer(const workload::FlowArrival& a);
+
+  /// Runs the calendar up to and including `t`, then drains fluid
+  /// service to exactly `t`. Monotone: `t` must be >= now(). Throws
+  /// common::InterruptedError when a signal guard raised the interrupt
+  /// flag, fault::StallError on a watchdog stall — both mid-event-loop,
+  /// exactly like the batch path.
+  void advance_to(SimTime t);
+
+  SimTime now() const;
+  std::size_t active_flows() const;
+  Bytes backlog() const;
+  std::int64_t flows_arrived() const;
+  std::int64_t flows_completed() const;
+  Bytes delivered() const;
+  std::uint64_t scheduler_invocations() const;
+  const stats::FctAggregator& fct() const;
+
+  /// True while the fault plan legitimately halts progress (blackout /
+  /// decision-loss window open). False without a plan.
+  bool in_disruption() const;
+  /// Injector counters so far; zeros without a plan.
+  fault::FaultStats fault_stats() const;
+
+  /// Captures the live state (see the file comment for the exactness
+  /// contract). Rejects a pending batched reschedule.
+  OnlineSimState capture() const;
+
+  /// Finalizes the run at now() and returns the result (FCT summaries,
+  /// delivered bytes, leftover backlog). The object must not be used
+  /// afterwards.
+  FlowSimResult finish();
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace basrpt::flowsim

@@ -28,6 +28,7 @@ void Registry::reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  notes_.clear();
 }
 
 void Registry::merge_from(const Registry& other) {
@@ -39,6 +40,9 @@ void Registry::merge_from(const Registry& other) {
   }
   for (const auto& [name, histogram] : other.histograms_) {
     histograms_[name].merge_from(histogram);
+  }
+  for (const auto& [name, note] : other.notes_) {
+    notes_[name] = note;  // last write wins, like Gauge values
   }
 }
 

@@ -166,14 +166,24 @@ class Registry {
     return histograms_[name];
   }
 
+  /// Free-form text annotation (e.g. the watchdog's stall diagnostics, a
+  /// health state machine's last transition reason). Notes are for post
+  /// mortems — exporters write them verbatim; there is no arithmetic.
+  /// Last write wins, both locally and across shard merges.
+  void set_note(const std::string& name, const std::string& value) {
+    notes_[name] = value;
+  }
+
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, LatencyHistogram>& histograms() const {
     return histograms_;
   }
+  const std::map<std::string, std::string>& notes() const { return notes_; }
 
   bool empty() const {
-    return counters_.empty() && gauges_.empty() && histograms_.empty();
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           notes_.empty();
   }
 
   /// Drops every metric (names included); used between test cases and by
@@ -192,6 +202,7 @@ class Registry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;
+  std::map<std::string, std::string> notes_;
 };
 
 /// Routes Registry::active() to `shard` for the lifetime of the binder,

@@ -12,6 +12,7 @@
 #include "common/assert.hpp"
 #include "fabric/flow_lifecycle.hpp"
 #include "fault/auditor.hpp"
+#include "obs/metrics.hpp"
 
 namespace basrpt::pktsim {
 
@@ -121,6 +122,9 @@ class Engine {
                              }
                            });
     events_.run_until(config_.horizon);
+    if (watchdog_.active() && obs::enabled()) {
+      watchdog_.export_metrics(obs::Registry::active(), "pktsim");
+    }
     result_.horizon = config_.horizon;
     result_.flows_arrived = lifecycle_.flows_arrived();
     result_.bytes_arrived = lifecycle_.bytes_arrived();

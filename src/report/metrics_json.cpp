@@ -65,6 +65,23 @@ void write_histogram_json(std::ostream& out,
   out << "]}";
 }
 
+/// Note values are free-form text (stall diagnostics carry commas), so
+/// CSV cells holding them are RFC-4180-quoted.
+std::string csv_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else if (c == '\n' || c == '\r') {
+      out += ' ';  // keep the file line-oriented for grep
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 std::ofstream open_or_throw(const std::string& path) {
   std::ofstream out(path);
   BASRPT_REQUIRE(out.good(), "cannot open metrics output file: " + path);
@@ -97,6 +114,13 @@ void write_metrics_json(std::ostream& out, const obs::Registry& registry,
     write_histogram_json(out, hist);
     first = false;
   }
+  out << "\n},\n\"notes\":{";
+  first = true;
+  for (const auto& [name, note] : registry.notes()) {
+    out << (first ? "" : ",") << "\n\"" << json_escape(name) << "\":\""
+        << json_escape(note) << "\"";
+    first = false;
+  }
   out << "\n}\n}\n";
 }
 
@@ -122,6 +146,9 @@ void write_metrics_csv(std::ostream& out, const obs::Registry& registry,
     out << "histogram," << name << ",p99," << hist.quantile(0.99) << "\n";
     out << "histogram," << name << ",p999," << hist.quantile(0.999) << "\n";
     out << "histogram," << name << ",p9999," << hist.quantile(0.9999) << "\n";
+  }
+  for (const auto& [name, note] : registry.notes()) {
+    out << "note," << name << ",value," << csv_quote(note) << "\n";
   }
 }
 

@@ -1,0 +1,180 @@
+// basrptd — the online BASRPT scheduling service.
+//
+// Replays (or consumes from stdin) a basrpt-feed-v1 arrival stream
+// against the flow-level simulator's online stepping API, with admission
+// control, health-state management, checkpoint rotation, and a final SLO
+// report. Typical invocations:
+//
+//   basrptd --feed soak.feed --slo-out slo.json --ckpt-dir ckpts
+//   loadgen | basrptd --horizon 3600                 # pipe ingest
+//   basrptd --feed soak.feed --ckpt-dir ckpts --resume  # after SIGKILL
+//
+// Signals: SIGTERM drains gracefully (stop admitting, finish in-flight,
+// checkpoint, write the SLO report, exit 0); SIGINT interrupts at the
+// next event boundary (emergency checkpoint, exit 128+SIGINT).
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+
+#include "ckpt/signal_guard.hpp"
+#include "common/assert.hpp"
+#include "common/cli.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "report/metrics_json.hpp"
+#include "srv/server.hpp"
+
+namespace {
+
+using namespace basrpt;
+
+int run(int argc, char** argv) {
+  CliParser cli("basrptd",
+                "online BASRPT scheduling service: feed ingest, overload "
+                "control, graceful degradation, checkpointed state");
+  cli.text("feed", "", "basrpt-feed-v1 file to replay ('' = stdin)")
+      .text("scheduler", "fast-basrpt:v=2500",
+            "scheduler spec (see sched::SchedulerSpec::parse)")
+      .integer("racks", 2, "fabric racks")
+      .integer("hosts-per-rack", 4, "hosts per rack")
+      .real("host-link-mbps", 100.0, "host link rate (Mbit/s)")
+      .real("horizon", 600.0, "hard ceiling on feed timestamps (s)")
+      .text("fault-plan", "", "basrpt-faults-v1 schedule to replay")
+      .real("quantum-ms", 5.0, "virtual step between health updates (ms)")
+      .real("decision-budget-ms", 1.0,
+            "wall budget per decision; overruns count as deadline misses")
+      .integer("ingest-capacity", 1024, "bounded read-ahead queue size")
+      .real("drain-grace-sec", 30.0, "virtual cap on the drain phase (s)")
+      .real("pace", 0.0,
+            "feed seconds replayed per wall second (0 = full speed)")
+      .real("shed-enter-mb", 64.0, "backlog (MB) that starts shedding")
+      .real("shed-exit-mb", 32.0, "backlog (MB) to stop shedding")
+      .integer("shed-enter-flows", 2048, "active flows that start shedding")
+      .integer("shed-exit-flows", 1024, "active flows to stop shedding")
+      .real("hysteresis-ms", 50.0,
+            "virtual dwell below exit watermarks before recovery (ms)")
+      .real("probe-ms", 20.0, "initial shedding re-probe delay (ms)")
+      .real("probe-max-ms", 1000.0, "re-probe backoff cap (ms)")
+      .text("ckpt-dir", "", "checkpoint directory ('' disables)")
+      .text("run-id", "basrptd", "checkpoint filename stem")
+      .integer("ckpt-keep", 3, "checkpoint rotation depth")
+      .real("ckpt-every-sec", 1.0, "virtual checkpoint cadence (s)")
+      .flag("resume", false, "resume from the newest checkpoint in ckpt-dir")
+      .text("slo-out", "", "SLO report path ('' = stdout)")
+      .text("metrics-out", "",
+            "metrics export path (.json/.csv); enables instrumentation")
+      .real("watchdog-sec", 0.0, "wall seconds of frozen sim time = stall");
+  if (!cli.parse(argc, argv)) {
+    return 0;
+  }
+
+  srv::ServerConfig config;
+  config.sim.fabric = topo::small_fabric(
+      static_cast<std::int32_t>(cli.get_integer("racks")),
+      static_cast<std::int32_t>(cli.get_integer("hosts-per-rack")));
+  config.sim.fabric.host_link = mbps(cli.get_real("host-link-mbps"));
+  config.sim.horizon = seconds(cli.get_real("horizon"));
+  config.sim.watchdog.stall_wall_sec = cli.get_real("watchdog-sec");
+  config.scheduler = sched::SchedulerSpec::parse(cli.get_text("scheduler"));
+  config.quantum_sec = cli.get_real("quantum-ms") / 1e3;
+  config.decision_budget_ms = cli.get_real("decision-budget-ms");
+  config.ingest_capacity =
+      static_cast<std::size_t>(cli.get_integer("ingest-capacity"));
+  config.drain_grace_sec = cli.get_real("drain-grace-sec");
+  config.pace = cli.get_real("pace");
+  config.health.shed_enter_backlog_bytes =
+      static_cast<std::int64_t>(cli.get_real("shed-enter-mb") * (1 << 20));
+  config.health.shed_exit_backlog_bytes =
+      static_cast<std::int64_t>(cli.get_real("shed-exit-mb") * (1 << 20));
+  config.health.shed_enter_flows = cli.get_integer("shed-enter-flows");
+  config.health.shed_exit_flows = cli.get_integer("shed-exit-flows");
+  config.health.hysteresis_sec = cli.get_real("hysteresis-ms") / 1e3;
+  config.health.probe_initial_sec = cli.get_real("probe-ms") / 1e3;
+  config.health.probe_max_sec = cli.get_real("probe-max-ms") / 1e3;
+  config.ckpt_dir = cli.get_text("ckpt-dir");
+  config.run_id = cli.get_text("run-id");
+  config.ckpt_keep_last = static_cast<int>(cli.get_integer("ckpt-keep"));
+  config.ckpt_every_sec = cli.get_real("ckpt-every-sec");
+
+  fault::FaultPlan plan;
+  if (!cli.get_text("fault-plan").empty()) {
+    plan = fault::FaultPlan::from_file(cli.get_text("fault-plan"));
+    config.sim.fault_plan = &plan;
+  }
+
+  if (!cli.get_text("metrics-out").empty()) {
+    obs::set_enabled(true);
+  }
+
+  std::ifstream feed_file;
+  if (!cli.get_text("feed").empty()) {
+    feed_file.open(cli.get_text("feed"));
+    BASRPT_REQUIRE(feed_file.good(),
+                   "cannot open feed file: " + cli.get_text("feed"));
+  }
+  std::istream& feed_in =
+      cli.get_text("feed").empty() ? std::cin : feed_file;
+  srv::FeedReader feed(feed_in);
+
+  // SIGTERM = graceful drain, SIGINT = interrupt; armed for the whole
+  // serving run.
+  ckpt::SignalGuard guard(/*drain_on_sigterm=*/true);
+
+  std::unique_ptr<srv::Server> server;
+  if (cli.get_flag("resume")) {
+    BASRPT_REQUIRE(!config.ckpt_dir.empty(), "--resume needs --ckpt-dir");
+    const std::string latest =
+        ckpt::CheckpointManager::latest(config.ckpt_dir, config.run_id);
+    BASRPT_REQUIRE(!latest.empty(),
+                   "--resume: no checkpoint found in " + config.ckpt_dir);
+    std::fprintf(stderr, "basrptd: resuming from %s\n", latest.c_str());
+    server = std::make_unique<srv::Server>(
+        config, srv::read_server_ckpt_file(latest));
+  } else {
+    server = std::make_unique<srv::Server>(config);
+  }
+
+  const srv::ServeResult result = server->serve(feed);
+
+  if (cli.get_text("slo-out").empty()) {
+    srv::write_slo_json(std::cout, server->slo(), server->health(),
+                        result.totals);
+  } else {
+    srv::write_slo_json_file(cli.get_text("slo-out"), server->slo(),
+                             server->health(), result.totals);
+  }
+  if (!cli.get_text("metrics-out").empty()) {
+    server->slo().export_metrics(obs::Registry::global());
+    obs::Registry::global().set_note(
+        "srv.health.final_state",
+        srv::health_state_name(server->health().state()));
+    report::write_metrics_file(cli.get_text("metrics-out"),
+                               obs::Registry::global(),
+                               result.totals.status);
+  }
+  std::fprintf(stderr,
+               "basrptd: %s after %.3f feed-s (%lld admitted, %lld shed, "
+               "%s)\n",
+               result.totals.status.c_str(), result.totals.feed_seconds,
+               static_cast<long long>(server->slo().admitted()),
+               static_cast<long long>(server->slo().shed()),
+               result.last_checkpoint.empty()
+                   ? "no checkpoint"
+                   : result.last_checkpoint.c_str());
+  return result.exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const basrpt::ConfigError& e) {
+    std::fprintf(stderr, "basrptd: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "basrptd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,247 @@
+#include "srv/feed.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace basrpt::srv {
+
+namespace {
+
+char class_tag(stats::FlowClass cls) {
+  return cls == stats::FlowClass::kQuery ? 'q' : 'b';
+}
+
+stats::FlowClass parse_class(const std::string& tag, std::size_t line) {
+  if (tag == "q") {
+    return stats::FlowClass::kQuery;
+  }
+  if (tag == "b") {
+    return stats::FlowClass::kBackground;
+  }
+  throw ParseError(kFeedParseContext, line,
+                   "unknown flow class '" + tag + "'");
+}
+
+/// Full-consumption finite double; overflow ("1e999") and trailing
+/// garbage are rejected, not wrapped (see workload/trace_io.cpp for the
+/// rationale — std::stod's out_of_range is a runtime_error and would
+/// otherwise escape as an unlabelled crash).
+double parse_real(const std::string& cell, std::size_t line,
+                  const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(cell, &pos);
+    if (pos != cell.size() || !std::isfinite(value)) {
+      throw ParseError(kFeedParseContext, line,
+                       std::string(what) + " is not a number: '" + cell +
+                           "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(kFeedParseContext, line,
+                     std::string(what) + " is not a number: '" + cell + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& cell, std::size_t line,
+                       const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(cell, &pos);
+    if (pos != cell.size()) {
+      throw ParseError(kFeedParseContext, line,
+                       std::string(what) + " is not an integer: '" + cell +
+                           "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(kFeedParseContext, line,
+                     std::string(what) + " is not an integer: '" + cell +
+                         "'");
+  }
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream cells(line);
+  std::string cell;
+  while (std::getline(cells, cell, ',')) {
+    fields.push_back(cell);
+  }
+  if (!line.empty() && line.back() == ',') {
+    fields.emplace_back();  // trailing comma == trailing empty field
+  }
+  return fields;
+}
+
+}  // namespace
+
+FeedReader::FeedReader(std::istream& in) : in_(&in) {
+  std::string line;
+  if (!std::getline(*in_, line)) {
+    throw ParseError(kFeedParseContext, 1,
+                     std::string("expected '") + kFeedMagic + "'");
+  }
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();  // tolerate CRLF
+  }
+  if (line != kFeedMagic) {
+    throw ParseError(kFeedParseContext, 1,
+                     std::string("expected '") + kFeedMagic + "'");
+  }
+}
+
+std::optional<FeedRecord> FeedReader::next() {
+  if (done_) {
+    return std::nullopt;
+  }
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_no_;
+    // The writer terminates every line; a final line without a newline
+    // is a torn write (or a half-flushed pipe) — reject it rather than
+    // acting on a partial record.
+    const bool had_newline = !in_->eof();
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // tolerate CRLF
+    }
+    if (!had_newline) {
+      throw ParseError(kFeedParseContext, line_no_,
+                       "feed truncated (no trailing newline)");
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line == "end") {
+      done_ = true;
+      clean_end_ = true;
+      return std::nullopt;
+    }
+    const std::vector<std::string> fields = split_fields(line);
+    if (fields.empty() || fields[0] != "flow") {
+      throw ParseError(kFeedParseContext, line_no_,
+                       "expected a 'flow,...' record or 'end', got '" +
+                           line.substr(0, 32) + "'");
+    }
+    if (fields.size() != 6 && fields.size() != 7) {
+      throw ParseError(
+          kFeedParseContext, line_no_,
+          "expected flow,time,src,dst,size,class[,tenant]; got " +
+              std::to_string(fields.size()) + " fields");
+    }
+    FeedRecord rec;
+    rec.arrival.time =
+        SimTime{parse_real(fields[1], line_no_, "time")};
+    rec.arrival.src = static_cast<workload::PortId>(
+        parse_int(fields[2], line_no_, "src"));
+    rec.arrival.dst = static_cast<workload::PortId>(
+        parse_int(fields[3], line_no_, "dst"));
+    rec.arrival.size = Bytes{parse_int(fields[4], line_no_, "size")};
+    rec.arrival.cls = parse_class(fields[5], line_no_);
+    if (fields.size() == 7) {
+      const std::int64_t tenant = parse_int(fields[6], line_no_, "tenant");
+      if (tenant < 0 || tenant > INT32_MAX) {
+        throw ParseError(kFeedParseContext, line_no_,
+                         "tenant out of range: '" + fields[6] + "'");
+      }
+      rec.tenant = static_cast<std::int32_t>(tenant);
+    }
+    if (rec.arrival.time.seconds < 0.0) {
+      throw ParseError(kFeedParseContext, line_no_,
+                       "time must be non-negative");
+    }
+    if (rec.arrival.time.seconds < last_time_) {
+      throw ParseError(kFeedParseContext, line_no_,
+                       "times must be non-decreasing");
+    }
+    if (rec.arrival.src < 0 || rec.arrival.dst < 0) {
+      throw ParseError(kFeedParseContext, line_no_,
+                       "ports must be non-negative");
+    }
+    if (rec.arrival.src == rec.arrival.dst) {
+      throw ParseError(kFeedParseContext, line_no_,
+                       "src and dst must differ");
+    }
+    if (rec.arrival.size.count <= 0) {
+      throw ParseError(kFeedParseContext, line_no_,
+                       "size must be positive");
+    }
+    last_time_ = rec.arrival.time.seconds;
+    ++records_;
+    return rec;
+  }
+  if (in_->bad()) {
+    throw ConfigError("feed: I/O error while reading");
+  }
+  // Bare EOF: the producer went away without the `end` sentinel. The
+  // server drains; a strict batch loader may reject via clean_end().
+  done_ = true;
+  return std::nullopt;
+}
+
+FeedWriter::FeedWriter(std::ostream& out) : out_(&out) {
+  *out_ << kFeedMagic << "\n# flow,time_s,src,dst,size_bytes,class,tenant\n";
+}
+
+void FeedWriter::write(const FeedRecord& record) {
+  BASRPT_REQUIRE(!finished_, "feed writer already finished");
+  char buf[160];
+  // %.17g round-trips an IEEE double exactly, so a replayed feed
+  // reproduces the generating run bit-for-bit.
+  std::snprintf(buf, sizeof(buf), "flow,%.17g,%d,%d,%" PRId64 ",%c,%d\n",
+                record.arrival.time.seconds, record.arrival.src,
+                record.arrival.dst, record.arrival.size.count,
+                class_tag(record.arrival.cls), record.tenant);
+  *out_ << buf;
+}
+
+void FeedWriter::finish() {
+  if (!finished_) {
+    *out_ << "end\n";
+    finished_ = true;
+  }
+}
+
+void write_feed(std::ostream& out, const std::vector<FeedRecord>& records) {
+  FeedWriter writer(out);
+  for (const FeedRecord& r : records) {
+    writer.write(r);
+  }
+  writer.finish();
+}
+
+void write_feed_file(const std::string& path,
+                     const std::vector<FeedRecord>& records) {
+  std::ofstream out(path);
+  BASRPT_REQUIRE(out.good(), "cannot open feed file for writing: " + path);
+  write_feed(out, records);
+  BASRPT_REQUIRE(out.good(), "error while writing feed file: " + path);
+}
+
+std::vector<FeedRecord> read_feed(std::istream& in) {
+  FeedReader reader(in);
+  std::vector<FeedRecord> records;
+  while (auto rec = reader.next()) {
+    records.push_back(*rec);
+  }
+  return records;
+}
+
+std::vector<FeedRecord> read_feed_file(const std::string& path) {
+  std::ifstream in(path);
+  BASRPT_REQUIRE(in.good(), "cannot open feed file: " + path);
+  return read_feed(in);
+}
+
+}  // namespace basrpt::srv

@@ -1,0 +1,93 @@
+// basrpt-feed-v1: the versioned line format of the online arrival feed.
+//
+// basrptd's ingest is a text stream — replayed from a trace file or piped
+// in from a generator/socket — one record per line:
+//
+//   basrpt-feed-v1
+//   # flow,time_s,src,dst,size_bytes,class[,tenant]
+//   flow,0.000125,3,9,20000,q,0
+//   flow,0.00031,4,5,1048576,b,1
+//   end
+//
+// `class` is `q` (query) or `b` (background), as in basrpt-trace-v1.
+// `tenant` is an optional non-negative id used by admission control and
+// per-tenant shed accounting; absent means tenant 0. The `end` sentinel
+// marks a cleanly terminated feed; EOF without it means the producer went
+// away (pipe closed) — the server treats that as "stop admitting and
+// drain", not as an error. A final line with no trailing newline is a
+// torn write and raises ParseError, per the src/workload trace-io
+// conventions (CRLF tolerated, 1-based line numbers in every error,
+// overflowing numbers rejected rather than wrapped).
+//
+// FeedReader is incremental — next() reads one line — so it works
+// unbuffered off a pipe; nothing about it assumes the feed is finite.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/traffic.hpp"
+
+namespace basrpt::srv {
+
+inline constexpr const char* kFeedMagic = "basrpt-feed-v1";
+inline constexpr const char* kFeedParseContext = "feed";
+
+/// One feed record: a flow arrival plus the tenant it belongs to.
+struct FeedRecord {
+  workload::FlowArrival arrival;
+  std::int32_t tenant = 0;
+};
+
+/// Incremental reader. Validates the header on construction; next()
+/// yields records until the `end` sentinel or EOF. Throws ParseError
+/// (line-numbered) on any malformed construct.
+class FeedReader {
+ public:
+  explicit FeedReader(std::istream& in);
+
+  /// Next record, or nullopt when the feed ended. Safe to call again
+  /// after the end (keeps returning nullopt).
+  std::optional<FeedRecord> next();
+
+  /// True once the feed ended via the `end` sentinel (producer finished)
+  /// rather than a bare EOF (producer went away).
+  bool clean_end() const { return clean_end_; }
+  bool done() const { return done_; }
+
+  std::size_t records() const { return records_; }
+  /// 1-based line number of the last line consumed.
+  std::size_t line() const { return line_no_; }
+
+ private:
+  std::istream* in_;
+  std::size_t line_no_ = 1;
+  std::size_t records_ = 0;
+  double last_time_ = 0.0;
+  bool done_ = false;
+  bool clean_end_ = false;
+};
+
+/// Streaming writer: header on construction, one line per record,
+/// `end` from finish().
+class FeedWriter {
+ public:
+  explicit FeedWriter(std::ostream& out);
+  void write(const FeedRecord& record);
+  void finish();
+
+ private:
+  std::ostream* out_;
+  bool finished_ = false;
+};
+
+void write_feed(std::ostream& out, const std::vector<FeedRecord>& records);
+void write_feed_file(const std::string& path,
+                     const std::vector<FeedRecord>& records);
+std::vector<FeedRecord> read_feed(std::istream& in);
+std::vector<FeedRecord> read_feed_file(const std::string& path);
+
+}  // namespace basrpt::srv

@@ -1,0 +1,164 @@
+#include "srv/health.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace basrpt::srv {
+
+const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kShedding:
+      return "shedding";
+    case HealthState::kDraining:
+      return "draining";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {
+  BASRPT_REQUIRE(config.shed_exit_backlog_bytes <=
+                     config.shed_enter_backlog_bytes,
+                 "health: exit backlog watermark above enter watermark");
+  BASRPT_REQUIRE(config.shed_exit_flows <= config.shed_enter_flows,
+                 "health: exit flow watermark above enter watermark");
+  BASRPT_REQUIRE(config.hysteresis_sec >= 0.0, "health: hysteresis < 0");
+  BASRPT_REQUIRE(config.probe_factor >= 1.0, "health: probe factor < 1");
+  probe_delay_sec_ = config.probe_initial_sec;
+}
+
+void HealthMonitor::transition(double now, HealthState to,
+                               const std::string& reason) {
+  transitions_.push_back(HealthTransition{now, state_, to, reason});
+  state_ = to;
+}
+
+HealthState HealthMonitor::update(const HealthSignals& s) {
+  if (state_ == HealthState::kDraining) {
+    return state_;  // terminal
+  }
+
+  const bool over_enter =
+      s.backlog_bytes >= config_.shed_enter_backlog_bytes ||
+      s.active_flows >= config_.shed_enter_flows;
+  const bool under_exit =
+      s.backlog_bytes <= config_.shed_exit_backlog_bytes &&
+      s.active_flows <= config_.shed_exit_flows;
+
+  if (state_ == HealthState::kShedding) {
+    if (!under_exit) {
+      below_exit_valid_ = false;
+      return state_;
+    }
+    if (!below_exit_valid_) {
+      below_exit_valid_ = true;
+      below_exit_since_sec_ = s.now_sec;
+    }
+    const bool dwelled =
+        s.now_sec - shed_entered_sec_ >= probe_delay_sec_;
+    const bool settled =
+        s.now_sec - below_exit_since_sec_ >= config_.hysteresis_sec;
+    if (dwelled && settled) {
+      shed_exited_sec_ = s.now_sec;
+      below_exit_valid_ = false;
+      transition(s.now_sec, HealthState::kHealthy,
+                 "backlog/flows below exit watermarks");
+      // Fall through: the same sample may immediately look degraded.
+    } else {
+      return state_;
+    }
+  }
+
+  if (over_enter) {
+    // Backoff: quick re-entry after an exit means the last probe was
+    // premature — lengthen the next dwell. A long clean stretch resets.
+    if (ever_shed_) {
+      if (s.now_sec - shed_exited_sec_ <= config_.probe_decay_sec) {
+        probe_delay_sec_ = std::min(probe_delay_sec_ * config_.probe_factor,
+                                    config_.probe_max_sec);
+      } else {
+        probe_delay_sec_ = config_.probe_initial_sec;
+      }
+    }
+    ever_shed_ = true;
+    ++shed_entries_;
+    shed_entered_sec_ = s.now_sec;
+    below_exit_valid_ = false;
+    transition(s.now_sec, HealthState::kShedding,
+               s.backlog_bytes >= config_.shed_enter_backlog_bytes
+                   ? "backlog over enter watermark"
+                   : "active flows over enter watermark");
+    return state_;
+  }
+
+  // Degraded is advisory: fault-plan disruption or decision p99 over
+  // budget. It never gates admission.
+  const bool degraded_cause =
+      s.in_disruption ||
+      (s.decision_p99_ms >= 0.0 &&
+       s.decision_p99_ms > config_.degraded_p99_ms);
+  if (state_ == HealthState::kHealthy) {
+    if (degraded_cause) {
+      degraded_clear_valid_ = false;
+      transition(s.now_sec, HealthState::kDegraded,
+                 s.in_disruption ? "fault disruption window"
+                                 : "decision p99 over budget");
+    }
+  } else if (state_ == HealthState::kDegraded) {
+    if (degraded_cause) {
+      degraded_clear_valid_ = false;
+    } else {
+      if (!degraded_clear_valid_) {
+        degraded_clear_valid_ = true;
+        degraded_clear_since_sec_ = s.now_sec;
+      }
+      if (s.now_sec - degraded_clear_since_sec_ >= config_.hysteresis_sec) {
+        degraded_clear_valid_ = false;
+        transition(s.now_sec, HealthState::kHealthy,
+                   "degradation causes clear");
+      }
+    }
+  }
+  return state_;
+}
+
+void HealthMonitor::begin_drain(double now_sec) {
+  if (state_ != HealthState::kDraining) {
+    transition(now_sec, HealthState::kDraining, "drain requested");
+  }
+}
+
+HealthMonitor::Snapshot HealthMonitor::snapshot() const {
+  Snapshot snap;
+  snap.state = state_;
+  snap.probe_delay_sec = probe_delay_sec_;
+  snap.shed_entered_sec = shed_entered_sec_;
+  snap.shed_exited_sec = shed_exited_sec_;
+  snap.below_exit_since_sec = below_exit_since_sec_;
+  snap.degraded_clear_since_sec = degraded_clear_since_sec_;
+  snap.below_exit_valid = below_exit_valid_;
+  snap.degraded_clear_valid = degraded_clear_valid_;
+  snap.shed_entries = shed_entries_;
+  snap.transitions = transitions_;
+  return snap;
+}
+
+void HealthMonitor::restore(const Snapshot& snap) {
+  state_ = snap.state;
+  probe_delay_sec_ = snap.probe_delay_sec;
+  shed_entered_sec_ = snap.shed_entered_sec;
+  shed_exited_sec_ = snap.shed_exited_sec;
+  below_exit_since_sec_ = snap.below_exit_since_sec;
+  degraded_clear_since_sec_ = snap.degraded_clear_since_sec;
+  below_exit_valid_ = snap.below_exit_valid;
+  degraded_clear_valid_ = snap.degraded_clear_valid;
+  shed_entries_ = snap.shed_entries;
+  ever_shed_ = snap.shed_entries > 0;
+  transitions_ = snap.transitions;
+}
+
+}  // namespace basrpt::srv

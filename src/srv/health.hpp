@@ -1,0 +1,140 @@
+// Overload-control state machine for basrptd.
+//
+//   healthy ──▶ degraded ──▶ shedding ──▶ draining
+//      ▲           │  ▲          │
+//      └───────────┘  └──────────┘
+//
+// The machine is driven purely by *virtual-time* signals — backlog bytes
+// and active-flow count against enter/exit watermarks, plus the fault
+// layer's in_disruption flag — so a replayed feed walks the identical
+// transition history on every run regardless of host speed. Wall-clock
+// signals (decision p99 over budget) are advisory: they can raise
+// kDegraded, which affects *reporting only*; admission decisions never
+// depend on them. admitting() is false only in kShedding/kDraining.
+//
+// Flap control, two mechanisms:
+//  * Hysteresis — shedding exits only after the signals have stayed at or
+//    below the *exit* watermarks (lower than the enter watermarks)
+//    continuously for hysteresis_sec.
+//  * Exponential-backoff re-probing — if shedding re-enters within
+//    probe_decay_sec of the last exit, the minimum dwell before the next
+//    exit (the "probe delay") multiplies by probe_factor, capped at
+//    probe_max_sec; a long clean stretch resets it to probe_initial_sec.
+//
+// All times are virtual seconds supplied by the caller in HealthSignals,
+// which doubles as the fake clock for table-driven tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace basrpt::srv {
+
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kShedding = 2,
+  kDraining = 3,
+};
+
+const char* health_state_name(HealthState state);
+
+/// Inputs to one update() step. now_sec is virtual feed time.
+struct HealthSignals {
+  double now_sec = 0.0;
+  std::int64_t backlog_bytes = 0;
+  std::int64_t active_flows = 0;
+  /// Fault plan currently holding the fabric in a disruption window.
+  bool in_disruption = false;
+  /// Advisory wall-clock signal (ms); < 0 means "no sample yet".
+  double decision_p99_ms = -1.0;
+};
+
+struct HealthConfig {
+  // Shedding watermarks. Enter when EITHER backlog or flow count reaches
+  // its enter mark; exit requires BOTH at/below their exit marks.
+  std::int64_t shed_enter_backlog_bytes = 256LL << 20;
+  std::int64_t shed_exit_backlog_bytes = 128LL << 20;
+  std::int64_t shed_enter_flows = 4096;
+  std::int64_t shed_exit_flows = 2048;
+  /// Continuous time at/below exit watermarks required to leave shedding
+  /// (and to leave degraded once its causes clear).
+  double hysteresis_sec = 0.05;
+  /// Re-probe backoff while shedding keeps re-entering.
+  double probe_initial_sec = 0.02;
+  double probe_factor = 2.0;
+  double probe_max_sec = 1.0;
+  /// A re-entry later than this after the last exit resets the backoff.
+  double probe_decay_sec = 1.0;
+  /// Advisory: decision p99 above this marks the service degraded.
+  double degraded_p99_ms = 5.0;
+};
+
+struct HealthTransition {
+  double time_sec = 0.0;
+  HealthState from = HealthState::kHealthy;
+  HealthState to = HealthState::kHealthy;
+  std::string reason;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const HealthConfig& config);
+
+  /// Feeds one signal sample; returns the (possibly new) state.
+  /// Samples must be time-monotone.
+  HealthState update(const HealthSignals& signals);
+
+  /// Enters kDraining (terminal): stop admitting, finish in-flight work.
+  void begin_drain(double now_sec);
+
+  HealthState state() const { return state_; }
+  /// False in kShedding and kDraining.
+  bool admitting() const {
+    return state_ != HealthState::kShedding &&
+           state_ != HealthState::kDraining;
+  }
+  /// Current minimum shedding dwell (exposes the backoff for tests/SLO).
+  double probe_delay_sec() const { return probe_delay_sec_; }
+  const std::vector<HealthTransition>& transitions() const {
+    return transitions_;
+  }
+  /// Number of times shedding was entered.
+  std::int64_t shed_entries() const { return shed_entries_; }
+
+  /// Checkpointable image (transition history included so a resumed
+  /// run's SLO report covers the whole service lifetime).
+  struct Snapshot {
+    HealthState state = HealthState::kHealthy;
+    double probe_delay_sec = 0.0;
+    double shed_entered_sec = 0.0;
+    double shed_exited_sec = 0.0;
+    double below_exit_since_sec = 0.0;
+    double degraded_clear_since_sec = 0.0;
+    bool below_exit_valid = false;
+    bool degraded_clear_valid = false;
+    std::int64_t shed_entries = 0;
+    std::vector<HealthTransition> transitions;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+ private:
+  void transition(double now, HealthState to, const std::string& reason);
+
+  HealthConfig config_;
+  HealthState state_ = HealthState::kHealthy;
+  double probe_delay_sec_ = 0.0;
+  double shed_entered_sec_ = 0.0;
+  double shed_exited_sec_ = 0.0;
+  double below_exit_since_sec_ = 0.0;
+  double degraded_clear_since_sec_ = 0.0;
+  bool below_exit_valid_ = false;
+  bool degraded_clear_valid_ = false;
+  bool ever_shed_ = false;
+  std::int64_t shed_entries_ = 0;
+  std::vector<HealthTransition> transitions_;
+};
+
+}  // namespace basrpt::srv

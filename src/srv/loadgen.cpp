@@ -1,0 +1,51 @@
+#include "srv/loadgen.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace basrpt::srv {
+
+double loadgen_duration(const LoadGenConfig& config) {
+  double total = 0.0;
+  for (const LoadSegment& seg : config.segments) {
+    total += seg.duration_sec;
+  }
+  return total;
+}
+
+std::vector<FeedRecord> generate_feed(const LoadGenConfig& config) {
+  BASRPT_REQUIRE(!config.segments.empty(), "loadgen: no segments");
+  BASRPT_REQUIRE(config.tenants > 0, "loadgen: tenants must be positive");
+  const Rng master(config.seed);
+  std::vector<FeedRecord> records;
+  double start = 0.0;
+  std::int32_t tenant_rr = 0;
+  for (std::size_t k = 0; k < config.segments.size(); ++k) {
+    const LoadSegment& seg = config.segments[k];
+    BASRPT_REQUIRE(seg.duration_sec > 0.0,
+                   "loadgen: segment duration must be positive");
+    BASRPT_REQUIRE(seg.load > 0.0, "loadgen: segment load must be positive");
+    // Overload segments must bypass the per-port governor: it exists to
+    // keep batch experiments stable, but here exceeding capacity is the
+    // scripted scenario.
+    const double headroom = seg.load > 0.95 ? -1.0 : 0.03;
+    workload::TrafficSourcePtr source = workload::paper_mix(
+        seg.load, config.query_share, config.racks, config.hosts_per_rack,
+        config.host_link, seconds(seg.duration_sec),
+        master.split(static_cast<std::uint64_t>(k + 1)), seg.burstiness_cv2,
+        headroom);
+    while (auto a = source->next()) {
+      FeedRecord rec;
+      rec.arrival = *a;
+      rec.arrival.time = SimTime{start + a->time.seconds};
+      rec.tenant = tenant_rr;
+      tenant_rr = (tenant_rr + 1) % config.tenants;
+      records.push_back(rec);
+    }
+    start += seg.duration_sec;
+  }
+  return records;
+}
+
+}  // namespace basrpt::srv

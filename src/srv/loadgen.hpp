@@ -1,0 +1,53 @@
+// Scripted multi-tenant load driver for the soak harness.
+//
+// LoadGen materializes a basrpt-feed-v1 record stream from a schedule of
+// load segments — the "diurnal" ramp the soak bench uses is just
+// `0.6 → 1.2 → 0.8` with hyperexponential bursts in the overloaded
+// middle. Each segment reuses the paper's standard traffic mix
+// (fabric-wide 20 KB queries + rack-local heavy-tailed background) at
+// that segment's per-host load; segments past 1.0 disable the per-port
+// load governor, since the entire point of an overload segment is to
+// offer more than the fabric can carry and watch admission control shed.
+//
+// Tenancy is synthetic: arrivals are dealt round-robin across `tenants`
+// ids, which gives the per-tenant shed accounting something meaningful
+// to slice without inventing a second workload model.
+//
+// Determinism: segment k draws from Rng(seed).split(k + 1), so editing
+// one segment leaves every other segment's arrivals bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "srv/feed.hpp"
+
+namespace basrpt::srv {
+
+struct LoadSegment {
+  double duration_sec = 1.0;
+  /// Per-host offered load as a fraction of the host link; > 1 means
+  /// deliberate overload (governor disabled for the segment).
+  double load = 0.5;
+  double burstiness_cv2 = 1.0;
+};
+
+struct LoadGenConfig {
+  std::vector<LoadSegment> segments;
+  double query_share = 0.3;
+  std::int32_t racks = 2;
+  std::int32_t hosts_per_rack = 4;
+  Rate host_link = mbps(100.0);
+  std::int32_t tenants = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Total scripted duration (sum of segment durations).
+double loadgen_duration(const LoadGenConfig& config);
+
+/// Materializes the whole schedule, time-sorted, tenants dealt
+/// round-robin in arrival order.
+std::vector<FeedRecord> generate_feed(const LoadGenConfig& config);
+
+}  // namespace basrpt::srv

@@ -1,0 +1,135 @@
+// The serving core of basrptd: a single-threaded online scheduling loop
+// around flowsim::OnlineFlowSim.
+//
+//   feed ──▶ bounded ingest queue ──▶ admission (HealthMonitor) ──▶ sim
+//                                          │
+//                                          └─▶ shed (counted per tenant)
+//
+// The loop is clocked by the feed's virtual timestamps: before each
+// record is considered, the simulator is advanced to the record's time
+// in `quantum_sec` steps, pumping the health machine with virtual-time
+// signals (backlog bytes, active flows, fault disruption) at every step.
+// Admission is therefore a pure function of replayable state — two runs
+// of the same feed shed the same records — while wall-clock measurements
+// (per-decision latency against `decision_budget_ms`) feed the SLO
+// report and the advisory degraded state only.
+//
+// Backpressure: at most `ingest_capacity` records are read ahead of the
+// processing cursor. Off a pipe this leaves flow control to the kernel
+// (the producer blocks); off a file it just bounds memory.
+//
+// Shutdown paths:
+//  * SIGTERM (drain-aware SignalGuard) or feed end → stop admitting,
+//    advance until in-flight flows finish (capped by drain_grace_sec),
+//    final checkpoint, status "drained"/"completed", exit code 0.
+//  * SIGINT → InterruptedError out of the event loop, emergency
+//    checkpoint, status "interrupted", exit code 128+sig.
+//  * SIGKILL → nothing runs, but the rotated checkpoints written at
+//    `ckpt_every_sec` virtual cadence (always at a decision boundary —
+//    see flowsim/online.hpp for why that makes resume bit-deterministic
+//    with stateless schedulers) let `--resume` continue the serving run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ckpt/manager.hpp"
+#include "flowsim/online.hpp"
+#include "sched/factory.hpp"
+#include "srv/feed.hpp"
+#include "srv/health.hpp"
+#include "srv/slo.hpp"
+#include "srv/state_codec.hpp"
+
+namespace basrpt::srv {
+
+struct ServerConfig {
+  /// Fabric, fault plan, watchdog. `sim.horizon` is the hard ceiling on
+  /// feed timestamps — a record past it is a ConfigError.
+  flowsim::FlowSimConfig sim;
+  sched::SchedulerSpec scheduler = sched::SchedulerSpec::fast_basrpt(2500.0);
+  HealthConfig health;
+  /// Bounded ingest queue (read-ahead) size.
+  std::size_t ingest_capacity = 1024;
+  /// Virtual-time step between health-machine updates.
+  double quantum_sec = 0.005;
+  /// Wall budget per scheduling decision; over-budget decisions count as
+  /// deadline misses (0 disables).
+  double decision_budget_ms = 1.0;
+  /// Virtual-time cap on the drain phase.
+  double drain_grace_sec = 30.0;
+  /// Real-time pacing: feed seconds consumed per wall second (0 = replay
+  /// as fast as possible). The soak harness paces so a run *occupies*
+  /// wall-clock time and signals land mid-flight; sleeping between
+  /// records never touches virtual time, so paced and unpaced runs make
+  /// identical admission decisions.
+  double pace = 0.0;
+  /// Checkpointing: disabled while `ckpt_dir` is empty.
+  std::string ckpt_dir;
+  std::string run_id = "basrptd";
+  int ckpt_keep_last = 3;
+  /// Virtual-time cadence of rotated checkpoints (<= 0: only the final/
+  /// emergency checkpoint is written).
+  double ckpt_every_sec = 1.0;
+};
+
+struct ServeResult {
+  SloRunTotals totals;
+  int exit_code = 0;
+  /// Path of the last checkpoint written ("" when none).
+  std::string last_checkpoint;
+};
+
+class Server {
+ public:
+  /// Fresh serving run.
+  explicit Server(const ServerConfig& config);
+  /// Resume: restores the simulator, SLO counters, health machine, and
+  /// feed cursor from a decoded checkpoint. serve() then skips the
+  /// records the captured run already processed.
+  Server(const ServerConfig& config, const ServerCkpt& resume);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Runs the serving loop over `feed` to one of the shutdown paths.
+  /// Never throws for signal-driven endings (they are encoded in the
+  /// result); feed parse errors and config violations do propagate.
+  ServeResult serve(FeedReader& feed);
+
+  const SloTracker& slo() const { return slo_; }
+  const HealthMonitor& health() const { return health_; }
+  /// Live serving state (tests and the in-process soak bench).
+  ServerCkpt capture() const;
+
+ private:
+  void advance_in_quanta(double target);
+  void pace_to(double feed_time_sec);
+  void pump_health(double now_sec);
+  void maybe_checkpoint(double now_sec);
+  void write_checkpoint();
+  /// Consumes records, returns false when serving should stop (drain
+  /// requested or feed exhausted).
+  void run_loop(FeedReader& feed);
+  void drain();
+
+  ServerConfig config_;
+  sched::SchedulerPtr scheduler_;
+  std::unique_ptr<flowsim::OnlineFlowSim> sim_;
+  SloTracker slo_;
+  HealthMonitor health_;
+  std::unique_ptr<ckpt::CheckpointManager> ckpt_;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t skip_records_ = 0;
+  double last_ckpt_sec_ = 0.0;
+  std::string last_checkpoint_;
+  std::uint64_t budget_ns_ = 0;
+  bool resumed_ = false;
+  double pace_base_sec_ = 0.0;  // feed time at serve() start (resume offset)
+  std::chrono::steady_clock::time_point pace_start_{};
+};
+
+}  // namespace basrpt::srv

@@ -1,0 +1,125 @@
+// Live SLO accounting for basrptd: decision latency (wall clock),
+// admission/shed counters (virtual clock), queue depth, deadline budget
+// misses — plus the JSON report written at shutdown.
+//
+// The split matters for determinism: everything that influences replay
+// (admit/shed counts, per-tenant tallies, shed timing) is driven by
+// virtual time and checkpointed; the decision-latency histogram measures
+// *this host, this run* and deliberately restarts empty on resume (a
+// stitched histogram would mix two machines' timings into one p99).
+// write_slo_json always emits the full document — empty histograms show
+// count 0 rather than vanishing — so the soak harness can assert on
+// structure without caring which path produced the report.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "srv/health.hpp"
+
+namespace basrpt::obs {
+class Registry;
+}
+
+namespace basrpt::srv {
+
+class SloTracker {
+ public:
+  /// One scheduling decision took `ns` wall nanoseconds against a budget
+  /// of `budget_ns` (0 = no budget).
+  void record_decision(std::uint64_t ns, std::uint64_t budget_ns) {
+    decision_ns_.add(ns);
+    if (budget_ns > 0 && ns > budget_ns) {
+      ++deadline_misses_;
+    }
+  }
+  void record_admit(std::int32_t tenant) {
+    ++admitted_;
+    ++admitted_by_tenant_[tenant];
+  }
+  void record_shed(std::int32_t tenant, double now_sec) {
+    ++shed_;
+    ++shed_by_tenant_[tenant];
+    last_shed_sec_ = now_sec;
+  }
+  void record_queue_depth(std::size_t depth) {
+    queue_depth_last_ = static_cast<std::int64_t>(depth);
+    if (queue_depth_last_ > queue_depth_peak_) {
+      queue_depth_peak_ = queue_depth_last_;
+    }
+  }
+
+  const obs::LatencyHistogram& decision_ns() const { return decision_ns_; }
+  std::int64_t admitted() const { return admitted_; }
+  std::int64_t shed() const { return shed_; }
+  std::int64_t deadline_misses() const { return deadline_misses_; }
+  std::int64_t queue_depth_peak() const { return queue_depth_peak_; }
+  /// Virtual time of the most recent shed; < 0 when nothing was shed.
+  double last_shed_sec() const { return last_shed_sec_; }
+  const std::map<std::int32_t, std::int64_t>& shed_by_tenant() const {
+    return shed_by_tenant_;
+  }
+  const std::map<std::int32_t, std::int64_t>& admitted_by_tenant() const {
+    return admitted_by_tenant_;
+  }
+
+  /// Publishes srv.* counters/gauges and the decision histogram into an
+  /// obs registry (for --metrics-out alongside the SLO report).
+  void export_metrics(obs::Registry& registry) const;
+
+  /// Deterministic (virtual-clock) portion, for checkpoints. The wall
+  /// histogram and deadline misses intentionally stay out: they restart
+  /// on resume.
+  struct Snapshot {
+    std::int64_t admitted = 0;
+    std::int64_t shed = 0;
+    std::int64_t queue_depth_peak = 0;
+    double last_shed_sec = -1.0;
+    std::map<std::int32_t, std::int64_t> admitted_by_tenant;
+    std::map<std::int32_t, std::int64_t> shed_by_tenant;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+ private:
+  obs::LatencyHistogram decision_ns_;
+  std::int64_t admitted_ = 0;
+  std::int64_t shed_ = 0;
+  std::int64_t deadline_misses_ = 0;
+  std::int64_t queue_depth_peak_ = 0;
+  std::int64_t queue_depth_last_ = 0;
+  double last_shed_sec_ = -1.0;
+  std::map<std::int32_t, std::int64_t> admitted_by_tenant_;
+  std::map<std::int32_t, std::int64_t> shed_by_tenant_;
+};
+
+/// Run-level totals the tracker cannot see on its own.
+struct SloRunTotals {
+  /// "drained" (graceful SIGTERM/feed-end), "interrupted" (SIGINT), or
+  /// "completed" (feed finished and fully served).
+  std::string status = "completed";
+  double feed_seconds = 0.0;
+  double wall_seconds = 0.0;
+  std::int64_t records_consumed = 0;
+  std::int64_t flows_arrived = 0;
+  std::int64_t flows_completed = 0;
+  std::int64_t active_flows_at_end = 0;
+  std::int64_t backlog_bytes_at_end = 0;
+  std::int64_t delivered_bytes = 0;
+  std::int64_t scheduler_invocations = 0;
+  /// True when this run resumed from a checkpoint (so the wall-clock
+  /// histogram covers only the post-resume segment).
+  bool resumed = false;
+};
+
+/// The shutdown SLO report. Always a complete, valid JSON document.
+void write_slo_json(std::ostream& out, const SloTracker& slo,
+                    const HealthMonitor& health, const SloRunTotals& totals);
+void write_slo_json_file(const std::string& path, const SloTracker& slo,
+                         const HealthMonitor& health,
+                         const SloRunTotals& totals);
+
+}  // namespace basrpt::srv

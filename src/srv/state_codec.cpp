@@ -1,0 +1,297 @@
+#include "srv/state_codec.hpp"
+
+#include <sstream>
+
+#include "ckpt/stats_codec.hpp"
+#include "common/serial.hpp"
+
+namespace basrpt::srv {
+
+namespace {
+
+constexpr const char* kServerSection = "server";
+constexpr const char* kLifecycleSection = "lifecycle";
+constexpr const char* kFlowsSection = "flows";
+constexpr const char* kSchedulerSection = "scheduler";
+constexpr const char* kFctSection = "fct";
+constexpr const char* kFaultSection = "fault";
+constexpr const char* kSloSection = "slo";
+constexpr const char* kHealthSection = "health";
+
+const char* class_name(stats::FlowClass cls) {
+  return cls == stats::FlowClass::kQuery ? "q" : "b";
+}
+
+stats::FlowClass class_of(const std::string& tag, ckpt::SectionReader& in) {
+  if (tag == "q") {
+    return stats::FlowClass::kQuery;
+  }
+  if (tag == "b") {
+    return stats::FlowClass::kBackground;
+  }
+  in.fail("unknown flow class '" + tag + "'");
+}
+
+HealthState health_state_of(std::uint64_t raw, ckpt::SectionReader& in) {
+  if (raw > static_cast<std::uint64_t>(HealthState::kDraining)) {
+    in.fail("unknown health state " + std::to_string(raw));
+  }
+  return static_cast<HealthState>(raw);
+}
+
+void write_tenant_counts(ckpt::SnapshotWriter::Section& out, const char* key,
+                         const std::map<std::int32_t, std::int64_t>& counts) {
+  out.u64(key, counts.size());
+  for (const auto& [tenant, count] : counts) {
+    std::ostringstream line;
+    line << "t " << tenant << " " << count;
+    out.line(line.str());
+  }
+}
+
+std::map<std::int32_t, std::int64_t> read_tenant_counts(
+    ckpt::SectionReader& in, const char* key) {
+  const std::uint64_t n = in.u64(key);
+  std::map<std::int32_t, std::int64_t> counts;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::istringstream line(in.next("tenant count"));
+    std::string tag;
+    std::int32_t tenant = 0;
+    std::int64_t count = 0;
+    line >> tag >> tenant >> count;
+    if (line.fail() || tag != "t") {
+      in.fail("malformed tenant count row");
+    }
+    counts[tenant] = count;
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::string encode_server_ckpt(const ServerCkpt& state) {
+  ckpt::SnapshotWriter writer;
+
+  auto& server = writer.section(kServerSection);
+  server.u64("feed_records_consumed", state.feed_records_consumed);
+  server.f64("now_sec", state.sim.now_sec);
+  server.u64("scheduler_invocations", state.sim.scheduler_invocations);
+  server.i64("delivered_bytes", state.sim.delivered_bytes);
+  server.u64("fault_cursor", state.sim.fault_cursor);
+  server.i64("candidates_masked_base", state.sim.candidates_masked_base);
+
+  auto& lifecycle = writer.section(kLifecycleSection);
+  lifecycle.i64("next_id", state.sim.lifecycle.next_id);
+  lifecycle.i64("flows_arrived", state.sim.lifecycle.flows_arrived);
+  lifecycle.i64("flows_completed", state.sim.lifecycle.flows_completed);
+  lifecycle.i64("flows_requeued", state.sim.lifecycle.flows_requeued);
+  lifecycle.i64("bytes_arrived", state.sim.lifecycle.bytes_arrived.count);
+  lifecycle.u64("prev_selected", state.sim.lifecycle.prev_selected.size());
+  for (const queueing::FlowId id : state.sim.lifecycle.prev_selected) {
+    std::ostringstream line;
+    line << "s " << id;
+    lifecycle.line(line.str());
+  }
+
+  auto& flows = writer.section(kFlowsSection);
+  flows.u64("count", state.sim.flows.size());
+  for (const queueing::Flow& f : state.sim.flows) {
+    std::ostringstream line;
+    line << "f " << f.id << " " << f.src << " " << f.dst << " "
+         << f.size.count << " " << f.remaining.count << " "
+         << f64_to_hex(f.arrival.seconds) << " " << class_name(f.cls);
+    flows.line(line.str());
+  }
+
+  auto& scheduler = writer.section(kSchedulerSection);
+  scheduler.u64("words", state.sim.scheduler_state.size());
+  for (const std::uint64_t word : state.sim.scheduler_state) {
+    std::ostringstream line;
+    line << "w " << u64_to_hex(word);
+    scheduler.line(line.str());
+  }
+
+  auto& fct = writer.section(kFctSection);
+  ckpt::write_fct(fct, state.sim.fct);
+
+  auto& fault = writer.section(kFaultSection);
+  ckpt::write_fault_stats(fault, state.sim.fault_stats);
+
+  auto& slo = writer.section(kSloSection);
+  slo.i64("admitted", state.slo.admitted);
+  slo.i64("shed", state.slo.shed);
+  slo.i64("queue_depth_peak", state.slo.queue_depth_peak);
+  slo.f64("last_shed_sec", state.slo.last_shed_sec);
+  write_tenant_counts(slo, "admitted_by_tenant", state.slo.admitted_by_tenant);
+  write_tenant_counts(slo, "shed_by_tenant", state.slo.shed_by_tenant);
+
+  auto& health = writer.section(kHealthSection);
+  health.u64("state", static_cast<std::uint64_t>(state.health.state));
+  health.f64("probe_delay_sec", state.health.probe_delay_sec);
+  health.f64("shed_entered_sec", state.health.shed_entered_sec);
+  health.f64("shed_exited_sec", state.health.shed_exited_sec);
+  health.f64("below_exit_since_sec", state.health.below_exit_since_sec);
+  health.f64("degraded_clear_since_sec",
+             state.health.degraded_clear_since_sec);
+  health.u64("below_exit_valid", state.health.below_exit_valid ? 1 : 0);
+  health.u64("degraded_clear_valid",
+             state.health.degraded_clear_valid ? 1 : 0);
+  health.i64("shed_entries", state.health.shed_entries);
+  health.u64("transitions", state.health.transitions.size());
+  for (const HealthTransition& t : state.health.transitions) {
+    std::ostringstream line;
+    // Reason text goes last so it may contain spaces.
+    line << "x " << f64_to_hex(t.time_sec) << " "
+         << static_cast<int>(t.from) << " " << static_cast<int>(t.to) << " "
+         << t.reason;
+    health.line(line.str());
+  }
+
+  return writer.str();
+}
+
+ServerCkpt decode_server_ckpt(const ckpt::Snapshot& snapshot) {
+  ServerCkpt state;
+
+  {
+    ckpt::SectionReader in = snapshot.reader(kServerSection);
+    state.feed_records_consumed = in.u64("feed_records_consumed");
+    state.sim.now_sec = in.f64("now_sec");
+    state.sim.scheduler_invocations = in.u64("scheduler_invocations");
+    state.sim.delivered_bytes = in.i64("delivered_bytes");
+    state.sim.fault_cursor = in.u64("fault_cursor");
+    state.sim.candidates_masked_base = in.i64("candidates_masked_base");
+    in.expect_done();
+  }
+
+  {
+    ckpt::SectionReader in = snapshot.reader(kLifecycleSection);
+    state.sim.lifecycle.next_id = in.i64("next_id");
+    state.sim.lifecycle.flows_arrived = in.i64("flows_arrived");
+    state.sim.lifecycle.flows_completed = in.i64("flows_completed");
+    state.sim.lifecycle.flows_requeued = in.i64("flows_requeued");
+    state.sim.lifecycle.bytes_arrived = Bytes{in.i64("bytes_arrived")};
+    const std::uint64_t selected = in.u64("prev_selected");
+    state.sim.lifecycle.prev_selected.reserve(selected);
+    for (std::uint64_t i = 0; i < selected; ++i) {
+      std::istringstream line(in.next("selected flow id"));
+      std::string tag;
+      queueing::FlowId id = queueing::kInvalidFlow;
+      line >> tag >> id;
+      if (line.fail() || tag != "s") {
+        in.fail("malformed prev_selected row");
+      }
+      state.sim.lifecycle.prev_selected.push_back(id);
+    }
+    in.expect_done();
+  }
+
+  {
+    ckpt::SectionReader in = snapshot.reader(kFlowsSection);
+    const std::uint64_t count = in.u64("count");
+    state.sim.flows.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::istringstream line(in.next("flow row"));
+      std::string tag, arrival_hex, cls_tag;
+      queueing::Flow f;
+      line >> tag >> f.id >> f.src >> f.dst >> f.size.count >>
+          f.remaining.count >> arrival_hex >> cls_tag;
+      if (line.fail() || tag != "f") {
+        in.fail("malformed flow row");
+      }
+      f.arrival = SimTime{f64_from_hex(arrival_hex)};
+      f.cls = class_of(cls_tag, in);
+      if (f.size.count <= 0 || f.remaining.count <= 0 ||
+          f.remaining.count > f.size.count) {
+        in.fail("implausible flow sizes in flow row");
+      }
+      state.sim.flows.push_back(f);
+    }
+    in.expect_done();
+  }
+
+  {
+    ckpt::SectionReader in = snapshot.reader(kSchedulerSection);
+    const std::uint64_t words = in.u64("words");
+    state.sim.scheduler_state.reserve(words);
+    for (std::uint64_t i = 0; i < words; ++i) {
+      std::istringstream line(in.next("scheduler word"));
+      std::string tag, hex;
+      line >> tag >> hex;
+      if (line.fail() || tag != "w") {
+        in.fail("malformed scheduler word row");
+      }
+      state.sim.scheduler_state.push_back(u64_from_hex(hex));
+    }
+    in.expect_done();
+  }
+
+  {
+    ckpt::SectionReader in = snapshot.reader(kFctSection);
+    state.sim.fct = ckpt::read_fct(in);
+    in.expect_done();
+  }
+
+  {
+    ckpt::SectionReader in = snapshot.reader(kFaultSection);
+    state.sim.fault_stats = ckpt::read_fault_stats(in);
+    in.expect_done();
+  }
+
+  {
+    ckpt::SectionReader in = snapshot.reader(kSloSection);
+    state.slo.admitted = in.i64("admitted");
+    state.slo.shed = in.i64("shed");
+    state.slo.queue_depth_peak = in.i64("queue_depth_peak");
+    state.slo.last_shed_sec = in.f64("last_shed_sec");
+    state.slo.admitted_by_tenant =
+        read_tenant_counts(in, "admitted_by_tenant");
+    state.slo.shed_by_tenant = read_tenant_counts(in, "shed_by_tenant");
+    in.expect_done();
+  }
+
+  {
+    ckpt::SectionReader in = snapshot.reader(kHealthSection);
+    state.health.state = health_state_of(in.u64("state"), in);
+    state.health.probe_delay_sec = in.f64("probe_delay_sec");
+    state.health.shed_entered_sec = in.f64("shed_entered_sec");
+    state.health.shed_exited_sec = in.f64("shed_exited_sec");
+    state.health.below_exit_since_sec = in.f64("below_exit_since_sec");
+    state.health.degraded_clear_since_sec =
+        in.f64("degraded_clear_since_sec");
+    state.health.below_exit_valid = in.u64("below_exit_valid") != 0;
+    state.health.degraded_clear_valid = in.u64("degraded_clear_valid") != 0;
+    state.health.shed_entries = in.i64("shed_entries");
+    const std::uint64_t transitions = in.u64("transitions");
+    state.health.transitions.reserve(transitions);
+    for (std::uint64_t i = 0; i < transitions; ++i) {
+      const std::string& raw = in.next("health transition row");
+      std::istringstream line(raw);
+      std::string tag, time_hex;
+      int from = 0;
+      int to = 0;
+      line >> tag >> time_hex >> from >> to;
+      if (line.fail() || tag != "x") {
+        in.fail("malformed health transition row");
+      }
+      HealthTransition t;
+      t.time_sec = f64_from_hex(time_hex);
+      t.from = health_state_of(static_cast<std::uint64_t>(from), in);
+      t.to = health_state_of(static_cast<std::uint64_t>(to), in);
+      std::getline(line, t.reason);
+      if (!t.reason.empty() && t.reason.front() == ' ') {
+        t.reason.erase(0, 1);
+      }
+      state.health.transitions.push_back(t);
+    }
+    in.expect_done();
+  }
+
+  return state;
+}
+
+ServerCkpt read_server_ckpt_file(const std::string& path) {
+  return decode_server_ckpt(ckpt::Snapshot::from_file(path));
+}
+
+}  // namespace basrpt::srv

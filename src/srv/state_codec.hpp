@@ -1,0 +1,40 @@
+// basrpt-ckpt-v1 encoding of the daemon's full serving state: the online
+// simulator image (flows, lifecycle tables, scheduler words, FCT
+// accumulators, fault cursor), the feed cursor (records consumed, so a
+// resumed run skips exactly what the captured run already ingested), the
+// deterministic SLO counters, and the health machine with its full
+// transition history.
+//
+// Same discipline as the simulator codecs in src/ckpt: every write_/
+// read_ pair is strictly symmetric, field order is schema, doubles
+// travel as IEEE-754 hex so resume is bit-deterministic, and any drift
+// is a line-numbered ParseError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/snapshot.hpp"
+#include "flowsim/online.hpp"
+#include "srv/health.hpp"
+#include "srv/slo.hpp"
+
+namespace basrpt::srv {
+
+/// Everything basrptd needs to resume serving where it stopped.
+struct ServerCkpt {
+  std::uint64_t feed_records_consumed = 0;
+  flowsim::OnlineSimState sim;
+  SloTracker::Snapshot slo;
+  HealthMonitor::Snapshot health;
+};
+
+/// Serializes to basrpt-ckpt-v1 text (ready for CheckpointManager).
+std::string encode_server_ckpt(const ServerCkpt& state);
+
+/// Parses a snapshot produced by encode_server_ckpt. ParseError on any
+/// malformed, truncated, or incompatible input.
+ServerCkpt decode_server_ckpt(const ckpt::Snapshot& snapshot);
+ServerCkpt read_server_ckpt_file(const std::string& path);
+
+}  // namespace basrpt::srv

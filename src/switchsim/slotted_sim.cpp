@@ -13,6 +13,7 @@
 #include "fabric/flow_lifecycle.hpp"
 #include "fault/auditor.hpp"
 #include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
 #include "perf/profiler.hpp"
 
 namespace basrpt::switchsim {
@@ -354,6 +355,9 @@ SlottedResult run_slotted(const SlottedConfig& config,
 
   heartbeat.flush(static_cast<double>(config.horizon),
                   static_cast<std::uint64_t>(config.horizon));
+  if (watchdog.active() && obs::enabled()) {
+    watchdog.export_metrics(obs::Registry::active(), "switchsim");
+  }
   result.left_packets = voqs.total_backlog().count;
   result.left_flows = static_cast<std::int64_t>(voqs.active_flows());
   if (injector != nullptr) {

@@ -16,6 +16,7 @@
 #include "queueing/voq.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
+#include "srv/feed.hpp"
 #include "switchsim/arrivals.hpp"
 #include "switchsim/slotted_sim.hpp"
 #include "workload/generators.hpp"
@@ -380,6 +381,78 @@ TEST_P(TraceIoFuzz, MutatedTracesNeverEscapeConfigError) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoFuzz, ::testing::Range(0, 4));
+
+/// And against the serving feed reader (basrpt-feed-v1): the daemon
+/// ingests this format off a pipe, so a torn or corrupted stream must
+/// surface as a line-numbered ConfigError — never a crash, hang, or a
+/// record that violates the reader's contract.
+class FeedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeedFuzz, MutatedFeedsNeverEscapeConfigError) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 24593 + 17);
+  std::vector<srv::FeedRecord> records;
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    t += rng.exponential(200.0);
+    srv::FeedRecord rec;
+    rec.arrival.time = SimTime{t};
+    rec.arrival.src = static_cast<PortId>(rng.uniform_int(0, 7));
+    auto dst = static_cast<PortId>(rng.uniform_int(0, 6));
+    rec.arrival.dst = dst >= rec.arrival.src ? dst + 1 : dst;
+    rec.arrival.size = Bytes{rng.uniform_int(1, 1'000'000)};
+    rec.arrival.cls = rng.bernoulli(0.5) ? stats::FlowClass::kQuery
+                                         : stats::FlowClass::kBackground;
+    rec.tenant = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+    records.push_back(rec);
+  }
+  std::ostringstream rendered;
+  srv::write_feed(rendered, records);
+  const std::string pristine = rendered.str();
+
+  for (int round = 0; round < 400; ++round) {
+    std::string text = pristine;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        case 2:
+          text.insert(pos, text.substr(
+                               pos, static_cast<std::size_t>(
+                                        rng.uniform_int(1, 8))));
+          break;
+        default:
+          text.resize(pos);
+          break;
+      }
+    }
+    std::istringstream in(text);
+    try {
+      const auto feed = srv::read_feed(in);
+      // Whatever survived mutation must satisfy the reader's contract.
+      double last = 0.0;
+      for (const auto& r : feed) {
+        ASSERT_GE(r.arrival.time.seconds, last);
+        ASSERT_GE(r.arrival.src, 0);
+        ASSERT_GE(r.arrival.dst, 0);
+        ASSERT_NE(r.arrival.src, r.arrival.dst);
+        ASSERT_GT(r.arrival.size.count, 0);
+        ASSERT_GE(r.tenant, 0);
+        last = r.arrival.time.seconds;
+      }
+    } catch (const ConfigError&) {
+      // Expected for malformed input (ParseError derives from this).
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeedFuzz, ::testing::Range(0, 4));
 
 // ------------------------------------------- checkpoint reader fuzz
 

@@ -1,0 +1,719 @@
+// Serving-layer tests: basrpt-feed-v1 codec hardening, the overload
+// health machine (table-driven, fake virtual clock), SLO accounting,
+// the server checkpoint codec, and the kill-and-resume differential
+// that anchors basrptd's crash-recovery story.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/manager.hpp"
+#include "ckpt/snapshot.hpp"
+#include "common/assert.hpp"
+#include "common/interrupt.hpp"
+#include "srv/feed.hpp"
+#include "srv/health.hpp"
+#include "srv/loadgen.hpp"
+#include "srv/server.hpp"
+#include "srv/slo.hpp"
+#include "srv/state_codec.hpp"
+
+namespace basrpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+using srv::HealthState;
+
+// ----------------------------------------------------------------- feed
+
+srv::FeedRecord make_record(double t, workload::PortId src,
+                            workload::PortId dst, std::int64_t size,
+                            stats::FlowClass cls = stats::FlowClass::kQuery,
+                            std::int32_t tenant = 0) {
+  srv::FeedRecord rec;
+  rec.arrival.time = SimTime{t};
+  rec.arrival.src = src;
+  rec.arrival.dst = dst;
+  rec.arrival.size = Bytes{size};
+  rec.arrival.cls = cls;
+  rec.tenant = tenant;
+  return rec;
+}
+
+/// Valid header plus the given body lines, each newline-terminated.
+std::string feed_text(const std::vector<std::string>& lines) {
+  std::string text = std::string(srv::kFeedMagic) + "\n";
+  for (const std::string& line : lines) {
+    text += line + "\n";
+  }
+  return text;
+}
+
+/// Parses `text`, expecting a ParseError; returns its 1-based line.
+std::size_t parse_error_line(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    srv::read_feed(in);
+  } catch (const ParseError& e) {
+    return e.line();
+  }
+  ADD_FAILURE() << "expected ParseError for:\n" << text;
+  return 0;
+}
+
+TEST(Feed, RoundTripPreservesEveryField) {
+  const std::vector<srv::FeedRecord> records = {
+      make_record(0.0, 0, 1, 1, stats::FlowClass::kQuery, 0),
+      make_record(1.25e-4, 3, 9, 20'000, stats::FlowClass::kQuery, 2),
+      make_record(3.1e-4, 4, 5, 1'048'576, stats::FlowClass::kBackground, 1),
+      // Same timestamp twice (non-decreasing, not strictly increasing).
+      make_record(3.1e-4, 5, 4, 7, stats::FlowClass::kBackground, 0),
+      make_record(0.75, 7, 0, 123'456'789, stats::FlowClass::kQuery, 41),
+  };
+  std::ostringstream out;
+  srv::write_feed(out, records);
+
+  std::istringstream in(out.str());
+  srv::FeedReader reader(in);
+  std::vector<srv::FeedRecord> got;
+  while (auto rec = reader.next()) {
+    got.push_back(*rec);
+  }
+  EXPECT_TRUE(reader.clean_end());
+  EXPECT_TRUE(reader.done());
+  ASSERT_EQ(got.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(got[i].arrival.time.seconds, records[i].arrival.time.seconds);
+    EXPECT_EQ(got[i].arrival.src, records[i].arrival.src);
+    EXPECT_EQ(got[i].arrival.dst, records[i].arrival.dst);
+    EXPECT_EQ(got[i].arrival.size.count, records[i].arrival.size.count);
+    EXPECT_EQ(got[i].arrival.cls, records[i].arrival.cls);
+    EXPECT_EQ(got[i].tenant, records[i].tenant);
+  }
+}
+
+TEST(Feed, HeaderIsMandatory) {
+  EXPECT_EQ(parse_error_line("not-a-feed\nflow,0,0,1,10,q\nend\n"), 1u);
+  EXPECT_EQ(parse_error_line(""), 1u);
+  // basrpt-trace-v1 is a different format, not a feed.
+  EXPECT_EQ(parse_error_line("basrpt-trace-v1\nend\n"), 1u);
+}
+
+TEST(Feed, CleanEndVersusProducerGone) {
+  {
+    std::istringstream in(feed_text({"flow,0,0,1,10,q", "end"}));
+    srv::FeedReader reader(in);
+    EXPECT_TRUE(reader.next().has_value());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.clean_end());
+  }
+  {
+    // EOF without the sentinel: producer went away. Not an error, but
+    // not a clean end either — the server uses this to pick "drained".
+    std::istringstream in(feed_text({"flow,0,0,1,10,q"}));
+    srv::FeedReader reader(in);
+    EXPECT_TRUE(reader.next().has_value());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.done());
+    EXPECT_FALSE(reader.clean_end());
+    // Safe to keep polling after the end.
+    EXPECT_FALSE(reader.next().has_value());
+  }
+}
+
+TEST(Feed, TornFinalLineIsAParseError) {
+  // No trailing newline on the last record: a torn write, not a record.
+  std::istringstream in(std::string(srv::kFeedMagic) +
+                        "\nflow,0,0,1,10,q\nflow,1,2,3,10,b");
+  srv::FeedReader reader(in);
+  EXPECT_TRUE(reader.next().has_value());
+  try {
+    reader.next();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(Feed, ToleratesCrlfCommentsAndBlankLines) {
+  std::istringstream in(
+      std::string(srv::kFeedMagic) +
+      "\r\n# a comment\r\n\r\n\nflow,0.5,2,3,4096,b,1\r\nend\r\n");
+  srv::FeedReader reader(in);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->arrival.time.seconds, 0.5);
+  EXPECT_EQ(rec->arrival.size.count, 4096);
+  EXPECT_EQ(rec->tenant, 1);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.clean_end());
+}
+
+TEST(Feed, RejectsMalformedRecordsWithLineNumbers) {
+  // Each bad body line sits at line 2 (after the header).
+  const std::vector<std::string> bad = {
+      "arrival,0,0,1,10,q",                  // wrong keyword
+      "flow,0,0,1,10",                       // too few fields
+      "flow,0,0,1,10,q,0,9",                 // too many fields
+      "flow,abc,0,1,10,q",                   // non-numeric time
+      "flow,1e999,0,1,10,q",                 // overflowing time
+      "flow,nan,0,1,10,q",                   // non-finite time
+      "flow,-1,0,1,10,q",                    // negative time
+      "flow,0,0x,1,10,q",                    // trailing garbage in src
+      "flow,0,-1,1,10,q",                    // negative port
+      "flow,0,2,2,10,q",                     // src == dst
+      "flow,0,0,1,0,q",                      // zero size
+      "flow,0,0,1,-5,q",                     // negative size
+      "flow,0,0,1,99999999999999999999,q",   // overflowing size
+      "flow,0,0,1,10,x",                     // unknown class
+      "flow,0,0,1,10,q,-1",                  // negative tenant
+      "flow,0,0,1,10,q,4294967296",          // tenant past INT32_MAX
+      "flow,0,0,1,10,q,",                    // trailing comma: empty tenant
+  };
+  for (const std::string& line : bad) {
+    EXPECT_EQ(parse_error_line(feed_text({line, "end"})), 2u) << line;
+  }
+  // Time regressions are detected against the previous record (line 3).
+  EXPECT_EQ(parse_error_line(feed_text(
+                {"flow,1.0,0,1,10,q", "flow,0.5,0,1,10,q", "end"})),
+            3u);
+}
+
+// --------------------------------------------------------------- health
+
+/// Small watermarks and short (virtual) dwells so scripts stay readable:
+/// enter at 1000 bytes / 100 flows, exit at 500 / 50, hysteresis 100 ms,
+/// probe backoff 50 ms × 2 capped at 400 ms, decaying after 1 s.
+srv::HealthConfig tight_health() {
+  srv::HealthConfig config;
+  config.shed_enter_backlog_bytes = 1000;
+  config.shed_exit_backlog_bytes = 500;
+  config.shed_enter_flows = 100;
+  config.shed_exit_flows = 50;
+  config.hysteresis_sec = 0.10;
+  config.probe_initial_sec = 0.05;
+  config.probe_factor = 2.0;
+  config.probe_max_sec = 0.40;
+  config.probe_decay_sec = 1.0;
+  config.degraded_p99_ms = 5.0;
+  return config;
+}
+
+srv::HealthSignals at(double t, std::int64_t backlog,
+                      std::int64_t flows = 0, bool disrupt = false,
+                      double p99_ms = -1.0) {
+  srv::HealthSignals s;
+  s.now_sec = t;
+  s.backlog_bytes = backlog;
+  s.active_flows = flows;
+  s.in_disruption = disrupt;
+  s.decision_p99_ms = p99_ms;
+  return s;
+}
+
+TEST(Health, TableDrivenSheddingLifecycle) {
+  struct Step {
+    double t;
+    std::int64_t backlog;
+    HealthState expect;
+  };
+  const std::vector<Step> script = {
+      {0.00, 0, HealthState::kHealthy},
+      {0.05, 999, HealthState::kHealthy},    // just below enter
+      {0.10, 1000, HealthState::kShedding},  // at the enter watermark
+      {0.15, 600, HealthState::kShedding},   // below enter, above exit
+      {0.20, 500, HealthState::kShedding},   // at exit: dwell starts
+      {0.25, 400, HealthState::kShedding},   // 50 ms < hysteresis
+      {0.29, 400, HealthState::kShedding},   // 90 ms < hysteresis
+      {0.31, 400, HealthState::kHealthy},    // 110 ms >= hysteresis
+      {0.40, 999, HealthState::kHealthy},    // below enter: no re-entry
+  };
+  srv::HealthMonitor mon(tight_health());
+  for (const Step& s : script) {
+    EXPECT_EQ(mon.update(at(s.t, s.backlog)), s.expect) << "t=" << s.t;
+  }
+  EXPECT_EQ(mon.shed_entries(), 1);
+  ASSERT_EQ(mon.transitions().size(), 2u);
+  EXPECT_EQ(mon.transitions()[0].to, HealthState::kShedding);
+  EXPECT_EQ(mon.transitions()[0].reason, "backlog over enter watermark");
+  EXPECT_EQ(mon.transitions()[1].to, HealthState::kHealthy);
+}
+
+TEST(Health, EntersOnFlowCountWatermarkToo) {
+  srv::HealthMonitor mon(tight_health());
+  EXPECT_EQ(mon.update(at(0.0, 0, 99)), HealthState::kHealthy);
+  EXPECT_EQ(mon.update(at(0.1, 0, 100)), HealthState::kShedding);
+  EXPECT_FALSE(mon.admitting());
+  EXPECT_EQ(mon.transitions().back().reason,
+            "active flows over enter watermark");
+}
+
+TEST(Health, ExitRequiresBothSignalsUnderTheirExitWatermarks) {
+  srv::HealthMonitor mon(tight_health());
+  mon.update(at(0.0, 2000, 0));
+  // Backlog cleared, but the flow count alone holds shedding open.
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(mon.update(at(0.1 * i, 0, 60)), HealthState::kShedding);
+  }
+  // Both under exit: dwell starts, exits after the hysteresis.
+  EXPECT_EQ(mon.update(at(1.1, 0, 50)), HealthState::kShedding);
+  EXPECT_EQ(mon.update(at(1.25, 0, 50)), HealthState::kHealthy);
+}
+
+TEST(Health, HysteresisDwellRestartsOnASpike) {
+  srv::HealthMonitor mon(tight_health());
+  mon.update(at(0.00, 2000));
+  EXPECT_EQ(mon.update(at(0.10, 400)), HealthState::kShedding);
+  // Spike back above the exit watermark invalidates the dwell.
+  EXPECT_EQ(mon.update(at(0.15, 600)), HealthState::kShedding);
+  EXPECT_EQ(mon.update(at(0.20, 400)), HealthState::kShedding);
+  // 0.25 - 0.10 = 150 ms would have sufficed without the reset; the
+  // dwell restarted at 0.20, so shedding holds.
+  EXPECT_EQ(mon.update(at(0.25, 400)), HealthState::kShedding);
+  EXPECT_EQ(mon.update(at(0.31, 400)), HealthState::kHealthy);
+  EXPECT_EQ(mon.shed_entries(), 1);
+}
+
+TEST(Health, ReProbeBackoffEscalatesGatesExitAndCaps) {
+  srv::HealthMonitor mon(tight_health());
+  EXPECT_DOUBLE_EQ(mon.probe_delay_sec(), 0.05);
+
+  // Entry 1: first ever — probe delay stays at the initial value.
+  mon.update(at(0.00, 2000));
+  EXPECT_DOUBLE_EQ(mon.probe_delay_sec(), 0.05);
+  mon.update(at(0.05, 400));
+  EXPECT_EQ(mon.update(at(0.16, 400)), HealthState::kHealthy);
+
+  // Entry 2, 40 ms after the exit (inside probe_decay): delay doubles.
+  mon.update(at(0.20, 2000));
+  EXPECT_DOUBLE_EQ(mon.probe_delay_sec(), 0.10);
+  mon.update(at(0.21, 400));
+  EXPECT_EQ(mon.update(at(0.32, 400)), HealthState::kHealthy);
+
+  // Entry 3: doubles again — and now the probe delay (200 ms) outlasts
+  // the hysteresis (100 ms), holding shedding even though the signals
+  // have settled.
+  mon.update(at(0.35, 2000));
+  EXPECT_DOUBLE_EQ(mon.probe_delay_sec(), 0.20);
+  mon.update(at(0.36, 400));
+  EXPECT_EQ(mon.update(at(0.47, 400)), HealthState::kShedding);  // settled,
+  EXPECT_EQ(mon.update(at(0.56, 400)), HealthState::kHealthy);   // dwelled.
+
+  // Entry 4 hits the cap...
+  mon.update(at(0.60, 2000));
+  EXPECT_DOUBLE_EQ(mon.probe_delay_sec(), 0.40);
+  mon.update(at(0.61, 400));
+  EXPECT_EQ(mon.update(at(1.01, 400)), HealthState::kHealthy);
+
+  // ...and entry 5 stays capped.
+  mon.update(at(1.05, 2000));
+  EXPECT_DOUBLE_EQ(mon.probe_delay_sec(), 0.40);
+  EXPECT_EQ(mon.shed_entries(), 5);
+}
+
+TEST(Health, BackoffResetsAfterAQuietStretch) {
+  srv::HealthMonitor mon(tight_health());
+  mon.update(at(0.00, 2000));
+  mon.update(at(0.05, 400));
+  mon.update(at(0.16, 400));  // exit 1
+  mon.update(at(0.20, 2000));
+  EXPECT_DOUBLE_EQ(mon.probe_delay_sec(), 0.10);  // escalated
+  mon.update(at(0.25, 400));
+  mon.update(at(0.36, 400));  // exit 2
+  // Re-entry well past probe_decay_sec of the last exit: clean slate.
+  mon.update(at(2.00, 2000));
+  EXPECT_DOUBLE_EQ(mon.probe_delay_sec(), 0.05);
+}
+
+TEST(Health, DegradedIsAdvisoryOnly) {
+  srv::HealthMonitor mon(tight_health());
+  EXPECT_EQ(mon.update(at(0.00, 0, 0, /*disrupt=*/true)),
+            HealthState::kDegraded);
+  EXPECT_TRUE(mon.admitting());  // degraded never gates admission
+  EXPECT_EQ(mon.transitions().back().reason, "fault disruption window");
+  // The cause must stay clear for a full hysteresis before recovery.
+  EXPECT_EQ(mon.update(at(0.10, 0)), HealthState::kDegraded);
+  EXPECT_EQ(mon.update(at(0.15, 0)), HealthState::kDegraded);
+  EXPECT_EQ(mon.update(at(0.21, 0)), HealthState::kHealthy);
+  // Wall-clock p99 over budget raises it as well.
+  EXPECT_EQ(mon.update(at(0.30, 0, 0, false, /*p99_ms=*/10.0)),
+            HealthState::kDegraded);
+  EXPECT_TRUE(mon.admitting());
+  EXPECT_EQ(mon.transitions().back().reason, "decision p99 over budget");
+  // Degraded escalates straight to shedding on a watermark breach.
+  EXPECT_EQ(mon.update(at(0.40, 2000)), HealthState::kShedding);
+  EXPECT_FALSE(mon.admitting());
+}
+
+TEST(Health, DrainingIsTerminal) {
+  srv::HealthMonitor mon(tight_health());
+  mon.begin_drain(1.0);
+  EXPECT_EQ(mon.state(), HealthState::kDraining);
+  EXPECT_FALSE(mon.admitting());
+  EXPECT_EQ(mon.update(at(2.0, 0)), HealthState::kDraining);
+  EXPECT_EQ(mon.update(at(3.0, 1'000'000)), HealthState::kDraining);
+  mon.begin_drain(4.0);  // idempotent: no duplicate transition
+  EXPECT_EQ(mon.transitions().size(), 1u);
+}
+
+TEST(Health, NoFlappingUnderFastOscillation) {
+  // The load oscillates across both watermarks every 20 ms — five times
+  // faster than the hysteresis. One entry, zero exits, no flapping.
+  srv::HealthMonitor mon(tight_health());
+  for (int i = 0; i < 100; ++i) {
+    mon.update(at(i * 0.02, i % 2 == 0 ? 2000 : 400));
+  }
+  EXPECT_EQ(mon.state(), HealthState::kShedding);
+  EXPECT_EQ(mon.shed_entries(), 1);
+  EXPECT_EQ(mon.transitions().size(), 1u);
+}
+
+TEST(Health, SnapshotRestoreContinuesInLockstep) {
+  srv::HealthMonitor a(tight_health());
+  // Prefix: one full shed cycle plus a fresh re-entry (live backoff).
+  a.update(at(0.00, 2000));
+  a.update(at(0.05, 400));
+  a.update(at(0.16, 400));
+  a.update(at(0.20, 2000));
+
+  srv::HealthMonitor b(tight_health());
+  b.restore(a.snapshot());
+  EXPECT_EQ(b.state(), a.state());
+  EXPECT_DOUBLE_EQ(b.probe_delay_sec(), a.probe_delay_sec());
+  EXPECT_EQ(b.shed_entries(), a.shed_entries());
+  ASSERT_EQ(b.transitions().size(), a.transitions().size());
+
+  // Identical suffix must produce identical behavior (including the
+  // backoff bookkeeping that only restore() can carry across).
+  const std::vector<srv::HealthSignals> suffix = {
+      at(0.25, 400), at(0.36, 400),  // exit 2
+      at(0.40, 2000),                // entry 3: escalate again
+      at(0.41, 400), at(0.62, 400),  // exit 3 (gated by the 0.2 s probe)
+      at(2.00, 2000),                // entry 4: decayed, reset
+  };
+  for (const srv::HealthSignals& s : suffix) {
+    EXPECT_EQ(a.update(s), b.update(s)) << "t=" << s.now_sec;
+    EXPECT_DOUBLE_EQ(a.probe_delay_sec(), b.probe_delay_sec());
+  }
+  ASSERT_EQ(a.transitions().size(), b.transitions().size());
+  for (std::size_t i = 0; i < a.transitions().size(); ++i) {
+    EXPECT_EQ(a.transitions()[i].time_sec, b.transitions()[i].time_sec);
+    EXPECT_EQ(a.transitions()[i].to, b.transitions()[i].to);
+    EXPECT_EQ(a.transitions()[i].reason, b.transitions()[i].reason);
+  }
+}
+
+// ------------------------------------------------------------------ SLO
+
+TEST(Slo, CountsDeadlineMissesAgainstTheBudget) {
+  srv::SloTracker slo;
+  for (int i = 1; i <= 100; ++i) {
+    slo.record_decision(static_cast<std::uint64_t>(i) * 1000, 50'000);
+  }
+  EXPECT_EQ(slo.decision_ns().count(), 100u);
+  EXPECT_EQ(slo.deadline_misses(), 50);  // 51..100 us over the 50 us budget
+  EXPECT_GT(slo.decision_ns().quantile(0.99), 0.0);
+  // Budget 0 disables the deadline entirely.
+  slo.record_decision(1'000'000'000, 0);
+  EXPECT_EQ(slo.deadline_misses(), 50);
+}
+
+TEST(Slo, SnapshotCarriesDeterministicCountersOnly) {
+  srv::SloTracker a;
+  a.record_admit(0);
+  a.record_admit(1);
+  a.record_admit(1);
+  a.record_shed(2, 3.5);
+  a.record_queue_depth(7);
+  a.record_queue_depth(3);
+  a.record_decision(1000, 500);  // wall clock: must NOT survive
+
+  srv::SloTracker b;
+  b.restore(a.snapshot());
+  EXPECT_EQ(b.admitted(), 3);
+  EXPECT_EQ(b.shed(), 1);
+  EXPECT_EQ(b.queue_depth_peak(), 7);
+  EXPECT_DOUBLE_EQ(b.last_shed_sec(), 3.5);
+  EXPECT_EQ(b.admitted_by_tenant().at(1), 2);
+  EXPECT_EQ(b.shed_by_tenant().at(2), 1);
+  // The decision histogram measures *this host, this run*: it restarts
+  // empty on resume rather than stitching two machines into one p99.
+  EXPECT_EQ(b.decision_ns().count(), 0u);
+  EXPECT_EQ(b.deadline_misses(), 0);
+}
+
+TEST(Slo, JsonReportIsAlwaysACompleteDocument) {
+  srv::SloTracker slo;
+  srv::HealthMonitor health(tight_health());
+  srv::SloRunTotals totals;
+  std::ostringstream out;
+  srv::write_slo_json(out, slo, health, totals);
+  const std::string text = out.str();
+  // Even a zero-activity run emits the full structure.
+  for (const char* key :
+       {"basrpt-slo-v1", "\"decisions\"", "\"p99_ms\"", "\"p999_ms\"",
+        "\"admission\"", "\"shed_rate\"", "\"queue\"", "\"flows\"",
+        "\"health\"", "\"transitions\"", "\"deadline_misses\""}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+// ------------------------------------------------- server + checkpoints
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static int counter = 0;
+    path = fs::temp_directory_path() /
+           ("basrpt_srv_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// A ~1.5 s three-segment ramp (0.6 → 1.3 → 0.5) on a single 4-host
+/// rack at 50 Mbit/s: small enough for unit tests, overloaded enough in
+/// the middle to force real shedding.
+srv::LoadGenConfig tiny_gen() {
+  srv::LoadGenConfig gen;
+  gen.segments = {{0.5, 0.6, 1.0}, {0.5, 1.3, 4.0}, {0.5, 0.5, 1.0}};
+  gen.racks = 1;
+  gen.hosts_per_rack = 4;
+  gen.host_link = mbps(50.0);
+  gen.tenants = 2;
+  gen.seed = 7;
+  return gen;
+}
+
+srv::ServerConfig tiny_server(const srv::LoadGenConfig& gen) {
+  srv::ServerConfig config;
+  config.sim.fabric = topo::small_fabric(gen.racks, gen.hosts_per_rack);
+  config.sim.fabric.host_link = gen.host_link;
+  config.sim.horizon = seconds(10.0);
+  config.quantum_sec = 0.005;
+  config.decision_budget_ms = 1.0;
+  // Watermarks scaled to the tiny fabric so the overload segment
+  // reliably crosses them.
+  config.health.shed_enter_backlog_bytes = 96 << 10;
+  config.health.shed_exit_backlog_bytes = 48 << 10;
+  config.health.hysteresis_sec = 0.02;
+  config.health.probe_initial_sec = 0.01;
+  return config;
+}
+
+std::string rendered_feed(const srv::LoadGenConfig& gen) {
+  std::ostringstream out;
+  srv::write_feed(out, srv::generate_feed(gen));
+  return out.str();
+}
+
+TEST(Server, ServesAFeedAndAccountsEveryRecord) {
+  const srv::LoadGenConfig gen = tiny_gen();
+  const std::string text = rendered_feed(gen);
+  std::istringstream in(text);
+  srv::FeedReader feed(in);
+  srv::Server server(tiny_server(gen));
+  const srv::ServeResult result = server.serve(feed);
+
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.totals.status, "completed");
+  EXPECT_GT(result.totals.records_consumed, 0);
+  // Every consumed record was either admitted or shed — nothing lost.
+  EXPECT_EQ(result.totals.records_consumed,
+            server.slo().admitted() + server.slo().shed());
+  // Every admitted record became a simulator arrival with a decision.
+  EXPECT_EQ(result.totals.flows_arrived, server.slo().admitted());
+  EXPECT_EQ(server.slo().decision_ns().count(),
+            static_cast<std::uint64_t>(server.slo().admitted()));
+  // The overload segment really shed.
+  EXPECT_GT(server.slo().shed(), 0);
+  EXPECT_GE(server.health().shed_entries(), 1);
+  EXPECT_GT(server.slo().last_shed_sec(), 0.0);
+  EXPECT_LE(result.totals.flows_completed, result.totals.flows_arrived);
+  EXPECT_GT(result.totals.delivered_bytes, 0);
+  // Both tenants saw sheds (round-robin dealing).
+  EXPECT_EQ(server.slo().shed_by_tenant().size(), 2u);
+}
+
+TEST(Server, CheckpointCodecRoundTripsTheLiveState) {
+  const srv::LoadGenConfig gen = tiny_gen();
+  std::istringstream in(rendered_feed(gen));
+  srv::FeedReader feed(in);
+  srv::Server server(tiny_server(gen));
+  (void)server.serve(feed);
+
+  const std::string once = srv::encode_server_ckpt(server.capture());
+  std::istringstream snap_in(once);
+  const srv::ServerCkpt decoded =
+      srv::decode_server_ckpt(ckpt::Snapshot::parse(snap_in));
+  // encode(decode(x)) == x: the codec loses nothing, bit for bit.
+  EXPECT_EQ(srv::encode_server_ckpt(decoded), once);
+
+  // A truncated snapshot never parses into a half-restored server.
+  std::istringstream cut(once.substr(0, once.size() / 2));
+  EXPECT_THROW(
+      { srv::decode_server_ckpt(ckpt::Snapshot::parse(cut)); },
+      ConfigError);
+}
+
+TEST(Server, KillAndResumeMatchesTheUninterruptedRun) {
+  const srv::LoadGenConfig gen = tiny_gen();
+  const std::string text = rendered_feed(gen);
+  srv::ServerConfig config = tiny_server(gen);
+
+  // Reference: one uninterrupted pass over the feed.
+  std::istringstream ref_in(text);
+  srv::FeedReader ref_feed(ref_in);
+  srv::Server reference(config);
+  const srv::ServeResult ref = reference.serve(ref_feed);
+  ASSERT_EQ(ref.exit_code, 0);
+
+  // Checkpointed pass, keeping every rotation step.
+  TempDir tmp;
+  config.ckpt_dir = tmp.path.string();
+  config.run_id = "unit";
+  config.ckpt_keep_last = 64;
+  config.ckpt_every_sec = 0.25;
+  {
+    std::istringstream in(text);
+    srv::FeedReader feed(in);
+    srv::Server first(config);
+    const srv::ServeResult r = first.serve(feed);
+    ASSERT_EQ(r.exit_code, 0);
+    ASSERT_FALSE(r.last_checkpoint.empty());
+  }
+
+  // "SIGKILL" at the earliest surviving checkpoint: everything the
+  // process did after that instant is lost; --resume replays it.
+  std::vector<std::string> ckpts;
+  for (const auto& entry : fs::directory_iterator(tmp.path)) {
+    ckpts.push_back(entry.path().string());
+  }
+  ASSERT_GE(ckpts.size(), 3u);  // periodic checkpoints actually rotated
+  std::sort(ckpts.begin(), ckpts.end(),
+            [](const std::string& a, const std::string& b) {
+              return ckpt::CheckpointManager::sequence_of(a) <
+                     ckpt::CheckpointManager::sequence_of(b);
+            });
+
+  std::istringstream in(text);
+  srv::FeedReader feed(in);
+  srv::Server resumed(config, srv::read_server_ckpt_file(ckpts.front()));
+  const srv::ServeResult res = resumed.serve(feed);
+
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_TRUE(res.totals.resumed);
+  // Deterministic counters match the uninterrupted run exactly.
+  EXPECT_EQ(res.totals.records_consumed, ref.totals.records_consumed);
+  EXPECT_EQ(resumed.slo().admitted(), reference.slo().admitted());
+  EXPECT_EQ(resumed.slo().shed(), reference.slo().shed());
+  EXPECT_EQ(resumed.slo().admitted_by_tenant(),
+            reference.slo().admitted_by_tenant());
+  EXPECT_EQ(resumed.slo().shed_by_tenant(), reference.slo().shed_by_tenant());
+  EXPECT_EQ(resumed.slo().last_shed_sec(), reference.slo().last_shed_sec());
+  EXPECT_EQ(res.totals.flows_arrived, ref.totals.flows_arrived);
+  EXPECT_EQ(res.totals.flows_completed, ref.totals.flows_completed);
+  EXPECT_EQ(res.totals.delivered_bytes, ref.totals.delivered_bytes);
+  EXPECT_EQ(res.totals.backlog_bytes_at_end, ref.totals.backlog_bytes_at_end);
+  EXPECT_EQ(res.totals.scheduler_invocations,
+            ref.totals.scheduler_invocations);
+  // Including the full health history (restored + replayed suffix).
+  EXPECT_EQ(resumed.health().shed_entries(), reference.health().shed_entries());
+  ASSERT_EQ(resumed.health().transitions().size(),
+            reference.health().transitions().size());
+  for (std::size_t i = 0; i < reference.health().transitions().size(); ++i) {
+    EXPECT_EQ(resumed.health().transitions()[i].time_sec,
+              reference.health().transitions()[i].time_sec);
+    EXPECT_EQ(resumed.health().transitions()[i].to,
+              reference.health().transitions()[i].to);
+  }
+}
+
+TEST(Server, ResumeRejectsAFeedShorterThanTheCursor) {
+  const srv::LoadGenConfig gen = tiny_gen();
+  std::istringstream in(rendered_feed(gen));
+  srv::FeedReader feed(in);
+  srv::ServerConfig config = tiny_server(gen);
+  srv::Server server(config);
+  (void)server.serve(feed);
+  const srv::ServerCkpt state = server.capture();
+  ASSERT_GT(state.feed_records_consumed, 0u);
+
+  // Resuming that checkpoint against a near-empty feed is a config
+  // error (wrong feed for this checkpoint), not silent misalignment.
+  srv::Server resumed(config, state);
+  std::istringstream tiny(feed_text({"end"}));
+  srv::FeedReader tiny_feed(tiny);
+  EXPECT_THROW(resumed.serve(tiny_feed), ConfigError);
+}
+
+TEST(Server, ProgrammaticDrainStopsBeforeAdmittingAnything) {
+  struct DrainScope {
+    DrainScope() { request_drain(0); }
+    ~DrainScope() { clear_drain(); }
+  } scope;
+  const srv::LoadGenConfig gen = tiny_gen();
+  std::istringstream in(rendered_feed(gen));
+  srv::FeedReader feed(in);
+  srv::Server server(tiny_server(gen));
+  const srv::ServeResult result = server.serve(feed);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.totals.status, "drained");
+  EXPECT_EQ(result.totals.records_consumed, 0);
+  EXPECT_EQ(server.health().state(), HealthState::kDraining);
+}
+
+TEST(Server, RejectsFeedRecordsPastTheHorizon) {
+  const srv::LoadGenConfig gen = tiny_gen();
+  srv::ServerConfig config = tiny_server(gen);
+  config.sim.horizon = seconds(0.5);
+  std::istringstream in(feed_text({"flow,1.0,0,1,1000,q", "end"}));
+  srv::FeedReader feed(in);
+  srv::Server server(config);
+  EXPECT_THROW(server.serve(feed), ConfigError);
+}
+
+TEST(LoadGen, SegmentsAreIndependentAndTenantsRoundRobin) {
+  srv::LoadGenConfig gen = tiny_gen();
+  const std::vector<srv::FeedRecord> base = srv::generate_feed(gen);
+  ASSERT_GT(base.size(), 10u);
+  EXPECT_DOUBLE_EQ(srv::loadgen_duration(gen), 1.5);
+  // Time-sorted, round-robin tenancy in arrival order.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(base[i].arrival.time.seconds,
+                base[i - 1].arrival.time.seconds);
+    }
+    EXPECT_EQ(base[i].tenant,
+              static_cast<std::int32_t>(i % static_cast<std::size_t>(
+                                                gen.tenants)));
+  }
+  // Editing the middle segment leaves the first segment bit-identical.
+  srv::LoadGenConfig edited = gen;
+  edited.segments[1].load = 0.9;
+  const std::vector<srv::FeedRecord> other = srv::generate_feed(edited);
+  std::size_t i = 0;
+  for (; i < std::min(base.size(), other.size()); ++i) {
+    if (base[i].arrival.time.seconds >= 0.5) {
+      break;  // end of segment 0
+    }
+    EXPECT_EQ(base[i].arrival.time.seconds, other[i].arrival.time.seconds);
+    EXPECT_EQ(base[i].arrival.size.count, other[i].arrival.size.count);
+    EXPECT_EQ(base[i].arrival.src, other[i].arrival.src);
+    EXPECT_EQ(base[i].arrival.dst, other[i].arrival.dst);
+  }
+  EXPECT_GT(i, 0u);
+}
+
+}  // namespace
+}  // namespace basrpt
