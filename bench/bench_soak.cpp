@@ -17,24 +17,40 @@
 //   bench_soak --emit-feed soak.feed   # just materialize the feed
 //   bench_soak --pace 2 --ckpt-dir d   # wall-paced; SIGTERM drains,
 //                                      # SIGKILL + --resume continues
+//   bench_soak --listen uds:/tmp/s --drive
+//                                      # socket transport end to end in
+//                                      # one process (client thread)
+//   bench_soak --listen uds:/tmp/s --drive --chaos-plan links.faults
+//                                      # ... through the chaos proxy
+//   bench_soak --listen uds:/tmp/s     # serve only; pair with:
+//   bench_soak --connect uds:/tmp/s    # client-only driver (separate
+//                                      # process; survives server
+//                                      # SIGKILL + --resume via replay)
 //
 // All admission decisions are virtual-time-driven, so two runs of the
-// same seed (paced or not, resumed or not) print identical deterministic
-// counters — which is exactly what tests/test_srv.cpp's kill-and-resume
-// differential asserts.
+// same seed (paced or not, resumed or not, chaos or not) print identical
+// deterministic counters — which is exactly what tests/test_srv.cpp's
+// kill-and-resume and chaos differentials assert.
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "ckpt/signal_guard.hpp"
 #include "common/assert.hpp"
 #include "common/cli.hpp"
+#include "common/net.hpp"
+#include "fault/chaos_link.hpp"
 #include "fault/fault_plan.hpp"
+#include "srv/client.hpp"
 #include "srv/loadgen.hpp"
 #include "srv/server.hpp"
+#include "srv/transport.hpp"
 
 namespace {
 
@@ -84,6 +100,37 @@ srv::LoadGenConfig loadgen_config(const CliParser& cli) {
   return gen;
 }
 
+std::vector<srv::FeedRecord> driver_records(const CliParser& cli,
+                                            const srv::LoadGenConfig& gen) {
+  if (!cli.get_text("feed").empty()) {
+    return srv::read_feed_file(cli.get_text("feed"));
+  }
+  return srv::generate_feed(gen);
+}
+
+/// The proxy's public endpoint, derived from the daemon's: UDS gets a
+/// ".chaos" suffix, TCP the next port.
+Endpoint chaos_endpoint(Endpoint ep) {
+  if (ep.kind == Endpoint::Kind::kUds) {
+    ep.path += ".chaos";
+  } else {
+    ep.port = static_cast<std::uint16_t>(ep.port + 1);
+  }
+  return ep;
+}
+
+void print_client_line(const srv::ClientResult& r) {
+  std::printf("soak-client status=%s decisions=%llu admitted=%lld "
+              "shed=%lld duplicates=%llu reconnects=%lld fences=%lld\n",
+              r.status.c_str(),
+              static_cast<unsigned long long>(r.decisions),
+              static_cast<long long>(r.admitted),
+              static_cast<long long>(r.shed),
+              static_cast<unsigned long long>(r.duplicates),
+              static_cast<long long>(r.reconnects),
+              static_cast<long long>(r.fences));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +150,23 @@ int main(int argc, char** argv) {
         .flag("faults", true, "inject the scripted degraded-link window")
         .text("emit-feed", "", "write the feed to this path and exit")
         .text("feed", "", "serve this feed file instead of generating")
+        .text("listen", "",
+              "serve the feed over a socket: uds:<path> or "
+              "tcp:<host>:<port>")
+        .flag("drive", false,
+              "with --listen: run the producer client on a thread in "
+              "this process")
+        .text("connect", "",
+              "client-only mode: feed the records to this endpoint and "
+              "print the decision totals")
+        .text("chaos-plan", "",
+              "with --listen --drive: proxy the link through "
+              "fault::ChaosLink replaying this plan's link-* ops")
+        .real("session-idle-sec", 30.0,
+              "socket mode: end the session after this long with no "
+              "producer (0 = wait forever)")
+        .real("client-deadline-sec", 30.0,
+              "client modes: max outage before giving up")
         .real("pace", 0.0, "feed seconds per wall second (0 = full speed)")
         .text("ckpt-dir", "", "checkpoint directory ('' disables)")
         .text("run-id", "soak", "checkpoint filename stem")
@@ -129,6 +193,19 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (!cli.get_text("connect").empty()) {
+      // Client-only driver: the counters that matter are printed by the
+      // serving process; this side reports what came back over the
+      // decisions stream.
+      srv::ClientConfig ccfg;
+      ccfg.endpoint = parse_endpoint(cli.get_text("connect"));
+      ccfg.reconnect_deadline_sec = cli.get_real("client-deadline-sec");
+      srv::Client client(ccfg);
+      const srv::ClientResult r = client.run(driver_records(cli, gen));
+      print_client_line(r);
+      return 0;
+    }
+
     srv::ServerConfig config;
     config.sim.fabric = topo::small_fabric(gen.racks, gen.hosts_per_rack);
     config.sim.fabric.host_link = gen.host_link;
@@ -152,25 +229,9 @@ int main(int argc, char** argv) {
       config.sim.fault_plan = &plan;
     }
 
-    // Build the feed stream: external file, or the scripted schedule
-    // rendered through the real feed codec (so the soak also exercises
-    // the parser end to end).
-    std::unique_ptr<std::istream> owned_in;
-    if (!cli.get_text("feed").empty()) {
-      auto file = std::make_unique<std::ifstream>(cli.get_text("feed"));
-      BASRPT_REQUIRE(file->good(),
-                     "cannot open feed file: " + cli.get_text("feed"));
-      owned_in = std::move(file);
-    } else {
-      std::ostringstream rendered;
-      srv::write_feed(rendered, srv::generate_feed(gen));
-      owned_in = std::make_unique<std::istringstream>(rendered.str());
-    }
-    srv::FeedReader feed(*owned_in);
-
-    ckpt::SignalGuard guard(/*drain_on_sigterm=*/true);
-
-    std::unique_ptr<srv::Server> server;
+    // The resume image is loaded before the feed source so the socket
+    // transport can advertise the checkpoint cursor in its hello frame.
+    std::optional<srv::ServerCkpt> resume_state;
     if (cli.get_flag("resume")) {
       BASRPT_REQUIRE(!config.ckpt_dir.empty(), "--resume needs --ckpt-dir");
       const std::string latest = ckpt::CheckpointManager::latest(
@@ -178,13 +239,99 @@ int main(int argc, char** argv) {
       BASRPT_REQUIRE(!latest.empty(),
                      "--resume: no checkpoint in " + config.ckpt_dir);
       std::fprintf(stderr, "soak: resuming from %s\n", latest.c_str());
-      server = std::make_unique<srv::Server>(
-          config, srv::read_server_ckpt_file(latest));
+      resume_state = srv::read_server_ckpt_file(latest);
+    }
+
+    // Build the feed stream: a listener socket, an external file, or the
+    // scripted schedule rendered through the real feed codec (so the
+    // soak also exercises the parser end to end).
+    std::unique_ptr<std::istream> owned_in;
+    std::unique_ptr<srv::RecordSource> source;
+    fault::FaultPlan chaos_plan;
+    std::unique_ptr<fault::ChaosLink> chaos;
+    std::thread driver;
+    srv::ClientResult drive_result;
+    std::exception_ptr drive_error;
+    const std::string listen_spec = cli.get_text("listen");
+    if (!listen_spec.empty()) {
+      srv::TransportConfig tcfg;
+      tcfg.endpoint = parse_endpoint(listen_spec);
+      tcfg.session_idle_sec = cli.get_real("session-idle-sec");
+      tcfg.start_cursor =
+          resume_state ? resume_state->feed_records_consumed : 0;
+      source = std::make_unique<srv::SocketTransport>(tcfg);
+
+      Endpoint dial_target = tcfg.endpoint;
+      if (!cli.get_text("chaos-plan").empty()) {
+        chaos_plan = fault::FaultPlan::from_file(cli.get_text("chaos-plan"));
+        fault::ChaosLinkConfig lcfg;
+        lcfg.listen = chaos_endpoint(tcfg.endpoint);
+        lcfg.upstream = tcfg.endpoint;
+        lcfg.plan = &chaos_plan;
+        chaos = std::make_unique<fault::ChaosLink>(lcfg);
+        chaos->start();
+        dial_target = lcfg.listen;
+        std::fprintf(stderr, "soak: chaos proxy on %s -> %s\n",
+                     dial_target.str().c_str(), tcfg.endpoint.str().c_str());
+      }
+      if (cli.get_flag("drive")) {
+        srv::ClientConfig ccfg;
+        ccfg.endpoint = dial_target;
+        ccfg.reconnect_deadline_sec = cli.get_real("client-deadline-sec");
+        std::vector<srv::FeedRecord> records = driver_records(cli, gen);
+        driver = std::thread([ccfg, records = std::move(records),
+                              &drive_result, &drive_error] {
+          try {
+            srv::Client client(ccfg);
+            drive_result = client.run(records);
+          } catch (...) {
+            drive_error = std::current_exception();
+          }
+        });
+      }
+    } else if (!cli.get_text("feed").empty()) {
+      auto file = std::make_unique<std::ifstream>(cli.get_text("feed"));
+      BASRPT_REQUIRE(file->good(),
+                     "cannot open feed file: " + cli.get_text("feed"));
+      owned_in = std::move(file);
+      source = std::make_unique<srv::FeedReader>(*owned_in);
+    } else {
+      std::ostringstream rendered;
+      srv::write_feed(rendered, srv::generate_feed(gen));
+      owned_in = std::make_unique<std::istringstream>(rendered.str());
+      source = std::make_unique<srv::FeedReader>(*owned_in);
+    }
+
+    ckpt::SignalGuard guard(/*drain_on_sigterm=*/true);
+
+    std::unique_ptr<srv::Server> server;
+    if (resume_state) {
+      server = std::make_unique<srv::Server>(config, *resume_state);
     } else {
       server = std::make_unique<srv::Server>(config);
     }
 
-    const srv::ServeResult result = server->serve(feed);
+    const srv::ServeResult result = server->serve(*source);
+
+    if (driver.joinable()) {
+      driver.join();
+      if (drive_error) {
+        std::rethrow_exception(drive_error);
+      }
+      print_client_line(drive_result);
+    }
+    if (chaos) {
+      chaos->stop();
+      const fault::ChaosLinkStats& cs = chaos->stats();
+      std::fprintf(stderr,
+                   "soak: chaos connections=%lld resets=%lld "
+                   "corrupted=%lld stalls=%lld dups=%lld\n",
+                   static_cast<long long>(cs.connections),
+                   static_cast<long long>(cs.resets),
+                   static_cast<long long>(cs.corrupted_bytes),
+                   static_cast<long long>(cs.stalls),
+                   static_cast<long long>(cs.dup_frames));
+    }
 
     if (cli.get_text("slo-out").empty()) {
       srv::write_slo_json(std::cout, server->slo(), server->health(),
@@ -194,8 +341,9 @@ int main(int argc, char** argv) {
                                server->health(), result.totals);
     }
 
-    // Deterministic counters — identical across paced/unpaced/resumed
-    // runs of the same seed (the kill-and-resume differential's anchor).
+    // Deterministic counters — identical across paced/unpaced/resumed/
+    // chaos runs of the same seed (the kill-and-resume and chaos
+    // differentials' anchor).
     std::printf("soak status=%s feed_s=%.6g records=%lld admitted=%lld "
                 "shed=%lld shed_entries=%lld completed=%lld "
                 "delivered=%lld final=%s\n",

@@ -129,9 +129,13 @@ if [[ "$RUN_SOAK" == 1 ]]; then
   # replay mid-flight. Asserts clean exits, a well-formed SLO report
   # with non-zero decision p99/p999, real shedding during the overload,
   # and a shed rate that returns to zero before the feed ends
-  # (docs/SERVING.md). Warn-only by default — the paced half is
-  # wall-clock-sensitive on loaded shared runners — set
-  # BASRPT_SOAK_STRICT=1 to make a failure fatal.
+  # (docs/SERVING.md). A second stage drives the same feed over the
+  # socket transport: once through the chaos proxy (resets, corruption,
+  # stalls, duplicate delivery), and once with the serving process
+  # SIGKILLed mid-stream and resumed while the producer reconnects —
+  # both must land on a counter line bit-identical to the plain run.
+  # Strict by default; set BASRPT_SOAK_STRICT=0 on a heavily loaded
+  # shared runner to downgrade a failure to a warning.
   echo "==== soak: serving core under overload + degradation ===="
   cmake -B build-ci >/dev/null
   cmake --build build-ci -j "$JOBS" --target bench_soak
@@ -192,13 +196,106 @@ print(f"soak: SIGTERM drained cleanly at {doc['feed_seconds']:.2f} feed-s")
 PYEOF
   )
 
-  if soak_stage; then
+  # Socket transport soak: the deterministic counter line is the oracle.
+  # The chaos pass proxies the producer's link through fault::ChaosLink
+  # replaying every link-* op kind at fixed byte offsets; the SIGKILL
+  # pass murders the serving process mid-stream (no handler runs) and
+  # restarts it with --resume while a separate producer process rides
+  # out the outage via reconnect-with-replay. Both must reproduce the
+  # plain run's counters bit for bit (docs/SERVING.md).
+  socket_soak_stage() (
+    set -e
+    SOCK_TMP="$SOAK_TMP/socket"
+    mkdir -p "$SOCK_TMP"
+
+    ./build-ci/bench/bench_soak --duration 6 > "$SOCK_TMP/ref.out"
+    grep '^soak status=' "$SOCK_TMP/ref.out" > "$SOCK_TMP/ref.line"
+
+    cat > "$SOCK_TMP/links.faults" <<'EOF'
+basrpt-faults-v1
+link-dup,10000,2
+link-reset,20000
+link-corrupt,0,50000,5
+link-stall,1,5000,0.05
+link-corrupt,1,30000,3
+link-reset,90000
+EOF
+    ./build-ci/bench/bench_soak --duration 6 \
+        --listen "uds:$SOCK_TMP/chaos.sock" --drive \
+        --chaos-plan "$SOCK_TMP/links.faults" \
+        > "$SOCK_TMP/chaos.out" 2> "$SOCK_TMP/chaos.err"
+    grep '^soak status=' "$SOCK_TMP/chaos.out" > "$SOCK_TMP/chaos.line"
+    diff "$SOCK_TMP/ref.line" "$SOCK_TMP/chaos.line" \
+        || { echo "soak: chaos-run counters diverge from the plain run" >&2
+             cat "$SOCK_TMP/chaos.err" >&2; exit 1; }
+    grep -q 'soak-client status=completed' "$SOCK_TMP/chaos.out"
+    echo "soak: chaos link pass bit-identical" \
+         "($(grep -o 'reconnects=[0-9]*' "$SOCK_TMP/chaos.out" | head -1))"
+
+    # SIGKILL-and-reconnect: wall-paced server so the kill lands
+    # mid-stream, producer in its own process.
+    ./build-ci/bench/bench_soak --duration 6 --pace 2 \
+        --listen "uds:$SOCK_TMP/kill.sock" \
+        --ckpt-dir "$SOCK_TMP/ckpts" --ckpt-every-sec 0.25 \
+        > "$SOCK_TMP/server1.out" 2> "$SOCK_TMP/server1.err" &
+    local server_pid=$!
+    ./build-ci/bench/bench_soak --duration 6 \
+        --connect "uds:$SOCK_TMP/kill.sock" \
+        > "$SOCK_TMP/client.out" 2> "$SOCK_TMP/client.err" &
+    local client_pid=$!
+    for _ in $(seq 1 100); do
+      compgen -G "$SOCK_TMP/ckpts/*.ckpt" > /dev/null && break
+      kill -0 "$server_pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    sleep 0.5  # get some post-checkpoint progress on the wire
+    kill -KILL "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    compgen -G "$SOCK_TMP/ckpts/*.ckpt" > /dev/null \
+        || { echo "soak: no checkpoint before the SIGKILL" >&2; exit 1; }
+
+    ./build-ci/bench/bench_soak --duration 6 \
+        --listen "uds:$SOCK_TMP/kill.sock" \
+        --ckpt-dir "$SOCK_TMP/ckpts" --resume \
+        > "$SOCK_TMP/server2.out" 2> "$SOCK_TMP/server2.err"
+    rc=0
+    wait "$client_pid" || rc=$?
+    if [[ "$rc" != 0 ]]; then
+      echo "soak: producer exited $rc across the SIGKILL, want 0" >&2
+      cat "$SOCK_TMP/client.err" >&2
+      exit 1
+    fi
+
+    grep '^soak status=' "$SOCK_TMP/server2.out" > "$SOCK_TMP/resumed.line"
+    diff "$SOCK_TMP/ref.line" "$SOCK_TMP/resumed.line" \
+        || { echo "soak: resumed counters diverge from the plain run" >&2
+             exit 1; }
+    grep -q 'soak-client status=completed' "$SOCK_TMP/client.out"
+    records="$(sed -n 's/.*[^_]records=\([0-9]*\).*/\1/p' "$SOCK_TMP/ref.line")"
+    grep -q "decisions=$records" "$SOCK_TMP/client.out" \
+        || { echo "soak: producer missed decisions across the SIGKILL" >&2
+             cat "$SOCK_TMP/client.out" >&2; exit 1; }
+    reconnects="$(sed -n 's/.*reconnects=\([0-9]*\).*/\1/p' \
+        "$SOCK_TMP/client.out")"
+    [[ "${reconnects:-0}" -ge 1 ]] \
+        || { echo "soak: producer never actually reconnected" >&2; exit 1; }
+    echo "soak: SIGKILL-and-reconnect pass bit-identical" \
+         "(reconnects=$reconnects, decisions=$records)"
+  )
+
+  soak_rc=0
+  soak_stage || soak_rc=$?
+  if [[ "$soak_rc" == 0 ]]; then
+    echo "==== soak: socket transport (chaos + SIGKILL-and-reconnect) ===="
+    socket_soak_stage || soak_rc=$?
+  fi
+  if [[ "$soak_rc" == 0 ]]; then
     echo "soak: passed"
-  elif [[ "${BASRPT_SOAK_STRICT:-0}" == 1 ]]; then
-    echo "soak: FAILED (BASRPT_SOAK_STRICT=1)" >&2
+  elif [[ "${BASRPT_SOAK_STRICT:-1}" == 1 ]]; then
+    echo "soak: FAILED (set BASRPT_SOAK_STRICT=0 to warn only)" >&2
     exit 1
   else
-    echo "soak: FAILED (warn-only; set BASRPT_SOAK_STRICT=1 to gate)" >&2
+    echo "soak: FAILED (warn-only: BASRPT_SOAK_STRICT=0)" >&2
   fi
 fi
 

@@ -23,11 +23,18 @@ extern "C" void on_drain_signal(int signal_number) {
   request_drain(signal_number);
 }
 
+extern "C" void on_flush_signal(int signal_number) {
+  // SIGHUP: checkpoint + rewrite the SLO report, keep serving.
+  request_flush(signal_number);
+}
+
 }  // namespace
 
 struct SignalGuard::Saved {
   struct sigaction sigint;
   struct sigaction sigterm;
+  struct sigaction sighup;
+  bool hooked_sighup = false;
 };
 
 SignalGuard::SignalGuard(bool drain_on_sigterm) : saved_(new Saved) {
@@ -44,15 +51,32 @@ SignalGuard::SignalGuard(bool drain_on_sigterm) : saved_(new Saved) {
     action.sa_handler = on_drain_signal;
   }
   ::sigaction(SIGTERM, &action, &saved_->sigterm);
+  if (drain_on_sigterm) {
+    // Services also answer SIGHUP: flush (checkpoint + SLO rewrite)
+    // without exiting. NOT one-shot — an operator may SIGHUP repeatedly
+    // — and no SA_RESTART, so a blocking feed read returns EINTR and
+    // the EINTR-safe wrappers (common/io.hpp) retry after the loop has
+    // had a chance to notice the flag.
+    struct sigaction flush_action {};
+    flush_action.sa_handler = on_flush_signal;
+    sigemptyset(&flush_action.sa_mask);
+    flush_action.sa_flags = 0;
+    ::sigaction(SIGHUP, &flush_action, &saved_->sighup);
+    saved_->hooked_sighup = true;
+  }
 }
 
 SignalGuard::~SignalGuard() {
   ::sigaction(SIGINT, &saved_->sigint, nullptr);
   ::sigaction(SIGTERM, &saved_->sigterm, nullptr);
+  if (saved_->hooked_sighup) {
+    ::sigaction(SIGHUP, &saved_->sighup, nullptr);
+  }
   delete saved_;
   g_guard_alive = false;
   clear_interrupt();
   clear_drain();
+  clear_flush();
 }
 
 }  // namespace basrpt::ckpt

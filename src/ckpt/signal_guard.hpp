@@ -17,6 +17,8 @@
 //     failure (systemd/Kubernetes send SIGTERM on every routine stop).
 //   * SIGINT → interrupt: the bench semantics above; the run is cut
 //     short at the next safe boundary and exits 128+SIGINT.
+//   * SIGHUP → flush: checkpoint + rewrite the SLO report at the next
+//     decision boundary, then keep serving. Repeatable (not one-shot).
 //   * SIGKILL is of course uncatchable either way — crash-safety is the
 //     checkpoint manager's job, not the guard's.
 //

@@ -1,5 +1,7 @@
 #include "common/interrupt.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <csignal>
 #include <string>
@@ -11,6 +13,18 @@ volatile std::sig_atomic_t g_requested = 0;
 std::atomic<int> g_signal{0};
 volatile std::sig_atomic_t g_drain_requested = 0;
 std::atomic<int> g_drain_signal{0};
+volatile std::sig_atomic_t g_flush_requested = 0;
+std::atomic<int> g_wake_fd{-1};
+
+void poke_wake_fd() noexcept {
+  // Async-signal-safe: one write on a nonblocking pipe; EAGAIN means a
+  // wakeup is already queued.
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t ignored = ::write(fd, &byte, 1);
+  }
+}
 }  // namespace
 
 InterruptedError::InterruptedError(int signal_number)
@@ -25,6 +39,7 @@ InterruptedError::InterruptedError(int signal_number)
 void request_interrupt(int signal_number) noexcept {
   g_signal.store(signal_number, std::memory_order_relaxed);
   g_requested = 1;
+  poke_wake_fd();
 }
 
 bool interrupt_requested() noexcept { return g_requested != 0; }
@@ -41,6 +56,7 @@ void clear_interrupt() noexcept {
 void request_drain(int signal_number) noexcept {
   g_drain_signal.store(signal_number, std::memory_order_relaxed);
   g_drain_requested = 1;
+  poke_wake_fd();
 }
 
 bool drain_requested() noexcept { return g_drain_requested != 0; }
@@ -52,6 +68,19 @@ int drain_signal() noexcept {
 void clear_drain() noexcept {
   g_drain_requested = 0;
   g_drain_signal.store(0, std::memory_order_relaxed);
+}
+
+void request_flush(int) noexcept {
+  g_flush_requested = 1;
+  poke_wake_fd();
+}
+
+bool flush_requested() noexcept { return g_flush_requested != 0; }
+
+void clear_flush() noexcept { g_flush_requested = 0; }
+
+void set_signal_wake_fd(int fd) noexcept {
+  g_wake_fd.store(fd, std::memory_order_relaxed);
 }
 
 }  // namespace basrpt

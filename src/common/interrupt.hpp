@@ -63,4 +63,29 @@ int drain_signal() noexcept;
 /// Reset the pending drain flag.
 void clear_drain() noexcept;
 
+// ---- Flush (SIGHUP under a drain-aware SignalGuard) ----------------------
+//
+// A flush request asks the service to checkpoint and rewrite its SLO
+// report at the next decision boundary *without* exiting — the classic
+// SIGHUP "emit your state" contract. Repeatable: the handler is not
+// one-shot, and the service clears the flag after each flush.
+
+/// Record a flush request. Async-signal-safe.
+void request_flush(int signal_number) noexcept;
+
+/// True once request_flush() has been called (until cleared).
+bool flush_requested() noexcept;
+
+/// Reset the pending flush flag (after servicing it).
+void clear_flush() noexcept;
+
+// ---- Pollable wakeup -----------------------------------------------------
+//
+// The socket transport sleeps in poll(); a bare sig_atomic_t flag cannot
+// wake it. While a wake fd is registered, every request_* above also
+// writes one byte into it (write(2) is async-signal-safe), so the poll
+// returns immediately. Pass -1 to unregister.
+
+void set_signal_wake_fd(int fd) noexcept;
+
 }  // namespace basrpt

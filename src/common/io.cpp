@@ -1,0 +1,225 @@
+#include "common/io.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/interrupt.hpp"
+
+namespace basrpt {
+
+namespace {
+
+std::string errno_text(int err) {
+  char buf[128];
+  // GNU strerror_r may return a static string instead of filling buf.
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    std::snprintf(buf, sizeof(buf), "errno %d", err);
+  }
+  return std::string(buf);
+#endif
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) {
+    // Never retry close(2) on EINTR: on Linux the fd is already gone and
+    // a retry could double-close a descriptor another thread just got.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+long read_some(int fd, void* buf, std::size_t n) noexcept {
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, n);
+    if (got >= 0) {
+      return static_cast<long>(got);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return -static_cast<long>(errno);
+  }
+}
+
+long write_some(int fd, const void* buf, std::size_t n) noexcept {
+  // Block SIGPIPE for the duration of the write: a peer that hung up
+  // must surface as -EPIPE the connection machinery can absorb, not as
+  // a fatal signal. (send(MSG_NOSIGNAL) only exists for sockets; this
+  // path also serves pipes.)
+  sigset_t pipe_mask, saved_mask;
+  sigemptyset(&pipe_mask);
+  sigaddset(&pipe_mask, SIGPIPE);
+  const bool masked =
+      pthread_sigmask(SIG_BLOCK, &pipe_mask, &saved_mask) == 0;
+  long result;
+  for (;;) {
+    const ssize_t put = ::write(fd, buf, n);
+    if (put >= 0) {
+      result = static_cast<long>(put);
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    result = -static_cast<long>(errno);
+    break;
+  }
+  if (masked) {
+    if (result == -EPIPE) {
+      // Reap the pending SIGPIPE so it doesn't fire on unmask.
+      struct timespec zero = {0, 0};
+      sigtimedwait(&pipe_mask, nullptr, &zero);
+    }
+    pthread_sigmask(SIG_SETMASK, &saved_mask, nullptr);
+  }
+  return result;
+}
+
+std::size_t read_full(int fd, void* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const long got =
+        read_some(fd, static_cast<char*>(buf) + off, n - off);
+    if (got == 0) {
+      break;  // EOF
+    }
+    if (got < 0) {
+      throw ConfigError("io: read failed: " +
+                        errno_text(static_cast<int>(-got)));
+    }
+    off += static_cast<std::size_t>(got);
+  }
+  return off;
+}
+
+void write_full(int fd, const void* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const long put =
+        write_some(fd, static_cast<const char*>(buf) + off, n - off);
+    if (put <= 0) {
+      throw ConfigError("io: write failed: " +
+                        errno_text(put == 0 ? EIO
+                                            : static_cast<int>(-put)));
+    }
+    off += static_cast<std::size_t>(put);
+  }
+}
+
+int poll_fds(struct pollfd* fds, std::size_t n, int timeout_ms) {
+  const int ready = ::poll(fds, static_cast<nfds_t>(n), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) {
+      return 0;  // wake pipe / flag checks take it from here
+    }
+    throw ConfigError("io: poll failed: " + errno_text(errno));
+  }
+  return ready;
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  BASRPT_REQUIRE(::pipe(fds) == 0,
+                 "io: cannot create wake pipe: " + errno_text(errno));
+  read_end_.reset(fds[0]);
+  write_end_.reset(fds[1]);
+  for (const int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL);
+    BASRPT_REQUIRE(flags >= 0 &&
+                       ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                   "io: cannot set wake pipe nonblocking");
+    const int fdflags = ::fcntl(fd, F_GETFD);
+    BASRPT_REQUIRE(fdflags >= 0 &&
+                       ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) == 0,
+                   "io: cannot set wake pipe cloexec");
+  }
+}
+
+void WakePipe::notify() noexcept {
+  const char byte = 1;
+  // EAGAIN means the pipe already holds a wakeup — success. Only
+  // async-signal-safe calls here: this runs inside signal handlers.
+  [[maybe_unused]] const ssize_t ignored =
+      ::write(write_end_.get(), &byte, 1);
+}
+
+void WakePipe::drain() noexcept {
+  char buf[64];
+  while (read_some(read_end_.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+LineStatus IstreamLineSource::next_line(std::string& out) {
+  if (!std::getline(*in_, out)) {
+    if (in_->bad()) {
+      throw ConfigError("io: I/O error while reading stream");
+    }
+    out.clear();
+    return LineStatus::kEof;
+  }
+  // getline succeeded but hit EOF: the final line had no newline.
+  return in_->eof() ? LineStatus::kTorn : LineStatus::kLine;
+}
+
+LineStatus FdLineSource::next_line(std::string& out) {
+  out.clear();
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      out.assign(buf_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+      }
+      return LineStatus::kLine;
+    }
+    if (eof_) {
+      if (pos_ < buf_.size()) {
+        out.assign(buf_, pos_, buf_.size() - pos_);
+        buf_.clear();
+        pos_ = 0;
+        return LineStatus::kTorn;
+      }
+      return LineStatus::kEof;
+    }
+    if (pos_ > 0) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    char chunk[4096];
+    const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) {
+        // A flush (SIGHUP) retries: the feed must not tear. A drain or
+        // interrupt ends the stream here — the producer is conceptually
+        // gone, matching the istream path where EINTR failed the read.
+        if (drain_requested() || interrupt_requested()) {
+          eof_ = true;
+          continue;
+        }
+        continue;
+      }
+      throw ConfigError("io: read failed: " + errno_text(errno));
+    }
+    if (got == 0) {
+      eof_ = true;
+      continue;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace basrpt

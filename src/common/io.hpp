@@ -1,0 +1,147 @@
+// EINTR-safe POSIX I/O primitives for the serving transport.
+//
+// Raw read(2)/write(2) return short or fail with EINTR whenever a signal
+// lands — and basrptd installs handlers for SIGTERM/SIGINT/SIGHUP, so a
+// pipe read interrupted by a routine drain request would otherwise
+// surface as a spurious "feed truncated" parse error. Everything here
+// retries EINTR; callers never see it.
+//
+// Two error disciplines coexist on purpose:
+//  * read_full/write_full throw ConfigError — for the pipe/file ingest
+//    path, where an I/O error genuinely ends the run.
+//  * read_some/write_some return -errno — for the socket transport,
+//    where a dead peer is a normal event the connection state machine
+//    absorbs (the daemon must never die because one client did).
+//
+// WakePipe is the pollable interrupt channel: signal handlers (via
+// common/interrupt.hpp's set_signal_wake_fd) write one byte into it, so
+// a poll() sleeping on socket fds wakes immediately instead of at the
+// next timeout.
+#pragma once
+
+#include <poll.h>
+
+#include <cstddef>
+#include <istream>
+#include <string>
+
+namespace basrpt {
+
+/// RAII file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.fd_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// One read(2), EINTR retried. Returns bytes read (0 = EOF) or -errno
+/// (notably -EAGAIN on a nonblocking fd with nothing to read).
+long read_some(int fd, void* buf, std::size_t n) noexcept;
+
+/// One write(2), EINTR retried, SIGPIPE suppressed (MSG_NOSIGNAL-style:
+/// a dead peer comes back as -EPIPE, never a process-killing signal).
+long write_some(int fd, const void* buf, std::size_t n) noexcept;
+
+/// Reads exactly `n` bytes unless EOF comes first; returns bytes read
+/// (< n only at EOF). Throws ConfigError on I/O error.
+std::size_t read_full(int fd, void* buf, std::size_t n);
+
+/// Writes all `n` bytes. Throws ConfigError on any error (incl. EPIPE).
+void write_full(int fd, const void* buf, std::size_t n);
+
+/// poll(2) with EINTR surfaced as 0 ("nothing ready") so callers fall
+/// through to their flag checks — the signal handler has already poked
+/// the wake pipe if anyone cares. Throws ConfigError on real errors.
+int poll_fds(struct pollfd* fds, std::size_t n, int timeout_ms);
+
+/// Self-pipe: an always-pollable wake channel. notify() is
+/// async-signal-safe (one write on a nonblocking fd; a full pipe is
+/// already a wakeup, so EAGAIN is success).
+class WakePipe {
+ public:
+  WakePipe();
+  ~WakePipe() = default;
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  int read_fd() const { return read_end_.get(); }
+  int write_fd() const { return write_end_.get(); }
+  void notify() noexcept;
+  /// Swallows queued wake bytes so the next poll sleeps again.
+  void drain() noexcept;
+
+ private:
+  UniqueFd read_end_;
+  UniqueFd write_end_;
+};
+
+// ---- Line framing over a byte source ------------------------------------
+//
+// FeedReader (srv/feed.hpp) is written against this interface so the
+// same parser serves an istream (file), a raw fd (stdin pipe, read
+// EINTR-safe), and — via the connection state machine's internal
+// buffer — a socket.
+
+enum class LineStatus {
+  kLine,  // a complete '\n'-terminated line (newline stripped)
+  kTorn,  // final bytes with no newline: a torn write — `out` holds them
+  kEof,   // clean end of stream
+};
+
+class LineSource {
+ public:
+  virtual ~LineSource() = default;
+  /// Reads the next line into `out` (without the newline). May block.
+  /// Throws ConfigError on I/O errors.
+  virtual LineStatus next_line(std::string& out) = 0;
+};
+
+/// LineSource over an istream (feed files, in-memory tests).
+class IstreamLineSource : public LineSource {
+ public:
+  explicit IstreamLineSource(std::istream& in) : in_(&in) {}
+  LineStatus next_line(std::string& out) override;
+
+ private:
+  std::istream* in_;
+};
+
+/// LineSource over a blocking fd (stdin pipe ingest), buffered and
+/// EINTR-safe: a SIGHUP mid-read retries instead of tearing the feed.
+/// Does not own the fd.
+class FdLineSource : public LineSource {
+ public:
+  explicit FdLineSource(int fd) : fd_(fd) {}
+  LineStatus next_line(std::string& out) override;
+
+ private:
+  int fd_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace basrpt

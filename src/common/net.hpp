@@ -1,0 +1,56 @@
+// Endpoint parsing and socket setup for the serving transport.
+//
+// Two endpoint kinds, one spec grammar:
+//
+//   uds:/path/to.sock      — unix-domain stream socket (the default for
+//                            basrptd: no network exposure, filesystem
+//                            permissions apply)
+//   tcp:127.0.0.1:9321     — TCP loopback; the host must be a numeric
+//                            IPv4 address (no resolver in the hot path,
+//                            and a scheduling daemon has no business
+//                            binding a public interface by accident)
+//
+// Lives in src/common (not src/srv) because fault::ChaosLink — a layer
+// below the serving code — proxies these endpoints too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/io.hpp"
+
+namespace basrpt {
+
+struct Endpoint {
+  enum class Kind { kUds, kTcp };
+  Kind kind = Kind::kUds;
+  std::string path;         // kUds
+  std::string host;         // kTcp, numeric IPv4
+  std::uint16_t port = 0;   // kTcp
+
+  std::string str() const;
+};
+
+/// Parses "uds:<path>" or "tcp:<host>:<port>". Throws ConfigError.
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Binds + listens. A stale UDS socket file is unlinked first (the
+/// previous daemon was SIGKILLed; its checkpoint, not its socket, is
+/// the recovery story). Throws ConfigError on failure.
+UniqueFd listen_endpoint(const Endpoint& ep, int backlog = 8);
+
+/// One connect attempt. Returns an invalid fd when the peer is absent /
+/// refusing (callers back off and retry); throws ConfigError only on
+/// misconfiguration (bad address, socket() failure).
+UniqueFd connect_endpoint(const Endpoint& ep);
+
+/// Accepts one pending connection; invalid fd when none ready.
+UniqueFd accept_on(int listen_fd);
+
+/// O_NONBLOCK on. Throws ConfigError on failure.
+void set_nonblocking(int fd);
+
+/// Removes a UDS socket file if `ep` is one (listener teardown).
+void unlink_endpoint(const Endpoint& ep);
+
+}  // namespace basrpt

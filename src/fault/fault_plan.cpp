@@ -94,8 +94,21 @@ const char* fault_kind_name(FaultKind kind) {
       return "drop-decisions";
     case FaultKind::kRearrival:
       return "rearrive";
+    case FaultKind::kLinkReset:
+      return "link-reset";
+    case FaultKind::kLinkCorrupt:
+      return "link-corrupt";
+    case FaultKind::kLinkStall:
+      return "link-stall";
+    case FaultKind::kLinkDup:
+      return "link-dup";
   }
   return "?";
+}
+
+bool is_link_fault(FaultKind kind) {
+  return kind == FaultKind::kLinkReset || kind == FaultKind::kLinkCorrupt ||
+         kind == FaultKind::kLinkStall || kind == FaultKind::kLinkDup;
 }
 
 void FaultPlan::add(const FaultEvent& event) {
@@ -121,6 +134,24 @@ void FaultPlan::add(const FaultEvent& event) {
     case FaultKind::kRearrival:
       BASRPT_REQUIRE(event.count > 0, "rearrive needs a positive count");
       break;
+    case FaultKind::kLinkReset:
+      break;  // start (byte offset) checked above
+    case FaultKind::kLinkCorrupt:
+      BASRPT_REQUIRE(event.port == 0 || event.port == 1,
+                     "link-corrupt direction must be 0 (c2s) or 1 (s2c)");
+      BASRPT_REQUIRE(event.count > 0,
+                     "link-corrupt needs a positive byte count");
+      break;
+    case FaultKind::kLinkStall:
+      BASRPT_REQUIRE(event.port == 0 || event.port == 1,
+                     "link-stall direction must be 0 (c2s) or 1 (s2c)");
+      BASRPT_REQUIRE(std::isfinite(event.duration) && event.duration > 0.0,
+                     "link-stall duration must be positive");
+      break;
+    case FaultKind::kLinkDup:
+      BASRPT_REQUIRE(event.count > 0,
+                     "link-dup needs a positive repeat count");
+      break;
   }
   // Insertion sort keeps events() ordered while preserving the relative
   // order of equal-time events (plans are small; simplicity wins).
@@ -133,6 +164,9 @@ void FaultPlan::add(const FaultEvent& event) {
 std::int32_t FaultPlan::max_port() const {
   std::int32_t max = -1;
   for (const FaultEvent& e : events_) {
+    if (is_link_fault(e.kind)) {
+      continue;  // port is a direction, not a fabric port
+    }
     max = std::max(max, e.port);
   }
   return max;
@@ -141,6 +175,9 @@ std::int32_t FaultPlan::max_port() const {
 double FaultPlan::span() const {
   double end = 0.0;
   for (const FaultEvent& e : events_) {
+    if (is_link_fault(e.kind)) {
+      continue;  // start is a byte offset, not a time
+    }
     end = std::max(end, e.start + (e.kind == FaultKind::kRearrival
                                        ? 0.0
                                        : e.duration));
@@ -202,6 +239,29 @@ FaultPlan FaultPlan::parse(std::istream& in) {
       event.kind = FaultKind::kRearrival;
       event.start = parse_real(fields[1], line_no, "start");
       event.count = parse_int(fields[2], line_no, "count");
+    } else if (kind == "link-reset") {
+      require_fields(fields, 2, line_no, "link-reset");
+      event.kind = FaultKind::kLinkReset;
+      event.start = parse_real(fields[1], line_no, "offset");
+    } else if (kind == "link-corrupt") {
+      require_fields(fields, 4, line_no, "link-corrupt");
+      event.kind = FaultKind::kLinkCorrupt;
+      event.port = static_cast<std::int32_t>(
+          parse_int(fields[1], line_no, "direction"));
+      event.start = parse_real(fields[2], line_no, "offset");
+      event.count = parse_int(fields[3], line_no, "count");
+    } else if (kind == "link-stall") {
+      require_fields(fields, 4, line_no, "link-stall");
+      event.kind = FaultKind::kLinkStall;
+      event.port = static_cast<std::int32_t>(
+          parse_int(fields[1], line_no, "direction"));
+      event.start = parse_real(fields[2], line_no, "offset");
+      event.duration = parse_real(fields[3], line_no, "seconds");
+    } else if (kind == "link-dup") {
+      require_fields(fields, 3, line_no, "link-dup");
+      event.kind = FaultKind::kLinkDup;
+      event.start = parse_real(fields[1], line_no, "offset");
+      event.count = parse_int(fields[2], line_no, "count");
     } else {
       throw ParseError(kContext, line_no,
                        "unknown fault kind '" + kind + "'");
@@ -247,6 +307,21 @@ void FaultPlan::write(std::ostream& out) const {
         break;
       case FaultKind::kRearrival:
         std::snprintf(buf, sizeof(buf), "rearrive,%.17g,%" PRId64 "\n",
+                      e.start, e.count);
+        break;
+      case FaultKind::kLinkReset:
+        std::snprintf(buf, sizeof(buf), "link-reset,%.17g\n", e.start);
+        break;
+      case FaultKind::kLinkCorrupt:
+        std::snprintf(buf, sizeof(buf), "link-corrupt,%d,%.17g,%" PRId64
+                      "\n", e.port, e.start, e.count);
+        break;
+      case FaultKind::kLinkStall:
+        std::snprintf(buf, sizeof(buf), "link-stall,%d,%.17g,%.17g\n",
+                      e.port, e.start, e.duration);
+        break;
+      case FaultKind::kLinkDup:
+        std::snprintf(buf, sizeof(buf), "link-dup,%.17g,%" PRId64 "\n",
                       e.start, e.count);
         break;
     }

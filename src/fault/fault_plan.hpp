@@ -20,6 +20,18 @@
 //   blackout,1.0,0.2,7         # start,duration,port
 //   drop-decisions,2.0,0.05    # start,duration
 //   rearrive,2.5,64            # start,count
+//
+// The same format also scripts the *transport* chaos ops consumed by
+// fault::ChaosLink (they are ignored by the simulator-side injector).
+// Their trigger coordinate is a cumulative BYTE OFFSET in the proxied
+// stream, not a time — which is what makes a chaos run deterministic
+// regardless of host speed, write chunking, or pacing:
+//
+//   link-reset,4096            # c2s-offset: drop both sides of the link
+//   link-corrupt,0,100,3       # dir(0=c2s,1=s2c),offset,bytes: XOR 0x20
+//   link-stall,1,2048,0.05     # dir,offset,wall-seconds: pause the pipe
+//   link-dup,512,2             # s2c-offset,count: re-deliver the last
+//                              # fully-forwarded frame `count` extra times
 #pragma once
 
 #include <cstdint>
@@ -45,7 +57,27 @@ enum class FaultKind {
   /// remaining bytes — senders timing out and restarting after losing
   /// their slot, the PDQ-style preemption pathology.
   kRearrival,
+  // -- Transport chaos (fault::ChaosLink; byte-offset triggered). The
+  //    simulator-side injector skips these; max_port()/span() exclude
+  //    them (port holds a direction, start holds a byte offset).
+  /// Reset both sides of the proxied link once `start` client→server
+  /// bytes have been forwarded.
+  kLinkReset,
+  /// XOR 0x20 into `count` bytes of direction `port` (0 c2s, 1 s2c)
+  /// starting at stream offset `start`.
+  kLinkCorrupt,
+  /// Pause forwarding direction `port` for `duration` wall-seconds once
+  /// its stream offset reaches `start`.
+  kLinkStall,
+  /// Re-deliver the last fully-forwarded server→client frame `count`
+  /// extra times once the s2c offset reaches `start` (frame-aligned, so
+  /// it exercises the client's sequence dedupe, not its parser).
+  kLinkDup,
 };
+
+/// True for the kLink* kinds consumed by fault::ChaosLink rather than
+/// the simulator-side injector.
+bool is_link_fault(FaultKind kind);
 
 const char* fault_kind_name(FaultKind kind);
 

@@ -22,6 +22,9 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::int32_t ports,
   transitions_.reserve(2 * events.size());
   for (std::size_t k = 0; k < events.size(); ++k) {
     const FaultEvent& e = events[k];
+    if (is_link_fault(e.kind)) {
+      continue;  // transport chaos: fault::ChaosLink's domain, not ours
+    }
     transitions_.push_back({e.start, k, /*opens=*/true});
     if (e.kind != FaultKind::kRearrival) {
       transitions_.push_back({e.start + e.duration, k, /*opens=*/false});
@@ -93,6 +96,12 @@ void FaultInjector::apply(const Transition& t) {
         hooks_.on_rearrival(e.count);
       }
       break;
+    case FaultKind::kLinkReset:
+    case FaultKind::kLinkCorrupt:
+    case FaultKind::kLinkStall:
+    case FaultKind::kLinkDup:
+      BASRPT_ASSERT(false, "link fault reached the simulator injector");
+      break;
   }
 }
 
@@ -144,6 +153,11 @@ void FaultInjector::restore_cursor(std::size_t cursor) {
         break;
       case FaultKind::kRearrival:
         break;  // instant burst; no window state to rebuild
+      case FaultKind::kLinkReset:
+      case FaultKind::kLinkCorrupt:
+      case FaultKind::kLinkStall:
+      case FaultKind::kLinkDup:
+        break;  // never in transitions_ (skipped at construction)
     }
   }
   cursor_ = cursor;

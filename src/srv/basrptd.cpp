@@ -1,29 +1,45 @@
 // basrptd — the online BASRPT scheduling service.
 //
-// Replays (or consumes from stdin) a basrpt-feed-v1 arrival stream
-// against the flow-level simulator's online stepping API, with admission
-// control, health-state management, checkpoint rotation, and a final SLO
-// report. Typical invocations:
+// Replays (or consumes from stdin / a listener socket) a basrpt-feed-v1
+// arrival stream against the flow-level simulator's online stepping API,
+// with admission control, health-state management, checkpoint rotation,
+// and a final SLO report. Typical invocations:
 //
 //   basrptd --feed soak.feed --slo-out slo.json --ckpt-dir ckpts
 //   loadgen | basrptd --horizon 3600                 # pipe ingest
+//   basrptd --listen uds:/tmp/basrpt.sock            # socket ingest +
+//                                                    # decisions-out
 //   basrptd --feed soak.feed --ckpt-dir ckpts --resume  # after SIGKILL
+//   basrptd --listen uds:/tmp/basrpt.sock --ckpt-dir ckpts --resume
 //
-// Signals: SIGTERM drains gracefully (stop admitting, finish in-flight,
-// checkpoint, write the SLO report, exit 0); SIGINT interrupts at the
-// next event boundary (emergency checkpoint, exit 128+SIGINT).
+// Signal / exit-code matrix (docs/SERVING.md has the full table):
+//
+//   SIGTERM  drain: stop admitting, finish in-flight, checkpoint, SLO
+//            report, `complete,<seq>,drained` to a connected producer;
+//            exit 0.
+//   SIGINT   interrupt at the next safe boundary: emergency checkpoint,
+//            `complete,<seq>,interrupted`; exit 128+SIGINT.
+//   SIGHUP   flush, keep serving: checkpoint + rewrite --slo-out at the
+//            next decision boundary. Repeatable; exit code unaffected.
+//   SIGKILL  nothing runs; restart with --resume to continue from the
+//            newest rotated checkpoint. A socket producer reconnects
+//            and replays from the advertised cursor.
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "ckpt/signal_guard.hpp"
 #include "common/assert.hpp"
 #include "common/cli.hpp"
+#include "common/io.hpp"
+#include "common/net.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "report/metrics_json.hpp"
 #include "srv/server.hpp"
+#include "srv/transport.hpp"
 
 namespace {
 
@@ -34,6 +50,12 @@ int run(int argc, char** argv) {
                 "online BASRPT scheduling service: feed ingest, overload "
                 "control, graceful degradation, checkpointed state");
   cli.text("feed", "", "basrpt-feed-v1 file to replay ('' = stdin)")
+      .text("listen", "",
+            "serve a feed socket instead: uds:<path> or tcp:<host>:<port> "
+            "(decisions stream back to the producer)")
+      .real("session-idle-sec", 60.0,
+            "socket mode: end the session after this long with no "
+            "producer connected (0 = wait forever)")
       .text("scheduler", "fast-basrpt:v=2500",
             "scheduler spec (see sched::SchedulerSpec::parse)")
       .integer("racks", 2, "fabric racks")
@@ -97,6 +119,21 @@ int run(int argc, char** argv) {
   config.ckpt_keep_last = static_cast<int>(cli.get_integer("ckpt-keep"));
   config.ckpt_every_sec = cli.get_real("ckpt-every-sec");
 
+  // SIGHUP: checkpoint (run_loop handles that part) and rewrite the SLO
+  // report in place, then keep serving.
+  const std::string slo_out = cli.get_text("slo-out");
+  config.flush_hook = [slo_out](const srv::Server& s) {
+    if (!slo_out.empty()) {
+      srv::SloRunTotals totals;
+      totals.status = "serving";
+      totals.feed_seconds = s.now_sec();
+      totals.records_consumed = static_cast<std::int64_t>(s.consumed());
+      srv::write_slo_json_file(slo_out, s.slo(), s.health(), totals);
+    }
+    std::fprintf(stderr,
+                 "basrptd: SIGHUP flush: checkpoint + SLO report written\n");
+  };
+
   fault::FaultPlan plan;
   if (!cli.get_text("fault-plan").empty()) {
     plan = fault::FaultPlan::from_file(cli.get_text("fault-plan"));
@@ -107,21 +144,10 @@ int run(int argc, char** argv) {
     obs::set_enabled(true);
   }
 
-  std::ifstream feed_file;
-  if (!cli.get_text("feed").empty()) {
-    feed_file.open(cli.get_text("feed"));
-    BASRPT_REQUIRE(feed_file.good(),
-                   "cannot open feed file: " + cli.get_text("feed"));
-  }
-  std::istream& feed_in =
-      cli.get_text("feed").empty() ? std::cin : feed_file;
-  srv::FeedReader feed(feed_in);
-
-  // SIGTERM = graceful drain, SIGINT = interrupt; armed for the whole
-  // serving run.
-  ckpt::SignalGuard guard(/*drain_on_sigterm=*/true);
-
-  std::unique_ptr<srv::Server> server;
+  // Load the resume image before the feed source: in socket mode the
+  // listener advertises the checkpoint's consumed count as its replay
+  // cursor from the very first hello.
+  std::optional<srv::ServerCkpt> resume_state;
   if (cli.get_flag("resume")) {
     BASRPT_REQUIRE(!config.ckpt_dir.empty(), "--resume needs --ckpt-dir");
     const std::string latest =
@@ -129,20 +155,55 @@ int run(int argc, char** argv) {
     BASRPT_REQUIRE(!latest.empty(),
                    "--resume: no checkpoint found in " + config.ckpt_dir);
     std::fprintf(stderr, "basrptd: resuming from %s\n", latest.c_str());
-    server = std::make_unique<srv::Server>(
-        config, srv::read_server_ckpt_file(latest));
+    resume_state = srv::read_server_ckpt_file(latest);
+  }
+
+  const std::string listen_spec = cli.get_text("listen");
+  BASRPT_REQUIRE(listen_spec.empty() || cli.get_text("feed").empty(),
+                 "--listen and --feed are mutually exclusive");
+  std::ifstream feed_file;
+  std::unique_ptr<FdLineSource> stdin_lines;
+  std::unique_ptr<srv::RecordSource> source;
+  if (!listen_spec.empty()) {
+    srv::TransportConfig tcfg;
+    tcfg.endpoint = parse_endpoint(listen_spec);
+    tcfg.session_idle_sec = cli.get_real("session-idle-sec");
+    tcfg.start_cursor =
+        resume_state ? resume_state->feed_records_consumed : 0;
+    source = std::make_unique<srv::SocketTransport>(tcfg);
+    std::fprintf(stderr, "basrptd: listening on %s\n",
+                 tcfg.endpoint.str().c_str());
+  } else if (!cli.get_text("feed").empty()) {
+    feed_file.open(cli.get_text("feed"));
+    BASRPT_REQUIRE(feed_file.good(),
+                   "cannot open feed file: " + cli.get_text("feed"));
+    source = std::make_unique<srv::FeedReader>(feed_file);
+  } else {
+    // Raw-fd stdin ingest: EINTR-safe, so a SIGHUP flush mid-read
+    // retries instead of tearing the feed.
+    stdin_lines = std::make_unique<FdLineSource>(0);
+    source = std::make_unique<srv::FeedReader>(*stdin_lines);
+  }
+
+  // SIGTERM = graceful drain, SIGINT = interrupt, SIGHUP = flush; armed
+  // for the whole serving run.
+  ckpt::SignalGuard guard(/*drain_on_sigterm=*/true);
+
+  std::unique_ptr<srv::Server> server;
+  if (resume_state) {
+    server = std::make_unique<srv::Server>(config, *resume_state);
   } else {
     server = std::make_unique<srv::Server>(config);
   }
 
-  const srv::ServeResult result = server->serve(feed);
+  const srv::ServeResult result = server->serve(*source);
 
-  if (cli.get_text("slo-out").empty()) {
+  if (slo_out.empty()) {
     srv::write_slo_json(std::cout, server->slo(), server->health(),
                         result.totals);
   } else {
-    srv::write_slo_json_file(cli.get_text("slo-out"), server->slo(),
-                             server->health(), result.totals);
+    srv::write_slo_json_file(slo_out, server->slo(), server->health(),
+                             result.totals);
   }
   if (!cli.get_text("metrics-out").empty()) {
     server->slo().export_metrics(obs::Registry::global());

@@ -87,12 +87,94 @@ std::vector<std::string> split_fields(const std::string& line) {
 
 }  // namespace
 
-FeedReader::FeedReader(std::istream& in) : in_(&in) {
+FeedLineKind parse_feed_line(const std::string& raw, std::size_t line_no,
+                             double last_time, FeedRecord* out) {
+  std::string line = raw;
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();  // tolerate CRLF
+  }
+  if (line.empty() || line[0] == '#') {
+    return FeedLineKind::kBlank;
+  }
+  if (line == "end") {
+    return FeedLineKind::kEnd;
+  }
+  const std::vector<std::string> fields = split_fields(line);
+  if (fields.empty() || fields[0] != "flow") {
+    throw ParseError(kFeedParseContext, line_no,
+                     "expected a 'flow,...' record or 'end', got '" +
+                         line.substr(0, 32) + "'");
+  }
+  if (fields.size() != 6 && fields.size() != 7) {
+    throw ParseError(
+        kFeedParseContext, line_no,
+        "expected flow,time,src,dst,size,class[,tenant]; got " +
+            std::to_string(fields.size()) + " fields");
+  }
+  FeedRecord rec;
+  rec.arrival.time = SimTime{parse_real(fields[1], line_no, "time")};
+  rec.arrival.src =
+      static_cast<workload::PortId>(parse_int(fields[2], line_no, "src"));
+  rec.arrival.dst =
+      static_cast<workload::PortId>(parse_int(fields[3], line_no, "dst"));
+  rec.arrival.size = Bytes{parse_int(fields[4], line_no, "size")};
+  rec.arrival.cls = parse_class(fields[5], line_no);
+  if (fields.size() == 7) {
+    const std::int64_t tenant = parse_int(fields[6], line_no, "tenant");
+    if (tenant < 0 || tenant > INT32_MAX) {
+      throw ParseError(kFeedParseContext, line_no,
+                       "tenant out of range: '" + fields[6] + "'");
+    }
+    rec.tenant = static_cast<std::int32_t>(tenant);
+  }
+  if (rec.arrival.time.seconds < 0.0) {
+    throw ParseError(kFeedParseContext, line_no, "time must be non-negative");
+  }
+  if (rec.arrival.time.seconds < last_time) {
+    throw ParseError(kFeedParseContext, line_no,
+                     "times must be non-decreasing");
+  }
+  if (rec.arrival.src < 0 || rec.arrival.dst < 0) {
+    throw ParseError(kFeedParseContext, line_no,
+                     "ports must be non-negative");
+  }
+  if (rec.arrival.src == rec.arrival.dst) {
+    throw ParseError(kFeedParseContext, line_no, "src and dst must differ");
+  }
+  if (rec.arrival.size.count <= 0) {
+    throw ParseError(kFeedParseContext, line_no, "size must be positive");
+  }
+  *out = rec;
+  return FeedLineKind::kRecord;
+}
+
+std::string encode_feed_record(const FeedRecord& record) {
+  char buf[160];
+  // %.17g round-trips an IEEE double exactly, so a replayed feed
+  // reproduces the generating run bit-for-bit.
+  std::snprintf(buf, sizeof(buf), "flow,%.17g,%d,%d,%" PRId64 ",%c,%d\n",
+                record.arrival.time.seconds, record.arrival.src,
+                record.arrival.dst, record.arrival.size.count,
+                class_tag(record.arrival.cls), record.tenant);
+  return std::string(buf);
+}
+
+FeedReader::FeedReader(std::istream& in)
+    : owned_(std::make_unique<IstreamLineSource>(in)), lines_(owned_.get()) {
+  read_header();
+}
+
+FeedReader::FeedReader(LineSource& lines) : lines_(&lines) { read_header(); }
+
+void FeedReader::read_header() {
   std::string line;
-  if (!std::getline(*in_, line)) {
+  const LineStatus st = lines_->next_line(line);
+  if (st == LineStatus::kEof) {
     throw ParseError(kFeedParseContext, 1,
                      std::string("expected '") + kFeedMagic + "'");
   }
+  // A torn header (no trailing newline) is accepted when the content
+  // matches: historic behaviour for one-line hand-written feeds.
   if (!line.empty() && line.back() == '\r') {
     line.pop_back();  // tolerate CRLF
   }
@@ -107,87 +189,37 @@ std::optional<FeedRecord> FeedReader::next() {
     return std::nullopt;
   }
   std::string line;
-  while (std::getline(*in_, line)) {
-    ++line_no_;
-    // The writer terminates every line; a final line without a newline
-    // is a torn write (or a half-flushed pipe) — reject it rather than
-    // acting on a partial record.
-    const bool had_newline = !in_->eof();
-    if (!line.empty() && line.back() == '\r') {
-      line.pop_back();  // tolerate CRLF
+  for (;;) {
+    const LineStatus st = lines_->next_line(line);
+    if (st == LineStatus::kEof) {
+      // Bare EOF: the producer went away without the `end` sentinel.
+      // The server drains; a strict batch loader may reject via
+      // clean_end().
+      done_ = true;
+      return std::nullopt;
     }
-    if (!had_newline) {
+    ++line_no_;
+    if (st == LineStatus::kTorn) {
+      // The writer terminates every line; a final line without a
+      // newline is a torn write (or a half-flushed pipe) — reject it
+      // rather than acting on a partial record.
       throw ParseError(kFeedParseContext, line_no_,
                        "feed truncated (no trailing newline)");
     }
-    if (line.empty() || line[0] == '#') {
-      continue;
-    }
-    if (line == "end") {
-      done_ = true;
-      clean_end_ = true;
-      return std::nullopt;
-    }
-    const std::vector<std::string> fields = split_fields(line);
-    if (fields.empty() || fields[0] != "flow") {
-      throw ParseError(kFeedParseContext, line_no_,
-                       "expected a 'flow,...' record or 'end', got '" +
-                           line.substr(0, 32) + "'");
-    }
-    if (fields.size() != 6 && fields.size() != 7) {
-      throw ParseError(
-          kFeedParseContext, line_no_,
-          "expected flow,time,src,dst,size,class[,tenant]; got " +
-              std::to_string(fields.size()) + " fields");
-    }
     FeedRecord rec;
-    rec.arrival.time =
-        SimTime{parse_real(fields[1], line_no_, "time")};
-    rec.arrival.src = static_cast<workload::PortId>(
-        parse_int(fields[2], line_no_, "src"));
-    rec.arrival.dst = static_cast<workload::PortId>(
-        parse_int(fields[3], line_no_, "dst"));
-    rec.arrival.size = Bytes{parse_int(fields[4], line_no_, "size")};
-    rec.arrival.cls = parse_class(fields[5], line_no_);
-    if (fields.size() == 7) {
-      const std::int64_t tenant = parse_int(fields[6], line_no_, "tenant");
-      if (tenant < 0 || tenant > INT32_MAX) {
-        throw ParseError(kFeedParseContext, line_no_,
-                         "tenant out of range: '" + fields[6] + "'");
-      }
-      rec.tenant = static_cast<std::int32_t>(tenant);
+    switch (parse_feed_line(line, line_no_, last_time_, &rec)) {
+      case FeedLineKind::kBlank:
+        continue;
+      case FeedLineKind::kEnd:
+        done_ = true;
+        clean_end_ = true;
+        return std::nullopt;
+      case FeedLineKind::kRecord:
+        last_time_ = rec.arrival.time.seconds;
+        ++records_;
+        return rec;
     }
-    if (rec.arrival.time.seconds < 0.0) {
-      throw ParseError(kFeedParseContext, line_no_,
-                       "time must be non-negative");
-    }
-    if (rec.arrival.time.seconds < last_time_) {
-      throw ParseError(kFeedParseContext, line_no_,
-                       "times must be non-decreasing");
-    }
-    if (rec.arrival.src < 0 || rec.arrival.dst < 0) {
-      throw ParseError(kFeedParseContext, line_no_,
-                       "ports must be non-negative");
-    }
-    if (rec.arrival.src == rec.arrival.dst) {
-      throw ParseError(kFeedParseContext, line_no_,
-                       "src and dst must differ");
-    }
-    if (rec.arrival.size.count <= 0) {
-      throw ParseError(kFeedParseContext, line_no_,
-                       "size must be positive");
-    }
-    last_time_ = rec.arrival.time.seconds;
-    ++records_;
-    return rec;
   }
-  if (in_->bad()) {
-    throw ConfigError("feed: I/O error while reading");
-  }
-  // Bare EOF: the producer went away without the `end` sentinel. The
-  // server drains; a strict batch loader may reject via clean_end().
-  done_ = true;
-  return std::nullopt;
 }
 
 FeedWriter::FeedWriter(std::ostream& out) : out_(&out) {
@@ -196,14 +228,7 @@ FeedWriter::FeedWriter(std::ostream& out) : out_(&out) {
 
 void FeedWriter::write(const FeedRecord& record) {
   BASRPT_REQUIRE(!finished_, "feed writer already finished");
-  char buf[160];
-  // %.17g round-trips an IEEE double exactly, so a replayed feed
-  // reproduces the generating run bit-for-bit.
-  std::snprintf(buf, sizeof(buf), "flow,%.17g,%d,%d,%" PRId64 ",%c,%d\n",
-                record.arrival.time.seconds, record.arrival.src,
-                record.arrival.dst, record.arrival.size.count,
-                class_tag(record.arrival.cls), record.tenant);
-  *out_ << buf;
+  *out_ << encode_feed_record(record);
 }
 
 void FeedWriter::finish() {

@@ -1,7 +1,7 @@
 // basrpt-feed-v1: the versioned line format of the online arrival feed.
 //
-// basrptd's ingest is a text stream — replayed from a trace file or piped
-// in from a generator/socket — one record per line:
+// basrptd's ingest is a text stream — replayed from a trace file, piped
+// in from a generator, or framed over a socket — one record per line:
 //
 //   basrpt-feed-v1
 //   # flow,time_s,src,dst,size_bytes,class[,tenant]
@@ -21,14 +21,19 @@
 //
 // FeedReader is incremental — next() reads one line — so it works
 // unbuffered off a pipe; nothing about it assumes the feed is finite.
+// The per-line grammar is exposed as parse_feed_line() so the socket
+// transport's connection state machine (srv/connection.hpp) validates
+// frames with exactly the same rules and error text.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/io.hpp"
 #include "workload/traffic.hpp"
 
 namespace basrpt::srv {
@@ -42,28 +47,113 @@ struct FeedRecord {
   std::int32_t tenant = 0;
 };
 
+/// One admission decision, as streamed back to basrpt-decisions-v1
+/// consumers. `seq` is 1-based and equals the server's consumed-record
+/// count at the moment the decision was made — every consumed record
+/// produces exactly one decision (admit or shed), so the sequence is
+/// gapless on the server side and doubles as the replay cursor.
+struct Decision {
+  std::uint64_t seq = 0;
+  double time_s = 0.0;
+  bool admitted = false;
+  std::int32_t tenant = 0;
+};
+
+/// What Server::serve consumes: an ordered record stream plus an
+/// optional reverse channel for decisions. FeedReader implements the
+/// forward half over files/pipes; SocketTransport implements both
+/// halves over a listener socket.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// Next record. With may_block=false, returns nullopt immediately
+  /// when nothing is buffered. With may_block=true the source may wait
+  /// for input, but may also return a *spurious* nullopt when a control
+  /// flag (drain/interrupt/flush) or a transport lull needs the
+  /// caller's attention — check done() before concluding the feed
+  /// ended.
+  virtual std::optional<FeedRecord> next(bool may_block) = 0;
+
+  /// True once the stream is over: no record will ever come again.
+  virtual bool done() const = 0;
+  /// True when the feed ended via the `end` sentinel rather than the
+  /// producer going away.
+  virtual bool clean_end() const = 0;
+
+  /// True when the source positions itself at the resume cursor (the
+  /// socket transport's hello/replay handshake does) so serve() must
+  /// not skip already-consumed records itself.
+  virtual bool resumes_at_cursor() const { return false; }
+
+  /// Called at every decision boundary, in sequence order.
+  virtual void notify_decision(const Decision&) {}
+
+  /// Advisory for HealthMonitor: the decisions-out consumer is not
+  /// draining its stream (send buffer over cap).
+  virtual bool slow_consumer() const { return false; }
+
+  /// End of serving: emit the final `complete,<seq>,<status>` frame and
+  /// flush it out. Called once, after the run's status is known.
+  virtual void finish(const std::string& status, std::uint64_t last_seq) {
+    (void)status;
+    (void)last_seq;
+  }
+};
+
+/// Classification of one feed line by parse_feed_line().
+enum class FeedLineKind {
+  kRecord,  ///< a `flow,...` record; *out was filled in
+  kBlank,   ///< blank line or `#` comment — skip
+  kEnd,     ///< the `end` sentinel
+};
+
+/// Parses one feed line (CRLF already stripped by the caller or not —
+/// a trailing '\r' is tolerated here too). `line_no` is 1-based and
+/// used in error text; `last_time` is the previous record's time for
+/// the non-decreasing check. Throws ParseError on any malformed
+/// construct. The header line is NOT handled here.
+FeedLineKind parse_feed_line(const std::string& line, std::size_t line_no,
+                             double last_time, FeedRecord* out);
+
+/// One `flow,...\n` line for `record`, exactly as FeedWriter emits it
+/// (%.17g times round-trip bit-exact). Used by FeedWriter and by the
+/// socket client's replay encoder.
+std::string encode_feed_record(const FeedRecord& record);
+
 /// Incremental reader. Validates the header on construction; next()
 /// yields records until the `end` sentinel or EOF. Throws ParseError
 /// (line-numbered) on any malformed construct.
-class FeedReader {
+class FeedReader : public RecordSource {
  public:
   explicit FeedReader(std::istream& in);
+  /// Reads from an arbitrary LineSource (e.g. FdLineSource on stdin,
+  /// which survives EINTR from the SIGHUP flush handler). The source
+  /// must outlive the reader.
+  explicit FeedReader(LineSource& lines);
 
   /// Next record, or nullopt when the feed ended. Safe to call again
   /// after the end (keeps returning nullopt).
   std::optional<FeedRecord> next();
+  std::optional<FeedRecord> next(bool may_block) override {
+    (void)may_block;  // line sources block on their own terms
+    return next();
+  }
 
   /// True once the feed ended via the `end` sentinel (producer finished)
   /// rather than a bare EOF (producer went away).
-  bool clean_end() const { return clean_end_; }
-  bool done() const { return done_; }
+  bool clean_end() const override { return clean_end_; }
+  bool done() const override { return done_; }
 
   std::size_t records() const { return records_; }
   /// 1-based line number of the last line consumed.
   std::size_t line() const { return line_no_; }
 
  private:
-  std::istream* in_;
+  void read_header();
+
+  std::unique_ptr<IstreamLineSource> owned_;  // istream ctor only
+  LineSource* lines_;
   std::size_t line_no_ = 1;
   std::size_t records_ = 0;
   double last_time_ = 0.0;

@@ -95,18 +95,19 @@ HealthState HealthMonitor::update(const HealthSignals& s) {
     return state_;
   }
 
-  // Degraded is advisory: fault-plan disruption or decision p99 over
-  // budget. It never gates admission.
+  // Degraded is advisory: fault-plan disruption, a slow decisions-out
+  // consumer, or decision p99 over budget. It never gates admission.
   const bool degraded_cause =
-      s.in_disruption ||
+      s.in_disruption || s.slow_consumer ||
       (s.decision_p99_ms >= 0.0 &&
        s.decision_p99_ms > config_.degraded_p99_ms);
   if (state_ == HealthState::kHealthy) {
     if (degraded_cause) {
       degraded_clear_valid_ = false;
       transition(s.now_sec, HealthState::kDegraded,
-                 s.in_disruption ? "fault disruption window"
-                                 : "decision p99 over budget");
+                 s.in_disruption      ? "fault disruption window"
+                 : s.slow_consumer   ? "slow decision consumer"
+                                     : "decision p99 over budget");
     }
   } else if (state_ == HealthState::kDegraded) {
     if (degraded_cause) {

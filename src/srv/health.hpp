@@ -47,6 +47,11 @@ struct HealthSignals {
   std::int64_t active_flows = 0;
   /// Fault plan currently holding the fabric in a disruption window.
   bool in_disruption = false;
+  /// Advisory: the decisions-out consumer is not draining its stream
+  /// (transport send buffer over cap). Like the p99 signal it can raise
+  /// kDegraded but never gates admission — the transport itself handles
+  /// the slow peer (backpressure, then frame shedding).
+  bool slow_consumer = false;
   /// Advisory wall-clock signal (ms); < 0 means "no sample yet".
   double decision_p99_ms = -1.0;
 };

@@ -76,6 +76,7 @@ void Server::pump_health(double now_sec) {
   signals.active_flows =
       static_cast<std::int64_t>(sim_->active_flows());
   signals.in_disruption = sim_->in_disruption();
+  signals.slow_consumer = source_ != nullptr && source_->slow_consumer();
   const obs::LatencyHistogram& d = slo_.decision_ns();
   signals.decision_p99_ms =
       d.count() >= kMinP99Samples ? d.quantile(0.99) / 1e6 : -1.0;
@@ -133,13 +134,16 @@ void Server::maybe_checkpoint(double now_sec) {
 ServerCkpt Server::capture() const {
   ServerCkpt state;
   state.feed_records_consumed = consumed_;
+  // One decision per consumed record: the ack sequence a reconnecting
+  // producer resumes against is exactly the consumed count.
+  state.decisions_emitted = consumed_;
   state.sim = sim_->capture();
   state.slo = slo_.snapshot();
   state.health = health_.snapshot();
   return state;
 }
 
-void Server::run_loop(FeedReader& feed) {
+void Server::run_loop(RecordSource& feed) {
   std::deque<FeedRecord> queue;
   while (true) {
     if (drain_requested()) {
@@ -148,10 +152,27 @@ void Server::run_loop(FeedReader& feed) {
       // same feed re-reads them).
       return;
     }
+    if (interrupt_requested()) {
+      // A socket source parks in poll() rather than the engine loop, so
+      // the engine's own interrupt polling may never run; surface the
+      // request here, at a decision boundary.
+      throw InterruptedError(interrupt_signal());
+    }
+    if (flush_requested()) {
+      // SIGHUP: emit state, keep serving. This is a decision boundary
+      // (the previous record is fully processed), so the checkpoint is
+      // resume-safe.
+      clear_flush();
+      write_checkpoint();
+      if (config_.flush_hook) {
+        config_.flush_hook(*this);
+      }
+    }
     // Refill the bounded read-ahead; off a pipe the kernel backpressures
-    // the producer once we stop pulling.
+    // the producer once we stop pulling. Block only when the queue is
+    // empty — otherwise there is work to do.
     while (queue.size() < config_.ingest_capacity && !feed.done()) {
-      std::optional<FeedRecord> rec = feed.next();
+      std::optional<FeedRecord> rec = feed.next(queue.empty());
       if (!rec) {
         break;
       }
@@ -159,7 +180,10 @@ void Server::run_loop(FeedReader& feed) {
     }
     slo_.record_queue_depth(queue.size());
     if (queue.empty()) {
-      return;  // feed exhausted (clean end or producer gone)
+      if (feed.done()) {
+        return;  // feed exhausted (clean end or producer gone)
+      }
+      continue;  // spurious wakeup: re-check the control flags
     }
     const FeedRecord rec = queue.front();
     queue.pop_front();
@@ -177,6 +201,7 @@ void Server::run_loop(FeedReader& feed) {
     ++consumed_;
     if (!health_.admitting()) {
       slo_.record_shed(rec.tenant, t);
+      feed.notify_decision(Decision{consumed_, t, false, rec.tenant});
       continue;
     }
     slo_.record_admit(rec.tenant);
@@ -184,6 +209,7 @@ void Server::run_loop(FeedReader& feed) {
     sim_->offer(rec.arrival);
     sim_->advance_to(rec.arrival.time);  // executes the arrival: decision
     slo_.record_decision(wall_ns_since(start), budget_ns_);
+    feed.notify_decision(Decision{consumed_, t, true, rec.tenant});
     // Decision boundary — the only instant where a checkpoint resumes
     // bit-deterministically (flowsim/online.hpp).
     maybe_checkpoint(t);
@@ -201,18 +227,24 @@ void Server::drain() {
   }
 }
 
-ServeResult Server::serve(FeedReader& feed) {
+ServeResult Server::serve(RecordSource& feed) {
   const auto wall_start = std::chrono::steady_clock::now();
   pace_start_ = wall_start;
   pace_base_sec_ = sim_->now().seconds;
+  source_ = &feed;
   ServeResult result;
   std::string status;
   try {
-    for (std::uint64_t skipped = 0; skipped < skip_records_; ++skipped) {
-      BASRPT_REQUIRE(feed.next().has_value(),
-                     "resume: feed ended before the checkpoint cursor (" +
-                         std::to_string(skip_records_) +
-                         " records); wrong feed for this checkpoint?");
+    if (!feed.resumes_at_cursor()) {
+      // File/pipe resume: re-read and discard the records the captured
+      // run already processed. A socket source instead advertises the
+      // cursor in its hello frame and the producer replays from there.
+      for (std::uint64_t skipped = 0; skipped < skip_records_; ++skipped) {
+        BASRPT_REQUIRE(feed.next(true).has_value(),
+                       "resume: feed ended before the checkpoint cursor (" +
+                           std::to_string(skip_records_) +
+                           " records); wrong feed for this checkpoint?");
+      }
     }
     run_loop(feed);
     const bool signalled = drain_requested();
@@ -220,6 +252,7 @@ ServeResult Server::serve(FeedReader& feed) {
     status = signalled || !feed.clean_end() ? "drained" : "completed";
     result.exit_code = 0;
     write_checkpoint();
+    feed.finish(status, consumed_);
   } catch (const InterruptedError& e) {
     status = "interrupted";
     const int sig = e.signal_number() > 0 ? e.signal_number() : SIGINT;
@@ -227,7 +260,9 @@ ServeResult Server::serve(FeedReader& feed) {
     BASRPT_LOG(kWarn) << "srv: interrupted by signal " << sig
                       << "; writing checkpoint";
     write_checkpoint();
+    feed.finish(status, consumed_);
   }
+  source_ = nullptr;
   result.totals.status = status;
   result.totals.resumed = resumed_;
   result.totals.feed_seconds = sim_->now().seconds;

@@ -24,14 +24,23 @@
 //    final checkpoint, status "drained"/"completed", exit code 0.
 //  * SIGINT → InterruptedError out of the event loop, emergency
 //    checkpoint, status "interrupted", exit code 128+sig.
+//  * SIGHUP → flush: checkpoint + run the flush hook (basrptd rewrites
+//    the SLO report) at the next decision boundary, then keep serving.
 //  * SIGKILL → nothing runs, but the rotated checkpoints written at
 //    `ckpt_every_sec` virtual cadence (always at a decision boundary —
 //    see flowsim/online.hpp for why that makes resume bit-deterministic
 //    with stateless schedulers) let `--resume` continue the serving run.
+//
+// The feed arrives through the RecordSource interface (srv/feed.hpp):
+// FeedReader for files/pipes, SocketTransport for the listener path. A
+// socket source emits one sequence-numbered decision per consumed
+// record back to the producer and reports slow consumers into the
+// health machine.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -44,6 +53,8 @@
 #include "srv/state_codec.hpp"
 
 namespace basrpt::srv {
+
+class Server;
 
 struct ServerConfig {
   /// Fabric, fault plan, watchdog. `sim.horizon` is the hard ceiling on
@@ -73,6 +84,9 @@ struct ServerConfig {
   /// Virtual-time cadence of rotated checkpoints (<= 0: only the final/
   /// emergency checkpoint is written).
   double ckpt_every_sec = 1.0;
+  /// Runs after the checkpoint on every SIGHUP flush (basrptd rewrites
+  /// its SLO report here). Called at a decision boundary.
+  std::function<void(const Server&)> flush_hook;
 };
 
 struct ServeResult {
@@ -98,10 +112,13 @@ class Server {
   /// Runs the serving loop over `feed` to one of the shutdown paths.
   /// Never throws for signal-driven endings (they are encoded in the
   /// result); feed parse errors and config violations do propagate.
-  ServeResult serve(FeedReader& feed);
+  ServeResult serve(RecordSource& feed);
 
   const SloTracker& slo() const { return slo_; }
   const HealthMonitor& health() const { return health_; }
+  /// Current virtual time / consumed-record count (flush hooks).
+  double now_sec() const { return sim_->now().seconds; }
+  std::uint64_t consumed() const { return consumed_; }
   /// Live serving state (tests and the in-process soak bench).
   ServerCkpt capture() const;
 
@@ -113,7 +130,7 @@ class Server {
   void write_checkpoint();
   /// Consumes records, returns false when serving should stop (drain
   /// requested or feed exhausted).
-  void run_loop(FeedReader& feed);
+  void run_loop(RecordSource& feed);
   void drain();
 
   ServerConfig config_;
@@ -122,6 +139,7 @@ class Server {
   SloTracker slo_;
   HealthMonitor health_;
   std::unique_ptr<ckpt::CheckpointManager> ckpt_;
+  RecordSource* source_ = nullptr;  // live only inside serve()
   std::uint64_t consumed_ = 0;
   std::uint64_t skip_records_ = 0;
   double last_ckpt_sec_ = 0.0;

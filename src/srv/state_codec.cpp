@@ -74,6 +74,7 @@ std::string encode_server_ckpt(const ServerCkpt& state) {
 
   auto& server = writer.section(kServerSection);
   server.u64("feed_records_consumed", state.feed_records_consumed);
+  server.u64("decisions_emitted", state.decisions_emitted);
   server.f64("now_sec", state.sim.now_sec);
   server.u64("scheduler_invocations", state.sim.scheduler_invocations);
   server.i64("delivered_bytes", state.sim.delivered_bytes);
@@ -156,6 +157,7 @@ ServerCkpt decode_server_ckpt(const ckpt::Snapshot& snapshot) {
   {
     ckpt::SectionReader in = snapshot.reader(kServerSection);
     state.feed_records_consumed = in.u64("feed_records_consumed");
+    state.decisions_emitted = in.u64("decisions_emitted");
     state.sim.now_sec = in.f64("now_sec");
     state.sim.scheduler_invocations = in.u64("scheduler_invocations");
     state.sim.delivered_bytes = in.i64("delivered_bytes");

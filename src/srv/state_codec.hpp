@@ -24,6 +24,10 @@ namespace basrpt::srv {
 /// Everything basrptd needs to resume serving where it stopped.
 struct ServerCkpt {
   std::uint64_t feed_records_consumed = 0;
+  /// Last basrpt-decisions-v1 sequence emitted (== the consumed count;
+  /// kept as its own field so the resume path states the ack cursor a
+  /// reconnecting producer replays against explicitly).
+  std::uint64_t decisions_emitted = 0;
   flowsim::OnlineSimState sim;
   SloTracker::Snapshot slo;
   HealthMonitor::Snapshot health;

@@ -1,0 +1,219 @@
+#include "srv/transport.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+
+#include "common/interrupt.hpp"
+#include "srv/wire.hpp"
+
+namespace basrpt::srv {
+
+double SocketTransport::mono_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SocketTransport::SocketTransport(const TransportConfig& config)
+    : config_(config), cursor_(config.start_cursor) {
+  listener_ = listen_endpoint(config_.endpoint);
+  set_nonblocking(listener_.get());
+  set_signal_wake_fd(wake_.write_fd());
+  last_activity_sec_ = mono_now();
+}
+
+SocketTransport::~SocketTransport() {
+  set_signal_wake_fd(-1);
+  conn_.reset();
+  conn_fd_.reset();
+  listener_.reset();
+  unlink_endpoint(config_.endpoint);
+}
+
+std::optional<FeedRecord> SocketTransport::next(bool may_block) {
+  for (;;) {
+    if (!records_.empty()) {
+      const FeedRecord rec = records_.front();
+      records_.pop_front();
+      return rec;
+    }
+    if (done()) {
+      return std::nullopt;
+    }
+    pump(may_block ? 100 : 0);
+    if (!records_.empty() || done()) {
+      continue;  // deliver / report on the next iteration
+    }
+    if (!may_block) {
+      return std::nullopt;
+    }
+    if (drain_requested() || interrupt_requested() || flush_requested()) {
+      return std::nullopt;  // spurious wakeup: the serve loop checks flags
+    }
+  }
+}
+
+void SocketTransport::pump(int timeout_ms) {
+  struct pollfd fds[3] = {{listener_.get(), POLLIN, 0},
+                          {wake_.read_fd(), POLLIN, 0},
+                          {-1, 0, 0}};
+  std::size_t nfds = 2;
+  if (conn_) {
+    fds[2].fd = conn_fd_.get();
+    if (!conn_->reading_paused()) {
+      fds[2].events |= POLLIN;
+    }
+    if (conn_->has_output()) {
+      fds[2].events |= POLLOUT;
+    }
+    nfds = 3;
+  }
+  poll_fds(fds, nfds, timeout_ms);
+  wake_.drain();
+  const double now = mono_now();
+
+  if ((fds[0].revents & POLLIN) != 0) {
+    UniqueFd fd = accept_on(listener_.get());
+    if (fd.valid()) {
+      if (conn_) {
+        // One producer at a time. Tell the latecomer why, then hang up;
+        // its backoff absorbs the refusal.
+        const std::string refusal =
+            std::string(kDecisionsMagic) + "\n" +
+            encode_error(0, 0, "busy: another producer is connected");
+        write_some(fd.get(), refusal.data(), refusal.size());
+        ++refused_;
+      } else {
+        set_nonblocking(fd.get());
+        conn_fd_ = std::move(fd);
+        conn_ = std::make_unique<Connection>(config_.conn, cursor_, now);
+        ++accepted_;
+        last_activity_sec_ = now;
+      }
+    }
+  }
+
+  if (conn_) {
+    // Read until EAGAIN, EOF, or the machine pauses itself.
+    while (!conn_->reading_paused() && !conn_->want_close()) {
+      char chunk[4096];
+      const long got = read_some(conn_fd_.get(), chunk, sizeof(chunk));
+      if (got > 0) {
+        conn_->on_bytes(chunk, static_cast<std::size_t>(got), now);
+        if (got < static_cast<long>(sizeof(chunk))) {
+          break;
+        }
+        continue;
+      }
+      if (got == 0) {
+        conn_->on_peer_eof();
+      } else if (got != -EAGAIN && got != -EWOULDBLOCK) {
+        close_conn("read error");
+        break;
+      }
+      break;
+    }
+  }
+  if (conn_) {
+    while (auto rec = conn_->take_record()) {
+      records_.push_back(*rec);
+      ++cursor_;
+      last_activity_sec_ = now;
+    }
+    if (conn_->saw_end()) {
+      end_seen_ = true;
+    }
+    flush_writes(now);
+  }
+  if (conn_) {
+    conn_->tick(now);
+    if (conn_->want_close()) {
+      close_conn(conn_->close_reason());
+    }
+  }
+
+  if (!conn_ && !end_seen_ && config_.session_idle_sec > 0 &&
+      now - last_activity_sec_ > config_.session_idle_sec) {
+    session_dead_ = true;
+  }
+}
+
+void SocketTransport::flush_writes(double now) {
+  while (conn_ && conn_->has_output()) {
+    const std::string_view out = conn_->pending_output();
+    const long put = write_some(conn_fd_.get(), out.data(), out.size());
+    if (put > 0) {
+      conn_->consume_output(static_cast<std::size_t>(put), now);
+      continue;
+    }
+    if (put == -EAGAIN || put == -EWOULDBLOCK) {
+      break;  // kernel buffer full; poll for POLLOUT
+    }
+    close_conn("write error");
+    break;
+  }
+}
+
+void SocketTransport::close_conn(const std::string& reason) {
+  if (!conn_) {
+    return;
+  }
+  if (conn_->complete_flushed()) {
+    complete_delivered_ = true;
+  }
+  if (conn_->fenced()) {
+    ++fence_count_;
+  }
+  shed_total_ += conn_->shed_frames();
+  std::fprintf(stderr, "basrptd: connection closed (%s)\n", reason.c_str());
+  conn_.reset();
+  conn_fd_.reset();
+  last_activity_sec_ = mono_now();
+}
+
+void SocketTransport::notify_decision(const Decision& d) {
+  if (!conn_) {
+    return;  // between connections: seq gaps are legal client-side
+  }
+  const double now = mono_now();
+  conn_->push_decision(d, now);
+  flush_writes(now);
+}
+
+bool SocketTransport::slow_consumer() const {
+  return conn_ != nullptr && conn_->over_cap();
+}
+
+void SocketTransport::finish(const std::string& status,
+                             std::uint64_t last_seq) {
+  // A producer that dropped after delivering the whole feed (e.g. its
+  // decisions leg failed) is assumed to be mid-reconnect: hold the
+  // session open for the grace window, hand each (re)connection the
+  // outcome, and stop as soon as one connection has the `complete`
+  // frame fully flushed.
+  const bool await_reconnect = end_seen_ && !session_dead_;
+  if (!conn_ && !await_reconnect) {
+    return;  // no producer attached; the outcome lives in the SLO report
+  }
+  const double deadline = mono_now() + config_.complete_grace_sec;
+  std::int64_t pushed_gen = -1;
+  while (!complete_delivered_) {
+    if (conn_ && pushed_gen != accepted_) {
+      conn_->push_complete(last_seq, status, mono_now());
+      pushed_gen = accepted_;
+    }
+    if (mono_now() >= deadline || interrupt_requested()) {
+      break;
+    }
+    if (!conn_ && !await_reconnect) {
+      break;
+    }
+    pump(50);  // closes the connection itself once the flush completes
+  }
+  if (conn_) {
+    close_conn("session complete");
+  }
+}
+
+}  // namespace basrpt::srv

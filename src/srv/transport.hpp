@@ -1,0 +1,111 @@
+// SocketTransport: the listener-side serving transport.
+//
+// A RecordSource over a UDS or TCP-loopback listener. One producer at a
+// time speaks basrpt-feed-v1 inbound; the transport answers with the
+// basrpt-decisions-v1 stream (srv/wire.hpp). The poll loop is the only
+// place that touches fds; all protocol and timeout logic lives in the
+// Connection state machine (srv/connection.hpp).
+//
+// Session vs connection: a *session* is one serve() run; *connections*
+// come and go within it. A connection that drops before the `end`
+// sentinel does not end the session — the producer dials back in, the
+// hello frame tells it how many records the session has already
+// accepted, and it replays from there. The accepted-record cursor
+// increments when a parsed record crosses from the connection into the
+// transport's delivery queue, so the hello cursor always equals
+// "records this session can never need again". After a crash-resume the
+// cursor starts from the checkpoint's consumed count (start_cursor) and
+// the same replay contract makes the resumed run converge with an
+// uninterrupted one.
+//
+// The session ends when (a) `end` arrived and every record was
+// delivered, (b) no producer has been connected for session_idle_sec,
+// or (c) the server stops it (drain/interrupt) — next() returns
+// spurious nullopt whenever a control flag is raised so the serve loop
+// can act.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/io.hpp"
+#include "common/net.hpp"
+#include "srv/connection.hpp"
+#include "srv/feed.hpp"
+
+namespace basrpt::srv {
+
+struct TransportConfig {
+  Endpoint endpoint;
+  ConnectionConfig conn;
+  /// With no producer connected (and the feed unfinished) for this
+  /// long, declare the producer gone and end the session — the serving
+  /// analogue of a closed pipe. <= 0 waits forever.
+  double session_idle_sec = 60.0;
+  /// Records already consumed by the session being resumed (the
+  /// checkpoint's consumed count); advertised in every hello frame.
+  std::uint64_t start_cursor = 0;
+  /// When the session finishes with the producer away (dropped after
+  /// `end` arrived, mid-reconnect), hold the listener open this long so
+  /// a dial-back can still collect the `complete` frame.
+  double complete_grace_sec = 5.0;
+};
+
+class SocketTransport : public RecordSource {
+ public:
+  /// Binds and listens immediately; throws ConfigError when the
+  /// endpoint is unusable. Registers the signal wake fd.
+  explicit SocketTransport(const TransportConfig& config);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  std::optional<FeedRecord> next(bool may_block) override;
+  bool done() const override {
+    return session_dead_ || (end_seen_ && records_.empty());
+  }
+  bool clean_end() const override { return end_seen_; }
+  bool resumes_at_cursor() const override { return true; }
+  void notify_decision(const Decision& d) override;
+  bool slow_consumer() const override;
+  void finish(const std::string& status, std::uint64_t last_seq) override;
+
+  /// Records accepted into the session so far (== next hello cursor).
+  std::uint64_t cursor() const { return cursor_; }
+
+  std::int64_t connections_accepted() const { return accepted_; }
+  std::int64_t connections_fenced() const { return fence_count_; }
+  std::int64_t connections_refused() const { return refused_; }
+  std::int64_t frames_shed() const { return shed_total_; }
+
+ private:
+  /// One poll round: accept, read, drain records, write, tick.
+  void pump(int timeout_ms);
+  void flush_writes(double now);
+  void close_conn(const std::string& reason);
+  static double mono_now();
+
+  TransportConfig config_;
+  UniqueFd listener_;
+  WakePipe wake_;
+  UniqueFd conn_fd_;
+  std::unique_ptr<Connection> conn_;
+
+  std::deque<FeedRecord> records_;  // accepted, awaiting delivery
+  std::uint64_t cursor_;
+  bool end_seen_ = false;
+  bool session_dead_ = false;
+  bool complete_delivered_ = false;
+  double last_activity_sec_ = 0.0;
+
+  std::int64_t accepted_ = 0;
+  std::int64_t fence_count_ = 0;
+  std::int64_t refused_ = 0;
+  std::int64_t shed_total_ = 0;
+};
+
+}  // namespace basrpt::srv

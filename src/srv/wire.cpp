@@ -1,0 +1,174 @@
+#include "srv/wire.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace basrpt::srv {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& cell, std::size_t line,
+                        const char* what) {
+  if (cell.empty()) {
+    throw ParseError(kDecisionsParseContext, line,
+                     std::string(what) + " is empty");
+  }
+  std::uint64_t value = 0;
+  for (const char c : cell) {
+    if (c < '0' || c > '9') {
+      throw ParseError(kDecisionsParseContext, line,
+                       std::string(what) + " is not a non-negative integer: '" +
+                           cell + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      throw ParseError(kDecisionsParseContext, line,
+                       std::string(what) + " overflows: '" + cell + "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+double parse_real(const std::string& cell, std::size_t line,
+                  const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(cell, &pos);
+    if (pos != cell.size() || !std::isfinite(value)) {
+      throw ParseError(kDecisionsParseContext, line,
+                       std::string(what) + " is not a number: '" + cell + "'");
+    }
+    return value;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError(kDecisionsParseContext, line,
+                     std::string(what) + " is not a number: '" + cell + "'");
+  }
+}
+
+/// Splits into at most `max_fields` cells; the last cell keeps any
+/// remaining commas (error reasons are free text).
+std::vector<std::string> split_limited(const std::string& line,
+                                       std::size_t max_fields) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (fields.size() + 1 < max_fields) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  fields.push_back(line.substr(start));
+  return fields;
+}
+
+}  // namespace
+
+std::string encode_hello(std::uint64_t cursor) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "hello,%" PRIu64 "\n", cursor);
+  return std::string(buf);
+}
+
+std::string encode_decision(const Decision& d) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "decision,%" PRIu64 ",%.17g,%c,%d\n",
+                d.seq, d.time_s, d.admitted ? 'a' : 's', d.tenant);
+  return std::string(buf);
+}
+
+std::string encode_complete(std::uint64_t seq, const std::string& status) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "complete,%" PRIu64 ",%s\n", seq,
+                status.c_str());
+  return std::string(buf);
+}
+
+std::string encode_error(std::uint64_t line, std::uint64_t byte_offset,
+                         const std::string& reason) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "error,%" PRIu64 ",%" PRIu64 ",", line,
+                byte_offset);
+  return std::string(buf) + reason + "\n";
+}
+
+DecisionMsg parse_decision_line(const std::string& raw, std::size_t line_no) {
+  std::string line = raw;
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();  // tolerate CRLF
+  }
+  DecisionMsg msg;
+  const std::size_t comma = line.find(',');
+  const std::string verb = line.substr(0, comma);
+  if (verb == "hello") {
+    const auto fields = split_limited(line, 2);
+    if (fields.size() != 2) {
+      throw ParseError(kDecisionsParseContext, line_no,
+                       "expected hello,<cursor>");
+    }
+    msg.kind = DecisionMsg::Kind::kHello;
+    msg.cursor = parse_u64(fields[1], line_no, "cursor");
+    return msg;
+  }
+  if (verb == "decision") {
+    const auto fields = split_limited(line, 5);
+    if (fields.size() != 5) {
+      throw ParseError(kDecisionsParseContext, line_no,
+                       "expected decision,<seq>,<time>,<a|s>,<tenant>");
+    }
+    msg.kind = DecisionMsg::Kind::kDecision;
+    msg.decision.seq = parse_u64(fields[1], line_no, "seq");
+    msg.decision.time_s = parse_real(fields[2], line_no, "time");
+    if (fields[3] == "a") {
+      msg.decision.admitted = true;
+    } else if (fields[3] == "s") {
+      msg.decision.admitted = false;
+    } else {
+      throw ParseError(kDecisionsParseContext, line_no,
+                       "decision verdict must be 'a' or 's', got '" +
+                           fields[3] + "'");
+    }
+    const std::uint64_t tenant = parse_u64(fields[4], line_no, "tenant");
+    if (tenant > INT32_MAX) {
+      throw ParseError(kDecisionsParseContext, line_no,
+                       "tenant out of range: '" + fields[4] + "'");
+    }
+    msg.decision.tenant = static_cast<std::int32_t>(tenant);
+    return msg;
+  }
+  if (verb == "complete") {
+    const auto fields = split_limited(line, 3);
+    if (fields.size() != 3 || fields[2].empty()) {
+      throw ParseError(kDecisionsParseContext, line_no,
+                       "expected complete,<seq>,<status>");
+    }
+    msg.kind = DecisionMsg::Kind::kComplete;
+    msg.seq = parse_u64(fields[1], line_no, "seq");
+    msg.status = fields[2];
+    return msg;
+  }
+  if (verb == "error") {
+    const auto fields = split_limited(line, 4);
+    if (fields.size() != 4) {
+      throw ParseError(kDecisionsParseContext, line_no,
+                       "expected error,<line>,<offset>,<reason>");
+    }
+    msg.kind = DecisionMsg::Kind::kError;
+    msg.line = parse_u64(fields[1], line_no, "line");
+    msg.offset = parse_u64(fields[2], line_no, "offset");
+    msg.reason = fields[3];
+    return msg;
+  }
+  throw ParseError(kDecisionsParseContext, line_no,
+                   "unknown frame '" + verb.substr(0, 32) + "'");
+}
+
+}  // namespace basrpt::srv

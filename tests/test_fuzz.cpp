@@ -16,7 +16,9 @@
 #include "queueing/voq.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
+#include "srv/connection.hpp"
 #include "srv/feed.hpp"
+#include "srv/wire.hpp"
 #include "switchsim/arrivals.hpp"
 #include "switchsim/slotted_sim.hpp"
 #include "workload/generators.hpp"
@@ -453,6 +455,201 @@ TEST_P(FeedFuzz, MutatedFeedsNeverEscapeConfigError) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FeedFuzz, ::testing::Range(0, 4));
+
+// ------------------------------------------- connection machine fuzz
+
+/// Renders a small pristine framed feed (header + records + end).
+std::string rendered_socket_feed(Rng& rng) {
+  std::vector<srv::FeedRecord> records;
+  double t = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    t += rng.exponential(200.0);
+    srv::FeedRecord rec;
+    rec.arrival.time = SimTime{t};
+    rec.arrival.src = static_cast<PortId>(rng.uniform_int(0, 7));
+    auto dst = static_cast<PortId>(rng.uniform_int(0, 6));
+    rec.arrival.dst = dst >= rec.arrival.src ? dst + 1 : dst;
+    rec.arrival.size = Bytes{rng.uniform_int(1, 1'000'000)};
+    rec.arrival.cls = rng.bernoulli(0.5) ? stats::FlowClass::kQuery
+                                         : stats::FlowClass::kBackground;
+    rec.tenant = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+    records.push_back(rec);
+  }
+  std::ostringstream rendered;
+  srv::write_feed(rendered, records);
+  return rendered.str();
+}
+
+/// Feeds `text` to a fresh Connection in random-sized chunks under an
+/// advancing fake clock, draining records and output as it goes.
+/// Returns the drained decisions-stream bytes.
+std::string feed_through_connection(srv::Connection& conn,
+                                    const std::string& text, Rng& rng,
+                                    std::vector<srv::FeedRecord>* records) {
+  std::string out;
+  double now = 0.0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Never outrun the connection's timeouts: the fuzz target is the
+    // parser and framing, not the (separately tested) timers.
+    now += rng.uniform(0.0, 0.01);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(
+        1, std::min<std::int64_t>(
+               64, static_cast<std::int64_t>(text.size() - pos))));
+    conn.on_bytes(text.data() + pos, n, now);
+    pos += n;
+    while (auto rec = conn.take_record()) {
+      records->push_back(*rec);
+    }
+    conn.tick(now);
+    while (conn.has_output()) {
+      const std::string_view chunk = conn.pending_output();
+      const auto take = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(chunk.size())));
+      out.append(chunk.data(), take);
+      conn.consume_output(take, now);
+    }
+  }
+  while (conn.has_output()) {  // drain the tail (or everything, when the
+    const std::string_view chunk = conn.pending_output();  // text is empty)
+    out.append(chunk.data(), chunk.size());
+    conn.consume_output(chunk.size(), now);
+  }
+  return out;
+}
+
+/// The socket-side twin of FeedFuzz: the same feed bytes arrive as a
+/// mutated, arbitrarily-chunked socket stream. The Connection state
+/// machine must never throw, never emit a record violating the feed
+/// contract, and answer every poison stream with a positioned `error`
+/// frame followed by a close — quarantining the connection, never the
+/// daemon.
+class ConnectionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConnectionFuzz, MutatedStreamsFenceButNeverEscape) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 52361 + 41);
+  const std::string pristine = rendered_socket_feed(rng);
+
+  srv::ConnectionConfig config;
+  config.max_line_bytes = 256;
+
+  for (int round = 0; round < 300; ++round) {
+    std::string text = pristine;
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:  // corrupt one printable byte
+          text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:  // duplicate a whole frame (the line containing pos)
+        {
+          std::size_t begin = text.rfind('\n', pos);
+          begin = begin == std::string::npos ? 0 : begin + 1;
+          std::size_t end = text.find('\n', pos);
+          end = end == std::string::npos ? text.size() : end + 1;
+          text.insert(end, text.substr(begin, end - begin));
+          break;
+        }
+        case 2:  // delete a span
+          text.erase(pos, static_cast<std::size_t>(rng.uniform_int(1, 8)));
+          break;
+        default:  // truncate (mid-frame more often than not)
+          text.resize(pos);
+          break;
+      }
+    }
+
+    srv::Connection conn(config, 0, 0.0);
+    std::vector<srv::FeedRecord> records;
+    const std::string out = feed_through_connection(conn, text, rng,
+                                                    &records);
+
+    // The outbound stream always opens with the header and the cursor.
+    ASSERT_EQ(out.rfind(std::string(srv::kDecisionsMagic) + "\nhello,0\n",
+                        0),
+              0u);
+    // Whatever records crossed the machine satisfy the feed contract.
+    double last = 0.0;
+    for (const auto& r : records) {
+      ASSERT_GE(r.arrival.time.seconds, last);
+      ASSERT_NE(r.arrival.src, r.arrival.dst);
+      ASSERT_GT(r.arrival.size.count, 0);
+      ASSERT_GE(r.tenant, 0);
+      last = r.arrival.time.seconds;
+    }
+    if (conn.fenced()) {
+      // Quarantine: a parseable error frame, then a close request.
+      const std::size_t err_at = out.find("\nerror,");
+      ASSERT_NE(err_at, std::string::npos);
+      std::string line = out.substr(
+          err_at + 1, out.find('\n', err_at + 1) - err_at - 1);
+      const srv::DecisionMsg msg = srv::parse_decision_line(line, 1);
+      ASSERT_EQ(msg.kind, srv::DecisionMsg::Kind::kError);
+      ASSERT_GE(msg.line, 1u);
+      ASSERT_TRUE(conn.want_close());  // error frame fully drained above
+      ASSERT_FALSE(conn.take_record().has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConnectionFuzz, ::testing::Range(0, 4));
+
+TEST(ConnectionFuzz, SplitWritesAreEquivalentToOneShotDelivery) {
+  Rng rng(97);
+  const std::string pristine = rendered_socket_feed(rng);
+  const srv::ConnectionConfig config;
+
+  // Reference: the whole stream in one write.
+  srv::Connection oneshot(config, 0, 0.0);
+  oneshot.on_bytes(pristine.data(), pristine.size(), 0.0);
+  std::vector<srv::FeedRecord> want;
+  while (auto rec = oneshot.take_record()) {
+    want.push_back(*rec);
+  }
+  ASSERT_TRUE(oneshot.saw_end());
+  ASSERT_FALSE(want.empty());
+
+  for (std::size_t k = 1; k <= 7; ++k) {
+    srv::Connection conn(config, 0, 0.0);
+    for (std::size_t pos = 0; pos < pristine.size(); pos += k) {
+      conn.on_bytes(pristine.data() + pos,
+                    std::min(k, pristine.size() - pos), 0.0);
+    }
+    std::vector<srv::FeedRecord> got;
+    while (auto rec = conn.take_record()) {
+      got.push_back(*rec);
+    }
+    ASSERT_EQ(got.size(), want.size()) << "chunk size " << k;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].arrival.time.seconds, want[i].arrival.time.seconds);
+      EXPECT_EQ(got[i].arrival.size.count, want[i].arrival.size.count);
+      EXPECT_EQ(got[i].tenant, want[i].tenant);
+    }
+    EXPECT_TRUE(conn.saw_end()) << "chunk size " << k;
+    EXPECT_FALSE(conn.fenced()) << "chunk size " << k;
+  }
+}
+
+TEST(ConnectionFuzz, TruncationAtEveryByteBoundaryIsNeverPoison) {
+  Rng rng(131);
+  const std::string pristine = rendered_socket_feed(rng);
+  const srv::ConnectionConfig config;
+
+  // A pure prefix of a valid stream is a producer that died mid-write:
+  // it must never fence, and the `end` sentinel is only visible when
+  // the final byte arrived.
+  for (std::size_t cut = 0; cut <= pristine.size(); ++cut) {
+    srv::Connection conn(config, 0, 0.0);
+    conn.on_bytes(pristine.data(), cut, 0.0);
+    EXPECT_FALSE(conn.fenced()) << "cut at byte " << cut;
+    EXPECT_EQ(conn.saw_end(), cut == pristine.size())
+        << "cut at byte " << cut;
+    conn.on_peer_eof();
+    EXPECT_TRUE(conn.want_close());
+  }
+}
 
 // ------------------------------------------- checkpoint reader fuzz
 

@@ -1,7 +1,9 @@
 // Serving-layer tests: basrpt-feed-v1 codec hardening, the overload
 // health machine (table-driven, fake virtual clock), SLO accounting,
-// the server checkpoint codec, and the kill-and-resume differential
-// that anchors basrptd's crash-recovery story.
+// the server checkpoint codec, the kill-and-resume differential that
+// anchors basrptd's crash-recovery story, and the socket transport:
+// wire codec, connection state machine (fake clock), UDS end-to-end
+// and chaos-link differentials, interrupt + reconnect-with-replay.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -10,18 +12,27 @@
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckpt/manager.hpp"
 #include "ckpt/snapshot.hpp"
 #include "common/assert.hpp"
 #include "common/interrupt.hpp"
+#include "common/io.hpp"
+#include "common/net.hpp"
+#include "fault/chaos_link.hpp"
+#include "fault/fault_plan.hpp"
+#include "srv/client.hpp"
+#include "srv/connection.hpp"
 #include "srv/feed.hpp"
 #include "srv/health.hpp"
 #include "srv/loadgen.hpp"
 #include "srv/server.hpp"
 #include "srv/slo.hpp"
 #include "srv/state_codec.hpp"
+#include "srv/transport.hpp"
+#include "srv/wire.hpp"
 
 namespace basrpt {
 namespace {
@@ -713,6 +724,599 @@ TEST(LoadGen, SegmentsAreIndependentAndTenantsRoundRobin) {
     EXPECT_EQ(base[i].arrival.dst, other[i].arrival.dst);
   }
   EXPECT_GT(i, 0u);
+}
+
+// ----------------------------------------------------------------- wire
+
+TEST(Wire, FramesRoundTrip) {
+  std::string hello_line = srv::encode_hello(42);
+  hello_line.pop_back();  // strip '\n'
+  const srv::DecisionMsg hello = srv::parse_decision_line(hello_line, 2);
+  EXPECT_EQ(hello.kind, srv::DecisionMsg::Kind::kHello);
+  EXPECT_EQ(hello.cursor, 42u);
+
+  srv::Decision d;
+  d.seq = 7;
+  d.time_s = 1.25e-4;
+  d.admitted = false;
+  d.tenant = 3;
+  std::string line = srv::encode_decision(d);
+  line.pop_back();  // strip '\n'
+  const srv::DecisionMsg msg = srv::parse_decision_line(line, 3);
+  EXPECT_EQ(msg.kind, srv::DecisionMsg::Kind::kDecision);
+  EXPECT_EQ(msg.decision.seq, 7u);
+  EXPECT_EQ(msg.decision.time_s, 1.25e-4);  // %.17g survives exactly
+  EXPECT_FALSE(msg.decision.admitted);
+  EXPECT_EQ(msg.decision.tenant, 3);
+
+  std::string done = srv::encode_complete(99, "drained");
+  done.pop_back();
+  const srv::DecisionMsg fin = srv::parse_decision_line(done, 4);
+  EXPECT_EQ(fin.kind, srv::DecisionMsg::Kind::kComplete);
+  EXPECT_EQ(fin.seq, 99u);
+  EXPECT_EQ(fin.status, "drained");
+
+  // Error reasons are free text: embedded commas must survive.
+  std::string err = srv::encode_error(12, 345, "bad field: 'a,b,c'");
+  err.pop_back();
+  const srv::DecisionMsg oops = srv::parse_decision_line(err, 5);
+  EXPECT_EQ(oops.kind, srv::DecisionMsg::Kind::kError);
+  EXPECT_EQ(oops.line, 12u);
+  EXPECT_EQ(oops.offset, 345u);
+  EXPECT_EQ(oops.reason, "bad field: 'a,b,c'");
+}
+
+TEST(Wire, RejectsMalformedFrames) {
+  const std::vector<std::string> bad = {
+      "",                                  // empty verb
+      "verdict,1",                         // unknown verb
+      "hello",                             // missing cursor
+      "hello,abc",                         // non-numeric cursor
+      "hello,99999999999999999999999999",  // overflowing cursor
+      "decision,1,0.5,a",                  // too few fields
+      "decision,-1,0.5,a,0",               // negative seq
+      "decision,1,oops,a,0",               // non-numeric time
+      "decision,1,0.5,x,0",                // unknown verdict
+      "decision,1,0.5,a,4294967296",       // tenant past INT32_MAX
+      "complete,1,",                       // empty status
+      "error,1,2",                         // missing reason field
+  };
+  for (const std::string& line : bad) {
+    EXPECT_THROW((void)srv::parse_decision_line(line, 9), ParseError) << line;
+  }
+}
+
+// ----------------------------------------------------- connection machine
+
+/// Drains every pending outbound byte at `now`, returning the stream.
+std::string drain_output(srv::Connection& conn, double now) {
+  std::string all;
+  while (conn.has_output()) {
+    const std::string_view chunk = conn.pending_output();
+    all.append(chunk.data(), chunk.size());
+    conn.consume_output(chunk.size(), now);
+  }
+  return all;
+}
+
+srv::ConnectionConfig tight_conn() {
+  srv::ConnectionConfig config;
+  config.read_timeout_sec = 5.0;
+  config.write_timeout_sec = 2.0;
+  config.write_stall_sec = 0.5;
+  config.send_buffer_cap = 256;
+  config.max_line_bytes = 64;
+  return config;
+}
+
+srv::Decision decision_at(std::uint64_t seq, double t = 0.0,
+                          bool admitted = true) {
+  srv::Decision d;
+  d.seq = seq;
+  d.time_s = t;
+  d.admitted = admitted;
+  d.tenant = 0;
+  return d;
+}
+
+TEST(Connection, HelloAdvertisesTheCursorImmediately) {
+  srv::Connection conn(tight_conn(), 1234, 0.0);
+  EXPECT_EQ(drain_output(conn, 0.0),
+            std::string(srv::kDecisionsMagic) + "\nhello,1234\n");
+  EXPECT_FALSE(conn.want_close());
+}
+
+TEST(Connection, ParsesRecordsAcrossArbitrarySplits) {
+  const std::string text = feed_text(
+      {"flow,0.5,2,3,4096,b,1", "# comment", "flow,0.75,1,0,10,q", "end"});
+  // Byte-at-a-time is the worst split pattern a socket can produce.
+  srv::Connection conn(tight_conn(), 0, 0.0);
+  for (const char c : text) {
+    conn.on_bytes(&c, 1, 0.0);
+  }
+  const auto first = conn.take_record();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->arrival.size.count, 4096);
+  EXPECT_EQ(first->tenant, 1);
+  const auto second = conn.take_record();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->arrival.time.seconds, 0.75);
+  EXPECT_FALSE(conn.take_record().has_value());
+  EXPECT_TRUE(conn.saw_end());
+  EXPECT_TRUE(conn.reading_paused());  // feed complete: stop reading
+  EXPECT_FALSE(conn.fenced());
+}
+
+TEST(Connection, PoisonFrameFencesWithLineAndByteOffset) {
+  const std::string header = std::string(srv::kFeedMagic) + "\n";
+  const std::string good = "flow,0.5,2,3,4096,b\n";
+  const std::string bad = "flow,0.5,2,3,4096\n";  // too few fields
+  srv::Connection conn(tight_conn(), 0, 0.0);
+  conn.on_bytes(header.data(), header.size(), 0.0);
+  conn.on_bytes(good.data(), good.size(), 0.0);
+  ASSERT_TRUE(conn.take_record().has_value());
+  conn.on_bytes(bad.data(), bad.size(), 0.0);
+
+  EXPECT_TRUE(conn.fenced());
+  EXPECT_TRUE(conn.reading_paused());
+  EXPECT_FALSE(conn.take_record().has_value());  // nothing past the poison
+  // Trailing bytes after the fence are ignored, not parsed.
+  conn.on_bytes(good.data(), good.size(), 0.0);
+  EXPECT_FALSE(conn.take_record().has_value());
+
+  // The error frame carries the 1-based line and the byte offset of the
+  // poison line's first byte.
+  const std::string out = drain_output(conn, 0.0);
+  const std::size_t err_at = out.find("error,");
+  ASSERT_NE(err_at, std::string::npos);
+  std::string err_line = out.substr(err_at, out.find('\n', err_at) - err_at);
+  const srv::DecisionMsg msg = srv::parse_decision_line(err_line, 1);
+  EXPECT_EQ(msg.line, 3u);
+  EXPECT_EQ(msg.offset, header.size() + good.size());
+  EXPECT_NE(msg.reason.find("fields"), std::string::npos);
+  // Once the error frame is flushed, the connection asks to close.
+  EXPECT_TRUE(conn.want_close());
+  EXPECT_NE(conn.close_reason().find("fenced"), std::string::npos);
+}
+
+TEST(Connection, OversizedFrameWithoutNewlineIsPoison) {
+  srv::Connection conn(tight_conn(), 0, 0.0);
+  const std::string header = std::string(srv::kFeedMagic) + "\n";
+  conn.on_bytes(header.data(), header.size(), 0.0);
+  const std::string runaway(100, 'x');  // max_line_bytes is 64
+  conn.on_bytes(runaway.data(), runaway.size(), 0.0);
+  EXPECT_TRUE(conn.fenced());
+  EXPECT_NE(drain_output(conn, 0.0).find("error,2,"), std::string::npos);
+}
+
+TEST(Connection, TableDrivenTimeoutsWithAFakeClock) {
+  enum class Op { kBytes, kDrain, kTick };
+  struct Step {
+    double t;
+    Op op;
+    bool want_close;
+    const char* reason;
+  };
+  const std::string header = std::string(srv::kFeedMagic) + "\n";
+
+  {
+    // Silence while input is still expected → read timeout (5 s).
+    const std::vector<Step> script = {
+        {0.0, Op::kDrain, false, ""},
+        {1.0, Op::kBytes, false, ""},   // activity resets the clock
+        {5.9, Op::kTick, false, ""},    // 4.9 s since the last byte
+        {6.1, Op::kTick, true, "read timeout"},
+    };
+    srv::Connection conn(tight_conn(), 0, 0.0);
+    for (const Step& s : script) {
+      switch (s.op) {
+        case Op::kBytes:
+          conn.on_bytes(header.data(), header.size(), s.t);
+          break;
+        case Op::kDrain:
+          (void)drain_output(conn, s.t);
+          break;
+        case Op::kTick:
+          conn.tick(s.t);
+          break;
+      }
+      EXPECT_EQ(conn.want_close(), s.want_close) << "t=" << s.t;
+      if (s.want_close) {
+        EXPECT_EQ(conn.close_reason(), s.reason);
+      }
+    }
+  }
+  {
+    // Pending output with zero write progress → write timeout (2 s).
+    srv::Connection conn(tight_conn(), 0, 0.0);
+    (void)drain_output(conn, 1.0);  // hello flushed fine
+    // Keep the read clock fresh so only the write path can trip.
+    conn.on_bytes(header.data(), header.size(), 4.0);
+    conn.push_decision(decision_at(1), 4.0);  // queued at 4.0 s
+    conn.tick(5.9);                           // 1.9 s stuck: still fine
+    EXPECT_FALSE(conn.want_close());
+    conn.tick(6.1);                           // 2.1 s stuck
+    EXPECT_TRUE(conn.want_close());
+    EXPECT_EQ(conn.close_reason(), "write timeout");
+  }
+}
+
+TEST(Connection, SlowConsumerBackpressuresThenShedsDecisionsOnly) {
+  srv::Connection conn(tight_conn(), 0, 0.0);  // cap 256 B, stall 0.5 s
+  const std::string header = std::string(srv::kFeedMagic) + "\n";
+  conn.on_bytes(header.data(), header.size(), 0.0);
+  EXPECT_FALSE(conn.reading_paused());
+
+  // Nobody drains: ~30 B per decision, 20 of them blow past the cap.
+  for (int i = 1; i <= 20; ++i) {
+    conn.push_decision(decision_at(static_cast<std::uint64_t>(i)), 0.0);
+  }
+  EXPECT_TRUE(conn.over_cap());
+  EXPECT_TRUE(conn.reading_paused());  // backpressure first
+  EXPECT_EQ(conn.shed_frames(), 0);
+
+  conn.tick(0.0);  // latches the over-cap stall timer
+  conn.tick(0.4);  // under the stall threshold: still only backpressure
+  EXPECT_EQ(conn.shed_frames(), 0);
+  conn.tick(0.6);  // 0.6 s over cap: shed oldest sheddable frames
+  EXPECT_GT(conn.shed_frames(), 0);
+  EXPECT_FALSE(conn.over_cap());
+
+  // The completion frame must survive any amount of shedding.
+  conn.push_complete(20, "completed", 0.6);
+  for (int i = 21; i <= 40; ++i) {
+    conn.push_decision(decision_at(static_cast<std::uint64_t>(i)), 0.6);
+  }
+  conn.tick(1.2);  // second stall window: sheds again
+  const std::string out = drain_output(conn, 1.2);
+  EXPECT_EQ(out.find("hello,0"), std::string(srv::kDecisionsMagic).size() + 1);
+  EXPECT_NE(out.find("complete,20,completed"), std::string::npos);
+  // Decisions after push_complete are dropped (stream is finished).
+  EXPECT_EQ(out.find("decision,21,"), std::string::npos);
+}
+
+TEST(Connection, ShedNeverSplitsAPartiallyWrittenFrame) {
+  srv::Connection conn(tight_conn(), 0, 0.0);
+  (void)drain_output(conn, 0.0);  // header + hello out of the way
+  for (int i = 1; i <= 20; ++i) {
+    conn.push_decision(decision_at(static_cast<std::uint64_t>(i)), 0.0);
+  }
+  // 5 bytes of decision #1 are on the wire: it must not be shed.
+  const std::string_view first = conn.pending_output();
+  const std::string rest(first.substr(5));
+  conn.consume_output(5, 0.0);
+  conn.tick(0.1);  // latch over-cap
+  conn.tick(0.7);  // stall: shed
+  ASSERT_GT(conn.shed_frames(), 0);
+  const std::string out = drain_output(conn, 0.7);
+  // The wire stream continues with the same bytes the frame had: no torn
+  // or interleaved line.
+  EXPECT_EQ(out.substr(0, rest.size()), rest);
+}
+
+TEST(Connection, PartialWriteResumesMidFrame) {
+  srv::Connection conn(tight_conn(), 5, 0.0);
+  conn.push_decision(decision_at(6, 0.5), 0.0);
+  conn.push_complete(6, "completed", 0.0);
+  const std::string expect = std::string(srv::kDecisionsMagic) +
+                             "\nhello,5\n" +
+                             srv::encode_decision(decision_at(6, 0.5)) +
+                             srv::encode_complete(6, "completed");
+  // Consume in 3-byte nibbles: pending_output must always continue at
+  // the exact byte the previous write stopped at.
+  std::string got;
+  while (conn.has_output()) {
+    const std::string_view chunk = conn.pending_output();
+    const std::size_t n = std::min<std::size_t>(3, chunk.size());
+    got.append(chunk.data(), n);
+    conn.consume_output(n, 0.0);
+  }
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(conn.complete_flushed());
+  EXPECT_TRUE(conn.want_close());  // final frame delivered
+}
+
+TEST(Connection, PeerEofRequestsCloseButKeepsParsedRecords) {
+  const std::string text = feed_text({"flow,0.5,2,3,4096,b"});
+  srv::Connection conn(tight_conn(), 0, 0.0);
+  conn.on_bytes(text.data(), text.size(), 0.0);
+  conn.on_peer_eof();
+  EXPECT_TRUE(conn.want_close());
+  EXPECT_EQ(conn.close_reason(), "peer closed");
+  // Records parsed before the EOF still drain into the session.
+  EXPECT_TRUE(conn.take_record().has_value());
+}
+
+// ------------------------------------------------- socket transport e2e
+
+std::string socket_path(const TempDir& tmp, const char* name) {
+  fs::create_directories(tmp.path);
+  return (tmp.path / name).string();
+}
+
+struct ClientRun {
+  srv::ClientResult result;
+  std::exception_ptr error;
+};
+
+/// Runs srv::Client over `records` on a background thread.
+std::thread drive_client(const srv::ClientConfig& config,
+                         const std::vector<srv::FeedRecord>& records,
+                         ClientRun* out) {
+  return std::thread([config, &records, out] {
+    try {
+      srv::Client client(config);
+      out->result = client.run(records);
+    } catch (...) {
+      out->error = std::current_exception();
+    }
+  });
+}
+
+TEST(Transport, UdsRoundTripMatchesTheInProcessRun) {
+  const srv::LoadGenConfig gen = tiny_gen();
+  const std::vector<srv::FeedRecord> records = srv::generate_feed(gen);
+
+  // Reference: the plain istream path.
+  std::istringstream ref_in(rendered_feed(gen));
+  srv::FeedReader ref_feed(ref_in);
+  srv::Server reference(tiny_server(gen));
+  const srv::ServeResult ref = reference.serve(ref_feed);
+  ASSERT_EQ(ref.totals.status, "completed");
+
+  TempDir tmp;
+  srv::TransportConfig tcfg;
+  tcfg.endpoint = parse_endpoint("uds:" + socket_path(tmp, "serve.sock"));
+  srv::SocketTransport transport(tcfg);
+
+  srv::ClientConfig ccfg;
+  ccfg.endpoint = tcfg.endpoint;
+  ClientRun run;
+  std::thread producer = drive_client(ccfg, records, &run);
+  srv::Server server(tiny_server(gen));
+  const srv::ServeResult res = server.serve(transport);
+  producer.join();
+  ASSERT_FALSE(run.error) << "client threw";
+
+  // The socket adds framing and a second process's worth of timing; the
+  // deterministic counters must not notice.
+  EXPECT_EQ(res.totals.status, "completed");
+  EXPECT_EQ(res.totals.records_consumed, ref.totals.records_consumed);
+  EXPECT_EQ(server.slo().admitted(), reference.slo().admitted());
+  EXPECT_EQ(server.slo().shed(), reference.slo().shed());
+  EXPECT_EQ(res.totals.delivered_bytes, ref.totals.delivered_bytes);
+  EXPECT_EQ(res.totals.flows_completed, ref.totals.flows_completed);
+  EXPECT_EQ(transport.cursor(), static_cast<std::uint64_t>(records.size()));
+
+  // And the producer observed the same run through the decisions stream.
+  EXPECT_EQ(run.result.status, "completed");
+  EXPECT_EQ(run.result.decisions, static_cast<std::uint64_t>(records.size()));
+  EXPECT_EQ(run.result.admitted, reference.slo().admitted());
+  EXPECT_EQ(run.result.shed, reference.slo().shed());
+  EXPECT_EQ(run.result.reconnects, 0);
+  EXPECT_EQ(run.result.duplicates, 0u);
+}
+
+TEST(Transport, ChaosLinkDifferentialConvergesBitIdentically) {
+  const srv::LoadGenConfig gen = tiny_gen();
+  const std::vector<srv::FeedRecord> records = srv::generate_feed(gen);
+  const std::size_t feed_bytes = rendered_feed(gen).size();
+
+  std::istringstream ref_in(rendered_feed(gen));
+  srv::FeedReader ref_feed(ref_in);
+  srv::Server reference(tiny_server(gen));
+  const srv::ServeResult ref = reference.serve(ref_feed);
+
+  // Every link-fault kind, at offsets the tiny feed is sure to reach:
+  // a duplicate + stall + corruption on the decisions leg, a reset and
+  // a corruption on the feed leg (the latter fences the connection).
+  fault::FaultPlan plan;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::kLinkDup;
+  e.start = 500.0;
+  e.count = 2;
+  plan.add(e);
+  e = fault::FaultEvent{};
+  e.kind = fault::FaultKind::kLinkStall;
+  e.port = 1;
+  e.start = 1000.0;
+  e.duration = 0.02;
+  plan.add(e);
+  e = fault::FaultEvent{};
+  e.kind = fault::FaultKind::kLinkCorrupt;
+  e.port = 1;
+  e.start = 2000.0;
+  e.count = 3;
+  plan.add(e);
+  e = fault::FaultEvent{};
+  e.kind = fault::FaultKind::kLinkReset;
+  e.start = static_cast<double>(feed_bytes / 3);
+  plan.add(e);
+  e = fault::FaultEvent{};
+  e.kind = fault::FaultKind::kLinkCorrupt;
+  e.port = 0;
+  e.start = static_cast<double>(feed_bytes / 2);
+  e.count = 4;
+  plan.add(e);
+
+  TempDir tmp;
+  srv::TransportConfig tcfg;
+  tcfg.endpoint = parse_endpoint("uds:" + socket_path(tmp, "chaos.sock"));
+  srv::SocketTransport transport(tcfg);
+
+  fault::ChaosLinkConfig lcfg;
+  lcfg.listen = parse_endpoint("uds:" + socket_path(tmp, "proxy.sock"));
+  lcfg.upstream = tcfg.endpoint;
+  lcfg.plan = &plan;
+  fault::ChaosLink chaos(lcfg);
+  chaos.start();
+
+  srv::ClientConfig ccfg;
+  ccfg.endpoint = lcfg.listen;  // dial through the chaos proxy
+  ccfg.reconnect_deadline_sec = 10.0;
+  ClientRun run;
+  std::thread producer = drive_client(ccfg, records, &run);
+  srv::Server server(tiny_server(gen));
+  const srv::ServeResult res = server.serve(transport);
+  producer.join();
+  chaos.stop();
+  ASSERT_FALSE(run.error) << "client threw";
+
+  // Every scripted fault actually fired...
+  const fault::ChaosLinkStats& stats = chaos.stats();
+  EXPECT_EQ(stats.resets, 1);
+  EXPECT_EQ(stats.corrupted_bytes, 7);
+  EXPECT_EQ(stats.stalls, 1);
+  EXPECT_EQ(stats.dup_frames, 2);
+  EXPECT_GE(run.result.reconnects, 2);  // the reset + the two corruptions
+  EXPECT_GE(run.result.duplicates, 2u);
+  EXPECT_GE(transport.connections_fenced(), 1);
+
+  // ...and the deterministic counters still match the clean run exactly.
+  EXPECT_EQ(run.result.status, "completed");
+  EXPECT_EQ(res.totals.status, "completed");
+  EXPECT_EQ(res.totals.records_consumed, ref.totals.records_consumed);
+  EXPECT_EQ(server.slo().admitted(), reference.slo().admitted());
+  EXPECT_EQ(server.slo().shed(), reference.slo().shed());
+  EXPECT_EQ(server.slo().admitted_by_tenant(),
+            reference.slo().admitted_by_tenant());
+  EXPECT_EQ(server.slo().shed_by_tenant(), reference.slo().shed_by_tenant());
+  EXPECT_EQ(res.totals.delivered_bytes, ref.totals.delivered_bytes);
+  EXPECT_EQ(res.totals.flows_completed, ref.totals.flows_completed);
+  EXPECT_EQ(res.totals.scheduler_invocations,
+            ref.totals.scheduler_invocations);
+  EXPECT_EQ(server.health().shed_entries(), reference.health().shed_entries());
+}
+
+TEST(Transport, InterruptResumeAndReconnectConverge) {
+  const srv::LoadGenConfig gen = tiny_gen();
+  const std::vector<srv::FeedRecord> records = srv::generate_feed(gen);
+
+  std::istringstream ref_in(rendered_feed(gen));
+  srv::FeedReader ref_feed(ref_in);
+  srv::Server reference(tiny_server(gen));
+  const srv::ServeResult ref = reference.serve(ref_feed);
+
+  TempDir tmp;
+  srv::ServerConfig config = tiny_server(gen);
+  config.ckpt_dir = (tmp.path / "ckpts").string();
+  config.run_id = "sock";
+  config.ckpt_every_sec = 0.02;
+  config.pace = 5.0;  // ~0.3 s wall for the 1.5 feed-s run
+  const std::string path = "uds:" + socket_path(tmp, "kill.sock");
+
+  // Phase 1: interrupt the paced server mid-run — the wall-clock analog
+  // of a SIGKILL that happens to flush an emergency checkpoint. Where
+  // exactly it lands does not matter; the differential below holds for
+  // any cut point.
+  {
+    srv::TransportConfig tcfg;
+    tcfg.endpoint = parse_endpoint(path);
+    srv::SocketTransport transport(tcfg);
+    srv::ClientConfig ccfg;
+    ccfg.endpoint = tcfg.endpoint;
+    ccfg.reconnect_deadline_sec = 1.0;  // fail fast once the server dies
+    ClientRun run;
+    std::thread producer = drive_client(ccfg, records, &run);
+    std::thread killer([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      request_interrupt(0);
+    });
+    srv::Server first(config);
+    const srv::ServeResult r = first.serve(transport);
+    killer.join();
+    producer.join();
+    clear_interrupt();
+    // The producer either collected `complete,<seq>,interrupted` or lost
+    // the listener mid-reconnect; both are legitimate outcomes here.
+    if (!run.error) {
+      EXPECT_EQ(run.result.status, r.totals.status);
+    }
+  }
+
+  // Phase 2: resume from the newest checkpoint on a fresh listener. The
+  // hello advertises the checkpoint cursor; the producer replays its
+  // full batch and the server skips everything already consumed.
+  const std::string latest =
+      ckpt::CheckpointManager::latest(config.ckpt_dir, config.run_id);
+  ASSERT_FALSE(latest.empty());
+  const srv::ServerCkpt state = srv::read_server_ckpt_file(latest);
+  config.pace = 0.0;
+
+  srv::TransportConfig tcfg;
+  tcfg.endpoint = parse_endpoint(path);
+  tcfg.start_cursor = state.feed_records_consumed;
+  srv::SocketTransport transport(tcfg);
+  srv::ClientConfig ccfg;
+  ccfg.endpoint = tcfg.endpoint;
+  ClientRun run;
+  std::thread producer = drive_client(ccfg, records, &run);
+  srv::Server resumed(config, state);
+  const srv::ServeResult res = resumed.serve(transport);
+  producer.join();
+  ASSERT_FALSE(run.error) << "client threw on resume";
+
+  EXPECT_EQ(run.result.status, "completed");
+  EXPECT_EQ(res.totals.status, "completed");
+  EXPECT_TRUE(res.totals.resumed);
+  EXPECT_EQ(res.totals.records_consumed, ref.totals.records_consumed);
+  EXPECT_EQ(resumed.slo().admitted(), reference.slo().admitted());
+  EXPECT_EQ(resumed.slo().shed(), reference.slo().shed());
+  EXPECT_EQ(resumed.slo().admitted_by_tenant(),
+            reference.slo().admitted_by_tenant());
+  EXPECT_EQ(resumed.slo().shed_by_tenant(), reference.slo().shed_by_tenant());
+  EXPECT_EQ(res.totals.delivered_bytes, ref.totals.delivered_bytes);
+  EXPECT_EQ(res.totals.flows_completed, ref.totals.flows_completed);
+  EXPECT_EQ(res.totals.backlog_bytes_at_end, ref.totals.backlog_bytes_at_end);
+  EXPECT_EQ(resumed.health().shed_entries(),
+            reference.health().shed_entries());
+}
+
+TEST(Transport, RefusesASecondProducerPolitely) {
+  TempDir tmp;
+  srv::TransportConfig tcfg;
+  tcfg.endpoint = parse_endpoint("uds:" + socket_path(tmp, "busy.sock"));
+  tcfg.session_idle_sec = 0.0;
+  srv::SocketTransport transport(tcfg);
+
+  UniqueFd first = connect_endpoint(tcfg.endpoint);
+  ASSERT_TRUE(first.valid());
+  (void)transport.next(false);  // accept the first producer
+  UniqueFd second = connect_endpoint(tcfg.endpoint);
+  ASSERT_TRUE(second.valid());
+  (void)transport.next(false);  // refuse the latecomer
+
+  // The refusal is a well-formed decisions stream: header, then an
+  // error frame naming the cause.
+  std::string got;
+  while (got.find('\n') == std::string::npos ||
+         got.find('\n') == got.size() - 1) {
+    struct pollfd fd = {second.get(), POLLIN, 0};
+    ASSERT_GT(poll_fds(&fd, 1, 2000), 0) << "no refusal within 2 s";
+    char buf[256];
+    const long n = read_some(second.get(), buf, sizeof(buf));
+    if (n == -EAGAIN || n == -EWOULDBLOCK) {
+      continue;
+    }
+    ASSERT_GT(n, 0);
+    got.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(got.substr(0, got.find('\n')), srv::kDecisionsMagic);
+  EXPECT_NE(got.find("error,0,0,busy"), std::string::npos);
+  EXPECT_EQ(transport.connections_refused(), 1);
+  EXPECT_EQ(transport.connections_accepted(), 1);
+}
+
+TEST(Client, GivesUpAfterTheReconnectDeadline) {
+  TempDir tmp;
+  srv::ClientConfig config;
+  config.endpoint = parse_endpoint("uds:" + socket_path(tmp, "nobody.sock"));
+  config.backoff_initial_sec = 0.01;
+  config.reconnect_deadline_sec = 0.15;
+  srv::Client client(config);
+  const std::vector<srv::FeedRecord> records = {
+      make_record(0.0, 0, 1, 10)};
+  EXPECT_THROW((void)client.run(records), ConfigError);
 }
 
 }  // namespace
