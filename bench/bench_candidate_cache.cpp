@@ -110,7 +110,7 @@ void BM_CandidatesIncremental(benchmark::State& state) {
     churn.step();
     state.ResumeTiming();
     const auto& view = cache.refresh();
-    benchmark::DoNotOptimize(view.data());
+    benchmark::DoNotOptimize(view.backlog());
     n_candidates = view.size();
   }
   state.counters["candidates"] = static_cast<double>(n_candidates);
@@ -152,7 +152,7 @@ int run_perf_mode(const std::string& out_path, int warmup, int reps) {
           [&] {
             if (variant.incremental) {
               const auto& view = cache.refresh();
-              benchmark::DoNotOptimize(view.data());
+              benchmark::DoNotOptimize(view.backlog());
             } else {
               auto candidates = sched::build_candidates(churn.voqs, 1.0);
               benchmark::DoNotOptimize(candidates.data());

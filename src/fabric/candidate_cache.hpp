@@ -1,19 +1,20 @@
-// Incrementally maintained per-VOQ candidate list.
+// Incrementally maintained per-VOQ candidate lanes.
 //
 // The simulators previously rebuilt the scheduler's candidate list from
 // scratch before every decision — O(#non-empty VOQs) ordered-index
 // probes and flow-table lookups each time, even though an arrival or a
 // drain touches exactly one VOQ. This cache keeps one VoqCandidate per
-// VOQ in a persistently allocated dense array and recomputes only the
-// VOQs the matrix reports dirty (VoqMatrix::dirty_voqs), then packs the
-// non-empty entries into a contiguous view in the matrix's non-empty
-// order — the same order build_candidates produces, so order-sensitive
-// schedulers (exact BASRPT's enumeration ties, BvN's selection order)
-// behave identically.
+// VOQ in a persistently allocated dense array, recomputes only the VOQs
+// the matrix reports dirty (VoqMatrix::dirty_voqs), then transposes the
+// non-empty entries into contiguous SoA lanes (sched::CandidateView) in
+// the matrix's non-empty order — the same order build_candidates
+// produces, so order-sensitive schedulers (exact BASRPT's enumeration
+// ties, BvN's selection order) behave identically. The transpose is a
+// set of strided gathers the src/simd kernels vectorize.
 //
 // Steady-state cost per refresh: O(#dirty VOQs) candidate recomputes
-// plus O(#non-empty VOQs) POD copies, with zero heap allocation once
-// the view has warmed to the fabric's footprint.
+// plus O(#non-empty VOQs) lane gathers, with zero heap allocation once
+// the lanes have warmed to the fabric's footprint.
 //
 // The cache consumes the matrix's dirty list (clear_dirty), so attach
 // at most one cache — or any single dirty-consuming observer — per
@@ -31,15 +32,18 @@ namespace basrpt::fabric {
 class CandidateCache {
  public:
   /// `unit_bytes` converts bytes to packets for the scheduler keys (1.0
-  /// when the matrix already stores packets). `needs` is typically the
-  /// consuming scheduler's needs() mask.
+  /// when the matrix already stores packets). `with_arrival` is
+  /// typically the consuming scheduler's needs_arrival_lane(): it
+  /// controls whether the view carries the oldest_flow/oldest_arrival
+  /// lanes (asking the view for a lane built without it is a
+  /// ConfigError).
   CandidateCache(const queueing::VoqMatrix& voqs, double unit_bytes,
-                 sched::CandidateNeeds needs = {});
+                 bool with_arrival = true);
 
   /// Brings the cache up to date with the matrix and returns the packed
   /// candidate view (one entry per non-empty VOQ whose ports are usable,
-  /// matrix order). The reference stays valid until the next refresh().
-  const std::vector<sched::VoqCandidate>& refresh();
+  /// matrix order). The view stays valid until the next refresh().
+  const sched::CandidateView& refresh();
 
   /// Marks a port usable/unusable (fault blackout): candidates whose
   /// ingress *or* egress is an unusable port are filtered from the
@@ -52,7 +56,7 @@ class CandidateCache {
   bool port_usable(queueing::PortId port) const;
 
   double unit_bytes() const { return unit_bytes_; }
-  sched::CandidateNeeds needs() const { return needs_; }
+  bool with_arrival() const { return with_arrival_; }
 
   // Work accounting for tests and bench_candidate_cache.
   std::uint64_t refreshes() const { return refreshes_; }
@@ -63,7 +67,7 @@ class CandidateCache {
  private:
   const queueing::VoqMatrix& voqs_;
   double unit_bytes_;
-  sched::CandidateNeeds needs_;
+  bool with_arrival_;
 
   std::uint64_t seen_version_ = 0;
   std::uint64_t refreshes_ = 0;
@@ -79,7 +83,9 @@ class CandidateCache {
   std::uint64_t seen_mask_epoch_ = 0;
 
   std::vector<sched::VoqCandidate> entries_;  // dense, by flat VOQ index
-  std::vector<sched::VoqCandidate> view_;     // packed, non-empty order
+  std::vector<std::uint32_t> packed_idx_;     // flat indexes, packed order
+  sched::CandidateSoA soa_;                   // packed lanes
+  sched::CandidateView view_;
 };
 
 }  // namespace basrpt::fabric

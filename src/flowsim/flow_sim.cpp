@@ -41,7 +41,7 @@ class Engine {
         voqs_(static_cast<PortId>(config.fabric.hosts())),
         result_(config.watched_src, config.watched_dst),
         lifecycle_(&voqs_, result_.fct, config.tracer),
-        cache_(voqs_, config.packet_bytes, scheduler.needs()) {
+        cache_(voqs_, config.packet_bytes, scheduler.needs_arrival_lane()) {
     BASRPT_REQUIRE(config.horizon.seconds > 0.0, "horizon must be positive");
     BASRPT_REQUIRE(config.packet_bytes > 0.0,
                    "packet size must be positive");

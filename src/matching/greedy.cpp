@@ -1,9 +1,13 @@
 #include "matching/greedy.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "perf/profiler.hpp"
+#include "simd/kernels.hpp"
 
 namespace basrpt::matching {
 
@@ -66,23 +70,199 @@ constexpr std::uint32_t kRadixBins = 1u << kRadixBits;
 constexpr std::uint32_t kRadixMask = kRadixBins - 1;
 constexpr std::size_t kRadixPasses = 4;
 
+/// Bucket-sort tuning. Half a bucket per candidate (power of two,
+/// clamped) spreads a uniform-in-value score distribution to ~2 records
+/// per bucket; the insertion sweep then pays O(n), and the histogram +
+/// prefix pass touches half the bucket array a full-size table would.
+/// Buckets the distribution overloads past kBigBucket records are
+/// pre-sorted outright — the sweep's quadratic-in-run cost never sees a
+/// long run.
+constexpr std::size_t kMinBuckets = 64;
+constexpr std::size_t kMaxBuckets = 16384;
+constexpr std::uint32_t kBigBucket = 32;
+
+/// Strided sample size for fitting the bucket map. 128 sorted samples
+/// locate the bulk of the distribution (outliers the sample misses just
+/// clamp into the edge buckets) and expose a dominant gap when the
+/// scores are bimodal.
+constexpr std::size_t kSampleCount = 128;
+
+/// Per-piece map slope: buckets / sample range. A degenerate piece (all
+/// sampled values equal) gets slope 1.0 — any finite positive slope is
+/// valid, the clamps keep the map monotone — so the kernels never see a
+/// 0 * inf = NaN. A subnormal-range piece whose slope overflows is
+/// rejected by returning 0.0 (caller falls back to radix).
+double piece_slope(double range, double buckets) {
+  if (range <= 0.0) {
+    return 1.0;
+  }
+  const double inv = buckets / range;
+  if (!std::isfinite(inv) || inv <= 0.0) {
+    return 0.0;
+  }
+  return inv;
+}
+
 }  // namespace
 
-void GreedyMatcher::sort_recs_radix(
-    const std::vector<ScoredCandidate>& candidates) {
-  const std::size_t n = candidates.size();
-  recs_a_.resize(n);
-  recs_b_.resize(n);
+bool GreedyMatcher::sort_recs_bucket(const double* score, const PortId* left,
+                                     const PortId* right,
+                                     const std::int64_t* payload,
+                                     std::size_t n) {
+  // Fit the map to a sorted strided sample instead of a full min/max
+  // scan: the sample bounds are robust enough (clamps catch what it
+  // misses), and the sorted sample's largest adjacent gap tells us
+  // whether one linear piece suffices or the distribution is bimodal
+  // (threshold-SRPT keys sit in two clusters a class offset apart, which
+  // would pile every record into two buckets of a single-piece map).
+  samples_.resize(kSampleCount);
+  for (std::size_t i = 0; i < kSampleCount; ++i) {
+    samples_[i] = score[i * n / kSampleCount];
+  }
+  std::sort(samples_.begin(), samples_.end());
+  const double slo = samples_.front();
+  const double shi = samples_.back();
+  const double range = shi - slo;
+  if (!(std::isfinite(range) && range > 0.0)) {
+    return false;  // all-equal sample or overflowing spread
+  }
 
-  // Build the records and all three digit histograms in one pass.
+  const auto nb = static_cast<std::uint32_t>(std::clamp<std::size_t>(
+      std::bit_ceil(n) / 2, kMinBuckets, kMaxBuckets));
+
+  std::size_t gap_at = 0;
+  double gap = 0.0;
+  for (std::size_t i = 0; i + 1 < kSampleCount; ++i) {
+    const double g = samples_[i + 1] - samples_[i];
+    if (g > gap) {
+      gap = g;
+      gap_at = i;
+    }
+  }
+
+  bidx_.resize(n);
+  if (gap >= 0.5 * range) {
+    // Two clusters separated by a dominant gap: give each its own
+    // linear piece, with buckets split in proportion to the sample mass
+    // on each side. cap0 < base1 <= cap keeps the map monotone.
+    const std::size_t lo_mass = gap_at + 1;
+    const double lo0 = slo;
+    const double hi0 = samples_[gap_at];
+    const double lo1 = samples_[gap_at + 1];
+    const double hi1 = shi;
+    const auto base1 = static_cast<std::uint32_t>(std::clamp<std::size_t>(
+        (static_cast<std::size_t>(nb) * lo_mass) / kSampleCount, 1,
+        static_cast<std::size_t>(nb) - 1));
+    const double inv0 =
+        piece_slope(hi0 - lo0, static_cast<double>(base1));
+    const double inv1 =
+        piece_slope(hi1 - lo1, static_cast<double>(nb - base1));
+    if (inv0 == 0.0 || inv1 == 0.0) {
+      return false;
+    }
+    simd::bucket_indexes_2piece(score, lo1, lo0, inv0, base1 - 1, lo1, inv1,
+                                base1, nb - 1, n, bidx_.data());
+  } else {
+    const double inv = piece_slope(range, static_cast<double>(nb));
+    if (inv == 0.0) {
+      return false;
+    }
+    simd::bucket_indexes(score, slo, inv, nb - 1, n, bidx_.data());
+  }
+
+  hist_.assign(nb, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++hist_[bidx_[i]];
+  }
+
+  std::uint32_t sum = 0;
+  std::uint32_t maxb = 0;
+  for (std::uint32_t b = 0; b < nb; ++b) {
+    const std::uint32_t count = hist_[b];
+    if (count > maxb) {
+      maxb = count;
+    }
+    hist_[b] = sum;  // becomes the scatter's write cursor
+    sum += count;
+  }
+  // A distribution the piecewise map still cannot spread (heavy
+  // duplicate mass, log-spread scores) piles most records into a few
+  // buckets and the sort degenerates to comparison sorting those piles —
+  // radix handles that shape in guaranteed linear passes instead.
+  if (maxb > n / 4) {
+    return false;
+  }
+
+  // Bucket boundaries are only needed to pre-sort overloaded buckets;
+  // the usual spread-out case (every bucket <= kBigBucket) skips the
+  // starts_ pass entirely — the insertion sweep needs no boundaries.
+  const bool any_big = maxb > kBigBucket;
+  if (any_big) {
+    starts_.resize(nb + 1);
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      starts_[b] = hist_[b];
+    }
+    starts_[nb] = sum;
+  }
+
+  recs_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    recs_[hist_[bidx_[i]]++] =
+        Rec{score[i], static_cast<std::uint32_t>(i),
+            static_cast<std::uint16_t>(left[i]),
+            static_cast<std::uint16_t>(right[i])};
+  }
+
+  const auto less = [&](const Rec& a, const Rec& b) {
+    if (a.score != b.score) {
+      return a.score < b.score;
+    }
+    return payload[a.idx] < payload[b.idx];
+  };
+
+  if (any_big) {
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      if (starts_[b + 1] - starts_[b] > kBigBucket) {
+        std::sort(recs_.begin() + starts_[b], recs_.begin() + starts_[b + 1],
+                  less);
+      }
+    }
+  }
+
+  // The piecewise map is monotone and equal scores share a bucket, so
+  // every remaining inversion is intra-bucket: one adaptive insertion
+  // sweep costs O(n + inversions) and lands the exact (score, payload)
+  // order.
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!less(recs_[i], recs_[i - 1])) {
+      continue;
+    }
+    const Rec t = recs_[i];
+    std::size_t j = i;
+    do {
+      recs_[j] = recs_[j - 1];
+      --j;
+    } while (j > 0 && less(t, recs_[j - 1]));
+    recs_[j] = t;
+  }
+  return true;
+}
+
+void GreedyMatcher::sort_recs_radix(const double* score,
+                                    const std::int64_t* payload,
+                                    const PortId* left, const PortId* right,
+                                    std::size_t n) {
+  rrecs_a_.resize(n);
+  rrecs_b_.resize(n);
+
+  // Build the records and all four digit histograms in one pass.
   std::uint32_t hist[kRadixPasses][kRadixBins];
   std::memset(hist, 0, sizeof(hist));
   for (std::size_t i = 0; i < n; ++i) {
-    const ScoredCandidate& c = candidates[i];
-    const std::uint32_t key = coarse_score_key(c.score);
-    recs_a_[i] = {key, static_cast<std::uint16_t>(c.left),
-                  static_cast<std::uint16_t>(c.right),
-                  static_cast<std::uint32_t>(i)};
+    const std::uint32_t key = coarse_score_key(score[i]);
+    rrecs_a_[i] = {key, static_cast<std::uint16_t>(left[i]),
+                   static_cast<std::uint16_t>(right[i]),
+                   static_cast<std::uint32_t>(i)};
     ++hist[0][key & kRadixMask];
     ++hist[1][(key >> kRadixBits) & kRadixMask];
     ++hist[2][(key >> (2 * kRadixBits)) & kRadixMask];
@@ -92,8 +272,8 @@ void GreedyMatcher::sort_recs_radix(
   // LSD passes; a digit position where all keys agree permutes nothing
   // and is skipped (scores from one decision often share sign and
   // exponent range, so a pass or two usually vanishes).
-  Rec* src = recs_a_.data();
-  Rec* dst = recs_b_.data();
+  RadixRec* src = rrecs_a_.data();
+  RadixRec* dst = rrecs_b_.data();
   for (std::size_t p = 0; p < kRadixPasses; ++p) {
     std::uint32_t* h = hist[p];
     bool trivial = false;
@@ -122,8 +302,8 @@ void GreedyMatcher::sort_recs_radix(
     }
     std::swap(src, dst);
   }
-  if (src != recs_a_.data()) {
-    recs_a_.swap(recs_b_);
+  if (src != rrecs_a_.data()) {
+    rrecs_a_.swap(rrecs_b_);
   }
 
   // Radix LSD is stable, so equal-coarse-key runs are in original
@@ -132,33 +312,42 @@ void GreedyMatcher::sort_recs_radix(
   // with the full comparator; runs are rare and short in practice.
   for (std::size_t i = 0; i + 1 < n;) {
     std::size_t j = i + 1;
-    while (j < n && recs_a_[j].key == recs_a_[i].key) {
+    while (j < n && rrecs_a_[j].key == rrecs_a_[i].key) {
       ++j;
     }
     if (j - i > 1) {
-      std::sort(recs_a_.begin() + static_cast<std::ptrdiff_t>(i),
-                recs_a_.begin() + static_cast<std::ptrdiff_t>(j),
-                [&](const Rec& a, const Rec& b) {
-                  const double sa = candidates[a.idx].score;
-                  const double sb = candidates[b.idx].score;
+      std::sort(rrecs_a_.begin() + static_cast<std::ptrdiff_t>(i),
+                rrecs_a_.begin() + static_cast<std::ptrdiff_t>(j),
+                [&](const RadixRec& a, const RadixRec& b) {
+                  const double sa = score[a.idx];
+                  const double sb = score[b.idx];
                   if (sa != sb) {
                     return sa < sb;
                   }
-                  return candidates[a.idx].payload < candidates[b.idx].payload;
+                  return payload[a.idx] < payload[b.idx];
                 });
     }
     i = j;
   }
 }
 
-void GreedyMatcher::match_into(std::vector<ScoredCandidate>& candidates,
-                               PortId n_left, PortId n_right,
-                               std::vector<std::int64_t>& out) {
+void GreedyMatcher::match_lanes_into(const double* score, const PortId* left,
+                                     const PortId* right,
+                                     const std::int64_t* payload,
+                                     std::size_t n, PortId n_left,
+                                     PortId n_right,
+                                     std::vector<std::int64_t>& out) {
   BASRPT_ASSERT(n_left > 0 && n_right > 0, "port counts must be positive");
   out.clear();
-
   left_used_.assign(static_cast<std::size_t>(n_left), 0);
   right_used_.assign(static_cast<std::size_t>(n_right), 0);
+  if (n == 0) {
+    return;
+  }
+  BASRPT_ASSERT(simd::bounds_ok_i32(left, n, n_left),
+                "ingress out of range");
+  BASRPT_ASSERT(simd::bounds_ok_i32(right, n, n_right),
+                "egress out of range");
 
   // No candidate can be accepted once every left (or every right) port
   // is taken, so the scan stops at max_accept winners — identical
@@ -167,24 +356,28 @@ void GreedyMatcher::match_into(std::vector<ScoredCandidate>& candidates,
       static_cast<std::size_t>(n_left < n_right ? n_left : n_right);
   std::size_t accepted = 0;
 
-  if (candidates.size() >= kRadixThreshold && n_left <= 0xffff &&
-      n_right <= 0xffff) {
-    // Radix path: counting passes over compact records instead of
-    // comparison-sorting 24-byte candidates; the accept scan then walks
-    // the records sequentially (ports ride inside them) and only
-    // touches a candidate when it wins, to fetch the payload. The
-    // candidate buffer itself is left untouched.
-    for (const ScoredCandidate& c : candidates) {
-      BASRPT_ASSERT(c.left >= 0 && c.left < n_left, "ingress out of range");
-      BASRPT_ASSERT(c.right >= 0 && c.right < n_right,
-                    "egress out of range");
+  // Monotone fast path: when the scores arrive nondecreasing (and ties,
+  // if any, are payload-ordered) the lanes already ARE the selection
+  // order — scan them in place. The simd scan bails on the first
+  // inversion, so unsorted inputs pay a handful of comparisons.
+  const simd::SortedScan scan = simd::sorted_scan_f64(score, n);
+  bool presorted = scan.nondecreasing;
+  if (presorted && scan.any_equal_adjacent) {
+    for (std::size_t i = 1; i < n; ++i) {
+      if (score[i - 1] == score[i] && payload[i] < payload[i - 1]) {
+        presorted = false;
+        break;
+      }
     }
-    sort_recs_radix(candidates);
-    for (const Rec& e : recs_a_) {
-      if (!left_used_[e.left] && !right_used_[e.right]) {
-        left_used_[e.left] = 1;
-        right_used_[e.right] = 1;
-        out.push_back(candidates[e.idx].payload);
+  }
+  if (presorted) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto l = static_cast<std::size_t>(left[i]);
+      const auto r = static_cast<std::size_t>(right[i]);
+      if (!left_used_[l] && !right_used_[r]) {
+        left_used_[l] = 1;
+        right_used_[r] = 1;
+        out.push_back(payload[i]);
         if (++accepted == max_accept) {
           break;
         }
@@ -193,27 +386,101 @@ void GreedyMatcher::match_into(std::vector<ScoredCandidate>& candidates,
     return;
   }
 
-  std::sort(candidates.begin(), candidates.end(),
-            [](const ScoredCandidate& a, const ScoredCandidate& b) {
-              if (a.score != b.score) {
-                return a.score < b.score;
-              }
-              return a.payload < b.payload;
-            });
+  if (n_left > 0xffff || n_right > 0xffff) {
+    // Ports don't fit the 16-bit record fields: comparison-sort an index
+    // permutation instead. Cold path — no real fabric has 64k ports.
+    perf::ScopedPhase sort_phase(perf::Phase::kMatchSort);
+    order_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      order_[i] = static_cast<std::uint32_t>(i);
+    }
+    std::sort(order_.begin(), order_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (score[a] != score[b]) {
+                  return score[a] < score[b];
+                }
+                return payload[a] < payload[b];
+              });
+    for (const std::uint32_t i : order_) {
+      const auto l = static_cast<std::size_t>(left[i]);
+      const auto r = static_cast<std::size_t>(right[i]);
+      if (!left_used_[l] && !right_used_[r]) {
+        left_used_[l] = 1;
+        right_used_[r] = 1;
+        out.push_back(payload[i]);
+        if (++accepted == max_accept) {
+          break;
+        }
+      }
+    }
+    return;
+  }
 
-  for (const ScoredCandidate& c : candidates) {
-    BASRPT_ASSERT(c.left >= 0 && c.left < n_left, "ingress out of range");
-    BASRPT_ASSERT(c.right >= 0 && c.right < n_right, "egress out of range");
-    if (!left_used_[static_cast<std::size_t>(c.left)] &&
-        !right_used_[static_cast<std::size_t>(c.right)]) {
-      left_used_[static_cast<std::size_t>(c.left)] = 1;
-      right_used_[static_cast<std::size_t>(c.right)] = 1;
-      out.push_back(c.payload);
-      if (++accepted == max_accept) {
-        break;
+  bool in_recs = true;
+  {
+    perf::ScopedPhase sort_phase(perf::Phase::kMatchSort);
+    if (n < kRadixThreshold) {
+      recs_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        recs_[i] = Rec{score[i], static_cast<std::uint32_t>(i),
+                       static_cast<std::uint16_t>(left[i]),
+                       static_cast<std::uint16_t>(right[i])};
+      }
+      std::sort(recs_.begin(), recs_.end(),
+                [&](const Rec& a, const Rec& b) {
+                  if (a.score != b.score) {
+                    return a.score < b.score;
+                  }
+                  return payload[a.idx] < payload[b.idx];
+                });
+    } else if (!sort_recs_bucket(score, left, right, payload, n)) {
+      sort_recs_radix(score, payload, left, right, n);
+      in_recs = false;
+    }
+  }
+
+  if (in_recs) {
+    for (const Rec& e : recs_) {
+      if (!left_used_[e.left] && !right_used_[e.right]) {
+        left_used_[e.left] = 1;
+        right_used_[e.right] = 1;
+        out.push_back(payload[e.idx]);
+        if (++accepted == max_accept) {
+          break;
+        }
+      }
+    }
+  } else {
+    for (const RadixRec& e : rrecs_a_) {
+      if (!left_used_[e.left] && !right_used_[e.right]) {
+        left_used_[e.left] = 1;
+        right_used_[e.right] = 1;
+        out.push_back(payload[e.idx]);
+        if (++accepted == max_accept) {
+          break;
+        }
       }
     }
   }
+}
+
+void GreedyMatcher::match_into(const std::vector<ScoredCandidate>& candidates,
+                               PortId n_left, PortId n_right,
+                               std::vector<std::int64_t>& out) {
+  const std::size_t n = candidates.size();
+  score_s_.resize(n);
+  left_s_.resize(n);
+  right_s_.resize(n);
+  payload_s_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScoredCandidate& c = candidates[i];
+    score_s_[i] = c.score;
+    left_s_[i] = c.left;
+    right_s_[i] = c.right;
+    payload_s_[i] = c.payload;
+  }
+  match_lanes_into(score_s_.data(), left_s_.data(), right_s_.data(),
+                   payload_s_.data(), n, n_left, n_right, out);
 }
 
 }  // namespace basrpt::matching

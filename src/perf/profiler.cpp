@@ -58,6 +58,10 @@ const char* phase_name(Phase phase) {
       return "checkpoint_write";
     case Phase::kMeasuredOp:
       return "measured_op";
+    case Phase::kScoreKernel:
+      return "score_kernel";
+    case Phase::kMatchSort:
+      return "match_sort";
     case Phase::kCount:
       break;
   }

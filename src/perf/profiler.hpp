@@ -45,6 +45,8 @@ enum class Phase : std::uint8_t {
   kLifecycleApply = 5,  // fabric::FlowLifecycle::apply_decision
   kCheckpointWrite = 6, // ckpt::CheckpointManager durable write
   kMeasuredOp = 7,      // perf::measure_op timed operation
+  kScoreKernel = 8,     // simd score-key computation over candidate lanes
+  kMatchSort = 9,       // GreedyMatcher candidate ordering (bucket/radix)
   kCount
 };
 constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);

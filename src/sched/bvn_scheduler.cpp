@@ -38,7 +38,7 @@ void BvnScheduler::restore_checkpoint_state(
 }
 
 void BvnScheduler::decide_into(PortId n_ports,
-                               const std::vector<VoqCandidate>& candidates,
+                               const CandidateView& candidates,
                                Decision& out) {
   out.selected.clear();
   if (candidates.empty()) {
@@ -56,9 +56,13 @@ void BvnScheduler::decide_into(PortId n_ports,
 
   // Serve the shortest flow of each matched, non-empty VOQ. Selection
   // order follows the caller's candidate order.
-  for (const VoqCandidate& c : candidates) {
-    if (perm.match_of_left[static_cast<std::size_t>(c.ingress)] == c.egress) {
-      out.selected.push_back(c.shortest_flow);
+  const PortId* ingress = candidates.ingress();
+  const PortId* egress = candidates.egress();
+  const FlowId* shortest = candidates.shortest_flow();
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    if (perm.match_of_left[static_cast<std::size_t>(ingress[k])] ==
+        egress[k]) {
+      out.selected.push_back(shortest[k]);
     }
   }
 }

@@ -21,9 +21,11 @@ class BvnScheduler final : public Scheduler {
   /// decomposed at construction.
   BvnScheduler(matching::RateMatrix rates, Rng rng);
 
+  using Scheduler::decide_into;
+
   std::string name() const override { return "bvn-random"; }
-  CandidateNeeds needs() const override { return {.arrival_index = false}; }
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  bool needs_arrival_lane() const override { return false; }
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
   /// The permutation draws consume the RNG, so mid-run resume must carry

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "perf/profiler.hpp"
+#include "simd/kernels.hpp"
 
 namespace basrpt::sched {
 
@@ -19,29 +21,38 @@ std::string DistributedBasrptScheduler::name() const {
   return buf;
 }
 
-void DistributedBasrptScheduler::decide_into(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates,
-    Decision& out) {
+void DistributedBasrptScheduler::decide_into(PortId n_ports,
+                                             const CandidateView& candidates,
+                                             Decision& out) {
   out.selected.clear();
   if (candidates.empty()) {
     return;
   }
   const double weight = v_ / static_cast<double>(n_ports);
   const auto n = static_cast<std::size_t>(n_ports);
+  const std::size_t n_cand = candidates.size();
+  const PortId* cand_ingress = candidates.ingress();
+  const PortId* cand_egress = candidates.egress();
+  const FlowId* cand_flow = candidates.shortest_flow();
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  // Local state per ingress port: its candidate VOQs (index into
-  // `candidates`). Each ingress only ever inspects its own VOQs — the
-  // information a real distributed endpoint has.
+  // Local state per ingress port: its candidate VOQs (index into the
+  // view). Each ingress only ever inspects its own VOQs — the
+  // information a real distributed endpoint has. The keys are the same
+  // fast-BASRPT lane computation the centralized scheduler uses.
   per_ingress_.resize(n);
   for (auto& list : per_ingress_) {
     list.clear();
   }
-  key_.resize(candidates.size());
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
-    key_[c] = weight * candidates[c].shortest_remaining -
-              candidates[c].backlog;
-    per_ingress_[static_cast<std::size_t>(candidates[c].ingress)].push_back(c);
+  key_.resize(n_cand);
+  {
+    perf::ScopedPhase phase(perf::Phase::kScoreKernel);
+    simd::compute_keys(simd::KeyOp::kFastBasrpt, weight, 0.0,
+                       candidates.shortest_remaining(), candidates.backlog(),
+                       n_cand, key_.data());
+  }
+  for (std::size_t c = 0; c < n_cand; ++c) {
+    per_ingress_[static_cast<std::size_t>(cand_ingress[c])].push_back(c);
   }
 
   ingress_matched_.assign(n, 0);
@@ -60,14 +71,14 @@ void DistributedBasrptScheduler::decide_into(
       std::size_t best = kNoRequest;
       double best_key = kInf;
       for (const std::size_t c : per_ingress_[i]) {
-        const auto egress = static_cast<std::size_t>(candidates[c].egress);
+        const auto egress = static_cast<std::size_t>(cand_egress[c]);
         if (egress_matched_[egress]) {
           continue;
         }
         // Deterministic tiebreak on flow id keeps runs reproducible.
         if (key_[c] < best_key ||
             (key_[c] == best_key && best != kNoRequest &&
-             candidates[c].shortest_flow < candidates[best].shortest_flow)) {
+             cand_flow[c] < cand_flow[best])) {
           best = c;
           best_key = key_[c];
         }
@@ -77,12 +88,11 @@ void DistributedBasrptScheduler::decide_into(
       }
       any_request = true;
       // Grant phase folded in: the egress keeps the lowest-key request.
-      const auto egress = static_cast<std::size_t>(candidates[best].egress);
+      const auto egress = static_cast<std::size_t>(cand_egress[best]);
       const std::size_t incumbent = request_of_[egress];
       if (incumbent == kNoRequest || key_[best] < key_[incumbent] ||
           (key_[best] == key_[incumbent] &&
-           candidates[best].shortest_flow <
-               candidates[incumbent].shortest_flow)) {
+           cand_flow[best] < cand_flow[incumbent])) {
         request_of_[egress] = best;
       }
     }
@@ -96,12 +106,12 @@ void DistributedBasrptScheduler::decide_into(
       if (c == static_cast<std::size_t>(-1)) {
         continue;
       }
-      const auto ingress = static_cast<std::size_t>(candidates[c].ingress);
+      const auto ingress = static_cast<std::size_t>(cand_ingress[c]);
       BASRPT_ASSERT(!ingress_matched_[ingress] && !egress_matched_[e],
                     "request/grant produced a conflicting match");
       ingress_matched_[ingress] = 1;
       egress_matched_[e] = 1;
-      out.selected.push_back(candidates[c].shortest_flow);
+      out.selected.push_back(cand_flow[c]);
     }
   }
 }

@@ -22,12 +22,14 @@ namespace basrpt::sched {
 
 class DistributedBasrptScheduler final : public Scheduler {
  public:
+  using Scheduler::decide_into;
+
   /// `rounds` request/grant iterations per decision (hardware budget).
   DistributedBasrptScheduler(double v, int rounds);
 
   std::string name() const override;
-  CandidateNeeds needs() const override { return {.arrival_index = false}; }
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  bool needs_arrival_lane() const override { return false; }
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
   double v() const { return v_; }

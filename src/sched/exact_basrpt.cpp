@@ -33,9 +33,9 @@ double ExactBasrptScheduler::objective(
   return v * size_sum / static_cast<double>(selected.size()) - backlog_sum;
 }
 
-void ExactBasrptScheduler::decide_into(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates,
-    Decision& out) {
+void ExactBasrptScheduler::decide_into(PortId n_ports,
+                                       const CandidateView& candidates,
+                                       Decision& out) {
   BASRPT_REQUIRE(n_ports <= max_ports_,
                  "exact BASRPT refuses fabrics larger than max_ports; "
                  "use FastBasrptScheduler");
@@ -43,6 +43,12 @@ void ExactBasrptScheduler::decide_into(
   if (candidates.empty()) {
     return;
   }
+  const std::size_t n = candidates.size();
+  const PortId* ingress = candidates.ingress();
+  const PortId* egress = candidates.egress();
+  const double* backlog = candidates.backlog();
+  const double* remaining = candidates.shortest_remaining();
+  const FlowId* shortest = candidates.shortest_flow();
 
   // Within a matched VOQ the objective is minimized by its shortest flow
   // (the backlog term is fixed by the VOQ choice), so candidates carry
@@ -51,19 +57,21 @@ void ExactBasrptScheduler::decide_into(
   // enumeration ties break by edge order, so the caller's order is part
   // of this scheduler's observable behavior.
   edges_.clear();
-  edges_.reserve(candidates.size());
-  for (const VoqCandidate& c : candidates) {
-    edges_.push_back({c.ingress, c.egress});
+  edges_.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    edges_.push_back({ingress[k], egress[k]});
   }
 
   // Candidate lookup by (ingress, egress).
+  constexpr std::uint32_t kNoCandidate = 0xffffffffu;
   by_pair_.assign(
       static_cast<std::size_t>(n_ports) * static_cast<std::size_t>(n_ports),
-      nullptr);
-  for (const VoqCandidate& c : candidates) {
-    by_pair_[static_cast<std::size_t>(c.ingress) *
+      kNoCandidate);
+  for (std::size_t k = 0; k < n; ++k) {
+    by_pair_[static_cast<std::size_t>(ingress[k]) *
                  static_cast<std::size_t>(n_ports) +
-             static_cast<std::size_t>(c.egress)] = &c;
+             static_cast<std::size_t>(egress[k])] =
+        static_cast<std::uint32_t>(k);
   }
 
   double best_objective = std::numeric_limits<double>::infinity();
@@ -82,14 +90,15 @@ void ExactBasrptScheduler::decide_into(
           if (j == matching::kUnmatched) {
             continue;
           }
-          const VoqCandidate* c =
+          const std::uint32_t k =
               by_pair_[static_cast<std::size_t>(i) *
                            static_cast<std::size_t>(n_ports) +
                        static_cast<std::size_t>(j)];
-          BASRPT_ASSERT(c != nullptr, "matching used a non-candidate edge");
-          size_sum += c->shortest_remaining;
-          backlog_sum += c->backlog;
-          selection_.push_back(c->shortest_flow);
+          BASRPT_ASSERT(k != kNoCandidate,
+                        "matching used a non-candidate edge");
+          size_sum += remaining[k];
+          backlog_sum += backlog[k];
+          selection_.push_back(shortest[k]);
           ++count;
         }
         if (count == 0) {

@@ -15,12 +15,14 @@ namespace basrpt::sched {
 
 class ExactBasrptScheduler final : public Scheduler {
  public:
+  using Scheduler::decide_into;
+
   /// `max_ports` guards against accidental exponential blow-up.
   explicit ExactBasrptScheduler(double v, PortId max_ports = 10);
 
   std::string name() const override;
-  CandidateNeeds needs() const override { return {.arrival_index = false}; }
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  bool needs_arrival_lane() const override { return false; }
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
   double v() const { return v_; }
@@ -34,7 +36,7 @@ class ExactBasrptScheduler final : public Scheduler {
   double v_;
   PortId max_ports_;
   std::vector<matching::Edge> edges_;
-  std::vector<const VoqCandidate*> by_pair_;
+  std::vector<std::uint32_t> by_pair_;  // candidate index per (i, j)
   std::vector<FlowId> selection_;
   std::vector<FlowId> best_selection_;
 };

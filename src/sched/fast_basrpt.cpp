@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "perf/profiler.hpp"
+#include "simd/kernels.hpp"
 
 namespace basrpt::sched {
 
@@ -16,19 +18,23 @@ std::string FastBasrptScheduler::name() const {
   return buf;
 }
 
-void FastBasrptScheduler::decide_into(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates,
-    Decision& out) {
+void FastBasrptScheduler::decide_into(PortId n_ports,
+                                      const CandidateView& candidates,
+                                      Decision& out) {
   const double weight = v_ / static_cast<double>(n_ports);
-  scored_.clear();
-  scored_.reserve(candidates.size());
-  for (const VoqCandidate& c : candidates) {
+  const std::size_t n = candidates.size();
+  keys_.resize(n);
+  {
     // The per-VOQ SRPT representative also minimizes this key within its
     // VOQ (the backlog term is common to all the VOQ's flows).
-    const double key = weight * c.shortest_remaining - c.backlog;
-    scored_.push_back({c.ingress, c.egress, key, c.shortest_flow});
+    perf::ScopedPhase phase(perf::Phase::kScoreKernel);
+    simd::compute_keys(simd::KeyOp::kFastBasrpt, weight, 0.0,
+                       candidates.shortest_remaining(), candidates.backlog(),
+                       n, keys_.data());
   }
-  matcher_.match_into(scored_, n_ports, n_ports, out.selected);
+  matcher_.match_lanes_into(keys_.data(), candidates.ingress(),
+                            candidates.egress(), candidates.shortest_flow(),
+                            n, n_ports, n_ports, out.selected);
 }
 
 }  // namespace basrpt::sched

@@ -16,19 +16,21 @@ namespace basrpt::sched {
 
 class FastBasrptScheduler final : public Scheduler {
  public:
+  using Scheduler::decide_into;
+
   /// `v` is the paper's importance weight (>= 0), in packet units.
   explicit FastBasrptScheduler(double v);
 
   std::string name() const override;
-  CandidateNeeds needs() const override { return {.arrival_index = false}; }
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  bool needs_arrival_lane() const override { return false; }
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
   double v() const { return v_; }
 
  private:
   double v_;
-  std::vector<matching::ScoredCandidate> scored_;
+  std::vector<double> keys_;
   matching::GreedyMatcher matcher_;
 };
 

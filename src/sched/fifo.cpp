@@ -3,14 +3,20 @@
 namespace basrpt::sched {
 
 void FifoScheduler::decide_into(PortId n_ports,
-                                const std::vector<VoqCandidate>& candidates,
+                                const CandidateView& candidates,
                                 Decision& out) {
-  scored_.clear();
-  scored_.reserve(candidates.size());
-  for (const VoqCandidate& c : candidates) {
-    scored_.push_back({c.ingress, c.egress, c.oldest_arrival, c.oldest_flow});
+  if (candidates.empty()) {
+    // Nothing to schedule; don't demand the arrival lanes of an empty
+    // (possibly default-constructed) view.
+    out.selected.clear();
+    return;
   }
-  matcher_.match_into(scored_, n_ports, n_ports, out.selected);
+  // oldest_flow()/oldest_arrival() throw ConfigError if the builder was
+  // configured without the arrival lanes.
+  matcher_.match_lanes_into(candidates.oldest_arrival(), candidates.ingress(),
+                            candidates.egress(), candidates.oldest_flow(),
+                            candidates.size(), n_ports, n_ports,
+                            out.selected);
 }
 
 }  // namespace basrpt::sched

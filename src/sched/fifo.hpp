@@ -13,14 +13,17 @@ namespace basrpt::sched {
 
 class FifoScheduler final : public Scheduler {
  public:
+  using Scheduler::decide_into;
+
   std::string name() const override { return "fifo"; }
-  // The only built-in scheduler that reads the per-VOQ FIFO head.
-  CandidateNeeds needs() const override { return {.arrival_index = true}; }
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  // The only built-in scheduler that reads the per-VOQ FIFO head, i.e.
+  // the view's arrival lanes (the Scheduler default is already
+  // conservative; spelled out for emphasis).
+  bool needs_arrival_lane() const override { return true; }
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
  private:
-  std::vector<matching::ScoredCandidate> scored_;
   matching::GreedyMatcher matcher_;
 };
 

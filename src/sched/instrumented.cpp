@@ -21,9 +21,9 @@ InstrumentedScheduler::InstrumentedScheduler(SchedulerPtr inner,
   matching_hist_ = &reg.histogram(prefix + ".matching_size");
 }
 
-void InstrumentedScheduler::decide_into(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates,
-    Decision& out) {
+void InstrumentedScheduler::decide_into(PortId n_ports,
+                                        const CandidateView& candidates,
+                                        Decision& out) {
   obs::ScopedTimer timer(*decision_ns_, /*always=*/true);
   inner_->decide_into(n_ports, candidates, out);
   timer.stop();

@@ -9,8 +9,8 @@
 //
 // The decorator never alters the wrapped decision, candidate order, or
 // any RNG, so instrumented runs are bit-identical to bare ones. name()
-// and needs() forward to the wrapped scheduler so result tables and
-// candidate building are unchanged.
+// and needs_arrival_lane() forward to the wrapped scheduler so result
+// tables and candidate building are unchanged.
 // Wrapping is itself the opt-in: metrics are recorded on every call,
 // independent of obs::enabled().
 #pragma once
@@ -34,10 +34,14 @@ class InstrumentedScheduler : public Scheduler {
                                  obs::Registry* registry = nullptr,
                                  const std::string& prefix = "sched");
 
-  std::string name() const override { return inner_->name(); }
-  CandidateNeeds needs() const override { return inner_->needs(); }
+  using Scheduler::decide_into;
 
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  std::string name() const override { return inner_->name(); }
+  bool needs_arrival_lane() const override {
+    return inner_->needs_arrival_lane();
+  }
+
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
   // The decorator's own tallies are observability, not simulation state;

@@ -4,9 +4,9 @@
 
 namespace basrpt::sched {
 
-void MaxWeightScheduler::decide_into(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates,
-    Decision& out) {
+void MaxWeightScheduler::decide_into(PortId n_ports,
+                                     const CandidateView& candidates,
+                                     Decision& out) {
   out.selected.clear();
   if (candidates.empty()) {
     return;
@@ -18,14 +18,18 @@ void MaxWeightScheduler::decide_into(
     weights_[i].assign(n, 0.0);
     flow_at_[i].assign(n, queueing::kInvalidFlow);
   }
-  for (const VoqCandidate& c : candidates) {
-    weights_[static_cast<std::size_t>(c.ingress)]
-            [static_cast<std::size_t>(c.egress)] = c.backlog;
+  const PortId* ingress = candidates.ingress();
+  const PortId* egress = candidates.egress();
+  const double* backlog = candidates.backlog();
+  const FlowId* shortest = candidates.shortest_flow();
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const auto i = static_cast<std::size_t>(ingress[k]);
+    const auto j = static_cast<std::size_t>(egress[k]);
+    weights_[i][j] = backlog[k];
     // Serve the SRPT representative of the matched VOQ: MaxWeight fixes
     // the port pairs; within a VOQ any flow drains X_ij equally, so the
     // shortest-first choice strictly helps FCT at no stability cost.
-    flow_at_[static_cast<std::size_t>(c.ingress)]
-            [static_cast<std::size_t>(c.egress)] = c.shortest_flow;
+    flow_at_[i][j] = shortest[k];
   }
 
   const matching::Matching m = matching::max_weight_perfect(weights_);

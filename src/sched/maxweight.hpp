@@ -13,9 +13,11 @@ namespace basrpt::sched {
 
 class MaxWeightScheduler final : public Scheduler {
  public:
+  using Scheduler::decide_into;
+
   std::string name() const override { return "maxweight"; }
-  CandidateNeeds needs() const override { return {.arrival_index = false}; }
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  bool needs_arrival_lane() const override { return false; }
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
  private:

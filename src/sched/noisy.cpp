@@ -31,18 +31,18 @@ double NoisySizeScheduler::factor_for(FlowId flow) const {
   return std::exp((2.0 * u - 1.0) * log_error);
 }
 
-void NoisySizeScheduler::decide_into(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates,
-    Decision& out) {
+void NoisySizeScheduler::decide_into(PortId n_ports,
+                                     const CandidateView& candidates,
+                                     Decision& out) {
   if (error_ <= 1.0 + 1e-12) {
     inner_->decide_into(n_ports, candidates, out);
     return;
   }
-  noisy_ = candidates;  // copy-assign reuses capacity in steady state
-  for (VoqCandidate& c : noisy_) {
-    c.shortest_remaining *= factor_for(c.shortest_flow);
+  noisy_.assign_from_view(candidates);  // lane copies reuse capacity
+  for (std::size_t k = 0; k < noisy_.shortest_remaining.size(); ++k) {
+    noisy_.shortest_remaining[k] *= factor_for(noisy_.shortest_flow[k]);
   }
-  inner_->decide_into(n_ports, noisy_, out);
+  inner_->decide_into(n_ports, noisy_.view(), out);
 }
 
 }  // namespace basrpt::sched

@@ -22,9 +22,13 @@ class NoisySizeScheduler final : public Scheduler {
   /// error does not resample itself every decision).
   NoisySizeScheduler(SchedulerPtr inner, double error, std::uint64_t seed);
 
+  using Scheduler::decide_into;
+
   std::string name() const override;
-  CandidateNeeds needs() const override { return inner_->needs(); }
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  bool needs_arrival_lane() const override {
+    return inner_->needs_arrival_lane();
+  }
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
   // The per-flow factor is a pure hash of (seed, flow); only the wrapped
@@ -45,7 +49,7 @@ class NoisySizeScheduler final : public Scheduler {
   SchedulerPtr inner_;
   double error_;
   std::uint64_t seed_;
-  std::vector<VoqCandidate> noisy_;
+  CandidateSoA noisy_;  // lane copy with perturbed shortest_remaining
 };
 
 }  // namespace basrpt::sched

@@ -14,8 +14,15 @@ void Scheduler::restore_checkpoint_state(
                      "resume");
 }
 
+void Scheduler::decide_batch(PortId n_ports, const CandidateView* views,
+                             std::size_t count, Decision* out) {
+  for (std::size_t k = 0; k < count; ++k) {
+    decide_into(n_ports, views[k], out[k]);
+  }
+}
+
 void fill_candidate(const queueing::VoqMatrix& voqs, PortId i, PortId j,
-                    double unit_bytes, CandidateNeeds needs,
+                    double unit_bytes, bool with_arrival,
                     VoqCandidate& out) {
   out.ingress = i;
   out.egress = j;
@@ -34,7 +41,7 @@ void fill_candidate(const queueing::VoqMatrix& voqs, PortId i, PortId j,
   out.shortest_remaining = static_cast<double>(se.key) / unit_bytes;
   out.shortest_arrival = voqs.flow_at(se.slot).arrival.seconds;
 
-  if (needs.arrival_index) {
+  if (with_arrival) {
     const auto& oe = voqs.oldest_entry(i, j);
     out.oldest_flow = oe.id;
     out.oldest_arrival = oe.key;
@@ -46,13 +53,13 @@ void fill_candidate(const queueing::VoqMatrix& voqs, PortId i, PortId j,
 
 std::vector<VoqCandidate> build_candidates(const queueing::VoqMatrix& voqs,
                                            double unit_bytes,
-                                           CandidateNeeds needs) {
+                                           bool with_arrival) {
   BASRPT_ASSERT(unit_bytes > 0.0, "unit must be positive");
   std::vector<VoqCandidate> candidates;
   candidates.reserve(voqs.non_empty_voqs());
   voqs.for_each_non_empty_voq([&](PortId i, PortId j) {
     VoqCandidate c;
-    fill_candidate(voqs, i, j, unit_bytes, needs, c);
+    fill_candidate(voqs, i, j, unit_bytes, with_arrival, c);
     candidates.push_back(c);
   });
   return candidates;

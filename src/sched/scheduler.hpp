@@ -15,11 +15,12 @@
 //
 // The decision path is the simulators' hot loop (the paper reschedules
 // on *every* arrival and completion), so the interface is built to run
-// allocation-free in steady state: decide_into() writes into a
-// caller-owned Decision whose capacity persists across invocations, and
-// implementations keep their sort/matching scratch as members. The
-// candidate list itself is typically served by fabric::CandidateCache,
-// which maintains it incrementally instead of rebuilding per decision.
+// allocation-free in steady state: candidates arrive as a CandidateView —
+// contiguous SoA lanes maintained incrementally by fabric::CandidateCache
+// and streamed by the src/simd scoring kernels — and decide_into() writes
+// into a caller-owned Decision whose capacity persists across
+// invocations, with implementations keeping sort/matching scratch as
+// members.
 #pragma once
 
 #include <memory>
@@ -28,35 +29,9 @@
 
 #include "queueing/flow.hpp"
 #include "queueing/voq.hpp"
+#include "sched/candidate_view.hpp"
 
 namespace basrpt::sched {
-
-using queueing::FlowId;
-using queueing::PortId;
-
-/// Per-VOQ summary handed to schedulers. Sizes and backlogs are in
-/// *packets* (the model's unit; the flow-level simulator divides bytes by
-/// its packet size) so the paper's V values carry over unchanged.
-struct VoqCandidate {
-  PortId ingress = 0;
-  PortId egress = 0;
-  double backlog = 0.0;             // total VOQ backlog X_ij, packets
-  std::size_t flow_count = 0;       // flows queued in this VOQ
-  FlowId shortest_flow = queueing::kInvalidFlow;
-  double shortest_remaining = 0.0;  // packets
-  double shortest_arrival = 0.0;    // arrival time of that flow, seconds
-  FlowId oldest_flow = queueing::kInvalidFlow;
-  double oldest_arrival = 0.0;      // seconds
-};
-
-/// Which optional candidate fields a scheduler reads. Candidate builders
-/// (build_candidates, fabric::CandidateCache) skip the fields nobody
-/// asked for — maintaining the FIFO head costs an ordered-index probe and
-/// a flow-table lookup per VOQ, and only FIFO reads it today.
-struct CandidateNeeds {
-  /// oldest_flow / oldest_arrival (the per-VOQ FIFO representative).
-  bool arrival_index = true;
-};
 
 /// A scheduling decision: flows to serve this slot / until the next
 /// arrival-or-completion event. Guaranteed by implementations to respect
@@ -71,17 +46,25 @@ class Scheduler {
 
   virtual std::string name() const = 0;
 
-  /// Candidate fields this scheduler's decisions depend on. The default
-  /// is conservative (everything); schedulers that ignore the arrival
-  /// index override this so candidate builders can skip it. Decorators
-  /// must forward to the wrapped scheduler.
-  virtual CandidateNeeds needs() const { return {}; }
+  /// Whether decisions read the view's arrival lanes (oldest_flow /
+  /// oldest_arrival). The default is conservative; schedulers that
+  /// ignore them override this so candidate builders can skip the lane.
+  /// Decorators must forward to the wrapped scheduler. Asking the view
+  /// for a lane the builder skipped is a ConfigError.
+  virtual bool needs_arrival_lane() const { return true; }
 
   /// Computes a decision into `out`, clearing `out.selected` first and
-  /// reusing its capacity. Candidates hold at most one entry per (i, j).
-  virtual void decide_into(PortId n_ports,
-                           const std::vector<VoqCandidate>& candidates,
+  /// reusing its capacity. The view holds at most one entry per (i, j).
+  virtual void decide_into(PortId n_ports, const CandidateView& candidates,
                            Decision& out) = 0;
+
+  /// Batched decisions: `out[k]` is the decision for `views[k]`. The
+  /// default simply loops; schedulers with per-decision setup that
+  /// depends only on n_ports (matcher scratch sizing, BvN permutation
+  /// tables) amortize it across the batch. Semantics are exactly `count`
+  /// independent decide_into calls — differential tests enforce this.
+  virtual void decide_batch(PortId n_ports, const CandidateView* views,
+                            std::size_t count, Decision* out);
 
   /// Opaque internal state for checkpoint/resume. Schedulers whose
   /// decisions depend only on the candidates (everything here except the
@@ -99,32 +82,50 @@ class Scheduler {
 
   /// Convenience wrapper allocating a fresh Decision (tests, one-off
   /// callers). Hot paths keep a Decision buffer and call decide_into.
+  Decision decide(PortId n_ports, const CandidateView& candidates) {
+    Decision out;
+    decide_into(n_ports, candidates, out);
+    return out;
+  }
+
+  /// Deprecated AoS shims, kept for one release so out-of-tree callers
+  /// holding std::vector<VoqCandidate> keep compiling (concrete classes
+  /// re-export them with `using Scheduler::decide_into;`). They repack
+  /// into an internal SoA scratch per call — migrate to CandidateView.
+  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+                   Decision& out) {
+    decide_into(n_ports, CandidateView::from_aos(candidates, compat_soa_),
+                out);
+  }
   Decision decide(PortId n_ports,
                   const std::vector<VoqCandidate>& candidates) {
     Decision out;
     decide_into(n_ports, candidates, out);
     return out;
   }
+
+ private:
+  CandidateSoA compat_soa_;  // scratch for the deprecated AoS shim
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;
 
-/// Builds the per-VOQ candidate list from a VoqMatrix, from scratch.
-/// `unit_bytes` converts bytes to packets (use 1.0 when the matrix
-/// already stores packets, as in the slotted model). `needs` limits
-/// which optional fields are filled. The simulators use
-/// fabric::CandidateCache instead, which maintains the same list
-/// incrementally; this remains the reference implementation and the
-/// cache's differential-test oracle.
+/// Builds the per-VOQ candidate list from a VoqMatrix, from scratch, in
+/// AoS form. `unit_bytes` converts bytes to packets (use 1.0 when the
+/// matrix already stores packets, as in the slotted model);
+/// `with_arrival` controls whether the oldest_flow / oldest_arrival
+/// fields are filled (skip unless the scheduler needs_arrival_lane()).
+/// The simulators use fabric::CandidateCache instead, which maintains
+/// the same candidates incrementally as SoA lanes; this remains the
+/// reference implementation and the cache's differential-test oracle.
 std::vector<VoqCandidate> build_candidates(const queueing::VoqMatrix& voqs,
                                            double unit_bytes,
-                                           CandidateNeeds needs = {});
+                                           bool with_arrival = true);
 
 /// Fills one candidate entry for non-empty VOQ (i, j) — the single-VOQ
 /// kernel shared by build_candidates and fabric::CandidateCache.
 void fill_candidate(const queueing::VoqMatrix& voqs, PortId i, PortId j,
-                    double unit_bytes, CandidateNeeds needs,
-                    VoqCandidate& out);
+                    double unit_bytes, bool with_arrival, VoqCandidate& out);
 
 /// Checks the crossbar constraint of a decision against the candidate
 /// set; used by tests and (cheaply) asserted by the simulators.

@@ -3,15 +3,14 @@
 namespace basrpt::sched {
 
 void SrptScheduler::decide_into(PortId n_ports,
-                                const std::vector<VoqCandidate>& candidates,
+                                const CandidateView& candidates,
                                 Decision& out) {
-  scored_.clear();
-  scored_.reserve(candidates.size());
-  for (const VoqCandidate& c : candidates) {
-    scored_.push_back({c.ingress, c.egress, c.shortest_remaining,
-                       c.shortest_flow});
-  }
-  matcher_.match_into(scored_, n_ports, n_ports, out.selected);
+  // The SRPT score lane IS the shortest_remaining lane — no key
+  // computation, no repack; the matcher streams the view directly.
+  matcher_.match_lanes_into(candidates.shortest_remaining(),
+                            candidates.ingress(), candidates.egress(),
+                            candidates.shortest_flow(), candidates.size(),
+                            n_ports, n_ports, out.selected);
 }
 
 }  // namespace basrpt::sched

@@ -15,13 +15,14 @@ namespace basrpt::sched {
 
 class SrptScheduler final : public Scheduler {
  public:
+  using Scheduler::decide_into;
+
   std::string name() const override { return "srpt"; }
-  CandidateNeeds needs() const override { return {.arrival_index = false}; }
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  bool needs_arrival_lane() const override { return false; }
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
  private:
-  std::vector<matching::ScoredCandidate> scored_;
   matching::GreedyMatcher matcher_;
 };
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "perf/profiler.hpp"
+#include "simd/kernels.hpp"
 
 namespace basrpt::sched {
 
@@ -17,23 +19,25 @@ std::string ThresholdSrptScheduler::name() const {
   return buf;
 }
 
-void ThresholdSrptScheduler::decide_into(
-    PortId n_ports, const std::vector<VoqCandidate>& candidates,
-    Decision& out) {
+void ThresholdSrptScheduler::decide_into(PortId n_ports,
+                                         const CandidateView& candidates,
+                                         Decision& out) {
   // Two-class scoring: promoted VOQs sort strictly before everything
   // else, each class internally ordered by remaining size. The class
   // offset must dominate any remaining size; sizes are bounded by 50 MB
   // (~3.4e4 packets), so 1e12 packets is a safe separator.
   constexpr double kClassOffset = 1e12;
-  scored_.clear();
-  scored_.reserve(candidates.size());
-  for (const VoqCandidate& c : candidates) {
-    const bool promoted = c.backlog > threshold_;
-    const double key =
-        c.shortest_remaining + (promoted ? 0.0 : kClassOffset);
-    scored_.push_back({c.ingress, c.egress, key, c.shortest_flow});
+  const std::size_t n = candidates.size();
+  keys_.resize(n);
+  {
+    perf::ScopedPhase phase(perf::Phase::kScoreKernel);
+    simd::compute_keys(simd::KeyOp::kThresholdSrpt, threshold_, kClassOffset,
+                       candidates.shortest_remaining(), candidates.backlog(),
+                       n, keys_.data());
   }
-  matcher_.match_into(scored_, n_ports, n_ports, out.selected);
+  matcher_.match_lanes_into(keys_.data(), candidates.ingress(),
+                            candidates.egress(), candidates.shortest_flow(),
+                            n, n_ports, n_ports, out.selected);
 }
 
 }  // namespace basrpt::sched

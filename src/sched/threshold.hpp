@@ -14,20 +14,22 @@ namespace basrpt::sched {
 
 class ThresholdSrptScheduler final : public Scheduler {
  public:
+  using Scheduler::decide_into;
+
   /// `threshold_packets`: VOQ backlog (in packets) beyond which the VOQ's
   /// flows are promoted.
   explicit ThresholdSrptScheduler(double threshold_packets);
 
   std::string name() const override;
-  CandidateNeeds needs() const override { return {.arrival_index = false}; }
-  void decide_into(PortId n_ports, const std::vector<VoqCandidate>& candidates,
+  bool needs_arrival_lane() const override { return false; }
+  void decide_into(PortId n_ports, const CandidateView& candidates,
                    Decision& out) override;
 
   double threshold() const { return threshold_; }
 
  private:
   double threshold_;
-  std::vector<matching::ScoredCandidate> scored_;
+  std::vector<double> keys_;
   matching::GreedyMatcher matcher_;
 };
 

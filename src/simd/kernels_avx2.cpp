@@ -1,0 +1,307 @@
+// AVX2 kernel variants (4-wide doubles, hardware gathers). This TU is
+// the only one compiled with -mavx2; everything else in the binary stays
+// baseline x86-64 so a non-AVX2 host never executes these instructions
+// (dispatch checks __builtin_cpu_supports first).
+#if defined(BASRPT_SIMD_ENABLED)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "simd/kernels.hpp"
+
+namespace basrpt::simd::detail {
+namespace {
+
+void compute_keys_avx2(KeyOp op, double p0, double p1, const double* sr,
+                       const double* backlog, std::size_t n, double* out) {
+  std::size_t i = 0;
+  switch (op) {
+    case KeyOp::kCopy:
+      if (out != sr) std::memcpy(out, sr, n * sizeof(double));
+      return;
+    case KeyOp::kFastBasrpt: {
+      const __m256d vp0 = _mm256_set1_pd(p0);
+      for (; i + 4 <= n; i += 4) {
+        const __m256d vsr = _mm256_loadu_pd(sr + i);
+        const __m256d vb = _mm256_loadu_pd(backlog + i);
+        // mul then sub, never FMA: matches the scalar reference bitwise.
+        _mm256_storeu_pd(out + i, _mm256_sub_pd(_mm256_mul_pd(vp0, vsr), vb));
+      }
+      for (; i < n; ++i) {
+        const double prod = p0 * sr[i];
+        out[i] = prod - backlog[i];
+      }
+      return;
+    }
+    case KeyOp::kThresholdSrpt: {
+      const __m256d vp0 = _mm256_set1_pd(p0);
+      const __m256d vp1 = _mm256_set1_pd(p1);
+      for (; i + 4 <= n; i += 4) {
+        const __m256d vsr = _mm256_loadu_pd(sr + i);
+        const __m256d vb = _mm256_loadu_pd(backlog + i);
+        const __m256d gt = _mm256_cmp_pd(vb, vp0, _CMP_GT_OQ);
+        _mm256_storeu_pd(out + i,
+                         _mm256_add_pd(vsr, _mm256_andnot_pd(gt, vp1)));
+      }
+      for (; i < n; ++i) {
+        out[i] = sr[i] + (backlog[i] > p0 ? 0.0 : p1);
+      }
+      return;
+    }
+    case KeyOp::kNegBacklog: {
+      const __m256d sign = _mm256_set1_pd(-0.0);
+      for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_pd(out + i,
+                         _mm256_xor_pd(_mm256_loadu_pd(backlog + i), sign));
+      }
+      for (; i < n; ++i) out[i] = -backlog[i];
+      return;
+    }
+  }
+}
+
+MinMax minmax_avx2(const double* x, std::size_t n) {
+  std::size_t i = 0;
+  MinMax mm{x[0], x[0]};
+  if (n >= 4) {
+    __m256d vmin = _mm256_loadu_pd(x);
+    __m256d vmax = vmin;
+    for (i = 4; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(x + i);
+      vmin = _mm256_min_pd(vmin, v);
+      vmax = _mm256_max_pd(vmax, v);
+    }
+    double lo[4], hi[4];
+    _mm256_storeu_pd(lo, vmin);
+    _mm256_storeu_pd(hi, vmax);
+    mm.min = std::min(std::min(lo[0], lo[1]), std::min(lo[2], lo[3]));
+    mm.max = std::max(std::max(hi[0], hi[1]), std::max(hi[2], hi[3]));
+  } else {
+    i = 1;
+  }
+  for (; i < n; ++i) {
+    mm.min = std::min(mm.min, x[i]);
+    mm.max = std::max(mm.max, x[i]);
+  }
+  return mm;
+}
+
+SortedScan sorted_scan_avx2(const double* x, std::size_t n) {
+  SortedScan s{true, false};
+  std::size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prev = _mm256_loadu_pd(x + i - 1);
+    const __m256d cur = _mm256_loadu_pd(x + i);
+    if (_mm256_movemask_pd(_mm256_cmp_pd(prev, cur, _CMP_GT_OQ)) != 0) {
+      s.nondecreasing = false;
+      return s;
+    }
+    if (_mm256_movemask_pd(_mm256_cmp_pd(prev, cur, _CMP_EQ_OQ)) != 0) {
+      s.any_equal_adjacent = true;
+    }
+  }
+  for (; i < n; ++i) {
+    if (x[i - 1] > x[i]) {
+      s.nondecreasing = false;
+      return s;
+    }
+    if (x[i - 1] == x[i]) s.any_equal_adjacent = true;
+  }
+  return s;
+}
+
+void bucket_indexes_avx2(const double* x, double mn, double inv,
+                         std::uint32_t cap, std::size_t n,
+                         std::uint32_t* out) {
+  // Both clamps in the double domain, matching the scalar reference.
+  const __m256d vmn = _mm256_set1_pd(mn);
+  const __m256d vinv = _mm256_set1_pd(inv);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vcap = _mm256_set1_pd(static_cast<double>(cap));
+  const auto capd = static_cast<double>(cap);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v =
+        _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(x + i), vmn), vinv);
+    const __m128i b =
+        _mm256_cvttpd_epi32(_mm256_min_pd(_mm256_max_pd(v, vzero), vcap));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), b);
+  }
+  for (; i < n; ++i) {
+    const double scaled = (x[i] - mn) * inv;
+    out[i] = static_cast<std::uint32_t>(
+        std::min(std::max(scaled, 0.0), capd));
+  }
+}
+
+void bucket_indexes_2piece_avx2(const double* x, double split, double lo0,
+                                double inv0, std::uint32_t cap0, double lo1,
+                                double inv1, std::uint32_t base1,
+                                std::uint32_t cap, std::size_t n,
+                                std::uint32_t* out) {
+  const __m256d vsplit = _mm256_set1_pd(split);
+  const __m256d vlo0 = _mm256_set1_pd(lo0);
+  const __m256d vinv0 = _mm256_set1_pd(inv0);
+  const __m256d vcap0 = _mm256_set1_pd(static_cast<double>(cap0));
+  const __m256d vlo1 = _mm256_set1_pd(lo1);
+  const __m256d vinv1 = _mm256_set1_pd(inv1);
+  const __m256d vcap1 = _mm256_set1_pd(static_cast<double>(cap - base1));
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m128i vbase1 = _mm_set1_epi32(static_cast<int>(base1));
+  const __m256i pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const auto cap0d = static_cast<double>(cap0);
+  const auto cap1d = static_cast<double>(cap - base1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    const __m256d in0 = _mm256_cmp_pd(v, vsplit, _CMP_LT_OQ);
+    const __m256d s0 = _mm256_min_pd(
+        _mm256_max_pd(_mm256_mul_pd(_mm256_sub_pd(v, vlo0), vinv0), vzero),
+        vcap0);
+    const __m256d s1 = _mm256_min_pd(
+        _mm256_max_pd(_mm256_mul_pd(_mm256_sub_pd(v, vlo1), vinv1), vzero),
+        vcap1);
+    const __m128i b0 = _mm256_cvttpd_epi32(s0);
+    const __m128i b1 = _mm_add_epi32(_mm256_cvttpd_epi32(s1), vbase1);
+    // Narrow the 4x64 double mask to 4x32 int lanes (each 64-bit lane is
+    // all-ones or all-zero, so its low dword carries the mask) and blend.
+    const __m128i m = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(_mm256_castpd_si256(in0), pack));
+    const __m128i blended = _mm_or_si128(_mm_and_si128(m, b0),
+                                         _mm_andnot_si128(m, b1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), blended);
+  }
+  for (; i < n; ++i) {
+    if (x[i] < split) {
+      const double v = std::min(std::max((x[i] - lo0) * inv0, 0.0), cap0d);
+      out[i] = static_cast<std::uint32_t>(v);
+    } else {
+      const double v = std::min(std::max((x[i] - lo1) * inv1, 0.0), cap1d);
+      out[i] = base1 + static_cast<std::uint32_t>(v);
+    }
+  }
+}
+
+bool bounds_ok_i32_avx2(const std::int32_t* x, std::size_t n,
+                        std::int32_t limit) {
+  const __m256i vlimit = _mm256_set1_epi32(limit);
+  const __m256i vzero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    // ok lane: 0 <= v (not v < 0) and v < limit.
+    const __m256i ok = _mm256_andnot_si256(_mm256_cmpgt_epi32(vzero, v),
+                                           _mm256_cmpgt_epi32(vlimit, v));
+    if (_mm256_movemask_epi8(ok) != -1) return false;
+  }
+  for (; i < n; ++i) {
+    if (x[i] < 0 || x[i] >= limit) return false;
+  }
+  return true;
+}
+
+// Byte offsets for scale-1 gathers: off[i] = idx[i] * stride. Candidate
+// counts are bounded by ports^2 (<= 2^32 / 64), so this never overflows
+// the int32 offset lanes.
+inline __m128i byte_offsets(const std::uint32_t* idx, std::size_t i,
+                            int stride) {
+  const __m128i v =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+  return _mm_mullo_epi32(v, _mm_set1_epi32(stride));
+}
+
+void gather_f64_avx2(const void* base, std::size_t stride,
+                     const std::uint32_t* idx, std::size_t n, double* out) {
+  const auto* b = static_cast<const double*>(base);
+  const int s = static_cast<int>(stride);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_i32gather_pd(b, byte_offsets(idx, i, s), 1));
+  }
+  for (; i < n; ++i) {
+    std::memcpy(&out[i],
+                static_cast<const char*>(base) +
+                    static_cast<std::size_t>(idx[i]) * stride,
+                sizeof(double));
+  }
+}
+
+void gather_i64_avx2(const void* base, std::size_t stride,
+                     const std::uint32_t* idx, std::size_t n,
+                     std::int64_t* out) {
+  const auto* b = static_cast<const long long*>(base);
+  const int s = static_cast<int>(stride);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_i32gather_epi64(b, byte_offsets(idx, i, s), 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  for (; i < n; ++i) {
+    std::memcpy(&out[i],
+                static_cast<const char*>(base) +
+                    static_cast<std::size_t>(idx[i]) * stride,
+                sizeof(std::int64_t));
+  }
+}
+
+void gather_i32_avx2(const void* base, std::size_t stride,
+                     const std::uint32_t* idx, std::size_t n,
+                     std::int32_t* out) {
+  const auto* b = static_cast<const int*>(base);
+  const int s = static_cast<int>(stride);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v = _mm_i32gather_epi32(b, byte_offsets(idx, i, s), 1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v);
+  }
+  for (; i < n; ++i) {
+    std::memcpy(&out[i],
+                static_cast<const char*>(base) +
+                    static_cast<std::size_t>(idx[i]) * stride,
+                sizeof(std::int32_t));
+  }
+}
+
+void gather_u32_from_size_avx2(const void* base, std::size_t stride,
+                               const std::uint32_t* idx, std::size_t n,
+                               std::uint32_t* out) {
+  const auto* b = static_cast<const long long*>(base);
+  const int s = static_cast<int>(stride);
+  const __m256i pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_i32gather_epi64(b, byte_offsets(idx, i, s), 1);
+    const __m256i low = _mm256_permutevar8x32_epi32(v, pack);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(low));
+  }
+  for (; i < n; ++i) {
+    std::size_t v;
+    std::memcpy(&v,
+                static_cast<const char*>(base) +
+                    static_cast<std::size_t>(idx[i]) * stride,
+                sizeof(std::size_t));
+    out[i] = static_cast<std::uint32_t>(v);
+  }
+}
+
+}  // namespace
+
+const KernelTable& avx2_table() {
+  static const KernelTable table{
+      compute_keys_avx2,        minmax_avx2,
+      sorted_scan_avx2,         bucket_indexes_avx2,
+      bucket_indexes_2piece_avx2, bounds_ok_i32_avx2,
+      gather_f64_avx2,          gather_i64_avx2,
+      gather_i32_avx2,          gather_u32_from_size_avx2,
+  };
+  return table;
+}
+
+}  // namespace basrpt::simd::detail
+
+#endif  // BASRPT_SIMD_ENABLED

@@ -35,7 +35,8 @@ SlottedResult run_slotted(const SlottedConfig& config,
   result.horizon = config.horizon;
 
   fabric::FlowLifecycle lifecycle(&voqs, result.fct, config.tracer);
-  fabric::CandidateCache cache(voqs, /*unit_bytes=*/1.0, scheduler.needs());
+  fabric::CandidateCache cache(voqs, /*unit_bytes=*/1.0,
+                               scheduler.needs_arrival_lane());
   sched::Decision decision;
   fault::InvariantAuditor auditor("switchsim");
 

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "fabric/candidate_cache.hpp"
 #include "fabric/flow_lifecycle.hpp"
@@ -26,32 +27,36 @@ namespace {
 
 // ------------------------------------------------------ CandidateCache
 
-void expect_candidates_equal(const std::vector<sched::VoqCandidate>& got,
-                             const std::vector<sched::VoqCandidate>& want) {
+void expect_candidates_equal(const sched::CandidateView& got,
+                             const std::vector<sched::VoqCandidate>& want,
+                             bool with_arrival) {
   ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(got.has_arrival_lane(), with_arrival);
   for (std::size_t k = 0; k < got.size(); ++k) {
     SCOPED_TRACE(k);
-    EXPECT_EQ(got[k].ingress, want[k].ingress);
-    EXPECT_EQ(got[k].egress, want[k].egress);
-    EXPECT_EQ(got[k].backlog, want[k].backlog);
-    EXPECT_EQ(got[k].flow_count, want[k].flow_count);
-    EXPECT_EQ(got[k].shortest_flow, want[k].shortest_flow);
-    EXPECT_EQ(got[k].shortest_remaining, want[k].shortest_remaining);
-    EXPECT_EQ(got[k].shortest_arrival, want[k].shortest_arrival);
-    EXPECT_EQ(got[k].oldest_flow, want[k].oldest_flow);
-    EXPECT_EQ(got[k].oldest_arrival, want[k].oldest_arrival);
+    EXPECT_EQ(got.ingress()[k], want[k].ingress);
+    EXPECT_EQ(got.egress()[k], want[k].egress);
+    EXPECT_EQ(got.backlog()[k], want[k].backlog);
+    EXPECT_EQ(got.flow_count()[k], want[k].flow_count);
+    EXPECT_EQ(got.shortest_flow()[k], want[k].shortest_flow);
+    EXPECT_EQ(got.shortest_remaining()[k], want[k].shortest_remaining);
+    EXPECT_EQ(got.shortest_arrival()[k], want[k].shortest_arrival);
+    if (with_arrival) {
+      EXPECT_EQ(got.oldest_flow()[k], want[k].oldest_flow);
+      EXPECT_EQ(got.oldest_arrival()[k], want[k].oldest_arrival);
+    }
   }
 }
 
 /// Randomized churn (add / partial drain / drain-to-completion / remove)
 /// against one VoqMatrix; after every batch of mutations the cache's
-/// incremental view must equal the from-scratch build, field for field
-/// and in the same order.
-void run_churn(queueing::PortId ports, double unit_bytes,
-               sched::CandidateNeeds needs, std::uint64_t seed) {
+/// incremental SoA view must equal the from-scratch AoS build, lane for
+/// lane and in the same order.
+void run_churn(queueing::PortId ports, double unit_bytes, bool with_arrival,
+               std::uint64_t seed) {
   Rng rng(seed);
   queueing::VoqMatrix voqs(ports);
-  CandidateCache cache(voqs, unit_bytes, needs);
+  CandidateCache cache(voqs, unit_bytes, with_arrival);
   std::vector<queueing::FlowId> live;
   queueing::FlowId next_id = 0;
 
@@ -90,9 +95,10 @@ void run_churn(queueing::PortId ports, double unit_bytes,
     // Refresh at a varying cadence so dirt accumulates across several
     // mutations (the steady-state pattern) as well as one at a time.
     if (step % 7 == 0 || step + 1 == 1500) {
-      expect_candidates_equal(cache.refresh(),
-                              sched::build_candidates(voqs, unit_bytes,
-                                                      needs));
+      expect_candidates_equal(
+          cache.refresh(),
+          sched::build_candidates(voqs, unit_bytes, with_arrival),
+          with_arrival);
     }
   }
 }
@@ -100,22 +106,20 @@ void run_churn(queueing::PortId ports, double unit_bytes,
 TEST(CandidateCache, MatchesFromScratchBuildUnderRandomChurn) {
   for (const queueing::PortId ports : {2, 4, 16, 33}) {
     SCOPED_TRACE(ports);
-    run_churn(ports, /*unit_bytes=*/1.0, sched::CandidateNeeds{},
+    run_churn(ports, /*unit_bytes=*/1.0, /*with_arrival=*/true,
               /*seed=*/1000 + static_cast<std::uint64_t>(ports));
   }
 }
 
-TEST(CandidateCache, MatchesOracleWithoutArrivalIndexAndFractionalUnit) {
-  sched::CandidateNeeds needs;
-  needs.arrival_index = false;
+TEST(CandidateCache, MatchesOracleWithoutArrivalLaneAndFractionalUnit) {
   for (const queueing::PortId ports : {4, 16}) {
     SCOPED_TRACE(ports);
-    run_churn(ports, /*unit_bytes=*/1500.0, needs,
+    run_churn(ports, /*unit_bytes=*/1500.0, /*with_arrival=*/false,
               /*seed=*/7700 + static_cast<std::uint64_t>(ports));
   }
 }
 
-TEST(CandidateCache, SkipsOldestFieldsWhenNotNeeded) {
+TEST(CandidateCache, AbsentArrivalLaneIsAConfigErrorNotZeros) {
   queueing::VoqMatrix voqs(4);
   queueing::Flow f;
   f.id = 0;
@@ -126,14 +130,13 @@ TEST(CandidateCache, SkipsOldestFieldsWhenNotNeeded) {
   f.arrival = SimTime{3.5};
   voqs.add_flow(f);
 
-  sched::CandidateNeeds needs;
-  needs.arrival_index = false;
-  CandidateCache cache(voqs, 1.0, needs);
+  CandidateCache cache(voqs, 1.0, /*with_arrival=*/false);
   const auto& view = cache.refresh();
   ASSERT_EQ(view.size(), 1u);
-  EXPECT_EQ(view[0].shortest_flow, 0);
-  EXPECT_EQ(view[0].oldest_flow, queueing::kInvalidFlow);
-  EXPECT_EQ(view[0].oldest_arrival, 0.0);
+  EXPECT_FALSE(view.has_arrival_lane());
+  EXPECT_EQ(view.shortest_flow()[0], 0);
+  EXPECT_THROW(view.oldest_flow(), ConfigError);
+  EXPECT_THROW(view.oldest_arrival(), ConfigError);
 }
 
 TEST(CandidateCache, RecomputesOnlyDirtyVoqs) {
@@ -161,9 +164,9 @@ TEST(CandidateCache, RecomputesOnlyDirtyVoqs) {
   const auto& view = cache.refresh();
   EXPECT_EQ(cache.voqs_recomputed(), 7);
   ASSERT_EQ(view.size(), 6u);
-  for (const auto& c : view) {
-    if (c.shortest_flow == 3) {
-      EXPECT_EQ(c.backlog, 90.0);
+  for (std::size_t k = 0; k < view.size(); ++k) {
+    if (view.shortest_flow()[k] == 3) {
+      EXPECT_EQ(view.backlog()[k], 90.0);
     }
   }
 }

@@ -357,8 +357,8 @@ TEST(CandidateCacheMask, MaskedPortsDisappearFromTheView) {
   EXPECT_FALSE(cache.port_usable(2));
   const auto& masked = cache.refresh();
   ASSERT_EQ(masked.size(), 1u);
-  EXPECT_EQ(masked[0].ingress, 0);
-  EXPECT_EQ(masked[0].egress, 1);
+  EXPECT_EQ(masked.ingress()[0], 0);
+  EXPECT_EQ(masked.egress()[0], 1);
   EXPECT_EQ(cache.candidates_masked(), 2u);
 
   // Recovery restores the full view without touching the matrix.

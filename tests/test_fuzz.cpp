@@ -144,6 +144,75 @@ TEST_P(VoqFuzz, MatchesReferenceModelUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VoqFuzz, ::testing::Range(0, 6));
 
+// ------------------------------------------- candidate-lane mutation
+
+/// Lane-length drift fuzz: CandidateSoA lanes are public (builders write
+/// them in place), so a buggy builder can leave lanes of unequal length.
+/// view() is the validation chokepoint — every mutation must surface as
+/// ConfigError there, and nothing else may escape.
+class CandidateLaneFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CandidateLaneFuzz, MismatchedLanesNeverEscapeConfigError) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 9173 + 7);
+  const PortId n = 6;
+
+  for (int round = 0; round < 200; ++round) {
+    VoqMatrix voqs(n);
+    const int n_flows = static_cast<int>(rng.uniform_int(1, 40));
+    for (FlowId id = 0; id < n_flows; ++id) {
+      Flow f;
+      f.id = id;
+      f.src = static_cast<PortId>(rng.uniform_int(0, n - 1));
+      auto dst = static_cast<PortId>(rng.uniform_int(0, n - 2));
+      f.dst = dst >= f.src ? dst + 1 : dst;
+      f.size = Bytes{rng.uniform_int(1, 500)};
+      f.remaining = f.size;
+      f.arrival = SimTime{rng.uniform01()};
+      voqs.add_flow(f);
+    }
+    const bool with_arrival = rng.bernoulli(0.5);
+    sched::CandidateSoA soa;
+    soa.assign_from_aos(sched::build_candidates(voqs, 1.0, with_arrival),
+                        with_arrival);
+    ASSERT_NO_THROW(soa.view());
+
+    // Mutate one present lane's length (grow or shrink by 1..3).
+    const int which = static_cast<int>(rng.uniform_int(0, 6));
+    const auto delta = rng.uniform_int(1, 3);
+    const bool grow = rng.bernoulli(0.5);
+    const auto resize = [&](auto& lane) {
+      const auto target =
+          grow ? lane.size() + static_cast<std::size_t>(delta)
+               : lane.size() - std::min(lane.size(),
+                                        static_cast<std::size_t>(delta));
+      lane.resize(target);
+      return lane.size();
+    };
+    std::size_t mutated_len = 0;
+    switch (which) {
+      case 0: mutated_len = resize(soa.ingress); break;
+      case 1: mutated_len = resize(soa.egress); break;
+      case 2: mutated_len = resize(soa.backlog); break;
+      case 3: mutated_len = resize(soa.flow_count); break;
+      case 4: mutated_len = resize(soa.shortest_flow); break;
+      case 5: mutated_len = resize(soa.shortest_remaining); break;
+      default: mutated_len = resize(soa.shortest_arrival); break;
+    }
+    if (mutated_len == soa.ingress.size() &&
+        mutated_len == soa.backlog.size()) {
+      continue;  // shrink clamped to the original length: still valid
+    }
+    try {
+      (void)soa.view();
+      FAIL() << "mismatched lanes accepted in round " << round;
+    } catch (const ConfigError&) {
+      // Expected. Any other exception type propagates and fails.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CandidateLaneFuzz, ::testing::Range(0, 4));
+
 // ------------------------------------------------------ engine ordering
 
 class EngineFuzz : public ::testing::TestWithParam<int> {};

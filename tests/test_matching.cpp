@@ -125,6 +125,72 @@ TEST(Greedy, MatcherRadixMatchesStableSortOracle) {
   }
 }
 
+TEST(Greedy, MatcherBimodalScoresMatchOracle) {
+  // Threshold-SRPT-shaped keys: two clusters a class offset (1e12)
+  // apart, which drives the sampled bucket map onto its 2-piece path.
+  // A few outliers land outside both sampled cluster ranges and must
+  // clamp into the edge buckets without disturbing the order.
+  for (std::uint64_t seed : {5u, 17u}) {
+    Rng rng(seed);
+    const PortId ports = 48;
+    std::vector<ScoredCandidate> candidates;
+    for (int k = 0; k < 3000; ++k) {
+      ScoredCandidate c;
+      c.left = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+      c.right = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+      c.score = rng.uniform(0.0, 1e6) + (rng.bernoulli(0.5) ? 0.0 : 1e12);
+      if (rng.bernoulli(0.01)) {
+        c.score = rng.bernoulli(0.5) ? -1e5 : 3e12;
+      }
+      c.payload = k;
+      candidates.push_back(c);
+    }
+    expect_matcher_matches_oracle(std::move(candidates), ports, ports);
+  }
+}
+
+TEST(Greedy, MatcherSortedInputMatchesOracle) {
+  // Nondecreasing scores take the in-place monotone fast path; ties with
+  // out-of-order payloads must knock it back to the sorting path. Both
+  // shapes must agree with the oracle.
+  Rng rng(29);
+  const PortId ports = 32;
+  for (const bool scramble_tie_payloads : {false, true}) {
+    std::vector<ScoredCandidate> candidates;
+    for (int k = 0; k < 1500; ++k) {
+      ScoredCandidate c;
+      c.left = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+      c.right = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+      c.score = static_cast<double>(k / 3);  // runs of equal scores
+      c.payload = k;
+      candidates.push_back(c);
+    }
+    if (scramble_tie_payloads) {
+      std::swap(candidates[30].payload, candidates[31].payload);
+    }
+    expect_matcher_matches_oracle(std::move(candidates), ports, ports);
+  }
+}
+
+TEST(Greedy, MatcherLogSpreadScoresMatchOracle) {
+  // Scores spanning ~50 orders of magnitude pile nearly everything into
+  // the bottom buckets of any linear map — the radix fallback must
+  // engage and still land the exact order.
+  Rng rng(31);
+  const PortId ports = 48;
+  std::vector<ScoredCandidate> candidates;
+  for (int k = 0; k < 2000; ++k) {
+    ScoredCandidate c;
+    c.left = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+    c.right = static_cast<PortId>(rng.uniform_int(0, ports - 1));
+    c.score = std::ldexp(rng.uniform(1.0, 2.0),
+                         static_cast<int>(rng.uniform_int(-80, 80)));
+    c.payload = k;
+    candidates.push_back(c);
+  }
+  expect_matcher_matches_oracle(std::move(candidates), ports, ports);
+}
+
 TEST(Greedy, MatcherComparisonPathMatchesOracleBelowThreshold) {
   // One candidate below the radix threshold and exactly at it: both
   // sides of the path split must agree with the oracle.

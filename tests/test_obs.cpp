@@ -351,7 +351,8 @@ class ScriptedScheduler : public sched::Scheduler {
   explicit ScriptedScheduler(std::vector<std::vector<sched::FlowId>> script)
       : script_(std::move(script)) {}
   std::string name() const override { return "scripted"; }
-  void decide_into(sched::PortId, const std::vector<sched::VoqCandidate>&,
+  using sched::Scheduler::decide_into;
+  void decide_into(sched::PortId, const sched::CandidateView&,
                    sched::Decision& out) override {
     out.selected.clear();
     if (calls_ < script_.size()) {

@@ -83,7 +83,7 @@ TEST_P(SchedulerProperty, EmptyFabricYieldsEmptyDecision) {
   sched::SchedulerSpec spec;
   spec.policy = GetParam();
   auto scheduler = sched::make_scheduler(spec);
-  const auto decision = scheduler->decide(4, {});
+  const auto decision = scheduler->decide(4, sched::CandidateView{});
   EXPECT_TRUE(decision.selected.empty());
 }
 

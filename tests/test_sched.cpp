@@ -92,6 +92,73 @@ TEST(BuildCandidates, OldestTracksArrival) {
   EXPECT_DOUBLE_EQ(candidates[0].oldest_arrival, 1.0);
 }
 
+// --------------------------------------------------------- CandidateView
+
+TEST(CandidateView, FromAosReproducesEveryLane) {
+  Rng rng(41);
+  const VoqMatrix voqs = random_state(8, 60, rng);
+  const auto aos = build_candidates(voqs, 1.0, true);
+  CandidateSoA storage;
+  const CandidateView view = CandidateView::from_aos(aos, storage);
+  ASSERT_EQ(view.size(), aos.size());
+  ASSERT_TRUE(view.has_arrival_lane());
+  for (std::size_t k = 0; k < aos.size(); ++k) {
+    EXPECT_EQ(view.ingress()[k], aos[k].ingress);
+    EXPECT_EQ(view.egress()[k], aos[k].egress);
+    EXPECT_EQ(view.backlog()[k], aos[k].backlog);
+    EXPECT_EQ(view.flow_count()[k],
+              static_cast<std::uint32_t>(aos[k].flow_count));
+    EXPECT_EQ(view.shortest_flow()[k], aos[k].shortest_flow);
+    EXPECT_EQ(view.shortest_remaining()[k], aos[k].shortest_remaining);
+    EXPECT_EQ(view.shortest_arrival()[k], aos[k].shortest_arrival);
+    EXPECT_EQ(view.oldest_flow()[k], aos[k].oldest_flow);
+    EXPECT_EQ(view.oldest_arrival()[k], aos[k].oldest_arrival);
+  }
+}
+
+TEST(CandidateView, AbsentArrivalLaneThrowsConfigError) {
+  Rng rng(42);
+  const VoqMatrix voqs = random_state(4, 12, rng);
+  const auto aos = build_candidates(voqs, 1.0, false);
+  CandidateSoA storage;
+  const CandidateView view =
+      CandidateView::from_aos(aos, storage, /*with_arrival=*/false);
+  EXPECT_FALSE(view.has_arrival_lane());
+  EXPECT_THROW(view.oldest_flow(), ConfigError);
+  EXPECT_THROW(view.oldest_arrival(), ConfigError);
+}
+
+TEST(CandidateView, SoaViewRejectsMismatchedLaneLengths) {
+  Rng rng(43);
+  const VoqMatrix voqs = random_state(4, 20, rng);
+  CandidateSoA soa;
+  soa.assign_from_aos(build_candidates(voqs, 1.0, true), true);
+  EXPECT_NO_THROW(soa.view());
+  soa.backlog.push_back(0.0);
+  EXPECT_THROW(soa.view(), ConfigError);
+  soa.backlog.pop_back();
+  soa.shortest_flow.pop_back();
+  EXPECT_THROW(soa.view(), ConfigError);
+}
+
+TEST(CandidateView, DeprecatedAosShimAgreesWithViewPath) {
+  Rng rng(44);
+  for (int trial = 0; trial < 5; ++trial) {
+    const VoqMatrix voqs = random_state(8, 80, rng);
+    const auto aos = build_candidates(voqs, 1.0, true);
+    CandidateSoA storage;
+    const CandidateView view = CandidateView::from_aos(aos, storage);
+    for (const char* spec :
+         {"srpt", "fast-basrpt:v=2500", "threshold-srpt:threshold=2000",
+          "maxweight", "fifo"}) {
+      const auto scheduler = make_scheduler(SchedulerSpec::parse(spec));
+      EXPECT_EQ(scheduler->decide(8, aos).selected,
+                scheduler->decide(8, view).selected)
+          << spec << " trial " << trial;
+    }
+  }
+}
+
 // ------------------------------------------------------------------- SRPT
 
 TEST(Srpt, PicksGloballyShortestThenBlocksPorts) {
